@@ -1,0 +1,168 @@
+// E3 (Figure 2): the design environment's back end — dataflow
+// construction, soundness validation, sample debugging, DSN translation
+// and parsing — as a function of dataflow size.
+//
+// Expected shape: all stages stay interactive (well under a second) even
+// for dataflows far larger than a canvas would show; translation and
+// parsing are linear in the number of services.
+
+#include <benchmark/benchmark.h>
+
+#include "dataflow/graph.h"
+#include "dataflow/validate.h"
+#include "dsn/parser.h"
+#include "dsn/translate.h"
+#include "ops/debugger.h"
+#include "pubsub/broker.h"
+#include "bench/bench_util.h"
+#include "util/strings.h"
+
+namespace sl {
+namespace {
+
+using dataflow::AggFunc;
+using dataflow::Dataflow;
+using dataflow::DataflowBuilder;
+using dataflow::SinkKind;
+
+/// A linear pipeline of `n` operators cycling through the non-blocking
+/// kinds, closed by an hourly aggregation and a warehouse sink.
+Dataflow MakeChain(size_t n) {
+  DataflowBuilder builder(StrFormat("chain_%zu", n));
+  builder.AddSource("src", "bench_sensor");
+  std::string prev = "src";
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = StrFormat("op_%03zu", i);
+    switch (i % 4) {
+      case 0: builder.AddFilter(name, prev, "temp > -100"); break;
+      case 1:
+        builder.AddVirtualProperty(name, prev, StrFormat("p_%03zu", i),
+                                   "temp * 1.01");
+        break;
+      case 2:
+        builder.AddTransform(name, prev, "temp", "temp + 0.1");
+        break;
+      case 3:
+        builder.AddCullTime(name, prev, 0, 1LL << 60, 0.01);
+        break;
+    }
+    prev = name;
+  }
+  builder.AddSink("store", prev, SinkKind::kWarehouse, "out");
+  return *builder.Build();
+}
+
+struct RegistryFixture {
+  RegistryFixture() : broker(&clock) {
+    pubsub::SensorInfo info;
+    info.id = "bench_sensor";
+    info.type = "temperature";
+    info.schema = bench::TempSchema();
+    info.period = duration::kSecond;
+    info.location = stt::GeoPoint{34.69, 135.50};
+    Status s = broker.Publish(info);
+    (void)s;
+  }
+  VirtualClock clock;
+  pubsub::Broker broker;
+};
+
+void BM_BuildDataflow(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeChain(n));
+  }
+  state.counters["operators"] = benchmark::Counter(static_cast<double>(n));
+}
+BENCHMARK(BM_BuildDataflow)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_Validate(benchmark::State& state) {
+  RegistryFixture fixture;
+  size_t n = static_cast<size_t>(state.range(0));
+  Dataflow df = MakeChain(n);
+  dataflow::Validator validator(&fixture.broker);
+  for (auto _ : state) {
+    auto report = validator.Validate(df);
+    if (!report.ok() || !report->ok()) {
+      state.SkipWithError("validation failed");
+      return;
+    }
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["operators"] = benchmark::Counter(static_cast<double>(n));
+}
+BENCHMARK(BM_Validate)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_TranslateToDsnText(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Dataflow df = MakeChain(n);
+  size_t text_bytes = 0;
+  for (auto _ : state) {
+    auto spec = dsn::TranslateToDsn(df);
+    std::string text = spec->ToString();
+    text_bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["operators"] = benchmark::Counter(static_cast<double>(n));
+  state.counters["dsn_bytes"] =
+      benchmark::Counter(static_cast<double>(text_bytes));
+}
+BENCHMARK(BM_TranslateToDsnText)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_ParseDsnText(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::string text = (*dsn::TranslateToDsn(MakeChain(n))).ToString();
+  for (auto _ : state) {
+    auto spec = dsn::ParseDsn(text);
+    if (!spec.ok()) {
+      state.SkipWithError("parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseDsnText)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_RoundTripDesignToDeployable(benchmark::State& state) {
+  // The complete P2 path the GUI triggers on "activate": validate,
+  // translate, serialize, re-parse, lift.
+  RegistryFixture fixture;
+  size_t n = static_cast<size_t>(state.range(0));
+  Dataflow df = MakeChain(n);
+  dataflow::Validator validator(&fixture.broker);
+  for (auto _ : state) {
+    auto report = validator.Validate(df);
+    auto spec = dsn::TranslateToDsn(df);
+    auto parsed = dsn::ParseDsn(spec->ToString());
+    auto lifted = dsn::TranslateFromDsn(*parsed);
+    benchmark::DoNotOptimize(lifted);
+  }
+  state.counters["operators"] = benchmark::Counter(static_cast<double>(n));
+}
+BENCHMARK(BM_RoundTripDesignToDeployable)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_SampleDebugRun(benchmark::State& state) {
+  // P1: step-by-step sample checking on a medium pipeline.
+  RegistryFixture fixture;
+  Dataflow df = MakeChain(static_cast<size_t>(state.range(0)));
+  ops::DataflowDebugger debugger(&fixture.broker);
+  std::map<std::string, std::vector<stt::Tuple>> samples;
+  samples["src"] = bench::MakeTempTuples(64);
+  for (auto _ : state) {
+    auto result = debugger.Run(df, samples);
+    if (!result.ok()) {
+      state.SkipWithError("debug run failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_SampleDebugRun)->Arg(2)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace sl
+
+BENCHMARK_MAIN();

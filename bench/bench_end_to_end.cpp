@@ -1,0 +1,153 @@
+// E2 (Figure 1): end-to-end architecture — sensors -> pub/sub ->
+// programmable network -> operators -> warehouse — scaling node count
+// and sensor count.
+//
+// Expected shape: simulated throughput (tuples through sinks per wall
+// second) grows with sensor count; adding network nodes does not hurt
+// (placement spreads the work); per-tuple cost is dominated by operator
+// evaluation, not network simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/streamloader.h"
+#include "sensors/generators.h"
+#include "util/strings.h"
+
+namespace sl {
+namespace {
+
+using dataflow::SinkKind;
+
+/// One full platform run: `sensors` 1 Hz temperature sensors over a
+/// `nodes`-node ring; every reading is filtered, tagged and stored.
+void BM_EndToEnd(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  size_t sensors = static_cast<size_t>(state.range(1));
+
+  uint64_t total_delivered = 0;
+  uint64_t total_bytes = 0;
+  const Duration sim_time = duration::kMinute;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StreamLoaderOptions options;
+    options.network_nodes = nodes;
+    options.monitor_window = 30 * duration::kSecond;
+    StreamLoader loader(options);
+    auto builder = loader.NewDataflow("e2e");
+    for (size_t i = 0; i < sensors; ++i) {
+      sensors::PhysicalConfig config;
+      config.id = StrFormat("temp_%03zu", i);
+      config.period = duration::kSecond;
+      config.temporal_granularity = duration::kSecond;
+      config.node_id = StrFormat("node_%zu", i % nodes);
+      config.seed = i + 1;
+      if (!loader.AddSensor(sensors::MakeTemperatureSensor(config)).ok()) {
+        state.SkipWithError("AddSensor failed");
+        return;
+      }
+      std::string src = StrFormat("src_%03zu", i);
+      std::string op = StrFormat("tag_%03zu", i);
+      builder.AddSource(src, config.id)
+          .AddVirtualProperty(op, src, "hour", "hour_of($ts)")
+          .AddSink(StrFormat("out_%03zu", i), op, SinkKind::kWarehouse,
+                   "readings");
+    }
+    auto df = builder.Build();
+    if (!df.ok()) {
+      state.SkipWithError("Build failed");
+      return;
+    }
+    auto id = loader.Deploy(*df);
+    if (!id.ok()) {
+      state.SkipWithError("Deploy failed");
+      return;
+    }
+    state.ResumeTiming();
+
+    loader.RunFor(sim_time);
+
+    state.PauseTiming();
+    total_delivered += (*loader.executor().stats(*id))->tuples_delivered;
+    total_bytes += loader.network().total_bytes_sent();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_delivered));
+  state.counters["nodes"] = benchmark::Counter(static_cast<double>(nodes));
+  state.counters["sensors"] = benchmark::Counter(static_cast<double>(sensors));
+  state.counters["net_bytes_per_run"] = benchmark::Counter(
+      static_cast<double>(total_bytes) /
+      static_cast<double>(state.iterations()));
+  // Virtual-time speedup: stream seconds simulated per wall second.
+  state.counters["sim_speedup"] = benchmark::Counter(
+      static_cast<double>(sim_time) / 1000.0 *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEnd)
+    ->Args({4, 8})
+    ->Args({4, 64})
+    ->Args({16, 64})
+    ->Args({16, 256})
+    ->Args({64, 256})
+    ->Unit(benchmark::kMillisecond);
+
+/// Per-tuple wall cost of a 3-operator pipeline, plus the *virtual*
+/// network delay along the deployed path (the monitorable "freshness"
+/// of loaded data), derived from the actual operator placement.
+void BM_PipelinePerTupleCost(benchmark::State& state) {
+  StreamLoaderOptions options;
+  options.network_nodes = 8;
+  StreamLoader loader(options);
+  sensors::PhysicalConfig config;
+  config.id = "t1";
+  config.period = duration::kSecond;
+  config.temporal_granularity = duration::kSecond;
+  config.node_id = "node_0";
+  if (!loader.AddSensor(sensors::MakeTemperatureSensor(config)).ok()) {
+    state.SkipWithError("AddSensor failed");
+    return;
+  }
+  auto df = loader.NewDataflow("lat")
+                .AddSource("src", "t1")
+                .AddFilter("f", "src", "temp > -100")
+                .AddVirtualProperty("v", "f", "h", "hour_of($ts)")
+                .AddCullTime("c", "v", 0, 4102444800000LL, 0.0)  // until 2100
+                .AddSink("out", "c", SinkKind::kCollect)
+                .Build();
+  if (!df.ok()) {
+    state.SkipWithError(("build failed: " + df.status().ToString()).c_str());
+    return;
+  }
+  auto deployed = loader.Deploy(*df);
+  if (!deployed.ok()) {
+    state.SkipWithError(
+        ("deploy failed: " + deployed.status().ToString()).c_str());
+    return;
+  }
+  exec::DeploymentId id = *deployed;
+  uint64_t before = (*loader.executor().stats(id))->tuples_delivered;
+  for (auto _ : state) {
+    loader.RunFor(duration::kMinute);
+  }
+  uint64_t delivered =
+      (*loader.executor().stats(id))->tuples_delivered - before;
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+
+  // Virtual path delay: sensor node -> f -> v -> c -> out, ~60 B/tuple.
+  Duration path_delay = 0;
+  std::string prev = "node_0";
+  for (const char* hop : {"f", "v", "c", "out"}) {
+    std::string node = *loader.executor().AssignedNode(id, hop);
+    auto d = loader.network().TransferDelay(prev, node, 60);
+    if (d.ok()) path_delay += *d;
+    prev = node;
+  }
+  state.counters["virtual_path_delay_ms"] =
+      benchmark::Counter(static_cast<double>(path_delay));
+}
+BENCHMARK(BM_PipelinePerTupleCost)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sl
+
+BENCHMARK_MAIN();

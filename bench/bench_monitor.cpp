@@ -1,0 +1,130 @@
+// E4 (Figure 3): the monitor itself — cost of producing the statistics
+// view (tuples/sec per operation, node loads, busiest node) and the
+// overhead monitoring adds to a running dataflow at different windows.
+//
+// Expected shape: monitoring overhead is small (a few percent at a 1 s
+// window) and shrinks as the monitoring window grows; rendering one
+// report is microseconds.
+
+#include <benchmark/benchmark.h>
+
+#include "core/streamloader.h"
+#include "sensors/generators.h"
+#include "util/strings.h"
+
+namespace sl {
+namespace {
+
+using dataflow::SinkKind;
+
+/// Wall time to simulate one stream-minute with a given monitor window
+/// (0 disables monitoring) — the delta across windows is the overhead.
+void BM_MonitoringOverhead(benchmark::State& state) {
+  Duration window = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    StreamLoaderOptions options;
+    options.network_nodes = 8;
+    options.monitor_window =
+        window > 0 ? window : 365LL * duration::kDay;  // effectively off
+    StreamLoader loader(options);
+    for (size_t i = 0; i < 16; ++i) {
+      sensors::PhysicalConfig config;
+      config.id = StrFormat("t_%02zu", i);
+      config.period = duration::kSecond;
+      config.temporal_granularity = duration::kSecond;
+      config.node_id = StrFormat("node_%zu", i % 8);
+      config.seed = i + 1;
+      if (!loader.AddSensor(sensors::MakeTemperatureSensor(config)).ok()) {
+        state.SkipWithError("AddSensor failed");
+        return;
+      }
+    }
+    auto builder = loader.NewDataflow("mon");
+    for (size_t i = 0; i < 16; ++i) {
+      std::string src = StrFormat("s_%02zu", i);
+      std::string f = StrFormat("f_%02zu", i);
+      builder.AddSource(src, StrFormat("t_%02zu", i))
+          .AddFilter(f, src, "temp > -100")
+          .AddSink(StrFormat("o_%02zu", i), f, SinkKind::kCollect);
+    }
+    auto id = loader.Deploy(*builder.Build());
+    if (!id.ok()) {
+      state.SkipWithError("Deploy failed");
+      return;
+    }
+    state.ResumeTiming();
+    loader.RunFor(duration::kMinute);
+  }
+  state.counters["window_ms"] =
+      benchmark::Counter(static_cast<double>(window));
+}
+BENCHMARK(BM_MonitoringOverhead)
+    ->Arg(0)                      // monitoring effectively disabled
+    ->Arg(duration::kSecond)      // aggressive 1 s window
+    ->Arg(10 * duration::kSecond)
+    ->Arg(duration::kMinute)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cost of taking one sample (the periodic tick body).
+void BM_MonitorSample(benchmark::State& state) {
+  net::EventLoop loop;
+  net::Network net(&loop);
+  size_t nodes = static_cast<size_t>(state.range(0));
+  if (!net::BuildRingTopology(&net, nodes, 10000, 1, 1e5).ok()) {
+    state.SkipWithError("topology failed");
+    return;
+  }
+  monitor::Monitor monitor(&loop, &net);
+  monitor.set_operator_sampler([](Duration) {
+    std::vector<monitor::OperatorSample> samples(32);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      samples[i].dataflow = "df";
+      samples[i].op_name = "op";
+      samples[i].node_id = "node_0";
+      samples[i].in_per_sec = 100;
+    }
+    return samples;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.Sample());
+  }
+  state.counters["nodes"] = benchmark::Counter(static_cast<double>(nodes));
+}
+BENCHMARK(BM_MonitorSample)->Arg(4)->Arg(16)->Arg(64);
+
+/// Rendering the Figure 3 view (text + JSON) from one report.
+void BM_ReportRendering(benchmark::State& state) {
+  monitor::MonitorReport report;
+  report.at = 1458000000000;
+  report.window = 10000;
+  for (int i = 0; i < 32; ++i) {
+    monitor::OperatorSample op;
+    op.dataflow = "osaka";
+    op.op_name = StrFormat("op_%02d", i);
+    op.node_id = StrFormat("node_%d", i % 8);
+    op.in_per_sec = 123.4;
+    op.out_per_sec = 120.1;
+    op.cache_size = 42;
+    report.operators.push_back(op);
+  }
+  for (int i = 0; i < 8; ++i) {
+    report.nodes.push_back({StrFormat("node_%d", i), 0.5, 5000.0, 4});
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = report.ToString();
+    std::string json = report.ToJson();
+    bytes = text.size() + json.size();
+    benchmark::DoNotOptimize(text);
+    benchmark::DoNotOptimize(json);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ReportRendering);
+
+}  // namespace
+}  // namespace sl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,216 @@
+// E1 (Table 1): per-operator semantics cost — tuples/second through each
+// of the nine stream-processing operations, with parameter sweeps for
+// selectivity and blocking interval.
+//
+// Expected shape: non-blocking operations (filter, cull, transform,
+// virtual property) sustain higher per-tuple rates than blocking ones
+// (aggregation, join, trigger), whose Flush amortizes over the cache.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "dataflow/op_spec.h"
+#include "ops/operator.h"
+#include "util/strings.h"
+
+namespace sl {
+namespace {
+
+using bench::MakeRainTuples;
+using bench::MakeTempTuples;
+using bench::RainSchema;
+using bench::TempSchema;
+using dataflow::AggFunc;
+using dataflow::OpKind;
+
+class NullActivation : public ops::ActivationHandler {
+ public:
+  void ActivateSensors(const std::vector<std::string>&, Timestamp) override {}
+  void DeactivateSensors(const std::vector<std::string>&, Timestamp) override {
+  }
+};
+
+std::unique_ptr<ops::Operator> Build(OpKind op, dataflow::OpSpec spec,
+                                     std::vector<stt::SchemaPtr> inputs,
+                                     std::vector<std::string> names) {
+  static NullActivation activation;
+  ops::OperatorOptions options;
+  options.activation = &activation;
+  auto result =
+      ops::MakeOperator("bench", op, std::move(spec), inputs, names, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "operator build failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).ValueOrDie();
+}
+
+/// Pushes all tuples through a non-blocking operator once per iteration.
+void RunNonBlocking(benchmark::State& state, OpKind op,
+                    dataflow::OpSpec spec) {
+  auto tuples = MakeTempTuples(4096);
+  auto oper = Build(op, std::move(spec), {TempSchema()}, {"in"});
+  uint64_t sink = 0;
+  oper->set_emit([&sink](const stt::Tuple&) { ++sink; });
+  for (auto _ : state) {
+    for (const auto& t : tuples) {
+      benchmark::DoNotOptimize(oper->Process(0, t));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples.size()));
+  state.counters["selectivity"] = benchmark::Counter(
+      static_cast<double>(oper->stats().tuples_out) /
+      static_cast<double>(oper->stats().tuples_in));
+}
+
+// ---- non-blocking operations (Table 1: applied on each tuple) ----------
+
+void BM_Filter(benchmark::State& state) {
+  // Selectivity sweep via the threshold: temp in [10, 35).
+  double threshold = static_cast<double>(state.range(0));
+  RunNonBlocking(state, OpKind::kFilter,
+                 dataflow::FilterSpec{
+                     StrFormat("temp > %.1f", threshold)});
+}
+BENCHMARK(BM_Filter)->Arg(10)->Arg(22)->Arg(34);
+
+void BM_FilterComplexCondition(benchmark::State& state) {
+  RunNonBlocking(
+      state, OpKind::kFilter,
+      dataflow::FilterSpec{"temp > 15 and temp < 30 and "
+                           "contains(station, 'osa') and $lat > 34.0"});
+}
+BENCHMARK(BM_FilterComplexCondition);
+
+void BM_Transform(benchmark::State& state) {
+  RunNonBlocking(state, OpKind::kTransform,
+                 dataflow::TransformSpec{
+                     "temp", "convert_unit(temp, 'celsius', 'fahrenheit')",
+                     "fahrenheit"});
+}
+BENCHMARK(BM_Transform);
+
+void BM_VirtualProperty(benchmark::State& state) {
+  RunNonBlocking(state, OpKind::kVirtualProperty,
+                 dataflow::VirtualPropertySpec{
+                     "feels", "apparent_temp(temp, 65)", "celsius"});
+}
+BENCHMARK(BM_VirtualProperty);
+
+void BM_CullTime(benchmark::State& state) {
+  dataflow::CullTimeSpec spec;
+  spec.t_begin = 0;
+  spec.t_end = 4096 * duration::kSecond;
+  spec.rate = static_cast<double>(state.range(0)) / 100.0;
+  RunNonBlocking(state, OpKind::kCullTime, spec);
+}
+BENCHMARK(BM_CullTime)->Arg(0)->Arg(50)->Arg(90);
+
+void BM_CullSpace(benchmark::State& state) {
+  dataflow::CullSpaceSpec spec;
+  spec.corner1 = {34.6, 135.4};
+  spec.corner2 = {34.8, 135.6};
+  spec.rate = static_cast<double>(state.range(0)) / 100.0;
+  RunNonBlocking(state, OpKind::kCullSpace, spec);
+}
+BENCHMARK(BM_CullSpace)->Arg(0)->Arg(50)->Arg(90);
+
+// ---- blocking operations (Table 1: cache processed every t) -------------
+
+void BM_Aggregation(benchmark::State& state) {
+  // Cache size sweep: cost of one flush over N cached tuples.
+  size_t cache = static_cast<size_t>(state.range(0));
+  auto tuples = MakeTempTuples(cache);
+  dataflow::AggregationSpec spec;
+  spec.interval = duration::kHour;
+  spec.func = AggFunc::kAvg;
+  spec.attributes = {"temp"};
+  auto oper = Build(OpKind::kAggregation, spec, {TempSchema()}, {"in"});
+  uint64_t sink = 0;
+  oper->set_emit([&sink](const stt::Tuple&) { ++sink; });
+  for (auto _ : state) {
+    for (const auto& t : tuples) {
+      benchmark::DoNotOptimize(oper->Process(0, t));
+    }
+    benchmark::DoNotOptimize(oper->Flush(duration::kHour));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cache));
+}
+BENCHMARK(BM_Aggregation)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_AggregationGrouped(benchmark::State& state) {
+  size_t cache = 4096;
+  auto tuples = MakeTempTuples(cache);
+  dataflow::AggregationSpec spec;
+  spec.interval = duration::kHour;
+  spec.func = AggFunc::kAvg;
+  spec.attributes = {"temp"};
+  spec.group_by = {"station"};
+  auto oper = Build(OpKind::kAggregation, spec, {TempSchema()}, {"in"});
+  oper->set_emit([](const stt::Tuple&) {});
+  for (auto _ : state) {
+    for (const auto& t : tuples) {
+      benchmark::DoNotOptimize(oper->Process(0, t));
+    }
+    benchmark::DoNotOptimize(oper->Flush(duration::kHour));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cache));
+}
+BENCHMARK(BM_AggregationGrouped);
+
+void BM_Join(benchmark::State& state) {
+  // Cache size per side: flush cost is the nested-loop product.
+  size_t per_side = static_cast<size_t>(state.range(0));
+  auto left = MakeTempTuples(per_side);
+  auto right = MakeRainTuples(per_side);
+  dataflow::JoinSpec spec;
+  spec.interval = duration::kHour;
+  spec.predicate = "temp > 25 and rain > 10";
+  auto oper = Build(OpKind::kJoin, spec, {TempSchema(), RainSchema()},
+                    {"l", "r"});
+  uint64_t sink = 0;
+  oper->set_emit([&sink](const stt::Tuple&) { ++sink; });
+  for (auto _ : state) {
+    for (const auto& t : left) {
+      benchmark::DoNotOptimize(oper->Process(0, t));
+    }
+    for (const auto& t : right) {
+      benchmark::DoNotOptimize(oper->Process(1, t));
+    }
+    benchmark::DoNotOptimize(oper->Flush(duration::kHour));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(per_side * per_side));
+  state.counters["pairs_per_flush"] =
+      benchmark::Counter(static_cast<double>(per_side * per_side));
+}
+BENCHMARK(BM_Join)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TriggerOn(benchmark::State& state) {
+  size_t cache = static_cast<size_t>(state.range(0));
+  auto tuples = MakeTempTuples(cache);
+  dataflow::TriggerSpec spec;
+  spec.interval = duration::kHour;
+  spec.condition = "temp > 34.9";  // rarely true: scans the whole cache
+  spec.target_sensors = {"rain_01"};
+  auto oper = Build(OpKind::kTriggerOn, spec, {TempSchema()}, {"in"});
+  oper->set_emit([](const stt::Tuple&) {});
+  for (auto _ : state) {
+    for (const auto& t : tuples) {
+      benchmark::DoNotOptimize(oper->Process(0, t));
+    }
+    benchmark::DoNotOptimize(oper->Flush(duration::kHour));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cache));
+}
+BENCHMARK(BM_TriggerOn)->Arg(64)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace sl
+
+BENCHMARK_MAIN();

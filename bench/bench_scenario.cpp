@@ -1,0 +1,156 @@
+// E5 (§3 scenario / demo P2): the Osaka hot-hour scenario — hourly
+// temperature aggregation triggering acquisition of rain, tweet and
+// traffic streams; joined alerts loaded into the Event Data Warehouse.
+// Sweeps the trigger threshold to show the reactive behaviour.
+//
+// Expected shape: lower thresholds fire earlier and more often, so more
+// reactive-stream data is acquired and loaded; with a threshold above
+// the day's peak the reactive streams never start. The trigger's
+// reaction latency is bounded by its check interval (1 virtual hour).
+
+#include <benchmark/benchmark.h>
+
+#include "core/streamloader.h"
+#include "sensors/osaka.h"
+#include "util/strings.h"
+
+namespace sl {
+namespace {
+
+using dataflow::AggFunc;
+using dataflow::SinkKind;
+
+void BM_OsakaScenario(benchmark::State& state) {
+  double threshold = static_cast<double>(state.range(0));
+  uint64_t fires = 0, activations = 0, alerts = 0, hourly_rows = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StreamLoaderOptions options;
+    options.network_nodes = 6;
+    options.monitor_window = 10 * duration::kMinute;
+    options.start_time = 1458000000000 + 8 * duration::kHour;
+    StreamLoader loader(options);
+    sensors::OsakaFleetOptions fleet_options;
+    fleet_options.node_ids = {"node_0", "node_1", "node_2",
+                              "node_3", "node_4", "node_5"};
+    auto manifest = sensors::BuildOsakaFleet(&loader.fleet(), fleet_options);
+    if (!manifest.ok()) {
+      state.SkipWithError("fleet failed");
+      return;
+    }
+    auto df =
+        loader.NewDataflow("osaka")
+            .AddSource("t", manifest->temperature[0])
+            .AddAggregation("hourly", "t", duration::kHour, AggFunc::kAvg,
+                            {"temp"})
+            .AddTriggerOn("hot", "hourly", duration::kHour,
+                          StrFormat("avg_temp > %.1f", threshold),
+                          manifest->reactive())
+            .AddSink("track", "hot", SinkKind::kWarehouse, "hourly_temp")
+            .AddSource("rain", manifest->rain[0])
+            .AddFilter("torr", "rain", "rain > 10")
+            .AddSource("traffic", manifest->traffic[0])
+            .AddFilter("slow", "traffic", "speed < 30")
+            .AddJoin("alert", "torr", "slow", 10 * duration::kMinute, "true")
+            .AddSink("alerts", "alert", SinkKind::kWarehouse, "alerts")
+            .Build();
+    if (!df.ok()) {
+      state.SkipWithError("build failed");
+      return;
+    }
+    auto id = loader.Deploy(*df);
+    if (!id.ok()) {
+      state.SkipWithError("deploy failed");
+      return;
+    }
+    state.ResumeTiming();
+
+    loader.RunFor(12 * duration::kHour);  // one diurnal arc
+
+    state.PauseTiming();
+    fires += (*loader.executor().OperatorStatsOf(*id, "hot")).trigger_fires;
+    activations += (*loader.executor().stats(*id))->activations;
+    alerts += loader.warehouse().DatasetSize("alerts");
+    hourly_rows += loader.warehouse().DatasetSize("hourly_temp");
+    state.ResumeTiming();
+  }
+  double runs = static_cast<double>(state.iterations());
+  state.counters["threshold_c"] = benchmark::Counter(threshold);
+  state.counters["trigger_fires"] =
+      benchmark::Counter(static_cast<double>(fires) / runs);
+  state.counters["activations"] =
+      benchmark::Counter(static_cast<double>(activations) / runs);
+  state.counters["alert_events"] =
+      benchmark::Counter(static_cast<double>(alerts) / runs);
+  state.counters["hourly_rows"] =
+      benchmark::Counter(static_cast<double>(hourly_rows) / runs);
+}
+BENCHMARK(BM_OsakaScenario)
+    ->Arg(20)
+    ->Arg(25)   // the paper's threshold
+    ->Arg(28)
+    ->Arg(40)   // above the peak: never fires
+    ->Unit(benchmark::kMillisecond);
+
+/// Trigger reaction latency: virtual time from the first hot hourly
+/// mean to the activation of the reactive streams, as a function of the
+/// trigger's check interval t (Table 1's blocking parameter).
+void BM_TriggerReactionLatency(benchmark::State& state) {
+  Duration interval = state.range(0);
+  Duration total_latency = 0;
+  uint64_t measured = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StreamLoaderOptions options;
+    options.network_nodes = 4;
+    options.start_time = 1458000000000 + 11 * duration::kHour;  // near peak
+    StreamLoader loader(options);
+    sensors::OsakaFleetOptions fleet_options;
+    fleet_options.node_ids = {"node_0", "node_1", "node_2", "node_3"};
+    auto manifest = sensors::BuildOsakaFleet(&loader.fleet(), fleet_options);
+    auto df = loader.NewDataflow("react")
+                  .AddSource("t", manifest->temperature[0])
+                  .AddTriggerOn("hot", "t", interval, "temp > 25",
+                                {manifest->rain[0]})
+                  .AddSink("out", "hot", SinkKind::kCollect)
+                  .Build();
+    auto id = loader.Deploy(*df);
+    if (!id.ok()) {
+      state.SkipWithError("deploy failed");
+      return;
+    }
+    Timestamp start = loader.Now();
+    state.ResumeTiming();
+
+    // Run until the rain stream starts (or give up after 6 hours).
+    Duration waited = 0;
+    while (!(*loader.fleet().Find(manifest->rain[0]))->running() &&
+           waited < 6 * duration::kHour) {
+      loader.RunFor(duration::kMinute);
+      waited += duration::kMinute;
+    }
+
+    state.PauseTiming();
+    if ((*loader.fleet().Find(manifest->rain[0]))->running()) {
+      total_latency += loader.Now() - start;
+      ++measured;
+    }
+    state.ResumeTiming();
+  }
+  state.counters["check_interval_ms"] =
+      benchmark::Counter(static_cast<double>(interval));
+  state.counters["reaction_virtual_ms"] = benchmark::Counter(
+      measured > 0 ? static_cast<double>(total_latency) /
+                         static_cast<double>(measured)
+                   : -1.0);
+}
+BENCHMARK(BM_TriggerReactionLatency)
+    ->Arg(duration::kMinute)
+    ->Arg(10 * duration::kMinute)
+    ->Arg(duration::kHour)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sl
+
+BENCHMARK_MAIN();

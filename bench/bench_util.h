@@ -1,0 +1,72 @@
+// Shared helpers for the StreamLoader benchmark harness.
+
+#ifndef STREAMLOADER_BENCH_BENCH_UTIL_H_
+#define STREAMLOADER_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "stt/schema.h"
+#include "stt/tuple.h"
+#include "util/rng.h"
+
+namespace sl::bench {
+
+/// {temp: double[celsius], station: string} @1s/point.
+inline stt::SchemaPtr TempSchema() {
+  auto tgran = stt::TemporalGranularity::Second();
+  auto theme = stt::Theme::Parse("weather/temperature");
+  return *stt::Schema::Make(
+      {{"temp", stt::ValueType::kDouble, "celsius", false},
+       {"station", stt::ValueType::kString, "", true}},
+      tgran, stt::SpatialGranularity::Point(), *theme);
+}
+
+/// {rain: double[mm/h]} @1s/point.
+inline stt::SchemaPtr RainSchema() {
+  auto tgran = stt::TemporalGranularity::Second();
+  auto theme = stt::Theme::Parse("weather/rain");
+  return *stt::Schema::Make(
+      {{"rain", stt::ValueType::kDouble, "mm/h", false}}, tgran,
+      stt::SpatialGranularity::Point(), *theme);
+}
+
+/// A batch of `n` synthetic temperature tuples, 1 per second, uniform
+/// temp in [10, 35), locations jittered around Osaka.
+inline std::vector<stt::Tuple> MakeTempTuples(size_t n, uint64_t seed = 7) {
+  Rng rng(seed);
+  auto schema = TempSchema();
+  std::vector<stt::Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(stt::Tuple::MakeUnsafe(
+        schema,
+        {stt::Value::Double(rng.NextDouble(10, 35)),
+         stt::Value::String("osaka")},
+        static_cast<Timestamp>(i) * duration::kSecond,
+        stt::GeoPoint{34.6 + rng.NextDouble(0, 0.2),
+                      135.4 + rng.NextDouble(0, 0.2)},
+        "bench_sensor"));
+  }
+  return out;
+}
+
+inline std::vector<stt::Tuple> MakeRainTuples(size_t n, uint64_t seed = 8) {
+  Rng rng(seed);
+  auto schema = RainSchema();
+  std::vector<stt::Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double mmh = rng.NextBool(0.2) ? rng.NextDouble(0, 40) : 0.0;
+    out.push_back(stt::Tuple::MakeUnsafe(
+        schema, {stt::Value::Double(mmh)},
+        static_cast<Timestamp>(i) * duration::kSecond,
+        stt::GeoPoint{34.6, 135.5}, "bench_rain"));
+  }
+  return out;
+}
+
+}  // namespace sl::bench
+
+#endif  // STREAMLOADER_BENCH_BENCH_UTIL_H_

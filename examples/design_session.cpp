@@ -1,0 +1,144 @@
+// StreamLoader: demo part P1 as a program — an interactive design
+// session: discover and organize sensors, design a dataflow step by
+// step, check intermediate results on samples, render the canvas with
+// schemas, inspect the DSN translation and the SCN actuation script,
+// then watch the live canvas.
+//
+//   ./build/examples/design_session
+
+#include <cstdio>
+
+#include "core/streamloader.h"
+#include "dataflow/render.h"
+#include "sensors/osaka.h"
+#include "sensors/recording.h"
+
+using namespace sl;
+
+int main() {
+  StreamLoaderOptions options;
+  options.network_nodes = 4;
+  options.monitor_window = duration::kMinute;
+  StreamLoader loader(options);
+
+  // -- discovery ----------------------------------------------------------
+  sensors::OsakaFleetOptions fleet_options;
+  fleet_options.node_ids = {"node_0", "node_1", "node_2", "node_3"};
+  fleet_options.reactive_sensors_start_active = true;  // all streams live
+  auto manifest = sensors::BuildOsakaFleet(&loader.fleet(), fleet_options);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "fleet: %s\n", manifest.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== P1.a: organize the catalog (different criteria) ==\n");
+  for (auto criterion : {pubsub::GroupCriterion::kTheme,
+                         pubsub::GroupCriterion::kNode,
+                         pubsub::GroupCriterion::kPeriod}) {
+    for (const auto& [group, ids] : loader.broker().GroupBy(criterion)) {
+      std::printf("  %-24s %zu sensor(s)\n", group.c_str(), ids.size());
+    }
+    std::printf("  --\n");
+  }
+
+  std::printf("\n== P1.b: discover sources for the task at hand ==\n");
+  pubsub::DiscoveryQuery query;
+  query.theme = *stt::Theme::Parse("weather");
+  query.area = stt::BBox{{34.5, 135.3}, {34.8, 135.7}};
+  query.max_period = duration::kMinute;
+  std::printf("%s\n", query.ToString().c_str());
+  for (const auto& info : loader.broker().Discover(query)) {
+    std::printf("  %s\n", info.ToString().c_str());
+  }
+
+  // -- design -------------------------------------------------------------
+  std::printf("\n== P1.c: draw the dataflow ==\n");
+  auto dataflow =
+      loader.NewDataflow("design_session")
+          .AddSource("t", manifest->temperature[0])
+          .AddSource("h", manifest->humidity[0])
+          .AddJoin("th", "t", "h", duration::kMinute, "true")
+          .AddVirtualProperty("feels", "th", "apparent",
+                              "apparent_temp(temp, humidity)", "celsius")
+          .AddFilter("muggy", "feels", "apparent > temp + 1")
+          .AddSink("store", "muggy", dataflow::SinkKind::kWarehouse,
+                   "muggy_minutes")
+          .Build();
+  if (!dataflow.ok()) {
+    std::fprintf(stderr, "build: %s\n", dataflow.status().ToString().c_str());
+    return 1;
+  }
+  auto report = loader.Validate(*dataflow);
+  std::printf("%s", report->ToString().c_str());
+  std::printf("\n%s\n", dataflow::RenderCanvas(*dataflow,
+                                               &report->schemas).c_str());
+
+  // -- sample-based debugging (step-by-step results) ------------------------
+  std::printf("== P1.d: check results on samples ==\n");
+  auto t_schema = (*loader.broker().Find(manifest->temperature[0])).schema;
+  auto h_schema = (*loader.broker().Find(manifest->humidity[0])).schema;
+  std::map<std::string, std::vector<stt::Tuple>> samples;
+  Timestamp base = loader.Now();
+  samples["t"] = {
+      *stt::Tuple::Make(t_schema, {stt::Value::Double(31.0)}, base,
+                        stt::GeoPoint{34.62, 135.42}, "sample_t"),
+      *stt::Tuple::Make(t_schema, {stt::Value::Double(18.0)},
+                        base + duration::kMinute,
+                        stt::GeoPoint{34.62, 135.42}, "sample_t"),
+  };
+  samples["h"] = {
+      *stt::Tuple::Make(h_schema, {stt::Value::Double(85.0)}, base,
+                        stt::GeoPoint{34.66, 135.50}, "sample_h"),
+  };
+  auto debug = loader.DebugRun(*dataflow, samples);
+  if (!debug.ok()) {
+    std::fprintf(stderr, "debug: %s\n", debug.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", debug->ToString(*dataflow).c_str());
+
+  // -- record & replay ------------------------------------------------------
+  std::printf("== P1.e: record a sample stream, replay it as a sensor ==\n");
+  auto csv = sensors::WriteRecordingCsv(samples["t"]);
+  std::printf("%s", csv->c_str());
+  pubsub::SensorInfo replay_info = *loader.broker().Find(
+      manifest->temperature[0]);
+  replay_info.id = "replayed_temp";
+  replay_info.period = 30 * duration::kSecond;
+  auto replay = sensors::MakeReplaySensorFromCsv(replay_info, *csv);
+  if (replay.ok()) {
+    Status s = loader.AddSensor(std::move(replay).ValueOrDie());
+    std::printf("replay sensor published: %s\n", s.ToString().c_str());
+  }
+
+  // -- deploy and go live ----------------------------------------------------
+  std::printf("\n== P2: translate, actuate, monitor ==\n");
+  auto id = loader.Deploy(*dataflow);
+  if (!id.ok()) {
+    std::fprintf(stderr, "deploy: %s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  loader.RunFor(5 * duration::kMinute);
+
+  std::printf("-- SCN actuation script --\n");
+  for (const auto& cmd : loader.executor().scn_log().ForDeployment(*id)) {
+    std::printf("  %s\n", cmd.ToString().c_str());
+  }
+
+  std::printf("\n-- live canvas --\n");
+  auto annotations = loader.executor().LiveAnnotations(*id);
+  std::printf("%s", dataflow::RenderLiveCanvas(*dataflow,
+                                               *annotations).c_str());
+
+  std::printf("\n-- warehouse analytics --\n");
+  auto buckets = loader.warehouse().QueryAggregate(
+      "muggy_minutes", {}, "apparent", duration::kMinute);
+  if (buckets.ok()) {
+    for (const auto& row : *buckets) {
+      std::printf("  %s  n=%lld  avg=%.2f  max=%.2f\n",
+                  FormatTimestamp(row.bucket_start).c_str(),
+                  static_cast<long long>(row.count), row.avg, row.max);
+    }
+  }
+  return 0;
+}

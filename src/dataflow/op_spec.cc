@@ -1,0 +1,156 @@
+#include "dataflow/op_spec.h"
+
+#include "util/strings.h"
+
+namespace sl::dataflow {
+
+const char* OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAggregation: return "AGGREGATION";
+    case OpKind::kCullTime: return "CULL_TIME";
+    case OpKind::kCullSpace: return "CULL_SPACE";
+    case OpKind::kFilter: return "FILTER";
+    case OpKind::kJoin: return "JOIN";
+    case OpKind::kTransform: return "TRANSFORM";
+    case OpKind::kTriggerOn: return "TRIGGER_ON";
+    case OpKind::kTriggerOff: return "TRIGGER_OFF";
+    case OpKind::kVirtualProperty: return "VIRTUAL_PROPERTY";
+  }
+  return "?";
+}
+
+Result<OpKind> OpKindFromString(const std::string& name) {
+  std::string n = ToUpper(name);
+  if (n == "AGGREGATION" || n == "AGG") return OpKind::kAggregation;
+  if (n == "CULL_TIME") return OpKind::kCullTime;
+  if (n == "CULL_SPACE") return OpKind::kCullSpace;
+  if (n == "FILTER") return OpKind::kFilter;
+  if (n == "JOIN") return OpKind::kJoin;
+  if (n == "TRANSFORM") return OpKind::kTransform;
+  if (n == "TRIGGER_ON") return OpKind::kTriggerOn;
+  if (n == "TRIGGER_OFF") return OpKind::kTriggerOff;
+  if (n == "VIRTUAL_PROPERTY" || n == "VPROP") return OpKind::kVirtualProperty;
+  return Status::ParseError("unknown operation kind '" + name + "'");
+}
+
+bool IsBlocking(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAggregation:
+    case OpKind::kJoin:
+    case OpKind::kTriggerOn:
+    case OpKind::kTriggerOff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+Result<AggFunc> AggFuncFromString(const std::string& name) {
+  std::string n = ToUpper(name);
+  if (n == "COUNT") return AggFunc::kCount;
+  if (n == "AVG" || n == "MEAN") return AggFunc::kAvg;
+  if (n == "SUM") return AggFunc::kSum;
+  if (n == "MIN") return AggFunc::kMin;
+  if (n == "MAX") return AggFunc::kMax;
+  return Status::ParseError("unknown aggregation function '" + name + "'");
+}
+
+OpKind SpecKind(const OpSpec& spec, bool trigger_on) {
+  switch (spec.index()) {
+    case 0: return OpKind::kAggregation;
+    case 1: return OpKind::kCullTime;
+    case 2: return OpKind::kCullSpace;
+    case 3: return OpKind::kFilter;
+    case 4: return OpKind::kJoin;
+    case 5: return OpKind::kTransform;
+    case 6: return trigger_on ? OpKind::kTriggerOn : OpKind::kTriggerOff;
+    case 7: return OpKind::kVirtualProperty;
+  }
+  return OpKind::kFilter;
+}
+
+bool SpecMatchesKind(const OpSpec& spec, OpKind kind) {
+  return SpecKind(spec, kind != OpKind::kTriggerOff) == kind;
+}
+
+size_t ExpectedInputs(OpKind kind) {
+  return kind == OpKind::kJoin ? 2 : 1;
+}
+
+std::string SpecToString(OpKind kind, const OpSpec& spec) {
+  switch (kind) {
+    case OpKind::kAggregation: {
+      const auto& s = std::get<AggregationSpec>(spec);
+      std::string win =
+          s.window > 0 ? "/" + FormatDuration(s.window) : std::string();
+      return StrFormat("@_{%s%s,{%s}}^%s", FormatDuration(s.interval).c_str(),
+                       win.c_str(), Join(s.attributes, ",").c_str(),
+                       AggFuncToString(s.func));
+    }
+    case OpKind::kCullTime: {
+      const auto& s = std::get<CullTimeSpec>(spec);
+      return StrFormat("gamma_%.2f(<%s, %s>)", s.rate,
+                       FormatTimestamp(s.t_begin).c_str(),
+                       FormatTimestamp(s.t_end).c_str());
+    }
+    case OpKind::kCullSpace: {
+      const auto& s = std::get<CullSpaceSpec>(spec);
+      return StrFormat("gamma_%.2f(<%s, %s>)", s.rate,
+                       s.corner1.ToString().c_str(),
+                       s.corner2.ToString().c_str());
+    }
+    case OpKind::kFilter: {
+      const auto& s = std::get<FilterSpec>(spec);
+      return "sigma(" + s.condition + ")";
+    }
+    case OpKind::kJoin: {
+      const auto& s = std::get<JoinSpec>(spec);
+      std::string win =
+          s.window > 0 ? "/" + FormatDuration(s.window) : std::string();
+      return StrFormat("|><|_{%s}^{%s%s}", s.predicate.c_str(),
+                       FormatDuration(s.interval).c_str(), win.c_str());
+    }
+    case OpKind::kTransform: {
+      const auto& s = std::get<TransformSpec>(spec);
+      return "diamond(" + s.attribute + " := " + s.expression + ")";
+    }
+    case OpKind::kTriggerOn:
+    case OpKind::kTriggerOff: {
+      const auto& s = std::get<TriggerSpec>(spec);
+      std::string win =
+          s.window > 0 ? "/" + FormatDuration(s.window) : std::string();
+      return StrFormat("(+)_{%s,%s%s}({%s}, %s)",
+                       kind == OpKind::kTriggerOn ? "ON" : "OFF",
+                       FormatDuration(s.interval).c_str(), win.c_str(),
+                       Join(s.target_sensors, ",").c_str(),
+                       s.condition.c_str());
+    }
+    case OpKind::kVirtualProperty: {
+      const auto& s = std::get<VirtualPropertySpec>(spec);
+      return "union<" + s.property + ", " + s.specification + ">";
+    }
+  }
+  return "?";
+}
+
+Duration SpecInterval(const OpSpec& spec) {
+  switch (spec.index()) {
+    case 0: return std::get<AggregationSpec>(spec).interval;
+    case 4: return std::get<JoinSpec>(spec).interval;
+    case 6: return std::get<TriggerSpec>(spec).interval;
+    default: return 0;
+  }
+}
+
+}  // namespace sl::dataflow

@@ -1,0 +1,48 @@
+// StreamLoader: textual rendering of the dataflow canvas.
+//
+// The web environment draws the conceptual dataflow on a canvas
+// (Figure 2) and, at use time, annotates it "with information coming
+// from the SCN about the execution" so that "the dataflow becomes live
+// and the domain expert can monitor its execution" (§3). These renderers
+// are the text-mode equivalent: a static canvas view of the DAG, and a
+// live view merging the monitor's per-operation statistics into it.
+
+#ifndef STREAMLOADER_DATAFLOW_RENDER_H_
+#define STREAMLOADER_DATAFLOW_RENDER_H_
+
+#include <map>
+#include <string>
+
+#include "dataflow/graph.h"
+#include "dataflow/validate.h"
+
+namespace sl::dataflow {
+
+/// \brief Live annotation for one node of the canvas.
+struct NodeAnnotation {
+  std::string node_id;       ///< network node executing the operation
+  double in_per_sec = -1;    ///< < 0 = unknown
+  double out_per_sec = -1;
+  size_t cache_size = 0;
+  uint64_t trigger_fires = 0;
+};
+
+/// \brief Renders the dataflow as an indented tree, sources at the root,
+/// one line per node with its operation in the paper's notation. Nodes
+/// with multiple consumers appear once per consumer, marked with '^' on
+/// repeats. When `schemas` is non-null (from a ValidationReport), each
+/// line shows the node's derived output schema — the panel "placed at
+/// the bottom of the canvas".
+std::string RenderCanvas(
+    const Dataflow& dataflow,
+    const std::map<std::string, stt::SchemaPtr>* schemas = nullptr);
+
+/// \brief Renders the live canvas: the same tree with per-node execution
+/// annotations (assigned node, tuples/sec, cache, trigger fires).
+std::string RenderLiveCanvas(
+    const Dataflow& dataflow,
+    const std::map<std::string, NodeAnnotation>& annotations);
+
+}  // namespace sl::dataflow
+
+#endif  // STREAMLOADER_DATAFLOW_RENDER_H_

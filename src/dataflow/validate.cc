@@ -1,0 +1,371 @@
+#include "dataflow/validate.h"
+
+#include <algorithm>
+
+#include "expr/eval.h"
+#include "expr/parser.h"
+#include "stt/units.h"
+#include "util/strings.h"
+
+namespace sl::dataflow {
+
+using stt::Field;
+using stt::Schema;
+using stt::SchemaPtr;
+using stt::ValueType;
+
+std::string Issue::ToString() const {
+  std::string out =
+      severity == Severity::kError ? "[error] " : "[warning] ";
+  if (!node.empty()) out += node + ": ";
+  out += message;
+  return out;
+}
+
+bool ValidationReport::ok() const { return error_count() == 0; }
+
+size_t ValidationReport::error_count() const {
+  return static_cast<size_t>(
+      std::count_if(issues.begin(), issues.end(), [](const Issue& i) {
+        return i.severity == Issue::Severity::kError;
+      }));
+}
+
+size_t ValidationReport::warning_count() const {
+  return issues.size() - error_count();
+}
+
+std::string ValidationReport::ToString() const {
+  if (issues.empty()) return "validation: OK";
+  std::string out = StrFormat("validation: %zu error(s), %zu warning(s)\n",
+                              error_count(), warning_count());
+  for (const auto& issue : issues) {
+    out += "  " + issue.ToString() + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Merges two schemas for a join: collisions are prefixed with the
+/// upstream node name.
+Result<SchemaPtr> MergeForJoin(const SchemaPtr& left, const SchemaPtr& right,
+                               const std::string& left_name,
+                               const std::string& right_name) {
+  // Granularity-consistency constraints (§3): the operands must be
+  // comparable on both dimensions; the result is at the coarser.
+  SL_ASSIGN_OR_RETURN(
+      stt::TemporalGranularity tgran,
+      left->temporal_granularity().JoinWith(right->temporal_granularity()));
+  SL_ASSIGN_OR_RETURN(
+      stt::SpatialGranularity sgran,
+      left->spatial_granularity().JoinWith(right->spatial_granularity()));
+
+  std::vector<Field> fields;
+  for (const auto& f : left->fields()) {
+    Field nf = f;
+    if (right->HasField(f.name)) nf.name = left_name + "_" + f.name;
+    fields.push_back(std::move(nf));
+  }
+  for (const auto& f : right->fields()) {
+    Field nf = f;
+    if (left->HasField(f.name)) nf.name = right_name + "_" + f.name;
+    fields.push_back(std::move(nf));
+  }
+  stt::Theme theme = left->theme().CommonAncestor(right->theme());
+  return Schema::Make(std::move(fields), tgran, sgran, std::move(theme));
+}
+
+}  // namespace
+
+Result<SchemaPtr> Validator::DeriveSchema(
+    OpKind op, const OpSpec& spec, const std::vector<SchemaPtr>& inputs,
+    const std::vector<std::string>& input_names) {
+  if (!SpecMatchesKind(spec, op)) {
+    return Status::InvalidArgument(
+        StrFormat("operation spec does not match kind %s",
+                  OpKindToString(op)));
+  }
+  if (inputs.size() != ExpectedInputs(op)) {
+    return Status::InvalidArgument(
+        StrFormat("%s expects %zu input schemas, got %zu", OpKindToString(op),
+                  ExpectedInputs(op), inputs.size()));
+  }
+  for (const auto& in : inputs) {
+    if (in == nullptr) return Status::InvalidArgument("null input schema");
+  }
+  const SchemaPtr& in = inputs[0];
+  switch (op) {
+    case OpKind::kFilter: {
+      const auto& s = std::get<FilterSpec>(spec);
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr cond,
+                          expr::BoundExpr::Parse(s.condition, in));
+      if (cond.result_type() != ValueType::kBool &&
+          cond.result_type() != ValueType::kNull) {
+        return Status::TypeError(
+            StrFormat("filter condition has type %s, expected bool",
+                      stt::ValueTypeToString(cond.result_type())));
+      }
+      return in;
+    }
+    case OpKind::kCullTime: {
+      return in;  // parameters checked structurally at Build time
+    }
+    case OpKind::kCullSpace: {
+      const auto& s = std::get<CullSpaceSpec>(spec);
+      stt::BBox box = stt::NormalizeBBox(s.corner1, s.corner2);
+      if (!box.IsValid()) {
+        return Status::InvalidArgument("cull-space region is invalid");
+      }
+      return in;
+    }
+    case OpKind::kTransform: {
+      const auto& s = std::get<TransformSpec>(spec);
+      SL_ASSIGN_OR_RETURN(Field field, in->FieldByName(s.attribute));
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr e,
+                          expr::BoundExpr::Parse(s.expression, in));
+      ValueType out_type = e.result_type() == ValueType::kNull
+                               ? field.type
+                               : e.result_type();
+      std::string unit = s.new_unit.empty() ? field.unit : s.new_unit;
+      if (!unit.empty() && !stt::UnitRegistry::Global().Contains(unit)) {
+        return Status::ValidationError("unknown unit '" + unit +
+                                       "' in transform");
+      }
+      return in->WithFieldChanged(s.attribute, out_type, unit);
+    }
+    case OpKind::kVirtualProperty: {
+      const auto& s = std::get<VirtualPropertySpec>(spec);
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr e,
+                          expr::BoundExpr::Parse(s.specification, in));
+      if (e.result_type() == ValueType::kNull) {
+        return Status::TypeError(
+            "virtual property specification always evaluates to null");
+      }
+      if (!s.unit.empty() && !stt::UnitRegistry::Global().Contains(s.unit)) {
+        return Status::ValidationError("unknown unit '" + s.unit +
+                                       "' in virtual property");
+      }
+      Field f;
+      f.name = s.property;
+      f.type = e.result_type();
+      f.unit = s.unit;
+      f.nullable = true;
+      return in->AddField(f);
+    }
+    case OpKind::kAggregation: {
+      const auto& s = std::get<AggregationSpec>(spec);
+      // Interval consistency with the input temporal granularity.
+      Duration period = in->temporal_granularity().period();
+      if (s.interval < period || s.interval % period != 0) {
+        return Status::ValidationError(StrFormat(
+            "aggregation interval %s is not a multiple of the input "
+            "temporal granularity %s",
+            FormatDuration(s.interval).c_str(),
+            in->temporal_granularity().ToString().c_str()));
+      }
+      std::vector<Field> fields;
+      for (const auto& g : s.group_by) {
+        SL_ASSIGN_OR_RETURN(Field f, in->FieldByName(g));
+        fields.push_back(std::move(f));
+      }
+      if (s.func == AggFunc::kCount && s.attributes.empty()) {
+        fields.push_back({"count", ValueType::kInt, "count", false});
+      }
+      for (const auto& a : s.attributes) {
+        SL_ASSIGN_OR_RETURN(Field f, in->FieldByName(a));
+        if (s.func != AggFunc::kCount && !stt::IsNumeric(f.type)) {
+          return Status::TypeError(StrFormat(
+              "cannot %s non-numeric attribute '%s' (%s)",
+              AggFuncToString(s.func), a.c_str(),
+              stt::ValueTypeToString(f.type)));
+        }
+        Field out;
+        out.name = ToLower(AggFuncToString(s.func)) + "_" + a;
+        switch (s.func) {
+          case AggFunc::kCount:
+            out.type = ValueType::kInt;
+            out.unit = "count";
+            break;
+          case AggFunc::kAvg:
+          case AggFunc::kSum:
+            out.type = ValueType::kDouble;
+            out.unit = f.unit;
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax:
+            out.type = f.type;
+            out.unit = f.unit;
+            break;
+        }
+        out.nullable = true;
+        fields.push_back(std::move(out));
+      }
+      SL_ASSIGN_OR_RETURN(stt::TemporalGranularity tgran,
+                          stt::TemporalGranularity::Make(s.interval));
+      return Schema::Make(std::move(fields), tgran,
+                          in->spatial_granularity(), in->theme());
+    }
+    case OpKind::kJoin: {
+      const auto& s = std::get<JoinSpec>(spec);
+      std::string left_name =
+          input_names.size() > 0 ? input_names[0] : "left";
+      std::string right_name =
+          input_names.size() > 1 ? input_names[1] : "right";
+      SL_ASSIGN_OR_RETURN(
+          SchemaPtr merged,
+          MergeForJoin(inputs[0], inputs[1], left_name, right_name));
+      // Interval consistency against the coarser granularity.
+      Duration period = merged->temporal_granularity().period();
+      if (s.interval < period || s.interval % period != 0) {
+        return Status::ValidationError(StrFormat(
+            "join interval %s is not a multiple of the operands' coarser "
+            "temporal granularity %s",
+            FormatDuration(s.interval).c_str(),
+            merged->temporal_granularity().ToString().c_str()));
+      }
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr pred,
+                          expr::BoundExpr::Parse(s.predicate, merged));
+      if (pred.result_type() != ValueType::kBool &&
+          pred.result_type() != ValueType::kNull) {
+        return Status::TypeError(
+            StrFormat("join predicate has type %s, expected bool",
+                      stt::ValueTypeToString(pred.result_type())));
+      }
+      return merged;
+    }
+    case OpKind::kTriggerOn:
+    case OpKind::kTriggerOff: {
+      const auto& s = std::get<TriggerSpec>(spec);
+      Duration period = in->temporal_granularity().period();
+      if (s.interval < period || s.interval % period != 0) {
+        return Status::ValidationError(StrFormat(
+            "trigger interval %s is not a multiple of the input temporal "
+            "granularity %s",
+            FormatDuration(s.interval).c_str(),
+            in->temporal_granularity().ToString().c_str()));
+      }
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr cond,
+                          expr::BoundExpr::Parse(s.condition, in));
+      if (cond.result_type() != ValueType::kBool &&
+          cond.result_type() != ValueType::kNull) {
+        return Status::TypeError(
+            StrFormat("trigger condition has type %s, expected bool",
+                      stt::ValueTypeToString(cond.result_type())));
+      }
+      return in;  // pass-through
+    }
+  }
+  return Status::Internal("unreachable op kind in DeriveSchema");
+}
+
+Result<ValidationReport> Validator::Validate(const Dataflow& dataflow) const {
+  ValidationReport report;
+  auto error = [&report](const std::string& node, const std::string& msg) {
+    report.issues.push_back({Issue::Severity::kError, node, msg});
+  };
+  auto warning = [&report](const std::string& node, const std::string& msg) {
+    report.issues.push_back({Issue::Severity::kWarning, node, msg});
+  };
+
+  if (dataflow.SourceNames().empty()) {
+    error("", "dataflow has no sources");
+  }
+  if (dataflow.SinkNames().empty()) {
+    warning("", "dataflow has no sinks: results will be discarded");
+  }
+
+  for (const auto& name : dataflow.topological_order()) {
+    const Node& node = **dataflow.node(name);
+    switch (node.kind) {
+      case NodeKind::kSource: {
+        if (node.by_query) {
+          // Characteristic-bound source: every matching sensor must
+          // share one schema (the stream type of the source).
+          if (broker_ == nullptr) {
+            error(name, "no sensor registry to resolve the query against");
+            break;
+          }
+          auto matches = broker_->Discover(node.source_query);
+          if (matches.empty()) {
+            error(name, "no published sensor matches " +
+                            node.source_query.ToString());
+            break;
+          }
+          stt::SchemaPtr schema = matches.front().schema;
+          bool consistent = schema != nullptr;
+          for (const auto& info : matches) {
+            if (info.schema == nullptr || !info.schema->Equals(*schema)) {
+              consistent = false;
+              error(name,
+                    "sensors matching the query have differing schemas "
+                    "('" + matches.front().id + "' vs '" + info.id + "')");
+              break;
+            }
+          }
+          if (consistent) report.schemas[name] = schema;
+          break;
+        }
+        if (broker_ == nullptr || !broker_->IsPublished(node.sensor_id)) {
+          error(name, "sensor '" + node.sensor_id + "' is not published");
+          break;
+        }
+        auto info = broker_->Find(node.sensor_id);
+        if (info->schema == nullptr) {
+          error(name, "sensor '" + node.sensor_id + "' has no schema");
+          break;
+        }
+        report.schemas[name] = info->schema;
+        break;
+      }
+      case NodeKind::kOperator: {
+        std::vector<SchemaPtr> inputs;
+        bool inputs_ok = true;
+        for (const auto& in : node.inputs) {
+          auto it = report.schemas.find(in);
+          if (it == report.schemas.end()) {
+            inputs_ok = false;  // upstream already failed; don't cascade
+            break;
+          }
+          inputs.push_back(it->second);
+        }
+        if (!inputs_ok) break;
+        auto derived =
+            DeriveSchema(node.op, node.spec, inputs, node.inputs);
+        if (!derived.ok()) {
+          error(name, derived.status().message());
+          break;
+        }
+        report.schemas[name] = *derived;
+        // Trigger targets should exist (plug-and-play sensors may join
+        // later, so a missing target is a warning, not an error).
+        if (node.op == OpKind::kTriggerOn || node.op == OpKind::kTriggerOff) {
+          const auto& s = std::get<TriggerSpec>(node.spec);
+          for (const auto& target : s.target_sensors) {
+            if (broker_ == nullptr || !broker_->IsPublished(target)) {
+              warning(name, "trigger target sensor '" + target +
+                                "' is not (yet) published");
+            }
+          }
+        }
+        break;
+      }
+      case NodeKind::kSink: {
+        auto it = report.schemas.find(node.inputs[0]);
+        if (it == report.schemas.end()) break;  // upstream failed
+        if (node.sink == SinkKind::kWarehouse &&
+            !IsIdentifier(node.sink_target)) {
+          error(name,
+                "warehouse sink needs a valid dataset name as target, got '" +
+                    node.sink_target + "'");
+          break;
+        }
+        report.schemas[name] = it->second;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sl::dataflow

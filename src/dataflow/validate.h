@@ -1,0 +1,76 @@
+// StreamLoader: semantic validation of conceptual dataflows.
+//
+// "The user interface provides different checks in order to draw only
+// dataflows that can be soundly translated in the DSN/SCN specification"
+// (§3). The Validator performs those checks: it resolves sources against
+// the sensor registry, propagates schemas through every operation,
+// type-checks all conditions/specifications, and enforces the STT
+// granularity-consistency constraints on composition.
+
+#ifndef STREAMLOADER_DATAFLOW_VALIDATE_H_
+#define STREAMLOADER_DATAFLOW_VALIDATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.h"
+#include "pubsub/broker.h"
+#include "stt/schema.h"
+
+namespace sl::dataflow {
+
+/// \brief One finding of the checker.
+struct Issue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string node;     ///< offending node name ("" = whole dataflow)
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// \brief Outcome of validation: the issues found plus, for every node
+/// whose inputs checked out, its derived output schema — exactly what
+/// the design environment displays under the canvas.
+struct ValidationReport {
+  std::vector<Issue> issues;
+  std::map<std::string, stt::SchemaPtr> schemas;
+
+  /// True iff no error-severity issue was found (warnings allowed).
+  bool ok() const;
+
+  size_t error_count() const;
+  size_t warning_count() const;
+
+  /// Multi-line report.
+  std::string ToString() const;
+};
+
+/// \brief The dataflow soundness checker.
+class Validator {
+ public:
+  /// `broker` resolves source sensors and trigger targets; must outlive
+  /// the validator.
+  explicit Validator(const pubsub::Broker* broker) : broker_(broker) {}
+
+  /// Runs all checks. The returned report contains every issue found
+  /// (it does not stop at the first); a Status error is returned only on
+  /// internal failures.
+  Result<ValidationReport> Validate(const Dataflow& dataflow) const;
+
+  /// \brief Derives the output schema of an operation applied to the
+  /// given input schemas (also used by the runtime to build operators).
+  /// `left_name`/`right_name` disambiguate join column collisions.
+  static Result<stt::SchemaPtr> DeriveSchema(
+      OpKind op, const OpSpec& spec,
+      const std::vector<stt::SchemaPtr>& inputs,
+      const std::vector<std::string>& input_names);
+
+ private:
+  const pubsub::Broker* broker_;
+};
+
+}  // namespace sl::dataflow
+
+#endif  // STREAMLOADER_DATAFLOW_VALIDATE_H_

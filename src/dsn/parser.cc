@@ -1,0 +1,222 @@
+#include "dsn/parser.h"
+
+#include "expr/lexer.h"
+#include "stt/granularity.h"
+#include "util/strings.h"
+
+namespace sl::dsn {
+
+using expr::Token;
+using expr::TokenKind;
+
+Result<Duration> ParseDurationText(const std::string& text) {
+  Duration out = 0;
+  if (!ParseDuration(text, &out)) {
+    return Status::ParseError("cannot parse duration '" + text + "'");
+  }
+  return out;
+}
+
+namespace {
+
+class DsnParser {
+ public:
+  explicit DsnParser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Result<DsnSpec> Parse() {
+    DsnSpec spec;
+    SL_RETURN_IF_ERROR(ExpectKeyword("dataflow"));
+    SL_ASSIGN_OR_RETURN(spec.name, ExpectIdent());
+    SL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    while (Peek().kind != TokenKind::kRBrace) {
+      if (IsKeyword("service")) {
+        SL_ASSIGN_OR_RETURN(DsnService service, ParseService());
+        spec.services.push_back(std::move(service));
+      } else if (IsKeyword("flow")) {
+        SL_ASSIGN_OR_RETURN(DsnFlow flow, ParseFlow());
+        spec.flows.push_back(std::move(flow));
+      } else {
+        return Error("expected 'service' or 'flow'");
+      }
+    }
+    SL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after dataflow block");
+    }
+    return spec;
+  }
+
+ private:
+  Result<DsnService> ParseService() {
+    Advance();  // 'service'
+    DsnService service;
+    SL_ASSIGN_OR_RETURN(service.name, ExpectIdent());
+    SL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    std::string left, right;
+    while (Peek().kind != TokenKind::kRBrace) {
+      SL_ASSIGN_OR_RETURN(std::string key, ExpectIdent());
+      SL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+      std::vector<std::string> values;
+      while (true) {
+        SL_ASSIGN_OR_RETURN(std::string v, ExpectValue());
+        values.push_back(std::move(v));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      SL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      std::string joined = Join(values, ", ");
+      if (key == "kind") {
+        service.kind = ToUpper(joined);
+      } else if (key == "input") {
+        for (auto& v : values) service.inputs.push_back(std::move(v));
+      } else if (key == "left") {
+        left = joined;
+      } else if (key == "right") {
+        right = joined;
+      } else {
+        if (service.properties.count(key) > 0) {
+          return Error("duplicate property '" + key + "' in service '" +
+                       service.name + "'");
+        }
+        service.properties.emplace(key, std::move(joined));
+      }
+    }
+    SL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    if (!left.empty() || !right.empty()) {
+      if (left.empty() || right.empty() || !service.inputs.empty()) {
+        return Error("service '" + service.name +
+                     "' must use either input: or both left:/right:");
+      }
+      service.inputs = {left, right};
+    }
+    if (service.kind.empty()) {
+      return Error("service '" + service.name + "' has no kind");
+    }
+    return service;
+  }
+
+  Result<DsnFlow> ParseFlow() {
+    Advance();  // 'flow'
+    DsnFlow flow;
+    SL_ASSIGN_OR_RETURN(flow.from, ExpectIdent());
+    SL_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+    SL_ASSIGN_OR_RETURN(flow.to, ExpectIdent());
+    if (Peek().kind == TokenKind::kLBracket) {
+      Advance();
+      while (Peek().kind != TokenKind::kRBracket) {
+        SL_ASSIGN_OR_RETURN(std::string key, ExpectIdent());
+        SL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+        SL_ASSIGN_OR_RETURN(std::string value, ExpectValue());
+        if (Peek().kind == TokenKind::kSemicolon) {
+          Advance();
+        } else if (Peek().kind != TokenKind::kRBracket) {
+          return Error("expected ';' or ']' after QoS parameter");
+        }
+        if (key == "max_latency") {
+          SL_ASSIGN_OR_RETURN(flow.qos.max_latency, ParseDurationText(value));
+        } else if (key == "priority") {
+          flow.qos.priority = static_cast<int>(std::strtol(value.c_str(),
+                                                           nullptr, 10));
+        } else {
+          return Error("unknown QoS parameter '" + key + "'");
+        }
+      }
+      SL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    }
+    SL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return flow;
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool IsKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == kw;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) return Error(std::string("expected '") + kw + "'");
+    Advance();
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected identifier, got " + Peek().ToString());
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StrFormat("expected %s, got %s",
+                             expr::TokenKindToString(kind),
+                             Peek().ToString().c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+  /// A property value: string, identifier, or number.
+  Result<std::string> ExpectValue() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kString:
+      case TokenKind::kIdent: {
+        std::string v = tok.text;
+        Advance();
+        return v;
+      }
+      case TokenKind::kInt: {
+        std::string v = StrFormat("%lld",
+                                  static_cast<long long>(tok.int_value));
+        Advance();
+        return v;
+      }
+      case TokenKind::kDouble: {
+        std::string v = StrFormat("%.10g", tok.double_value);
+        Advance();
+        return v;
+      }
+      case TokenKind::kMinus: {
+        Advance();
+        const Token& next = Peek();
+        if (next.kind == TokenKind::kInt) {
+          std::string v =
+              StrFormat("-%lld", static_cast<long long>(next.int_value));
+          Advance();
+          return v;
+        }
+        if (next.kind == TokenKind::kDouble) {
+          std::string v = StrFormat("-%.10g", next.double_value);
+          Advance();
+          return v;
+        }
+        return Error("expected number after '-'");
+      }
+      default:
+        return Error("expected a property value, got " + tok.ToString());
+    }
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("DSN: %s (at offset %zu)", msg.c_str(), Peek().offset));
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<DsnSpec> ParseDsn(const std::string& source) {
+  SL_ASSIGN_OR_RETURN(std::vector<Token> tokens, expr::Tokenize(source));
+  DsnParser parser(tokens);
+  SL_ASSIGN_OR_RETURN(DsnSpec spec, parser.Parse());
+  SL_RETURN_IF_ERROR(ValidateDsn(spec));
+  return spec;
+}
+
+}  // namespace sl::dsn

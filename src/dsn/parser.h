@@ -1,0 +1,23 @@
+// StreamLoader: parser for the textual DSN language (see spec.h).
+
+#ifndef STREAMLOADER_DSN_PARSER_H_
+#define STREAMLOADER_DSN_PARSER_H_
+
+#include <string>
+
+#include "dsn/spec.h"
+#include "util/result.h"
+
+namespace sl::dsn {
+
+/// \brief Parses a DSN description; the result is structurally validated
+/// (ValidateDsn) before being returned.
+Result<DsnSpec> ParseDsn(const std::string& source);
+
+/// \brief Parses a duration text like "500ms", "1h", or "0" (ParseDsn
+/// uses this for QoS parameters; exposed for tests).
+Result<Duration> ParseDurationText(const std::string& text);
+
+}  // namespace sl::dsn
+
+#endif  // STREAMLOADER_DSN_PARSER_H_

@@ -1,0 +1,189 @@
+#include "dsn/spec.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dataflow/graph.h"
+#include "dataflow/op_spec.h"
+#include "stt/granularity.h"
+#include "util/strings.h"
+
+namespace sl::dsn {
+
+Result<std::string> DsnService::GetString(const std::string& key) const {
+  auto it = properties.find(key);
+  if (it == properties.end()) {
+    return Status::NotFound("service '" + name + "' has no property '" + key +
+                            "'");
+  }
+  return it->second;
+}
+
+Result<Duration> DsnService::GetDuration(const std::string& key) const {
+  SL_ASSIGN_OR_RETURN(std::string text, GetString(key));
+  SL_ASSIGN_OR_RETURN(stt::TemporalGranularity g,
+                      stt::TemporalGranularity::Parse(text));
+  return g.period();
+}
+
+Result<double> DsnService::GetDouble(const std::string& key) const {
+  SL_ASSIGN_OR_RETURN(std::string text, GetString(key));
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::ParseError("property '" + key + "' of service '" + name +
+                              "' is not a number: '" + text + "'");
+  }
+  return v;
+}
+
+Result<Timestamp> DsnService::GetTimestamp(const std::string& key) const {
+  SL_ASSIGN_OR_RETURN(std::string text, GetString(key));
+  Timestamp ts;
+  if (!ParseTimestamp(text, &ts)) {
+    return Status::ParseError("property '" + key + "' of service '" + name +
+                              "' is not a timestamp: '" + text + "'");
+  }
+  return ts;
+}
+
+Result<std::vector<std::string>> DsnService::GetList(
+    const std::string& key) const {
+  SL_ASSIGN_OR_RETURN(std::string text, GetString(key));
+  if (Trim(text).empty()) return std::vector<std::string>{};
+  return SplitAndTrim(text, ',');
+}
+
+Result<const DsnService*> DsnSpec::FindService(
+    const std::string& service_name) const {
+  for (const auto& s : services) {
+    if (s.name == service_name) return &s;
+  }
+  return Status::NotFound("no service '" + service_name + "' in DSN spec '" +
+                          name + "'");
+}
+
+std::string DsnSpec::ToString() const {
+  std::string out = "dataflow " + name + " {\n";
+  for (const auto& s : services) {
+    out += "  service " + s.name + " {\n";
+    out += "    kind: " + s.kind + ";\n";
+    if (s.kind == "JOIN" && s.inputs.size() == 2) {
+      out += "    left: " + s.inputs[0] + ";\n";
+      out += "    right: " + s.inputs[1] + ";\n";
+    } else if (!s.inputs.empty()) {
+      out += "    input: " + Join(s.inputs, ", ") + ";\n";
+    }
+    for (const auto& [key, value] : s.properties) {
+      out += "    " + key + ": " + QuoteString(value) + ";\n";
+    }
+    out += "  }\n";
+  }
+  for (const auto& f : flows) {
+    out += "  flow " + f.from + " -> " + f.to;
+    out += StrFormat(" [max_latency: %s; priority: %d];\n",
+                     QuoteString(FormatDuration(f.qos.max_latency)).c_str(),
+                     f.qos.priority);
+  }
+  out += "}\n";
+  return out;
+}
+
+Status ValidateDsn(const DsnSpec& spec) {
+  std::vector<std::string> errors;
+  auto err = [&errors](const std::string& msg) { errors.push_back(msg); };
+
+  if (!IsIdentifier(spec.name)) {
+    err("dataflow name '" + spec.name + "' is not a valid identifier");
+  }
+  std::set<std::string> names;
+  for (const auto& s : spec.services) {
+    if (!IsIdentifier(s.name)) {
+      err("service name '" + s.name + "' is not a valid identifier");
+    }
+    if (!names.insert(s.name).second) {
+      err("duplicate service name '" + s.name + "'");
+    }
+    if (s.kind != "SOURCE" && s.kind != "SINK") {
+      auto kind = dataflow::OpKindFromString(s.kind);
+      if (!kind.ok()) {
+        err("service '" + s.name + "' has unknown kind '" + s.kind + "'");
+      }
+    }
+  }
+  for (const auto& s : spec.services) {
+    for (const auto& in : s.inputs) {
+      if (names.count(in) == 0) {
+        err("service '" + s.name + "' consumes unknown service '" + in + "'");
+      }
+    }
+    if (s.kind == "SOURCE" && !s.inputs.empty()) {
+      err("source service '" + s.name + "' must have no inputs");
+    }
+  }
+  // Every service input must be matched by a flow and vice versa.
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const auto& s : spec.services) {
+    for (const auto& in : s.inputs) edges.insert({in, s.name});
+  }
+  std::set<std::pair<std::string, std::string>> flow_edges;
+  for (const auto& f : spec.flows) {
+    if (names.count(f.from) == 0 || names.count(f.to) == 0) {
+      err(StrFormat("flow %s -> %s references unknown services",
+                    f.from.c_str(), f.to.c_str()));
+      continue;
+    }
+    if (!flow_edges.insert({f.from, f.to}).second) {
+      err(StrFormat("duplicate flow %s -> %s", f.from.c_str(), f.to.c_str()));
+    }
+    if (f.qos.priority < 0 || f.qos.priority > 9) {
+      err(StrFormat("flow %s -> %s has priority %d outside 0..9",
+                    f.from.c_str(), f.to.c_str(), f.qos.priority));
+    }
+  }
+  for (const auto& e : edges) {
+    if (flow_edges.count(e) == 0) {
+      err(StrFormat("service input %s -> %s has no matching flow",
+                    e.first.c_str(), e.second.c_str()));
+    }
+  }
+  for (const auto& e : flow_edges) {
+    if (edges.count(e) == 0) {
+      err(StrFormat("flow %s -> %s has no matching service input",
+                    e.first.c_str(), e.second.c_str()));
+    }
+  }
+  // Acyclicity (Kahn over flow edges).
+  if (errors.empty()) {
+    std::map<std::string, size_t> indegree;
+    for (const auto& s : spec.services) indegree[s.name] = s.inputs.size();
+    std::set<std::string> ready;
+    for (const auto& [n, d] : indegree) {
+      if (d == 0) ready.insert(n);
+    }
+    size_t visited = 0;
+    while (!ready.empty()) {
+      std::string next = *ready.begin();
+      ready.erase(ready.begin());
+      ++visited;
+      for (const auto& e : edges) {
+        if (e.first == next && --indegree[e.second] == 0) {
+          ready.insert(e.second);
+        }
+      }
+    }
+    if (visited != spec.services.size()) {
+      err("DSN spec contains a cycle");
+    }
+  }
+
+  if (!errors.empty()) {
+    return Status::ValidationError("DSN spec '" + spec.name +
+                                   "' is invalid:\n  " +
+                                   Join(errors, "\n  "));
+  }
+  return Status::OK();
+}
+
+}  // namespace sl::dsn

@@ -1,0 +1,111 @@
+// StreamLoader: the DSN (Declarative Service Networking) specification
+// language.
+//
+// Following Dong/Kimata/Zettsu [8], a DSN description models "a
+// high-level network of information services for an application",
+// covering service discovery, execution control and message exchanges;
+// the SCN protocol stack interprets it and coordinates network
+// configuration (flows, QoS parameters). The paper's own DSN/SCN
+// implementation is closed NICT software, so StreamLoader defines a
+// concrete textual DSN language with the same roles (see DESIGN.md §2):
+//
+//   dataflow osaka_alert {
+//     service src_temp { kind: SOURCE; sensor: "osaka_temp_01"; }
+//     service hot      { kind: FILTER; input: src_temp;
+//                        condition: "temp > 25"; }
+//     service store    { kind: SINK; input: hot; sink: WAREHOUSE;
+//                        target: "events"; }
+//     flow src_temp -> hot   [max_latency: "500ms"; priority: 5];
+//     flow hot      -> store [max_latency: "1s";    priority: 3];
+//   }
+//
+// The language is round-trip safe: Parse(spec.ToString()) reproduces an
+// equal spec, which the test suite verifies property-style.
+
+#ifndef STREAMLOADER_DSN_SPEC_H_
+#define STREAMLOADER_DSN_SPEC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace sl::dsn {
+
+/// \brief QoS parameters attached to a flow (SCN configures these on the
+/// network paths it provisions).
+struct QosParams {
+  /// Delivery deadline hint for a batch on this flow; 0 = unconstrained.
+  Duration max_latency = 0;
+  /// Scheduling priority, 0 (lowest) .. 9 (highest).
+  int priority = 5;
+
+  bool operator==(const QosParams& o) const {
+    return max_latency == o.max_latency && priority == o.priority;
+  }
+};
+
+/// \brief One service of the DSN description: a source, an ETL
+/// operation, or a sink, with its configuration as key/value properties.
+struct DsnService {
+  std::string name;
+  /// "SOURCE", "SINK", or an operation kind ("FILTER", "JOIN", ...).
+  std::string kind;
+  /// Upstream service names in port order (from `input:` or
+  /// `left:`/`right:` properties).
+  std::vector<std::string> inputs;
+  /// Remaining configuration properties, raw string values.
+  std::map<std::string, std::string> properties;
+
+  bool operator==(const DsnService& o) const {
+    return name == o.name && kind == o.kind && inputs == o.inputs &&
+           properties == o.properties;
+  }
+
+  /// Typed property accessors; NotFound / ParseError on failure.
+  Result<std::string> GetString(const std::string& key) const;
+  Result<Duration> GetDuration(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<Timestamp> GetTimestamp(const std::string& key) const;
+  Result<std::vector<std::string>> GetList(const std::string& key) const;
+  bool Has(const std::string& key) const { return properties.count(key) > 0; }
+};
+
+/// \brief One directed flow between services.
+struct DsnFlow {
+  std::string from;
+  std::string to;
+  QosParams qos;
+
+  bool operator==(const DsnFlow& o) const {
+    return from == o.from && to == o.to && qos == o.qos;
+  }
+};
+
+/// \brief A complete DSN description of one dataflow.
+struct DsnSpec {
+  std::string name;
+  std::vector<DsnService> services;
+  std::vector<DsnFlow> flows;
+
+  bool operator==(const DsnSpec& o) const {
+    return name == o.name && services == o.services && flows == o.flows;
+  }
+
+  Result<const DsnService*> FindService(const std::string& name) const;
+
+  /// Serializes to the textual DSN language (canonical form: services in
+  /// declaration order, properties alphabetical).
+  std::string ToString() const;
+};
+
+/// \brief Structural validation of a spec: unique valid service names,
+/// known kinds, flows referencing existing services, flow endpoints
+/// consistent with service input declarations, acyclicity.
+Status ValidateDsn(const DsnSpec& spec);
+
+}  // namespace sl::dsn
+
+#endif  // STREAMLOADER_DSN_SPEC_H_

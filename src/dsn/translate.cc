@@ -1,0 +1,325 @@
+#include "dsn/translate.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sl::dsn {
+
+using dataflow::AggregationSpec;
+using dataflow::CullSpaceSpec;
+using dataflow::CullTimeSpec;
+using dataflow::Dataflow;
+using dataflow::DataflowBuilder;
+using dataflow::FilterSpec;
+using dataflow::JoinSpec;
+using dataflow::Node;
+using dataflow::NodeKind;
+using dataflow::OpKind;
+using dataflow::TransformSpec;
+using dataflow::TriggerSpec;
+using dataflow::VirtualPropertySpec;
+
+namespace {
+
+std::string DurationText(Duration d) { return FormatDuration(d); }
+
+std::string DoubleText(double v) { return StrFormat("%.10g", v); }
+
+QosParams QosForConsumer(const Node& consumer) {
+  QosParams qos;
+  if (consumer.kind == NodeKind::kSink) {
+    qos.priority = 3;
+    qos.max_latency = duration::kSecond;
+  } else if (consumer.op == OpKind::kTriggerOn ||
+             consumer.op == OpKind::kTriggerOff) {
+    qos.priority = 8;
+    qos.max_latency = 250;
+  } else {
+    qos.priority = 5;
+    qos.max_latency = 500;
+  }
+  return qos;
+}
+
+}  // namespace
+
+Result<DsnSpec> TranslateToDsn(const Dataflow& dataflow) {
+  DsnSpec spec;
+  spec.name = dataflow.name();
+  for (const auto& name : dataflow.topological_order()) {
+    const Node& node = **dataflow.node(name);
+    DsnService service;
+    service.name = name;
+    service.inputs = node.inputs;
+    switch (node.kind) {
+      case NodeKind::kSource:
+        service.kind = "SOURCE";
+        if (node.by_query) {
+          const auto& q = node.source_query;
+          if (!q.type.empty()) service.properties["query_type"] = q.type;
+          if (!q.theme.IsAny()) {
+            service.properties["query_theme"] = q.theme.ToString();
+          }
+          if (q.area.has_value()) {
+            service.properties["query_area"] = StrFormat(
+                "%.10g, %.10g, %.10g, %.10g", q.area->lo.lat, q.area->lo.lon,
+                q.area->hi.lat, q.area->hi.lon);
+          }
+          if (q.max_period > 0) {
+            service.properties["query_max_period"] =
+                DurationText(q.max_period);
+          }
+          if (!q.node_id.empty()) {
+            service.properties["query_node"] = q.node_id;
+          }
+        } else {
+          service.properties["sensor"] = node.sensor_id;
+        }
+        break;
+      case NodeKind::kSink:
+        service.kind = "SINK";
+        service.properties["sink"] = dataflow::SinkKindToString(node.sink);
+        if (!node.sink_target.empty()) {
+          service.properties["target"] = node.sink_target;
+        }
+        break;
+      case NodeKind::kOperator: {
+        service.kind = dataflow::OpKindToString(node.op);
+        switch (node.op) {
+          case OpKind::kFilter: {
+            const auto& s = std::get<FilterSpec>(node.spec);
+            service.properties["condition"] = s.condition;
+            break;
+          }
+          case OpKind::kTransform: {
+            const auto& s = std::get<TransformSpec>(node.spec);
+            service.properties["attribute"] = s.attribute;
+            service.properties["expression"] = s.expression;
+            if (!s.new_unit.empty()) {
+              service.properties["new_unit"] = s.new_unit;
+            }
+            break;
+          }
+          case OpKind::kVirtualProperty: {
+            const auto& s = std::get<VirtualPropertySpec>(node.spec);
+            service.properties["property"] = s.property;
+            service.properties["specification"] = s.specification;
+            if (!s.unit.empty()) service.properties["unit"] = s.unit;
+            break;
+          }
+          case OpKind::kCullTime: {
+            const auto& s = std::get<CullTimeSpec>(node.spec);
+            service.properties["t_begin"] = FormatTimestamp(s.t_begin);
+            service.properties["t_end"] = FormatTimestamp(s.t_end);
+            service.properties["rate"] = DoubleText(s.rate);
+            break;
+          }
+          case OpKind::kCullSpace: {
+            const auto& s = std::get<CullSpaceSpec>(node.spec);
+            service.properties["lat1"] = DoubleText(s.corner1.lat);
+            service.properties["lon1"] = DoubleText(s.corner1.lon);
+            service.properties["lat2"] = DoubleText(s.corner2.lat);
+            service.properties["lon2"] = DoubleText(s.corner2.lon);
+            service.properties["rate"] = DoubleText(s.rate);
+            break;
+          }
+          case OpKind::kAggregation: {
+            const auto& s = std::get<AggregationSpec>(node.spec);
+            service.properties["interval"] = DurationText(s.interval);
+            if (s.window > 0) {
+              service.properties["window"] = DurationText(s.window);
+            }
+            service.properties["function"] =
+                dataflow::AggFuncToString(s.func);
+            service.properties["attributes"] = Join(s.attributes, ", ");
+            if (!s.group_by.empty()) {
+              service.properties["group_by"] = Join(s.group_by, ", ");
+            }
+            break;
+          }
+          case OpKind::kJoin: {
+            const auto& s = std::get<JoinSpec>(node.spec);
+            service.properties["interval"] = DurationText(s.interval);
+            if (s.window > 0) {
+              service.properties["window"] = DurationText(s.window);
+            }
+            service.properties["predicate"] = s.predicate;
+            break;
+          }
+          case OpKind::kTriggerOn:
+          case OpKind::kTriggerOff: {
+            const auto& s = std::get<TriggerSpec>(node.spec);
+            service.properties["interval"] = DurationText(s.interval);
+            if (s.window > 0) {
+              service.properties["window"] = DurationText(s.window);
+            }
+            service.properties["condition"] = s.condition;
+            service.properties["targets"] = Join(s.target_sensors, ", ");
+            break;
+          }
+        }
+        break;
+      }
+    }
+    spec.services.push_back(std::move(service));
+    // Flows: one per incoming edge, QoS derived from the consumer.
+    for (const auto& in : node.inputs) {
+      DsnFlow flow;
+      flow.from = in;
+      flow.to = name;
+      flow.qos = QosForConsumer(node);
+      spec.flows.push_back(std::move(flow));
+    }
+  }
+  SL_RETURN_IF_ERROR(ValidateDsn(spec));
+  return spec;
+}
+
+Result<Dataflow> TranslateFromDsn(const DsnSpec& spec) {
+  SL_RETURN_IF_ERROR(ValidateDsn(spec));
+  DataflowBuilder builder(spec.name);
+  for (const auto& service : spec.services) {
+    if (service.kind == "SOURCE") {
+      if (service.Has("sensor")) {
+        SL_ASSIGN_OR_RETURN(std::string sensor, service.GetString("sensor"));
+        builder.AddSource(service.name, sensor);
+        continue;
+      }
+      pubsub::DiscoveryQuery query;
+      if (service.Has("query_type")) {
+        SL_ASSIGN_OR_RETURN(query.type, service.GetString("query_type"));
+      }
+      if (service.Has("query_theme")) {
+        SL_ASSIGN_OR_RETURN(std::string theme,
+                            service.GetString("query_theme"));
+        SL_ASSIGN_OR_RETURN(query.theme, stt::Theme::Parse(theme));
+      }
+      if (service.Has("query_area")) {
+        SL_ASSIGN_OR_RETURN(auto corners, service.GetList("query_area"));
+        if (corners.size() != 4) {
+          return Status::ParseError("query_area of '" + service.name +
+                                    "' needs 4 numbers");
+        }
+        query.area = stt::NormalizeBBox(
+            {std::strtod(corners[0].c_str(), nullptr),
+             std::strtod(corners[1].c_str(), nullptr)},
+            {std::strtod(corners[2].c_str(), nullptr),
+             std::strtod(corners[3].c_str(), nullptr)});
+      }
+      if (service.Has("query_max_period")) {
+        SL_ASSIGN_OR_RETURN(query.max_period,
+                            service.GetDuration("query_max_period"));
+      }
+      if (service.Has("query_node")) {
+        SL_ASSIGN_OR_RETURN(query.node_id, service.GetString("query_node"));
+      }
+      builder.AddSourceByQuery(service.name, std::move(query));
+      continue;
+    }
+    if (service.kind == "SINK") {
+      SL_ASSIGN_OR_RETURN(std::string sink_kind, service.GetString("sink"));
+      SL_ASSIGN_OR_RETURN(dataflow::SinkKind kind,
+                          dataflow::SinkKindFromString(sink_kind));
+      std::string target;
+      if (service.Has("target")) {
+        SL_ASSIGN_OR_RETURN(target, service.GetString("target"));
+      }
+      if (service.inputs.size() != 1) {
+        return Status::ValidationError("sink service '" + service.name +
+                                       "' must have exactly one input");
+      }
+      builder.AddSink(service.name, service.inputs[0], kind, target);
+      continue;
+    }
+    SL_ASSIGN_OR_RETURN(OpKind op, dataflow::OpKindFromString(service.kind));
+    dataflow::OpSpec op_spec;
+    switch (op) {
+      case OpKind::kFilter: {
+        SL_ASSIGN_OR_RETURN(std::string cond, service.GetString("condition"));
+        op_spec = FilterSpec{cond};
+        break;
+      }
+      case OpKind::kTransform: {
+        TransformSpec s;
+        SL_ASSIGN_OR_RETURN(s.attribute, service.GetString("attribute"));
+        SL_ASSIGN_OR_RETURN(s.expression, service.GetString("expression"));
+        if (service.Has("new_unit")) {
+          SL_ASSIGN_OR_RETURN(s.new_unit, service.GetString("new_unit"));
+        }
+        op_spec = std::move(s);
+        break;
+      }
+      case OpKind::kVirtualProperty: {
+        VirtualPropertySpec s;
+        SL_ASSIGN_OR_RETURN(s.property, service.GetString("property"));
+        SL_ASSIGN_OR_RETURN(s.specification,
+                            service.GetString("specification"));
+        if (service.Has("unit")) {
+          SL_ASSIGN_OR_RETURN(s.unit, service.GetString("unit"));
+        }
+        op_spec = std::move(s);
+        break;
+      }
+      case OpKind::kCullTime: {
+        CullTimeSpec s;
+        SL_ASSIGN_OR_RETURN(s.t_begin, service.GetTimestamp("t_begin"));
+        SL_ASSIGN_OR_RETURN(s.t_end, service.GetTimestamp("t_end"));
+        SL_ASSIGN_OR_RETURN(s.rate, service.GetDouble("rate"));
+        op_spec = s;
+        break;
+      }
+      case OpKind::kCullSpace: {
+        CullSpaceSpec s;
+        SL_ASSIGN_OR_RETURN(s.corner1.lat, service.GetDouble("lat1"));
+        SL_ASSIGN_OR_RETURN(s.corner1.lon, service.GetDouble("lon1"));
+        SL_ASSIGN_OR_RETURN(s.corner2.lat, service.GetDouble("lat2"));
+        SL_ASSIGN_OR_RETURN(s.corner2.lon, service.GetDouble("lon2"));
+        SL_ASSIGN_OR_RETURN(s.rate, service.GetDouble("rate"));
+        op_spec = s;
+        break;
+      }
+      case OpKind::kAggregation: {
+        AggregationSpec s;
+        SL_ASSIGN_OR_RETURN(s.interval, service.GetDuration("interval"));
+        if (service.Has("window")) {
+          SL_ASSIGN_OR_RETURN(s.window, service.GetDuration("window"));
+        }
+        SL_ASSIGN_OR_RETURN(std::string func, service.GetString("function"));
+        SL_ASSIGN_OR_RETURN(s.func, dataflow::AggFuncFromString(func));
+        SL_ASSIGN_OR_RETURN(s.attributes, service.GetList("attributes"));
+        if (service.Has("group_by")) {
+          SL_ASSIGN_OR_RETURN(s.group_by, service.GetList("group_by"));
+        }
+        op_spec = std::move(s);
+        break;
+      }
+      case OpKind::kJoin: {
+        JoinSpec s;
+        SL_ASSIGN_OR_RETURN(s.interval, service.GetDuration("interval"));
+        if (service.Has("window")) {
+          SL_ASSIGN_OR_RETURN(s.window, service.GetDuration("window"));
+        }
+        SL_ASSIGN_OR_RETURN(s.predicate, service.GetString("predicate"));
+        op_spec = std::move(s);
+        break;
+      }
+      case OpKind::kTriggerOn:
+      case OpKind::kTriggerOff: {
+        TriggerSpec s;
+        SL_ASSIGN_OR_RETURN(s.interval, service.GetDuration("interval"));
+        if (service.Has("window")) {
+          SL_ASSIGN_OR_RETURN(s.window, service.GetDuration("window"));
+        }
+        SL_ASSIGN_OR_RETURN(s.condition, service.GetString("condition"));
+        SL_ASSIGN_OR_RETURN(s.target_sensors, service.GetList("targets"));
+        op_spec = std::move(s);
+        break;
+      }
+    }
+    builder.AddOperator(service.name, op, std::move(op_spec), service.inputs);
+  }
+  return builder.Build();
+}
+
+}  // namespace sl::dsn

@@ -1,0 +1,31 @@
+// StreamLoader: translation between conceptual dataflows and DSN.
+//
+// "Once the dataflow is consistent (i.e. it can be soundly activated at
+// network level), the translation is automatically invoked" (§1). The
+// translator is total on validated dataflows, and reversible: the DSN
+// text can be parsed and lifted back to an equivalent dataflow, which is
+// how the SCN side reconstructs the operator graph it must deploy.
+
+#ifndef STREAMLOADER_DSN_TRANSLATE_H_
+#define STREAMLOADER_DSN_TRANSLATE_H_
+
+#include "dataflow/graph.h"
+#include "dsn/spec.h"
+
+namespace sl::dsn {
+
+/// \brief Translates a structurally valid dataflow into a DSN spec.
+///
+/// Flow QoS parameters are derived from the consuming service: flows
+/// into triggers are high priority (8) with a tight latency bound
+/// (250 ms) so reactive behaviour is prompt; flows into sinks are low
+/// priority (3, 1 s); all other flows default to (5, 500 ms).
+Result<DsnSpec> TranslateToDsn(const dataflow::Dataflow& dataflow);
+
+/// \brief Lifts a DSN spec back into a conceptual dataflow (inverse of
+/// TranslateToDsn up to flow QoS, which the dataflow does not model).
+Result<dataflow::Dataflow> TranslateFromDsn(const DsnSpec& spec);
+
+}  // namespace sl::dsn
+
+#endif  // STREAMLOADER_DSN_TRANSLATE_H_

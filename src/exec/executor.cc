@@ -1,0 +1,814 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "dataflow/validate.h"
+#include "dsn/translate.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace sl::exec {
+
+using dataflow::Dataflow;
+using dataflow::Node;
+using dataflow::NodeKind;
+
+namespace {
+
+/// Per-deployment activation adapter: attributes trigger activations to
+/// their deployment before forwarding to the executor.
+class DeploymentActivation : public ops::ActivationHandler {
+ public:
+  DeploymentActivation(Executor* executor, DeploymentStats* stats)
+      : executor_(executor), stats_(stats) {}
+
+  void ActivateSensors(const std::vector<std::string>& ids,
+                       Timestamp at) override {
+    ++stats_->activations;
+    executor_->ActivateSensors(ids, at);
+  }
+  void DeactivateSensors(const std::vector<std::string>& ids,
+                         Timestamp at) override {
+    ++stats_->activations;
+    executor_->DeactivateSensors(ids, at);
+  }
+
+ private:
+  Executor* executor_;
+  DeploymentStats* stats_;
+};
+
+}  // namespace
+
+// Held by Deployment through a shared_ptr<void> so the header does not
+// need the adapter type.
+struct ExecutorDetail {
+  std::unique_ptr<DeploymentActivation> activation;
+};
+
+Executor::Executor(net::EventLoop* loop, net::Network* network,
+                   pubsub::Broker* broker, monitor::Monitor* monitor,
+                   sinks::SinkContext sink_context, ExecutorOptions options)
+    : loop_(loop),
+      network_(network),
+      broker_(broker),
+      monitor_(monitor),
+      sink_context_(std::move(sink_context)),
+      options_(options),
+      placer_(network, options.placement) {
+  if (monitor_ != nullptr) {
+    monitor_->set_operator_sampler(
+        [this](Duration window) { return SampleOperators(window); });
+    monitor_->set_tick_listener(
+        [this](const monitor::MonitorReport& report) { OnMonitorTick(report); });
+  }
+}
+
+Executor::~Executor() {
+  for (auto& [id, dep] : deployments_) {
+    if (dep->active) {
+      Status s = Undeploy(id);
+      (void)s;
+    }
+  }
+}
+
+size_t Executor::TupleBytes(const stt::Tuple& tuple) const {
+  size_t bytes = options_.tuple_overhead_bytes;
+  for (const auto& v : tuple.values()) {
+    switch (v.type()) {
+      case stt::ValueType::kNull:
+      case stt::ValueType::kBool: bytes += 1; break;
+      case stt::ValueType::kString: bytes += 4 + v.AsString().size(); break;
+      case stt::ValueType::kGeoPoint: bytes += 16; break;
+      default: bytes += 8;
+    }
+  }
+  return bytes;
+}
+
+Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
+  // 1. Lift the DSN description back to an operator graph.
+  SL_ASSIGN_OR_RETURN(Dataflow dataflow, dsn::TranslateFromDsn(spec));
+
+  // 2. Soundness check against the live sensor registry.
+  dataflow::Validator validator(broker_);
+  SL_ASSIGN_OR_RETURN(dataflow::ValidationReport report,
+                      validator.Validate(dataflow));
+  if (!report.ok()) {
+    return Status::ValidationError("cannot deploy '" + spec.name + "':\n" +
+                                   report.ToString());
+  }
+
+  auto deployment = std::make_unique<Deployment>();
+  Deployment* dep = deployment.get();
+  dep->id = next_id_++;
+  dep->dataflow = std::move(dataflow);
+  auto detail = std::make_shared<ExecutorDetail>();
+  detail->activation =
+      std::make_unique<DeploymentActivation>(this, &dep->stats);
+
+  // QoS lookup for edges.
+  auto qos_of = [&spec](const std::string& from,
+                        const std::string& to) -> dsn::QosParams {
+    for (const auto& f : spec.flows) {
+      if (f.from == from && f.to == to) return f.qos;
+    }
+    return dsn::QosParams{};
+  };
+
+  // 3. Bind sources, generate and place processes (topological order, so
+  // upstream placements inform locality).
+  Duration stagger_depth = 0;  // grows along the topological order
+  for (const auto& name : dep->dataflow.topological_order()) {
+    const Node& node = **dep->dataflow.node(name);
+    switch (node.kind) {
+      case NodeKind::kSource: {
+        if (node.by_query) {
+          // Characteristic-bound source: tuples enter at their producing
+          // sensor's node, resolved per tuple (future joiners included).
+          dep->source_nodes[name] = "";
+          scn_log_.Record(loop_->Now(), ScnCommandKind::kBindSource, dep->id,
+                          name, node.source_query.ToString());
+          break;
+        }
+        SL_ASSIGN_OR_RETURN(pubsub::SensorInfo info,
+                            broker_->Find(node.sensor_id));
+        std::string origin = info.node_id;
+        if (origin.empty() || !network_->HasNode(origin)) {
+          // Sensors not pinned to a node enter at the least-loaded one.
+          SL_ASSIGN_OR_RETURN(origin, placer_.LeastLoadedNode());
+        }
+        dep->source_nodes[name] = origin;
+        scn_log_.Record(loop_->Now(), ScnCommandKind::kBindSource, dep->id,
+                        name, node.sensor_id + " @ " + origin);
+        break;
+      }
+      case NodeKind::kOperator: {
+        std::vector<stt::SchemaPtr> input_schemas;
+        std::vector<std::string> upstream_nodes;
+        for (const auto& in : node.inputs) {
+          input_schemas.push_back(report.schemas.at(in));
+          auto src_it = dep->source_nodes.find(in);
+          if (src_it != dep->source_nodes.end()) {
+            upstream_nodes.push_back(src_it->second);
+          } else {
+            auto op_it = dep->operators.find(in);
+            if (op_it != dep->operators.end()) {
+              upstream_nodes.push_back(op_it->second.node_id);
+            }
+          }
+        }
+        ops::OperatorOptions op_options;
+        op_options.max_cache_tuples = options_.max_cache_tuples;
+        op_options.activation = detail->activation.get();
+        SL_ASSIGN_OR_RETURN(std::unique_ptr<ops::Operator> op,
+                            ops::MakeOperator(name, node.op, node.spec,
+                                              input_schemas, node.inputs,
+                                              op_options));
+        SL_ASSIGN_OR_RETURN(std::string placed,
+                            placer_.Place(upstream_nodes));
+        SL_RETURN_IF_ERROR(network_->AdjustProcessCount(placed, +1));
+        if (monitor_ != nullptr) {
+          monitor_->RecordAssignment(dep->dataflow.name(), name, "", placed);
+        }
+        scn_log_.Record(loop_->Now(), ScnCommandKind::kDeployService, dep->id,
+                        name, placed);
+        DeployedOperator deployed;
+        deployed.op = std::move(op);
+        deployed.node_id = placed;
+        // Emission: route from wherever the operator currently runs.
+        ops::Operator* op_ptr = deployed.op.get();
+        op_ptr->set_emit([this, dep, name](const stt::Tuple& t) {
+          auto it = dep->operators.find(name);
+          if (it == dep->operators.end()) return;
+          Route(dep, name, it->second.node_id, t);
+        });
+        // Blocking operations: periodic cache processing. The flush is
+        // staggered by topological depth (schedule optimization, §1) so
+        // cascaded blocking stages consume fresh upstream flushes within
+        // the same interval.
+        if (op_ptr->is_blocking()) {
+          Duration offset = options_.flush_stagger_ms * stagger_depth;
+          ++stagger_depth;
+          deployed.flush_timer = loop_->SchedulePeriodic(
+              op_ptr->interval(),
+              [this, dep, name] {
+                auto it = dep->operators.find(name);
+                if (it == dep->operators.end() || !dep->active) return;
+                ops::Operator* op = it->second.op.get();
+                double work = static_cast<double>(op->stats().cache_size) *
+                              options_.work_per_tuple;
+                Status s = op->Flush(loop_->Now());
+                if (!s.ok()) {
+                  ++dep->stats.process_errors;
+                  SL_LOG(kError) << "flush of " << name
+                                 << " failed: " << s.ToString();
+                }
+                if (work > 0) {
+                  Status ws = network_->ReportWork(it->second.node_id, work);
+                  (void)ws;
+                }
+              },
+              /*first_at=*/loop_->Now() + op_ptr->interval() + offset);
+        }
+        dep->operators.emplace(name, std::move(deployed));
+        break;
+      }
+      case NodeKind::kSink: {
+        SL_ASSIGN_OR_RETURN(std::unique_ptr<sinks::Sink> sink,
+                            sinks::MakeSink(name, node.sink, node.sink_target,
+                                            sink_context_));
+        std::vector<std::string> upstream_nodes;
+        auto op_it = dep->operators.find(node.inputs[0]);
+        if (op_it != dep->operators.end()) {
+          upstream_nodes.push_back(op_it->second.node_id);
+        }
+        SL_ASSIGN_OR_RETURN(std::string placed,
+                            placer_.Place(upstream_nodes));
+        SL_RETURN_IF_ERROR(network_->AdjustProcessCount(placed, +1));
+        if (monitor_ != nullptr) {
+          monitor_->RecordAssignment(dep->dataflow.name(), name, "", placed);
+        }
+        scn_log_.Record(loop_->Now(), ScnCommandKind::kDeployService, dep->id,
+                        name, placed);
+        dep->sinks.emplace(name, DeployedSink{std::move(sink), placed});
+        break;
+      }
+    }
+  }
+
+  // 4. Wire edges with their QoS.
+  for (const auto& name : dep->dataflow.topological_order()) {
+    const Node& node = **dep->dataflow.node(name);
+    for (size_t port = 0; port < node.inputs.size(); ++port) {
+      Edge edge;
+      edge.to = name;
+      edge.port = port;
+      edge.to_sink = node.kind == NodeKind::kSink;
+      edge.qos = qos_of(node.inputs[port], name);
+      scn_log_.Record(
+          loop_->Now(), ScnCommandKind::kConfigureFlow, dep->id,
+          node.inputs[port] + " -> " + name,
+          StrFormat("max_latency=%s priority=%d",
+                    FormatDuration(edge.qos.max_latency).c_str(),
+                    edge.qos.priority));
+      dep->edges[node.inputs[port]].push_back(std::move(edge));
+    }
+  }
+
+  // 5. Subscribe sources to their sensors (or their queries).
+  dep->active = true;
+  for (const auto& name : dep->dataflow.SourceNames()) {
+    const Node& node = **dep->dataflow.node(name);
+    std::string source_name = name;
+    if (node.by_query) {
+      auto sub = broker_->SubscribeDataByQuery(
+          node.source_query,
+          [this, dep, source_name](const stt::Tuple& tuple) {
+            if (!dep->active) return;
+            ++dep->stats.tuples_ingested;
+            Route(dep, source_name, ResolveOrigin(tuple.sensor_id()), tuple);
+          });
+      dep->subscriptions.push_back(sub);
+      continue;
+    }
+    auto sub = broker_->SubscribeData(
+        node.sensor_id, [this, dep, source_name](const stt::Tuple& tuple) {
+          if (!dep->active) return;
+          ++dep->stats.tuples_ingested;
+          Route(dep, source_name, dep->source_nodes.at(source_name), tuple);
+        });
+    if (!sub.ok()) return sub.status();
+    dep->subscriptions.push_back(*sub);
+  }
+
+  if (monitor_ != nullptr) {
+    monitor_->Log("deployed dataflow '" + dep->dataflow.name() + "' (" +
+                  StrFormat("%zu operators, %zu sinks",
+                            dep->operators.size(), dep->sinks.size()) +
+                  ")");
+  }
+  scn_log_.Record(loop_->Now(), ScnCommandKind::kStartDataflow, dep->id,
+                  dep->dataflow.name(), "");
+
+  // Keep the activation adapter alive with the deployment.
+  deployment_details_.emplace(dep->id, std::move(detail));
+  DeploymentId id = dep->id;
+  deployments_.emplace(id, std::move(deployment));
+  return id;
+}
+
+std::string Executor::ResolveOrigin(const std::string& sensor_id) const {
+  auto info = broker_->Find(sensor_id);
+  if (info.ok() && !info->node_id.empty() &&
+      network_->HasNode(info->node_id)) {
+    return info->node_id;
+  }
+  // Unpinned (or just-departed) sensors: enter at a deterministic node.
+  auto ids = network_->NodeIds();
+  return ids.empty() ? std::string() : ids.front();
+}
+
+void Executor::Route(Deployment* dep, const std::string& producer,
+                     const std::string& producer_node,
+                     const stt::Tuple& tuple) {
+  auto edges_it = dep->edges.find(producer);
+  if (edges_it == dep->edges.end()) return;
+  size_t bytes = TupleBytes(tuple);
+  for (const Edge& edge : edges_it->second) {
+    std::string target_node;
+    if (edge.to_sink) {
+      target_node = dep->sinks.at(edge.to).node_id;
+    } else {
+      target_node = dep->operators.at(edge.to).node_id;
+    }
+    // QoS accounting: a transfer that cannot meet the flow's latency
+    // bound counts as a violation (the SCN would re-provision the path).
+    if (edge.qos.max_latency > 0) {
+      auto delay = network_->TransferDelay(producer_node, target_node, bytes);
+      if (delay.ok() && *delay > edge.qos.max_latency) {
+        ++dep->stats.qos_violations;
+      }
+    }
+    Edge edge_copy = edge;
+    stt::Tuple tuple_copy = tuple;
+    Status s = network_->Transfer(
+        producer_node, target_node, bytes,
+        [this, dep, edge_copy, tuple_copy] {
+          if (!dep->active) return;
+          Deliver(dep, edge_copy, tuple_copy);
+        });
+    if (!s.ok()) {
+      ++dep->stats.process_errors;
+      SL_LOG(kError) << "transfer " << producer << " -> " << edge.to
+                     << " failed: " << s.ToString();
+    }
+  }
+}
+
+void Executor::Deliver(Deployment* dep, const Edge& edge,
+                       const stt::Tuple& tuple) {
+  if (edge.to_sink) {
+    auto it = dep->sinks.find(edge.to);
+    if (it == dep->sinks.end()) return;
+    Status ws = network_->ReportWork(it->second.node_id,
+                                     options_.work_per_tuple);
+    (void)ws;
+    Status s = it->second.sink->Write(tuple);
+    if (s.ok()) {
+      ++dep->stats.tuples_delivered;
+    } else {
+      ++dep->stats.process_errors;
+      SL_LOG(kError) << "sink " << edge.to << " failed: " << s.ToString();
+    }
+    return;
+  }
+  auto it = dep->operators.find(edge.to);
+  if (it == dep->operators.end()) return;
+  Status ws =
+      network_->ReportWork(it->second.node_id, options_.work_per_tuple);
+  (void)ws;
+  Status s = it->second.op->Process(edge.port, tuple);
+  if (!s.ok()) {
+    ++dep->stats.process_errors;
+    SL_LOG(kError) << "operator " << edge.to << " failed: " << s.ToString();
+  }
+}
+
+Status Executor::Undeploy(DeploymentId id) {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound(StrFormat("no deployment %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  Deployment* dep = it->second.get();
+  if (!dep->active) {
+    return Status::FailedPrecondition(
+        StrFormat("deployment %llu is already stopped",
+                  static_cast<unsigned long long>(id)));
+  }
+  dep->active = false;
+  for (auto sub : dep->subscriptions) broker_->Unsubscribe(sub);
+  dep->subscriptions.clear();
+  for (auto& [name, op] : dep->operators) {
+    if (op.flush_timer != 0) {
+      loop_->Cancel(op.flush_timer);
+      op.flush_timer = 0;
+    }
+    Status s = network_->AdjustProcessCount(op.node_id, -1);
+    (void)s;
+  }
+  for (auto& [name, sink] : dep->sinks) {
+    Status fs = sink.sink->Finish();
+    (void)fs;
+    Status s = network_->AdjustProcessCount(sink.node_id, -1);
+    (void)s;
+  }
+  if (monitor_ != nullptr) {
+    monitor_->Log("undeployed dataflow '" + dep->dataflow.name() + "'");
+  }
+  scn_log_.Record(loop_->Now(), ScnCommandKind::kStopDataflow, dep->id,
+                  dep->dataflow.name(), "");
+  return Status::OK();
+}
+
+Status Executor::ReplaceOperator(DeploymentId id, const std::string& op_name,
+                                 const dataflow::OpSpec& new_spec) {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound(StrFormat("no deployment %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  Deployment* dep = it->second.get();
+  if (!dep->active) {
+    return Status::FailedPrecondition("deployment is stopped");
+  }
+  auto op_it = dep->operators.find(op_name);
+  if (op_it == dep->operators.end()) {
+    return Status::NotFound("no operator '" + op_name + "' in deployment");
+  }
+  const Node& node = **dep->dataflow.node(op_name);
+  // The replacement spec chooses the operation kind; a TriggerSpec keeps
+  // the original On/Off polarity.
+  dataflow::OpKind new_kind =
+      dataflow::SpecKind(new_spec, node.op != dataflow::OpKind::kTriggerOff);
+
+  // Recompute the input schemas.
+  dataflow::Validator validator(broker_);
+  SL_ASSIGN_OR_RETURN(dataflow::ValidationReport report,
+                      validator.Validate(dep->dataflow));
+  if (!report.ok()) {
+    return Status::ValidationError(
+        "running dataflow no longer validates:\n" + report.ToString());
+  }
+  std::vector<stt::SchemaPtr> input_schemas;
+  for (const auto& in : node.inputs) {
+    input_schemas.push_back(report.schemas.at(in));
+  }
+
+  auto detail_it = deployment_details_.find(id);
+  ops::OperatorOptions op_options;
+  op_options.max_cache_tuples = options_.max_cache_tuples;
+  op_options.activation =
+      detail_it != deployment_details_.end()
+          ? static_cast<ExecutorDetail*>(detail_it->second.get())
+                ->activation.get()
+          : nullptr;
+  SL_ASSIGN_OR_RETURN(std::unique_ptr<ops::Operator> new_op,
+                      ops::MakeOperator(op_name, new_kind, new_spec,
+                                        input_schemas, node.inputs,
+                                        op_options));
+  // The downstream wiring is schema-typed: the replacement must keep it.
+  if (!new_op->output_schema()->Equals(
+          *op_it->second.op->output_schema())) {
+    return Status::ValidationError(
+        "replacement for '" + op_name +
+        "' changes the output schema; downstream operators would break");
+  }
+  // Swap: cancel the old flush timer, install the new operator.
+  if (op_it->second.flush_timer != 0) {
+    loop_->Cancel(op_it->second.flush_timer);
+    op_it->second.flush_timer = 0;
+  }
+  op_it->second.op = std::move(new_op);
+  ops::Operator* op_ptr = op_it->second.op.get();
+  op_ptr->set_emit([this, dep, op_name](const stt::Tuple& t) {
+    auto oit = dep->operators.find(op_name);
+    if (oit == dep->operators.end()) return;
+    Route(dep, op_name, oit->second.node_id, t);
+  });
+  if (op_ptr->is_blocking()) {
+    // Recompute the flush stagger depth: blocking operators preceding
+    // this one in the topological order.
+    Duration depth = 0;
+    for (const auto& n : dep->dataflow.topological_order()) {
+      if (n == op_name) break;
+      auto oit = dep->operators.find(n);
+      if (oit != dep->operators.end() && oit->second.op->is_blocking()) {
+        ++depth;
+      }
+    }
+    op_it->second.flush_timer = loop_->SchedulePeriodic(
+        op_ptr->interval(),
+        [this, dep, op_name] {
+          auto oit = dep->operators.find(op_name);
+          if (oit == dep->operators.end() || !dep->active) return;
+          ops::Operator* op = oit->second.op.get();
+          double work = static_cast<double>(op->stats().cache_size) *
+                        options_.work_per_tuple;
+          Status s = op->Flush(loop_->Now());
+          if (!s.ok()) ++dep->stats.process_errors;
+          if (work > 0) {
+            Status ws = network_->ReportWork(oit->second.node_id, work);
+            (void)ws;
+          }
+        },
+        /*first_at=*/loop_->Now() + op_ptr->interval() +
+            options_.flush_stagger_ms * depth);
+  }
+  // Update the conceptual dataflow so the live canvas reflects the edit.
+  // (Dataflow is immutable; rebuild it with the new spec.)
+  dataflow::DataflowBuilder builder(dep->dataflow.name());
+  for (const auto& n : dep->dataflow.topological_order()) {
+    Node copy = **dep->dataflow.node(n);
+    if (copy.name == op_name) {
+      copy.spec = new_spec;
+      copy.op = new_kind;
+    }
+    switch (copy.kind) {
+      case NodeKind::kSource:
+        builder.AddSource(copy.name, copy.sensor_id);
+        break;
+      case NodeKind::kOperator:
+        builder.AddOperator(copy.name, copy.op, copy.spec, copy.inputs);
+        break;
+      case NodeKind::kSink:
+        builder.AddSink(copy.name, copy.inputs[0], copy.sink,
+                        copy.sink_target);
+        break;
+    }
+  }
+  SL_ASSIGN_OR_RETURN(dep->dataflow, builder.Build());
+  if (monitor_ != nullptr) {
+    monitor_->Log("replaced operator '" + op_name + "' in dataflow '" +
+                  dep->dataflow.name() + "'");
+  }
+  scn_log_.Record(loop_->Now(), ScnCommandKind::kReplaceService, dep->id,
+                  op_name, dataflow::SpecToString(new_kind, new_spec));
+  return Status::OK();
+}
+
+Result<std::string> Executor::AssignedNode(DeploymentId id,
+                                           const std::string& name) const {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  auto op_it = it->second->operators.find(name);
+  if (op_it != it->second->operators.end()) return op_it->second.node_id;
+  auto sink_it = it->second->sinks.find(name);
+  if (sink_it != it->second->sinks.end()) return sink_it->second.node_id;
+  return Status::NotFound("no operator or sink '" + name +
+                          "' in deployment");
+}
+
+Status Executor::MigrateOperator(DeploymentId id, const std::string& op_name,
+                                 const std::string& target_node) {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  Deployment* dep = it->second.get();
+  if (!dep->active) return Status::FailedPrecondition("deployment stopped");
+  auto op_it = dep->operators.find(op_name);
+  if (op_it == dep->operators.end()) {
+    return Status::NotFound("no operator '" + op_name + "' in deployment");
+  }
+  if (!network_->HasNode(target_node)) {
+    return Status::NotFound("no node '" + target_node + "'");
+  }
+  std::string from = op_it->second.node_id;
+  if (from == target_node) return Status::OK();
+  // Simulate the state hand-off: blocking caches move over the network.
+  size_t state_bytes =
+      64 + op_it->second.op->stats().cache_size * 64;  // estimate
+  SL_RETURN_IF_ERROR(
+      network_->Transfer(from, target_node, state_bytes, [] {}));
+  SL_RETURN_IF_ERROR(network_->AdjustProcessCount(from, -1));
+  SL_RETURN_IF_ERROR(network_->AdjustProcessCount(target_node, +1));
+  op_it->second.node_id = target_node;
+  ++dep->stats.migrations;
+  if (monitor_ != nullptr) {
+    monitor_->RecordAssignment(dep->dataflow.name(), op_name, from,
+                               target_node);
+    monitor_->Log("migrated '" + op_name + "' from " + from + " to " +
+                  target_node);
+  }
+  scn_log_.Record(loop_->Now(), ScnCommandKind::kMigrateService, dep->id,
+                  op_name, from + " => " + target_node);
+  return Status::OK();
+}
+
+Status Executor::DrainNode(const std::string& node_id) {
+  if (!network_->HasNode(node_id)) {
+    return Status::NotFound("no node '" + node_id + "'");
+  }
+  if (network_->num_nodes() < 2) {
+    return Status::FailedPrecondition(
+        "cannot drain the only node of the network");
+  }
+  for (auto& [id, dep] : deployments_) {
+    if (!dep->active) continue;
+    // Operators: reuse the migration path (state transfer + logging).
+    std::vector<std::string> ops_to_move;
+    for (const auto& [name, deployed] : dep->operators) {
+      if (deployed.node_id == node_id) ops_to_move.push_back(name);
+    }
+    for (const auto& name : ops_to_move) {
+      SL_ASSIGN_OR_RETURN(std::string target, placer_.Place({}, node_id));
+      SL_RETURN_IF_ERROR(MigrateOperator(id, name, target));
+    }
+    // Sinks: relocate the process; no cache state to move.
+    for (auto& [name, deployed] : dep->sinks) {
+      if (deployed.node_id != node_id) continue;
+      SL_ASSIGN_OR_RETURN(std::string target, placer_.Place({}, node_id));
+      SL_RETURN_IF_ERROR(network_->AdjustProcessCount(node_id, -1));
+      SL_RETURN_IF_ERROR(network_->AdjustProcessCount(target, +1));
+      if (monitor_ != nullptr) {
+        monitor_->RecordAssignment(dep->dataflow.name(), name, node_id,
+                                   target);
+      }
+      scn_log_.Record(loop_->Now(), ScnCommandKind::kMigrateService, id, name,
+                      node_id + " => " + target);
+      deployed.node_id = target;
+      ++dep->stats.migrations;
+    }
+  }
+  if (monitor_ != nullptr) {
+    monitor_->Log("drained node '" + node_id + "'");
+  }
+  return Status::OK();
+}
+
+Result<const dataflow::Dataflow*> Executor::DeployedDataflow(
+    DeploymentId id) const {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  return &it->second->dataflow;
+}
+
+Result<const DeploymentStats*> Executor::stats(DeploymentId id) const {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  return &it->second->stats;
+}
+
+Result<ops::OperatorStats> Executor::OperatorStatsOf(
+    DeploymentId id, const std::string& name) const {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  auto op_it = it->second->operators.find(name);
+  if (op_it == it->second->operators.end()) {
+    return Status::NotFound("no operator '" + name + "' in deployment");
+  }
+  return op_it->second.op->stats();
+}
+
+Result<sinks::Sink*> Executor::SinkOf(DeploymentId id,
+                                      const std::string& name) const {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  auto sink_it = it->second->sinks.find(name);
+  if (sink_it == it->second->sinks.end()) {
+    return Status::NotFound("no sink '" + name + "' in deployment");
+  }
+  return sink_it->second.sink.get();
+}
+
+Result<std::map<std::string, dataflow::NodeAnnotation>>
+Executor::LiveAnnotations(DeploymentId id) const {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  const Deployment* dep = it->second.get();
+  std::map<std::string, dataflow::NodeAnnotation> annotations;
+  for (const auto& [name, deployed] : dep->operators) {
+    dataflow::NodeAnnotation a;
+    a.node_id = deployed.node_id;
+    a.cache_size = deployed.op->stats().cache_size;
+    a.trigger_fires = deployed.op->stats().trigger_fires;
+    annotations[name] = a;
+  }
+  for (const auto& [name, deployed] : dep->sinks) {
+    dataflow::NodeAnnotation a;
+    a.node_id = deployed.node_id;
+    annotations[name] = a;
+  }
+  for (const auto& [name, node] : dep->source_nodes) {
+    dataflow::NodeAnnotation a;
+    a.node_id = node;
+    annotations[name] = a;
+  }
+  // Merge the latest monitoring rates when available.
+  if (monitor_ != nullptr && monitor_->latest() != nullptr) {
+    for (const auto& sample : monitor_->latest()->operators) {
+      if (sample.dataflow != dep->dataflow.name()) continue;
+      auto a = annotations.find(sample.op_name);
+      if (a == annotations.end()) continue;
+      a->second.in_per_sec = sample.in_per_sec;
+      a->second.out_per_sec = sample.out_per_sec;
+    }
+  }
+  return annotations;
+}
+
+std::vector<DeploymentId> Executor::ActiveDeployments() const {
+  std::vector<DeploymentId> ids;
+  for (const auto& [id, dep] : deployments_) {
+    if (dep->active) ids.push_back(id);
+  }
+  return ids;
+}
+
+void Executor::ActivateSensors(const std::vector<std::string>& sensor_ids,
+                               Timestamp at) {
+  for (const auto& id : sensor_ids) {
+    if (monitor_ != nullptr) {
+      monitor_->Log("trigger: activate sensor '" + id + "'");
+    }
+    scn_log_.Record(loop_->Now(), ScnCommandKind::kActivateStream, 0, id, "");
+    if (fleet_ != nullptr) {
+      Status s = fleet_->Activate(id);
+      if (!s.ok()) {
+        SL_LOG(kWarning) << "activation of " << id
+                         << " failed: " << s.ToString();
+      }
+    }
+  }
+  (void)at;
+}
+
+void Executor::DeactivateSensors(const std::vector<std::string>& sensor_ids,
+                                 Timestamp at) {
+  for (const auto& id : sensor_ids) {
+    if (monitor_ != nullptr) {
+      monitor_->Log("trigger: deactivate sensor '" + id + "'");
+    }
+    scn_log_.Record(loop_->Now(), ScnCommandKind::kDeactivateStream, 0, id,
+                    "");
+    if (fleet_ != nullptr) {
+      Status s = fleet_->Deactivate(id);
+      if (!s.ok()) {
+        SL_LOG(kWarning) << "deactivation of " << id
+                         << " failed: " << s.ToString();
+      }
+    }
+  }
+  (void)at;
+}
+
+std::vector<monitor::OperatorSample> Executor::SampleOperators(
+    Duration window) {
+  std::vector<monitor::OperatorSample> samples;
+  double seconds = static_cast<double>(window) / 1000.0;
+  if (seconds <= 0) seconds = 1e-3;
+  for (auto& [id, dep] : deployments_) {
+    if (!dep->active) continue;
+    for (auto& [name, deployed] : dep->operators) {
+      const ops::Operator* op = deployed.op.get();
+      monitor::OperatorSample sample;
+      sample.dataflow = dep->dataflow.name();
+      sample.op_name = name;
+      sample.node_id = deployed.node_id;
+      sample.in_per_sec = static_cast<double>(op->window_in()) / seconds;
+      sample.out_per_sec = static_cast<double>(op->window_out()) / seconds;
+      sample.total_in = op->stats().tuples_in;
+      sample.total_out = op->stats().tuples_out;
+      sample.cache_size = op->stats().cache_size;
+      sample.trigger_fires = op->stats().trigger_fires;
+      samples.push_back(std::move(sample));
+      deployed.op->ResetWindowCounters();
+    }
+  }
+  return samples;
+}
+
+void Executor::OnMonitorTick(const monitor::MonitorReport& report) {
+  if (options_.rebalance_threshold <= 0) return;
+  for (const auto& node : report.nodes) {
+    if (node.utilization <= options_.rebalance_threshold) continue;
+    // Move the hottest operator off the overloaded node.
+    const monitor::OperatorSample* hottest = nullptr;
+    for (const auto& op : report.operators) {
+      if (op.node_id != node.node_id) continue;
+      if (hottest == nullptr || op.in_per_sec > hottest->in_per_sec) {
+        hottest = &op;
+      }
+    }
+    if (hottest == nullptr) continue;
+    auto target = placer_.LeastLoadedNode(node.node_id);
+    if (!target.ok() || *target == node.node_id) continue;
+    // Find the deployment owning this operator.
+    for (auto& [id, dep] : deployments_) {
+      if (!dep->active || dep->dataflow.name() != hottest->dataflow) continue;
+      if (dep->operators.count(hottest->op_name) == 0) continue;
+      Status s = MigrateOperator(id, hottest->op_name, *target);
+      if (!s.ok()) {
+        SL_LOG(kWarning) << "auto-migration failed: " << s.ToString();
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace sl::exec

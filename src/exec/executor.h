@@ -1,0 +1,215 @@
+// StreamLoader: the SCN controller + executor (Figure 1's "Translator /
+// Executor / Monitor" plane over the programmable network).
+//
+// Deploy() takes a DSN description, reconstructs the operator graph,
+// binds sources to the sensors published in the broker, generates one
+// process per operation, places the processes on network nodes
+// (Placer), and wires tuple movement through the simulated network with
+// the QoS parameters of the DSN flows. Blocking operations get periodic
+// Flush events; the monitor samples everything; overload triggers
+// workload-driven re-assignment (migration) — "which node is in charge
+// of executing an operation and when the assignment changes" (§3).
+
+#ifndef STREAMLOADER_EXEC_EXECUTOR_H_
+#define STREAMLOADER_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.h"
+#include "dataflow/render.h"
+#include "dsn/spec.h"
+#include "exec/placement.h"
+#include "exec/scn_log.h"
+#include "monitor/monitor.h"
+#include "net/event_loop.h"
+#include "net/network.h"
+#include "ops/operator.h"
+#include "pubsub/broker.h"
+#include "sensors/simulator.h"
+#include "sinks/factory.h"
+
+namespace sl::exec {
+
+/// Identifies one deployed dataflow.
+using DeploymentId = uint64_t;
+
+/// \brief Executor configuration.
+struct ExecutorOptions {
+  PlacementStrategy placement = PlacementStrategy::kLeastLoaded;
+  /// Work units a node spends per tuple processed.
+  double work_per_tuple = 1.0;
+  /// Blocking-operation cache bound (per input).
+  size_t max_cache_tuples = 1 << 20;
+  /// Re-assign operators away from nodes above this utilization on each
+  /// monitor tick (0 disables auto-rebalancing).
+  double rebalance_threshold = 1.0;
+  /// Approximate per-tuple network framing overhead in bytes.
+  size_t tuple_overhead_bytes = 24;
+  /// Schedule optimization (§1: "optimize the schedule for the execution
+  /// of the dataflow"): blocking operators flush `flush_stagger_ms` *
+  /// depth after the interval boundary, where depth is the operator's
+  /// topological position — so a downstream aggregation/join/trigger
+  /// sees its upstream's freshly flushed results in the *same* interval
+  /// instead of one interval later. 0 disables staggering (all flushes
+  /// land exactly on the boundary).
+  Duration flush_stagger_ms = 50;
+};
+
+/// \brief Cumulative counters of one deployment.
+struct DeploymentStats {
+  uint64_t tuples_ingested = 0;   ///< tuples entering via sources
+  uint64_t tuples_delivered = 0;  ///< tuples arriving at sinks
+  uint64_t qos_violations = 0;    ///< transfers exceeding a flow's max_latency
+  uint64_t process_errors = 0;    ///< operator/sink errors (logged, stream continues)
+  uint64_t activations = 0;       ///< trigger activation requests executed
+  uint64_t migrations = 0;        ///< operator re-assignments
+};
+
+/// \brief The executor. Also the ActivationHandler for all deployed
+/// triggers: activation requests are routed to the sensor fleet.
+class Executor : public ops::ActivationHandler {
+ public:
+  Executor(net::EventLoop* loop, net::Network* network,
+           pubsub::Broker* broker, monitor::Monitor* monitor,
+           sinks::SinkContext sink_context, ExecutorOptions options = {});
+  ~Executor() override;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Routes trigger activations to this fleet (optional; without one,
+  /// activations are only logged and counted).
+  void set_fleet(sensors::SensorFleet* fleet) { fleet_ = fleet; }
+
+  /// \brief Deploys a DSN spec: lift to a dataflow, validate against
+  /// the broker, place, wire, start flush timers, subscribe sources.
+  Result<DeploymentId> Deploy(const dsn::DsnSpec& spec);
+
+  /// Stops a deployment: cancels timers, unsubscribes sources,
+  /// releases node processes. In-flight messages are dropped on arrival.
+  Status Undeploy(DeploymentId id);
+
+  /// On-the-fly operator replacement (P3: "operators in the dataflow are
+  /// modified on the fly"): swaps the spec of one operator in a running
+  /// deployment; its cache is discarded, its placement kept. The new
+  /// spec must derive the same output schema.
+  Status ReplaceOperator(DeploymentId id, const std::string& op_name,
+                         const dataflow::OpSpec& new_spec);
+
+  /// Node currently executing an operator or sink.
+  Result<std::string> AssignedNode(DeploymentId id,
+                                   const std::string& name) const;
+
+  /// Migrates one operator to `target_node` (also used internally by
+  /// auto-rebalancing). Simulates the state transfer of blocking caches.
+  Status MigrateOperator(DeploymentId id, const std::string& op_name,
+                         const std::string& target_node);
+
+  /// \brief Drains a node for maintenance: migrates every operator and
+  /// sink process of every active deployment off `node_id` (placement
+  /// chooses the targets, excluding the drained node). Afterwards the
+  /// node hosts no processes and can be removed from the network (P3:
+  /// on-the-fly network reconfiguration). Sources of sensors managed by
+  /// the node keep entering there — move or remove the sensors first if
+  /// the node is going away entirely.
+  Status DrainNode(const std::string& node_id);
+
+  /// The deployed dataflow (for introspection / the live canvas).
+  Result<const dataflow::Dataflow*> DeployedDataflow(DeploymentId id) const;
+
+  Result<const DeploymentStats*> stats(DeploymentId id) const;
+
+  /// Stats of one operator in a deployment.
+  Result<ops::OperatorStats> OperatorStatsOf(DeploymentId id,
+                                             const std::string& name) const;
+
+  /// The sink object of a deployment (e.g. to read a CollectSink).
+  Result<sinks::Sink*> SinkOf(DeploymentId id, const std::string& name) const;
+
+  /// Ids of active deployments.
+  std::vector<DeploymentId> ActiveDeployments() const;
+
+  /// The SCN command log: every network-configuration action taken.
+  const ScnLog& scn_log() const { return scn_log_; }
+
+  /// \brief Live canvas annotations for a deployment: the node in charge
+  /// of each operation plus the latest monitoring rates (when a monitor
+  /// report exists). Feed to dataflow::RenderLiveCanvas.
+  Result<std::map<std::string, dataflow::NodeAnnotation>> LiveAnnotations(
+      DeploymentId id) const;
+
+  // ActivationHandler:
+  void ActivateSensors(const std::vector<std::string>& sensor_ids,
+                       Timestamp at) override;
+  void DeactivateSensors(const std::vector<std::string>& sensor_ids,
+                         Timestamp at) override;
+
+ private:
+  struct Edge {
+    std::string to;
+    size_t port = 0;
+    bool to_sink = false;
+    dsn::QosParams qos;
+  };
+  struct DeployedOperator {
+    std::unique_ptr<ops::Operator> op;
+    std::string node_id;
+    net::EventLoop::TimerId flush_timer = 0;
+  };
+  struct DeployedSink {
+    std::unique_ptr<sinks::Sink> sink;
+    std::string node_id;
+  };
+  struct Deployment {
+    DeploymentId id = 0;
+    bool active = false;
+    dataflow::Dataflow dataflow;
+    std::map<std::string, DeployedOperator> operators;
+    std::map<std::string, DeployedSink> sinks;
+    std::map<std::string, std::string> source_nodes;
+    std::map<std::string, std::vector<Edge>> edges;  // by producer
+    std::vector<pubsub::Broker::SubscriptionId> subscriptions;
+    DeploymentStats stats;
+  };
+
+  /// Fans a tuple emitted by `producer` (on `producer_node`) out along
+  /// its edges through the network.
+  void Route(Deployment* deployment, const std::string& producer,
+             const std::string& producer_node, const stt::Tuple& tuple);
+
+  /// Network node where a sensor's tuples enter (query-bound sources).
+  std::string ResolveOrigin(const std::string& sensor_id) const;
+
+  /// Delivers a tuple at its destination operator/sink.
+  void Deliver(Deployment* deployment, const Edge& edge,
+               const stt::Tuple& tuple);
+
+  /// Operator samples for the monitor (resets window counters).
+  std::vector<monitor::OperatorSample> SampleOperators(Duration window);
+
+  /// Auto-rebalance hook run on each monitor tick.
+  void OnMonitorTick(const monitor::MonitorReport& report);
+
+  size_t TupleBytes(const stt::Tuple& tuple) const;
+
+  net::EventLoop* loop_;
+  net::Network* network_;
+  pubsub::Broker* broker_;
+  monitor::Monitor* monitor_;
+  sinks::SinkContext sink_context_;
+  ExecutorOptions options_;
+  Placer placer_;
+  sensors::SensorFleet* fleet_ = nullptr;
+  DeploymentId next_id_ = 1;
+  std::map<DeploymentId, std::unique_ptr<Deployment>> deployments_;
+  /// Per-deployment activation adapters (type-erased; see executor.cc).
+  std::map<DeploymentId, std::shared_ptr<void>> deployment_details_;
+  ScnLog scn_log_;
+};
+
+}  // namespace sl::exec
+
+#endif  // STREAMLOADER_EXEC_EXECUTOR_H_

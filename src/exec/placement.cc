@@ -1,0 +1,94 @@
+#include "exec/placement.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace sl::exec {
+
+const char* PlacementStrategyToString(PlacementStrategy strategy) {
+  switch (strategy) {
+    case PlacementStrategy::kRoundRobin: return "round_robin";
+    case PlacementStrategy::kLeastLoaded: return "least_loaded";
+    case PlacementStrategy::kSensorLocality: return "sensor_locality";
+  }
+  return "?";
+}
+
+Result<PlacementStrategy> PlacementStrategyFromString(
+    const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "round_robin" || n == "roundrobin")
+    return PlacementStrategy::kRoundRobin;
+  if (n == "least_loaded" || n == "leastloaded")
+    return PlacementStrategy::kLeastLoaded;
+  if (n == "sensor_locality" || n == "locality")
+    return PlacementStrategy::kSensorLocality;
+  return Status::ParseError("unknown placement strategy '" + name + "'");
+}
+
+Result<std::string> Placer::LeastLoadedNode(const std::string& exclude) const {
+  std::vector<std::string> ids = network_->NodeIds();
+  if (ids.empty()) return Status::FailedPrecondition("network has no nodes");
+  const net::NodeState* best = nullptr;
+  std::string best_id;
+  for (const auto& id : ids) {
+    if (id == exclude && ids.size() > 1) continue;
+    const net::NodeState* state = *network_->node(id);
+    if (best == nullptr) {
+      best = state;
+      best_id = id;
+      continue;
+    }
+    double load_a = state->work_in_window / state->config.capacity_per_sec;
+    double load_b = best->work_in_window / best->config.capacity_per_sec;
+    if (load_a < load_b ||
+        (load_a == load_b && state->process_count < best->process_count)) {
+      best = state;
+      best_id = id;
+    }
+  }
+  return best_id;
+}
+
+Result<std::string> Placer::Place(
+    const std::vector<std::string>& upstream_nodes,
+    const std::string& exclude) {
+  std::vector<std::string> ids = network_->NodeIds();
+  if (ids.empty()) return Status::FailedPrecondition("network has no nodes");
+
+  switch (strategy_) {
+    case PlacementStrategy::kRoundRobin: {
+      for (size_t attempt = 0; attempt < ids.size(); ++attempt) {
+        const std::string& id = ids[round_robin_next_ % ids.size()];
+        ++round_robin_next_;
+        if (id != exclude || ids.size() == 1) return id;
+      }
+      return ids[0];
+    }
+    case PlacementStrategy::kLeastLoaded:
+      return LeastLoadedNode(exclude);
+    case PlacementStrategy::kSensorLocality: {
+      // Majority vote over the (known) upstream nodes.
+      std::map<std::string, size_t> votes;
+      for (const auto& up : upstream_nodes) {
+        if (!up.empty() && up != exclude && network_->HasNode(up)) {
+          ++votes[up];
+        }
+      }
+      if (!votes.empty()) {
+        auto best = std::max_element(
+            votes.begin(), votes.end(), [](const auto& a, const auto& b) {
+              return a.second < b.second ||
+                     (a.second == b.second && a.first > b.first);
+            });
+        return best->first;
+      }
+      return LeastLoadedNode(exclude);
+    }
+  }
+  return Status::Internal("unreachable placement strategy");
+}
+
+}  // namespace sl::exec

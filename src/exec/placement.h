@@ -1,0 +1,55 @@
+// StreamLoader: operator placement strategies.
+//
+// "operations [are] located on the machines that, depending on workload,
+// apply the logic specified in the conceptual dataflow" (§3). The Placer
+// picks the node for each operator process at deployment, and the
+// executor re-invokes it when workload-driven re-assignment migrates an
+// operation (Figure 3's "when the assignment changes").
+
+#ifndef STREAMLOADER_EXEC_PLACEMENT_H_
+#define STREAMLOADER_EXEC_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace sl::exec {
+
+enum class PlacementStrategy {
+  kRoundRobin,     ///< cycle through the nodes (baseline)
+  kLeastLoaded,    ///< node with the lowest work-per-capacity this window
+  kSensorLocality, ///< co-locate with the majority upstream node
+};
+
+const char* PlacementStrategyToString(PlacementStrategy strategy);
+Result<PlacementStrategy> PlacementStrategyFromString(const std::string& name);
+
+/// \brief Chooses nodes for operator processes.
+class Placer {
+ public:
+  Placer(net::Network* network, PlacementStrategy strategy)
+      : network_(network), strategy_(strategy) {}
+
+  PlacementStrategy strategy() const { return strategy_; }
+
+  /// \brief Picks the node for a new process whose upstream producers
+  /// run on `upstream_nodes` (sensor-managing nodes for sources,
+  /// operator nodes otherwise; empty entries are ignored).
+  /// `exclude` (optional) is never chosen unless it is the only node.
+  Result<std::string> Place(const std::vector<std::string>& upstream_nodes,
+                            const std::string& exclude = "");
+
+  /// Node with the lowest current load (work/capacity, then process
+  /// count, then id).
+  Result<std::string> LeastLoadedNode(const std::string& exclude = "") const;
+
+ private:
+  net::Network* network_;
+  PlacementStrategy strategy_;
+  size_t round_robin_next_ = 0;
+};
+
+}  // namespace sl::exec
+
+#endif  // STREAMLOADER_EXEC_PLACEMENT_H_

@@ -1,0 +1,65 @@
+#include "exec/scn_log.h"
+
+#include "util/strings.h"
+
+namespace sl::exec {
+
+const char* ScnCommandKindToString(ScnCommandKind kind) {
+  switch (kind) {
+    case ScnCommandKind::kBindSource: return "BIND_SOURCE";
+    case ScnCommandKind::kDeployService: return "DEPLOY_SERVICE";
+    case ScnCommandKind::kConfigureFlow: return "CONFIGURE_FLOW";
+    case ScnCommandKind::kStartDataflow: return "START_DATAFLOW";
+    case ScnCommandKind::kStopDataflow: return "STOP_DATAFLOW";
+    case ScnCommandKind::kMigrateService: return "MIGRATE_SERVICE";
+    case ScnCommandKind::kReplaceService: return "REPLACE_SERVICE";
+    case ScnCommandKind::kActivateStream: return "ACTIVATE_STREAM";
+    case ScnCommandKind::kDeactivateStream: return "DEACTIVATE_STREAM";
+  }
+  return "?";
+}
+
+std::string ScnCommand::ToString() const {
+  std::string out = FormatTimestamp(at);
+  out += "  ";
+  out += ScnCommandKindToString(kind);
+  if (!subject.empty()) {
+    out += " ";
+    out += subject;
+  }
+  if (!detail.empty()) {
+    out += " -> ";
+    out += detail;
+  }
+  return out;
+}
+
+void ScnLog::Record(Timestamp at, ScnCommandKind kind, uint64_t deployment,
+                    std::string subject, std::string detail) {
+  ScnCommand cmd;
+  cmd.at = at;
+  cmd.kind = kind;
+  cmd.deployment = deployment;
+  cmd.subject = std::move(subject);
+  cmd.detail = std::move(detail);
+  commands_.push_back(std::move(cmd));
+}
+
+std::vector<ScnCommand> ScnLog::ForDeployment(uint64_t deployment) const {
+  std::vector<ScnCommand> out;
+  for (const auto& cmd : commands_) {
+    if (cmd.deployment == deployment) out.push_back(cmd);
+  }
+  return out;
+}
+
+std::string ScnLog::ToScript() const {
+  std::string out;
+  for (const auto& cmd : commands_) {
+    out += cmd.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sl::exec

@@ -1,0 +1,76 @@
+// StreamLoader: the SCN command log.
+//
+// The SCN protocol stack "interprets the DSN description and dynamically
+// coordinates the network configurations" [8]. Every configuration
+// action the executor takes — deploying a service to a node, binding a
+// source to a sensor, configuring a flow with its QoS, migrating or
+// replacing a service, activating or de-activating a sensor stream — is
+// recorded as an ScnCommand, so the exact actuation sequence of a
+// dataflow is observable and replayable as a script (demo P2: "we will
+// show its translation in the DSN/SCN language and deployment at
+// network level").
+
+#ifndef STREAMLOADER_EXEC_SCN_LOG_H_
+#define STREAMLOADER_EXEC_SCN_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace sl::exec {
+
+enum class ScnCommandKind {
+  kBindSource,        ///< source service bound to a sensor at its node
+  kDeployService,     ///< operator/sink process placed on a node
+  kConfigureFlow,     ///< flow provisioned with QoS parameters
+  kStartDataflow,     ///< all services live, subscriptions open
+  kStopDataflow,      ///< deployment torn down
+  kMigrateService,    ///< process moved between nodes
+  kReplaceService,    ///< operator logic swapped on the fly
+  kActivateStream,    ///< trigger started a sensor stream
+  kDeactivateStream,  ///< trigger stopped a sensor stream
+};
+
+const char* ScnCommandKindToString(ScnCommandKind kind);
+
+/// \brief One network-configuration action.
+struct ScnCommand {
+  Timestamp at = 0;
+  ScnCommandKind kind = ScnCommandKind::kDeployService;
+  /// Deployment the command belongs to (0 = none/global).
+  uint64_t deployment = 0;
+  /// The service / sensor / flow the command concerns.
+  std::string subject;
+  /// Target of the action (node id, sensor id, "from->to", QoS text).
+  std::string detail;
+
+  /// "2016-03-15T08:00:00.000Z  DEPLOY_SERVICE hourly -> node_1".
+  std::string ToString() const;
+};
+
+/// \brief Append-only log of SCN commands.
+class ScnLog {
+ public:
+  void Record(Timestamp at, ScnCommandKind kind, uint64_t deployment,
+              std::string subject, std::string detail);
+
+  const std::vector<ScnCommand>& commands() const { return commands_; }
+
+  /// Commands of one deployment, in order.
+  std::vector<ScnCommand> ForDeployment(uint64_t deployment) const;
+
+  /// The whole log as a line-per-command script.
+  std::string ToScript() const;
+
+  void Clear() { commands_.clear(); }
+  size_t size() const { return commands_.size(); }
+
+ private:
+  std::vector<ScnCommand> commands_;
+};
+
+}  // namespace sl::exec
+
+#endif  // STREAMLOADER_EXEC_SCN_LOG_H_

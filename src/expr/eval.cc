@@ -1,0 +1,425 @@
+#include "expr/eval.h"
+
+#include <cmath>
+
+#include "expr/parser.h"
+#include "util/strings.h"
+
+namespace sl::expr {
+
+using stt::Value;
+using stt::ValueType;
+
+/// One node of the bound (type-annotated, index-resolved) tree.
+struct BoundExpr::Node {
+  ExprKind kind;
+  ValueType type = ValueType::kNull;
+  // kLiteral
+  Value literal;
+  // kAttr
+  size_t attr_index = 0;
+  // kMeta
+  MetaAttr meta = MetaAttr::kTimestamp;
+  // kUnary / kBinary
+  UnaryOp uop = UnaryOp::kNeg;
+  BinaryOp bop = BinaryOp::kAdd;
+  // kCall
+  const FunctionDef* fn = nullptr;
+  std::vector<Node> children;
+};
+
+namespace {
+
+bool IsNullType(ValueType t) { return t == ValueType::kNull; }
+
+bool NumericOrNull(ValueType t) {
+  return stt::IsNumeric(t) || IsNullType(t);
+}
+
+// Result type of an arithmetic op; kNull when the combination is invalid.
+Result<ValueType> ArithmeticType(BinaryOp op, ValueType l, ValueType r) {
+  // String concatenation with '+'.
+  if (op == BinaryOp::kAdd &&
+      (l == ValueType::kString || r == ValueType::kString) &&
+      !stt::IsNumeric(l) && !stt::IsNumeric(r)) {
+    if ((l == ValueType::kString || IsNullType(l)) &&
+        (r == ValueType::kString || IsNullType(r))) {
+      return ValueType::kString;
+    }
+  }
+  // Timestamp arithmetic: ts - ts -> int (ms); ts +- int -> ts.
+  if (l == ValueType::kTimestamp || r == ValueType::kTimestamp) {
+    if (op == BinaryOp::kSub && l == ValueType::kTimestamp &&
+        r == ValueType::kTimestamp) {
+      return ValueType::kInt;
+    }
+    if ((op == BinaryOp::kAdd || op == BinaryOp::kSub) &&
+        l == ValueType::kTimestamp &&
+        (r == ValueType::kInt || IsNullType(r))) {
+      return ValueType::kTimestamp;
+    }
+    if (op == BinaryOp::kAdd && r == ValueType::kTimestamp &&
+        (l == ValueType::kInt || IsNullType(l))) {
+      return ValueType::kTimestamp;
+    }
+    return Status::TypeError(
+        StrFormat("invalid timestamp arithmetic: %s %s %s",
+                  stt::ValueTypeToString(l), BinaryOpToString(op),
+                  stt::ValueTypeToString(r)));
+  }
+  if (!NumericOrNull(l) || !NumericOrNull(r)) {
+    return Status::TypeError(StrFormat(
+        "operator %s expects numeric operands but got %s and %s",
+        BinaryOpToString(op), stt::ValueTypeToString(l),
+        stt::ValueTypeToString(r)));
+  }
+  if (op == BinaryOp::kDiv) return ValueType::kDouble;
+  if (l == ValueType::kDouble || r == ValueType::kDouble)
+    return ValueType::kDouble;
+  return ValueType::kInt;  // also the null-wildcard default
+}
+
+Result<ValueType> ComparisonType(BinaryOp op, ValueType l, ValueType r) {
+  if (IsNullType(l) || IsNullType(r)) return ValueType::kBool;
+  bool both_numeric = stt::IsNumeric(l) && stt::IsNumeric(r);
+  if (both_numeric || l == r) {
+    if (l == ValueType::kGeoPoint && op != BinaryOp::kEq &&
+        op != BinaryOp::kNe) {
+      return Status::TypeError("geopoints only support == and !=");
+    }
+    return ValueType::kBool;
+  }
+  return Status::TypeError(StrFormat(
+      "cannot compare %s with %s", stt::ValueTypeToString(l),
+      stt::ValueTypeToString(r)));
+}
+
+}  // namespace
+
+Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  if (schema == nullptr) return Status::InvalidArgument("null schema");
+
+  // Recursive binder building the bound tree bottom-up.
+  struct Binder {
+    const stt::Schema& schema;
+
+    Result<Node> Build(const Expr& e) {
+      Node node;
+      node.kind = e.kind();
+      switch (e.kind()) {
+        case ExprKind::kLiteral: {
+          node.literal = static_cast<const LiteralExpr&>(e).value();
+          node.type = node.literal.type();
+          return node;
+        }
+        case ExprKind::kAttr: {
+          const auto& attr = static_cast<const AttrExpr&>(e);
+          SL_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(attr.name()));
+          node.attr_index = idx;
+          node.type = schema.fields()[idx].type;
+          return node;
+        }
+        case ExprKind::kMeta: {
+          node.meta = static_cast<const MetaExpr&>(e).attr();
+          switch (node.meta) {
+            case MetaAttr::kTimestamp: node.type = ValueType::kTimestamp; break;
+            case MetaAttr::kLat:
+            case MetaAttr::kLon: node.type = ValueType::kDouble; break;
+            case MetaAttr::kSensor:
+            case MetaAttr::kTheme: node.type = ValueType::kString; break;
+          }
+          return node;
+        }
+        case ExprKind::kUnary: {
+          const auto& u = static_cast<const UnaryExpr&>(e);
+          SL_ASSIGN_OR_RETURN(Node child, Build(*u.operand()));
+          node.uop = u.op();
+          if (u.op() == UnaryOp::kNeg) {
+            if (!NumericOrNull(child.type)) {
+              return Status::TypeError("unary - expects a numeric operand");
+            }
+            node.type = child.type == ValueType::kDouble ? ValueType::kDouble
+                                                         : ValueType::kInt;
+          } else {
+            if (child.type != ValueType::kBool && !IsNullType(child.type)) {
+              return Status::TypeError("not expects a bool operand");
+            }
+            node.type = ValueType::kBool;
+          }
+          node.children.push_back(std::move(child));
+          return node;
+        }
+        case ExprKind::kBinary: {
+          const auto& b = static_cast<const BinaryExpr&>(e);
+          SL_ASSIGN_OR_RETURN(Node left, Build(*b.left()));
+          SL_ASSIGN_OR_RETURN(Node right, Build(*b.right()));
+          node.bop = b.op();
+          switch (b.op()) {
+            case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul:
+            case BinaryOp::kDiv: case BinaryOp::kMod: {
+              SL_ASSIGN_OR_RETURN(node.type,
+                                  ArithmeticType(b.op(), left.type, right.type));
+              break;
+            }
+            case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+            case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe: {
+              SL_ASSIGN_OR_RETURN(node.type,
+                                  ComparisonType(b.op(), left.type, right.type));
+              break;
+            }
+            case BinaryOp::kAnd: case BinaryOp::kOr: {
+              auto ok = [](ValueType t) {
+                return t == ValueType::kBool || IsNullType(t);
+              };
+              if (!ok(left.type) || !ok(right.type)) {
+                return Status::TypeError(
+                    StrFormat("%s expects bool operands but got %s and %s",
+                              BinaryOpToString(b.op()),
+                              stt::ValueTypeToString(left.type),
+                              stt::ValueTypeToString(right.type)));
+              }
+              node.type = ValueType::kBool;
+              break;
+            }
+          }
+          node.children.push_back(std::move(left));
+          node.children.push_back(std::move(right));
+          return node;
+        }
+        case ExprKind::kCall: {
+          const auto& c = static_cast<const CallExpr&>(e);
+          SL_ASSIGN_OR_RETURN(const FunctionDef* fn,
+                              FunctionRegistry::Global().Find(c.name()));
+          if (c.args().size() < fn->min_args ||
+              c.args().size() > fn->max_args) {
+            return Status::TypeError(StrFormat(
+                "%s expects %zu..%zu arguments, got %zu  [%s]",
+                fn->name.c_str(), fn->min_args,
+                fn->max_args == SIZE_MAX ? c.args().size() : fn->max_args,
+                c.args().size(), fn->signature.c_str()));
+          }
+          std::vector<ValueType> arg_types;
+          for (const auto& arg : c.args()) {
+            SL_ASSIGN_OR_RETURN(Node child, Build(*arg));
+            arg_types.push_back(child.type);
+            node.children.push_back(std::move(child));
+          }
+          SL_ASSIGN_OR_RETURN(node.type, fn->check(arg_types));
+          node.fn = fn;
+          return node;
+        }
+      }
+      return Status::Internal("unreachable expression kind");
+    }
+  };
+
+  Binder binder{*schema};
+  SL_ASSIGN_OR_RETURN(Node root, binder.Build(*expr));
+
+  BoundExpr bound;
+  bound.expr_ = std::move(expr);
+  bound.schema_ = std::move(schema);
+  bound.type_ = root.type;
+  bound.root_ = std::make_shared<const Node>(std::move(root));
+  return bound;
+}
+
+Result<BoundExpr> BoundExpr::Parse(const std::string& source,
+                                   stt::SchemaPtr schema) {
+  SL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(source));
+  return Bind(std::move(expr), std::move(schema));
+}
+
+Result<Value> BoundExpr::Eval(const stt::Tuple& tuple) const {
+  if (root_ == nullptr) {
+    return Status::FailedPrecondition("expression not bound");
+  }
+  return EvalNode(*root_, tuple);
+}
+
+Result<bool> BoundExpr::EvalPredicate(const stt::Tuple& tuple) const {
+  if (type_ != ValueType::kBool && type_ != ValueType::kNull) {
+    return Status::TypeError(
+        StrFormat("condition has type %s, expected bool",
+                  stt::ValueTypeToString(type_)));
+  }
+  SL_ASSIGN_OR_RETURN(Value v, Eval(tuple));
+  if (v.is_null()) return false;
+  if (v.type() != ValueType::kBool) {
+    return Status::Internal("predicate evaluated to non-bool");
+  }
+  return v.AsBool();
+}
+
+Result<Value> BoundExpr::EvalNode(const Node& node,
+                                  const stt::Tuple& t) const {
+  switch (node.kind) {
+    case ExprKind::kLiteral:
+      return node.literal;
+    case ExprKind::kAttr: {
+      const Value& v = t.value(node.attr_index);
+      // Defense in depth: a tuple whose value does not match the schema
+      // the expression was bound against (a misbehaving sensor) is a
+      // per-tuple type error, not silently-ordered garbage.
+      if (!v.is_null() && v.type() != node.type) {
+        return Status::TypeError(StrFormat(
+            "tuple value has type %s but the schema declares %s",
+            stt::ValueTypeToString(v.type()),
+            stt::ValueTypeToString(node.type)));
+      }
+      return v;
+    }
+    case ExprKind::kMeta:
+      switch (node.meta) {
+        case MetaAttr::kTimestamp:
+          return Value::Time(t.timestamp());
+        case MetaAttr::kLat:
+          return t.location().has_value() ? Value::Double(t.location()->lat)
+                                          : Value::Null();
+        case MetaAttr::kLon:
+          return t.location().has_value() ? Value::Double(t.location()->lon)
+                                          : Value::Null();
+        case MetaAttr::kSensor:
+          return Value::String(t.sensor_id());
+        case MetaAttr::kTheme:
+          return Value::String(t.schema() != nullptr
+                                   ? t.schema()->theme().ToString()
+                                   : "*");
+      }
+      return Status::Internal("unreachable meta attr");
+    case ExprKind::kUnary: {
+      SL_ASSIGN_OR_RETURN(Value v, EvalNode(node.children[0], t));
+      if (v.is_null()) return Value::Null();
+      if (node.uop == UnaryOp::kNeg) {
+        if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
+        return Value::Double(-v.AsDouble());
+      }
+      return Value::Bool(!v.AsBool());
+    }
+    case ExprKind::kBinary: {
+      // Kleene logic for and/or with short circuit.
+      if (node.bop == BinaryOp::kAnd || node.bop == BinaryOp::kOr) {
+        SL_ASSIGN_OR_RETURN(Value l, EvalNode(node.children[0], t));
+        bool is_and = node.bop == BinaryOp::kAnd;
+        if (!l.is_null()) {
+          if (is_and && !l.AsBool()) return Value::Bool(false);
+          if (!is_and && l.AsBool()) return Value::Bool(true);
+        }
+        SL_ASSIGN_OR_RETURN(Value r, EvalNode(node.children[1], t));
+        if (!r.is_null()) {
+          if (is_and && !r.AsBool()) return Value::Bool(false);
+          if (!is_and && r.AsBool()) return Value::Bool(true);
+        }
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value::Bool(is_and);  // and: both true; or: both false -> false
+      }
+      SL_ASSIGN_OR_RETURN(Value l, EvalNode(node.children[0], t));
+      SL_ASSIGN_OR_RETURN(Value r, EvalNode(node.children[1], t));
+      if (l.is_null() || r.is_null()) return Value::Null();
+      switch (node.bop) {
+        case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul:
+        case BinaryOp::kDiv: case BinaryOp::kMod: {
+          // String concatenation.
+          if (node.type == ValueType::kString) {
+            return Value::String(l.AsString() + r.AsString());
+          }
+          // Timestamp arithmetic.
+          if (l.type() == ValueType::kTimestamp ||
+              r.type() == ValueType::kTimestamp) {
+            if (node.bop == BinaryOp::kSub &&
+                r.type() == ValueType::kTimestamp &&
+                l.type() == ValueType::kTimestamp) {
+              return Value::Int(l.AsTime() - r.AsTime());
+            }
+            int64_t delta = r.type() == ValueType::kTimestamp ? l.AsInt()
+                                                              : r.AsInt();
+            Timestamp base = l.type() == ValueType::kTimestamp ? l.AsTime()
+                                                               : r.AsTime();
+            return Value::Time(node.bop == BinaryOp::kAdd ? base + delta
+                                                          : base - delta);
+          }
+          if (node.type == ValueType::kInt && node.bop != BinaryOp::kDiv) {
+            int64_t a = l.AsInt();
+            int64_t b = r.AsInt();
+            switch (node.bop) {
+              case BinaryOp::kAdd: return Value::Int(a + b);
+              case BinaryOp::kSub: return Value::Int(a - b);
+              case BinaryOp::kMul: return Value::Int(a * b);
+              case BinaryOp::kMod:
+                if (b == 0) return Value::Null();
+                return Value::Int(a % b);
+              default: break;
+            }
+          }
+          double a = l.type() == ValueType::kInt
+                         ? static_cast<double>(l.AsInt())
+                         : l.AsDouble();
+          double b = r.type() == ValueType::kInt
+                         ? static_cast<double>(r.AsInt())
+                         : r.AsDouble();
+          double out = 0;
+          switch (node.bop) {
+            case BinaryOp::kAdd: out = a + b; break;
+            case BinaryOp::kSub: out = a - b; break;
+            case BinaryOp::kMul: out = a * b; break;
+            case BinaryOp::kDiv:
+              if (b == 0) return Value::Null();
+              out = a / b;
+              break;
+            case BinaryOp::kMod:
+              if (b == 0) return Value::Null();
+              out = std::fmod(a, b);
+              break;
+            default: break;
+          }
+          if (!std::isfinite(out)) return Value::Null();
+          return Value::Double(out);
+        }
+        case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe: {
+          int cmp;
+          if (stt::IsNumeric(l.type()) && stt::IsNumeric(r.type()) &&
+              l.type() != r.type()) {
+            double a = l.type() == ValueType::kInt
+                           ? static_cast<double>(l.AsInt())
+                           : l.AsDouble();
+            double b = r.type() == ValueType::kInt
+                           ? static_cast<double>(r.AsInt())
+                           : r.AsDouble();
+            cmp = a < b ? -1 : (a > b ? 1 : 0);
+          } else {
+            cmp = Value::Compare(l, r);
+          }
+          switch (node.bop) {
+            case BinaryOp::kEq: return Value::Bool(cmp == 0);
+            case BinaryOp::kNe: return Value::Bool(cmp != 0);
+            case BinaryOp::kLt: return Value::Bool(cmp < 0);
+            case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+            case BinaryOp::kGt: return Value::Bool(cmp > 0);
+            case BinaryOp::kGe: return Value::Bool(cmp >= 0);
+            default: break;
+          }
+          return Status::Internal("unreachable comparison");
+        }
+        default:
+          return Status::Internal("unreachable binary op");
+      }
+    }
+    case ExprKind::kCall: {
+      std::vector<Value> args;
+      args.reserve(node.children.size());
+      bool any_null = false;
+      for (const auto& child : node.children) {
+        SL_ASSIGN_OR_RETURN(Value v, EvalNode(child, t));
+        any_null = any_null || v.is_null();
+        args.push_back(std::move(v));
+      }
+      if (any_null && node.fn->propagate_null) return Value::Null();
+      return node.fn->eval(args);
+    }
+  }
+  return Status::Internal("unreachable expression kind in eval");
+}
+
+}  // namespace sl::expr

@@ -1,0 +1,69 @@
+// StreamLoader: binding and evaluation of expressions against a schema.
+//
+// An Expr is untyped until bound to the schema of a concrete stream:
+// binding resolves attribute references to field indices, type-checks
+// every node, and yields a BoundExpr that evaluates tuples without any
+// name lookup on the hot path.
+
+#ifndef STREAMLOADER_EXPR_EVAL_H_
+#define STREAMLOADER_EXPR_EVAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "expr/functions.h"
+#include "stt/tuple.h"
+
+namespace sl::expr {
+
+/// \brief A type-checked expression bound to a schema.
+///
+/// Null semantics follow SQL: arithmetic and comparisons over null are
+/// null; `and`/`or` use Kleene three-valued logic; EvalPredicate treats a
+/// null condition as false. Domain errors at run time (division by zero,
+/// log of a negative number) produce null rather than failing the stream.
+class BoundExpr {
+ public:
+  BoundExpr() = default;
+
+  /// Binds `expr` against `schema`, type-checking every node.
+  static Result<BoundExpr> Bind(ExprPtr expr, stt::SchemaPtr schema);
+
+  /// Parses and binds in one step.
+  static Result<BoundExpr> Parse(const std::string& source,
+                                 stt::SchemaPtr schema);
+
+  /// The static result type of the expression.
+  stt::ValueType result_type() const { return type_; }
+
+  /// The underlying syntax tree.
+  const ExprPtr& expr() const { return expr_; }
+
+  /// The schema this expression is bound to.
+  const stt::SchemaPtr& schema() const { return schema_; }
+
+  /// Evaluates on one tuple (which must conform to the bound schema).
+  Result<stt::Value> Eval(const stt::Tuple& tuple) const;
+
+  /// Evaluates as a condition; requires a bool-typed (or null-typed)
+  /// expression at bind time. A null result is false.
+  Result<bool> EvalPredicate(const stt::Tuple& tuple) const;
+
+  /// True after a successful Bind.
+  bool bound() const { return root_ != nullptr; }
+
+ private:
+  struct Node;
+  Result<stt::Value> EvalNode(const Node& node, const stt::Tuple& t) const;
+
+  ExprPtr expr_;
+  stt::SchemaPtr schema_;
+  std::shared_ptr<const Node> root_;
+  stt::ValueType type_ = stt::ValueType::kNull;
+};
+
+}  // namespace sl::expr
+
+#endif  // STREAMLOADER_EXPR_EVAL_H_

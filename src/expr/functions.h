@@ -1,0 +1,61 @@
+// StreamLoader: builtin functions of the expression language.
+//
+// These realize the transformation requirements of §2: unit-of-measure
+// conversion, coordinate-standard conversion, virtual properties such as
+// apparent temperature, and validation rules such as date-pattern checks.
+
+#ifndef STREAMLOADER_EXPR_FUNCTIONS_H_
+#define STREAMLOADER_EXPR_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stt/value.h"
+#include "util/result.h"
+
+namespace sl::expr {
+
+/// \brief Signature and implementation of one builtin function.
+struct FunctionDef {
+  std::string name;      ///< lower-case call name
+  size_t min_args;
+  size_t max_args;       ///< SIZE_MAX for variadic
+  /// One-line signature for documentation / error messages.
+  std::string signature;
+
+  /// Derives the result type from argument types; kNull arguments act as
+  /// wildcards. Returns TypeError when the arguments don't fit.
+  std::function<Result<stt::ValueType>(const std::vector<stt::ValueType>&)>
+      check;
+
+  /// When true (the default for most functions), a null argument makes
+  /// the result null without invoking `eval`.
+  bool propagate_null = true;
+
+  /// Evaluates the function on non-null arguments (unless
+  /// propagate_null is false, in which case nulls are passed through).
+  /// Domain errors (e.g. unknown unit at runtime) surface as Status.
+  std::function<Result<stt::Value>(const std::vector<stt::Value>&)> eval;
+};
+
+/// \brief The registry of builtin functions.
+class FunctionRegistry {
+ public:
+  /// The process-global registry with all builtins installed.
+  static const FunctionRegistry& Global();
+
+  /// Looks up by lower-case name.
+  Result<const FunctionDef*> Find(const std::string& name) const;
+
+  /// All function names (sorted) — surfaced in the design environment.
+  std::vector<std::string> Names() const;
+
+ private:
+  FunctionRegistry();
+  std::vector<FunctionDef> functions_;
+};
+
+}  // namespace sl::expr
+
+#endif  // STREAMLOADER_EXPR_FUNCTIONS_H_

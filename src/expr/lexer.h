@@ -1,0 +1,55 @@
+// StreamLoader: tokenizer for the expression language and the DSN
+// specification language (both share one lexical grammar).
+
+#ifndef STREAMLOADER_EXPR_LEXER_H_
+#define STREAMLOADER_EXPR_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sl::expr {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,      ///< [A-Za-z_][A-Za-z0-9_]*
+  kDollar,     ///< $ident (STT metadata pseudo-attribute)
+  kInt,        ///< integer literal
+  kDouble,     ///< floating literal
+  kString,     ///< "double-quoted" or 'single-quoted'
+  kLParen, kRParen,
+  kLBrace, kRBrace,
+  kLBracket, kRBracket,
+  kComma, kSemicolon, kColon,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq,         ///< == (or a single = in condition context)
+  kNe,         ///< !=
+  kLt, kLe, kGt, kGe,
+  kArrow,      ///< ->
+  kAt,         ///< @
+  kDot,        ///< .
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// \brief One lexical token. For identifier/string tokens `text` holds
+/// the (unescaped) content; numeric tokens carry their parsed value.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;  ///< byte offset in the source, for error messages
+
+  std::string ToString() const;
+};
+
+/// \brief Tokenizes `source`; `#` starts a comment running to end of line.
+/// The resulting vector always terminates with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace sl::expr
+
+#endif  // STREAMLOADER_EXPR_LEXER_H_

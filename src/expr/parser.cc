@@ -1,0 +1,224 @@
+#include "expr/parser.h"
+
+#include "util/strings.h"
+
+namespace sl::expr {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& tokens, size_t pos)
+      : tokens_(tokens), pos_(pos) {}
+
+  Result<ExprPtr> ParseOr() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (IsKeyword("or")) {
+      Advance();
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = std::make_shared<BinaryExpr>(BinaryOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  Result<ExprPtr> ParseAnd() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (IsKeyword("and")) {
+      Advance();
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = std::make_shared<BinaryExpr>(BinaryOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (IsKeyword("not")) {
+      Advance();
+      SL_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return ExprPtr(std::make_shared<UnaryExpr>(UnaryOp::kNot, operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default: return left;
+    }
+    Advance();
+    SL_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return ExprPtr(std::make_shared<BinaryExpr>(op, left, right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      BinaryOp op = Peek().kind == TokenKind::kPlus ? BinaryOp::kAdd
+                                                    : BinaryOp::kSub;
+      Advance();
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = std::make_shared<BinaryExpr>(op, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash ||
+           Peek().kind == TokenKind::kPercent) {
+      BinaryOp op = Peek().kind == TokenKind::kStar    ? BinaryOp::kMul
+                    : Peek().kind == TokenKind::kSlash ? BinaryOp::kDiv
+                                                       : BinaryOp::kMod;
+      Advance();
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = std::make_shared<BinaryExpr>(op, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kMinus) {
+      Advance();
+      SL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(std::make_shared<UnaryExpr>(UnaryOp::kNeg, operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInt: {
+        Advance();
+        return ExprPtr(
+            std::make_shared<LiteralExpr>(stt::Value::Int(tok.int_value)));
+      }
+      case TokenKind::kDouble: {
+        Advance();
+        return ExprPtr(std::make_shared<LiteralExpr>(
+            stt::Value::Double(tok.double_value)));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return ExprPtr(
+            std::make_shared<LiteralExpr>(stt::Value::String(tok.text)));
+      }
+      case TokenKind::kDollar: {
+        Advance();
+        std::string name = ToLower(tok.text);
+        MetaAttr attr;
+        if (name == "ts" || name == "time") attr = MetaAttr::kTimestamp;
+        else if (name == "lat") attr = MetaAttr::kLat;
+        else if (name == "lon" || name == "lng") attr = MetaAttr::kLon;
+        else if (name == "sensor") attr = MetaAttr::kSensor;
+        else if (name == "theme") attr = MetaAttr::kTheme;
+        else
+          return Error(tok, "unknown metadata attribute $" + tok.text);
+        return ExprPtr(std::make_shared<MetaExpr>(attr));
+      }
+      case TokenKind::kIdent: {
+        std::string lower = ToLower(tok.text);
+        if (lower == "true" || lower == "false") {
+          Advance();
+          return ExprPtr(std::make_shared<LiteralExpr>(
+              stt::Value::Bool(lower == "true")));
+        }
+        if (lower == "null") {
+          Advance();
+          return ExprPtr(std::make_shared<LiteralExpr>(stt::Value::Null()));
+        }
+        // Reserved words never name attributes or functions; reaching
+        // one here means it is misplaced (e.g. "x > not y").
+        if (lower == "not" || lower == "and" || lower == "or") {
+          return Error(tok, "misplaced keyword '" + tok.text + "'");
+        }
+        Advance();
+        if (Peek().kind == TokenKind::kLParen) {
+          Advance();
+          std::vector<ExprPtr> args;
+          if (Peek().kind != TokenKind::kRParen) {
+            while (true) {
+              SL_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+              args.push_back(std::move(arg));
+              if (Peek().kind == TokenKind::kComma) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          if (Peek().kind != TokenKind::kRParen) {
+            return Error(Peek(), "expected ')' in call to " + tok.text);
+          }
+          Advance();
+          return ExprPtr(
+              std::make_shared<CallExpr>(ToLower(tok.text), std::move(args)));
+        }
+        return ExprPtr(std::make_shared<AttrExpr>(tok.text));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        SL_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        if (Peek().kind != TokenKind::kRParen) {
+          return Error(Peek(), "expected ')'");
+        }
+        Advance();
+        return inner;
+      }
+      default:
+        return Error(tok, StrFormat("unexpected token %s in expression",
+                                    tok.ToString().c_str()));
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool IsKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdent && ToLower(Peek().text) == kw;
+  }
+  static Status Error(const Token& tok, const std::string& msg) {
+    return Status::ParseError(
+        StrFormat("%s (at offset %zu)", msg.c_str(), tok.offset));
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& source) {
+  SL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(tokens, 0);
+  SL_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseOr());
+  if (tokens[parser.pos()].kind != TokenKind::kEnd) {
+    return Status::ParseError(StrFormat(
+        "trailing input after expression at offset %zu: '%s'",
+        tokens[parser.pos()].offset, tokens[parser.pos()].ToString().c_str()));
+  }
+  return expr;
+}
+
+Result<ExprPtr> ParseExpressionTokens(const std::vector<Token>& tokens,
+                                      size_t* pos) {
+  Parser parser(tokens, *pos);
+  SL_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseOr());
+  *pos = parser.pos();
+  return expr;
+}
+
+}  // namespace sl::expr

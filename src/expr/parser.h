@@ -1,0 +1,30 @@
+// StreamLoader: recursive-descent parser for the expression language.
+
+#ifndef STREAMLOADER_EXPR_PARSER_H_
+#define STREAMLOADER_EXPR_PARSER_H_
+
+#include <string>
+
+#include "expr/ast.h"
+#include "expr/lexer.h"
+#include "util/result.h"
+
+namespace sl::expr {
+
+/// \brief Parses a complete expression; trailing input is an error.
+///
+/// Grammar (precedence low to high): or, and, not, comparison
+/// (non-associative), additive, multiplicative, unary minus, primary.
+/// A single `=` is accepted as equality (conditions are written by
+/// domain experts, §2).
+Result<ExprPtr> ParseExpression(const std::string& source);
+
+/// \brief Parses one expression from a pre-tokenized stream starting at
+/// `*pos`, advancing `*pos` past the expression. Used by the DSN parser
+/// to parse embedded conditions.
+Result<ExprPtr> ParseExpressionTokens(const std::vector<Token>& tokens,
+                                      size_t* pos);
+
+}  // namespace sl::expr
+
+#endif  // STREAMLOADER_EXPR_PARSER_H_

@@ -1,0 +1,152 @@
+// StreamLoader: execution monitoring.
+//
+// "Logs of the activities are collected by the monitor module and made
+// available to the Web Interface ... we are able to report the number of
+// tuples that each operation handles per second, the node that suffers
+// because of high workload, which node is in charge of executing an
+// operation and when the assignment changes" (§3). The Monitor samples
+// the executor and the network on a periodic tick and keeps a bounded
+// history of reports — Figure 3 as data.
+
+#ifndef STREAMLOADER_MONITOR_MONITOR_H_
+#define STREAMLOADER_MONITOR_MONITOR_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/network.h"
+
+namespace sl::monitor {
+
+/// \brief Per-operator measurements over one monitoring window.
+struct OperatorSample {
+  std::string dataflow;
+  std::string op_name;
+  std::string node_id;       ///< node in charge of executing the operation
+  double in_per_sec = 0;     ///< tuples consumed per second
+  double out_per_sec = 0;    ///< tuples emitted per second
+  uint64_t total_in = 0;
+  uint64_t total_out = 0;
+  size_t cache_size = 0;     ///< blocking operations
+  uint64_t trigger_fires = 0;
+};
+
+/// \brief Per-node measurements over one monitoring window.
+struct NodeSample {
+  std::string node_id;
+  double utilization = 0;    ///< window work / window capacity (can be > 1)
+  double work_in_window = 0;
+  int process_count = 0;
+};
+
+/// \brief A change in operator-to-node assignment (placement or
+/// migration).
+struct AssignmentChange {
+  Timestamp at = 0;
+  std::string dataflow;
+  std::string op_name;
+  std::string from_node;  ///< "" for the initial placement
+  std::string to_node;
+
+  std::string ToString() const;
+};
+
+/// \brief One monitoring tick's complete picture.
+struct MonitorReport {
+  Timestamp at = 0;
+  Duration window = 0;
+  std::vector<OperatorSample> operators;
+  std::vector<NodeSample> nodes;
+
+  /// The node with the highest utilization ("the node that suffers"),
+  /// or nullptr when there are no nodes.
+  const NodeSample* BusiestNode() const;
+
+  /// Textual dashboard (the Figure 3 view).
+  std::string ToString() const;
+
+  /// Machine-readable JSON document.
+  std::string ToJson() const;
+};
+
+/// \brief Collects samples on a periodic tick.
+class Monitor {
+ public:
+  /// Produces the operator samples for the elapsed window; implemented
+  /// by the executor, which also resets its window counters.
+  using OperatorSampler = std::function<std::vector<OperatorSample>(Duration)>;
+  /// Invoked after each report is recorded (the executor uses this for
+  /// workload-driven re-placement).
+  using TickListener = std::function<void(const MonitorReport&)>;
+
+  Monitor(net::EventLoop* loop, net::Network* network)
+      : loop_(loop), network_(network) {}
+  ~Monitor() { Stop(); }
+
+  /// Sampling window / tick period (default 10 s); set before Start.
+  void set_window(Duration window) { window_ = window; }
+  Duration window() const { return window_; }
+
+  void set_operator_sampler(OperatorSampler sampler) {
+    sampler_ = std::move(sampler);
+  }
+  void set_tick_listener(TickListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Maximum reports retained (default 256; older ones are dropped).
+  void set_history_limit(size_t limit) { history_limit_ = limit; }
+
+  /// Begins periodic sampling on the event loop.
+  Status Start();
+  void Stop();
+  bool running() const { return timer_ != 0; }
+
+  /// Records a placement or migration (executor calls this).
+  void RecordAssignment(const std::string& dataflow, const std::string& op,
+                        const std::string& from_node,
+                        const std::string& to_node);
+
+  /// Appends a free-form log line (timestamped).
+  void Log(const std::string& message);
+
+  /// Takes one sample immediately (also what the periodic tick does).
+  MonitorReport Sample();
+
+  const std::deque<MonitorReport>& reports() const { return reports_; }
+  const MonitorReport* latest() const {
+    return reports_.empty() ? nullptr : &reports_.back();
+  }
+
+  /// \brief Renders the report history as one text sparkline per
+  /// operation (input tuples/sec over time) plus one per node
+  /// (utilization) — Figure 3's "flows of data that are monitored",
+  /// terminal edition. At most `width` most recent ticks are shown.
+  std::string RenderHistory(size_t width = 60) const;
+  const std::vector<AssignmentChange>& assignment_changes() const {
+    return assignment_changes_;
+  }
+  const std::vector<std::string>& log_lines() const { return log_lines_; }
+
+ private:
+  void Tick();
+
+  net::EventLoop* loop_;
+  net::Network* network_;
+  Duration window_ = 10 * duration::kSecond;
+  OperatorSampler sampler_;
+  TickListener listener_;
+  net::EventLoop::TimerId timer_ = 0;
+  Timestamp last_tick_ = 0;
+  size_t history_limit_ = 256;
+  std::deque<MonitorReport> reports_;
+  std::vector<AssignmentChange> assignment_changes_;
+  std::vector<std::string> log_lines_;
+};
+
+}  // namespace sl::monitor
+
+#endif  // STREAMLOADER_MONITOR_MONITOR_H_

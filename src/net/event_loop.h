@@ -1,0 +1,99 @@
+// StreamLoader: the discrete-event engine.
+//
+// The whole system — sensor emissions, blocking-operator flushes, network
+// message delivery, SCN monitoring ticks — runs as events on one
+// EventLoop over a virtual clock. This makes every run deterministic and
+// lets benches simulate hours of stream time in milliseconds.
+
+#ifndef STREAMLOADER_NET_EVENT_LOOP_H_
+#define STREAMLOADER_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace sl::net {
+
+/// \brief A single-threaded virtual-time event loop.
+///
+/// Events scheduled for the same instant run in scheduling order (stable
+/// FIFO tie-break), which the operator semantics rely on.
+class EventLoop {
+ public:
+  using TimerId = uint64_t;
+  using Callback = std::function<void()>;
+
+  explicit EventLoop(Timestamp start = 0) : clock_(start) {}
+
+  /// The loop's clock (advanced only by Run* methods).
+  const VirtualClock& clock() const { return clock_; }
+  Timestamp Now() const { return clock_.Now(); }
+
+  /// Schedules `fn` at absolute time `at`; times in the past run at the
+  /// current time. Returns an id usable with Cancel.
+  TimerId Schedule(Timestamp at, Callback fn);
+
+  /// Schedules `fn` after a non-negative delay.
+  TimerId ScheduleAfter(Duration delay, Callback fn);
+
+  /// Schedules `fn` every `period` (> 0), first at `first_at` (defaults
+  /// to now + period), until cancelled.
+  TimerId SchedulePeriodic(Duration period, Callback fn,
+                           Timestamp first_at = -1);
+
+  /// Cancels a pending (or periodic) timer; returns false when the id is
+  /// unknown or already fired.
+  bool Cancel(TimerId id);
+
+  /// Runs all events with time <= `until`, then advances the clock to
+  /// `until`. Returns the number of events executed.
+  size_t RunUntil(Timestamp until);
+
+  /// RunUntil(now + d).
+  size_t RunFor(Duration d);
+
+  /// Runs events (advancing the clock as needed) until none remain or
+  /// `max_events` have executed. Beware: periodic timers never drain.
+  size_t RunUntilIdle(size_t max_events = SIZE_MAX);
+
+  /// Pending (non-cancelled) event count.
+  size_t pending() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total events executed over the loop's lifetime.
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct QueueItem {
+    Timestamp at;
+    uint64_t seq;
+    TimerId id;
+    bool operator>(const QueueItem& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+  struct Entry {
+    Callback fn;
+    Duration period = 0;  // > 0 for periodic timers
+  };
+
+  /// Pops and runs the next due event (<= limit); returns false if none.
+  bool RunOne(Timestamp limit);
+
+  VirtualClock clock_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
+      queue_;
+  std::unordered_map<TimerId, Entry> entries_;
+  TimerId next_id_ = 1;
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace sl::net
+
+#endif  // STREAMLOADER_NET_EVENT_LOOP_H_

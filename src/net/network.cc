@@ -1,0 +1,282 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/strings.h"
+
+namespace sl::net {
+
+Status Network::AddNode(const NodeConfig& config) {
+  if (!IsIdentifier(config.id)) {
+    return Status::InvalidArgument("node id '" + config.id +
+                                   "' is not a valid identifier");
+  }
+  if (nodes_.count(config.id) > 0) {
+    return Status::AlreadyExists("node '" + config.id + "' already exists");
+  }
+  if (config.capacity_per_sec <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("node '%s' has non-positive capacity %g", config.id.c_str(),
+                  config.capacity_per_sec));
+  }
+  NodeState state;
+  state.config = config;
+  nodes_.emplace(config.id, std::move(state));
+  adj_.emplace(config.id, std::vector<std::pair<std::string, size_t>>{});
+  return Status::OK();
+}
+
+Status Network::AddLink(const LinkConfig& config) {
+  if (nodes_.count(config.a) == 0) {
+    return Status::NotFound("link endpoint '" + config.a + "' does not exist");
+  }
+  if (nodes_.count(config.b) == 0) {
+    return Status::NotFound("link endpoint '" + config.b + "' does not exist");
+  }
+  if (config.a == config.b) {
+    return Status::InvalidArgument("self-link on node '" + config.a + "'");
+  }
+  if (config.latency < 0 || config.bandwidth_bytes_per_ms <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("link %s-%s has invalid latency/bandwidth", config.a.c_str(),
+                  config.b.c_str()));
+  }
+  for (const auto& [nbr, idx] : adj_[config.a]) {
+    if (nbr == config.b) {
+      return Status::AlreadyExists(
+          StrFormat("link %s-%s already exists", config.a.c_str(),
+                    config.b.c_str()));
+    }
+  }
+  size_t idx = links_.size();
+  LinkState state;
+  state.config = config;
+  links_.push_back(std::move(state));
+  adj_[config.a].emplace_back(config.b, idx);
+  adj_[config.b].emplace_back(config.a, idx);
+  return Status::OK();
+}
+
+Status Network::RemoveNode(const std::string& id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node '" + id + "' does not exist");
+  }
+  if (it->second.process_count > 0) {
+    return Status::FailedPrecondition(
+        StrFormat("node '%s' still hosts %d processes", id.c_str(),
+                  it->second.process_count));
+  }
+  nodes_.erase(it);
+  adj_.erase(id);
+  // Drop links touching the node. Link indices change, so rebuild the
+  // adjacency structure.
+  std::vector<LinkState> kept;
+  for (auto& link : links_) {
+    if (link.config.a != id && link.config.b != id) {
+      kept.push_back(std::move(link));
+    }
+  }
+  links_ = std::move(kept);
+  for (auto& [node, neighbors] : adj_) neighbors.clear();
+  for (size_t i = 0; i < links_.size(); ++i) {
+    adj_[links_[i].config.a].emplace_back(links_[i].config.b, i);
+    adj_[links_[i].config.b].emplace_back(links_[i].config.a, i);
+  }
+  return Status::OK();
+}
+
+Status Network::RemoveLink(const std::string& a, const std::string& b) {
+  bool found = false;
+  std::vector<LinkState> kept;
+  for (auto& link : links_) {
+    bool match = (link.config.a == a && link.config.b == b) ||
+                 (link.config.a == b && link.config.b == a);
+    if (match) {
+      found = true;
+    } else {
+      kept.push_back(std::move(link));
+    }
+  }
+  if (!found) {
+    return Status::NotFound(
+        StrFormat("no link between '%s' and '%s'", a.c_str(), b.c_str()));
+  }
+  links_ = std::move(kept);
+  for (auto& [node, neighbors] : adj_) neighbors.clear();
+  for (size_t i = 0; i < links_.size(); ++i) {
+    adj_[links_[i].config.a].emplace_back(links_[i].config.b, i);
+    adj_[links_[i].config.b].emplace_back(links_[i].config.a, i);
+  }
+  return Status::OK();
+}
+
+Result<const NodeState*> Network::node(const std::string& id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node '" + id + "' does not exist");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Network::NodeIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, state] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+Result<std::vector<std::string>> Network::Route(const std::string& from,
+                                                const std::string& to) const {
+  if (nodes_.count(from) == 0) {
+    return Status::NotFound("route source '" + from + "' does not exist");
+  }
+  if (nodes_.count(to) == 0) {
+    return Status::NotFound("route target '" + to + "' does not exist");
+  }
+  if (from == to) return std::vector<std::string>{from};
+
+  // Dijkstra over link latencies.
+  std::map<std::string, Duration> dist;
+  std::map<std::string, std::string> prev;
+  using QItem = std::pair<Duration, std::string>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  dist[from] = 0;
+  pq.emplace(0, from);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    auto adj_it = adj_.find(u);
+    if (adj_it == adj_.end()) continue;
+    for (const auto& [v, link_idx] : adj_it->second) {
+      Duration nd = d + links_[link_idx].config.latency;
+      auto dit = dist.find(v);
+      if (dit == dist.end() || nd < dit->second) {
+        dist[v] = nd;
+        prev[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  if (dist.count(to) == 0) {
+    return Status::NotFound(
+        StrFormat("no path from '%s' to '%s'", from.c_str(), to.c_str()));
+  }
+  std::vector<std::string> path;
+  for (std::string cur = to; ; cur = prev[cur]) {
+    path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Result<Duration> Network::TransferDelay(const std::string& from,
+                                        const std::string& to,
+                                        size_t bytes) const {
+  if (from == to) return Duration{0};
+  SL_ASSIGN_OR_RETURN(std::vector<std::string> path, Route(from, to));
+  Duration latency = 0;
+  double min_bw = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    // Find the link between path[i] and path[i+1].
+    const auto& neighbors = adj_.at(path[i]);
+    for (const auto& [nbr, idx] : neighbors) {
+      if (nbr == path[i + 1]) {
+        latency += links_[idx].config.latency;
+        min_bw = std::min(min_bw, links_[idx].config.bandwidth_bytes_per_ms);
+        break;
+      }
+    }
+  }
+  Duration serialization =
+      static_cast<Duration>(static_cast<double>(bytes) / min_bw);
+  return latency + serialization;
+}
+
+Status Network::Transfer(const std::string& from, const std::string& to,
+                         size_t bytes, std::function<void()> on_delivered) {
+  if (from == to) {
+    if (nodes_.count(from) == 0) {
+      return Status::NotFound("node '" + from + "' does not exist");
+    }
+    loop_->ScheduleAfter(0, std::move(on_delivered));
+    return Status::OK();
+  }
+  SL_ASSIGN_OR_RETURN(std::vector<std::string> path, Route(from, to));
+  SL_ASSIGN_OR_RETURN(Duration delay, TransferDelay(from, to, bytes));
+  // Account bytes on every traversed link.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    for (const auto& [nbr, idx] : adj_.at(path[i])) {
+      if (nbr == path[i + 1]) {
+        links_[idx].bytes_transferred += bytes;
+        links_[idx].messages += 1;
+        break;
+      }
+    }
+  }
+  total_bytes_sent_ += bytes;
+  total_messages_ += 1;
+  loop_->ScheduleAfter(delay, std::move(on_delivered));
+  return Status::OK();
+}
+
+Status Network::ReportWork(const std::string& node_id, double work_units) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node '" + node_id + "' does not exist");
+  }
+  it->second.work_in_window += work_units;
+  it->second.work_total += work_units;
+  return Status::OK();
+}
+
+Status Network::AdjustProcessCount(const std::string& node_id, int delta) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node '" + node_id + "' does not exist");
+  }
+  it->second.process_count += delta;
+  if (it->second.process_count < 0) {
+    it->second.process_count = 0;
+    return Status::Internal("process count underflow on node '" + node_id +
+                            "'");
+  }
+  return Status::OK();
+}
+
+void Network::ResetWindows() {
+  for (auto& [id, state] : nodes_) state.work_in_window = 0;
+}
+
+Status BuildRingTopology(Network* net, size_t n, double capacity_per_sec,
+                         Duration latency, double bandwidth_bytes_per_ms) {
+  if (n == 0) return Status::InvalidArgument("ring topology needs >= 1 node");
+  for (size_t i = 0; i < n; ++i) {
+    NodeConfig node;
+    node.id = StrFormat("node_%zu", i);
+    node.capacity_per_sec = capacity_per_sec;
+    // Spread nodes around the Osaka area so locality placement has
+    // something to work with.
+    node.location = {34.65 + 0.02 * static_cast<double>(i % 8),
+                     135.45 + 0.02 * static_cast<double>(i / 8)};
+    SL_RETURN_IF_ERROR(net->AddNode(node));
+  }
+  if (n == 1) return Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    LinkConfig link;
+    link.a = StrFormat("node_%zu", i);
+    link.b = StrFormat("node_%zu", (i + 1) % n);
+    link.latency = latency;
+    link.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms;
+    if (n == 2 && i == 1) break;  // avoid duplicate link in a 2-ring
+    SL_RETURN_IF_ERROR(net->AddLink(link));
+  }
+  return Status::OK();
+}
+
+}  // namespace sl::net

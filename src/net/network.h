@@ -1,0 +1,163 @@
+// StreamLoader: the programmable-network simulator.
+//
+// Figure 1's bottom layer: a network of nodes, each managing a bunch of
+// sensors and able to execute ETL stream-processing operations. The SCN
+// controller (src/dsn) configures data flows over it; the executor
+// (src/exec) places operator processes on nodes; the monitor reads its
+// per-node and per-link statistics.
+//
+// Simulation model:
+// - a message from node A to node B follows the minimum-latency path
+//   (Dijkstra over link latencies) and arrives after
+//   sum(link latency) + bytes / min(link bandwidth along the path);
+// - per-link byte counters account every traversed link;
+// - nodes have a processing capacity (work units per second) and a
+//   work-in-window counter the monitor samples and resets;
+// - contention is not modelled at the queueing level (messages do not
+//   delay each other) — adequate for reproducing placement and
+//   monitoring behaviour, see DESIGN.md.
+
+#ifndef STREAMLOADER_NET_NETWORK_H_
+#define STREAMLOADER_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "stt/geo.h"
+#include "util/result.h"
+
+namespace sl::net {
+
+/// \brief Static configuration of a node.
+struct NodeConfig {
+  std::string id;
+  /// Work units (≈ tuples) the node can process per second.
+  double capacity_per_sec = 10000.0;
+  /// Geographic position of the node (for locality-aware placement).
+  stt::GeoPoint location;
+};
+
+/// \brief Static configuration of a bidirectional link.
+struct LinkConfig {
+  std::string a;
+  std::string b;
+  Duration latency = 1;                  ///< one-way, ms
+  double bandwidth_bytes_per_ms = 1e6;   ///< 1 GB/s default
+};
+
+/// \brief Runtime state of a node.
+struct NodeState {
+  NodeConfig config;
+  /// Work units executed since the last monitoring-window reset.
+  double work_in_window = 0;
+  /// Work units executed since the node was added.
+  double work_total = 0;
+  /// Number of operator processes currently placed here.
+  int process_count = 0;
+
+  /// Utilization over a window of `window_ms`: work done divided by the
+  /// capacity available in the window (may exceed 1 when overloaded).
+  double Utilization(Duration window_ms) const {
+    double available =
+        config.capacity_per_sec * static_cast<double>(window_ms) / 1000.0;
+    return available > 0 ? work_in_window / available : 0.0;
+  }
+};
+
+/// \brief Runtime state of a link.
+struct LinkState {
+  LinkConfig config;
+  uint64_t bytes_transferred = 0;
+  uint64_t messages = 0;
+};
+
+/// \brief The simulated network.
+class Network {
+ public:
+  /// `loop` delivers messages; must outlive the network.
+  explicit Network(EventLoop* loop) : loop_(loop) {}
+
+  // -- topology -----------------------------------------------------------
+
+  /// Adds a node; fails on duplicate id.
+  Status AddNode(const NodeConfig& config);
+
+  /// Adds a bidirectional link between two existing nodes.
+  Status AddLink(const LinkConfig& config);
+
+  /// Removes a node and all its links (P3: on-the-fly reconfiguration).
+  Status RemoveNode(const std::string& id);
+
+  /// Removes the link between `a` and `b` (either direction). Traffic
+  /// re-routes on the next Transfer — routing is computed per message,
+  /// so no flows need re-provisioning.
+  Status RemoveLink(const std::string& a, const std::string& b);
+
+  bool HasNode(const std::string& id) const { return nodes_.count(id) > 0; }
+  Result<const NodeState*> node(const std::string& id) const;
+  std::vector<std::string> NodeIds() const;
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<LinkState>& links() const { return links_; }
+
+  // -- routing ------------------------------------------------------------
+
+  /// Minimum-latency node path from `from` to `to` (inclusive of both).
+  /// Fails when no path exists.
+  Result<std::vector<std::string>> Route(const std::string& from,
+                                         const std::string& to) const;
+
+  /// One-way delivery delay for a message of `bytes` from `from` to `to`.
+  Result<Duration> TransferDelay(const std::string& from,
+                                 const std::string& to, size_t bytes) const;
+
+  // -- data movement ------------------------------------------------------
+
+  /// \brief Sends `bytes` from node `from` to node `to`; `on_delivered`
+  /// runs on the event loop when the message arrives. Accounts bytes on
+  /// every traversed link. Local delivery (from == to) is immediate
+  /// (scheduled at now).
+  Status Transfer(const std::string& from, const std::string& to,
+                  size_t bytes, std::function<void()> on_delivered);
+
+  // -- load accounting ----------------------------------------------------
+
+  /// Records `work_units` of processing on a node (executor calls this
+  /// for every batch an operator processes).
+  Status ReportWork(const std::string& node_id, double work_units);
+
+  /// Adjusts the process count on a node (placement / migration).
+  Status AdjustProcessCount(const std::string& node_id, int delta);
+
+  /// Zeroes every node's work-in-window counter (monitor tick).
+  void ResetWindows();
+
+  // -- statistics ---------------------------------------------------------
+
+  uint64_t total_bytes_sent() const { return total_bytes_sent_; }
+  uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  EventLoop* loop_;
+  std::map<std::string, NodeState> nodes_;
+  std::vector<LinkState> links_;
+  uint64_t total_bytes_sent_ = 0;
+  uint64_t total_messages_ = 0;
+
+  // Adjacency: node -> (neighbor, link index).
+  std::map<std::string, std::vector<std::pair<std::string, size_t>>> adj_;
+};
+
+/// \brief Populates `net` with a ring topology of `n` nodes named
+/// "node_0".."node_{n-1}" (each linked to its successor, ring closed),
+/// with uniform capacity and link parameters — the shape used by the
+/// demo network. Convenience for examples and benches.
+Status BuildRingTopology(Network* net, size_t n, double capacity_per_sec,
+                         Duration latency, double bandwidth_bytes_per_ms);
+
+}  // namespace sl::net
+
+#endif  // STREAMLOADER_NET_NETWORK_H_

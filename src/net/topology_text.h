@@ -1,0 +1,43 @@
+// StreamLoader: declarative network-topology notation.
+//
+// §2 motivates the whole DSN/SCN layer with the observation that
+// "hard-coded configurations of network architectures and paths where
+// data traffics are routed are not an easy task and prevent the
+// possibility to adapt to new user requirements". The topology itself
+// gets the same treatment as dataflows: a declarative text form that can
+// be versioned, diffed, and fed to StreamLoader instead of C++ calls.
+//
+//   network osaka_net {
+//     node node_0 { capacity: 10000; location: 34.65, 135.45; }
+//     node node_1 { capacity: 5000; }
+//     link node_0 -- node_1 [latency: "2ms"; bandwidth_mbps: 800];
+//   }
+//
+// `capacity` is work units (≈ tuples) per second; `location` is WGS84
+// lat, lon; `bandwidth_mbps` converts to the simulator's bytes/ms
+// (1 Mbps = 125 bytes/ms). Round-trip safe: parsing Serialize's output
+// reproduces an equivalent network.
+
+#ifndef STREAMLOADER_NET_TOPOLOGY_TEXT_H_
+#define STREAMLOADER_NET_TOPOLOGY_TEXT_H_
+
+#include <string>
+
+#include "net/network.h"
+
+namespace sl::net {
+
+/// \brief Populates `net` (which may already hold nodes) from a topology
+/// document. Fails atomically on parse errors — nothing is added — and
+/// with AlreadyExists when the document collides with existing state.
+Status BuildTopologyFromText(Network* net, const std::string& text);
+
+/// \brief Serializes the network's current topology as a document named
+/// `name` (runtime state — loads, process counts — is not topology and
+/// is not serialized).
+Result<std::string> SerializeTopology(const Network& net,
+                                      const std::string& name);
+
+}  // namespace sl::net
+
+#endif  // STREAMLOADER_NET_TOPOLOGY_TEXT_H_

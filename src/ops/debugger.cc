@@ -1,0 +1,185 @@
+#include "ops/debugger.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/strings.h"
+
+namespace sl::ops {
+
+using dataflow::Dataflow;
+using dataflow::Node;
+using dataflow::NodeKind;
+
+std::string ActivationRecord::ToString() const {
+  return StrFormat("%s {%s} at %s", activate ? "ACTIVATE" : "DEACTIVATE",
+                   Join(sensor_ids, ", ").c_str(),
+                   FormatTimestamp(at).c_str());
+}
+
+std::string DebugResult::ToString(const Dataflow& dataflow) const {
+  std::string out = "debug run of dataflow '" + dataflow.name() + "'\n";
+  out += report.ToString();
+  if (!EndsWith(out, "\n")) out += "\n";
+  if (!report.ok()) return out;
+  for (const auto& name : dataflow.topological_order()) {
+    const Node& node = **dataflow.node(name);
+    out += "-- " + node.ToString() + "\n";
+    auto sit = report.schemas.find(name);
+    if (sit != report.schemas.end()) {
+      out += "   schema: " + sit->second->ToString() + "\n";
+    }
+    auto oit = outputs.find(name);
+    size_t n = oit == outputs.end() ? 0 : oit->second.size();
+    out += StrFormat("   emits %zu tuple(s)\n", n);
+    size_t shown = std::min<size_t>(n, 5);
+    for (size_t i = 0; i < shown; ++i) {
+      out += "     " + oit->second[i].ToString() + "\n";
+    }
+    if (n > shown) out += StrFormat("     ... %zu more\n", n - shown);
+  }
+  for (const auto& a : activations) {
+    out += "!! " + a.ToString() + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Records trigger requests without acting on them.
+class RecordingActivation : public ActivationHandler {
+ public:
+  explicit RecordingActivation(std::vector<ActivationRecord>* records)
+      : records_(records) {}
+  void ActivateSensors(const std::vector<std::string>& ids,
+                       Timestamp at) override {
+    records_->push_back({true, ids, at});
+  }
+  void DeactivateSensors(const std::vector<std::string>& ids,
+                         Timestamp at) override {
+    records_->push_back({false, ids, at});
+  }
+
+ private:
+  std::vector<ActivationRecord>* records_;
+};
+
+}  // namespace
+
+Result<DebugResult> DataflowDebugger::Run(
+    const Dataflow& dataflow,
+    const std::map<std::string, std::vector<stt::Tuple>>& samples) const {
+  DebugResult result;
+  dataflow::Validator validator(broker_);
+  SL_ASSIGN_OR_RETURN(result.report, validator.Validate(dataflow));
+  if (!result.report.ok()) {
+    return Status::ValidationError("cannot debug an unsound dataflow:\n" +
+                                   result.report.ToString());
+  }
+  for (const auto& [source, tuples] : samples) {
+    auto node = dataflow.node(source);
+    if (!node.ok() || (*node)->kind != NodeKind::kSource) {
+      return Status::InvalidArgument("samples provided for '" + source +
+                                     "', which is not a source of the "
+                                     "dataflow");
+    }
+    (void)tuples;
+  }
+
+  // Build the operators.
+  RecordingActivation activation(&result.activations);
+  OperatorOptions options;
+  options.activation = &activation;
+  std::map<std::string, std::unique_ptr<Operator>> operators;
+  for (const auto& name : dataflow.OperatorNames()) {
+    const Node& node = **dataflow.node(name);
+    std::vector<stt::SchemaPtr> input_schemas;
+    for (const auto& in : node.inputs) {
+      input_schemas.push_back(result.report.schemas.at(in));
+    }
+    SL_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
+                        MakeOperator(name, node.op, node.spec, input_schemas,
+                                     node.inputs, options));
+    operators.emplace(name, std::move(op));
+  }
+
+  // Wire node -> downstream consumers; every emission is also recorded.
+  // Delivery is breadth-first through an explicit work queue so that
+  // emissions inside Flush cascade correctly.
+  struct Delivery {
+    std::string to;
+    size_t port;
+    stt::Tuple tuple;
+  };
+  std::vector<Delivery> queue;
+  Status sticky_status = Status::OK();
+
+  auto fanout = [&](const std::string& from, const stt::Tuple& tuple) {
+    result.outputs[from].push_back(tuple);
+    for (const auto& consumer : dataflow.Downstream(from)) {
+      const Node& cnode = **dataflow.node(consumer);
+      for (size_t port = 0; port < cnode.inputs.size(); ++port) {
+        if (cnode.inputs[port] == from) {
+          queue.push_back({consumer, port, tuple});
+        }
+      }
+    }
+  };
+
+  for (auto& [name, op] : operators) {
+    const std::string node_name = name;
+    op->set_emit([&fanout, node_name](const stt::Tuple& t) {
+      fanout(node_name, t);
+    });
+  }
+
+  auto drain = [&]() -> Status {
+    while (!queue.empty()) {
+      Delivery d = std::move(queue.front());
+      queue.erase(queue.begin());
+      const Node& node = **dataflow.node(d.to);
+      if (node.kind == NodeKind::kSink) {
+        result.outputs[d.to].push_back(d.tuple);
+        continue;
+      }
+      SL_RETURN_IF_ERROR(operators.at(d.to)->Process(d.port, d.tuple));
+    }
+    return Status::OK();
+  };
+
+  // Feed samples interleaved by event time.
+  struct Feed {
+    Timestamp ts;
+    std::string source;
+    const stt::Tuple* tuple;
+  };
+  std::vector<Feed> feeds;
+  Timestamp max_ts = 0;
+  for (const auto& [source, tuples] : samples) {
+    for (const auto& t : tuples) {
+      feeds.push_back({t.timestamp(), source, &t});
+      max_ts = std::max(max_ts, t.timestamp());
+    }
+  }
+  std::stable_sort(feeds.begin(), feeds.end(),
+                   [](const Feed& a, const Feed& b) { return a.ts < b.ts; });
+  for (const auto& feed : feeds) {
+    fanout(feed.source, *feed.tuple);
+    SL_RETURN_IF_ERROR(drain());
+  }
+
+  // One flush per blocking operator, in topological order, so cascaded
+  // blocking stages see their upstream's aggregates.
+  Timestamp flush_at = max_ts + duration::kSecond;
+  for (const auto& name : dataflow.OperatorNames()) {
+    Operator* op = operators.at(name).get();
+    if (op->is_blocking()) {
+      SL_RETURN_IF_ERROR(op->Flush(flush_at));
+      SL_RETURN_IF_ERROR(drain());
+    }
+  }
+  SL_RETURN_IF_ERROR(sticky_status);
+  return result;
+}
+
+}  // namespace sl::ops

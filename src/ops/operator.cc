@@ -1,0 +1,23 @@
+#include "ops/operator.h"
+
+namespace sl::ops {
+
+Status Operator::Flush(Timestamp) { return Status::OK(); }
+
+void Operator::Emit(const stt::Tuple& tuple) {
+  ++stats_.tuples_out;
+  ++window_out_;
+  if (emit_) emit_(tuple);
+}
+
+void Operator::CountIn() {
+  ++stats_.tuples_in;
+  ++window_in_;
+}
+
+void Operator::ResetWindowCounters() {
+  window_in_ = 0;
+  window_out_ = 0;
+}
+
+}  // namespace sl::ops

@@ -1,0 +1,144 @@
+// StreamLoader: runtime stream-processing operators (Table 1).
+//
+// An Operator is the executable form of a validated OpSpec. Operators
+// are push-based: upstream calls Process(port, tuple) for every arriving
+// tuple; whatever the operator emits flows to the EmitFn installed by
+// the executor. Non-blocking operations emit from inside Process;
+// blocking operations (aggregation, join, trigger) cache tuples and do
+// their work in Flush, which the executor schedules every
+// `interval()` on the event loop.
+
+#ifndef STREAMLOADER_OPS_OPERATOR_H_
+#define STREAMLOADER_OPS_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/op_spec.h"
+#include "stt/tuple.h"
+
+namespace sl::ops {
+
+/// Downstream push target installed by the executor.
+using EmitFn = std::function<void(const stt::Tuple&)>;
+
+/// \brief Receiver of trigger activation requests.
+///
+/// Trigger On/Off operators do not know how streams are started or
+/// stopped — the executor does ("the streams of the sensors {s1..sn}
+/// are activated", Table 1). In the design-time debugger the handler
+/// merely records requests.
+class ActivationHandler {
+ public:
+  virtual ~ActivationHandler() = default;
+  /// Requests activation of the named sensors' streams.
+  virtual void ActivateSensors(const std::vector<std::string>& sensor_ids,
+                               Timestamp at) = 0;
+  /// Requests de-activation of the named sensors' streams.
+  virtual void DeactivateSensors(const std::vector<std::string>& sensor_ids,
+                                 Timestamp at) = 0;
+};
+
+/// \brief Live counters of one operator (the monitor samples these to
+/// render "the number of tuples that each operation handles per second",
+/// §3).
+struct OperatorStats {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t flushes = 0;        ///< blocking operations: cache processings
+  uint64_t trigger_fires = 0;  ///< triggers: times the condition held
+  uint64_t dropped = 0;        ///< tuples evicted from a full cache
+  size_t cache_size = 0;       ///< current cached tuples (blocking only)
+};
+
+/// \brief Base class of all Table 1 operators.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  const std::string& name() const { return name_; }
+  dataflow::OpKind kind() const { return kind_; }
+
+  /// Schema of the tuples this operator emits.
+  const stt::SchemaPtr& output_schema() const { return output_schema_; }
+
+  /// The blocking interval; 0 for non-blocking operations.
+  Duration interval() const { return interval_; }
+  bool is_blocking() const { return interval_ > 0; }
+
+  /// Installs the downstream push target (may be replaced on migration).
+  void set_emit(EmitFn emit) { emit_ = std::move(emit); }
+
+  /// Feeds one tuple into input `port` (0 except for join's right = 1).
+  /// The tuple must conform to the input schema the operator was built
+  /// with.
+  virtual Status Process(size_t port, const stt::Tuple& tuple) = 0;
+
+  /// Processes the cache (blocking operations). `now` is the virtual
+  /// time of the flush tick. Non-blocking operations return OK.
+  virtual Status Flush(Timestamp now);
+
+  const OperatorStats& stats() const { return stats_; }
+
+  /// Resets the in/out counters (monitoring-window rollover); cache
+  /// contents are untouched.
+  void ResetWindowCounters();
+
+  /// Tuples seen in the current monitoring window.
+  uint64_t window_in() const { return window_in_; }
+  uint64_t window_out() const { return window_out_; }
+
+ protected:
+  Operator(std::string name, dataflow::OpKind kind,
+           stt::SchemaPtr output_schema, Duration interval)
+      : name_(std::move(name)),
+        kind_(kind),
+        output_schema_(std::move(output_schema)),
+        interval_(interval) {}
+
+  /// Emits one tuple downstream, updating counters.
+  void Emit(const stt::Tuple& tuple);
+
+  /// Counts one consumed tuple.
+  void CountIn();
+
+  OperatorStats stats_;
+
+ private:
+  std::string name_;
+  dataflow::OpKind kind_;
+  stt::SchemaPtr output_schema_;
+  Duration interval_;
+  EmitFn emit_;
+  uint64_t window_in_ = 0;
+  uint64_t window_out_ = 0;
+};
+
+/// Options shared by operator construction.
+struct OperatorOptions {
+  /// Maximum tuples a blocking operation caches per input; the oldest
+  /// tuple is evicted (and counted in stats().dropped) beyond this.
+  size_t max_cache_tuples = 1 << 20;
+  /// Handler for trigger activations; required for TriggerOn/Off.
+  ActivationHandler* activation = nullptr;
+};
+
+/// \brief Builds the runtime operator for a validated spec.
+///
+/// `input_schemas`/`input_names` must match the dataflow edge order
+/// (join: left then right). Expressions are re-bound here; since the
+/// Validator accepted the dataflow this cannot fail for validated input,
+/// but the factory still checks everything (defense in depth for
+/// programmatic use).
+Result<std::unique_ptr<Operator>> MakeOperator(
+    const std::string& name, dataflow::OpKind op,
+    const dataflow::OpSpec& spec,
+    const std::vector<stt::SchemaPtr>& input_schemas,
+    const std::vector<std::string>& input_names,
+    const OperatorOptions& options = {});
+
+}  // namespace sl::ops
+
+#endif  // STREAMLOADER_OPS_OPERATOR_H_

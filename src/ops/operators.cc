@@ -1,0 +1,555 @@
+// Implementations of the nine Table 1 operators and their factory.
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "dataflow/validate.h"
+#include "expr/eval.h"
+#include "ops/operator.h"
+#include "util/strings.h"
+
+namespace sl::ops {
+
+namespace {
+
+using dataflow::AggFunc;
+using dataflow::AggregationSpec;
+using dataflow::CullSpaceSpec;
+using dataflow::CullTimeSpec;
+using dataflow::FilterSpec;
+using dataflow::JoinSpec;
+using dataflow::OpKind;
+using dataflow::TransformSpec;
+using dataflow::TriggerSpec;
+using dataflow::VirtualPropertySpec;
+using stt::Tuple;
+using stt::Value;
+using stt::ValueType;
+
+// ---------------------------------------------------------------------------
+// Non-blocking operations: applied directly on each tuple (Table 1).
+// ---------------------------------------------------------------------------
+
+/// sigma(s, cond)
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(std::string name, stt::SchemaPtr schema,
+                 expr::BoundExpr condition)
+      : Operator(std::move(name), OpKind::kFilter, std::move(schema), 0),
+        condition_(std::move(condition)) {}
+
+  Status Process(size_t, const Tuple& tuple) override {
+    CountIn();
+    SL_ASSIGN_OR_RETURN(bool pass, condition_.EvalPredicate(tuple));
+    if (pass) Emit(tuple);
+    return Status::OK();
+  }
+
+ private:
+  expr::BoundExpr condition_;
+};
+
+/// diamond_trans(s): rewrite one attribute in place.
+class TransformOperator : public Operator {
+ public:
+  TransformOperator(std::string name, stt::SchemaPtr out_schema,
+                    size_t field_index, ValueType out_type,
+                    expr::BoundExpr expression)
+      : Operator(std::move(name), OpKind::kTransform, std::move(out_schema), 0),
+        field_index_(field_index),
+        out_type_(out_type),
+        expression_(std::move(expression)) {}
+
+  Status Process(size_t, const Tuple& tuple) override {
+    CountIn();
+    SL_ASSIGN_OR_RETURN(Value v, expression_.Eval(tuple));
+    if (!v.is_null() && v.type() != out_type_) {
+      SL_ASSIGN_OR_RETURN(v, v.CoerceTo(out_type_));
+    }
+    Emit(tuple.WithValueAt(output_schema(), field_index_, std::move(v)));
+    return Status::OK();
+  }
+
+ private:
+  size_t field_index_;
+  ValueType out_type_;
+  expr::BoundExpr expression_;
+};
+
+/// s union <p, spec>: append a computed attribute.
+class VirtualPropertyOperator : public Operator {
+ public:
+  VirtualPropertyOperator(std::string name, stt::SchemaPtr out_schema,
+                          ValueType out_type, expr::BoundExpr specification)
+      : Operator(std::move(name), OpKind::kVirtualProperty,
+                 std::move(out_schema), 0),
+        out_type_(out_type),
+        specification_(std::move(specification)) {}
+
+  Status Process(size_t, const Tuple& tuple) override {
+    CountIn();
+    SL_ASSIGN_OR_RETURN(Value v, specification_.Eval(tuple));
+    if (!v.is_null() && v.type() != out_type_) {
+      SL_ASSIGN_OR_RETURN(v, v.CoerceTo(out_type_));
+    }
+    Emit(tuple.WithAppended(output_schema(), std::move(v)));
+    return Status::OK();
+  }
+
+ private:
+  ValueType out_type_;
+  expr::BoundExpr specification_;
+};
+
+/// Systematic (deterministic) decimator: keeps a (1 - rate) fraction of
+/// the tuples routed through it, evenly spread, preserving order.
+class Decimator {
+ public:
+  explicit Decimator(double rate) : keep_fraction_(1.0 - rate) {}
+
+  bool Keep() {
+    ++seen_;
+    uint64_t target =
+        static_cast<uint64_t>(keep_fraction_ * static_cast<double>(seen_));
+    if (kept_ < target) {
+      ++kept_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  double keep_fraction_;
+  uint64_t seen_ = 0;
+  uint64_t kept_ = 0;
+};
+
+/// gamma_r(s, <t1, t2>): decimate tuples whose event time falls in the
+/// interval; pass the rest unchanged.
+class CullTimeOperator : public Operator {
+ public:
+  CullTimeOperator(std::string name, stt::SchemaPtr schema, CullTimeSpec spec)
+      : Operator(std::move(name), OpKind::kCullTime, std::move(schema), 0),
+        spec_(spec),
+        decimator_(spec.rate) {}
+
+  Status Process(size_t, const Tuple& tuple) override {
+    CountIn();
+    bool inside =
+        tuple.timestamp() >= spec_.t_begin && tuple.timestamp() <= spec_.t_end;
+    if (!inside || decimator_.Keep()) Emit(tuple);
+    return Status::OK();
+  }
+
+ private:
+  CullTimeSpec spec_;
+  Decimator decimator_;
+};
+
+/// gamma_r(s, <coord1, coord2>): decimate tuples located in the area;
+/// tuples without a location pass unchanged.
+class CullSpaceOperator : public Operator {
+ public:
+  CullSpaceOperator(std::string name, stt::SchemaPtr schema,
+                    CullSpaceSpec spec)
+      : Operator(std::move(name), OpKind::kCullSpace, std::move(schema), 0),
+        box_(stt::NormalizeBBox(spec.corner1, spec.corner2)),
+        decimator_(spec.rate) {}
+
+  Status Process(size_t, const Tuple& tuple) override {
+    CountIn();
+    bool inside =
+        tuple.location().has_value() && box_.Contains(*tuple.location());
+    if (!inside || decimator_.Keep()) Emit(tuple);
+    return Status::OK();
+  }
+
+ private:
+  stt::BBox box_;
+  Decimator decimator_;
+};
+
+// ---------------------------------------------------------------------------
+// Blocking operations: maintain a cache of tuples processed every t
+// time intervals (Table 1).
+// ---------------------------------------------------------------------------
+
+/// Bounded FIFO tuple cache shared by the blocking operators. Every
+/// cached tuple carries an arrival sequence number so sliding operators
+/// can distinguish tuples that arrived since the previous check.
+class TupleCache {
+ public:
+  explicit TupleCache(size_t max_tuples) : max_tuples_(max_tuples) {}
+
+  struct Entry {
+    Tuple tuple;
+    uint64_t seq;
+  };
+
+  /// Adds a tuple; returns the number of evicted (oldest) tuples.
+  size_t Add(Tuple tuple) {
+    entries_.push_back({std::move(tuple), next_seq_++});
+    size_t evicted = 0;
+    while (entries_.size() > max_tuples_) {
+      entries_.pop_front();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  /// Drops tuples whose event time is strictly before `cutoff`
+  /// (sliding-window expiry). Event times are assumed roughly ordered;
+  /// out-of-order stragglers are still swept because the scan covers the
+  /// whole deque.
+  void EvictOlderThan(Timestamp cutoff) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->tuple.timestamp() < cutoff) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const std::deque<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  /// Sequence number the next arrival will get.
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  size_t max_tuples_;
+  std::deque<Entry> entries_;
+  uint64_t next_seq_ = 0;
+};
+
+/// @_{t,{a1..an}}^{op}(s)
+class AggregationOperator : public Operator {
+ public:
+  AggregationOperator(std::string name, stt::SchemaPtr out_schema,
+                      stt::SchemaPtr in_schema, AggregationSpec spec,
+                      size_t max_cache)
+      : Operator(std::move(name), OpKind::kAggregation, std::move(out_schema),
+                 spec.interval),
+        in_schema_(std::move(in_schema)),
+        spec_(std::move(spec)),
+        cache_(max_cache) {
+    for (const auto& g : spec_.group_by) {
+      group_indexes_.push_back(*in_schema_->FieldIndex(g));
+    }
+    for (const auto& a : spec_.attributes) {
+      attr_indexes_.push_back(*in_schema_->FieldIndex(a));
+    }
+  }
+
+  Status Process(size_t, const Tuple& tuple) override {
+    CountIn();
+    stats_.dropped += cache_.Add(tuple);
+    stats_.cache_size = cache_.size();
+    return Status::OK();
+  }
+
+  Status Flush(Timestamp now) override {
+    ++stats_.flushes;
+    // Sliding regime: expire tuples older than the window before the
+    // aggregation, and retain the rest afterwards.
+    if (spec_.window > 0) cache_.EvictOlderThan(now - spec_.window);
+    if (cache_.size() == 0) {
+      stats_.cache_size = 0;
+      return Status::OK();
+    }
+
+    // Group cached tuples by the group-by key.
+    std::map<std::string, std::vector<const Tuple*>> groups;
+    for (const auto& entry : cache_.entries()) {
+      const Tuple& t = entry.tuple;
+      std::string key;
+      for (size_t idx : group_indexes_) {
+        key += t.value(idx).ToString();
+        key += '\x1f';
+      }
+      groups[key].push_back(&t);
+    }
+
+    Timestamp out_ts =
+        output_schema()->temporal_granularity().Truncate(now - 1);
+    for (const auto& [key, tuples] : groups) {
+      std::vector<Value> values;
+      // Group keys (taken from the first member).
+      for (size_t idx : group_indexes_) {
+        values.push_back(tuples.front()->value(idx));
+      }
+      if (spec_.func == AggFunc::kCount && attr_indexes_.empty()) {
+        values.push_back(Value::Int(static_cast<int64_t>(tuples.size())));
+      }
+      for (size_t idx : attr_indexes_) {
+        values.push_back(Aggregate(tuples, idx));
+      }
+      // Location: centroid of the group's located tuples.
+      std::optional<stt::GeoPoint> loc = Centroid(tuples);
+      Emit(Tuple::MakeUnsafe(output_schema(), std::move(values), out_ts, loc));
+    }
+    if (spec_.window == 0) cache_.Clear();  // tumbling
+    stats_.cache_size = cache_.size();
+    return Status::OK();
+  }
+
+ private:
+  Value Aggregate(const std::vector<const Tuple*>& tuples, size_t idx) const {
+    int64_t count = 0;
+    double sum = 0;
+    const Value* min_v = nullptr;
+    const Value* max_v = nullptr;
+    for (const Tuple* t : tuples) {
+      const Value& v = t->value(idx);
+      if (v.is_null()) continue;
+      ++count;
+      if (v.is_numeric()) sum += *v.ToNumeric();
+      if (min_v == nullptr || Value::Compare(v, *min_v) < 0) min_v = &v;
+      if (max_v == nullptr || Value::Compare(v, *max_v) > 0) max_v = &v;
+    }
+    switch (spec_.func) {
+      case AggFunc::kCount: return Value::Int(count);
+      case AggFunc::kSum: return count > 0 ? Value::Double(sum) : Value::Null();
+      case AggFunc::kAvg:
+        return count > 0 ? Value::Double(sum / static_cast<double>(count))
+                         : Value::Null();
+      case AggFunc::kMin: return min_v != nullptr ? *min_v : Value::Null();
+      case AggFunc::kMax: return max_v != nullptr ? *max_v : Value::Null();
+    }
+    return Value::Null();
+  }
+
+  static std::optional<stt::GeoPoint> Centroid(
+      const std::vector<const Tuple*>& tuples) {
+    double lat = 0, lon = 0;
+    size_t n = 0;
+    for (const Tuple* t : tuples) {
+      if (t->location().has_value()) {
+        lat += t->location()->lat;
+        lon += t->location()->lon;
+        ++n;
+      }
+    }
+    if (n == 0) return std::nullopt;
+    return stt::GeoPoint{lat / static_cast<double>(n),
+                         lon / static_cast<double>(n)};
+  }
+
+  stt::SchemaPtr in_schema_;
+  AggregationSpec spec_;
+  std::vector<size_t> group_indexes_;
+  std::vector<size_t> attr_indexes_;
+  TupleCache cache_;
+};
+
+/// s1 |><|_{pred}^{t} s2
+class JoinOperator : public Operator {
+ public:
+  JoinOperator(std::string name, stt::SchemaPtr out_schema, JoinSpec spec,
+               expr::BoundExpr predicate, size_t max_cache)
+      : Operator(std::move(name), OpKind::kJoin, std::move(out_schema),
+                 spec.interval),
+        spec_(std::move(spec)),
+        predicate_(std::move(predicate)),
+        left_(max_cache),
+        right_(max_cache) {}
+
+  Status Process(size_t port, const Tuple& tuple) override {
+    CountIn();
+    if (port > 1) {
+      return Status::InvalidArgument(
+          StrFormat("join has inputs 0 and 1, got port %zu", port));
+    }
+    stats_.dropped += (port == 0 ? left_ : right_).Add(tuple);
+    stats_.cache_size = left_.size() + right_.size();
+    return Status::OK();
+  }
+
+  Status Flush(Timestamp now) override {
+    ++stats_.flushes;
+    if (spec_.window > 0) {
+      left_.EvictOlderThan(now - spec_.window);
+      right_.EvictOlderThan(now - spec_.window);
+    }
+    const auto& tgran = output_schema()->temporal_granularity();
+    for (const auto& le : left_.entries()) {
+      for (const auto& re : right_.entries()) {
+        // Sliding regime: emit each surviving pair exactly once — on the
+        // first check where both elements are cached together.
+        if (spec_.window > 0 && le.seq < left_seen_ && re.seq < right_seen_) {
+          continue;
+        }
+        const Tuple& l = le.tuple;
+        const Tuple& r = re.tuple;
+        std::vector<Value> values;
+        values.reserve(l.values().size() + r.values().size());
+        values.insert(values.end(), l.values().begin(), l.values().end());
+        values.insert(values.end(), r.values().begin(), r.values().end());
+        Timestamp ts = tgran.Truncate(std::max(l.timestamp(), r.timestamp()));
+        std::optional<stt::GeoPoint> loc =
+            l.location().has_value() ? l.location() : r.location();
+        Tuple joined =
+            Tuple::MakeUnsafe(output_schema(), std::move(values), ts, loc);
+        SL_ASSIGN_OR_RETURN(bool match, predicate_.EvalPredicate(joined));
+        if (match) Emit(joined);
+      }
+    }
+    if (spec_.window == 0) {
+      left_.Clear();
+      right_.Clear();
+    } else {
+      left_seen_ = left_.next_seq();
+      right_seen_ = right_.next_seq();
+    }
+    stats_.cache_size = left_.size() + right_.size();
+    return Status::OK();
+  }
+
+ private:
+  JoinSpec spec_;
+  expr::BoundExpr predicate_;
+  TupleCache left_;
+  TupleCache right_;
+  // Sequence watermarks of the previous flush (sliding mode).
+  uint64_t left_seen_ = 0;
+  uint64_t right_seen_ = 0;
+};
+
+/// (+)_{ON/OFF,t}(s, {s1..sn}, cond) — pass-through stream, periodic
+/// condition check over the cache, side-effecting activation.
+class TriggerOperator : public Operator {
+ public:
+  TriggerOperator(std::string name, OpKind kind, stt::SchemaPtr schema,
+                  TriggerSpec spec, expr::BoundExpr condition,
+                  ActivationHandler* activation, size_t max_cache)
+      : Operator(std::move(name), kind, std::move(schema), spec.interval),
+        spec_(std::move(spec)),
+        condition_(std::move(condition)),
+        activation_(activation),
+        cache_(max_cache) {}
+
+  Status Process(size_t, const Tuple& tuple) override {
+    CountIn();
+    stats_.dropped += cache_.Add(tuple);
+    stats_.cache_size = cache_.size();
+    Emit(tuple);  // pass-through
+    return Status::OK();
+  }
+
+  Status Flush(Timestamp now) override {
+    ++stats_.flushes;
+    if (spec_.window > 0) cache_.EvictOlderThan(now - spec_.window);
+    bool fired = false;
+    for (const auto& entry : cache_.entries()) {
+      SL_ASSIGN_OR_RETURN(bool hit, condition_.EvalPredicate(entry.tuple));
+      if (hit) {
+        fired = true;
+        break;
+      }
+    }
+    if (fired) {
+      ++stats_.trigger_fires;
+      if (activation_ != nullptr) {
+        if (kind() == OpKind::kTriggerOn) {
+          activation_->ActivateSensors(spec_.target_sensors, now);
+        } else {
+          activation_->DeactivateSensors(spec_.target_sensors, now);
+        }
+      }
+    }
+    if (spec_.window == 0) cache_.Clear();
+    stats_.cache_size = cache_.size();
+    return Status::OK();
+  }
+
+ private:
+  TriggerSpec spec_;
+  expr::BoundExpr condition_;
+  ActivationHandler* activation_;
+  TupleCache cache_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Operator>> MakeOperator(
+    const std::string& name, dataflow::OpKind op,
+    const dataflow::OpSpec& spec,
+    const std::vector<stt::SchemaPtr>& input_schemas,
+    const std::vector<std::string>& input_names,
+    const OperatorOptions& options) {
+  // Re-derive the output schema; this re-checks everything the Validator
+  // checks at the operator level.
+  SL_ASSIGN_OR_RETURN(
+      stt::SchemaPtr out_schema,
+      dataflow::Validator::DeriveSchema(op, spec, input_schemas, input_names));
+  const stt::SchemaPtr& in = input_schemas[0];
+
+  switch (op) {
+    case OpKind::kFilter: {
+      const auto& s = std::get<FilterSpec>(spec);
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr cond,
+                          expr::BoundExpr::Parse(s.condition, in));
+      return std::unique_ptr<Operator>(
+          new FilterOperator(name, out_schema, std::move(cond)));
+    }
+    case OpKind::kTransform: {
+      const auto& s = std::get<TransformSpec>(spec);
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr e,
+                          expr::BoundExpr::Parse(s.expression, in));
+      SL_ASSIGN_OR_RETURN(size_t idx, in->FieldIndex(s.attribute));
+      ValueType out_type = out_schema->fields()[idx].type;
+      return std::unique_ptr<Operator>(new TransformOperator(
+          name, out_schema, idx, out_type, std::move(e)));
+    }
+    case OpKind::kVirtualProperty: {
+      const auto& s = std::get<VirtualPropertySpec>(spec);
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr e,
+                          expr::BoundExpr::Parse(s.specification, in));
+      ValueType out_type = out_schema->fields().back().type;
+      return std::unique_ptr<Operator>(new VirtualPropertyOperator(
+          name, out_schema, out_type, std::move(e)));
+    }
+    case OpKind::kCullTime: {
+      const auto& s = std::get<CullTimeSpec>(spec);
+      return std::unique_ptr<Operator>(
+          new CullTimeOperator(name, out_schema, s));
+    }
+    case OpKind::kCullSpace: {
+      const auto& s = std::get<CullSpaceSpec>(spec);
+      return std::unique_ptr<Operator>(
+          new CullSpaceOperator(name, out_schema, s));
+    }
+    case OpKind::kAggregation: {
+      const auto& s = std::get<AggregationSpec>(spec);
+      return std::unique_ptr<Operator>(new AggregationOperator(
+          name, out_schema, in, s, options.max_cache_tuples));
+    }
+    case OpKind::kJoin: {
+      const auto& s = std::get<JoinSpec>(spec);
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr pred,
+                          expr::BoundExpr::Parse(s.predicate, out_schema));
+      return std::unique_ptr<Operator>(new JoinOperator(
+          name, out_schema, s, std::move(pred), options.max_cache_tuples));
+    }
+    case OpKind::kTriggerOn:
+    case OpKind::kTriggerOff: {
+      const auto& s = std::get<TriggerSpec>(spec);
+      SL_ASSIGN_OR_RETURN(expr::BoundExpr cond,
+                          expr::BoundExpr::Parse(s.condition, in));
+      if (options.activation == nullptr) {
+        return Status::InvalidArgument(
+            "trigger operator '" + name +
+            "' needs an ActivationHandler (OperatorOptions::activation)");
+      }
+      return std::unique_ptr<Operator>(
+          new TriggerOperator(name, op, out_schema, s, std::move(cond),
+                              options.activation, options.max_cache_tuples));
+    }
+  }
+  return Status::Internal("unreachable op kind in MakeOperator");
+}
+
+}  // namespace sl::ops

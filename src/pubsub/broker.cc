@@ -1,0 +1,218 @@
+#include "pubsub/broker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace sl::pubsub {
+
+bool DiscoveryQuery::Matches(const SensorInfo& info) const {
+  if (!type.empty() && info.type != type) return false;
+  if (!theme.IsAny()) {
+    if (info.schema == nullptr) return false;
+    if (!theme.Subsumes(info.schema->theme())) return false;
+  }
+  if (area.has_value()) {
+    if (!info.location.has_value()) return false;
+    if (!area->Contains(*info.location)) return false;
+  }
+  if (max_period > 0 && info.period > max_period) return false;
+  if (!node_id.empty() && info.node_id != node_id) return false;
+  return true;
+}
+
+std::string DiscoveryQuery::ToString() const {
+  std::string out = "discover[";
+  std::vector<std::string> parts;
+  if (!type.empty()) parts.push_back("type=" + type);
+  if (!theme.IsAny()) parts.push_back("theme=" + theme.ToString());
+  if (area.has_value()) parts.push_back("area=" + area->ToString());
+  if (max_period > 0)
+    parts.push_back("max_period=" + FormatDuration(max_period));
+  if (!node_id.empty()) parts.push_back("node=" + node_id);
+  out += Join(parts, ", ");
+  out += "]";
+  return out;
+}
+
+Status Broker::Publish(const SensorInfo& info) {
+  SL_RETURN_IF_ERROR(ValidateSensorInfo(info));
+  if (sensors_.count(info.id) > 0) {
+    return Status::AlreadyExists("sensor '" + info.id +
+                                 "' is already published");
+  }
+  sensors_.emplace(info.id, info);
+  SL_LOG(kInfo) << "published " << info.ToString();
+  NotifyRegistry({SensorEvent::Kind::kPublished, info, clock_->Now()});
+  return Status::OK();
+}
+
+Status Broker::Unpublish(const std::string& sensor_id) {
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("sensor '" + sensor_id + "' is not published");
+  }
+  SensorInfo info = it->second;
+  sensors_.erase(it);
+  data_subs_.erase(sensor_id);
+  SL_LOG(kInfo) << "unpublished sensor " << sensor_id;
+  NotifyRegistry({SensorEvent::Kind::kUnpublished, info, clock_->Now()});
+  return Status::OK();
+}
+
+Result<SensorInfo> Broker::Find(const std::string& sensor_id) const {
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("sensor '" + sensor_id + "' is not published");
+  }
+  return it->second;
+}
+
+bool Broker::IsPublished(const std::string& sensor_id) const {
+  return sensors_.count(sensor_id) > 0;
+}
+
+std::vector<SensorInfo> Broker::Discover(const DiscoveryQuery& query) const {
+  std::vector<SensorInfo> out;
+  for (const auto& [id, info] : sensors_) {
+    if (query.Matches(info)) out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<SensorInfo> Broker::All() const {
+  return Discover(DiscoveryQuery{});
+}
+
+std::map<std::string, std::vector<std::string>> Broker::GroupBy(
+    GroupCriterion criterion) const {
+  std::map<std::string, std::vector<std::string>> groups;
+  for (const auto& [id, info] : sensors_) {
+    std::string key;
+    switch (criterion) {
+      case GroupCriterion::kType:
+        key = info.type;
+        break;
+      case GroupCriterion::kTheme:
+        key = info.schema != nullptr ? info.schema->theme().ToString() : "*";
+        break;
+      case GroupCriterion::kNode:
+        key = info.node_id.empty() ? "(unassigned)" : info.node_id;
+        break;
+      case GroupCriterion::kOwner:
+        key = info.owner.empty() ? "(unknown)" : info.owner;
+        break;
+      case GroupCriterion::kPeriod:
+        key = FormatDuration(info.period);
+        break;
+      case GroupCriterion::kSpatialCell:
+        if (info.location.has_value()) {
+          key = StrFormat("cell(%d,%d)",
+                          static_cast<int>(std::floor(info.location->lat)),
+                          static_cast<int>(std::floor(info.location->lon)));
+        } else {
+          key = "(no location)";
+        }
+        break;
+    }
+    groups[key].push_back(id);
+  }
+  return groups;
+}
+
+Broker::SubscriptionId Broker::SubscribeRegistry(RegistryCallback callback) {
+  SubscriptionId id = next_subscription_id_++;
+  registry_subs_.emplace(id, std::move(callback));
+  return id;
+}
+
+Result<Broker::SubscriptionId> Broker::SubscribeData(
+    const std::string& sensor_id, DataCallback callback) {
+  if (sensors_.count(sensor_id) == 0) {
+    return Status::NotFound("cannot subscribe: sensor '" + sensor_id +
+                            "' is not published");
+  }
+  SubscriptionId id = next_subscription_id_++;
+  data_subs_[sensor_id].push_back({id, std::move(callback)});
+  return id;
+}
+
+Broker::SubscriptionId Broker::SubscribeDataByQuery(DiscoveryQuery query,
+                                                    DataCallback callback) {
+  SubscriptionId id = next_subscription_id_++;
+  query_subs_.push_back({id, std::move(query), std::move(callback)});
+  return id;
+}
+
+void Broker::Unsubscribe(SubscriptionId id) {
+  registry_subs_.erase(id);
+  for (auto& [sensor, subs] : data_subs_) {
+    subs.erase(std::remove_if(subs.begin(), subs.end(),
+                              [id](const DataSub& s) { return s.id == id; }),
+               subs.end());
+  }
+  query_subs_.erase(
+      std::remove_if(query_subs_.begin(), query_subs_.end(),
+                     [id](const QuerySub& s) { return s.id == id; }),
+      query_subs_.end());
+}
+
+Status Broker::PublishTuple(const std::string& sensor_id, stt::Tuple tuple) {
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("tuple from unpublished sensor '" + sensor_id +
+                            "'");
+  }
+  const SensorInfo& info = it->second;
+
+  // STT enrichment (§3): add the spatio-temporal information the sensor
+  // cannot produce itself, then normalize event time to the stream's
+  // temporal granularity.
+  Timestamp ts = info.provides_timestamp ? tuple.timestamp() : clock_->Now();
+  std::optional<stt::GeoPoint> loc =
+      info.provides_location ? tuple.location() : info.location;
+  if (!loc.has_value() && info.location.has_value()) loc = info.location;
+  if (info.schema != nullptr) {
+    ts = info.schema->temporal_granularity().Truncate(ts);
+    if (loc.has_value() &&
+        !info.schema->spatial_granularity().is_point()) {
+      loc->lat = info.schema->spatial_granularity().SnapToCellCenter(loc->lat);
+      loc->lon = info.schema->spatial_granularity().SnapToCellCenter(loc->lon);
+    }
+  }
+  stt::Tuple enriched = tuple.WithStt(tuple.schema(), ts, loc);
+  ++tuples_ingested_;
+
+  auto subs_it = data_subs_.find(sensor_id);
+  if (subs_it != data_subs_.end()) {
+    // Copy: a callback may (un)subscribe re-entrantly.
+    std::vector<DataSub> subs = subs_it->second;
+    for (const auto& sub : subs) {
+      sub.callback(enriched);
+      ++tuples_delivered_;
+    }
+  }
+  // Content-based routing: deliver to every query subscription the
+  // producing sensor matches (including sensors published after the
+  // subscription was made).
+  if (!query_subs_.empty()) {
+    std::vector<QuerySub> q_subs = query_subs_;  // re-entrancy, as above
+    for (const auto& sub : q_subs) {
+      if (sub.query.Matches(info)) {
+        sub.callback(enriched);
+        ++tuples_delivered_;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Broker::NotifyRegistry(const SensorEvent& event) {
+  // Copy: a callback may subscribe/unsubscribe re-entrantly.
+  auto subs = registry_subs_;
+  for (const auto& [id, cb] : subs) cb(event);
+}
+
+}  // namespace sl::pubsub

@@ -1,0 +1,177 @@
+// StreamLoader: the publish/subscribe sensor layer.
+//
+// Sensors are "handled by means of a publish-subscribe system in order to
+// handle the dynamicity with which they can join and leave the network"
+// (§2). The Broker keeps the registry of currently published sensors,
+// answers discovery queries, notifies registry subscribers of join/leave
+// events, fans tuples out to data subscribers, and enriches tuples with
+// spatio-temporal information when the producing sensor cannot supply it
+// (§3).
+//
+// The paper's broker is a *distributed* event-routing system [3]; here a
+// single Broker instance serves the network simulator, with per-node
+// attribution preserved through SensorInfo::node_id (see DESIGN.md §2 on
+// substitutions).
+
+#ifndef STREAMLOADER_PUBSUB_BROKER_H_
+#define STREAMLOADER_PUBSUB_BROKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pubsub/sensor_info.h"
+#include "stt/theme.h"
+#include "stt/tuple.h"
+#include "util/clock.h"
+
+namespace sl::pubsub {
+
+/// Registry change notification.
+struct SensorEvent {
+  enum class Kind { kPublished, kUnpublished };
+  Kind kind;
+  SensorInfo info;
+  Timestamp at = 0;
+};
+
+/// \brief Discovery predicate: all set criteria must match
+/// ("sources ... specified by means of the sensor and location
+/// characteristics", §2).
+struct DiscoveryQuery {
+  /// Exact sensor type; empty matches any.
+  std::string type;
+  /// Thematic filter by subsumption; the default any-theme matches all.
+  stt::Theme theme;
+  /// Spatial filter: the sensor's installation point must fall in the
+  /// area. Sensors without a fixed location never match an area query.
+  std::optional<stt::BBox> area;
+  /// Maximum data-generation period (i.e. minimum frequency); 0 = any.
+  Duration max_period = 0;
+  /// Restrict to sensors managed by this node; empty = any.
+  std::string node_id;
+
+  bool Matches(const SensorInfo& info) const;
+  std::string ToString() const;
+};
+
+/// Criteria for organizing sensors in the design environment
+/// ("organized according to different criteria (temporal/spatial,
+/// type/location)", §2).
+enum class GroupCriterion {
+  kType,
+  kTheme,
+  kNode,
+  kOwner,
+  kPeriod,       ///< by published generation period
+  kSpatialCell,  ///< by 1-degree grid cell of the installation point
+};
+
+/// \brief The sensor registry + event router.
+class Broker {
+ public:
+  using SubscriptionId = uint64_t;
+  using RegistryCallback = std::function<void(const SensorEvent&)>;
+  using DataCallback = std::function<void(const stt::Tuple&)>;
+
+  /// `clock` supplies arrival timestamps for enrichment; must outlive the
+  /// broker.
+  explicit Broker(const VirtualClock* clock) : clock_(clock) {}
+
+  // -- control plane ------------------------------------------------------
+
+  /// Publishes a sensor (it joins the network). Fails on invalid
+  /// metadata or duplicate id.
+  Status Publish(const SensorInfo& info);
+
+  /// Unpublishes a sensor (it leaves). Data subscriptions to it are
+  /// dropped; registry subscribers are notified.
+  Status Unpublish(const std::string& sensor_id);
+
+  /// Metadata of a published sensor.
+  Result<SensorInfo> Find(const std::string& sensor_id) const;
+
+  /// True iff the sensor is currently published.
+  bool IsPublished(const std::string& sensor_id) const;
+
+  /// All sensors matching the query, ordered by id.
+  std::vector<SensorInfo> Discover(const DiscoveryQuery& query) const;
+
+  /// All published sensors, ordered by id.
+  std::vector<SensorInfo> All() const;
+
+  /// Number of published sensors.
+  size_t size() const { return sensors_.size(); }
+
+  /// Groups published sensor ids by the given criterion; the map key is
+  /// the group label shown in the design environment.
+  std::map<std::string, std::vector<std::string>> GroupBy(
+      GroupCriterion criterion) const;
+
+  /// Subscribes to registry changes (join/leave).
+  SubscriptionId SubscribeRegistry(RegistryCallback callback);
+
+  // -- data plane ---------------------------------------------------------
+
+  /// Subscribes to the tuples of one sensor. Fails when the sensor is
+  /// not published.
+  Result<SubscriptionId> SubscribeData(const std::string& sensor_id,
+                                       DataCallback callback);
+
+  /// \brief Subscribes to the tuples of *every* sensor matching `query`
+  /// — including sensors that join later (the essence of content-based
+  /// publish/subscribe routing [3]). Sensors leaving simply stop
+  /// producing; the subscription persists.
+  SubscriptionId SubscribeDataByQuery(DiscoveryQuery query,
+                                      DataCallback callback);
+
+  /// Cancels a registry or data subscription (idempotent).
+  void Unsubscribe(SubscriptionId id);
+
+  /// \brief Ingest one tuple from a sensor and fan it out to that
+  /// sensor's data subscribers, enriching the STT header first:
+  /// - sensors with provides_timestamp == false get the broker clock's
+  ///   current time;
+  /// - sensors with provides_location == false get the sensor's
+  ///   installation point;
+  /// - the event time is truncated to the schema's temporal granularity.
+  /// Fails when the sensor is not published.
+  Status PublishTuple(const std::string& sensor_id, stt::Tuple tuple);
+
+  // -- statistics ---------------------------------------------------------
+
+  /// Tuples ingested via PublishTuple since construction.
+  uint64_t tuples_ingested() const { return tuples_ingested_; }
+  /// Tuple deliveries to data subscribers (one per subscriber per tuple).
+  uint64_t tuples_delivered() const { return tuples_delivered_; }
+
+ private:
+  struct DataSub {
+    SubscriptionId id;
+    DataCallback callback;
+  };
+
+  struct QuerySub {
+    SubscriptionId id;
+    DiscoveryQuery query;
+    DataCallback callback;
+  };
+
+  const VirtualClock* clock_;
+  std::map<std::string, SensorInfo> sensors_;
+  std::map<std::string, std::vector<DataSub>> data_subs_;  // by sensor id
+  std::vector<QuerySub> query_subs_;
+  std::map<SubscriptionId, RegistryCallback> registry_subs_;
+  SubscriptionId next_subscription_id_ = 1;
+  uint64_t tuples_ingested_ = 0;
+  uint64_t tuples_delivered_ = 0;
+
+  void NotifyRegistry(const SensorEvent& event);
+};
+
+}  // namespace sl::pubsub
+
+#endif  // STREAMLOADER_PUBSUB_BROKER_H_

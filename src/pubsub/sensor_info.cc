@@ -1,0 +1,47 @@
+#include "pubsub/sensor_info.h"
+
+#include "util/strings.h"
+
+namespace sl::pubsub {
+
+std::string SensorInfo::ToString() const {
+  std::string out = StrFormat("sensor %s type=%s period=%s", id.c_str(),
+                              type.c_str(), FormatDuration(period).c_str());
+  if (location.has_value()) {
+    out += " loc=" + location->ToString();
+  }
+  if (schema != nullptr) {
+    out += " schema=" + schema->ToString();
+  }
+  if (!node_id.empty()) {
+    out += " node=" + node_id;
+  }
+  return out;
+}
+
+Status ValidateSensorInfo(const SensorInfo& info) {
+  if (!IsIdentifier(info.id)) {
+    return Status::InvalidArgument("sensor id '" + info.id +
+                                   "' is not a valid identifier");
+  }
+  if (info.type.empty()) {
+    return Status::InvalidArgument("sensor '" + info.id + "' has no type");
+  }
+  if (info.schema == nullptr) {
+    return Status::InvalidArgument("sensor '" + info.id + "' has no schema");
+  }
+  if (info.period <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("sensor '%s' has non-positive period %lld ms",
+                  info.id.c_str(), static_cast<long long>(info.period)));
+  }
+  if (!info.provides_location && !info.location.has_value()) {
+    return Status::InvalidArgument(
+        "sensor '" + info.id +
+        "' provides no tuple locations and has no installation point for "
+        "pub/sub enrichment");
+  }
+  return Status::OK();
+}
+
+}  // namespace sl::pubsub

@@ -1,0 +1,64 @@
+// StreamLoader: published sensor metadata.
+//
+// "Each time a sensor is published, its type, schema, and frequency of
+// data generation are made available to subscribers" (§3). SensorInfo is
+// that advertisement, extended with the location/provenance attributes
+// the discovery requirements of §2 call for.
+
+#ifndef STREAMLOADER_PUBSUB_SENSOR_INFO_H_
+#define STREAMLOADER_PUBSUB_SENSOR_INFO_H_
+
+#include <optional>
+#include <string>
+
+#include "stt/geo.h"
+#include "stt/schema.h"
+#include "util/clock.h"
+
+namespace sl::pubsub {
+
+/// \brief The advertisement a sensor publishes when joining the network.
+struct SensorInfo {
+  /// Unique sensor identifier, e.g. "osaka_temp_03".
+  std::string id;
+
+  /// Sensor type, e.g. "temperature", "rain", "tweet", "traffic".
+  std::string type;
+
+  /// Schema of the tuples this sensor produces, including the STT
+  /// granularities and theme.
+  stt::SchemaPtr schema;
+
+  /// Period between consecutive tuples (the published "frequency of data
+  /// generation"); must be > 0.
+  Duration period = duration::kSecond;
+
+  /// Fixed installation point, when the sensor has one. Mobile/social
+  /// sensors may have none.
+  std::optional<stt::GeoPoint> location;
+
+  /// Institute / agency / NPO making the sensor available (§1).
+  std::string owner;
+
+  /// Whether the sensor stamps its own tuples with event time; when
+  /// false, the pub/sub layer adds arrival time (§3).
+  bool provides_timestamp = true;
+
+  /// Whether tuples carry their own location; when false, the pub/sub
+  /// layer adds the sensor's installation point (§3).
+  bool provides_location = true;
+
+  /// Network node managing this sensor (Figure 1: "each node ... is in
+  /// charge of managing a bunch of sensors").
+  std::string node_id;
+
+  /// One-line rendering for logs and the design environment.
+  std::string ToString() const;
+};
+
+/// \brief Validates that an advertisement is complete enough to publish.
+Status ValidateSensorInfo(const SensorInfo& info);
+
+}  // namespace sl::pubsub
+
+#endif  // STREAMLOADER_PUBSUB_SENSOR_INFO_H_

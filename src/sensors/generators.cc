@@ -1,0 +1,371 @@
+#include "sensors/generators.h"
+
+#include <cmath>
+
+#include "stt/units.h"
+#include "util/strings.h"
+
+namespace sl::sensors {
+
+using stt::Field;
+using stt::Schema;
+using stt::SchemaPtr;
+using stt::Tuple;
+using stt::Value;
+using stt::ValueType;
+
+namespace {
+
+/// Fills the common SensorInfo fields of a physical sensor.
+Result<pubsub::SensorInfo> PhysicalInfo(const PhysicalConfig& config,
+                                        const std::string& type,
+                                        const std::string& theme_path,
+                                        std::vector<Field> fields) {
+  SL_ASSIGN_OR_RETURN(stt::TemporalGranularity tgran,
+                      stt::TemporalGranularity::Make(
+                          config.temporal_granularity));
+  stt::SpatialGranularity sgran;
+  if (config.spatial_cell_deg > 0) {
+    SL_ASSIGN_OR_RETURN(sgran,
+                        stt::SpatialGranularity::MakeCell(
+                            config.spatial_cell_deg));
+  }
+  SL_ASSIGN_OR_RETURN(stt::Theme theme, stt::Theme::Parse(theme_path));
+  SL_ASSIGN_OR_RETURN(SchemaPtr schema,
+                      Schema::Make(std::move(fields), tgran, sgran, theme));
+  pubsub::SensorInfo info;
+  info.id = config.id;
+  info.type = type;
+  info.schema = std::move(schema);
+  info.period = config.period;
+  info.location = config.location;
+  info.owner = config.owner;
+  info.provides_timestamp = config.provides_timestamp;
+  info.provides_location = config.provides_location;
+  info.node_id = config.node_id;
+  return info;
+}
+
+/// Hour-of-day as a fraction [0, 1) for diurnal cycles.
+double DayFraction(Timestamp ts) {
+  int64_t ms_of_day = ((ts % duration::kDay) + duration::kDay) % duration::kDay;
+  return static_cast<double>(ms_of_day) / static_cast<double>(duration::kDay);
+}
+
+class TemperatureSensor : public SensorSimulator {
+ public:
+  TemperatureSensor(pubsub::SensorInfo info, uint64_t seed, double base_c,
+                    double amplitude_c, double noise_c, std::string unit)
+      : SensorSimulator(std::move(info)),
+        rng_(seed),
+        base_c_(base_c),
+        amplitude_c_(amplitude_c),
+        noise_c_(noise_c),
+        unit_(std::move(unit)) {}
+
+  Result<Tuple> Generate(Timestamp ts) override {
+    // Peak around 14:00, trough around 02:00.
+    double phase = 2.0 * M_PI * (DayFraction(ts) - 14.0 / 24.0);
+    double temp_c =
+        base_c_ + amplitude_c_ * std::cos(phase) + rng_.NextGaussian(0, noise_c_);
+    double value = temp_c;
+    if (unit_ != "celsius") {
+      SL_ASSIGN_OR_RETURN(value, stt::ConvertUnit(temp_c, "celsius", unit_));
+    }
+    return Tuple::Make(info_.schema, {Value::Double(value)}, ts,
+                       info_.location, info_.id);
+  }
+
+ private:
+  Rng rng_;
+  double base_c_, amplitude_c_, noise_c_;
+  std::string unit_;
+};
+
+class HumiditySensor : public SensorSimulator {
+ public:
+  HumiditySensor(pubsub::SensorInfo info, uint64_t seed, double base_pct,
+                 double amplitude_pct, double noise_pct)
+      : SensorSimulator(std::move(info)),
+        rng_(seed),
+        base_pct_(base_pct),
+        amplitude_pct_(amplitude_pct),
+        noise_pct_(noise_pct) {}
+
+  Result<Tuple> Generate(Timestamp ts) override {
+    // Humidity troughs mid-afternoon (anti-phase to temperature).
+    double phase = 2.0 * M_PI * (DayFraction(ts) - 14.0 / 24.0);
+    double rh = base_pct_ - amplitude_pct_ * std::cos(phase) +
+                rng_.NextGaussian(0, noise_pct_);
+    rh = std::min(100.0, std::max(5.0, rh));
+    return Tuple::Make(info_.schema, {Value::Double(rh)}, ts, info_.location,
+                       info_.id);
+  }
+
+ private:
+  Rng rng_;
+  double base_pct_, amplitude_pct_, noise_pct_;
+};
+
+class RainSensor : public SensorSimulator {
+ public:
+  RainSensor(pubsub::SensorInfo info, uint64_t seed, double p_wet,
+             double p_stay_wet, double mean_mmh)
+      : SensorSimulator(std::move(info)),
+        rng_(seed),
+        p_wet_(p_wet),
+        p_stay_wet_(p_stay_wet),
+        mean_mmh_(mean_mmh) {}
+
+  Result<Tuple> Generate(Timestamp ts) override {
+    wet_ = wet_ ? rng_.NextBool(p_stay_wet_) : rng_.NextBool(p_wet_);
+    double mmh = 0.0;
+    if (wet_) {
+      // Heavy-tailed (exponential squared-ish) intensity: occasional
+      // torrential values well above the mean.
+      double u = rng_.NextDouble();
+      mmh = mean_mmh_ * (-std::log(1.0 - u));
+      if (rng_.NextBool(0.08)) mmh *= 4.0;  // torrential burst
+    }
+    return Tuple::Make(info_.schema, {Value::Double(mmh)}, ts, info_.location,
+                       info_.id);
+  }
+
+ private:
+  Rng rng_;
+  double p_wet_, p_stay_wet_, mean_mmh_;
+  bool wet_ = false;
+};
+
+class PressureSensor : public SensorSimulator {
+ public:
+  PressureSensor(pubsub::SensorInfo info, uint64_t seed)
+      : SensorSimulator(std::move(info)), rng_(seed) {}
+
+  Result<Tuple> Generate(Timestamp ts) override {
+    level_ += rng_.NextGaussian(0, 0.3);
+    level_ = std::min(1040.0, std::max(980.0, level_));
+    return Tuple::Make(info_.schema, {Value::Double(level_)}, ts,
+                       info_.location, info_.id);
+  }
+
+ private:
+  Rng rng_;
+  double level_ = 1013.25;
+};
+
+class WindSensor : public SensorSimulator {
+ public:
+  WindSensor(pubsub::SensorInfo info, uint64_t seed)
+      : SensorSimulator(std::move(info)), rng_(seed) {}
+
+  Result<Tuple> Generate(Timestamp ts) override {
+    // Rayleigh-distributed speed, slowly drifting direction.
+    double u = rng_.NextDouble();
+    double speed = 3.0 * std::sqrt(-2.0 * std::log(1.0 - u + 1e-12));
+    direction_ = (direction_ + rng_.NextInt(-15, 15) + 360) % 360;
+    return Tuple::Make(info_.schema,
+                       {Value::Double(speed), Value::Int(direction_)}, ts,
+                       info_.location, info_.id);
+  }
+
+ private:
+  Rng rng_;
+  int64_t direction_ = 180;
+};
+
+class TweetSensor : public SensorSimulator {
+ public:
+  TweetSensor(pubsub::SensorInfo info, const TweetConfig& config)
+      : SensorSimulator(std::move(info)), config_(config), rng_(config.seed) {}
+
+  Result<Tuple> Generate(Timestamp ts) override {
+    static const char* kNeutral[] = {
+        "lovely day in osaka", "lunch at dotonbori", "train was on time",
+        "hanshin tigers game tonight", "shopping in umeda"};
+    static const char* kRainy[] = {
+        "torrential rain near the station", "streets flooding in namba",
+        "heavy rain again, stay safe", "storm warning issued for osaka",
+        "my shoes are soaked, crazy rain"};
+    bool rainy = rng_.NextBool(config_.rain_keyword_fraction);
+    const char* text =
+        rainy ? kRainy[rng_.NextBounded(5)] : kNeutral[rng_.NextBounded(5)];
+    std::string user = StrFormat("user_%03d",
+                                 static_cast<int>(rng_.NextBounded(500)));
+    stt::GeoPoint loc{
+        config_.center.lat + rng_.NextDouble(-config_.jitter_deg,
+                                             config_.jitter_deg),
+        config_.center.lon + rng_.NextDouble(-config_.jitter_deg,
+                                             config_.jitter_deg)};
+    return Tuple::Make(
+        info_.schema,
+        {Value::String(text), Value::String(user),
+         Value::Int(static_cast<int64_t>(rng_.NextBounded(50)))},
+        ts, loc, info_.id);
+  }
+
+ private:
+  TweetConfig config_;
+  Rng rng_;
+};
+
+class TrafficSensor : public SensorSimulator {
+ public:
+  TrafficSensor(pubsub::SensorInfo info, const TrafficConfig& config)
+      : SensorSimulator(std::move(info)), config_(config), rng_(config.seed) {}
+
+  Result<Tuple> Generate(Timestamp ts) override {
+    double day = DayFraction(ts);
+    // Rush hours ~08:00 and ~18:00 slow traffic and raise volume.
+    double rush = std::exp(-std::pow((day - 8.0 / 24.0) * 24.0, 2)) +
+                  std::exp(-std::pow((day - 18.0 / 24.0) * 24.0, 2));
+    double speed = config_.free_flow_kmh * (1.0 - 0.6 * rush) +
+                   rng_.NextGaussian(0, 3.0);
+    speed = std::max(2.0, speed);
+    int64_t vehicles = static_cast<int64_t>(
+        std::max(0.0, 20.0 + 120.0 * rush + rng_.NextGaussian(0, 8.0)));
+    return Tuple::Make(info_.schema,
+                       {Value::Double(speed), Value::Int(vehicles),
+                        Value::String(config_.road)},
+                       ts, info_.location, info_.id);
+  }
+
+ private:
+  TrafficConfig config_;
+  Rng rng_;
+};
+
+class ReplaySensor : public SensorSimulator {
+ public:
+  ReplaySensor(pubsub::SensorInfo info, std::vector<Tuple> recording)
+      : SensorSimulator(std::move(info)), recording_(std::move(recording)) {}
+
+  Result<Tuple> Generate(Timestamp ts) override {
+    const Tuple& t = recording_[next_ % recording_.size()];
+    ++next_;
+    // Re-stamp with the emission time; location comes from the recording.
+    return t.WithStt(t.schema(), ts, t.location());
+  }
+
+ private:
+  std::vector<Tuple> recording_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SensorSimulator> MakeTemperatureSensor(
+    const PhysicalConfig& config, double base_c, double daily_amplitude_c,
+    double noise_c, const std::string& unit) {
+  auto info = PhysicalInfo(config, "temperature", "weather/temperature",
+                           {{"temp", ValueType::kDouble, unit, false}});
+  if (!info.ok()) return nullptr;
+  return std::make_unique<TemperatureSensor>(std::move(info).ValueOrDie(),
+                                             config.seed, base_c,
+                                             daily_amplitude_c, noise_c, unit);
+}
+
+std::unique_ptr<SensorSimulator> MakeHumiditySensor(
+    const PhysicalConfig& config, double base_pct, double daily_amplitude_pct,
+    double noise_pct) {
+  auto info = PhysicalInfo(config, "humidity", "weather/humidity",
+                           {{"humidity", ValueType::kDouble, "percent",
+                             false}});
+  if (!info.ok()) return nullptr;
+  return std::make_unique<HumiditySensor>(std::move(info).ValueOrDie(),
+                                          config.seed, base_pct,
+                                          daily_amplitude_pct, noise_pct);
+}
+
+std::unique_ptr<SensorSimulator> MakeRainSensor(const PhysicalConfig& config,
+                                                double wet_probability,
+                                                double stay_wet_probability,
+                                                double mean_intensity_mmh) {
+  auto info = PhysicalInfo(config, "rain", "weather/rain",
+                           {{"rain", ValueType::kDouble, "mm/h", false}});
+  if (!info.ok()) return nullptr;
+  return std::make_unique<RainSensor>(std::move(info).ValueOrDie(),
+                                      config.seed, wet_probability,
+                                      stay_wet_probability,
+                                      mean_intensity_mmh);
+}
+
+std::unique_ptr<SensorSimulator> MakePressureSensor(
+    const PhysicalConfig& config) {
+  auto info = PhysicalInfo(config, "pressure", "weather/pressure",
+                           {{"pressure", ValueType::kDouble, "hpa", false}});
+  if (!info.ok()) return nullptr;
+  return std::make_unique<PressureSensor>(std::move(info).ValueOrDie(),
+                                          config.seed);
+}
+
+std::unique_ptr<SensorSimulator> MakeWindSensor(const PhysicalConfig& config) {
+  auto info = PhysicalInfo(config, "wind", "weather/wind",
+                           {{"speed", ValueType::kDouble, "m/s", false},
+                            {"direction", ValueType::kInt, "", false}});
+  if (!info.ok()) return nullptr;
+  return std::make_unique<WindSensor>(std::move(info).ValueOrDie(),
+                                      config.seed);
+}
+
+std::unique_ptr<SensorSimulator> MakeTweetSensor(const TweetConfig& config) {
+  auto tgran = stt::TemporalGranularity::Second();
+  auto theme = stt::Theme::Parse("social/tweet");
+  auto schema = Schema::Make({{"text", ValueType::kString, "", false},
+                              {"user", ValueType::kString, "", false},
+                              {"retweets", ValueType::kInt, "count", false}},
+                             tgran, stt::SpatialGranularity::Point(), *theme);
+  if (!schema.ok()) return nullptr;
+  pubsub::SensorInfo info;
+  info.id = config.id;
+  info.type = "tweet";
+  info.schema = std::move(schema).ValueOrDie();
+  info.period = config.period;
+  info.location = config.center;
+  info.owner = config.owner;
+  info.provides_timestamp = true;
+  info.provides_location = true;  // mobile: each tuple carries its own
+  info.node_id = config.node_id;
+  return std::make_unique<TweetSensor>(std::move(info), config);
+}
+
+std::unique_ptr<SensorSimulator> MakeTrafficSensor(
+    const TrafficConfig& config) {
+  auto tgran = stt::TemporalGranularity::Second();
+  auto theme = stt::Theme::Parse("mobility/traffic");
+  auto schema = Schema::Make({{"speed", ValueType::kDouble, "km/h", false},
+                              {"vehicles", ValueType::kInt, "count", false},
+                              {"road", ValueType::kString, "", false}},
+                             tgran, stt::SpatialGranularity::Point(), *theme);
+  if (!schema.ok()) return nullptr;
+  pubsub::SensorInfo info;
+  info.id = config.id;
+  info.type = "traffic";
+  info.schema = std::move(schema).ValueOrDie();
+  info.period = config.period;
+  info.location = config.location;
+  info.owner = config.owner;
+  info.provides_timestamp = false;  // loop detectors: broker stamps arrival
+  info.provides_location = false;   // fixed install point via enrichment
+  info.node_id = config.node_id;
+  return std::make_unique<TrafficSensor>(std::move(info), config);
+}
+
+Result<std::unique_ptr<SensorSimulator>> MakeReplaySensor(
+    pubsub::SensorInfo info, std::vector<Tuple> recording) {
+  if (recording.empty()) {
+    return Status::InvalidArgument("replay sensor needs a non-empty recording");
+  }
+  for (const auto& t : recording) {
+    if (t.schema() != info.schema &&
+        (t.schema() == nullptr || info.schema == nullptr ||
+         !t.schema()->Equals(*info.schema))) {
+      return Status::TypeError(
+          "replay recording tuple schema differs from the sensor schema");
+    }
+  }
+  return std::unique_ptr<SensorSimulator>(
+      new ReplaySensor(std::move(info), std::move(recording)));
+}
+
+}  // namespace sl::sensors

@@ -1,0 +1,104 @@
+// StreamLoader: concrete sensor generators.
+//
+// Physical sensors (temperature, humidity, rain — §1's "temperature,
+// humidity, wind, rain, pressure") and social sensors (tweets, traffic
+// — "twitter data, traffic information") with deliberately heterogeneous
+// schemas, units and granularities, so the ETL operations have real
+// reconciliation work to do.
+
+#ifndef STREAMLOADER_SENSORS_GENERATORS_H_
+#define STREAMLOADER_SENSORS_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sensors/simulator.h"
+#include "util/rng.h"
+
+namespace sl::sensors {
+
+/// \brief Shared knobs of the physical generators.
+struct PhysicalConfig {
+  std::string id;
+  stt::GeoPoint location{34.69, 135.50};  ///< Osaka city by default
+  Duration period = duration::kMinute;
+  Duration temporal_granularity = duration::kMinute;
+  double spatial_cell_deg = 0.0;  ///< 0 = point granularity
+  std::string node_id;            ///< managing network node
+  std::string owner = "osaka_met";
+  uint64_t seed = 1;
+  /// When false the sensor relies on broker enrichment (§3).
+  bool provides_timestamp = true;
+  bool provides_location = true;
+};
+
+/// \brief Diurnal temperature: base + daily sinusoid + Gaussian noise.
+/// Unit selectable ("celsius" or "fahrenheit") to exercise unit
+/// reconciliation. Schema: {temp: double[unit]}.
+std::unique_ptr<SensorSimulator> MakeTemperatureSensor(
+    const PhysicalConfig& config, double base_c = 22.0,
+    double daily_amplitude_c = 6.0, double noise_c = 0.4,
+    const std::string& unit = "celsius");
+
+/// \brief Relative humidity anti-correlated with the diurnal cycle.
+/// Schema: {humidity: double[percent]}.
+std::unique_ptr<SensorSimulator> MakeHumiditySensor(
+    const PhysicalConfig& config, double base_pct = 65.0,
+    double daily_amplitude_pct = 15.0, double noise_pct = 2.0);
+
+/// \brief Rain gauge with a two-state (dry/wet) Markov regime; wet spells
+/// produce heavy-tailed intensities (torrential bursts). Schema:
+/// {rain: double[mm/h]}.
+std::unique_ptr<SensorSimulator> MakeRainSensor(
+    const PhysicalConfig& config, double wet_probability = 0.05,
+    double stay_wet_probability = 0.85, double mean_intensity_mmh = 8.0);
+
+/// \brief Barometric pressure random walk around 1013 hPa. Schema:
+/// {pressure: double[hpa]}.
+std::unique_ptr<SensorSimulator> MakePressureSensor(
+    const PhysicalConfig& config);
+
+/// \brief Wind speed (Rayleigh-ish) + direction. Schema:
+/// {speed: double[m/s], direction: int}.
+std::unique_ptr<SensorSimulator> MakeWindSensor(const PhysicalConfig& config);
+
+/// \brief Geo-tagged micro-blog messages around a center point; a
+/// configurable fraction mentions rain/flood keywords. The sensor is
+/// mobile (each tuple carries its own jittered location). Schema:
+/// {text: string, user: string, retweets: int}.
+struct TweetConfig {
+  std::string id;
+  stt::GeoPoint center{34.69, 135.50};
+  double jitter_deg = 0.05;
+  Duration period = 10 * duration::kSecond;
+  double rain_keyword_fraction = 0.2;
+  std::string node_id;
+  std::string owner = "sns_gw";
+  uint64_t seed = 2;
+};
+std::unique_ptr<SensorSimulator> MakeTweetSensor(const TweetConfig& config);
+
+/// \brief Road segment loop detector: vehicle count and mean speed with
+/// rush-hour slowdowns. Schema: {speed: double[km/h], vehicles:
+/// int[count], road: string}.
+struct TrafficConfig {
+  std::string id;
+  stt::GeoPoint location{34.70, 135.49};
+  std::string road = "hanshin_exp_11";
+  Duration period = 30 * duration::kSecond;
+  double free_flow_kmh = 65.0;
+  std::string node_id;
+  std::string owner = "osaka_road";
+  uint64_t seed = 3;
+};
+std::unique_ptr<SensorSimulator> MakeTrafficSensor(const TrafficConfig& config);
+
+/// \brief Replays a pre-recorded tuple sequence (cyclically), for tests
+/// and deterministic examples. The tuples must share one schema.
+Result<std::unique_ptr<SensorSimulator>> MakeReplaySensor(
+    pubsub::SensorInfo info, std::vector<stt::Tuple> recording);
+
+}  // namespace sl::sensors
+
+#endif  // STREAMLOADER_SENSORS_GENERATORS_H_

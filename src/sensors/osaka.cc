@@ -1,0 +1,111 @@
+#include "sensors/osaka.h"
+
+#include "util/strings.h"
+
+namespace sl::sensors {
+
+namespace {
+std::string NodeFor(const OsakaFleetOptions& options, size_t index) {
+  if (options.node_ids.empty()) return "";
+  return options.node_ids[index % options.node_ids.size()];
+}
+}  // namespace
+
+Result<OsakaFleetManifest> BuildOsakaFleet(SensorFleet* fleet,
+                                           const OsakaFleetOptions& options) {
+  if (fleet == nullptr) return Status::InvalidArgument("null fleet");
+  OsakaFleetManifest manifest;
+  size_t node_index = 0;
+  uint64_t seed = options.seed;
+
+  for (size_t i = 0; i < options.temperature_sensors; ++i) {
+    PhysicalConfig config;
+    config.id = StrFormat("osaka_temp_%02zu", i);
+    config.location = {34.62 + 0.03 * static_cast<double>(i % 4),
+                       135.42 + 0.04 * static_cast<double>(i / 4)};
+    config.period = options.physical_period;
+    config.temporal_granularity = options.physical_period;
+    config.node_id = NodeFor(options, node_index++);
+    config.seed = seed++;
+    // Heterogeneity: every fourth sensor reports Fahrenheit.
+    std::string unit = (i % 4 == 3) ? "fahrenheit" : "celsius";
+    auto sensor = MakeTemperatureSensor(config, 23.0, 7.0, 0.5, unit);
+    if (sensor == nullptr) {
+      return Status::Internal("failed to build " + config.id);
+    }
+    manifest.temperature.push_back(config.id);
+    SL_RETURN_IF_ERROR(fleet->Add(std::move(sensor), /*start_active=*/true));
+  }
+
+  for (size_t i = 0; i < options.humidity_sensors; ++i) {
+    PhysicalConfig config;
+    config.id = StrFormat("osaka_hum_%02zu", i);
+    config.location = {34.66 + 0.02 * static_cast<double>(i), 135.50};
+    config.period = options.physical_period;
+    config.temporal_granularity = options.physical_period;
+    config.node_id = NodeFor(options, node_index++);
+    config.seed = seed++;
+    auto sensor = MakeHumiditySensor(config);
+    if (sensor == nullptr) {
+      return Status::Internal("failed to build " + config.id);
+    }
+    manifest.humidity.push_back(config.id);
+    SL_RETURN_IF_ERROR(fleet->Add(std::move(sensor), /*start_active=*/true));
+  }
+
+  for (size_t i = 0; i < options.rain_sensors; ++i) {
+    PhysicalConfig config;
+    config.id = StrFormat("osaka_rain_%02zu", i);
+    config.location = {34.60 + 0.05 * static_cast<double>(i), 135.46};
+    config.period = options.physical_period;
+    config.temporal_granularity = options.physical_period;
+    // Heterogeneity: rain reported per 0.01-degree cell.
+    config.spatial_cell_deg = 0.01;
+    config.node_id = NodeFor(options, node_index++);
+    config.seed = seed++;
+    auto sensor = MakeRainSensor(config);
+    if (sensor == nullptr) {
+      return Status::Internal("failed to build " + config.id);
+    }
+    manifest.rain.push_back(config.id);
+    SL_RETURN_IF_ERROR(
+        fleet->Add(std::move(sensor), options.reactive_sensors_start_active));
+  }
+
+  for (size_t i = 0; i < options.tweet_sensors; ++i) {
+    TweetConfig config;
+    config.id = StrFormat("osaka_tweet_%02zu", i);
+    config.center = {34.68 + 0.03 * static_cast<double>(i), 135.50};
+    config.period = std::max<Duration>(options.physical_period / 6, 1);
+    config.node_id = NodeFor(options, node_index++);
+    config.seed = seed++;
+    auto sensor = MakeTweetSensor(config);
+    if (sensor == nullptr) {
+      return Status::Internal("failed to build " + config.id);
+    }
+    manifest.tweets.push_back(config.id);
+    SL_RETURN_IF_ERROR(
+        fleet->Add(std::move(sensor), options.reactive_sensors_start_active));
+  }
+
+  for (size_t i = 0; i < options.traffic_sensors; ++i) {
+    TrafficConfig config;
+    config.id = StrFormat("osaka_traffic_%02zu", i);
+    config.location = {34.70, 135.44 + 0.04 * static_cast<double>(i)};
+    config.road = StrFormat("route_%zu", 11 + i);
+    config.period = std::max<Duration>(options.physical_period / 2, 1);
+    config.node_id = NodeFor(options, node_index++);
+    config.seed = seed++;
+    auto sensor = MakeTrafficSensor(config);
+    if (sensor == nullptr) {
+      return Status::Internal("failed to build " + config.id);
+    }
+    manifest.traffic.push_back(config.id);
+    SL_RETURN_IF_ERROR(
+        fleet->Add(std::move(sensor), options.reactive_sensors_start_active));
+  }
+
+  return manifest;
+}
+
+}  // namespace sl::sensors

@@ -1,0 +1,63 @@
+// StreamLoader: the paper's Osaka scenario sensor fleet (§3).
+//
+// "There are different sensors in the area of Osaka that produce data
+// about the temperatures and levels of rains ... Moreover, tweets and
+// traffic information from the same area ... can be acquired."
+
+#ifndef STREAMLOADER_SENSORS_OSAKA_H_
+#define STREAMLOADER_SENSORS_OSAKA_H_
+
+#include <vector>
+
+#include "sensors/generators.h"
+#include "sensors/simulator.h"
+
+namespace sl::sensors {
+
+/// \brief Sizing of the Osaka fleet.
+struct OsakaFleetOptions {
+  size_t temperature_sensors = 4;
+  size_t humidity_sensors = 2;
+  size_t rain_sensors = 3;
+  size_t tweet_sensors = 2;
+  size_t traffic_sensors = 3;
+  /// Emission period of the physical sensors (tweets/traffic run
+  /// faster, scaled from this).
+  Duration physical_period = duration::kMinute;
+  /// Network nodes managing the sensors (round-robin); empty = "".
+  std::vector<std::string> node_ids;
+  uint64_t seed = 42;
+  /// Whether rain / tweet / traffic sensors start active. In the
+  /// scenario they start inactive and are activated by the Trigger On
+  /// when the hot-hour condition holds.
+  bool reactive_sensors_start_active = false;
+};
+
+/// \brief Ids of the sensors the builder created, by role.
+struct OsakaFleetManifest {
+  std::vector<std::string> temperature;
+  std::vector<std::string> humidity;
+  std::vector<std::string> rain;
+  std::vector<std::string> tweets;
+  std::vector<std::string> traffic;
+
+  std::vector<std::string> reactive() const {
+    std::vector<std::string> out = rain;
+    out.insert(out.end(), tweets.begin(), tweets.end());
+    out.insert(out.end(), traffic.begin(), traffic.end());
+    return out;
+  }
+};
+
+/// \brief Populates `fleet` with the scenario sensors, spread over the
+/// Osaka area, heterogeneous on purpose: one temperature sensor per four
+/// reports Fahrenheit, granularities differ, traffic sensors rely on
+/// broker STT enrichment. Temperature/humidity start active; rain,
+/// tweet and traffic sensors start according to
+/// `reactive_sensors_start_active`.
+Result<OsakaFleetManifest> BuildOsakaFleet(SensorFleet* fleet,
+                                           const OsakaFleetOptions& options);
+
+}  // namespace sl::sensors
+
+#endif  // STREAMLOADER_SENSORS_OSAKA_H_

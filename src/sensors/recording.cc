@@ -1,0 +1,14 @@
+#include "sensors/recording.h"
+
+#include "sensors/generators.h"
+
+namespace sl::sensors {
+
+Result<std::unique_ptr<SensorSimulator>> MakeReplaySensorFromCsv(
+    pubsub::SensorInfo info, const std::string& csv) {
+  SL_ASSIGN_OR_RETURN(std::vector<stt::Tuple> recording,
+                      sinks::ParseRecordingCsv(csv, info.schema));
+  return MakeReplaySensor(std::move(info), std::move(recording));
+}
+
+}  // namespace sl::sensors

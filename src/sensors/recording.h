@@ -1,0 +1,44 @@
+// StreamLoader: stream recording and replay.
+//
+// Recordings close the loop between the CSV sink and the replay sensor:
+// a stream captured by a CsvSink (or exported from the warehouse) can be
+// parsed back into tuples and re-published as a sensor — deterministic
+// input for tests, demos and the sample-based debugger. The CSV format
+// itself lives in sinks/csv_io.h; thin aliases are kept here so sensor
+// code reads naturally.
+
+#ifndef STREAMLOADER_SENSORS_RECORDING_H_
+#define STREAMLOADER_SENSORS_RECORDING_H_
+
+#include <string>
+#include <vector>
+
+#include "sensors/simulator.h"
+#include "sinks/csv_io.h"
+#include "stt/schema.h"
+#include "stt/tuple.h"
+
+namespace sl::sensors {
+
+/// Parses a CSV recording (CsvSink format) into tuples conforming to
+/// `schema`. See sinks::ParseRecordingCsv.
+inline Result<std::vector<stt::Tuple>> ParseRecordingCsv(
+    const std::string& csv, stt::SchemaPtr schema) {
+  return sinks::ParseRecordingCsv(csv, std::move(schema));
+}
+
+/// Serializes tuples as a CSV recording. See sinks::WriteRecordingCsv.
+inline Result<std::string> WriteRecordingCsv(
+    const std::vector<stt::Tuple>& tuples) {
+  return sinks::WriteRecordingCsv(tuples);
+}
+
+/// \brief Builds a replay sensor from a CSV recording. The sensor
+/// re-stamps tuples with emission time and cycles through the recording
+/// at `info.period`.
+Result<std::unique_ptr<SensorSimulator>> MakeReplaySensorFromCsv(
+    pubsub::SensorInfo info, const std::string& csv);
+
+}  // namespace sl::sensors
+
+#endif  // STREAMLOADER_SENSORS_RECORDING_H_

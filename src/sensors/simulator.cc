@@ -1,0 +1,111 @@
+#include "sensors/simulator.h"
+
+#include "util/logging.h"
+
+namespace sl::sensors {
+
+Status SensorSimulator::Start(net::EventLoop* loop, pubsub::Broker* broker) {
+  if (running()) return Status::OK();
+  if (loop == nullptr || broker == nullptr) {
+    return Status::InvalidArgument("sensor needs an event loop and a broker");
+  }
+  loop_ = loop;
+  broker_ = broker;
+  if (!broker_->IsPublished(info_.id)) {
+    SL_RETURN_IF_ERROR(broker_->Publish(info_));
+  }
+  timer_ = loop_->SchedulePeriodic(info_.period, [this] { EmitOnce(); });
+  return Status::OK();
+}
+
+void SensorSimulator::Stop() {
+  if (timer_ != 0 && loop_ != nullptr) {
+    loop_->Cancel(timer_);
+  }
+  timer_ = 0;
+}
+
+Status SensorSimulator::Leave() {
+  Stop();
+  if (broker_ != nullptr && broker_->IsPublished(info_.id)) {
+    return broker_->Unpublish(info_.id);
+  }
+  return Status::OK();
+}
+
+void SensorSimulator::EmitOnce() {
+  auto tuple = Generate(loop_->Now());
+  if (!tuple.ok()) {
+    SL_LOG(kError) << "sensor " << info_.id
+                   << " generation failed: " << tuple.status().ToString();
+    return;
+  }
+  Status s = broker_->PublishTuple(info_.id, std::move(tuple).ValueOrDie());
+  if (!s.ok()) {
+    SL_LOG(kError) << "sensor " << info_.id
+                   << " publish failed: " << s.ToString();
+    return;
+  }
+  ++emitted_;
+}
+
+Status SensorFleet::Add(std::unique_ptr<SensorSimulator> simulator,
+                        bool start_active) {
+  if (simulator == nullptr) {
+    return Status::InvalidArgument("null simulator");
+  }
+  std::string id = simulator->id();
+  if (simulators_.count(id) > 0) {
+    return Status::AlreadyExists("fleet already manages sensor '" + id + "'");
+  }
+  if (!broker_->IsPublished(id)) {
+    SL_RETURN_IF_ERROR(broker_->Publish(simulator->info()));
+  }
+  if (start_active) {
+    SL_RETURN_IF_ERROR(simulator->Start(loop_, broker_));
+  }
+  simulators_.emplace(std::move(id), std::move(simulator));
+  return Status::OK();
+}
+
+Result<SensorSimulator*> SensorFleet::Find(const std::string& sensor_id) const {
+  auto it = simulators_.find(sensor_id);
+  if (it == simulators_.end()) {
+    return Status::NotFound("fleet does not manage sensor '" + sensor_id +
+                            "'");
+  }
+  return it->second.get();
+}
+
+Status SensorFleet::Activate(const std::string& sensor_id) {
+  SL_ASSIGN_OR_RETURN(SensorSimulator * sim, Find(sensor_id));
+  return sim->Start(loop_, broker_);
+}
+
+Status SensorFleet::Deactivate(const std::string& sensor_id) {
+  SL_ASSIGN_OR_RETURN(SensorSimulator * sim, Find(sensor_id));
+  sim->Stop();
+  return Status::OK();
+}
+
+Status SensorFleet::Remove(const std::string& sensor_id) {
+  SL_ASSIGN_OR_RETURN(SensorSimulator * sim, Find(sensor_id));
+  SL_RETURN_IF_ERROR(sim->Leave());
+  simulators_.erase(sensor_id);
+  return Status::OK();
+}
+
+std::vector<std::string> SensorFleet::SensorIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(simulators_.size());
+  for (const auto& [id, sim] : simulators_) ids.push_back(id);
+  return ids;
+}
+
+uint64_t SensorFleet::total_emitted() const {
+  uint64_t total = 0;
+  for (const auto& [id, sim] : simulators_) total += sim->emitted();
+  return total;
+}
+
+}  // namespace sl::sensors

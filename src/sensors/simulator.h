@@ -1,0 +1,101 @@
+// StreamLoader: sensor simulation.
+//
+// Stand-ins for the live NICT sensor network (DESIGN.md §2): each
+// simulator owns a published SensorInfo and, while active, emits one
+// tuple per period on the event loop through the broker (which performs
+// STT enrichment). The SensorFleet manages a collection of simulators
+// and exposes the activate/deactivate operations the Trigger operations
+// need.
+
+#ifndef STREAMLOADER_SENSORS_SIMULATOR_H_
+#define STREAMLOADER_SENSORS_SIMULATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "pubsub/broker.h"
+#include "util/rng.h"
+
+namespace sl::sensors {
+
+/// \brief Base class of all simulated sensors.
+class SensorSimulator {
+ public:
+  explicit SensorSimulator(pubsub::SensorInfo info)
+      : info_(std::move(info)) {}
+  virtual ~SensorSimulator() = default;
+
+  const pubsub::SensorInfo& info() const { return info_; }
+  const std::string& id() const { return info_.id; }
+
+  /// Publishes the sensor (if needed) and begins periodic emission.
+  /// Idempotent while running.
+  Status Start(net::EventLoop* loop, pubsub::Broker* broker);
+
+  /// Stops emission; the sensor stays published (its stream is
+  /// "de-activated" in the sense of Trigger Off).
+  void Stop();
+
+  /// Stops emission and unpublishes (the sensor leaves the network, P3).
+  Status Leave();
+
+  bool running() const { return timer_ != 0; }
+  uint64_t emitted() const { return emitted_; }
+
+  /// Produces the tuple for emission time `ts`. Deterministic given the
+  /// simulator's seed and call sequence.
+  virtual Result<stt::Tuple> Generate(Timestamp ts) = 0;
+
+ protected:
+  pubsub::SensorInfo info_;
+
+ private:
+  void EmitOnce();
+
+  net::EventLoop* loop_ = nullptr;
+  pubsub::Broker* broker_ = nullptr;
+  net::EventLoop::TimerId timer_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+/// \brief Owns a set of simulators and routes activation requests.
+class SensorFleet {
+ public:
+  /// `loop` and `broker` must outlive the fleet.
+  SensorFleet(net::EventLoop* loop, pubsub::Broker* broker)
+      : loop_(loop), broker_(broker) {}
+
+  /// Adds a simulator (publishing it); optionally starts it immediately.
+  Status Add(std::unique_ptr<SensorSimulator> simulator,
+             bool start_active = true);
+
+  /// The managed simulator with this id.
+  Result<SensorSimulator*> Find(const std::string& sensor_id) const;
+
+  /// Starts emission of a managed sensor's stream (Trigger On target).
+  Status Activate(const std::string& sensor_id);
+
+  /// Stops emission of a managed sensor's stream (Trigger Off target).
+  Status Deactivate(const std::string& sensor_id);
+
+  /// Removes the sensor from the network entirely (P3 churn).
+  Status Remove(const std::string& sensor_id);
+
+  std::vector<std::string> SensorIds() const;
+  size_t size() const { return simulators_.size(); }
+
+  /// Total tuples emitted by all managed sensors.
+  uint64_t total_emitted() const;
+
+ private:
+  net::EventLoop* loop_;
+  pubsub::Broker* broker_;
+  std::map<std::string, std::unique_ptr<SensorSimulator>> simulators_;
+};
+
+}  // namespace sl::sensors
+
+#endif  // STREAMLOADER_SENSORS_SIMULATOR_H_

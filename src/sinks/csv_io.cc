@@ -1,0 +1,192 @@
+#include "sinks/csv_io.h"
+
+#include <cstdlib>
+
+#include "sinks/streams.h"
+#include "util/strings.h"
+
+namespace sl::sinks {
+
+using stt::Value;
+using stt::ValueType;
+
+namespace {
+
+/// Splits one CSV line honoring double-quoted fields with "" escapes.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (quoted) {
+    return Status::ParseError("unterminated quoted field in CSV line: " +
+                              line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> ParseValue(const std::string& text, const stt::Field& field) {
+  if (text.empty()) {
+    if (!field.nullable) {
+      return Status::TypeError("empty value for non-nullable field '" +
+                               field.name + "'");
+    }
+    return Value::Null();
+  }
+  switch (field.type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool:
+      if (text == "true") return Value::Bool(true);
+      if (text == "false") return Value::Bool(false);
+      return Status::ParseError("invalid bool '" + text + "' for field '" +
+                                field.name + "'");
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::ParseError("invalid int '" + text + "' for field '" +
+                                  field.name + "'");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::ParseError("invalid double '" + text +
+                                  "' for field '" + field.name + "'");
+      }
+      return Value::Double(v);
+    }
+    case ValueType::kString:
+      return Value::String(text);
+    case ValueType::kTimestamp: {
+      Timestamp ts;
+      if (!ParseTimestamp(text, &ts)) {
+        return Status::ParseError("invalid timestamp '" + text +
+                                  "' for field '" + field.name + "'");
+      }
+      return Value::Time(ts);
+    }
+    case ValueType::kGeoPoint: {
+      // "(lat, lon)" form.
+      std::string t(Trim(text));
+      if (t.size() < 5 || t.front() != '(' || t.back() != ')') {
+        return Status::ParseError("invalid geopoint '" + text + "'");
+      }
+      auto parts = SplitAndTrim(t.substr(1, t.size() - 2), ',');
+      if (parts.size() != 2) {
+        return Status::ParseError("invalid geopoint '" + text + "'");
+      }
+      return Value::Geo({std::strtod(parts[0].c_str(), nullptr),
+                         std::strtod(parts[1].c_str(), nullptr)});
+    }
+  }
+  return Status::Internal("unreachable value type");
+}
+
+}  // namespace
+
+Result<std::vector<stt::Tuple>> ParseRecordingCsv(const std::string& csv,
+                                                  stt::SchemaPtr schema) {
+  if (schema == nullptr) return Status::InvalidArgument("null schema");
+  std::vector<stt::Tuple> tuples;
+  bool header_seen = false;
+  size_t line_no = 0;
+  for (const auto& raw_line : Split(csv, '\n')) {
+    ++line_no;
+    std::string line(Trim(raw_line));
+    if (line.empty() || line.front() == '#') continue;
+    SL_ASSIGN_OR_RETURN(std::vector<std::string> cols, SplitCsvLine(line));
+    if (!header_seen) {
+      // Validate the header against the schema.
+      if (cols.size() != 4 + schema->num_fields() || cols[0] != "ts" ||
+          cols[1] != "lat" || cols[2] != "lon" || cols[3] != "sensor") {
+        return Status::ParseError(
+            "recording header must be 'ts,lat,lon,sensor,<fields>', got: " +
+            line);
+      }
+      for (size_t i = 0; i < schema->num_fields(); ++i) {
+        if (cols[4 + i] != schema->fields()[i].name) {
+          return Status::ParseError(StrFormat(
+              "header column %zu is '%s' but the schema field is '%s'",
+              4 + i, cols[4 + i].c_str(), schema->fields()[i].name.c_str()));
+        }
+      }
+      header_seen = true;
+      continue;
+    }
+    if (cols.size() != 4 + schema->num_fields()) {
+      return Status::ParseError(
+          StrFormat("line %zu has %zu columns, expected %zu", line_no,
+                    cols.size(), 4 + schema->num_fields()));
+    }
+    Timestamp ts;
+    if (!ParseTimestamp(cols[0], &ts)) {
+      return Status::ParseError(StrFormat("line %zu: invalid ts '%s'",
+                                          line_no, cols[0].c_str()));
+    }
+    std::optional<stt::GeoPoint> location;
+    if (!cols[1].empty() && !cols[2].empty()) {
+      location = stt::GeoPoint{std::strtod(cols[1].c_str(), nullptr),
+                               std::strtod(cols[2].c_str(), nullptr)};
+    }
+    std::vector<Value> values;
+    values.reserve(schema->num_fields());
+    for (size_t i = 0; i < schema->num_fields(); ++i) {
+      SL_ASSIGN_OR_RETURN(Value v,
+                          ParseValue(cols[4 + i], schema->fields()[i]));
+      values.push_back(std::move(v));
+    }
+    SL_ASSIGN_OR_RETURN(stt::Tuple tuple,
+                        stt::Tuple::Make(schema, std::move(values), ts,
+                                         location, cols[3]));
+    tuples.push_back(std::move(tuple));
+  }
+  if (!header_seen) {
+    return Status::ParseError("recording has no header line");
+  }
+  return tuples;
+}
+
+Result<std::string> WriteRecordingCsv(const std::vector<stt::Tuple>& tuples) {
+  if (tuples.empty()) {
+    return Status::InvalidArgument("cannot serialize an empty recording");
+  }
+  std::string out;
+  CsvSink sink("recording",
+                      [&out](const std::string& line) {
+                        out += line;
+                        out += "\n";
+                      });
+  for (const auto& t : tuples) {
+    SL_RETURN_IF_ERROR(sink.Write(t));
+  }
+  return out;
+}
+
+
+}  // namespace sl::sinks

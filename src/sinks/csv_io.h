@@ -1,0 +1,35 @@
+// StreamLoader: CSV tuple serialization (the CsvSink line format).
+//
+// One format closes the loop across the system: the CsvSink writes it,
+// the warehouse exports/imports datasets in it, and the sensors layer
+// replays recordings of it (sensors/recording.h).
+//
+//   ts,lat,lon,sensor,<field>,<field>,...
+//   2016-03-15T08:00:00.000Z,34.69,135.50,temp_01,24.5,osaka
+//
+// Empty lat/lon mean "no location"; empty field values are nulls;
+// `#`-prefixed lines are comments.
+
+#ifndef STREAMLOADER_SINKS_CSV_IO_H_
+#define STREAMLOADER_SINKS_CSV_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "stt/schema.h"
+#include "stt/tuple.h"
+
+namespace sl::sinks {
+
+/// \brief Parses a CSV recording into tuples conforming to `schema`.
+/// The header must name the schema fields in order after the fixed
+/// `ts,lat,lon,sensor` columns.
+Result<std::vector<stt::Tuple>> ParseRecordingCsv(const std::string& csv,
+                                                  stt::SchemaPtr schema);
+
+/// \brief Serializes tuples (sharing one schema) as a CSV recording.
+Result<std::string> WriteRecordingCsv(const std::vector<stt::Tuple>& tuples);
+
+}  // namespace sl::sinks
+
+#endif  // STREAMLOADER_SINKS_CSV_IO_H_

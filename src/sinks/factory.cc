@@ -1,0 +1,29 @@
+#include "sinks/factory.h"
+
+namespace sl::sinks {
+
+Result<std::unique_ptr<Sink>> MakeSink(const std::string& name,
+                                       dataflow::SinkKind kind,
+                                       const std::string& target,
+                                       const SinkContext& context) {
+  switch (kind) {
+    case dataflow::SinkKind::kWarehouse:
+      if (context.warehouse == nullptr) {
+        return Status::InvalidArgument(
+            "warehouse sink '" + name +
+            "' needs SinkContext::warehouse to be set");
+      }
+      return std::unique_ptr<Sink>(
+          new WarehouseSink(name, context.warehouse, target));
+    case dataflow::SinkKind::kVisualization:
+      return std::unique_ptr<Sink>(
+          new VisualizationSink(name, context.visualization_consumer));
+    case dataflow::SinkKind::kCsv:
+      return std::unique_ptr<Sink>(new CsvSink(name, context.csv_consumer));
+    case dataflow::SinkKind::kCollect:
+      return std::unique_ptr<Sink>(new CollectSink(name));
+  }
+  return Status::Internal("unreachable sink kind");
+}
+
+}  // namespace sl::sinks

@@ -1,0 +1,34 @@
+// StreamLoader: construction of sinks from dataflow sink nodes.
+
+#ifndef STREAMLOADER_SINKS_FACTORY_H_
+#define STREAMLOADER_SINKS_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "dataflow/graph.h"
+#include "sinks/streams.h"
+#include "sinks/warehouse.h"
+
+namespace sl::sinks {
+
+/// \brief Shared resources sink construction draws from.
+struct SinkContext {
+  /// Destination for WAREHOUSE sinks; required when any is used.
+  EventDataWarehouse* warehouse = nullptr;
+  /// Receives visualization feature lines (optional: collected in
+  /// memory when unset).
+  LineConsumer visualization_consumer;
+  /// Receives CSV lines (optional, as above).
+  LineConsumer csv_consumer;
+};
+
+/// \brief Builds the sink for a dataflow sink node.
+Result<std::unique_ptr<Sink>> MakeSink(const std::string& name,
+                                       dataflow::SinkKind kind,
+                                       const std::string& target,
+                                       const SinkContext& context);
+
+}  // namespace sl::sinks
+
+#endif  // STREAMLOADER_SINKS_FACTORY_H_

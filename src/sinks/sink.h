@@ -1,0 +1,44 @@
+// StreamLoader: load targets of a dataflow.
+//
+// "The acquired data can be stored in a data-warehouse or sent to a
+// visualization tool in order to perform further analysis" (§3). Sinks
+// are push targets like operators, but terminal.
+
+#ifndef STREAMLOADER_SINKS_SINK_H_
+#define STREAMLOADER_SINKS_SINK_H_
+
+#include <memory>
+#include <string>
+
+#include "stt/tuple.h"
+
+namespace sl::sinks {
+
+/// \brief Base class of all load targets.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Loads one tuple.
+  virtual Status Write(const stt::Tuple& tuple) = 0;
+
+  /// Completes any buffered output (end of run).
+  virtual Status Finish() { return Status::OK(); }
+
+  /// Tuples successfully written.
+  uint64_t tuples_written() const { return tuples_written_; }
+
+ protected:
+  explicit Sink(std::string name) : name_(std::move(name)) {}
+  void CountWrite() { ++tuples_written_; }
+
+ private:
+  std::string name_;
+  uint64_t tuples_written_ = 0;
+};
+
+}  // namespace sl::sinks
+
+#endif  // STREAMLOADER_SINKS_SINK_H_

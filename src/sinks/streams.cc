@@ -1,0 +1,122 @@
+#include "sinks/streams.h"
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace sl::sinks {
+
+std::string VisualizationSink::ToFeature(const stt::Tuple& tuple) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type");
+  w.String("Feature");
+  w.Key("geometry");
+  if (tuple.location().has_value()) {
+    w.BeginObject();
+    w.Key("type");
+    w.String("Point");
+    w.Key("coordinates");
+    w.BeginArray();
+    w.Double(tuple.location()->lon);
+    w.Double(tuple.location()->lat);
+    w.EndArray();
+    w.EndObject();
+  } else {
+    w.Null();
+  }
+  w.Key("properties");
+  w.BeginObject();
+  w.Key("ts");
+  w.String(FormatTimestamp(tuple.timestamp()));
+  if (tuple.schema() != nullptr) {
+    w.Key("theme");
+    w.String(tuple.schema()->theme().ToString());
+    for (size_t i = 0; i < tuple.schema()->num_fields(); ++i) {
+      const auto& field = tuple.schema()->fields()[i];
+      const auto& value = tuple.value(i);
+      w.Key(field.name);
+      if (value.is_null()) {
+        w.Null();
+      } else {
+        switch (value.type()) {
+          case stt::ValueType::kBool: w.Bool(value.AsBool()); break;
+          case stt::ValueType::kInt: w.Int(value.AsInt()); break;
+          case stt::ValueType::kDouble: w.Double(value.AsDouble()); break;
+          default: w.String(value.ToString());
+        }
+      }
+    }
+  }
+  if (!tuple.sensor_id().empty()) {
+    w.Key("sensor");
+    w.String(tuple.sensor_id());
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status VisualizationSink::Write(const stt::Tuple& tuple) {
+  std::string line = ToFeature(tuple);
+  if (consumer_) {
+    consumer_(line);
+  } else {
+    lines_.push_back(std::move(line));
+  }
+  CountWrite();
+  return Status::OK();
+}
+
+namespace {
+std::string CsvQuote(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void CsvSink::EmitLine(const std::string& line) {
+  if (consumer_) {
+    consumer_(line);
+  } else {
+    lines_.push_back(line);
+  }
+}
+
+Status CsvSink::Write(const stt::Tuple& tuple) {
+  if (tuple.schema() == nullptr) {
+    return Status::InvalidArgument("tuple without schema");
+  }
+  if (!header_written_) {
+    std::string header = "ts,lat,lon,sensor";
+    for (const auto& f : tuple.schema()->fields()) {
+      header += ",";
+      header += f.name;
+    }
+    EmitLine(header);
+    header_written_ = true;
+  }
+  std::string line = FormatTimestamp(tuple.timestamp());
+  if (tuple.location().has_value()) {
+    line += StrFormat(",%.6f,%.6f", tuple.location()->lat,
+                      tuple.location()->lon);
+  } else {
+    line += ",,";
+  }
+  line += ",";
+  line += CsvQuote(tuple.sensor_id());
+  for (const auto& v : tuple.values()) {
+    line += ",";
+    line += v.is_null() ? "" : CsvQuote(v.ToString());
+  }
+  EmitLine(line);
+  CountWrite();
+  return Status::OK();
+}
+
+}  // namespace sl::sinks

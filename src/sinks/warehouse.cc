@@ -1,0 +1,214 @@
+#include "sinks/warehouse.h"
+
+#include <algorithm>
+
+#include "expr/eval.h"
+#include "sinks/csv_io.h"
+#include "stt/schema_text.h"
+#include "util/strings.h"
+
+namespace sl::sinks {
+
+Status EventDataWarehouse::Load(const std::string& dataset,
+                                const stt::Tuple& tuple) {
+  if (!IsIdentifier(dataset)) {
+    return Status::InvalidArgument("dataset name '" + dataset +
+                                   "' is not a valid identifier");
+  }
+  if (tuple.schema() == nullptr) {
+    return Status::InvalidArgument("tuple without schema");
+  }
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    Dataset ds;
+    ds.schema = tuple.schema();
+    it = datasets_.emplace(dataset, std::move(ds)).first;
+  } else if (it->second.schema != tuple.schema() &&
+             !it->second.schema->Equals(*tuple.schema())) {
+    return Status::TypeError(StrFormat(
+        "schema drift in dataset '%s': stored %s, incoming %s",
+        dataset.c_str(), it->second.schema->ToString().c_str(),
+        tuple.schema()->ToString().c_str()));
+  }
+  // Insert keeping event-time order (streams are mostly in order, so the
+  // common case is an append).
+  auto& rows = it->second.rows;
+  if (rows.empty() || rows.back().timestamp() <= tuple.timestamp()) {
+    rows.push_back(tuple);
+  } else {
+    auto pos = std::upper_bound(
+        rows.begin(), rows.end(), tuple.timestamp(),
+        [](Timestamp ts, const stt::Tuple& t) { return ts < t.timestamp(); });
+    rows.insert(pos, tuple);
+  }
+  ++total_events_;
+  return Status::OK();
+}
+
+std::vector<std::string> EventDataWarehouse::DatasetNames() const {
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) names.push_back(name);
+  return names;
+}
+
+size_t EventDataWarehouse::DatasetSize(const std::string& dataset) const {
+  auto it = datasets_.find(dataset);
+  return it == datasets_.end() ? 0 : it->second.rows.size();
+}
+
+Result<stt::SchemaPtr> EventDataWarehouse::DatasetSchema(
+    const std::string& dataset) const {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset '" + dataset + "'");
+  }
+  return it->second.schema;
+}
+
+Result<std::vector<stt::Tuple>> EventDataWarehouse::Query(
+    const std::string& dataset, const EventQuery& query) const {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset '" + dataset + "'");
+  }
+  const auto& rows = it->second.rows;
+
+  // Narrow by time using the sorted order.
+  auto begin = rows.begin();
+  auto end = rows.end();
+  if (query.time_begin.has_value()) {
+    begin = std::lower_bound(rows.begin(), rows.end(), *query.time_begin,
+                             [](const stt::Tuple& t, Timestamp ts) {
+                               return t.timestamp() < ts;
+                             });
+  }
+  if (query.time_end.has_value()) {
+    end = std::upper_bound(begin, rows.end(), *query.time_end,
+                           [](Timestamp ts, const stt::Tuple& t) {
+                             return ts < t.timestamp();
+                           });
+  }
+
+  // Optional attribute condition.
+  expr::BoundExpr condition;
+  bool has_condition = !Trim(query.condition).empty();
+  if (has_condition) {
+    SL_ASSIGN_OR_RETURN(
+        condition, expr::BoundExpr::Parse(query.condition, it->second.schema));
+  }
+
+  std::vector<stt::Tuple> out;
+  for (auto row = begin; row != end; ++row) {
+    if (query.area.has_value()) {
+      if (!row->location().has_value() ||
+          !query.area->Contains(*row->location())) {
+        continue;
+      }
+    }
+    if (!query.theme.IsAny()) {
+      if (!query.theme.Subsumes(row->schema()->theme())) continue;
+    }
+    if (has_condition) {
+      SL_ASSIGN_OR_RETURN(bool pass, condition.EvalPredicate(*row));
+      if (!pass) continue;
+    }
+    out.push_back(*row);
+    if (query.limit > 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+Result<std::vector<EventDataWarehouse::AggregateRow>>
+EventDataWarehouse::QueryAggregate(const std::string& dataset,
+                                   const EventQuery& query,
+                                   const std::string& attribute,
+                                   Duration bucket) const {
+  if (bucket <= 0) {
+    return Status::InvalidArgument("bucket must be a positive duration");
+  }
+  SL_ASSIGN_OR_RETURN(stt::SchemaPtr schema, DatasetSchema(dataset));
+  SL_ASSIGN_OR_RETURN(stt::Field field, schema->FieldByName(attribute));
+  if (!stt::IsNumeric(field.type)) {
+    return Status::TypeError("attribute '" + attribute + "' is " +
+                             stt::ValueTypeToString(field.type) +
+                             ", aggregates need a numeric attribute");
+  }
+  SL_ASSIGN_OR_RETURN(size_t idx, schema->FieldIndex(attribute));
+  SL_ASSIGN_OR_RETURN(std::vector<stt::Tuple> rows, Query(dataset, query));
+
+  std::vector<AggregateRow> out;
+  SL_ASSIGN_OR_RETURN(stt::TemporalGranularity gran,
+                      stt::TemporalGranularity::Make(bucket));
+  for (const auto& row : rows) {
+    const stt::Value& v = row.value(idx);
+    if (v.is_null()) continue;
+    double x = *v.ToNumeric();
+    Timestamp start = gran.Truncate(row.timestamp());
+    if (out.empty() || out.back().bucket_start != start) {
+      AggregateRow r;
+      r.bucket_start = start;
+      r.count = 1;
+      r.sum = r.avg = r.min = r.max = x;
+      out.push_back(r);
+    } else {
+      AggregateRow& r = out.back();
+      ++r.count;
+      r.sum += x;
+      r.min = std::min(r.min, x);
+      r.max = std::max(r.max, x);
+      r.avg = r.sum / static_cast<double>(r.count);
+    }
+  }
+  return out;
+}
+
+void EventDataWarehouse::DropDataset(const std::string& dataset) {
+  auto it = datasets_.find(dataset);
+  if (it != datasets_.end()) {
+    total_events_ -= it->second.rows.size();
+    datasets_.erase(it);
+  }
+}
+
+Result<std::string> EventDataWarehouse::ExportCsv(
+    const std::string& dataset) const {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset '" + dataset + "'");
+  }
+  if (it->second.rows.empty()) {
+    return Status::FailedPrecondition("dataset '" + dataset + "' is empty");
+  }
+  std::string out = "# schema: " + it->second.schema->ToString() + "\n";
+  SL_ASSIGN_OR_RETURN(std::string body, WriteRecordingCsv(it->second.rows));
+  out += body;
+  return out;
+}
+
+Status EventDataWarehouse::ImportCsv(const std::string& dataset,
+                                     const std::string& csv) {
+  // Recover the schema from the leading comment.
+  stt::SchemaPtr schema;
+  for (const auto& raw_line : Split(csv, '\n')) {
+    std::string line(Trim(raw_line));
+    if (line.empty()) continue;
+    if (StartsWith(line, "# schema:")) {
+      SL_ASSIGN_OR_RETURN(
+          schema, stt::ParseSchemaText(std::string(Trim(line.substr(9)))));
+    }
+    break;  // the schema comment must be the first non-empty line
+  }
+  if (schema == nullptr) {
+    return Status::ParseError(
+        "import needs a leading '# schema: ...' line (ExportCsv format)");
+  }
+  SL_ASSIGN_OR_RETURN(std::vector<stt::Tuple> tuples,
+                      ParseRecordingCsv(csv, schema));
+  for (const auto& t : tuples) {
+    SL_RETURN_IF_ERROR(Load(dataset, t));
+  }
+  return Status::OK();
+}
+
+}  // namespace sl::sinks

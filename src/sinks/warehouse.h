@@ -1,0 +1,128 @@
+// StreamLoader: the Event Data Warehouse.
+//
+// Stand-in for the NICT "Event Data Warehouse" [6], the paper's primary
+// load destination: an event-oriented store queried along the STT
+// dimensions (time interval, spatial area, theme) plus arbitrary
+// attribute conditions. In-memory, with a sorted-by-time index per
+// dataset (see DESIGN.md §2 on substitutions).
+
+#ifndef STREAMLOADER_SINKS_WAREHOUSE_H_
+#define STREAMLOADER_SINKS_WAREHOUSE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sinks/sink.h"
+#include "stt/geo.h"
+#include "stt/theme.h"
+#include "stt/tuple.h"
+
+namespace sl::sinks {
+
+/// \brief STT query over one warehouse dataset. Unset criteria match
+/// everything.
+struct EventQuery {
+  std::optional<Timestamp> time_begin;
+  std::optional<Timestamp> time_end;       ///< inclusive
+  std::optional<stt::BBox> area;           ///< tuples without location never match
+  stt::Theme theme;                        ///< subsumption on the dataset theme
+  std::string condition;                   ///< expression over the dataset schema
+  size_t limit = 0;                        ///< 0 = unlimited
+};
+
+/// \brief The in-memory event data warehouse.
+///
+/// Datasets are created on first load; within a dataset all tuples share
+/// the schema of the first tuple loaded (schema drift is rejected so
+/// queries stay well-typed).
+class EventDataWarehouse {
+ public:
+  EventDataWarehouse() = default;
+
+  /// Loads one tuple into `dataset` (created on demand).
+  Status Load(const std::string& dataset, const stt::Tuple& tuple);
+
+  /// Names of all datasets (sorted).
+  std::vector<std::string> DatasetNames() const;
+
+  /// Number of events in a dataset (0 when absent).
+  size_t DatasetSize(const std::string& dataset) const;
+
+  /// Schema of a dataset.
+  Result<stt::SchemaPtr> DatasetSchema(const std::string& dataset) const;
+
+  /// Runs an STT query; results are in event-time order.
+  Result<std::vector<stt::Tuple>> Query(const std::string& dataset,
+                                        const EventQuery& query) const;
+
+  /// One row of a time-bucketed aggregate query.
+  struct AggregateRow {
+    Timestamp bucket_start = 0;
+    int64_t count = 0;   ///< non-null values in the bucket
+    double sum = 0;
+    double avg = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  /// \brief Aggregates a numeric attribute of the events matching
+  /// `query`, grouped into time buckets of `bucket` ms (the analytical
+  /// face of the Event Data Warehouse [6]). Rows are in bucket order;
+  /// empty buckets are omitted.
+  Result<std::vector<AggregateRow>> QueryAggregate(
+      const std::string& dataset, const EventQuery& query,
+      const std::string& attribute, Duration bucket) const;
+
+  /// Events loaded across all datasets.
+  uint64_t total_events() const { return total_events_; }
+
+  /// Drops a dataset (idempotent).
+  void DropDataset(const std::string& dataset);
+
+  /// \brief Exports a dataset as a CSV recording (the CsvSink format,
+  /// loadable by sensors::ParseRecordingCsv — datasets can be replayed
+  /// as sensors). A one-line `# schema: ...` comment precedes the data
+  /// so ImportCsv can restore the exact schema.
+  Result<std::string> ExportCsv(const std::string& dataset) const;
+
+  /// \brief Imports a CSV produced by ExportCsv into `dataset` (created
+  /// or appended; appended data must match the stored schema).
+  Status ImportCsv(const std::string& dataset, const std::string& csv);
+
+ private:
+  struct Dataset {
+    stt::SchemaPtr schema;
+    std::vector<stt::Tuple> rows;  // kept sorted by timestamp
+  };
+  std::map<std::string, Dataset> datasets_;
+  uint64_t total_events_ = 0;
+};
+
+/// \brief Sink adapter writing one dataflow output into a warehouse
+/// dataset.
+class WarehouseSink : public Sink {
+ public:
+  WarehouseSink(std::string name, EventDataWarehouse* warehouse,
+                std::string dataset)
+      : Sink(std::move(name)),
+        warehouse_(warehouse),
+        dataset_(std::move(dataset)) {}
+
+  Status Write(const stt::Tuple& tuple) override {
+    SL_RETURN_IF_ERROR(warehouse_->Load(dataset_, tuple));
+    CountWrite();
+    return Status::OK();
+  }
+
+  const std::string& dataset() const { return dataset_; }
+
+ private:
+  EventDataWarehouse* warehouse_;
+  std::string dataset_;
+};
+
+}  // namespace sl::sinks
+
+#endif  // STREAMLOADER_SINKS_WAREHOUSE_H_

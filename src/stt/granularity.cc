@@ -1,0 +1,139 @@
+#include "stt/granularity.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sl::stt {
+
+Result<TemporalGranularity> TemporalGranularity::Make(Duration period_ms) {
+  if (period_ms < 1) {
+    return Status::InvalidArgument(
+        StrFormat("temporal granularity period must be >= 1ms, got %lld",
+                  static_cast<long long>(period_ms)));
+  }
+  return TemporalGranularity(period_ms);
+}
+
+Result<TemporalGranularity> TemporalGranularity::JoinWith(
+    const TemporalGranularity& other) const {
+  if (RefinesOrEquals(other)) return other;
+  if (other.RefinesOrEquals(*this)) return *this;
+  return Status::ValidationError(
+      StrFormat("temporal granularities %s and %s are incomparable",
+                ToString().c_str(), other.ToString().c_str()));
+}
+
+Result<TemporalGranularity> TemporalGranularity::Parse(
+    const std::string& text) {
+  std::string t(Trim(text));
+  if (t.empty())
+    return Status::ParseError("empty temporal granularity");
+  size_t pos = 0;
+  while (pos < t.size() &&
+         (std::isdigit(static_cast<unsigned char>(t[pos])) || t[pos] == '.'))
+    ++pos;
+  if (pos == 0)
+    return Status::ParseError("temporal granularity must start with a number: '" +
+                              t + "'");
+  double num = std::strtod(t.substr(0, pos).c_str(), nullptr);
+  std::string unit = ToLower(Trim(t.substr(pos)));
+  Duration scale;
+  if (unit == "ms" || unit.empty()) scale = duration::kMillisecond;
+  else if (unit == "s" || unit == "sec") scale = duration::kSecond;
+  else if (unit == "m" || unit == "min") scale = duration::kMinute;
+  else if (unit == "h" || unit == "hour") scale = duration::kHour;
+  else if (unit == "d" || unit == "day") scale = duration::kDay;
+  else
+    return Status::ParseError("unknown temporal granularity unit '" + unit + "'");
+  double period = num * static_cast<double>(scale);
+  if (period < 1.0 || period != std::floor(period)) {
+    return Status::ParseError(
+        "temporal granularity must be a whole positive number of ms: '" + t +
+        "'");
+  }
+  return Make(static_cast<Duration>(period));
+}
+
+std::string TemporalGranularity::ToString() const {
+  struct UnitDef {
+    Duration scale;
+    const char* suffix;
+  };
+  static constexpr UnitDef kUnits[] = {
+      {duration::kDay, "d"},
+      {duration::kHour, "h"},
+      {duration::kMinute, "m"},
+      {duration::kSecond, "s"},
+  };
+  for (const auto& u : kUnits) {
+    if (period_ % u.scale == 0) {
+      return StrFormat("%lld%s", static_cast<long long>(period_ / u.scale),
+                       u.suffix);
+    }
+  }
+  return StrFormat("%lldms", static_cast<long long>(period_));
+}
+
+Result<SpatialGranularity> SpatialGranularity::MakeCell(double cell_deg) {
+  if (!(cell_deg > 0) || !std::isfinite(cell_deg)) {
+    return Status::InvalidArgument(
+        StrFormat("spatial cell size must be positive, got %g", cell_deg));
+  }
+  double micro = std::round(cell_deg * 1e6);
+  if (micro < 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("spatial cell size %g below 1e-6 degree resolution",
+                  cell_deg));
+  }
+  if (micro > 360e6) {
+    return Status::InvalidArgument(
+        StrFormat("spatial cell size %g exceeds 360 degrees", cell_deg));
+  }
+  return SpatialGranularity(static_cast<int64_t>(micro));
+}
+
+Result<SpatialGranularity> SpatialGranularity::JoinWith(
+    const SpatialGranularity& other) const {
+  if (RefinesOrEquals(other)) return other;
+  if (other.RefinesOrEquals(*this)) return *this;
+  return Status::ValidationError(
+      StrFormat("spatial granularities %s and %s are incomparable",
+                ToString().c_str(), other.ToString().c_str()));
+}
+
+int64_t SpatialGranularity::CellIndex(double deg) const {
+  if (is_point()) {
+    // Point granularity: identity grid at micro-degree resolution.
+    return static_cast<int64_t>(std::floor(deg * 1e6));
+  }
+  double cells = std::floor(deg * 1e6 / static_cast<double>(cell_microdeg_));
+  return static_cast<int64_t>(cells);
+}
+
+double SpatialGranularity::SnapToCellCenter(double deg) const {
+  if (is_point()) return deg;
+  double cell = static_cast<double>(cell_microdeg_) / 1e6;
+  return (static_cast<double>(CellIndex(deg)) + 0.5) * cell;
+}
+
+Result<SpatialGranularity> SpatialGranularity::Parse(const std::string& text) {
+  std::string t = ToLower(Trim(text));
+  if (t == "point" || t == "exact") return Point();
+  if (EndsWith(t, "deg")) t = t.substr(0, t.size() - 3);
+  char* end = nullptr;
+  double v = std::strtod(t.c_str(), &end);
+  if (end == t.c_str() || *end != '\0') {
+    return Status::ParseError("cannot parse spatial granularity '" + text + "'");
+  }
+  return MakeCell(v);
+}
+
+std::string SpatialGranularity::ToString() const {
+  if (is_point()) return "point";
+  return StrFormat("%gdeg", cell_deg());
+}
+
+}  // namespace sl::stt

@@ -1,0 +1,168 @@
+// StreamLoader: multigranular space and time (the "multigranular STT data
+// model" of Dao et al. [7] as used by StreamLoader §3).
+//
+// A temporal granularity partitions the time line into equal periods; a
+// spatial granularity partitions the globe into square grid cells. An
+// event value is always reported *at* a granularity, and granularities
+// drive (a) correlation of data produced by different sensors and (b) the
+// consistency constraints the dataflow checker imposes on composition:
+// two streams can only be combined when their granularities are
+// comparable, i.e. one's partition refines the other's.
+
+#ifndef STREAMLOADER_STT_GRANULARITY_H_
+#define STREAMLOADER_STT_GRANULARITY_H_
+
+#include <string>
+
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sl::stt {
+
+/// \brief A temporal granularity: the time line divided into periods of
+/// fixed length (1 s, 10 min, 1 h, ...).
+///
+/// Granularity G1 is *finer than* G2 when G2's period is a positive
+/// integer multiple of G1's; then every G2 period is a union of G1
+/// periods and values can be coarsened from G1 to G2 (never the reverse).
+class TemporalGranularity {
+ public:
+  /// Creates the trivial granularity (1 ms periods, i.e. "instant").
+  TemporalGranularity() : period_(1) {}
+
+  /// Creates a granularity with the given period; period must be >= 1 ms.
+  static Result<TemporalGranularity> Make(Duration period_ms);
+
+  static TemporalGranularity Millisecond() { return TemporalGranularity(1); }
+  static TemporalGranularity Second() {
+    return TemporalGranularity(duration::kSecond);
+  }
+  static TemporalGranularity Minute() {
+    return TemporalGranularity(duration::kMinute);
+  }
+  static TemporalGranularity Hour() {
+    return TemporalGranularity(duration::kHour);
+  }
+  static TemporalGranularity Day() {
+    return TemporalGranularity(duration::kDay);
+  }
+
+  /// Period length in milliseconds.
+  Duration period() const { return period_; }
+
+  /// True iff this granularity's partition refines `other`'s (equal
+  /// granularities refine each other).
+  bool RefinesOrEquals(const TemporalGranularity& other) const {
+    return other.period_ % period_ == 0;
+  }
+
+  /// True iff one of the two granularities refines the other — the
+  /// comparability predicate used by the dataflow consistency checker.
+  bool ComparableWith(const TemporalGranularity& other) const {
+    return RefinesOrEquals(other) || other.RefinesOrEquals(*this);
+  }
+
+  /// The coarser of the two granularities; fails when incomparable.
+  Result<TemporalGranularity> JoinWith(const TemporalGranularity& other) const;
+
+  /// Start of the period containing `ts`.
+  Timestamp Truncate(Timestamp ts) const {
+    Timestamp q = ts / period_;
+    if (ts < 0 && q * period_ != ts) --q;  // floor division
+    return q * period_;
+  }
+
+  /// True iff `a` and `b` fall in the same period.
+  bool SamePeriod(Timestamp a, Timestamp b) const {
+    return Truncate(a) == Truncate(b);
+  }
+
+  /// Parses "1s", "500ms", "10m", "1h", "2d" (or a raw integer of ms).
+  static Result<TemporalGranularity> Parse(const std::string& text);
+
+  /// Renders as the shortest exact form, e.g. "10m", "1h", "1500ms".
+  std::string ToString() const;
+
+  bool operator==(const TemporalGranularity& o) const {
+    return period_ == o.period_;
+  }
+  bool operator!=(const TemporalGranularity& o) const { return !(*this == o); }
+
+ private:
+  explicit TemporalGranularity(Duration period) : period_(period) {}
+  Duration period_;
+};
+
+/// \brief A spatial granularity: the WGS84 lat/lon plane divided into
+/// square cells of `cell_deg` degrees on a side, anchored at (0, 0).
+///
+/// cell_deg == 0 denotes the *point* granularity (exact coordinates).
+/// G1 refines G2 when G2.cell_deg is an integer multiple of G1.cell_deg
+/// (point refines everything). Cell degrees are kept in micro-degrees
+/// internally so refinement tests are exact.
+class SpatialGranularity {
+ public:
+  /// Creates the point (exact) granularity.
+  SpatialGranularity() : cell_microdeg_(0) {}
+
+  /// Creates a grid granularity; cell size must be positive and is rounded
+  /// to whole micro-degrees (values below 1e-6 degrees are rejected).
+  static Result<SpatialGranularity> MakeCell(double cell_deg);
+
+  static SpatialGranularity Point() { return SpatialGranularity(); }
+
+  /// True iff this is the exact point granularity.
+  bool is_point() const { return cell_microdeg_ == 0; }
+
+  /// Cell side length in degrees (0 for the point granularity).
+  double cell_deg() const { return cell_microdeg_ / 1e6; }
+
+  /// Cell side in micro-degrees; 0 for point granularity.
+  int64_t cell_microdeg() const { return cell_microdeg_; }
+
+  bool RefinesOrEquals(const SpatialGranularity& other) const {
+    if (is_point()) return true;
+    if (other.is_point()) return cell_microdeg_ == 0;
+    return other.cell_microdeg_ % cell_microdeg_ == 0;
+  }
+
+  bool ComparableWith(const SpatialGranularity& other) const {
+    return RefinesOrEquals(other) || other.RefinesOrEquals(*this);
+  }
+
+  /// The coarser of the two; fails when incomparable.
+  Result<SpatialGranularity> JoinWith(const SpatialGranularity& other) const;
+
+  /// Index of the cell containing the coordinate along one axis.
+  int64_t CellIndex(double deg) const;
+
+  /// Snaps a coordinate to the center of its cell (identity for point
+  /// granularity).
+  double SnapToCellCenter(double deg) const;
+
+  /// True iff the two coordinates fall in the same cell along one axis.
+  bool SameCell(double a_deg, double b_deg) const {
+    return CellIndex(a_deg) == CellIndex(b_deg);
+  }
+
+  /// Parses "point" or a cell size in degrees like "0.01deg" / "0.01".
+  static Result<SpatialGranularity> Parse(const std::string& text);
+
+  /// "point" or "<size>deg".
+  std::string ToString() const;
+
+  bool operator==(const SpatialGranularity& o) const {
+    return cell_microdeg_ == o.cell_microdeg_;
+  }
+  bool operator!=(const SpatialGranularity& o) const { return !(*this == o); }
+
+ private:
+  explicit SpatialGranularity(int64_t cell_microdeg)
+      : cell_microdeg_(cell_microdeg) {}
+  int64_t cell_microdeg_;  // 0 == point
+};
+
+}  // namespace sl::stt
+
+#endif  // STREAMLOADER_STT_GRANULARITY_H_

@@ -1,0 +1,115 @@
+#include "stt/schema.h"
+
+#include "util/strings.h"
+
+namespace sl::stt {
+
+std::string Field::ToString() const {
+  std::string out = name;
+  out += ":";
+  out += ValueTypeToString(type);
+  if (!unit.empty()) {
+    out += "[";
+    out += unit;
+    out += "]";
+  }
+  if (!nullable) out += "!";
+  return out;
+}
+
+Result<SchemaPtr> Schema::Make(std::vector<Field> fields,
+                               TemporalGranularity tgran,
+                               SpatialGranularity sgran, Theme theme) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (!IsIdentifier(fields[i].name)) {
+      return Status::InvalidArgument("invalid field name '" + fields[i].name +
+                                     "'");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (fields[j].name == fields[i].name) {
+        return Status::InvalidArgument("duplicate field name '" +
+                                       fields[i].name + "'");
+      }
+    }
+  }
+  return SchemaPtr(
+      new Schema(std::move(fields), tgran, sgran, std::move(theme)));
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field '" + name + "' in schema " + ToString());
+}
+
+bool Schema::HasField(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+Result<Field> Schema::FieldByName(const std::string& name) const {
+  SL_ASSIGN_OR_RETURN(size_t idx, FieldIndex(name));
+  return fields_[idx];
+}
+
+Result<SchemaPtr> Schema::AddField(const Field& field) const {
+  if (HasField(field.name)) {
+    return Status::AlreadyExists("field '" + field.name +
+                                 "' already exists in schema");
+  }
+  std::vector<Field> fields = fields_;
+  fields.push_back(field);
+  return Make(std::move(fields), tgran_, sgran_, theme_);
+}
+
+Result<SchemaPtr> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const auto& n : names) {
+    SL_ASSIGN_OR_RETURN(Field f, FieldByName(n));
+    fields.push_back(std::move(f));
+  }
+  return Make(std::move(fields), tgran_, sgran_, theme_);
+}
+
+SchemaPtr Schema::WithStt(TemporalGranularity tgran, SpatialGranularity sgran,
+                          Theme theme) const {
+  return SchemaPtr(new Schema(fields_, tgran, sgran, std::move(theme)));
+}
+
+Result<SchemaPtr> Schema::WithFieldChanged(const std::string& name,
+                                           ValueType type,
+                                           const std::string& unit) const {
+  SL_ASSIGN_OR_RETURN(size_t idx, FieldIndex(name));
+  std::vector<Field> fields = fields_;
+  fields[idx].type = type;
+  fields[idx].unit = unit;
+  return Make(std::move(fields), tgran_, sgran_, theme_);
+}
+
+bool Schema::Equals(const Schema& other) const {
+  return fields_ == other.fields_ && tgran_ == other.tgran_ &&
+         sgran_ == other.sgran_ && theme_ == other.theme_;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += "} @";
+  out += tgran_.ToString();
+  out += "/";
+  out += sgran_.ToString();
+  if (!theme_.IsAny()) {
+    out += " theme=";
+    out += theme_.ToString();
+  }
+  return out;
+}
+
+}  // namespace sl::stt

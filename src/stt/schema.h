@@ -1,0 +1,102 @@
+// StreamLoader: stream schemas.
+//
+// Each sensor publishes the schema of the tuples it produces; operators
+// derive their output schema from their input schemas, and the visual
+// environment shows "the schema of data that are processed by the
+// operation" at every dataflow step (§3). Schemas are immutable and
+// shared between all tuples of a stream.
+
+#ifndef STREAMLOADER_STT_SCHEMA_H_
+#define STREAMLOADER_STT_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stt/granularity.h"
+#include "stt/theme.h"
+#include "stt/value.h"
+
+namespace sl::stt {
+
+/// \brief One attribute of a stream schema.
+struct Field {
+  std::string name;          ///< identifier, unique within the schema
+  ValueType type = ValueType::kNull;
+  std::string unit;          ///< unit of measure, empty when dimensionless
+  bool nullable = true;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type && unit == o.unit &&
+           nullable == o.nullable;
+  }
+  std::string ToString() const;
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// \brief An immutable ordered collection of fields plus the STT stream
+/// metadata: the temporal and spatial granularities at which values are
+/// reported and the stream's theme.
+class Schema {
+ public:
+  /// Builds a schema; fails on duplicate or invalid field names.
+  static Result<SchemaPtr> Make(std::vector<Field> fields,
+                                TemporalGranularity tgran = {},
+                                SpatialGranularity sgran = {},
+                                Theme theme = {});
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+
+  const TemporalGranularity& temporal_granularity() const { return tgran_; }
+  const SpatialGranularity& spatial_granularity() const { return sgran_; }
+  const Theme& theme() const { return theme_; }
+
+  /// Index of the named field, or error when absent.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True iff a field with this name exists.
+  bool HasField(const std::string& name) const;
+
+  /// The named field.
+  Result<Field> FieldByName(const std::string& name) const;
+
+  /// Derived schema with one more field appended (Virtual Property).
+  Result<SchemaPtr> AddField(const Field& field) const;
+
+  /// Derived schema keeping only the named fields, in the given order.
+  Result<SchemaPtr> Project(const std::vector<std::string>& names) const;
+
+  /// Derived schema with the same fields but different STT metadata.
+  SchemaPtr WithStt(TemporalGranularity tgran, SpatialGranularity sgran,
+                    Theme theme) const;
+
+  /// Derived schema with one field's type/unit rewritten (Transform).
+  Result<SchemaPtr> WithFieldChanged(const std::string& name, ValueType type,
+                                     const std::string& unit) const;
+
+  /// Structural equality including STT metadata.
+  bool Equals(const Schema& other) const;
+
+  /// "{a:int, b:double[celsius]} @1m/0.01deg theme=weather/rain".
+  std::string ToString() const;
+
+ private:
+  Schema(std::vector<Field> fields, TemporalGranularity tgran,
+         SpatialGranularity sgran, Theme theme)
+      : fields_(std::move(fields)),
+        tgran_(tgran),
+        sgran_(sgran),
+        theme_(std::move(theme)) {}
+
+  std::vector<Field> fields_;
+  TemporalGranularity tgran_;
+  SpatialGranularity sgran_;
+  Theme theme_;
+};
+
+}  // namespace sl::stt
+
+#endif  // STREAMLOADER_STT_SCHEMA_H_

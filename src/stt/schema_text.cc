@@ -1,0 +1,115 @@
+#include "stt/schema_text.h"
+
+#include "util/strings.h"
+
+namespace sl::stt {
+
+namespace {
+
+/// Splits the top-level sections: "{fields} @tg/sg theme=path".
+struct Sections {
+  std::string fields;
+  std::string tgran;
+  std::string sgran;
+  std::string theme;
+};
+
+Result<Sections> SplitSections(const std::string& text) {
+  Sections out;
+  std::string t(Trim(text));
+  if (t.empty() || t.front() != '{') {
+    return Status::ParseError("schema text must start with '{': '" + t + "'");
+  }
+  size_t close = t.find('}');
+  if (close == std::string::npos) {
+    return Status::ParseError("unterminated field list in schema text");
+  }
+  out.fields = t.substr(1, close - 1);
+  std::string rest(Trim(t.substr(close + 1)));
+  // "@<tg>/<sg>" part.
+  if (!rest.empty() && rest.front() == '@') {
+    size_t end = rest.find(' ');
+    std::string stt_part =
+        end == std::string::npos ? rest.substr(1) : rest.substr(1, end - 1);
+    rest = end == std::string::npos ? "" : std::string(Trim(rest.substr(end)));
+    size_t slash = stt_part.find('/');
+    if (slash == std::string::npos) {
+      out.tgran = stt_part;
+    } else {
+      out.tgran = stt_part.substr(0, slash);
+      out.sgran = stt_part.substr(slash + 1);
+    }
+  }
+  // "theme=<path>" part.
+  if (StartsWith(rest, "theme=")) {
+    out.theme = std::string(Trim(rest.substr(6)));
+    rest.clear();
+  }
+  if (!rest.empty()) {
+    return Status::ParseError("trailing input in schema text: '" + rest + "'");
+  }
+  return out;
+}
+
+Result<Field> ParseField(const std::string& text) {
+  std::string t(Trim(text));
+  Field field;
+  field.nullable = true;
+  if (EndsWith(t, "!")) {
+    field.nullable = false;
+    t = std::string(Trim(t.substr(0, t.size() - 1)));
+  }
+  // name : type [unit]
+  size_t colon = t.find(':');
+  if (colon == std::string::npos) {
+    return Status::ParseError("field '" + t + "' is missing ':type'");
+  }
+  field.name = std::string(Trim(t.substr(0, colon)));
+  std::string type_part(Trim(t.substr(colon + 1)));
+  size_t bracket = type_part.find('[');
+  if (bracket != std::string::npos) {
+    if (type_part.back() != ']') {
+      return Status::ParseError("unterminated unit in field '" + t + "'");
+    }
+    field.unit = std::string(
+        Trim(type_part.substr(bracket + 1,
+                              type_part.size() - bracket - 2)));
+    type_part = std::string(Trim(type_part.substr(0, bracket)));
+  }
+  SL_ASSIGN_OR_RETURN(field.type, ValueTypeFromString(type_part));
+  if (!IsIdentifier(field.name)) {
+    return Status::ParseError("invalid field name '" + field.name + "'");
+  }
+  return field;
+}
+
+}  // namespace
+
+Result<SchemaPtr> ParseSchemaText(const std::string& text) {
+  SL_ASSIGN_OR_RETURN(Sections sections, SplitSections(text));
+  std::vector<Field> fields;
+  std::string trimmed(Trim(sections.fields));
+  if (!trimmed.empty()) {
+    // Fields never contain commas internally (units and types are
+    // comma-free), so a flat split is safe.
+    for (const auto& part : SplitAndTrim(trimmed, ',')) {
+      SL_ASSIGN_OR_RETURN(Field field, ParseField(part));
+      fields.push_back(std::move(field));
+    }
+  }
+  TemporalGranularity tgran;
+  if (!sections.tgran.empty()) {
+    SL_ASSIGN_OR_RETURN(tgran, TemporalGranularity::Parse(sections.tgran));
+  }
+  SpatialGranularity sgran;
+  if (!sections.sgran.empty()) {
+    SL_ASSIGN_OR_RETURN(sgran, SpatialGranularity::Parse(sections.sgran));
+  }
+  Theme theme;
+  if (!sections.theme.empty()) {
+    SL_ASSIGN_OR_RETURN(theme, Theme::Parse(sections.theme));
+  }
+  return Schema::Make(std::move(fields), tgran, sgran, std::move(theme));
+}
+
+}  // namespace sl::stt

@@ -1,0 +1,28 @@
+// StreamLoader: textual schema notation.
+//
+// Sensors publish their schema when joining the network; for
+// configuration files, recordings and the DSN toolchain the schema has
+// a textual form — the same one Schema::ToString() prints:
+//
+//   {temp:double[celsius]!, station:string} @1m/0.01deg theme=weather/rain
+//
+// Field flag '!' marks non-nullable; '[unit]' is optional; the STT part
+// "@<temporal>/<spatial>" and "theme=<path>" are optional and default to
+// instant/point/any.
+
+#ifndef STREAMLOADER_STT_SCHEMA_TEXT_H_
+#define STREAMLOADER_STT_SCHEMA_TEXT_H_
+
+#include <string>
+
+#include "stt/schema.h"
+
+namespace sl::stt {
+
+/// \brief Parses the textual schema notation (inverse of
+/// Schema::ToString, which is round-trip safe).
+Result<SchemaPtr> ParseSchemaText(const std::string& text);
+
+}  // namespace sl::stt
+
+#endif  // STREAMLOADER_STT_SCHEMA_TEXT_H_

@@ -1,0 +1,90 @@
+#include "stt/theme.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sl::stt {
+
+Result<Theme> Theme::Parse(const std::string& path) {
+  Theme theme;
+  std::string trimmed(Trim(path));
+  if (trimmed.empty() || trimmed == "*") return theme;
+  for (const auto& seg : Split(trimmed, '/')) {
+    if (!IsIdentifier(seg)) {
+      return Status::ParseError("invalid theme segment '" + seg + "' in '" +
+                                path + "'");
+    }
+    theme.segments_.push_back(seg);
+  }
+  return theme;
+}
+
+bool Theme::Subsumes(const Theme& other) const {
+  if (segments_.size() > other.segments_.size()) return false;
+  return std::equal(segments_.begin(), segments_.end(),
+                    other.segments_.begin());
+}
+
+Theme Theme::CommonAncestor(const Theme& other) const {
+  Theme out;
+  size_t n = std::min(segments_.size(), other.segments_.size());
+  for (size_t i = 0; i < n && segments_[i] == other.segments_[i]; ++i) {
+    out.segments_.push_back(segments_[i]);
+  }
+  return out;
+}
+
+Result<Theme> Theme::Child(const std::string& segment) const {
+  if (!IsIdentifier(segment)) {
+    return Status::InvalidArgument("invalid theme segment '" + segment + "'");
+  }
+  Theme out = *this;
+  out.segments_.push_back(segment);
+  return out;
+}
+
+std::string Theme::ToString() const {
+  if (segments_.empty()) return "*";
+  return Join(segments_, "/");
+}
+
+ThemeTaxonomy ThemeTaxonomy::Default() {
+  ThemeTaxonomy tax;
+  for (const char* path :
+       {"weather/temperature", "weather/humidity", "weather/rain",
+        "weather/wind", "weather/pressure", "weather/apparent_temperature",
+        "social/tweet", "mobility/traffic", "mobility/train",
+        "disaster/flood", "disaster/storm"}) {
+    auto theme = Theme::Parse(path);
+    Status s = tax.Add(*theme);
+    (void)s;
+  }
+  return tax;
+}
+
+Status ThemeTaxonomy::Add(const Theme& theme) {
+  if (theme.IsAny()) return Status::OK();
+  // Insert the theme and all its ancestors, keeping themes_ sorted/unique.
+  Theme current;
+  for (const auto& seg : theme.segments()) {
+    SL_ASSIGN_OR_RETURN(current, current.Child(seg));
+    auto it = std::lower_bound(themes_.begin(), themes_.end(), current);
+    if (it == themes_.end() || *it != current) themes_.insert(it, current);
+  }
+  return Status::OK();
+}
+
+bool ThemeTaxonomy::Contains(const Theme& theme) const {
+  return std::binary_search(themes_.begin(), themes_.end(), theme);
+}
+
+std::vector<Theme> ThemeTaxonomy::Descendants(const Theme& root) const {
+  std::vector<Theme> out;
+  for (const auto& t : themes_) {
+    if (root.Subsumes(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace sl::stt

@@ -1,0 +1,91 @@
+// StreamLoader: the thematic dimension of the STT model.
+//
+// Themes are hierarchical, slash-separated paths such as
+// "weather/temperature" or "social/tweet"; subsumption along the path
+// hierarchy ("weather" subsumes "weather/rain") is how the discovery
+// layer and the dataflow checker reason about thematic compatibility.
+
+#ifndef STREAMLOADER_STT_THEME_H_
+#define STREAMLOADER_STT_THEME_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sl::stt {
+
+/// \brief A thematic classification path.
+class Theme {
+ public:
+  /// The empty ("any") theme, which subsumes every theme.
+  Theme() = default;
+
+  /// Parses "seg/seg/..."; each segment must be an identifier
+  /// ([A-Za-z_][A-Za-z0-9_]*). The empty string yields the any-theme.
+  static Result<Theme> Parse(const std::string& path);
+
+  /// True iff this is the empty any-theme.
+  bool IsAny() const { return segments_.empty(); }
+
+  /// Number of path segments.
+  size_t depth() const { return segments_.size(); }
+
+  const std::vector<std::string>& segments() const { return segments_; }
+
+  /// True iff this theme is `other` or an ancestor of it; the any-theme
+  /// subsumes everything.
+  bool Subsumes(const Theme& other) const;
+
+  /// True iff one of the two themes subsumes the other.
+  bool ComparableWith(const Theme& other) const {
+    return Subsumes(other) || other.Subsumes(*this);
+  }
+
+  /// The deepest common ancestor (possibly the any-theme).
+  Theme CommonAncestor(const Theme& other) const;
+
+  /// Child theme with one more segment appended.
+  Result<Theme> Child(const std::string& segment) const;
+
+  /// "seg/seg/..." ("*" for the any-theme).
+  std::string ToString() const;
+
+  bool operator==(const Theme& o) const { return segments_ == o.segments_; }
+  bool operator!=(const Theme& o) const { return !(*this == o); }
+  bool operator<(const Theme& o) const { return segments_ < o.segments_; }
+
+ private:
+  std::vector<std::string> segments_;
+};
+
+/// \brief A registry of known themes forming the taxonomy shown to the
+/// designer for sensor discovery and dataflow specification.
+class ThemeTaxonomy {
+ public:
+  /// Pre-populated with the paper's domains: weather (temperature,
+  /// humidity, rain, wind, pressure), social (tweet), mobility (traffic),
+  /// disaster (flood, storm).
+  static ThemeTaxonomy Default();
+
+  ThemeTaxonomy() = default;
+
+  /// Adds a theme (and implicitly its ancestors). Idempotent.
+  Status Add(const Theme& theme);
+
+  /// True iff exactly this theme was added (or is an implicit ancestor).
+  bool Contains(const Theme& theme) const;
+
+  /// All registered themes subsumed by `root`, sorted.
+  std::vector<Theme> Descendants(const Theme& root) const;
+
+  /// All registered themes, sorted.
+  const std::vector<Theme>& themes() const { return themes_; }
+
+ private:
+  std::vector<Theme> themes_;  // sorted, unique
+};
+
+}  // namespace sl::stt
+
+#endif  // STREAMLOADER_STT_THEME_H_

@@ -1,0 +1,139 @@
+#include "stt/tuple.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sl::stt {
+
+Status ValidateValues(const Schema& schema, const std::vector<Value>& values) {
+  if (values.size() != schema.num_fields()) {
+    return Status::TypeError(
+        StrFormat("tuple has %zu values but schema %s has %zu fields",
+                  values.size(), schema.ToString().c_str(),
+                  schema.num_fields()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Field& f = schema.fields()[i];
+    if (values[i].is_null()) {
+      if (!f.nullable) {
+        return Status::TypeError("null value for non-nullable field '" +
+                                 f.name + "'");
+      }
+      continue;
+    }
+    if (values[i].type() != f.type) {
+      return Status::TypeError(StrFormat(
+          "field '%s' expects %s but got %s", f.name.c_str(),
+          ValueTypeToString(f.type), ValueTypeToString(values[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tuple> Tuple::Make(SchemaPtr schema, std::vector<Value> values,
+                          Timestamp ts, std::optional<GeoPoint> location,
+                          std::string sensor_id) {
+  if (schema == nullptr) return Status::InvalidArgument("null schema");
+  SL_RETURN_IF_ERROR(ValidateValues(*schema, values));
+  return MakeUnsafe(std::move(schema), std::move(values), ts, location,
+                    std::move(sensor_id));
+}
+
+Tuple Tuple::MakeUnsafe(SchemaPtr schema, std::vector<Value> values,
+                        Timestamp ts, std::optional<GeoPoint> location,
+                        std::string sensor_id) {
+  Tuple t;
+  t.schema_ = std::move(schema);
+  t.values_ = std::move(values);
+  t.ts_ = ts;
+  t.location_ = location;
+  t.sensor_id_ = std::move(sensor_id);
+  return t;
+}
+
+Result<Value> Tuple::ValueByName(const std::string& name) const {
+  SL_ASSIGN_OR_RETURN(size_t idx, schema_->FieldIndex(name));
+  return values_[idx];
+}
+
+Tuple Tuple::WithAppended(SchemaPtr new_schema, Value v) const {
+  Tuple t = *this;
+  t.schema_ = std::move(new_schema);
+  t.values_.push_back(std::move(v));
+  return t;
+}
+
+Tuple Tuple::WithValueAt(SchemaPtr new_schema, size_t i, Value v) const {
+  Tuple t = *this;
+  t.schema_ = std::move(new_schema);
+  assert(i < t.values_.size());
+  t.values_[i] = std::move(v);
+  return t;
+}
+
+Tuple Tuple::WithStt(SchemaPtr new_schema, Timestamp ts,
+                     std::optional<GeoPoint> location) const {
+  Tuple t = *this;
+  t.schema_ = std::move(new_schema);
+  t.ts_ = ts;
+  t.location_ = location;
+  return t;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ") @";
+  out += FormatTimestamp(ts_);
+  if (location_.has_value()) {
+    out += " loc=";
+    out += location_->ToString();
+  }
+  if (!sensor_id_.empty()) {
+    out += " from=";
+    out += sensor_id_;
+  }
+  return out;
+}
+
+bool Tuple::EqualsIgnoringSensor(const Tuple& other) const {
+  if (ts_ != other.ts_) return false;
+  if (location_.has_value() != other.location_.has_value()) return false;
+  if (location_.has_value() && !(*location_ == *other.location_)) return false;
+  if (values_ != other.values_) return false;
+  if ((schema_ == nullptr) != (other.schema_ == nullptr)) return false;
+  if (schema_ != nullptr && !schema_->Equals(*other.schema_)) return false;
+  return true;
+}
+
+void Batch::Add(Tuple tuple) {
+  assert(schema_ == nullptr || tuple.schema() == schema_ ||
+         (tuple.schema() != nullptr && tuple.schema()->Equals(*schema_)));
+  if (schema_ == nullptr) schema_ = tuple.schema();
+  tuples_.push_back(std::move(tuple));
+}
+
+size_t Batch::ApproxBytes() const {
+  size_t bytes = 32;  // header
+  for (const auto& t : tuples_) {
+    bytes += 24;  // ts + loc + flags
+    for (const auto& v : t.values()) {
+      switch (v.type()) {
+        case ValueType::kNull: bytes += 1; break;
+        case ValueType::kBool: bytes += 1; break;
+        case ValueType::kInt:
+        case ValueType::kDouble:
+        case ValueType::kTimestamp: bytes += 8; break;
+        case ValueType::kGeoPoint: bytes += 16; break;
+        case ValueType::kString: bytes += 4 + v.AsString().size(); break;
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace sl::stt

@@ -1,0 +1,119 @@
+// StreamLoader: STT tuples and batches.
+//
+// A tuple is one *event* in the STT model: a row of attribute values plus
+// the space-time header (when, where, at which granularities) and its
+// provenance (which sensor produced it). Streams move through operators
+// as Batches sharing one schema.
+
+#ifndef STREAMLOADER_STT_TUPLE_H_
+#define STREAMLOADER_STT_TUPLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stt/schema.h"
+
+namespace sl::stt {
+
+/// \brief One STT event.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Creates a tuple after validating `values` against `schema` (arity,
+  /// types, nullability).
+  static Result<Tuple> Make(SchemaPtr schema, std::vector<Value> values,
+                            Timestamp ts, std::optional<GeoPoint> location,
+                            std::string sensor_id = "");
+
+  /// Creates a tuple without validation. Use only on hot paths where the
+  /// producer guarantees conformance (operators do; user code should not).
+  static Tuple MakeUnsafe(SchemaPtr schema, std::vector<Value> values,
+                          Timestamp ts, std::optional<GeoPoint> location,
+                          std::string sensor_id = "");
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Event time (ms since epoch, already truncated or not — operators
+  /// interpret it at the schema's temporal granularity).
+  Timestamp timestamp() const { return ts_; }
+
+  /// Event location; nullopt when the sensor has no spatial reference
+  /// (the pub/sub layer enriches such tuples, §3).
+  const std::optional<GeoPoint>& location() const { return location_; }
+
+  /// Id of the producing sensor ("" for derived tuples).
+  const std::string& sensor_id() const { return sensor_id_; }
+
+  /// Value of the i-th field.
+  const Value& value(size_t i) const { return values_[i]; }
+
+  /// Value of the named field; error if absent.
+  Result<Value> ValueByName(const std::string& name) const;
+
+  /// Copy with a value appended (for Virtual Property) — the caller
+  /// supplies the new schema.
+  Tuple WithAppended(SchemaPtr new_schema, Value v) const;
+
+  /// Copy with the i-th value replaced (for Transform).
+  Tuple WithValueAt(SchemaPtr new_schema, size_t i, Value v) const;
+
+  /// Copy with a new timestamp and/or location (granularity coarsening).
+  Tuple WithStt(SchemaPtr new_schema, Timestamp ts,
+                std::optional<GeoPoint> location) const;
+
+  /// "(v1, v2, ...) @ts loc=(lat,lon) from=sensor".
+  std::string ToString() const;
+
+  /// Deep equality of values and STT header (schema compared
+  /// structurally).
+  bool EqualsIgnoringSensor(const Tuple& other) const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+  Timestamp ts_ = 0;
+  std::optional<GeoPoint> location_;
+  std::string sensor_id_;
+};
+
+/// \brief A batch of tuples sharing one schema — the unit in which
+/// streams move between operators and across network links.
+class Batch {
+ public:
+  Batch() = default;
+  explicit Batch(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  void set_schema(SchemaPtr schema) { schema_ = std::move(schema); }
+
+  /// Appends a tuple; in debug builds asserts the schema pointer matches.
+  void Add(Tuple tuple);
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& operator[](size_t i) const { return tuples_[i]; }
+
+  void Clear() { tuples_.clear(); }
+
+  /// Rough serialized size in bytes, used by the network simulator for
+  /// link-bandwidth accounting.
+  size_t ApproxBytes() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Tuple> tuples_;
+};
+
+/// \brief Validates one value vector against a schema (arity, type,
+/// nullability). Exposed for sensors and tests.
+Status ValidateValues(const Schema& schema, const std::vector<Value>& values);
+
+}  // namespace sl::stt
+
+#endif  // STREAMLOADER_STT_TUPLE_H_

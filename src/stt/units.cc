@@ -1,0 +1,134 @@
+#include "stt/units.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sl::stt {
+
+const char* DimensionToString(Dimension d) {
+  switch (d) {
+    case Dimension::kLength: return "length";
+    case Dimension::kTemperature: return "temperature";
+    case Dimension::kSpeed: return "speed";
+    case Dimension::kPressure: return "pressure";
+    case Dimension::kVolumeRate: return "volume_rate";
+    case Dimension::kPercentage: return "percentage";
+    case Dimension::kCount: return "count";
+  }
+  return "?";
+}
+
+UnitRegistry& UnitRegistry::Global() {
+  static UnitRegistry* registry = [] {
+    auto* r = new UnitRegistry();
+    auto add = [r](const char* name, Dimension dim, double scale,
+                   double offset, std::vector<std::string> aliases) {
+      Status s = r->Register({name, dim, scale, offset}, aliases);
+      (void)s;
+    };
+    // Length (base: meter).
+    add("m", Dimension::kLength, 1.0, 0.0, {"meter", "meters", "metre"});
+    add("km", Dimension::kLength, 1000.0, 0.0, {"kilometer", "kilometers"});
+    add("cm", Dimension::kLength, 0.01, 0.0, {"centimeter"});
+    add("mm", Dimension::kLength, 0.001, 0.0, {"millimeter"});
+    add("yd", Dimension::kLength, 0.9144, 0.0, {"yard", "yards"});
+    add("ft", Dimension::kLength, 0.3048, 0.0, {"foot", "feet"});
+    add("in", Dimension::kLength, 0.0254, 0.0, {"inch", "inches"});
+    add("mi", Dimension::kLength, 1609.344, 0.0, {"mile", "miles"});
+    // Temperature (base: kelvin).
+    add("kelvin", Dimension::kTemperature, 1.0, 0.0, {"k"});
+    add("celsius", Dimension::kTemperature, 1.0, 273.15, {"c", "degc"});
+    add("fahrenheit", Dimension::kTemperature, 5.0 / 9.0, 459.67 * 5.0 / 9.0,
+        {"f", "degf"});
+    // Speed (base: m/s).
+    add("m/s", Dimension::kSpeed, 1.0, 0.0, {"mps"});
+    add("km/h", Dimension::kSpeed, 1000.0 / 3600.0, 0.0, {"kmh", "kph"});
+    add("mph", Dimension::kSpeed, 1609.344 / 3600.0, 0.0, {});
+    add("knot", Dimension::kSpeed, 1852.0 / 3600.0, 0.0, {"kn", "knots"});
+    // Pressure (base: pascal).
+    add("pa", Dimension::kPressure, 1.0, 0.0, {"pascal"});
+    add("hpa", Dimension::kPressure, 100.0, 0.0, {"hectopascal", "mbar"});
+    add("kpa", Dimension::kPressure, 1000.0, 0.0, {});
+    add("atm", Dimension::kPressure, 101325.0, 0.0, {});
+    // Volume rate (base: mm/h) — rainfall intensity.
+    add("mm/h", Dimension::kVolumeRate, 1.0, 0.0, {"mmh"});
+    add("in/h", Dimension::kVolumeRate, 25.4, 0.0, {"inh"});
+    // Percentage (base: percent).
+    add("percent", Dimension::kPercentage, 1.0, 0.0, {"%", "pct"});
+    add("fraction", Dimension::kPercentage, 100.0, 0.0, {"ratio"});
+    // Counts.
+    add("count", Dimension::kCount, 1.0, 0.0, {"n", "items"});
+    return r;
+  }();
+  return *registry;
+}
+
+Status UnitRegistry::Register(const UnitDef& def,
+                              const std::vector<std::string>& aliases) {
+  std::string lower = ToLower(def.name);
+  if (FindInternal(lower) != nullptr) {
+    return Status::AlreadyExists("unit '" + def.name + "' already registered");
+  }
+  for (const auto& a : aliases) {
+    if (FindInternal(ToLower(a)) != nullptr) {
+      return Status::AlreadyExists("unit alias '" + a + "' already registered");
+    }
+  }
+  size_t idx = units_.size();
+  units_.push_back(def);
+  index_.emplace_back(lower, idx);
+  for (const auto& a : aliases) index_.emplace_back(ToLower(a), idx);
+  return Status::OK();
+}
+
+const UnitDef* UnitRegistry::FindInternal(const std::string& lower) const {
+  for (const auto& [name, idx] : index_) {
+    if (name == lower) return &units_[idx];
+  }
+  return nullptr;
+}
+
+Result<UnitDef> UnitRegistry::Find(const std::string& name) const {
+  const UnitDef* def = FindInternal(ToLower(name));
+  if (def == nullptr) return Status::NotFound("unknown unit '" + name + "'");
+  return *def;
+}
+
+bool UnitRegistry::Contains(const std::string& name) const {
+  return FindInternal(ToLower(name)) != nullptr;
+}
+
+Result<double> UnitRegistry::Convert(double value, const std::string& from,
+                                     const std::string& to) const {
+  SL_ASSIGN_OR_RETURN(UnitDef f, Find(from));
+  SL_ASSIGN_OR_RETURN(UnitDef t, Find(to));
+  if (f.dimension != t.dimension) {
+    return Status::TypeError(StrFormat(
+        "cannot convert %s (%s) to %s (%s): incompatible dimensions",
+        from.c_str(), DimensionToString(f.dimension), to.c_str(),
+        DimensionToString(t.dimension)));
+  }
+  double base = f.scale * value + f.offset;
+  return (base - t.offset) / t.scale;
+}
+
+std::vector<std::string> UnitRegistry::CanonicalNames() const {
+  std::vector<std::string> names;
+  names.reserve(units_.size());
+  for (const auto& u : units_) names.push_back(u.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+double ApparentTemperatureC(double temp_c, double humidity_pct) {
+  // Steadman apparent temperature (shade, no wind):
+  //   AT = T + 0.33 * e - 4.0,  with vapour pressure
+  //   e = rh/100 * 6.105 * exp(17.27 * T / (237.7 + T))   [hPa]
+  double e = humidity_pct / 100.0 * 6.105 *
+             std::exp(17.27 * temp_c / (237.7 + temp_c));
+  return temp_c + 0.33 * e - 4.0;
+}
+
+}  // namespace sl::stt

@@ -1,0 +1,95 @@
+// StreamLoader: units of measure and their conversion.
+//
+// Requirement §2(1): transformation operations "for changing the unit of
+// measure (e.g. from yards to meters)". Units are grouped into dimensions
+// (length, temperature, speed, ...); conversion within a dimension is
+// affine: value_in_base = scale * value + offset.
+
+#ifndef STREAMLOADER_STT_UNITS_H_
+#define STREAMLOADER_STT_UNITS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sl::stt {
+
+/// Physical dimension of a unit.
+enum class Dimension {
+  kLength,
+  kTemperature,
+  kSpeed,
+  kPressure,
+  kVolumeRate,   ///< e.g. rainfall mm/h
+  kPercentage,   ///< relative humidity etc.
+  kCount,        ///< dimensionless counts
+};
+
+const char* DimensionToString(Dimension d);
+
+/// \brief A registered unit of measure.
+struct UnitDef {
+  std::string name;    ///< canonical name, e.g. "m", "yd", "celsius"
+  Dimension dimension;
+  double scale;        ///< base = scale * value + offset
+  double offset;
+};
+
+/// \brief The global unit registry.
+///
+/// Pre-populated with the units StreamLoader's sensors and operators use;
+/// extensible at runtime (a sensor may publish data in a new unit).
+/// Base units: meter (length), kelvin (temperature), m/s (speed),
+/// pascal (pressure), mm/h (volume rate), percent, count.
+class UnitRegistry {
+ public:
+  /// The process-global registry, pre-populated with standard units.
+  static UnitRegistry& Global();
+
+  /// Creates an empty registry (mainly for tests).
+  UnitRegistry() = default;
+
+  /// Registers a unit; fails with AlreadyExists on duplicate names
+  /// (aliases included).
+  Status Register(const UnitDef& def, const std::vector<std::string>& aliases = {});
+
+  /// Looks up a unit by name or alias (case-insensitive).
+  Result<UnitDef> Find(const std::string& name) const;
+
+  /// True iff the name denotes a known unit.
+  bool Contains(const std::string& name) const;
+
+  /// \brief Converts `value` from unit `from` to unit `to`; fails when a
+  /// unit is unknown or the dimensions differ.
+  Result<double> Convert(double value, const std::string& from,
+                         const std::string& to) const;
+
+  /// All registered canonical unit names (sorted).
+  std::vector<std::string> CanonicalNames() const;
+
+ private:
+  struct Entry {
+    UnitDef def;
+  };
+  // name/alias (lower-cased) -> index into units_
+  std::vector<UnitDef> units_;
+  std::vector<std::pair<std::string, size_t>> index_;
+
+  const UnitDef* FindInternal(const std::string& lower) const;
+};
+
+/// Convenience: convert via the global registry.
+inline Result<double> ConvertUnit(double value, const std::string& from,
+                                  const std::string& to) {
+  return UnitRegistry::Global().Convert(value, from, to);
+}
+
+/// \brief Apparent ("feels like") temperature from dry-bulb temperature
+/// (°C) and relative humidity (%), per the Australian BoM steadman
+/// formula used for heat-index style virtual properties (§2 example).
+double ApparentTemperatureC(double temp_c, double humidity_pct);
+
+}  // namespace sl::stt
+
+#endif  // STREAMLOADER_STT_UNITS_H_

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace sl {
+
+const char* LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kNone: return "NONE";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", LogLevelToString(level), message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::fprintf(stderr, "[%s] %s\n", LogLevelToString(level),
+                   message.c_str());
+    };
+  }
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level >= level_ && level != LogLevel::kNone) sink_(level, message);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+
+}  // namespace internal
+}  // namespace sl

@@ -1,0 +1,83 @@
+// StreamLoader: leveled logging.
+//
+// The monitor module consumes structured LogRecords; human-readable text
+// goes through the global Logger. Logging is off (kWarning) by default in
+// tests and benches to keep output clean.
+
+#ifndef STREAMLOADER_UTIL_LOGGING_H_
+#define STREAMLOADER_UTIL_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace sl {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+const char* LogLevelToString(LogLevel level);
+
+/// \brief Process-global logger with a pluggable sink.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// The singleton logger.
+  static Logger& Get();
+
+  /// Minimum level that is emitted.
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore
+  /// the default sink.
+  void set_sink(Sink sink);
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarning;
+  Sink sink_;
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogMessageVoidify {
+  // operator& has lower precedence than << but higher than ?:.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace sl
+
+#define SL_LOG_IS_ON(severity) \
+  (::sl::LogLevel::severity >= ::sl::Logger::Get().level())
+
+#define SL_LOG(severity)                                          \
+  !SL_LOG_IS_ON(severity)                                         \
+      ? (void)0                                                   \
+      : ::sl::internal::LogMessageVoidify() &                     \
+            ::sl::internal::LogMessage(::sl::LogLevel::severity,  \
+                                       __FILE__, __LINE__)        \
+                .stream()
+
+#endif  // STREAMLOADER_UTIL_LOGGING_H_

@@ -1,0 +1,77 @@
+// StreamLoader: Result<T> — a value or an error Status.
+
+#ifndef STREAMLOADER_UTIL_RESULT_H_
+#define STREAMLOADER_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace sl {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// A Result is never simultaneously "ok" and value-less: constructing one
+/// from an OK status is an internal error (asserted in debug builds and
+/// normalized to an Internal error otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff this result holds a value.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const { return ok() ? Status::OK() : status_; }
+
+  /// The held value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The held value, or `fallback` when this result is an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  /// Convenience dereference; must only be used when ok().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace sl
+
+#endif  // STREAMLOADER_UTIL_RESULT_H_

@@ -1,0 +1,61 @@
+// StreamLoader: deterministic pseudo-random number generation.
+//
+// All randomness in the system (sensor simulators, workload generators,
+// property tests) flows through Rng so that runs are reproducible from a
+// single seed.
+
+#ifndef STREAMLOADER_UTIL_RNG_H_
+#define STREAMLOADER_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace sl {
+
+/// \brief A small, fast, seedable PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the generator; two Rngs with equal seeds produce equal streams.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { Seed(seed); }
+
+  /// Re-seeds the generator (via SplitMix64 state expansion).
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) via Lemire's method; bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller).
+  double NextGaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// \brief Derives an independent child generator, e.g. one per sensor.
+  /// Children with distinct salts have statistically independent streams.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace sl
+
+#endif  // STREAMLOADER_UTIL_RNG_H_

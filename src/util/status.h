@@ -1,0 +1,161 @@
+// StreamLoader: status-based error model.
+//
+// Core StreamLoader libraries do not throw exceptions across API
+// boundaries; fallible functions return a `Status` (or a `Result<T>`,
+// see result.h) in the style of Arrow / RocksDB.
+
+#ifndef STREAMLOADER_UTIL_STATUS_H_
+#define STREAMLOADER_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sl {
+
+/// Machine-readable error category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed a malformed value
+  kNotFound = 2,          ///< named entity does not exist
+  kAlreadyExists = 3,     ///< named entity is already registered
+  kFailedPrecondition = 4,///< system is in the wrong state for this call
+  kOutOfRange = 5,        ///< index / interval outside the valid domain
+  kUnimplemented = 6,     ///< feature intentionally not available
+  kInternal = 7,          ///< invariant violation inside StreamLoader
+  kParseError = 8,        ///< textual input (expression / DSN) rejected
+  kTypeError = 9,         ///< schema / expression type mismatch
+  kValidationError = 10,  ///< dataflow soundness check failed
+  kCapacityExceeded = 11, ///< network node / cache resource exhausted
+  kTimeout = 12,          ///< event did not occur within its deadline
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief The result of an operation that can fail but returns no value.
+///
+/// A Status is either OK (the default, carries no allocation) or an error
+/// with a code and message. Statuses are cheap to copy when OK and
+/// cheap to move always.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ValidationError(std::string msg) {
+    return Status(StatusCode::kValidationError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; kOk for an OK status.
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message; empty for an OK status.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsValidationError() const { return code() == StatusCode::kValidationError; }
+  bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy of this status with `context` prepended to the
+  /// message, for adding call-site information while propagating errors.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace sl
+
+/// Propagates an error status from an expression returning Status.
+#define SL_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::sl::Status _sl_status = (expr);              \
+    if (!_sl_status.ok()) return _sl_status;       \
+  } while (false)
+
+#define SL_CONCAT_IMPL(a, b) a##b
+#define SL_CONCAT(a, b) SL_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, on failure returns the error status from the current function.
+#define SL_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto SL_CONCAT(_sl_result_, __LINE__) = (expr);                   \
+  if (!SL_CONCAT(_sl_result_, __LINE__).ok())                       \
+    return SL_CONCAT(_sl_result_, __LINE__).status();               \
+  lhs = std::move(SL_CONCAT(_sl_result_, __LINE__)).ValueOrDie()
+
+#endif  // STREAMLOADER_UTIL_STATUS_H_

@@ -1,0 +1,54 @@
+// StreamLoader: small string utilities shared across modules.
+
+#ifndef STREAMLOADER_UTIL_STRINGS_H_
+#define STREAMLOADER_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sl {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on `sep` and trims ASCII whitespace from every field.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True iff `text` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view text);
+
+/// \brief Matches `text` against a date/time pattern where Y, M, D, h, m,
+/// s stand for digits and every other character matches itself — e.g.
+/// "YYYY-MM-DD" or "hh:mm:ss". Used by the `matches_date` validation rule.
+bool MatchesDatePattern(std::string_view text, std::string_view pattern);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Quotes a string for embedding in DSN / JSON text, escaping
+/// backslash, double quote, and control characters.
+std::string QuoteString(std::string_view text);
+
+/// Inverse of QuoteString; returns false on malformed escapes. `in` must
+/// include the surrounding double quotes.
+bool UnquoteString(std::string_view in, std::string* out);
+
+}  // namespace sl
+
+#endif  // STREAMLOADER_UTIL_STRINGS_H_

@@ -1,0 +1,362 @@
+// Unit + property tests for the DSN/SCN language (src/dsn): model,
+// serializer, parser, validator, and the dataflow <-> DSN translator.
+
+#include <gtest/gtest.h>
+
+#include "dsn/parser.h"
+#include "dsn/spec.h"
+#include "dsn/translate.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sl::dsn {
+namespace {
+
+using dataflow::AggFunc;
+using dataflow::DataflowBuilder;
+using dataflow::OpKind;
+using dataflow::SinkKind;
+
+DsnSpec SmallSpec() {
+  DsnSpec spec;
+  spec.name = "demo";
+  DsnService src;
+  src.name = "src";
+  src.kind = "SOURCE";
+  src.properties["sensor"] = "t1";
+  DsnService filter;
+  filter.name = "hot";
+  filter.kind = "FILTER";
+  filter.inputs = {"src"};
+  filter.properties["condition"] = "temp > 25";
+  DsnService sink;
+  sink.name = "store";
+  sink.kind = "SINK";
+  sink.inputs = {"hot"};
+  sink.properties["sink"] = "WAREHOUSE";
+  sink.properties["target"] = "events";
+  spec.services = {src, filter, sink};
+  spec.flows = {{"src", "hot", {500, 5}}, {"hot", "store", {1000, 3}}};
+  return spec;
+}
+
+// ----------------------------------------------------------------- model --
+
+TEST(DsnSpecTest, TypedPropertyAccessors) {
+  DsnService s;
+  s.name = "x";
+  s.kind = "AGGREGATION";
+  s.properties["interval"] = "1h";
+  s.properties["rate"] = "0.25";
+  s.properties["t_begin"] = "2016-03-15T10:00:00.000Z";
+  s.properties["attributes"] = "temp, rain";
+  s.properties["empty_list"] = "";
+  EXPECT_EQ(*s.GetString("interval"), "1h");
+  EXPECT_EQ(*s.GetDuration("interval"), duration::kHour);
+  EXPECT_DOUBLE_EQ(*s.GetDouble("rate"), 0.25);
+  Timestamp ts = *s.GetTimestamp("t_begin");
+  EXPECT_EQ(FormatTimestamp(ts), "2016-03-15T10:00:00.000Z");
+  EXPECT_EQ(*s.GetList("attributes"),
+            (std::vector<std::string>{"temp", "rain"}));
+  EXPECT_TRUE(s.GetList("empty_list")->empty());
+  EXPECT_TRUE(s.GetString("ghost").status().IsNotFound());
+  EXPECT_TRUE(s.GetDouble("interval").status().IsParseError());
+  EXPECT_TRUE(s.GetTimestamp("rate").status().IsParseError());
+  EXPECT_TRUE(s.Has("rate"));
+  EXPECT_FALSE(s.Has("ghost"));
+}
+
+TEST(DsnSpecTest, FindService) {
+  DsnSpec spec = SmallSpec();
+  EXPECT_TRUE(spec.FindService("hot").ok());
+  EXPECT_TRUE(spec.FindService("ghost").status().IsNotFound());
+}
+
+// -------------------------------------------------------------- validator --
+
+TEST(DsnValidateTest, AcceptsWellFormed) {
+  SL_EXPECT_OK(ValidateDsn(SmallSpec()));
+}
+
+TEST(DsnValidateTest, RejectsDuplicateService) {
+  DsnSpec spec = SmallSpec();
+  spec.services.push_back(spec.services[0]);
+  EXPECT_TRUE(ValidateDsn(spec).IsValidationError());
+}
+
+TEST(DsnValidateTest, RejectsUnknownKind) {
+  DsnSpec spec = SmallSpec();
+  spec.services[1].kind = "FROBNICATE";
+  EXPECT_TRUE(ValidateDsn(spec).IsValidationError());
+}
+
+TEST(DsnValidateTest, RejectsFlowServiceMismatch) {
+  DsnSpec spec = SmallSpec();
+  spec.flows.pop_back();  // missing flow for a declared input
+  EXPECT_TRUE(ValidateDsn(spec).IsValidationError());
+  spec = SmallSpec();
+  spec.flows.push_back({"src", "store", {}});  // flow without input
+  EXPECT_TRUE(ValidateDsn(spec).IsValidationError());
+  spec = SmallSpec();
+  spec.flows.push_back({"src", "hot", {}});  // duplicate flow
+  EXPECT_TRUE(ValidateDsn(spec).IsValidationError());
+}
+
+TEST(DsnValidateTest, RejectsBadPriorityAndCycle) {
+  DsnSpec spec = SmallSpec();
+  spec.flows[0].qos.priority = 42;
+  EXPECT_TRUE(ValidateDsn(spec).IsValidationError());
+
+  // A 2-cycle.
+  DsnSpec cyc;
+  cyc.name = "cyc";
+  DsnService a;
+  a.name = "a";
+  a.kind = "FILTER";
+  a.inputs = {"b"};
+  a.properties["condition"] = "true";
+  DsnService b = a;
+  b.name = "b";
+  b.inputs = {"a"};
+  cyc.services = {a, b};
+  cyc.flows = {{"a", "b", {}}, {"b", "a", {}}};
+  EXPECT_TRUE(ValidateDsn(cyc).IsValidationError());
+}
+
+// --------------------------------------------------------------- parsing --
+
+TEST(DsnParserTest, ParsesCanonicalText) {
+  DsnSpec spec = SmallSpec();
+  auto parsed = ParseDsn(spec.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << spec.ToString();
+  EXPECT_EQ(*parsed, spec);
+}
+
+TEST(DsnParserTest, ParsesHandWrittenText) {
+  const char* text = R"(
+    # A hand-written DSN document with comments.
+    dataflow my_flow {
+      service s  { kind: source; sensor: "temp_01"; }
+      service f  { kind: Filter; input: s; condition: "temp >= 20"; }
+      service j2 {
+        kind: JOIN;
+        left: s;
+        right: f;
+        interval: "5m";
+        predicate: "true";
+      }
+      service o  { kind: SINK; input: j2; sink: COLLECT; }
+      flow s -> f;
+      flow s -> j2 [priority: 7];
+      flow f -> j2 [max_latency: "2s"; priority: 1];
+      flow j2 -> o [max_latency: "0"];
+    }
+  )";
+  auto parsed = ParseDsn(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name, "my_flow");
+  EXPECT_EQ(parsed->services.size(), 4u);
+  const DsnService* join = *parsed->FindService("j2");
+  EXPECT_EQ(join->inputs, (std::vector<std::string>{"s", "f"}));
+  EXPECT_EQ(parsed->flows[1].qos.priority, 7);
+  EXPECT_EQ(parsed->flows[2].qos.max_latency, 2000);
+  EXPECT_EQ(parsed->flows[3].qos.max_latency, 0);
+  // kind normalized to upper case.
+  EXPECT_EQ((*parsed->FindService("f"))->kind, "FILTER");
+}
+
+TEST(DsnParserTest, Rejections) {
+  EXPECT_TRUE(ParseDsn("").status().IsParseError());
+  EXPECT_TRUE(ParseDsn("dataflow x {").status().IsParseError());
+  EXPECT_TRUE(ParseDsn("dataflow x { service s { } }")
+                  .status().IsParseError());  // no kind
+  EXPECT_TRUE(ParseDsn("dataflow x { widget w { } }")
+                  .status().IsParseError());
+  EXPECT_TRUE(
+      ParseDsn("dataflow x { service s { kind: SOURCE; sensor: 't'; "
+               "sensor: 'u'; } }")
+          .status().IsParseError());  // duplicate property
+  EXPECT_TRUE(
+      ParseDsn("dataflow x { service s { kind: JOIN; left: a; } }")
+          .status().IsParseError());  // left without right
+  EXPECT_TRUE(
+      ParseDsn("dataflow x { service s { kind: SOURCE; sensor: 't'; } "
+               "flow s -> ghost; }")
+          .status().IsValidationError());
+  // Unknown QoS parameter.
+  EXPECT_TRUE(
+      ParseDsn("dataflow x { service s { kind: SOURCE; sensor: 't'; } "
+               "service o { kind: SINK; input: s; sink: COLLECT; } "
+               "flow s -> o [color: 'red']; }")
+          .status().IsParseError());
+}
+
+TEST(DsnParserTest, DurationText) {
+  EXPECT_EQ(*ParseDurationText("0"), 0);
+  EXPECT_EQ(*ParseDurationText("0ms"), 0);
+  EXPECT_EQ(*ParseDurationText("0s"), 0);
+  EXPECT_EQ(*ParseDurationText("250ms"), 250);
+  EXPECT_EQ(*ParseDurationText("1.5s"), 1500);
+  EXPECT_FALSE(ParseDurationText("soon").ok());
+}
+
+// ------------------------------------------------------------ translator --
+
+dataflow::Dataflow ScenarioDataflow() {
+  return *DataflowBuilder("osaka")
+              .AddSource("t", "temp_01")
+              .AddTransform("t_c", "t", "temp",
+                            "convert_unit(temp, 'fahrenheit', 'celsius')",
+                            "celsius")
+              .AddVirtualProperty("feels", "t_c", "apparent",
+                                  "apparent_temp(temp, 65)", "celsius")
+              .AddAggregation("hourly", "t_c", duration::kHour, AggFunc::kAvg,
+                              {"temp"}, {"station"})
+              .AddTriggerOn("hot", "hourly", duration::kHour, "avg_temp > 25",
+                            {"rain_01", "tweet_01"})
+              .AddTriggerOff("cool", "hourly", duration::kHour,
+                             "avg_temp < 20", {"rain_01"})
+              .AddSource("r", "rain_01")
+              .AddCullTime("thin_t", "r", 0, 1000000, 0.25)
+              .AddCullSpace("thin_s", "thin_t", {34.0, 135.0}, {35.0, 136.0},
+                            0.5)
+              .AddFilter("wet", "thin_s", "rain > 10")
+              .AddJoin("j", "feels", "wet", duration::kHour, "apparent > 30")
+              .AddSink("store", "j", SinkKind::kWarehouse, "alerts")
+              .AddSink("viz", "wet", SinkKind::kVisualization)
+              .Build();
+}
+
+TEST(TranslateTest, EveryOperationTranslates) {
+  auto df = ScenarioDataflow();
+  auto spec = TranslateToDsn(df);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  SL_EXPECT_OK(ValidateDsn(*spec));
+  EXPECT_EQ(spec->services.size(), df.nodes().size());
+  // One flow per edge.
+  size_t edges = 0;
+  for (const auto& [name, node] : df.nodes()) edges += node.inputs.size();
+  EXPECT_EQ(spec->flows.size(), edges);
+}
+
+TEST(TranslateTest, QosDerivation) {
+  auto df = ScenarioDataflow();
+  auto spec = *TranslateToDsn(df);
+  for (const auto& flow : spec.flows) {
+    const DsnService* to = *spec.FindService(flow.to);
+    if (to->kind == "SINK") {
+      EXPECT_EQ(flow.qos.priority, 3);
+    } else if (to->kind == "TRIGGER_ON" || to->kind == "TRIGGER_OFF") {
+      EXPECT_EQ(flow.qos.priority, 8);
+      EXPECT_EQ(flow.qos.max_latency, 250);
+    } else {
+      EXPECT_EQ(flow.qos.priority, 5);
+    }
+  }
+}
+
+TEST(TranslateTest, FullRoundTripThroughText) {
+  // dataflow -> DSN -> text -> DSN -> dataflow -> DSN: fixpoint.
+  auto df = ScenarioDataflow();
+  auto spec1 = *TranslateToDsn(df);
+  std::string text = spec1.ToString();
+  auto spec2 = ParseDsn(text);
+  ASSERT_TRUE(spec2.ok()) << spec2.status() << "\n" << text;
+  EXPECT_EQ(*spec2, spec1);
+
+  auto df2 = TranslateFromDsn(*spec2);
+  ASSERT_TRUE(df2.ok()) << df2.status();
+  auto spec3 = TranslateToDsn(*df2);
+  ASSERT_TRUE(spec3.ok());
+  EXPECT_EQ(*spec3, spec1);
+}
+
+TEST(TranslateTest, LiftedDataflowMatchesStructure) {
+  auto df = ScenarioDataflow();
+  auto df2 = *TranslateFromDsn(*TranslateToDsn(df));
+  EXPECT_EQ(df2.name(), df.name());
+  EXPECT_EQ(df2.topological_order(), df.topological_order());
+  for (const auto& [name, node] : df.nodes()) {
+    const dataflow::Node& lifted = **df2.node(name);
+    EXPECT_EQ(lifted.kind, node.kind) << name;
+    EXPECT_EQ(lifted.inputs, node.inputs) << name;
+    if (node.kind == dataflow::NodeKind::kOperator) {
+      EXPECT_EQ(lifted.op, node.op) << name;
+      EXPECT_EQ(dataflow::SpecToString(lifted.op, lifted.spec),
+                dataflow::SpecToString(node.op, node.spec))
+          << name;
+    }
+  }
+}
+
+// Property: random dataflows survive the full textual round trip.
+TEST(TranslateTest, RandomDataflowRoundTrip) {
+  Rng rng(53);
+  for (int round = 0; round < 30; ++round) {
+    DataflowBuilder builder(StrFormat("flow_%d", round));
+    size_t n_sources = 1 + rng.NextBounded(3);
+    std::vector<std::string> producers;
+    for (size_t i = 0; i < n_sources; ++i) {
+      std::string name = StrFormat("s%zu", i);
+      builder.AddSource(name, StrFormat("sensor_%zu", i));
+      producers.push_back(name);
+    }
+    size_t n_ops = 1 + rng.NextBounded(6);
+    for (size_t i = 0; i < n_ops; ++i) {
+      std::string name = StrFormat("op%zu", i);
+      const std::string& input = producers[rng.NextBounded(producers.size())];
+      switch (rng.NextBounded(6)) {
+        case 0:
+          builder.AddFilter(name, input, "temp > 20");
+          break;
+        case 1:
+          builder.AddTransform(name, input, "temp", "temp * 2");
+          break;
+        case 2:
+          builder.AddVirtualProperty(name, input, StrFormat("p%zu", i),
+                                     "temp + 1", "celsius");
+          break;
+        case 3:
+          builder.AddCullTime(name, input, rng.NextInt(0, 1000),
+                              rng.NextInt(2000, 100000),
+                              rng.NextDouble(0, 1));
+          break;
+        case 4:
+          builder.AddAggregation(name, input,
+                                 duration::kMinute *
+                                     static_cast<Duration>(rng.NextInt(1, 60)),
+                                 AggFunc::kAvg, {"temp"});
+          break;
+        case 5: {
+          const std::string& other =
+              producers[rng.NextBounded(producers.size())];
+          if (other == input) {
+            builder.AddFilter(name, input, "true");
+          } else {
+            builder.AddJoin(name, input, other, duration::kHour, "true");
+          }
+          break;
+        }
+      }
+      producers.push_back(name);
+    }
+    builder.AddSink("out", producers.back(), SinkKind::kCollect);
+    auto df = builder.Build();
+    ASSERT_TRUE(df.ok()) << df.status();
+
+    auto spec1 = TranslateToDsn(*df);
+    ASSERT_TRUE(spec1.ok()) << spec1.status();
+    auto spec2 = ParseDsn(spec1->ToString());
+    ASSERT_TRUE(spec2.ok()) << spec2.status() << "\n" << spec1->ToString();
+    EXPECT_EQ(*spec2, *spec1) << spec1->ToString();
+    auto df2 = TranslateFromDsn(*spec2);
+    ASSERT_TRUE(df2.ok()) << df2.status();
+    auto spec3 = TranslateToDsn(*df2);
+    ASSERT_TRUE(spec3.ok());
+    EXPECT_EQ(*spec3, *spec1);
+  }
+}
+
+}  // namespace
+}  // namespace sl::dsn

@@ -1,0 +1,419 @@
+// Unit + property tests for the expression language (src/expr):
+// lexer, parser, type-checking binder, evaluator and builtin functions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/eval.h"
+#include "expr/lexer.h"
+#include "expr/parser.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sl::expr {
+namespace {
+
+using sl::testing::TempSchema;
+using sl::testing::TempTuple;
+using stt::Value;
+using stt::ValueType;
+
+/// Evaluates `source` against a canned temperature tuple.
+Result<Value> EvalOn(const std::string& source, double temp = 25.0,
+                     Timestamp ts = 1458000000000) {
+  auto schema = TempSchema();
+  SL_ASSIGN_OR_RETURN(BoundExpr bound, BoundExpr::Parse(source, schema));
+  return bound.Eval(sl::testing::TempTuple(schema, temp, ts));
+}
+
+// ----------------------------------------------------------------- lexer --
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("foo 12 3.5 \"str\" $ts ( ) , ; == != <= >= -> @");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kInt, TokenKind::kDouble,
+                TokenKind::kString, TokenKind::kDollar, TokenKind::kLParen,
+                TokenKind::kRParen, TokenKind::kComma, TokenKind::kSemicolon,
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kLe,
+                TokenKind::kGe, TokenKind::kArrow, TokenKind::kAt,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, NumbersAndExponents) {
+  auto tokens = *Tokenize("1 2.5 1e3 2.5e-2 7e");
+  EXPECT_EQ(tokens[0].int_value, 1);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+  // "7e" is the int 7 followed by identifier e.
+  EXPECT_EQ(tokens[4].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kIdent);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = *Tokenize(R"('it\'s' "a\"b\n")");
+  EXPECT_EQ(tokens[0].text, "it's");
+  EXPECT_EQ(tokens[1].text, "a\"b\n");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = *Tokenize("a # comment\n b");
+  EXPECT_EQ(tokens.size(), 3u);  // a, b, end
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("\"open").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a ~ b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("$").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a ! b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("99999999999999999999").status().IsParseError());
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(ParserTest, Precedence) {
+  // * binds tighter than +, + tighter than comparison, comparison
+  // tighter than and/or.
+  auto e = *ParseExpression("1 + 2 * 3 > 6 and not false");
+  EXPECT_EQ(e->ToString(), "(((1 + (2 * 3)) > 6) and (not false))");
+}
+
+TEST(ParserTest, Associativity) {
+  EXPECT_EQ((*ParseExpression("1 - 2 - 3"))->ToString(), "((1 - 2) - 3)");
+  EXPECT_EQ((*ParseExpression("8 / 4 / 2"))->ToString(), "((8 / 4) / 2)");
+}
+
+TEST(ParserTest, SingleEqualsAccepted) {
+  EXPECT_EQ((*ParseExpression("a = 3"))->ToString(), "(a == 3)");
+}
+
+TEST(ParserTest, UnaryMinusAndNot) {
+  EXPECT_EQ((*ParseExpression("--3"))->ToString(), "(-(-3))");
+  EXPECT_EQ((*ParseExpression("not not true"))->ToString(),
+            "(not (not true))");
+  EXPECT_EQ((*ParseExpression("-a * b"))->ToString(), "((-a) * b)");
+}
+
+TEST(ParserTest, CallsAndMeta) {
+  EXPECT_EQ((*ParseExpression("max(a, b, 3)"))->ToString(), "max(a, b, 3)");
+  EXPECT_EQ((*ParseExpression("$ts > time('2016-03-15')"))->ToString(),
+            "($ts > time(\"2016-03-15\"))");
+  EXPECT_EQ((*ParseExpression("$LAT + $lng"))->ToString(), "($lat + $lon)");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_TRUE(ParseExpression("").status().IsParseError());
+  EXPECT_TRUE(ParseExpression("1 +").status().IsParseError());
+  EXPECT_TRUE(ParseExpression("(1").status().IsParseError());
+  EXPECT_TRUE(ParseExpression("f(1,").status().IsParseError());
+  EXPECT_TRUE(ParseExpression("1 2").status().IsParseError());
+  EXPECT_TRUE(ParseExpression("$speed").status().IsParseError());
+}
+
+TEST(ParserTest, ReferencedAttributes) {
+  auto e = *ParseExpression("a + b * f(c, a) > d and $ts > 0");
+  EXPECT_EQ(ReferencedAttributes(e),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+// Property: ToString() parses back to an identical normal form.
+TEST(ParserTest, ToStringRoundTrip) {
+  const char* samples[] = {
+      "temp > 25 and humidity < 80",
+      "convert_unit(temp, 'celsius', 'fahrenheit') >= 77",
+      "-x * (y + 2) % 3 != 0 or is_null(z)",
+      "if(a > b, a, b) + coalesce(c, 0)",
+      "contains(lower(text), 'rain') and $lat > 34.5",
+      "matches_date(d, 'YYYY-MM-DD')",
+  };
+  for (const char* s : samples) {
+    auto once = ParseExpression(s);
+    ASSERT_TRUE(once.ok()) << s;
+    auto twice = ParseExpression((*once)->ToString());
+    ASSERT_TRUE(twice.ok()) << (*once)->ToString();
+    EXPECT_EQ((*once)->ToString(), (*twice)->ToString());
+  }
+}
+
+// ---------------------------------------------------------------- binder --
+
+TEST(BinderTest, ResolvesAttributesAndTypes) {
+  auto schema = TempSchema();
+  auto bound = BoundExpr::Parse("temp * 2", schema);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->result_type(), ValueType::kDouble);
+  EXPECT_EQ(BoundExpr::Parse("temp > 20", schema)->result_type(),
+            ValueType::kBool);
+  EXPECT_EQ(BoundExpr::Parse("station", schema)->result_type(),
+            ValueType::kString);
+  EXPECT_EQ(BoundExpr::Parse("$ts", schema)->result_type(),
+            ValueType::kTimestamp);
+  EXPECT_EQ(BoundExpr::Parse("$lat", schema)->result_type(),
+            ValueType::kDouble);
+  EXPECT_EQ(BoundExpr::Parse("$sensor", schema)->result_type(),
+            ValueType::kString);
+}
+
+TEST(BinderTest, UnknownAttribute) {
+  EXPECT_TRUE(BoundExpr::Parse("wind > 3", TempSchema())
+                  .status().IsNotFound());
+}
+
+TEST(BinderTest, TypeErrors) {
+  auto schema = TempSchema();
+  EXPECT_TRUE(BoundExpr::Parse("temp and true", schema)
+                  .status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("station + temp", schema)
+                  .status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("station > temp", schema)
+                  .status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("not temp", schema).status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("-station", schema).status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("lower(temp)", schema)
+                  .status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("abs()", schema).status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("abs(1, 2)", schema).status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("nosuchfn(1)", schema)
+                  .status().IsNotFound());
+}
+
+TEST(BinderTest, TimestampArithmetic) {
+  auto schema = TempSchema();
+  EXPECT_EQ(BoundExpr::Parse("$ts - time('2016-01-01')", schema)
+                ->result_type(),
+            ValueType::kInt);
+  EXPECT_EQ(BoundExpr::Parse("$ts + 3600000", schema)->result_type(),
+            ValueType::kTimestamp);
+  EXPECT_TRUE(BoundExpr::Parse("$ts * 2", schema).status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("$ts + $ts", schema).status().IsTypeError());
+}
+
+TEST(BinderTest, PredicateRequiresBool) {
+  auto schema = TempSchema();
+  auto bound = *BoundExpr::Parse("temp + 1", schema);
+  EXPECT_TRUE(bound.EvalPredicate(TempTuple(schema, 1, 0))
+                  .status().IsTypeError());
+}
+
+// ------------------------------------------------------------- evaluator --
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ((*EvalOn("temp + 1.5", 20.0)).AsDouble(), 21.5);
+  EXPECT_DOUBLE_EQ((*EvalOn("2 * temp - 10", 20.0)).AsDouble(), 30.0);
+  EXPECT_EQ((*EvalOn("7 % 3")).AsInt(), 1);
+  EXPECT_EQ((*EvalOn("2 + 3 * 4")).AsInt(), 14);
+  // Division always yields double.
+  EXPECT_DOUBLE_EQ((*EvalOn("7 / 2")).AsDouble(), 3.5);
+}
+
+TEST(EvalTest, DivisionByZeroIsNull) {
+  EXPECT_TRUE((*EvalOn("1 / 0")).is_null());
+  EXPECT_TRUE((*EvalOn("1 % 0")).is_null());
+  EXPECT_TRUE((*EvalOn("1.0 / 0.0")).is_null());
+}
+
+TEST(EvalTest, StringConcat) {
+  EXPECT_EQ((*EvalOn("station + '!'")).AsString(), "osaka!");
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_TRUE((*EvalOn("temp >= 25", 25.0)).AsBool());
+  EXPECT_FALSE((*EvalOn("temp > 25", 25.0)).AsBool());
+  EXPECT_TRUE((*EvalOn("station == 'osaka'")).AsBool());
+  EXPECT_TRUE((*EvalOn("station != 'kyoto'")).AsBool());
+  // Mixed int/double comparison works numerically.
+  EXPECT_TRUE((*EvalOn("temp == 25", 25.0)).AsBool());
+}
+
+TEST(EvalTest, KleeneLogic) {
+  // null and false -> false; null or true -> true; null and true -> null.
+  auto schema = TempSchema();
+  auto tuple = stt::Tuple::MakeUnsafe(
+      schema, {Value::Double(1.0), Value::Null()}, 0, std::nullopt, "s");
+  auto is_null_str = [&](const std::string& src) {
+    return (*BoundExpr::Parse(src, schema)).Eval(tuple);
+  };
+  EXPECT_FALSE((*is_null_str("is_null(station) == false and false")).AsBool());
+  EXPECT_FALSE((*is_null_str("(station == 'x') and false")).AsBool());
+  EXPECT_TRUE((*is_null_str("(station == 'x') or true")).AsBool());
+  EXPECT_TRUE((*is_null_str("(station == 'x') and true")).is_null());
+  EXPECT_TRUE((*is_null_str("(station == 'x') or false")).is_null());
+  EXPECT_TRUE((*is_null_str("not (station == 'x')")).is_null());
+}
+
+TEST(EvalTest, NullPredicateIsFalse) {
+  auto schema = TempSchema();
+  auto tuple = stt::Tuple::MakeUnsafe(
+      schema, {Value::Double(1.0), Value::Null()}, 0, std::nullopt, "s");
+  auto bound = *BoundExpr::Parse("station == 'x'", schema);
+  EXPECT_FALSE(*bound.EvalPredicate(tuple));
+}
+
+TEST(EvalTest, MetaAttributes) {
+  auto schema = TempSchema();
+  auto with_loc = TempTuple(schema, 20.0, 1458000000000,
+                            stt::GeoPoint{34.5, 135.25}, "sensor_7");
+  EXPECT_DOUBLE_EQ(
+      (*(*BoundExpr::Parse("$lat", schema)).Eval(with_loc)).AsDouble(), 34.5);
+  EXPECT_EQ(
+      (*(*BoundExpr::Parse("$sensor", schema)).Eval(with_loc)).AsString(),
+      "sensor_7");
+  EXPECT_EQ((*(*BoundExpr::Parse("$theme", schema)).Eval(with_loc)).AsString(),
+            "weather/temperature");
+  // Tuples without location: $lat is null.
+  auto no_loc = TempTuple(schema, 20.0, 0, std::nullopt);
+  EXPECT_TRUE((*(*BoundExpr::Parse("$lat", schema)).Eval(no_loc)).is_null());
+}
+
+TEST(EvalTest, TimestampArithmetic) {
+  Timestamp t0 = 1458000000000;
+  EXPECT_EQ((*EvalOn("$ts - time('2016-03-15')", 0, t0)).AsInt(), 0);
+  EXPECT_EQ((*EvalOn("$ts + 60000", 0, t0)).AsTime(), t0 + 60000);
+  EXPECT_EQ((*EvalOn("$ts - 60000", 0, t0)).AsTime(), t0 - 60000);
+  EXPECT_TRUE((*EvalOn("$ts - time('2016-03-15') < 3600000", 0,
+                       t0 + duration::kMinute))
+                  .AsBool());
+}
+
+// ------------------------------------------------------------- functions --
+
+TEST(FunctionsTest, NumericFamily) {
+  EXPECT_EQ((*EvalOn("abs(-3)")).AsInt(), 3);
+  EXPECT_DOUBLE_EQ((*EvalOn("abs(-3.5)")).AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ((*EvalOn("sqrt(16)")).AsDouble(), 4.0);
+  EXPECT_TRUE((*EvalOn("sqrt(-1)")).is_null());
+  EXPECT_TRUE((*EvalOn("log(0)")).is_null());
+  EXPECT_EQ((*EvalOn("floor(2.7)")).AsInt(), 2);
+  EXPECT_EQ((*EvalOn("ceil(2.1)")).AsInt(), 3);
+  EXPECT_EQ((*EvalOn("round(2.5)")).AsInt(), 3);
+  EXPECT_DOUBLE_EQ((*EvalOn("pow(2, 10)")).AsDouble(), 1024.0);
+  EXPECT_DOUBLE_EQ((*EvalOn("min(3, 1, 2)")).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ((*EvalOn("max(3, 1, 2)")).AsDouble(), 3.0);
+}
+
+TEST(FunctionsTest, Casts) {
+  EXPECT_EQ((*EvalOn("to_int(3.9)")).AsInt(), 3);
+  EXPECT_DOUBLE_EQ((*EvalOn("to_double('2.5')")).AsDouble(), 2.5);
+  EXPECT_TRUE((*EvalOn("to_double('abc')")).is_null());
+  EXPECT_EQ((*EvalOn("to_string(42)")).AsString(), "42");
+}
+
+TEST(FunctionsTest, NullHandling) {
+  auto schema = TempSchema();
+  auto tuple = stt::Tuple::MakeUnsafe(
+      schema, {Value::Double(1.0), Value::Null()}, 0, std::nullopt, "s");
+  auto eval = [&](const std::string& src) {
+    return *(*BoundExpr::Parse(src, schema)).Eval(tuple);
+  };
+  EXPECT_TRUE(eval("is_null(station)").AsBool());
+  EXPECT_FALSE(eval("is_null(temp)").AsBool());
+  EXPECT_EQ(eval("coalesce(station, 'fallback')").AsString(), "fallback");
+  EXPECT_EQ(eval("if(temp > 0, 'pos', 'neg')").AsString(), "pos");
+  // Null propagates through ordinary functions.
+  EXPECT_TRUE(eval("upper(station)").is_null());
+}
+
+TEST(FunctionsTest, CoalesceTypeChecks) {
+  auto schema = TempSchema();
+  EXPECT_TRUE(BoundExpr::Parse("coalesce(temp, station)", schema)
+                  .status().IsTypeError());
+  EXPECT_TRUE(BoundExpr::Parse("if(true, temp, station)", schema)
+                  .status().IsTypeError());
+}
+
+TEST(FunctionsTest, StringFamily) {
+  EXPECT_EQ((*EvalOn("lower('AbC')")).AsString(), "abc");
+  EXPECT_EQ((*EvalOn("upper('AbC')")).AsString(), "ABC");
+  EXPECT_EQ((*EvalOn("length('hello')")).AsInt(), 5);
+  EXPECT_EQ((*EvalOn("concat('a', 1, '-', 2.5)")).AsString(), "a1-2.5");
+  EXPECT_TRUE((*EvalOn("contains('torrential rain', 'rain')")).AsBool());
+  EXPECT_FALSE((*EvalOn("contains('sunny', 'rain')")).AsBool());
+  EXPECT_TRUE((*EvalOn("starts_with('osaka_01', 'osaka')")).AsBool());
+  EXPECT_TRUE((*EvalOn("ends_with('osaka_01', '01')")).AsBool());
+  EXPECT_EQ((*EvalOn("substr('streamloader', 6)")).AsString(), "loader");
+  EXPECT_EQ((*EvalOn("substr('streamloader', 0, 6)")).AsString(), "stream");
+  EXPECT_EQ((*EvalOn("substr('abc', 10)")).AsString(), "");
+}
+
+TEST(FunctionsTest, DatePatternValidation) {
+  EXPECT_TRUE((*EvalOn("matches_date('2016-03-15', 'YYYY-MM-DD')")).AsBool());
+  EXPECT_FALSE((*EvalOn("matches_date('15/03/2016', 'YYYY-MM-DD')")).AsBool());
+}
+
+TEST(FunctionsTest, TimeFamily) {
+  EXPECT_EQ((*EvalOn("hour_of(time('2016-03-15T14:30'))")).AsInt(), 14);
+  EXPECT_EQ((*EvalOn("minute_of(time('2016-03-15T14:30'))")).AsInt(), 30);
+  EXPECT_EQ((*EvalOn("truncate_time(time('2016-03-15T14:37'), '1h')")).AsTime(),
+            (*EvalOn("time('2016-03-15T14:00')")).AsTime());
+  EXPECT_EQ((*EvalOn("ts_ms(time('1970-01-01T00:00:01'))")).AsInt(), 1000);
+  EXPECT_TRUE(EvalOn("time('bogus')").status().IsParseError());
+}
+
+TEST(FunctionsTest, UnitsAndDomain) {
+  EXPECT_NEAR((*EvalOn("convert_unit(100, 'yd', 'm')")).AsDouble(), 91.44,
+              1e-9);
+  EXPECT_NEAR((*EvalOn("convert_unit(temp, 'celsius', 'fahrenheit')", 100.0))
+                  .AsDouble(),
+              212.0, 1e-9);
+  EXPECT_TRUE(EvalOn("convert_unit(1, 'cubit', 'm')").status().IsNotFound());
+  double at = (*EvalOn("apparent_temp(32, 80)")).AsDouble();
+  EXPECT_GT(at, 32.0);
+}
+
+TEST(FunctionsTest, GeoFamily) {
+  EXPECT_DOUBLE_EQ((*EvalOn("lat(point(34.5, 135.5))")).AsDouble(), 34.5);
+  EXPECT_DOUBLE_EQ((*EvalOn("lon(point(34.5, 135.5))")).AsDouble(), 135.5);
+  EXPECT_NEAR((*EvalOn("distance_m(point(0,0), point(1,0))")).AsDouble(),
+              111195, 200);
+  EXPECT_TRUE(
+      (*EvalOn("in_bbox(point(34.5, 135.5), 34, 135, 35, 136)")).AsBool());
+  EXPECT_FALSE(
+      (*EvalOn("in_bbox(point(33.5, 135.5), 34, 135, 35, 136)")).AsBool());
+  // Corner order does not matter.
+  EXPECT_TRUE(
+      (*EvalOn("in_bbox(point(34.5, 135.5), 35, 136, 34, 135)")).AsBool());
+  // CRS conversion in-language.
+  EXPECT_NEAR((*EvalOn("lat(convert_crs(convert_crs(point(34.69, 135.50), "
+                       "'wgs84', 'webmercator'), 'webmercator', 'wgs84'))"))
+                  .AsDouble(),
+              34.69, 1e-6);
+  // Distance to own location via metadata.
+  auto schema = TempSchema();
+  auto tuple = TempTuple(schema, 20.0, 0, stt::GeoPoint{34.70, 135.44});
+  auto bound = *BoundExpr::Parse(
+      "distance_m(point($lat, $lon), point(34.70, 135.44)) < 1", schema);
+  EXPECT_TRUE(*bound.EvalPredicate(tuple));
+}
+
+// Property: evaluator agrees with a trivial reference implementation on
+// random arithmetic expressions.
+TEST(EvalTest, ArithmeticAgainstOracle) {
+  Rng rng(23);
+  auto schema = TempSchema();
+  for (int i = 0; i < 300; ++i) {
+    int64_t a = rng.NextInt(-50, 50);
+    int64_t b = rng.NextInt(-50, 50);
+    int64_t c = rng.NextInt(1, 20);
+    std::string src = sl::StrFormat("(%lld + %lld) * %lld - %lld %% %lld",
+                                static_cast<long long>(a),
+                                static_cast<long long>(b),
+                                static_cast<long long>(c),
+                                static_cast<long long>(a),
+                                static_cast<long long>(c));
+    auto bound = BoundExpr::Parse(src, schema);
+    ASSERT_TRUE(bound.ok()) << src;
+    auto v = bound->Eval(TempTuple(schema, 0, 0));
+    ASSERT_TRUE(v.ok());
+    int64_t expect = (a + b) * c - a % c;
+    EXPECT_EQ(v->AsInt(), expect) << src;
+  }
+}
+
+}  // namespace
+}  // namespace sl::expr

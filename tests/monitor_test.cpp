@@ -1,0 +1,160 @@
+// Unit tests for the monitor module (src/monitor).
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+
+namespace sl::monitor {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SL_ASSERT_OK(net_.AddNode({"a", 1000.0, {}}));
+    SL_ASSERT_OK(net_.AddNode({"b", 2000.0, {}}));
+    SL_ASSERT_OK(net_.AddLink({"a", "b", 1, 1000.0}));
+    monitor_.set_window(duration::kSecond);
+  }
+  net::EventLoop loop_;
+  net::Network net_{&loop_};
+  Monitor monitor_{&loop_, &net_};
+};
+
+TEST_F(MonitorTest, PeriodicTicksCollectReports) {
+  SL_ASSERT_OK(monitor_.Start());
+  EXPECT_TRUE(monitor_.running());
+  EXPECT_TRUE(monitor_.Start().IsFailedPrecondition());
+  loop_.RunFor(3 * duration::kSecond + 10);
+  EXPECT_EQ(monitor_.reports().size(), 3u);
+  ASSERT_NE(monitor_.latest(), nullptr);
+  EXPECT_EQ(monitor_.latest()->nodes.size(), 2u);
+  monitor_.Stop();
+  loop_.RunFor(5 * duration::kSecond);
+  EXPECT_EQ(monitor_.reports().size(), 3u);
+}
+
+TEST_F(MonitorTest, NodeUtilizationAndBusiest) {
+  SL_ASSERT_OK(net_.ReportWork("a", 800));   // 80% of capacity-second
+  SL_ASSERT_OK(net_.ReportWork("b", 400));   // 20%
+  SL_ASSERT_OK(monitor_.Start());
+  loop_.RunFor(duration::kSecond);
+  const MonitorReport* report = monitor_.latest();
+  ASSERT_NE(report, nullptr);
+  const NodeSample* busiest = report->BusiestNode();
+  ASSERT_NE(busiest, nullptr);
+  EXPECT_EQ(busiest->node_id, "a");
+  EXPECT_NEAR(busiest->utilization, 0.8, 1e-9);
+  // Window counters were reset by the sample.
+  EXPECT_DOUBLE_EQ((*net_.node("a"))->work_in_window, 0.0);
+}
+
+TEST_F(MonitorTest, OperatorSamplerFeedsReports) {
+  monitor_.set_operator_sampler([](Duration window) {
+    OperatorSample s;
+    s.dataflow = "df";
+    s.op_name = "filter_1";
+    s.node_id = "a";
+    s.in_per_sec = 1000.0 / static_cast<double>(window) * 1000.0;
+    s.total_in = 1000;
+    return std::vector<OperatorSample>{s};
+  });
+  SL_ASSERT_OK(monitor_.Start());
+  loop_.RunFor(duration::kSecond);
+  ASSERT_EQ(monitor_.latest()->operators.size(), 1u);
+  EXPECT_EQ(monitor_.latest()->operators[0].op_name, "filter_1");
+  EXPECT_NEAR(monitor_.latest()->operators[0].in_per_sec, 1000.0, 1e-6);
+}
+
+TEST_F(MonitorTest, TickListenerRuns) {
+  int ticks = 0;
+  monitor_.set_tick_listener([&](const MonitorReport&) { ++ticks; });
+  SL_ASSERT_OK(monitor_.Start());
+  loop_.RunFor(2 * duration::kSecond);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST_F(MonitorTest, HistoryBounded) {
+  monitor_.set_history_limit(5);
+  SL_ASSERT_OK(monitor_.Start());
+  loop_.RunFor(20 * duration::kSecond);
+  EXPECT_EQ(monitor_.reports().size(), 5u);
+  // The retained reports are the most recent ones.
+  EXPECT_EQ(monitor_.reports().back().at, loop_.Now());
+}
+
+TEST_F(MonitorTest, AssignmentLogAndFreeformLog) {
+  monitor_.RecordAssignment("df", "op1", "", "a");
+  monitor_.RecordAssignment("df", "op1", "a", "b");
+  ASSERT_EQ(monitor_.assignment_changes().size(), 2u);
+  EXPECT_NE(monitor_.assignment_changes()[0].ToString().find("placed on a"),
+            std::string::npos);
+  EXPECT_NE(monitor_.assignment_changes()[1].ToString().find("a -> b"),
+            std::string::npos);
+  monitor_.Log("hello");
+  ASSERT_EQ(monitor_.log_lines().size(), 1u);
+  EXPECT_NE(monitor_.log_lines()[0].find("hello"), std::string::npos);
+}
+
+TEST_F(MonitorTest, ReportRendering) {
+  SL_ASSERT_OK(net_.ReportWork("a", 950));
+  monitor_.set_operator_sampler([](Duration) {
+    OperatorSample s;
+    s.dataflow = "df";
+    s.op_name = "agg";
+    s.node_id = "a";
+    s.in_per_sec = 12.5;
+    s.cache_size = 42;
+    s.trigger_fires = 2;
+    return std::vector<OperatorSample>{s};
+  });
+  SL_ASSERT_OK(monitor_.Start());
+  loop_.RunFor(duration::kSecond);
+  std::string text = monitor_.latest()->ToString();
+  EXPECT_NE(text.find("df/agg"), std::string::npos);
+  EXPECT_NE(text.find("HIGH LOAD"), std::string::npos);
+  EXPECT_NE(text.find("fires 2"), std::string::npos);
+
+  std::string json = monitor_.latest()->ToJson();
+  EXPECT_NE(json.find("\"op\":\"agg\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_size\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\":["), std::string::npos);
+}
+
+TEST_F(MonitorTest, HistorySparklines) {
+  EXPECT_NE(monitor_.RenderHistory().find("no monitor history"),
+            std::string::npos);
+  int tick = 0;
+  monitor_.set_operator_sampler([&tick](Duration) {
+    OperatorSample s;
+    s.dataflow = "df";
+    s.op_name = "pump";
+    s.node_id = "a";
+    s.in_per_sec = 100.0 * (++tick);  // ramp
+    return std::vector<OperatorSample>{s};
+  });
+  SL_ASSERT_OK(monitor_.Start());
+  loop_.RunFor(6 * duration::kSecond);
+  std::string history = monitor_.RenderHistory();
+  EXPECT_NE(history.find("df/pump"), std::string::npos);
+  EXPECT_NE(history.find("peak 600 t/s"), std::string::npos);
+  EXPECT_NE(history.find("node a"), std::string::npos);
+  // The ramp renders as an increasing sparkline ending at the peak '#'.
+  EXPECT_NE(history.find("#|"), std::string::npos);
+  // Width bounds the window.
+  std::string narrow = monitor_.RenderHistory(2);
+  EXPECT_NE(narrow.find("2 tick(s)"), std::string::npos);
+}
+
+TEST_F(MonitorTest, ManualSampleWorksWithoutStart) {
+  SL_ASSERT_OK(net_.ReportWork("b", 100));
+  loop_.RunFor(500);
+  MonitorReport report = monitor_.Sample();
+  EXPECT_EQ(report.window, 500);
+  EXPECT_EQ(report.nodes.size(), 2u);
+  // Manual samples are not added to history.
+  EXPECT_TRUE(monitor_.reports().empty());
+}
+
+}  // namespace
+}  // namespace sl::monitor

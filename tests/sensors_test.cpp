@@ -1,0 +1,248 @@
+// Unit tests for sensor simulation (src/sensors): generators, fleet,
+// replay, the Osaka scenario fleet.
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.h"
+#include "sensors/generators.h"
+#include "sensors/osaka.h"
+#include "sensors/simulator.h"
+#include "tests/test_util.h"
+
+namespace sl::sensors {
+namespace {
+
+PhysicalConfig FastConfig(const std::string& id, uint64_t seed = 1) {
+  PhysicalConfig config;
+  config.id = id;
+  config.period = duration::kSecond;
+  config.temporal_granularity = duration::kSecond;
+  config.seed = seed;
+  return config;
+}
+
+// -------------------------------------------------------------- generators --
+
+TEST(GeneratorsTest, TemperatureDiurnalCycleAndDeterminism) {
+  auto a = MakeTemperatureSensor(FastConfig("t", 7), 20.0, 8.0, 0.0);
+  auto b = MakeTemperatureSensor(FastConfig("t", 7), 20.0, 8.0, 0.0);
+  ASSERT_NE(a, nullptr);
+  // Determinism: same seed, same sequence.
+  Timestamp twopm = 14 * duration::kHour;
+  Timestamp twoam = 2 * duration::kHour;
+  auto ta = *a->Generate(twopm);
+  auto tb = *b->Generate(twopm);
+  EXPECT_TRUE(ta.EqualsIgnoringSensor(tb));
+  // Peak near 14:00, trough near 02:00 (amplitude 8, no noise).
+  double afternoon = ta.value(0).AsDouble();
+  double night = (*a->Generate(twoam)).value(0).AsDouble();
+  EXPECT_GT(afternoon, 26.0);
+  EXPECT_LT(night, 14.0);
+}
+
+TEST(GeneratorsTest, TemperatureUnitHeterogeneity) {
+  auto c = MakeTemperatureSensor(FastConfig("tc"), 20.0, 0.0, 0.0, "celsius");
+  auto f = MakeTemperatureSensor(FastConfig("tf"), 20.0, 0.0, 0.0,
+                                 "fahrenheit");
+  double vc = (*c->Generate(0)).value(0).AsDouble();
+  double vf = (*f->Generate(0)).value(0).AsDouble();
+  EXPECT_NEAR(vf, vc * 9.0 / 5.0 + 32.0, 1e-9);
+  EXPECT_EQ((*f->info().schema->FieldByName("temp")).unit, "fahrenheit");
+}
+
+TEST(GeneratorsTest, HumidityBounded) {
+  auto h = MakeHumiditySensor(FastConfig("h", 3), 65.0, 30.0, 10.0);
+  for (int i = 0; i < 200; ++i) {
+    double v = (*h->Generate(i * duration::kMinute)).value(0).AsDouble();
+    EXPECT_GE(v, 5.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(GeneratorsTest, RainMostlyDryWithBursts) {
+  auto r = MakeRainSensor(FastConfig("r", 5), 0.05, 0.85, 8.0);
+  int dry = 0, torrential = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double mmh = (*r->Generate(i)).value(0).AsDouble();
+    EXPECT_GE(mmh, 0.0);
+    if (mmh == 0.0) ++dry;
+    if (mmh > 10.0) ++torrential;
+  }
+  EXPECT_GT(dry, 1000);        // mostly dry
+  EXPECT_GT(torrential, 10);   // but torrential episodes exist
+}
+
+TEST(GeneratorsTest, PressureAndWindSane) {
+  auto p = MakePressureSensor(FastConfig("p", 9));
+  auto w = MakeWindSensor(FastConfig("w", 11));
+  for (int i = 0; i < 500; ++i) {
+    double hpa = (*p->Generate(i)).value(0).AsDouble();
+    EXPECT_GE(hpa, 980.0);
+    EXPECT_LE(hpa, 1040.0);
+    auto gust = *w->Generate(i);
+    EXPECT_GE(gust.value(0).AsDouble(), 0.0);
+    int64_t dir = gust.value(1).AsInt();
+    EXPECT_GE(dir, 0);
+    EXPECT_LT(dir, 360);
+  }
+}
+
+TEST(GeneratorsTest, TweetsCarryLocationsAndKeywords) {
+  TweetConfig config;
+  config.id = "tw";
+  config.rain_keyword_fraction = 0.5;
+  config.seed = 13;
+  auto tw = MakeTweetSensor(config);
+  ASSERT_NE(tw, nullptr);
+  int rainy = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto t = *tw->Generate(i * 1000);
+    ASSERT_TRUE(t.location().has_value());
+    EXPECT_NEAR(t.location()->lat, config.center.lat, config.jitter_deg + 1e-9);
+    const std::string& text = t.value(0).AsString();
+    if (text.find("rain") != std::string::npos ||
+        text.find("storm") != std::string::npos ||
+        text.find("flood") != std::string::npos) {
+      ++rainy;
+    }
+  }
+  EXPECT_NEAR(rainy, 200, 60);
+  EXPECT_EQ(tw->info().schema->theme().ToString(), "social/tweet");
+}
+
+TEST(GeneratorsTest, TrafficRushHourSlowdown) {
+  TrafficConfig config;
+  config.id = "tr";
+  config.seed = 15;
+  auto tr = MakeTrafficSensor(config);
+  double rush_total = 0, free_total = 0;
+  for (int d = 0; d < 10; ++d) {
+    Timestamp day = d * duration::kDay;
+    rush_total += (*tr->Generate(day + 8 * duration::kHour)).value(0).AsDouble();
+    free_total += (*tr->Generate(day + 3 * duration::kHour)).value(0).AsDouble();
+  }
+  EXPECT_LT(rush_total, free_total * 0.7);
+  // Traffic relies on pub/sub enrichment.
+  EXPECT_FALSE(tr->info().provides_timestamp);
+  EXPECT_FALSE(tr->info().provides_location);
+}
+
+TEST(GeneratorsTest, ReplayCyclesRecording) {
+  auto schema = sl::testing::TempSchema();
+  std::vector<stt::Tuple> recording = {
+      sl::testing::TempTuple(schema, 1.0, 0),
+      sl::testing::TempTuple(schema, 2.0, 0),
+  };
+  pubsub::SensorInfo info;
+  info.id = "rp";
+  info.type = "replay";
+  info.schema = schema;
+  info.period = duration::kSecond;
+  info.location = stt::GeoPoint{0, 0};
+  auto replay = MakeReplaySensor(info, recording);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_DOUBLE_EQ((*(*replay)->Generate(100)).value(0).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ((*(*replay)->Generate(200)).value(0).AsDouble(), 2.0);
+  auto third = *(*replay)->Generate(300);
+  EXPECT_DOUBLE_EQ(third.value(0).AsDouble(), 1.0);  // wraps around
+  EXPECT_EQ(third.timestamp(), 300);  // re-stamped to emission time
+
+  EXPECT_TRUE(MakeReplaySensor(info, {}).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------------ fleet --
+
+class FleetTest : public ::testing::Test {
+ protected:
+  net::EventLoop loop_;
+  pubsub::Broker broker_{&loop_.clock()};
+  SensorFleet fleet_{&loop_, &broker_};
+};
+
+TEST_F(FleetTest, AddPublishesAndEmits) {
+  SL_ASSERT_OK(fleet_.Add(MakeTemperatureSensor(FastConfig("t1"))));
+  EXPECT_TRUE(broker_.IsPublished("t1"));
+  int received = 0;
+  auto sub = broker_.SubscribeData("t1", [&](const stt::Tuple&) {
+    ++received;
+  });
+  ASSERT_TRUE(sub.ok());
+  loop_.RunFor(10 * duration::kSecond);
+  EXPECT_EQ(received, 10);
+  EXPECT_EQ(fleet_.total_emitted(), 10u);
+}
+
+TEST_F(FleetTest, InactiveSensorIsPublishedButSilent) {
+  SL_ASSERT_OK(fleet_.Add(MakeTemperatureSensor(FastConfig("t1")),
+                          /*start_active=*/false));
+  EXPECT_TRUE(broker_.IsPublished("t1"));
+  loop_.RunFor(5 * duration::kSecond);
+  EXPECT_EQ(fleet_.total_emitted(), 0u);
+  EXPECT_FALSE((*fleet_.Find("t1"))->running());
+}
+
+TEST_F(FleetTest, ActivateDeactivateCycle) {
+  SL_ASSERT_OK(fleet_.Add(MakeTemperatureSensor(FastConfig("t1")),
+                          /*start_active=*/false));
+  SL_ASSERT_OK(fleet_.Activate("t1"));
+  loop_.RunFor(3 * duration::kSecond);
+  uint64_t after_active = fleet_.total_emitted();
+  EXPECT_EQ(after_active, 3u);
+  SL_ASSERT_OK(fleet_.Deactivate("t1"));
+  loop_.RunFor(5 * duration::kSecond);
+  EXPECT_EQ(fleet_.total_emitted(), after_active);
+  // Re-activation resumes.
+  SL_ASSERT_OK(fleet_.Activate("t1"));
+  loop_.RunFor(2 * duration::kSecond);
+  EXPECT_EQ(fleet_.total_emitted(), after_active + 2);
+  // Idempotent activation.
+  SL_ASSERT_OK(fleet_.Activate("t1"));
+  EXPECT_TRUE(fleet_.Activate("ghost").IsNotFound());
+}
+
+TEST_F(FleetTest, RemoveUnpublishes) {
+  SL_ASSERT_OK(fleet_.Add(MakeTemperatureSensor(FastConfig("t1"))));
+  SL_ASSERT_OK(fleet_.Remove("t1"));
+  EXPECT_FALSE(broker_.IsPublished("t1"));
+  EXPECT_EQ(fleet_.size(), 0u);
+  loop_.RunFor(5 * duration::kSecond);  // no stray emissions
+  EXPECT_TRUE(fleet_.Remove("t1").IsNotFound());
+}
+
+TEST_F(FleetTest, DuplicateAddRejected) {
+  SL_ASSERT_OK(fleet_.Add(MakeTemperatureSensor(FastConfig("t1"))));
+  EXPECT_TRUE(fleet_.Add(MakeTemperatureSensor(FastConfig("t1")))
+                  .IsAlreadyExists());
+  EXPECT_TRUE(fleet_.Add(nullptr).IsInvalidArgument());
+}
+
+// ------------------------------------------------------------ osaka fleet --
+
+TEST_F(FleetTest, OsakaFleetManifest) {
+  OsakaFleetOptions options;
+  options.node_ids = {"n0", "n1"};
+  auto manifest = BuildOsakaFleet(&fleet_, options);
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+  EXPECT_EQ(manifest->temperature.size(), 4u);
+  EXPECT_EQ(manifest->humidity.size(), 2u);
+  EXPECT_EQ(manifest->rain.size(), 3u);
+  EXPECT_EQ(manifest->tweets.size(), 2u);
+  EXPECT_EQ(manifest->traffic.size(), 3u);
+  EXPECT_EQ(manifest->reactive().size(), 8u);
+  EXPECT_EQ(broker_.size(), 14u);
+  // Heterogeneity: the fourth temperature sensor reports Fahrenheit.
+  auto t3 = *broker_.Find(manifest->temperature[3]);
+  EXPECT_EQ((*t3.schema->FieldByName("temp")).unit, "fahrenheit");
+  auto t0 = *broker_.Find(manifest->temperature[0]);
+  EXPECT_EQ((*t0.schema->FieldByName("temp")).unit, "celsius");
+  // Reactive sensors start silent; weather ones run.
+  loop_.RunFor(2 * duration::kMinute);
+  EXPECT_FALSE((*fleet_.Find(manifest->rain[0]))->running());
+  EXPECT_TRUE((*fleet_.Find(manifest->temperature[0]))->running());
+  EXPECT_GT(fleet_.total_emitted(), 0u);
+  // Node assignment is round-robin over the given nodes.
+  EXPECT_EQ(t0.node_id, "n0");
+}
+
+}  // namespace
+}  // namespace sl::sensors

@@ -1,0 +1,210 @@
+// Unit + property tests for geometry/CRS (src/stt/geo.h) and units of
+// measure (src/stt/units.h).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stt/geo.h"
+#include "stt/units.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace sl::stt {
+namespace {
+
+// ------------------------------------------------------------------- geo --
+
+TEST(GeoTest, BBoxContainsAndIntersects) {
+  BBox box{{34.0, 135.0}, {35.0, 136.0}};
+  EXPECT_TRUE(box.IsValid());
+  EXPECT_TRUE(box.Contains({34.5, 135.5}));
+  EXPECT_TRUE(box.Contains({34.0, 135.0}));  // border inclusive
+  EXPECT_FALSE(box.Contains({33.9, 135.5}));
+  EXPECT_FALSE(box.Contains({34.5, 136.1}));
+
+  BBox other{{34.9, 135.9}, {36.0, 137.0}};
+  EXPECT_TRUE(box.Intersects(other));
+  EXPECT_TRUE(other.Intersects(box));
+  BBox disjoint{{36.0, 135.0}, {37.0, 136.0}};
+  EXPECT_FALSE(box.Intersects(disjoint));
+}
+
+TEST(GeoTest, NormalizeBBoxAcceptsAnyCornerOrder) {
+  BBox a = NormalizeBBox({35.0, 136.0}, {34.0, 135.0});
+  EXPECT_TRUE(a.IsValid());
+  EXPECT_DOUBLE_EQ(a.lo.lat, 34.0);
+  EXPECT_DOUBLE_EQ(a.hi.lon, 136.0);
+  BBox b = NormalizeBBox({34.0, 136.0}, {35.0, 135.0});  // mixed corners
+  EXPECT_TRUE(b.IsValid());
+  EXPECT_TRUE(b.Contains({34.5, 135.5}));
+}
+
+TEST(GeoTest, HaversineKnownDistances) {
+  // Osaka station -> Kyoto station is about 42.5 km.
+  GeoPoint osaka{34.7025, 135.4959};
+  GeoPoint kyoto{34.9858, 135.7588};
+  double d = HaversineMeters(osaka, kyoto);
+  EXPECT_NEAR(d, 39500, 2500);
+  // Zero distance.
+  EXPECT_DOUBLE_EQ(HaversineMeters(osaka, osaka), 0.0);
+  // One degree of latitude is about 111.2 km.
+  EXPECT_NEAR(HaversineMeters({0, 0}, {1, 0}), 111195, 200);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    GeoPoint a{rng.NextDouble(-89, 89), rng.NextDouble(-179, 179)};
+    GeoPoint b{rng.NextDouble(-89, 89), rng.NextDouble(-179, 179)};
+    EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+    EXPECT_GE(HaversineMeters(a, b), 0.0);
+  }
+}
+
+TEST(CrsTest, Names) {
+  EXPECT_EQ(*CrsFromString("WGS84"), Crs::kWgs84);
+  EXPECT_EQ(*CrsFromString("epsg:3857"), Crs::kWebMercator);
+  EXPECT_EQ(*CrsFromString("tokyo"), Crs::kTokyoDatum);
+  EXPECT_FALSE(CrsFromString("mars2000").ok());
+  EXPECT_STREQ(CrsToString(Crs::kWebMercator), "WebMercator");
+}
+
+TEST(CrsTest, IdentityConversion) {
+  GeoPoint p{34.69, 135.50};
+  auto out = ConvertCrs(p, Crs::kWgs84, Crs::kWgs84);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, p);
+}
+
+TEST(CrsTest, MercatorKnownPoint) {
+  // Equator/prime meridian maps to the Mercator origin.
+  auto origin = ConvertCrs({0, 0}, Crs::kWgs84, Crs::kWebMercator);
+  ASSERT_TRUE(origin.ok());
+  EXPECT_NEAR(origin->lat, 0.0, 1e-6);  // y
+  EXPECT_NEAR(origin->lon, 0.0, 1e-6);  // x
+  // Osaka: x = R * lon(rad).
+  auto osaka = ConvertCrs({34.69, 135.50}, Crs::kWgs84, Crs::kWebMercator);
+  ASSERT_TRUE(osaka.ok());
+  EXPECT_NEAR(osaka->lon, 6378137.0 * 135.50 * M_PI / 180.0, 1.0);
+}
+
+TEST(CrsTest, TokyoDatumShiftIsLocal) {
+  // The Tokyo datum differs from WGS84 by hundreds of meters in Japan.
+  GeoPoint osaka{34.69, 135.50};
+  auto tokyo = ConvertCrs(osaka, Crs::kWgs84, Crs::kTokyoDatum);
+  ASSERT_TRUE(tokyo.ok());
+  double shift = HaversineMeters(osaka, *tokyo);
+  EXPECT_GT(shift, 100.0);
+  EXPECT_LT(shift, 1000.0);
+}
+
+TEST(CrsTest, RejectsBadInput) {
+  EXPECT_FALSE(ConvertCrs({91.0, 0.0}, Crs::kWgs84, Crs::kWebMercator).ok());
+  EXPECT_FALSE(ConvertCrs({0.0, 181.0}, Crs::kWgs84, Crs::kTokyoDatum).ok());
+  EXPECT_FALSE(
+      ConvertCrs({std::nan(""), 0.0}, Crs::kWgs84, Crs::kWgs84).ok());
+}
+
+// Property: WGS84 -> X -> WGS84 is near-identity for both CRSs.
+class CrsRoundTrip : public ::testing::TestWithParam<Crs> {};
+
+TEST_P(CrsRoundTrip, RoundTripsNearIdentity) {
+  Rng rng(13);
+  double tolerance_m = GetParam() == Crs::kWebMercator ? 0.01 : 20.0;
+  for (int i = 0; i < 200; ++i) {
+    // Stay within Japan-ish latitudes where the Tokyo approximation is
+    // meaningful.
+    GeoPoint p{rng.NextDouble(24, 46), rng.NextDouble(123, 146)};
+    auto there = ConvertCrs(p, Crs::kWgs84, GetParam());
+    ASSERT_TRUE(there.ok());
+    auto back = ConvertCrs(*there, GetParam(), Crs::kWgs84);
+    ASSERT_TRUE(back.ok());
+    EXPECT_LT(HaversineMeters(p, *back), tolerance_m)
+        << p.ToString() << " -> " << back->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCrs, CrsRoundTrip,
+                         ::testing::Values(Crs::kWebMercator,
+                                           Crs::kTokyoDatum));
+
+// ----------------------------------------------------------------- units --
+
+TEST(UnitsTest, KnownConversions) {
+  EXPECT_NEAR(*ConvertUnit(1.0, "yd", "m"), 0.9144, 1e-12);
+  EXPECT_NEAR(*ConvertUnit(100.0, "m", "yd"), 109.361, 0.001);
+  EXPECT_NEAR(*ConvertUnit(1.0, "mi", "km"), 1.609344, 1e-9);
+  EXPECT_NEAR(*ConvertUnit(0.0, "celsius", "fahrenheit"), 32.0, 1e-9);
+  EXPECT_NEAR(*ConvertUnit(100.0, "celsius", "fahrenheit"), 212.0, 1e-9);
+  EXPECT_NEAR(*ConvertUnit(300.0, "kelvin", "celsius"), 26.85, 1e-9);
+  EXPECT_NEAR(*ConvertUnit(36.0, "km/h", "m/s"), 10.0, 1e-9);
+  EXPECT_NEAR(*ConvertUnit(1.0, "atm", "hpa"), 1013.25, 1e-9);
+  EXPECT_NEAR(*ConvertUnit(1.0, "in/h", "mm/h"), 25.4, 1e-9);
+  EXPECT_NEAR(*ConvertUnit(0.5, "fraction", "percent"), 50.0, 1e-9);
+}
+
+TEST(UnitsTest, AliasesAndCaseInsensitivity) {
+  EXPECT_TRUE(UnitRegistry::Global().Contains("Yards"));
+  EXPECT_TRUE(UnitRegistry::Global().Contains("DEGC"));
+  EXPECT_NEAR(*ConvertUnit(1.0, "yards", "meters"), 0.9144, 1e-12);
+}
+
+TEST(UnitsTest, RejectsUnknownAndMismatched) {
+  EXPECT_TRUE(ConvertUnit(1.0, "cubit", "m").status().IsNotFound());
+  EXPECT_TRUE(ConvertUnit(1.0, "m", "celsius").status().IsTypeError());
+}
+
+TEST(UnitsTest, RegisterRejectsDuplicates) {
+  UnitRegistry registry;
+  SL_EXPECT_OK(registry.Register({"m", Dimension::kLength, 1.0, 0.0}));
+  EXPECT_TRUE(registry.Register({"m", Dimension::kLength, 1.0, 0.0})
+                  .IsAlreadyExists());
+  EXPECT_TRUE(registry
+                  .Register({"x", Dimension::kLength, 1.0, 0.0}, {"m"})
+                  .IsAlreadyExists());
+}
+
+TEST(UnitsTest, RuntimeExtension) {
+  // A sensor may publish a new unit; conversion then works through the
+  // shared base.
+  UnitRegistry registry;
+  SL_EXPECT_OK(registry.Register({"m", Dimension::kLength, 1.0, 0.0}));
+  SL_EXPECT_OK(registry.Register({"shaku", Dimension::kLength, 0.30303, 0.0}));
+  EXPECT_NEAR(*registry.Convert(10.0, "shaku", "m"), 3.0303, 1e-9);
+}
+
+// Property: conversion there-and-back is the identity within any
+// dimension (affine maps are invertible).
+TEST(UnitsTest, ConversionRoundTrip) {
+  const auto& registry = UnitRegistry::Global();
+  Rng rng(19);
+  auto names = registry.CanonicalNames();
+  for (const auto& from : names) {
+    for (const auto& to : names) {
+      UnitDef a = *registry.Find(from);
+      UnitDef b = *registry.Find(to);
+      if (a.dimension != b.dimension) continue;
+      double v = rng.NextDouble(-500, 500);
+      auto there = registry.Convert(v, from, to);
+      ASSERT_TRUE(there.ok());
+      auto back = registry.Convert(*there, to, from);
+      ASSERT_TRUE(back.ok());
+      EXPECT_NEAR(*back, v, 1e-7) << from << " <-> " << to;
+    }
+  }
+}
+
+TEST(UnitsTest, ApparentTemperature) {
+  // Dry, mild air feels cooler than the thermometer.
+  EXPECT_LT(ApparentTemperatureC(20.0, 20.0), 20.0);
+  // Hot, humid air feels hotter.
+  EXPECT_GT(ApparentTemperatureC(32.0, 80.0), 32.0);
+  // Monotone in humidity.
+  EXPECT_LT(ApparentTemperatureC(30.0, 30.0), ApparentTemperatureC(30.0, 90.0));
+  // Monotone in temperature.
+  EXPECT_LT(ApparentTemperatureC(20.0, 50.0), ApparentTemperatureC(30.0, 50.0));
+}
+
+}  // namespace
+}  // namespace sl::stt

@@ -1,0 +1,216 @@
+// Unit + property tests for the multigranular STT dimensions
+// (src/stt/granularity.h): the lattice laws the dataflow checker's
+// consistency constraints rest on.
+
+#include <gtest/gtest.h>
+
+#include "stt/granularity.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace sl::stt {
+namespace {
+
+// ------------------------------------------------------------- temporal --
+
+TEST(TemporalGranularityTest, MakeRejectsNonPositive) {
+  EXPECT_FALSE(TemporalGranularity::Make(0).ok());
+  EXPECT_FALSE(TemporalGranularity::Make(-5).ok());
+  EXPECT_TRUE(TemporalGranularity::Make(1).ok());
+}
+
+TEST(TemporalGranularityTest, NamedConstructors) {
+  EXPECT_EQ(TemporalGranularity::Second().period(), 1000);
+  EXPECT_EQ(TemporalGranularity::Minute().period(), 60000);
+  EXPECT_EQ(TemporalGranularity::Hour().period(), 3600000);
+  EXPECT_EQ(TemporalGranularity::Day().period(), 86400000);
+}
+
+TEST(TemporalGranularityTest, RefinesByDivisibility) {
+  auto s = TemporalGranularity::Second();
+  auto m = TemporalGranularity::Minute();
+  auto ninety_s = *TemporalGranularity::Make(90 * duration::kSecond);
+  EXPECT_TRUE(s.RefinesOrEquals(m));
+  EXPECT_FALSE(m.RefinesOrEquals(s));
+  EXPECT_TRUE(m.RefinesOrEquals(m));
+  // 90 s and 60 s are incomparable: neither divides the other.
+  EXPECT_FALSE(ninety_s.RefinesOrEquals(m));
+  EXPECT_FALSE(m.RefinesOrEquals(ninety_s));
+  EXPECT_FALSE(m.ComparableWith(ninety_s));
+}
+
+TEST(TemporalGranularityTest, JoinPicksCoarser) {
+  auto s = TemporalGranularity::Second();
+  auto h = TemporalGranularity::Hour();
+  EXPECT_EQ(*s.JoinWith(h), h);
+  EXPECT_EQ(*h.JoinWith(s), h);
+  EXPECT_EQ(*h.JoinWith(h), h);
+  auto ninety = *TemporalGranularity::Make(90 * duration::kSecond);
+  EXPECT_TRUE(ninety.JoinWith(TemporalGranularity::Minute())
+                  .status()
+                  .IsValidationError());
+}
+
+TEST(TemporalGranularityTest, TruncateFloors) {
+  auto m = TemporalGranularity::Minute();
+  EXPECT_EQ(m.Truncate(61999), 60000);
+  EXPECT_EQ(m.Truncate(60000), 60000);
+  EXPECT_EQ(m.Truncate(59999), 0);
+  EXPECT_EQ(m.Truncate(-1), -60000);  // floor, not trunc-toward-zero
+  EXPECT_TRUE(m.SamePeriod(60001, 119999));
+  EXPECT_FALSE(m.SamePeriod(59999, 60000));
+}
+
+TEST(TemporalGranularityTest, ParseForms) {
+  EXPECT_EQ((*TemporalGranularity::Parse("1s")).period(), 1000);
+  EXPECT_EQ((*TemporalGranularity::Parse("500ms")).period(), 500);
+  EXPECT_EQ((*TemporalGranularity::Parse("10m")).period(), 600000);
+  EXPECT_EQ((*TemporalGranularity::Parse("2h")).period(), 7200000);
+  EXPECT_EQ((*TemporalGranularity::Parse("1d")).period(), 86400000);
+  EXPECT_EQ((*TemporalGranularity::Parse("1.5s")).period(), 1500);
+  EXPECT_EQ((*TemporalGranularity::Parse(" 250 ")).period(), 250);
+}
+
+TEST(TemporalGranularityTest, ParseRejects) {
+  EXPECT_FALSE(TemporalGranularity::Parse("").ok());
+  EXPECT_FALSE(TemporalGranularity::Parse("fast").ok());
+  EXPECT_FALSE(TemporalGranularity::Parse("1x").ok());
+  EXPECT_FALSE(TemporalGranularity::Parse("0s").ok());
+  EXPECT_FALSE(TemporalGranularity::Parse("0.0001ms").ok());
+}
+
+TEST(TemporalGranularityTest, ToStringShortestForm) {
+  EXPECT_EQ(TemporalGranularity::Hour().ToString(), "1h");
+  EXPECT_EQ((*TemporalGranularity::Make(90000)).ToString(), "90s");
+  EXPECT_EQ((*TemporalGranularity::Make(1500)).ToString(), "1500ms");
+  EXPECT_EQ((*TemporalGranularity::Make(2 * duration::kDay)).ToString(), "2d");
+}
+
+// Property: ToString -> Parse round-trips.
+TEST(TemporalGranularityTest, ParseToStringRoundTrip) {
+  Rng rng(21);
+  for (int i = 0; i < 300; ++i) {
+    Duration period = rng.NextInt(1, 1000000);
+    auto g = *TemporalGranularity::Make(period);
+    auto back = TemporalGranularity::Parse(g.ToString());
+    ASSERT_TRUE(back.ok()) << g.ToString();
+    EXPECT_EQ(*back, g);
+  }
+}
+
+// Property suite over random granularity pairs: lattice laws.
+class TemporalLatticeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TemporalLatticeProperty, JoinLaws) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    // Compose periods from small factors so comparable pairs are common.
+    auto random_period = [&rng] {
+      static const Duration kFactors[] = {1, 2, 5, 10, 60, 1000};
+      Duration p = 1;
+      for (int k = 0; k < 3; ++k) p *= kFactors[rng.NextBounded(6)];
+      return p;
+    };
+    auto a = *TemporalGranularity::Make(random_period());
+    auto b = *TemporalGranularity::Make(random_period());
+
+    // Reflexivity and symmetry of comparability.
+    EXPECT_TRUE(a.ComparableWith(a));
+    EXPECT_EQ(a.ComparableWith(b), b.ComparableWith(a));
+
+    auto join_ab = a.JoinWith(b);
+    auto join_ba = b.JoinWith(a);
+    ASSERT_EQ(join_ab.ok(), join_ba.ok());
+    if (join_ab.ok()) {
+      // Commutativity; upper bound; idempotence on equal inputs.
+      EXPECT_EQ(*join_ab, *join_ba);
+      EXPECT_TRUE(a.RefinesOrEquals(*join_ab));
+      EXPECT_TRUE(b.RefinesOrEquals(*join_ab));
+      // The join is one of the operands (total order on chains).
+      EXPECT_TRUE(*join_ab == a || *join_ab == b);
+      // Truncating at the finer granularity first never changes the
+      // coarser truncation (a's periods nest inside the join's), and
+      // truncation is idempotent.
+      Timestamp ts = rng.NextInt(0, 4102444800000LL);
+      EXPECT_EQ(join_ab->Truncate(a.Truncate(ts)), join_ab->Truncate(ts));
+      EXPECT_EQ(join_ab->Truncate(join_ab->Truncate(ts)),
+                join_ab->Truncate(ts));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalLatticeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// -------------------------------------------------------------- spatial --
+
+TEST(SpatialGranularityTest, PointRefinesEverything) {
+  auto p = SpatialGranularity::Point();
+  auto cell = *SpatialGranularity::MakeCell(0.01);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_TRUE(p.RefinesOrEquals(cell));
+  EXPECT_FALSE(cell.RefinesOrEquals(p));
+  EXPECT_TRUE(p.ComparableWith(cell));
+}
+
+TEST(SpatialGranularityTest, MakeCellValidation) {
+  EXPECT_FALSE(SpatialGranularity::MakeCell(0).ok());
+  EXPECT_FALSE(SpatialGranularity::MakeCell(-1).ok());
+  EXPECT_FALSE(SpatialGranularity::MakeCell(1e-9).ok());
+  EXPECT_FALSE(SpatialGranularity::MakeCell(400).ok());
+  EXPECT_TRUE(SpatialGranularity::MakeCell(0.000001).ok());
+  EXPECT_TRUE(SpatialGranularity::MakeCell(1.0).ok());
+}
+
+TEST(SpatialGranularityTest, RefinementByCellMultiples) {
+  auto fine = *SpatialGranularity::MakeCell(0.01);
+  auto coarse = *SpatialGranularity::MakeCell(0.05);
+  auto odd = *SpatialGranularity::MakeCell(0.03);
+  EXPECT_TRUE(fine.RefinesOrEquals(coarse));
+  EXPECT_FALSE(coarse.RefinesOrEquals(fine));
+  EXPECT_FALSE(odd.ComparableWith(coarse));
+  EXPECT_EQ(*fine.JoinWith(coarse), coarse);
+  EXPECT_TRUE(odd.JoinWith(coarse).status().IsValidationError());
+}
+
+TEST(SpatialGranularityTest, CellIndexAndSnap) {
+  auto cell = *SpatialGranularity::MakeCell(0.5);
+  EXPECT_EQ(cell.CellIndex(0.0), 0);
+  EXPECT_EQ(cell.CellIndex(0.49), 0);
+  EXPECT_EQ(cell.CellIndex(0.5), 1);
+  EXPECT_EQ(cell.CellIndex(-0.1), -1);
+  EXPECT_DOUBLE_EQ(cell.SnapToCellCenter(0.3), 0.25);
+  EXPECT_DOUBLE_EQ(cell.SnapToCellCenter(-0.3), -0.25);
+  EXPECT_TRUE(cell.SameCell(0.1, 0.4));
+  EXPECT_FALSE(cell.SameCell(0.4, 0.6));
+  // Point granularity: snap is the identity.
+  EXPECT_DOUBLE_EQ(SpatialGranularity::Point().SnapToCellCenter(1.2345),
+                   1.2345);
+}
+
+TEST(SpatialGranularityTest, ParseToStringRoundTrip) {
+  EXPECT_TRUE((*SpatialGranularity::Parse("point")).is_point());
+  EXPECT_DOUBLE_EQ((*SpatialGranularity::Parse("0.01deg")).cell_deg(), 0.01);
+  EXPECT_DOUBLE_EQ((*SpatialGranularity::Parse("0.25")).cell_deg(), 0.25);
+  EXPECT_FALSE(SpatialGranularity::Parse("wide").ok());
+  EXPECT_EQ(SpatialGranularity::Point().ToString(), "point");
+  auto g = *SpatialGranularity::MakeCell(0.05);
+  EXPECT_EQ(*SpatialGranularity::Parse(g.ToString()), g);
+}
+
+// Property: snapping is idempotent and stays within the cell.
+TEST(SpatialGranularityTest, SnapProperties) {
+  Rng rng(31);
+  for (int i = 0; i < 300; ++i) {
+    double size = static_cast<double>(rng.NextInt(1, 1000000)) / 1e6;
+    auto cell = *SpatialGranularity::MakeCell(size);
+    double x = rng.NextDouble(-180, 180);
+    double snapped = cell.SnapToCellCenter(x);
+    EXPECT_EQ(cell.CellIndex(snapped), cell.CellIndex(x))
+        << "size=" << size << " x=" << x;
+    EXPECT_DOUBLE_EQ(cell.SnapToCellCenter(snapped), snapped);
+  }
+}
+
+}  // namespace
+}  // namespace sl::stt

@@ -1,0 +1,73 @@
+// Shared helpers for the StreamLoader test suite.
+
+#ifndef STREAMLOADER_TESTS_TEST_UTIL_H_
+#define STREAMLOADER_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "stt/schema.h"
+#include "stt/tuple.h"
+
+namespace sl::testing {
+
+/// Asserts a Status is OK with a useful message.
+#define SL_EXPECT_OK(expr)                                 \
+  do {                                                     \
+    const ::sl::Status _s = (expr);                        \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();   \
+  } while (false)
+
+#define SL_ASSERT_OK(expr)                                 \
+  do {                                                     \
+    const ::sl::Status _s = (expr);                        \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();   \
+  } while (false)
+
+/// {temp: double[celsius], station: string} @1m/point, weather/temperature.
+inline stt::SchemaPtr TempSchema(
+    Duration granularity_ms = duration::kMinute) {
+  auto tgran = stt::TemporalGranularity::Make(granularity_ms);
+  auto theme = stt::Theme::Parse("weather/temperature");
+  auto schema = stt::Schema::Make(
+      {{"temp", stt::ValueType::kDouble, "celsius", false},
+       {"station", stt::ValueType::kString, "", true}},
+      *tgran, stt::SpatialGranularity::Point(), *theme);
+  return *schema;
+}
+
+/// One temperature tuple.
+inline stt::Tuple TempTuple(const stt::SchemaPtr& schema, double temp,
+                            Timestamp ts,
+                            std::optional<stt::GeoPoint> loc = stt::GeoPoint{
+                                34.69, 135.50},
+                            const std::string& sensor = "t0") {
+  return stt::Tuple::MakeUnsafe(
+      schema, {stt::Value::Double(temp), stt::Value::String("osaka")}, ts,
+      loc, sensor);
+}
+
+/// {rain: double[mm/h]} @1m/point, weather/rain.
+inline stt::SchemaPtr RainSchema(Duration granularity_ms = duration::kMinute) {
+  auto tgran = stt::TemporalGranularity::Make(granularity_ms);
+  auto theme = stt::Theme::Parse("weather/rain");
+  auto schema = stt::Schema::Make(
+      {{"rain", stt::ValueType::kDouble, "mm/h", false}}, *tgran,
+      stt::SpatialGranularity::Point(), *theme);
+  return *schema;
+}
+
+inline stt::Tuple RainTuple(const stt::SchemaPtr& schema, double mmh,
+                            Timestamp ts,
+                            std::optional<stt::GeoPoint> loc = stt::GeoPoint{
+                                34.60, 135.46},
+                            const std::string& sensor = "r0") {
+  return stt::Tuple::MakeUnsafe(schema, {stt::Value::Double(mmh)}, ts, loc,
+                                sensor);
+}
+
+}  // namespace sl::testing
+
+#endif  // STREAMLOADER_TESTS_TEST_UTIL_H_
