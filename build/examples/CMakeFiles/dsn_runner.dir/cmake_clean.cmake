@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsn_runner.dir/dsn_runner.cpp.o"
+  "CMakeFiles/dsn_runner.dir/dsn_runner.cpp.o.d"
+  "dsn_runner"
+  "dsn_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsn_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

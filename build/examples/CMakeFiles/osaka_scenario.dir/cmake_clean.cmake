@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osaka_scenario.dir/osaka_scenario.cpp.o"
+  "CMakeFiles/osaka_scenario.dir/osaka_scenario.cpp.o.d"
+  "osaka_scenario"
+  "osaka_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osaka_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

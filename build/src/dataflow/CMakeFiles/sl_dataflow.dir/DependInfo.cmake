@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/graph.cc" "src/dataflow/CMakeFiles/sl_dataflow.dir/graph.cc.o" "gcc" "src/dataflow/CMakeFiles/sl_dataflow.dir/graph.cc.o.d"
+  "/root/repo/src/dataflow/op_spec.cc" "src/dataflow/CMakeFiles/sl_dataflow.dir/op_spec.cc.o" "gcc" "src/dataflow/CMakeFiles/sl_dataflow.dir/op_spec.cc.o.d"
+  "/root/repo/src/dataflow/render.cc" "src/dataflow/CMakeFiles/sl_dataflow.dir/render.cc.o" "gcc" "src/dataflow/CMakeFiles/sl_dataflow.dir/render.cc.o.d"
+  "/root/repo/src/dataflow/validate.cc" "src/dataflow/CMakeFiles/sl_dataflow.dir/validate.cc.o" "gcc" "src/dataflow/CMakeFiles/sl_dataflow.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/sl_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/sl_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/stt/CMakeFiles/sl_stt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

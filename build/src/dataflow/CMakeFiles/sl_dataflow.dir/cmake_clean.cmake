@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_dataflow.dir/graph.cc.o"
+  "CMakeFiles/sl_dataflow.dir/graph.cc.o.d"
+  "CMakeFiles/sl_dataflow.dir/op_spec.cc.o"
+  "CMakeFiles/sl_dataflow.dir/op_spec.cc.o.d"
+  "CMakeFiles/sl_dataflow.dir/render.cc.o"
+  "CMakeFiles/sl_dataflow.dir/render.cc.o.d"
+  "CMakeFiles/sl_dataflow.dir/validate.cc.o"
+  "CMakeFiles/sl_dataflow.dir/validate.cc.o.d"
+  "libsl_dataflow.a"
+  "libsl_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsn/parser.cc" "src/dsn/CMakeFiles/sl_dsn.dir/parser.cc.o" "gcc" "src/dsn/CMakeFiles/sl_dsn.dir/parser.cc.o.d"
+  "/root/repo/src/dsn/spec.cc" "src/dsn/CMakeFiles/sl_dsn.dir/spec.cc.o" "gcc" "src/dsn/CMakeFiles/sl_dsn.dir/spec.cc.o.d"
+  "/root/repo/src/dsn/translate.cc" "src/dsn/CMakeFiles/sl_dsn.dir/translate.cc.o" "gcc" "src/dsn/CMakeFiles/sl_dsn.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/sl_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sl_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stt/CMakeFiles/sl_stt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/sl_pubsub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_dsn.dir/parser.cc.o"
+  "CMakeFiles/sl_dsn.dir/parser.cc.o.d"
+  "CMakeFiles/sl_dsn.dir/spec.cc.o"
+  "CMakeFiles/sl_dsn.dir/spec.cc.o.d"
+  "CMakeFiles/sl_dsn.dir/translate.cc.o"
+  "CMakeFiles/sl_dsn.dir/translate.cc.o.d"
+  "libsl_dsn.a"
+  "libsl_dsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_dsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

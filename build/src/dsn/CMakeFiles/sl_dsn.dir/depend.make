@@ -1,0 +1,2 @@
+# Empty dependencies file for sl_dsn.
+# This may be replaced when dependencies are built.

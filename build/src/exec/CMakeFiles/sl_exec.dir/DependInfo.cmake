@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/sl_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/sl_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/placement.cc" "src/exec/CMakeFiles/sl_exec.dir/placement.cc.o" "gcc" "src/exec/CMakeFiles/sl_exec.dir/placement.cc.o.d"
+  "/root/repo/src/exec/scn_log.cc" "src/exec/CMakeFiles/sl_exec.dir/scn_log.cc.o" "gcc" "src/exec/CMakeFiles/sl_exec.dir/scn_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsn/CMakeFiles/sl_dsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/sl_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/sl_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sl_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sinks/CMakeFiles/sl_sinks.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sl_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/sl_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sl_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stt/CMakeFiles/sl_stt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

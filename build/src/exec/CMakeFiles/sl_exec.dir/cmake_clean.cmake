@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_exec.dir/executor.cc.o"
+  "CMakeFiles/sl_exec.dir/executor.cc.o.d"
+  "CMakeFiles/sl_exec.dir/placement.cc.o"
+  "CMakeFiles/sl_exec.dir/placement.cc.o.d"
+  "CMakeFiles/sl_exec.dir/scn_log.cc.o"
+  "CMakeFiles/sl_exec.dir/scn_log.cc.o.d"
+  "libsl_exec.a"
+  "libsl_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

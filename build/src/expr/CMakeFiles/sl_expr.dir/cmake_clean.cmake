@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_expr.dir/ast.cc.o"
+  "CMakeFiles/sl_expr.dir/ast.cc.o.d"
+  "CMakeFiles/sl_expr.dir/eval.cc.o"
+  "CMakeFiles/sl_expr.dir/eval.cc.o.d"
+  "CMakeFiles/sl_expr.dir/functions.cc.o"
+  "CMakeFiles/sl_expr.dir/functions.cc.o.d"
+  "CMakeFiles/sl_expr.dir/lexer.cc.o"
+  "CMakeFiles/sl_expr.dir/lexer.cc.o.d"
+  "CMakeFiles/sl_expr.dir/parser.cc.o"
+  "CMakeFiles/sl_expr.dir/parser.cc.o.d"
+  "libsl_expr.a"
+  "libsl_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

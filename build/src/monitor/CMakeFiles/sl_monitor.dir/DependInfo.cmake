@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/monitor.cc" "src/monitor/CMakeFiles/sl_monitor.dir/monitor.cc.o" "gcc" "src/monitor/CMakeFiles/sl_monitor.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sl_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stt/CMakeFiles/sl_stt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

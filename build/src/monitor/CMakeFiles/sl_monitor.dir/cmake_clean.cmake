@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_monitor.dir/monitor.cc.o"
+  "CMakeFiles/sl_monitor.dir/monitor.cc.o.d"
+  "libsl_monitor.a"
+  "libsl_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_net.dir/event_loop.cc.o"
+  "CMakeFiles/sl_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/sl_net.dir/network.cc.o"
+  "CMakeFiles/sl_net.dir/network.cc.o.d"
+  "CMakeFiles/sl_net.dir/topology_text.cc.o"
+  "CMakeFiles/sl_net.dir/topology_text.cc.o.d"
+  "libsl_net.a"
+  "libsl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_ops.dir/debugger.cc.o"
+  "CMakeFiles/sl_ops.dir/debugger.cc.o.d"
+  "CMakeFiles/sl_ops.dir/operator.cc.o"
+  "CMakeFiles/sl_ops.dir/operator.cc.o.d"
+  "CMakeFiles/sl_ops.dir/operators.cc.o"
+  "CMakeFiles/sl_ops.dir/operators.cc.o.d"
+  "libsl_ops.a"
+  "libsl_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

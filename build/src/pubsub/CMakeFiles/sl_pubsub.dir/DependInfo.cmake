@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/broker.cc" "src/pubsub/CMakeFiles/sl_pubsub.dir/broker.cc.o" "gcc" "src/pubsub/CMakeFiles/sl_pubsub.dir/broker.cc.o.d"
+  "/root/repo/src/pubsub/sensor_info.cc" "src/pubsub/CMakeFiles/sl_pubsub.dir/sensor_info.cc.o" "gcc" "src/pubsub/CMakeFiles/sl_pubsub.dir/sensor_info.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stt/CMakeFiles/sl_stt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

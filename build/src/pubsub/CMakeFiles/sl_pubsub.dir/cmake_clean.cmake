@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_pubsub.dir/broker.cc.o"
+  "CMakeFiles/sl_pubsub.dir/broker.cc.o.d"
+  "CMakeFiles/sl_pubsub.dir/sensor_info.cc.o"
+  "CMakeFiles/sl_pubsub.dir/sensor_info.cc.o.d"
+  "libsl_pubsub.a"
+  "libsl_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

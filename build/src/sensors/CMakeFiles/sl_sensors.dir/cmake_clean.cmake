@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_sensors.dir/generators.cc.o"
+  "CMakeFiles/sl_sensors.dir/generators.cc.o.d"
+  "CMakeFiles/sl_sensors.dir/osaka.cc.o"
+  "CMakeFiles/sl_sensors.dir/osaka.cc.o.d"
+  "CMakeFiles/sl_sensors.dir/recording.cc.o"
+  "CMakeFiles/sl_sensors.dir/recording.cc.o.d"
+  "CMakeFiles/sl_sensors.dir/simulator.cc.o"
+  "CMakeFiles/sl_sensors.dir/simulator.cc.o.d"
+  "libsl_sensors.a"
+  "libsl_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_sinks.dir/csv_io.cc.o"
+  "CMakeFiles/sl_sinks.dir/csv_io.cc.o.d"
+  "CMakeFiles/sl_sinks.dir/factory.cc.o"
+  "CMakeFiles/sl_sinks.dir/factory.cc.o.d"
+  "CMakeFiles/sl_sinks.dir/streams.cc.o"
+  "CMakeFiles/sl_sinks.dir/streams.cc.o.d"
+  "CMakeFiles/sl_sinks.dir/warehouse.cc.o"
+  "CMakeFiles/sl_sinks.dir/warehouse.cc.o.d"
+  "libsl_sinks.a"
+  "libsl_sinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_sinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

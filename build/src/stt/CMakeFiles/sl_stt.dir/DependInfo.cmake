@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stt/geo.cc" "src/stt/CMakeFiles/sl_stt.dir/geo.cc.o" "gcc" "src/stt/CMakeFiles/sl_stt.dir/geo.cc.o.d"
+  "/root/repo/src/stt/granularity.cc" "src/stt/CMakeFiles/sl_stt.dir/granularity.cc.o" "gcc" "src/stt/CMakeFiles/sl_stt.dir/granularity.cc.o.d"
+  "/root/repo/src/stt/schema.cc" "src/stt/CMakeFiles/sl_stt.dir/schema.cc.o" "gcc" "src/stt/CMakeFiles/sl_stt.dir/schema.cc.o.d"
+  "/root/repo/src/stt/schema_text.cc" "src/stt/CMakeFiles/sl_stt.dir/schema_text.cc.o" "gcc" "src/stt/CMakeFiles/sl_stt.dir/schema_text.cc.o.d"
+  "/root/repo/src/stt/theme.cc" "src/stt/CMakeFiles/sl_stt.dir/theme.cc.o" "gcc" "src/stt/CMakeFiles/sl_stt.dir/theme.cc.o.d"
+  "/root/repo/src/stt/tuple.cc" "src/stt/CMakeFiles/sl_stt.dir/tuple.cc.o" "gcc" "src/stt/CMakeFiles/sl_stt.dir/tuple.cc.o.d"
+  "/root/repo/src/stt/units.cc" "src/stt/CMakeFiles/sl_stt.dir/units.cc.o" "gcc" "src/stt/CMakeFiles/sl_stt.dir/units.cc.o.d"
+  "/root/repo/src/stt/value.cc" "src/stt/CMakeFiles/sl_stt.dir/value.cc.o" "gcc" "src/stt/CMakeFiles/sl_stt.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_stt.dir/geo.cc.o"
+  "CMakeFiles/sl_stt.dir/geo.cc.o.d"
+  "CMakeFiles/sl_stt.dir/granularity.cc.o"
+  "CMakeFiles/sl_stt.dir/granularity.cc.o.d"
+  "CMakeFiles/sl_stt.dir/schema.cc.o"
+  "CMakeFiles/sl_stt.dir/schema.cc.o.d"
+  "CMakeFiles/sl_stt.dir/schema_text.cc.o"
+  "CMakeFiles/sl_stt.dir/schema_text.cc.o.d"
+  "CMakeFiles/sl_stt.dir/theme.cc.o"
+  "CMakeFiles/sl_stt.dir/theme.cc.o.d"
+  "CMakeFiles/sl_stt.dir/tuple.cc.o"
+  "CMakeFiles/sl_stt.dir/tuple.cc.o.d"
+  "CMakeFiles/sl_stt.dir/units.cc.o"
+  "CMakeFiles/sl_stt.dir/units.cc.o.d"
+  "CMakeFiles/sl_stt.dir/value.cc.o"
+  "CMakeFiles/sl_stt.dir/value.cc.o.d"
+  "libsl_stt.a"
+  "libsl_stt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_stt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

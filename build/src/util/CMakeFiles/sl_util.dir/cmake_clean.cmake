@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_util.dir/clock.cc.o"
+  "CMakeFiles/sl_util.dir/clock.cc.o.d"
+  "CMakeFiles/sl_util.dir/json.cc.o"
+  "CMakeFiles/sl_util.dir/json.cc.o.d"
+  "CMakeFiles/sl_util.dir/logging.cc.o"
+  "CMakeFiles/sl_util.dir/logging.cc.o.d"
+  "CMakeFiles/sl_util.dir/rng.cc.o"
+  "CMakeFiles/sl_util.dir/rng.cc.o.d"
+  "CMakeFiles/sl_util.dir/status.cc.o"
+  "CMakeFiles/sl_util.dir/status.cc.o.d"
+  "CMakeFiles/sl_util.dir/strings.cc.o"
+  "CMakeFiles/sl_util.dir/strings.cc.o.d"
+  "libsl_util.a"
+  "libsl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsn_test.dir/dsn_test.cpp.o"
+  "CMakeFiles/dsn_test.dir/dsn_test.cpp.o.d"
+  "dsn_test"
+  "dsn_test.pdb"
+  "dsn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_source_test.dir/query_source_test.cpp.o"
+  "CMakeFiles/query_source_test.dir/query_source_test.cpp.o.d"
+  "query_source_test"
+  "query_source_test.pdb"
+  "query_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinks_test.dir/sinks_test.cpp.o"
+  "CMakeFiles/sinks_test.dir/sinks_test.cpp.o.d"
+  "sinks_test"
+  "sinks_test.pdb"
+  "sinks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

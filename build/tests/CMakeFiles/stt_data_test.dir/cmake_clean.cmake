@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_data_test.dir/stt_data_test.cpp.o"
+  "CMakeFiles/stt_data_test.dir/stt_data_test.cpp.o.d"
+  "stt_data_test"
+  "stt_data_test.pdb"
+  "stt_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_geo_units_test.dir/stt_geo_units_test.cpp.o"
+  "CMakeFiles/stt_geo_units_test.dir/stt_geo_units_test.cpp.o.d"
+  "stt_geo_units_test"
+  "stt_geo_units_test.pdb"
+  "stt_geo_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_geo_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

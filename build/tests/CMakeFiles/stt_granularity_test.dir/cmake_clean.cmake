@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_granularity_test.dir/stt_granularity_test.cpp.o"
+  "CMakeFiles/stt_granularity_test.dir/stt_granularity_test.cpp.o.d"
+  "stt_granularity_test"
+  "stt_granularity_test.pdb"
+  "stt_granularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_granularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
