@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/streamloader.h"
 #include "sensors/generators.h"
 #include "util/strings.h"
@@ -215,4 +217,4 @@ BENCHMARK(BM_SlidingVsTumbling)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace sl
 
-BENCHMARK_MAIN();
+SL_BENCH_MAIN("blocking");

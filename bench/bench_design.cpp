@@ -149,7 +149,9 @@ void BM_SampleDebugRun(benchmark::State& state) {
   Dataflow df = MakeChain(static_cast<size_t>(state.range(0)));
   ops::DataflowDebugger debugger(&fixture.broker);
   std::map<std::string, std::vector<stt::Tuple>> samples;
-  samples["src"] = bench::MakeTempTuples(64);
+  for (const auto& t : bench::MakeTempTuples(64)) {
+    samples["src"].push_back(*t);
+  }
   for (auto _ : state) {
     auto result = debugger.Run(df, samples);
     if (!result.ok()) {
@@ -165,4 +167,4 @@ BENCHMARK(BM_SampleDebugRun)->Arg(2)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace sl
 
-BENCHMARK_MAIN();
+SL_BENCH_MAIN("design");

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/streamloader.h"
 #include "sensors/generators.h"
 #include "util/strings.h"
@@ -147,7 +149,52 @@ void BM_PipelinePerTupleCost(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinePerTupleCost)->Unit(benchmark::kMillisecond);
 
+/// Fan-out cost: one 1 Hz sensor through a pass-through filter whose
+/// output feeds `fanout` collect sinks. Measures the per-consumer cost
+/// of handing the same tuple to N downstream edges.
+void BM_FanOut(benchmark::State& state) {
+  size_t fanout = static_cast<size_t>(state.range(0));
+  StreamLoaderOptions options;
+  options.network_nodes = 4;
+  StreamLoader loader(options);
+  sensors::PhysicalConfig config;
+  config.id = "t1";
+  config.period = duration::kSecond;
+  config.temporal_granularity = duration::kSecond;
+  config.node_id = "node_0";
+  if (!loader.AddSensor(sensors::MakeTemperatureSensor(config)).ok()) {
+    state.SkipWithError("AddSensor failed");
+    return;
+  }
+  auto builder = loader.NewDataflow("fan");
+  builder.AddSource("src", "t1").AddFilter("f", "src", "temp > -100");
+  for (size_t i = 0; i < fanout; ++i) {
+    builder.AddSink(StrFormat("out_%02zu", i), "f", SinkKind::kCollect);
+  }
+  auto df = builder.Build();
+  if (!df.ok()) {
+    state.SkipWithError(("build failed: " + df.status().ToString()).c_str());
+    return;
+  }
+  auto deployed = loader.Deploy(*df);
+  if (!deployed.ok()) {
+    state.SkipWithError(
+        ("deploy failed: " + deployed.status().ToString()).c_str());
+    return;
+  }
+  exec::DeploymentId id = *deployed;
+  uint64_t before = (*loader.executor().stats(id))->tuples_delivered;
+  for (auto _ : state) {
+    loader.RunFor(duration::kMinute);
+  }
+  uint64_t delivered =
+      (*loader.executor().stats(id))->tuples_delivered - before;
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+  state.counters["fanout"] = benchmark::Counter(static_cast<double>(fanout));
+}
+BENCHMARK(BM_FanOut)->Arg(3)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace sl
 
-BENCHMARK_MAIN();
+SL_BENCH_MAIN("end_to_end");

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/streamloader.h"
 #include "sensors/generators.h"
 #include "util/strings.h"
@@ -127,4 +129,4 @@ BENCHMARK(BM_ReportRendering);
 }  // namespace
 }  // namespace sl
 
-BENCHMARK_MAIN();
+SL_BENCH_MAIN("monitor");

@@ -52,7 +52,7 @@ void RunNonBlocking(benchmark::State& state, OpKind op,
   auto tuples = MakeTempTuples(4096);
   auto oper = Build(op, std::move(spec), {TempSchema()}, {"in"});
   uint64_t sink = 0;
-  oper->set_emit([&sink](const stt::Tuple&) { ++sink; });
+  oper->set_emit([&sink](const stt::TupleRef&) { ++sink; });
   for (auto _ : state) {
     for (const auto& t : tuples) {
       benchmark::DoNotOptimize(oper->Process(0, t));
@@ -129,7 +129,7 @@ void BM_Aggregation(benchmark::State& state) {
   spec.attributes = {"temp"};
   auto oper = Build(OpKind::kAggregation, spec, {TempSchema()}, {"in"});
   uint64_t sink = 0;
-  oper->set_emit([&sink](const stt::Tuple&) { ++sink; });
+  oper->set_emit([&sink](const stt::TupleRef&) { ++sink; });
   for (auto _ : state) {
     for (const auto& t : tuples) {
       benchmark::DoNotOptimize(oper->Process(0, t));
@@ -150,7 +150,7 @@ void BM_AggregationGrouped(benchmark::State& state) {
   spec.attributes = {"temp"};
   spec.group_by = {"station"};
   auto oper = Build(OpKind::kAggregation, spec, {TempSchema()}, {"in"});
-  oper->set_emit([](const stt::Tuple&) {});
+  oper->set_emit([](const stt::TupleRef&) {});
   for (auto _ : state) {
     for (const auto& t : tuples) {
       benchmark::DoNotOptimize(oper->Process(0, t));
@@ -173,7 +173,7 @@ void BM_Join(benchmark::State& state) {
   auto oper = Build(OpKind::kJoin, spec, {TempSchema(), RainSchema()},
                     {"l", "r"});
   uint64_t sink = 0;
-  oper->set_emit([&sink](const stt::Tuple&) { ++sink; });
+  oper->set_emit([&sink](const stt::TupleRef&) { ++sink; });
   for (auto _ : state) {
     for (const auto& t : left) {
       benchmark::DoNotOptimize(oper->Process(0, t));
@@ -198,7 +198,7 @@ void BM_TriggerOn(benchmark::State& state) {
   spec.condition = "temp > 34.9";  // rarely true: scans the whole cache
   spec.target_sensors = {"rain_01"};
   auto oper = Build(OpKind::kTriggerOn, spec, {TempSchema()}, {"in"});
-  oper->set_emit([](const stt::Tuple&) {});
+  oper->set_emit([](const stt::TupleRef&) {});
   for (auto _ : state) {
     for (const auto& t : tuples) {
       benchmark::DoNotOptimize(oper->Process(0, t));
@@ -213,4 +213,4 @@ BENCHMARK(BM_TriggerOn)->Arg(64)->Arg(1024)->Arg(8192);
 }  // namespace
 }  // namespace sl
 
-BENCHMARK_MAIN();
+SL_BENCH_MAIN("operators");

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <algorithm>
 
 #include "core/streamloader.h"
@@ -158,4 +160,4 @@ BENCHMARK(BM_AutoRebalance)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace sl
 
-BENCHMARK_MAIN();
+SL_BENCH_MAIN("placement");

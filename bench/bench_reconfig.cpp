@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/streamloader.h"
 #include "sensors/generators.h"
 #include "util/strings.h"
@@ -178,4 +180,4 @@ BENCHMARK(BM_ChurnDuringExecution)
 }  // namespace
 }  // namespace sl
 
-BENCHMARK_MAIN();
+SL_BENCH_MAIN("reconfig");

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/streamloader.h"
 #include "sensors/osaka.h"
 #include "util/strings.h"
@@ -153,4 +155,4 @@ BENCHMARK(BM_TriggerReactionLatency)
 }  // namespace
 }  // namespace sl
 
-BENCHMARK_MAIN();
+SL_BENCH_MAIN("scenario");

@@ -5,10 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "stt/schema.h"
 #include "stt/tuple.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace sl::bench {
@@ -33,40 +37,136 @@ inline stt::SchemaPtr RainSchema() {
 }
 
 /// A batch of `n` synthetic temperature tuples, 1 per second, uniform
-/// temp in [10, 35), locations jittered around Osaka.
-inline std::vector<stt::Tuple> MakeTempTuples(size_t n, uint64_t seed = 7) {
+/// temp in [10, 35), locations jittered around Osaka. Shared refs: the
+/// benchmarks measure ref forwarding, the dataflow's actual currency.
+inline std::vector<stt::TupleRef> MakeTempTuples(size_t n, uint64_t seed = 7) {
   Rng rng(seed);
   auto schema = TempSchema();
-  std::vector<stt::Tuple> out;
+  std::vector<stt::TupleRef> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    out.push_back(stt::Tuple::MakeUnsafe(
+    out.push_back(stt::Tuple::Share(stt::Tuple::MakeUnsafe(
         schema,
         {stt::Value::Double(rng.NextDouble(10, 35)),
          stt::Value::String("osaka")},
         static_cast<Timestamp>(i) * duration::kSecond,
         stt::GeoPoint{34.6 + rng.NextDouble(0, 0.2),
                       135.4 + rng.NextDouble(0, 0.2)},
-        "bench_sensor"));
+        "bench_sensor")));
   }
   return out;
 }
 
-inline std::vector<stt::Tuple> MakeRainTuples(size_t n, uint64_t seed = 8) {
+inline std::vector<stt::TupleRef> MakeRainTuples(size_t n, uint64_t seed = 8) {
   Rng rng(seed);
   auto schema = RainSchema();
-  std::vector<stt::Tuple> out;
+  std::vector<stt::TupleRef> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     double mmh = rng.NextBool(0.2) ? rng.NextDouble(0, 40) : 0.0;
-    out.push_back(stt::Tuple::MakeUnsafe(
+    out.push_back(stt::Tuple::Share(stt::Tuple::MakeUnsafe(
         schema, {stt::Value::Double(mmh)},
         static_cast<Timestamp>(i) * duration::kSecond,
-        stt::GeoPoint{34.6, 135.5}, "bench_rain"));
+        stt::GeoPoint{34.6, 135.5}, "bench_rain")));
   }
   return out;
 }
 
+/// \brief Benchmark reporter that records every iteration run into
+/// `BENCH_<suite>.json` next to the binary.
+///
+/// Each entry carries the benchmark name, iteration count, wall time per
+/// iteration in nanoseconds and — when the benchmark called
+/// `SetItemsProcessed` — tuples/sec plus ns/tuple, so the performance
+/// trajectory of a change can be diffed across runs without re-parsing
+/// console output.
+class JsonResultReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonResultReporter(std::string suite) : suite_(std::move(suite)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = run.iterations;
+      if (run.iterations > 0) {
+        entry.ns_per_iter =
+            run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations);
+      }
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        entry.tuples_per_sec = static_cast<double>(it->second);
+        if (entry.tuples_per_sec > 0) {
+          entry.ns_per_tuple = 1e9 / entry.tuples_per_sec;
+        }
+      }
+      entries_.push_back(std::move(entry));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("suite");
+    w.String(suite_);
+    w.Key("results");
+    w.BeginArray();
+    for (const Entry& entry : entries_) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(entry.name);
+      w.Key("iterations");
+      w.Int(entry.iterations);
+      w.Key("ns_per_iter");
+      w.Double(entry.ns_per_iter);
+      if (entry.tuples_per_sec > 0) {
+        w.Key("tuples_per_sec");
+        w.Double(entry.tuples_per_sec);
+        w.Key("ns_per_tuple");
+        w.Double(entry.ns_per_tuple);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    const std::string path = "BENCH_" + suite_ + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string doc = w.TakeString();
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    int64_t iterations = 0;
+    double ns_per_iter = 0;
+    double tuples_per_sec = 0;
+    double ns_per_tuple = 0;
+  };
+
+  std::string suite_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace sl::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that additionally writes
+/// BENCH_<suite>.json with per-benchmark throughput numbers.
+#define SL_BENCH_MAIN(suite)                                         \
+  int main(int argc, char** argv) {                                  \
+    benchmark::Initialize(&argc, argv);                              \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    sl::bench::JsonResultReporter json_reporter(suite);              \
+    benchmark::RunSpecifiedBenchmarks(&json_reporter);               \
+    benchmark::Shutdown();                                           \
+    return 0;                                                        \
+  }
 
 #endif  // STREAMLOADER_BENCH_BENCH_UTIL_H_

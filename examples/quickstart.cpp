@@ -86,7 +86,7 @@ int main() {
   auto rows = loader.warehouse().Query("warm_temps", query);
   if (rows.ok()) {
     std::printf("\n-- 3 events (temp > 16) --\n");
-    for (const auto& t : *rows) std::printf("  %s\n", t.ToString().c_str());
+    for (const auto& t : *rows) std::printf("  %s\n", t->ToString().c_str());
   }
   return 0;
 }

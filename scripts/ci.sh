@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the release config, then the
+# ASan/UBSan config. Both must pass.
+#
+# Usage: scripts/ci.sh [jobs]
+
+set -euo pipefail
+
+jobs="${1:-$(nproc)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_config() {
+  local build_dir="$1"
+  shift
+  echo "==> configuring ${build_dir} ($*)"
+  cmake -S "${root}" -B "${root}/${build_dir}" "$@"
+  echo "==> building ${build_dir}"
+  cmake --build "${root}/${build_dir}" -j "${jobs}"
+  echo "==> testing ${build_dir}"
+  ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config build
+run_config build-asan -DSL_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "==> all configs green"

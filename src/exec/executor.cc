@@ -74,17 +74,9 @@ Executor::~Executor() {
 }
 
 size_t Executor::TupleBytes(const stt::Tuple& tuple) const {
-  size_t bytes = options_.tuple_overhead_bytes;
-  for (const auto& v : tuple.values()) {
-    switch (v.type()) {
-      case stt::ValueType::kNull:
-      case stt::ValueType::kBool: bytes += 1; break;
-      case stt::ValueType::kString: bytes += 4 + v.AsString().size(); break;
-      case stt::ValueType::kGeoPoint: bytes += 16; break;
-      default: bytes += 8;
-    }
-  }
-  return bytes;
+  // The value portion is memoized in the tuple itself, so a tuple routed
+  // across many edges (or re-routed downstream) is measured once.
+  return options_.tuple_overhead_bytes + tuple.ApproxValueBytes();
 }
 
 Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
@@ -179,7 +171,7 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
         deployed.node_id = placed;
         // Emission: route from wherever the operator currently runs.
         ops::Operator* op_ptr = deployed.op.get();
-        op_ptr->set_emit([this, dep, name](const stt::Tuple& t) {
+        op_ptr->set_emit([this, dep, name](const stt::TupleRef& t) {
           auto it = dep->operators.find(name);
           if (it == dep->operators.end()) return;
           Route(dep, name, it->second.node_id, t);
@@ -265,16 +257,16 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
     if (node.by_query) {
       auto sub = broker_->SubscribeDataByQuery(
           node.source_query,
-          [this, dep, source_name](const stt::Tuple& tuple) {
+          [this, dep, source_name](const stt::TupleRef& tuple) {
             if (!dep->active) return;
             ++dep->stats.tuples_ingested;
-            Route(dep, source_name, ResolveOrigin(tuple.sensor_id()), tuple);
+            Route(dep, source_name, ResolveOrigin(tuple->sensor_id()), tuple);
           });
       dep->subscriptions.push_back(sub);
       continue;
     }
     auto sub = broker_->SubscribeData(
-        node.sensor_id, [this, dep, source_name](const stt::Tuple& tuple) {
+        node.sensor_id, [this, dep, source_name](const stt::TupleRef& tuple) {
           if (!dep->active) return;
           ++dep->stats.tuples_ingested;
           Route(dep, source_name, dep->source_nodes.at(source_name), tuple);
@@ -312,10 +304,10 @@ std::string Executor::ResolveOrigin(const std::string& sensor_id) const {
 
 void Executor::Route(Deployment* dep, const std::string& producer,
                      const std::string& producer_node,
-                     const stt::Tuple& tuple) {
+                     const stt::TupleRef& tuple) {
   auto edges_it = dep->edges.find(producer);
   if (edges_it == dep->edges.end()) return;
-  size_t bytes = TupleBytes(tuple);
+  size_t bytes = TupleBytes(*tuple);
   for (const Edge& edge : edges_it->second) {
     std::string target_node;
     if (edge.to_sink) {
@@ -331,13 +323,14 @@ void Executor::Route(Deployment* dep, const std::string& producer,
         ++dep->stats.qos_violations;
       }
     }
+    // The network hop captures a shared ref, not a deep copy: every
+    // out-edge of every deployment forwards the same allocation.
     Edge edge_copy = edge;
-    stt::Tuple tuple_copy = tuple;
     Status s = network_->Transfer(
         producer_node, target_node, bytes,
-        [this, dep, edge_copy, tuple_copy] {
+        [this, dep, edge_copy, tuple] {
           if (!dep->active) return;
-          Deliver(dep, edge_copy, tuple_copy);
+          Deliver(dep, edge_copy, tuple);
         });
     if (!s.ok()) {
       ++dep->stats.process_errors;
@@ -348,7 +341,7 @@ void Executor::Route(Deployment* dep, const std::string& producer,
 }
 
 void Executor::Deliver(Deployment* dep, const Edge& edge,
-                       const stt::Tuple& tuple) {
+                       const stt::TupleRef& tuple) {
   if (edge.to_sink) {
     auto it = dep->sinks.find(edge.to);
     if (it == dep->sinks.end()) return;
@@ -473,7 +466,7 @@ Status Executor::ReplaceOperator(DeploymentId id, const std::string& op_name,
   }
   op_it->second.op = std::move(new_op);
   ops::Operator* op_ptr = op_it->second.op.get();
-  op_ptr->set_emit([this, dep, op_name](const stt::Tuple& t) {
+  op_ptr->set_emit([this, dep, op_name](const stt::TupleRef& t) {
     auto oit = dep->operators.find(op_name);
     if (oit == dep->operators.end()) return;
     Route(dep, op_name, oit->second.node_id, t);

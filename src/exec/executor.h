@@ -178,14 +178,14 @@ class Executor : public ops::ActivationHandler {
   /// Fans a tuple emitted by `producer` (on `producer_node`) out along
   /// its edges through the network.
   void Route(Deployment* deployment, const std::string& producer,
-             const std::string& producer_node, const stt::Tuple& tuple);
+             const std::string& producer_node, const stt::TupleRef& tuple);
 
   /// Network node where a sensor's tuples enter (query-bound sources).
   std::string ResolveOrigin(const std::string& sensor_id) const;
 
   /// Delivers a tuple at its destination operator/sink.
   void Deliver(Deployment* deployment, const Edge& edge,
-               const stt::Tuple& tuple);
+               const stt::TupleRef& tuple);
 
   /// Operator samples for the monitor (resets window counters).
   std::vector<monitor::OperatorSample> SampleOperators(Duration window);
@@ -194,6 +194,7 @@ class Executor : public ops::ActivationHandler {
   void OnMonitorTick(const monitor::MonitorReport& report);
 
   size_t TupleBytes(const stt::Tuple& tuple) const;
+
 
   net::EventLoop* loop_;
   net::Network* network_;

@@ -34,7 +34,7 @@ std::string DebugResult::ToString(const Dataflow& dataflow) const {
     out += StrFormat("   emits %zu tuple(s)\n", n);
     size_t shown = std::min<size_t>(n, 5);
     for (size_t i = 0; i < shown; ++i) {
-      out += "     " + oit->second[i].ToString() + "\n";
+      out += "     " + oit->second[i]->ToString() + "\n";
     }
     if (n > shown) out += StrFormat("     ... %zu more\n", n - shown);
   }
@@ -109,12 +109,12 @@ Result<DebugResult> DataflowDebugger::Run(
   struct Delivery {
     std::string to;
     size_t port;
-    stt::Tuple tuple;
+    stt::TupleRef tuple;
   };
   std::vector<Delivery> queue;
   Status sticky_status = Status::OK();
 
-  auto fanout = [&](const std::string& from, const stt::Tuple& tuple) {
+  auto fanout = [&](const std::string& from, const stt::TupleRef& tuple) {
     result.outputs[from].push_back(tuple);
     for (const auto& consumer : dataflow.Downstream(from)) {
       const Node& cnode = **dataflow.node(consumer);
@@ -128,7 +128,7 @@ Result<DebugResult> DataflowDebugger::Run(
 
   for (auto& [name, op] : operators) {
     const std::string node_name = name;
-    op->set_emit([&fanout, node_name](const stt::Tuple& t) {
+    op->set_emit([&fanout, node_name](const stt::TupleRef& t) {
       fanout(node_name, t);
     });
   }
@@ -147,24 +147,25 @@ Result<DebugResult> DataflowDebugger::Run(
     return Status::OK();
   };
 
-  // Feed samples interleaved by event time.
+  // Feed samples interleaved by event time; each sample is shared once
+  // and the same ref flows through the whole run.
   struct Feed {
     Timestamp ts;
     std::string source;
-    const stt::Tuple* tuple;
+    stt::TupleRef tuple;
   };
   std::vector<Feed> feeds;
   Timestamp max_ts = 0;
   for (const auto& [source, tuples] : samples) {
     for (const auto& t : tuples) {
-      feeds.push_back({t.timestamp(), source, &t});
+      feeds.push_back({t.timestamp(), source, stt::Tuple::Share(t)});
       max_ts = std::max(max_ts, t.timestamp());
     }
   }
   std::stable_sort(feeds.begin(), feeds.end(),
                    [](const Feed& a, const Feed& b) { return a.ts < b.ts; });
   for (const auto& feed : feeds) {
-    fanout(feed.source, *feed.tuple);
+    fanout(feed.source, feed.tuple);
     SL_RETURN_IF_ERROR(drain());
   }
 

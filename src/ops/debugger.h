@@ -35,8 +35,9 @@ struct DebugResult {
   /// Validation outcome (the run only proceeds when report.ok()).
   dataflow::ValidationReport report;
   /// Tuples each node emitted, keyed by node name. Sources list the
-  /// samples they were fed; sinks list what reached them.
-  std::map<std::string, std::vector<stt::Tuple>> outputs;
+  /// samples they were fed; sinks list what reached them. Refs share
+  /// ownership with the run (same routing currency as the executor).
+  std::map<std::string, std::vector<stt::TupleRef>> outputs;
   /// Trigger requests recorded instead of executed.
   std::vector<ActivationRecord> activations;
 

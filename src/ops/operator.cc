@@ -4,10 +4,14 @@ namespace sl::ops {
 
 Status Operator::Flush(Timestamp) { return Status::OK(); }
 
-void Operator::Emit(const stt::Tuple& tuple) {
+void Operator::Emit(const stt::TupleRef& tuple) {
   ++stats_.tuples_out;
   ++window_out_;
   if (emit_) emit_(tuple);
+}
+
+void Operator::EmitAll(const stt::RefBatch& batch) {
+  for (const auto& tuple : batch.tuples()) Emit(tuple);
 }
 
 void Operator::CountIn() {

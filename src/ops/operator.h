@@ -21,8 +21,9 @@
 
 namespace sl::ops {
 
-/// Downstream push target installed by the executor.
-using EmitFn = std::function<void(const stt::Tuple&)>;
+/// Downstream push target installed by the executor. Receives shared
+/// refs: the executor forwards the same ref to every out-edge.
+using EmitFn = std::function<void(const stt::TupleRef&)>;
 
 /// \brief Receiver of trigger activation requests.
 ///
@@ -73,8 +74,15 @@ class Operator {
 
   /// Feeds one tuple into input `port` (0 except for join's right = 1).
   /// The tuple must conform to the input schema the operator was built
-  /// with.
-  virtual Status Process(size_t port, const stt::Tuple& tuple) = 0;
+  /// with. The operator may retain the ref (blocking caches do); it must
+  /// never mutate the pointee.
+  virtual Status Process(size_t port, const stt::TupleRef& tuple) = 0;
+
+  /// Convenience for callers still holding a tuple by value (tests,
+  /// design-time tools): shares it and forwards.
+  Status Process(size_t port, stt::Tuple tuple) {
+    return Process(port, stt::Tuple::Share(std::move(tuple)));
+  }
 
   /// Processes the cache (blocking operations). `now` is the virtual
   /// time of the flush tick. Non-blocking operations return OK.
@@ -99,7 +107,10 @@ class Operator {
         interval_(interval) {}
 
   /// Emits one tuple downstream, updating counters.
-  void Emit(const stt::Tuple& tuple);
+  void Emit(const stt::TupleRef& tuple);
+
+  /// Emits every tuple of a flush batch downstream.
+  void EmitAll(const stt::RefBatch& batch);
 
   /// Counts one consumed tuple.
   void CountIn();

@@ -24,6 +24,7 @@ using dataflow::TransformSpec;
 using dataflow::TriggerSpec;
 using dataflow::VirtualPropertySpec;
 using stt::Tuple;
+using stt::TupleRef;
 using stt::Value;
 using stt::ValueType;
 
@@ -39,9 +40,9 @@ class FilterOperator : public Operator {
       : Operator(std::move(name), OpKind::kFilter, std::move(schema), 0),
         condition_(std::move(condition)) {}
 
-  Status Process(size_t, const Tuple& tuple) override {
+  Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
-    SL_ASSIGN_OR_RETURN(bool pass, condition_.EvalPredicate(tuple));
+    SL_ASSIGN_OR_RETURN(bool pass, condition_.EvalPredicate(*tuple));
     if (pass) Emit(tuple);
     return Status::OK();
   }
@@ -61,13 +62,13 @@ class TransformOperator : public Operator {
         out_type_(out_type),
         expression_(std::move(expression)) {}
 
-  Status Process(size_t, const Tuple& tuple) override {
+  Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
-    SL_ASSIGN_OR_RETURN(Value v, expression_.Eval(tuple));
+    SL_ASSIGN_OR_RETURN(Value v, expression_.Eval(*tuple));
     if (!v.is_null() && v.type() != out_type_) {
       SL_ASSIGN_OR_RETURN(v, v.CoerceTo(out_type_));
     }
-    Emit(tuple.WithValueAt(output_schema(), field_index_, std::move(v)));
+    Emit(tuple->WithValueAt(output_schema(), field_index_, std::move(v)));
     return Status::OK();
   }
 
@@ -87,13 +88,13 @@ class VirtualPropertyOperator : public Operator {
         out_type_(out_type),
         specification_(std::move(specification)) {}
 
-  Status Process(size_t, const Tuple& tuple) override {
+  Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
-    SL_ASSIGN_OR_RETURN(Value v, specification_.Eval(tuple));
+    SL_ASSIGN_OR_RETURN(Value v, specification_.Eval(*tuple));
     if (!v.is_null() && v.type() != out_type_) {
       SL_ASSIGN_OR_RETURN(v, v.CoerceTo(out_type_));
     }
-    Emit(tuple.WithAppended(output_schema(), std::move(v)));
+    Emit(tuple->WithAppended(output_schema(), std::move(v)));
     return Status::OK();
   }
 
@@ -134,10 +135,10 @@ class CullTimeOperator : public Operator {
         spec_(spec),
         decimator_(spec.rate) {}
 
-  Status Process(size_t, const Tuple& tuple) override {
+  Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
-    bool inside =
-        tuple.timestamp() >= spec_.t_begin && tuple.timestamp() <= spec_.t_end;
+    bool inside = tuple->timestamp() >= spec_.t_begin &&
+                  tuple->timestamp() <= spec_.t_end;
     if (!inside || decimator_.Keep()) Emit(tuple);
     return Status::OK();
   }
@@ -157,10 +158,10 @@ class CullSpaceOperator : public Operator {
         box_(stt::NormalizeBBox(spec.corner1, spec.corner2)),
         decimator_(spec.rate) {}
 
-  Status Process(size_t, const Tuple& tuple) override {
+  Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
     bool inside =
-        tuple.location().has_value() && box_.Contains(*tuple.location());
+        tuple->location().has_value() && box_.Contains(*tuple->location());
     if (!inside || decimator_.Keep()) Emit(tuple);
     return Status::OK();
   }
@@ -175,20 +176,22 @@ class CullSpaceOperator : public Operator {
 // time intervals (Table 1).
 // ---------------------------------------------------------------------------
 
-/// Bounded FIFO tuple cache shared by the blocking operators. Every
-/// cached tuple carries an arrival sequence number so sliding operators
-/// can distinguish tuples that arrived since the previous check.
+/// Bounded FIFO tuple cache shared by the blocking operators. Caches hold
+/// shared refs — caching a tuple retains the allocation the producer
+/// minted instead of deep-copying it. Every cached tuple carries an
+/// arrival sequence number so sliding operators can distinguish tuples
+/// that arrived since the previous check.
 class TupleCache {
  public:
   explicit TupleCache(size_t max_tuples) : max_tuples_(max_tuples) {}
 
   struct Entry {
-    Tuple tuple;
+    TupleRef tuple;
     uint64_t seq;
   };
 
   /// Adds a tuple; returns the number of evicted (oldest) tuples.
-  size_t Add(Tuple tuple) {
+  size_t Add(TupleRef tuple) {
     entries_.push_back({std::move(tuple), next_seq_++});
     size_t evicted = 0;
     while (entries_.size() > max_tuples_) {
@@ -204,7 +207,7 @@ class TupleCache {
   /// whole deque.
   void EvictOlderThan(Timestamp cutoff) {
     for (auto it = entries_.begin(); it != entries_.end();) {
-      if (it->tuple.timestamp() < cutoff) {
+      if (it->tuple->timestamp() < cutoff) {
         it = entries_.erase(it);
       } else {
         ++it;
@@ -244,7 +247,7 @@ class AggregationOperator : public Operator {
     }
   }
 
-  Status Process(size_t, const Tuple& tuple) override {
+  Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
     stats_.dropped += cache_.Add(tuple);
     stats_.cache_size = cache_.size();
@@ -264,7 +267,7 @@ class AggregationOperator : public Operator {
     // Group cached tuples by the group-by key.
     std::map<std::string, std::vector<const Tuple*>> groups;
     for (const auto& entry : cache_.entries()) {
-      const Tuple& t = entry.tuple;
+      const Tuple& t = *entry.tuple;
       std::string key;
       for (size_t idx : group_indexes_) {
         key += t.value(idx).ToString();
@@ -275,6 +278,7 @@ class AggregationOperator : public Operator {
 
     Timestamp out_ts =
         output_schema()->temporal_granularity().Truncate(now - 1);
+    stt::RefBatch out(output_schema());
     for (const auto& [key, tuples] : groups) {
       std::vector<Value> values;
       // Group keys (taken from the first member).
@@ -289,8 +293,10 @@ class AggregationOperator : public Operator {
       }
       // Location: centroid of the group's located tuples.
       std::optional<stt::GeoPoint> loc = Centroid(tuples);
-      Emit(Tuple::MakeUnsafe(output_schema(), std::move(values), out_ts, loc));
+      out.Add(Tuple::Share(
+          Tuple::MakeUnsafe(output_schema(), std::move(values), out_ts, loc)));
     }
+    EmitAll(out);
     if (spec_.window == 0) cache_.Clear();  // tumbling
     stats_.cache_size = cache_.size();
     return Status::OK();
@@ -357,7 +363,7 @@ class JoinOperator : public Operator {
         left_(max_cache),
         right_(max_cache) {}
 
-  Status Process(size_t port, const Tuple& tuple) override {
+  Status Process(size_t port, const TupleRef& tuple) override {
     CountIn();
     if (port > 1) {
       return Status::InvalidArgument(
@@ -375,6 +381,7 @@ class JoinOperator : public Operator {
       right_.EvictOlderThan(now - spec_.window);
     }
     const auto& tgran = output_schema()->temporal_granularity();
+    stt::RefBatch out(output_schema());
     for (const auto& le : left_.entries()) {
       for (const auto& re : right_.entries()) {
         // Sliding regime: emit each surviving pair exactly once — on the
@@ -382,8 +389,8 @@ class JoinOperator : public Operator {
         if (spec_.window > 0 && le.seq < left_seen_ && re.seq < right_seen_) {
           continue;
         }
-        const Tuple& l = le.tuple;
-        const Tuple& r = re.tuple;
+        const Tuple& l = *le.tuple;
+        const Tuple& r = *re.tuple;
         std::vector<Value> values;
         values.reserve(l.values().size() + r.values().size());
         values.insert(values.end(), l.values().begin(), l.values().end());
@@ -394,9 +401,10 @@ class JoinOperator : public Operator {
         Tuple joined =
             Tuple::MakeUnsafe(output_schema(), std::move(values), ts, loc);
         SL_ASSIGN_OR_RETURN(bool match, predicate_.EvalPredicate(joined));
-        if (match) Emit(joined);
+        if (match) out.Add(Tuple::Share(std::move(joined)));
       }
     }
+    EmitAll(out);
     if (spec_.window == 0) {
       left_.Clear();
       right_.Clear();
@@ -431,7 +439,7 @@ class TriggerOperator : public Operator {
         activation_(activation),
         cache_(max_cache) {}
 
-  Status Process(size_t, const Tuple& tuple) override {
+  Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
     stats_.dropped += cache_.Add(tuple);
     stats_.cache_size = cache_.size();
@@ -444,7 +452,7 @@ class TriggerOperator : public Operator {
     if (spec_.window > 0) cache_.EvictOlderThan(now - spec_.window);
     bool fired = false;
     for (const auto& entry : cache_.entries()) {
-      SL_ASSIGN_OR_RETURN(bool hit, condition_.EvalPredicate(entry.tuple));
+      SL_ASSIGN_OR_RETURN(bool hit, condition_.EvalPredicate(*entry.tuple));
       if (hit) {
         fired = true;
         break;

@@ -159,7 +159,9 @@ void Broker::Unsubscribe(SubscriptionId id) {
       query_subs_.end());
 }
 
-Status Broker::PublishTuple(const std::string& sensor_id, stt::Tuple tuple) {
+Status Broker::PublishTuple(const std::string& sensor_id,
+                            stt::TupleRef tuple) {
+  if (tuple == nullptr) return Status::InvalidArgument("null tuple");
   auto it = sensors_.find(sensor_id);
   if (it == sensors_.end()) {
     return Status::NotFound("tuple from unpublished sensor '" + sensor_id +
@@ -170,9 +172,9 @@ Status Broker::PublishTuple(const std::string& sensor_id, stt::Tuple tuple) {
   // STT enrichment (§3): add the spatio-temporal information the sensor
   // cannot produce itself, then normalize event time to the stream's
   // temporal granularity.
-  Timestamp ts = info.provides_timestamp ? tuple.timestamp() : clock_->Now();
+  Timestamp ts = info.provides_timestamp ? tuple->timestamp() : clock_->Now();
   std::optional<stt::GeoPoint> loc =
-      info.provides_location ? tuple.location() : info.location;
+      info.provides_location ? tuple->location() : info.location;
   if (!loc.has_value() && info.location.has_value()) loc = info.location;
   if (info.schema != nullptr) {
     ts = info.schema->temporal_granularity().Truncate(ts);
@@ -182,7 +184,15 @@ Status Broker::PublishTuple(const std::string& sensor_id, stt::Tuple tuple) {
       loc->lon = info.schema->spatial_granularity().SnapToCellCenter(loc->lon);
     }
   }
-  stt::Tuple enriched = tuple.WithStt(tuple.schema(), ts, loc);
+  // Forward the incoming ref unchanged when enrichment would not alter the
+  // header; otherwise mint one enriched tuple shared by all subscribers.
+  const bool header_unchanged =
+      ts == tuple->timestamp() &&
+      loc.has_value() == tuple->location().has_value() &&
+      (!loc.has_value() || (loc->lat == tuple->location()->lat &&
+                            loc->lon == tuple->location()->lon));
+  stt::TupleRef enriched =
+      header_unchanged ? tuple : tuple->WithStt(tuple->schema(), ts, loc);
   ++tuples_ingested_;
 
   auto subs_it = data_subs_.find(sensor_id);

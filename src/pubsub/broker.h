@@ -75,7 +75,7 @@ class Broker {
  public:
   using SubscriptionId = uint64_t;
   using RegistryCallback = std::function<void(const SensorEvent&)>;
-  using DataCallback = std::function<void(const stt::Tuple&)>;
+  using DataCallback = std::function<void(const stt::TupleRef&)>;
 
   /// `clock` supplies arrival timestamps for enrichment; must outlive the
   /// broker.
@@ -138,8 +138,15 @@ class Broker {
   /// - sensors with provides_location == false get the sensor's
   ///   installation point;
   /// - the event time is truncated to the schema's temporal granularity.
-  /// Fails when the sensor is not published.
-  Status PublishTuple(const std::string& sensor_id, stt::Tuple tuple);
+  /// Fails when the sensor is not published. Every subscriber receives the
+  /// same shared (enriched) tuple; when enrichment is a no-op the incoming
+  /// ref is forwarded unchanged.
+  Status PublishTuple(const std::string& sensor_id, stt::TupleRef tuple);
+
+  /// Convenience for producers still holding a tuple by value.
+  Status PublishTuple(const std::string& sensor_id, stt::Tuple tuple) {
+    return PublishTuple(sensor_id, stt::Tuple::Share(std::move(tuple)));
+  }
 
   // -- statistics ---------------------------------------------------------
 

@@ -63,7 +63,7 @@ class TemperatureSensor : public SensorSimulator {
         noise_c_(noise_c),
         unit_(std::move(unit)) {}
 
-  Result<Tuple> Generate(Timestamp ts) override {
+  Result<stt::TupleRef> Generate(Timestamp ts) override {
     // Peak around 14:00, trough around 02:00.
     double phase = 2.0 * M_PI * (DayFraction(ts) - 14.0 / 24.0);
     double temp_c =
@@ -72,7 +72,7 @@ class TemperatureSensor : public SensorSimulator {
     if (unit_ != "celsius") {
       SL_ASSIGN_OR_RETURN(value, stt::ConvertUnit(temp_c, "celsius", unit_));
     }
-    return Tuple::Make(info_.schema, {Value::Double(value)}, ts,
+    return Tuple::MakeShared(info_.schema, {Value::Double(value)}, ts,
                        info_.location, info_.id);
   }
 
@@ -92,13 +92,13 @@ class HumiditySensor : public SensorSimulator {
         amplitude_pct_(amplitude_pct),
         noise_pct_(noise_pct) {}
 
-  Result<Tuple> Generate(Timestamp ts) override {
+  Result<stt::TupleRef> Generate(Timestamp ts) override {
     // Humidity troughs mid-afternoon (anti-phase to temperature).
     double phase = 2.0 * M_PI * (DayFraction(ts) - 14.0 / 24.0);
     double rh = base_pct_ - amplitude_pct_ * std::cos(phase) +
                 rng_.NextGaussian(0, noise_pct_);
     rh = std::min(100.0, std::max(5.0, rh));
-    return Tuple::Make(info_.schema, {Value::Double(rh)}, ts, info_.location,
+    return Tuple::MakeShared(info_.schema, {Value::Double(rh)}, ts, info_.location,
                        info_.id);
   }
 
@@ -117,7 +117,7 @@ class RainSensor : public SensorSimulator {
         p_stay_wet_(p_stay_wet),
         mean_mmh_(mean_mmh) {}
 
-  Result<Tuple> Generate(Timestamp ts) override {
+  Result<stt::TupleRef> Generate(Timestamp ts) override {
     wet_ = wet_ ? rng_.NextBool(p_stay_wet_) : rng_.NextBool(p_wet_);
     double mmh = 0.0;
     if (wet_) {
@@ -127,7 +127,7 @@ class RainSensor : public SensorSimulator {
       mmh = mean_mmh_ * (-std::log(1.0 - u));
       if (rng_.NextBool(0.08)) mmh *= 4.0;  // torrential burst
     }
-    return Tuple::Make(info_.schema, {Value::Double(mmh)}, ts, info_.location,
+    return Tuple::MakeShared(info_.schema, {Value::Double(mmh)}, ts, info_.location,
                        info_.id);
   }
 
@@ -142,10 +142,10 @@ class PressureSensor : public SensorSimulator {
   PressureSensor(pubsub::SensorInfo info, uint64_t seed)
       : SensorSimulator(std::move(info)), rng_(seed) {}
 
-  Result<Tuple> Generate(Timestamp ts) override {
+  Result<stt::TupleRef> Generate(Timestamp ts) override {
     level_ += rng_.NextGaussian(0, 0.3);
     level_ = std::min(1040.0, std::max(980.0, level_));
-    return Tuple::Make(info_.schema, {Value::Double(level_)}, ts,
+    return Tuple::MakeShared(info_.schema, {Value::Double(level_)}, ts,
                        info_.location, info_.id);
   }
 
@@ -159,12 +159,12 @@ class WindSensor : public SensorSimulator {
   WindSensor(pubsub::SensorInfo info, uint64_t seed)
       : SensorSimulator(std::move(info)), rng_(seed) {}
 
-  Result<Tuple> Generate(Timestamp ts) override {
+  Result<stt::TupleRef> Generate(Timestamp ts) override {
     // Rayleigh-distributed speed, slowly drifting direction.
     double u = rng_.NextDouble();
     double speed = 3.0 * std::sqrt(-2.0 * std::log(1.0 - u + 1e-12));
     direction_ = (direction_ + rng_.NextInt(-15, 15) + 360) % 360;
-    return Tuple::Make(info_.schema,
+    return Tuple::MakeShared(info_.schema,
                        {Value::Double(speed), Value::Int(direction_)}, ts,
                        info_.location, info_.id);
   }
@@ -179,7 +179,7 @@ class TweetSensor : public SensorSimulator {
   TweetSensor(pubsub::SensorInfo info, const TweetConfig& config)
       : SensorSimulator(std::move(info)), config_(config), rng_(config.seed) {}
 
-  Result<Tuple> Generate(Timestamp ts) override {
+  Result<stt::TupleRef> Generate(Timestamp ts) override {
     static const char* kNeutral[] = {
         "lovely day in osaka", "lunch at dotonbori", "train was on time",
         "hanshin tigers game tonight", "shopping in umeda"};
@@ -197,7 +197,7 @@ class TweetSensor : public SensorSimulator {
                                              config_.jitter_deg),
         config_.center.lon + rng_.NextDouble(-config_.jitter_deg,
                                              config_.jitter_deg)};
-    return Tuple::Make(
+    return Tuple::MakeShared(
         info_.schema,
         {Value::String(text), Value::String(user),
          Value::Int(static_cast<int64_t>(rng_.NextBounded(50)))},
@@ -214,7 +214,7 @@ class TrafficSensor : public SensorSimulator {
   TrafficSensor(pubsub::SensorInfo info, const TrafficConfig& config)
       : SensorSimulator(std::move(info)), config_(config), rng_(config.seed) {}
 
-  Result<Tuple> Generate(Timestamp ts) override {
+  Result<stt::TupleRef> Generate(Timestamp ts) override {
     double day = DayFraction(ts);
     // Rush hours ~08:00 and ~18:00 slow traffic and raise volume.
     double rush = std::exp(-std::pow((day - 8.0 / 24.0) * 24.0, 2)) +
@@ -224,7 +224,7 @@ class TrafficSensor : public SensorSimulator {
     speed = std::max(2.0, speed);
     int64_t vehicles = static_cast<int64_t>(
         std::max(0.0, 20.0 + 120.0 * rush + rng_.NextGaussian(0, 8.0)));
-    return Tuple::Make(info_.schema,
+    return Tuple::MakeShared(info_.schema,
                        {Value::Double(speed), Value::Int(vehicles),
                         Value::String(config_.road)},
                        ts, info_.location, info_.id);
@@ -240,7 +240,7 @@ class ReplaySensor : public SensorSimulator {
   ReplaySensor(pubsub::SensorInfo info, std::vector<Tuple> recording)
       : SensorSimulator(std::move(info)), recording_(std::move(recording)) {}
 
-  Result<Tuple> Generate(Timestamp ts) override {
+  Result<stt::TupleRef> Generate(Timestamp ts) override {
     const Tuple& t = recording_[next_ % recording_.size()];
     ++next_;
     // Re-stamp with the emission time; location comes from the recording.

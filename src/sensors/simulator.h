@@ -46,8 +46,10 @@ class SensorSimulator {
   uint64_t emitted() const { return emitted_; }
 
   /// Produces the tuple for emission time `ts`. Deterministic given the
-  /// simulator's seed and call sequence.
-  virtual Result<stt::Tuple> Generate(Timestamp ts) = 0;
+  /// simulator's seed and call sequence. Returns a shared ref: the tuple
+  /// is minted once and every downstream layer forwards the same
+  /// allocation.
+  virtual Result<stt::TupleRef> Generate(Timestamp ts) = 0;
 
  protected:
   pubsub::SensorInfo info_;

@@ -183,7 +183,23 @@ Result<std::string> WriteRecordingCsv(const std::vector<stt::Tuple>& tuples) {
                         out += "\n";
                       });
   for (const auto& t : tuples) {
-    SL_RETURN_IF_ERROR(sink.Write(t));
+    SL_RETURN_IF_ERROR(sink.WriteRow(t));
+  }
+  return out;
+}
+
+Result<std::string> WriteRecordingCsv(const std::vector<stt::TupleRef>& tuples) {
+  if (tuples.empty()) {
+    return Status::InvalidArgument("cannot serialize an empty recording");
+  }
+  std::string out;
+  CsvSink sink("recording",
+                      [&out](const std::string& line) {
+                        out += line;
+                        out += "\n";
+                      });
+  for (const auto& t : tuples) {
+    SL_RETURN_IF_ERROR(sink.WriteRow(*t));
   }
   return out;
 }

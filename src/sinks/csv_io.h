@@ -29,6 +29,7 @@ Result<std::vector<stt::Tuple>> ParseRecordingCsv(const std::string& csv,
 
 /// \brief Serializes tuples (sharing one schema) as a CSV recording.
 Result<std::string> WriteRecordingCsv(const std::vector<stt::Tuple>& tuples);
+Result<std::string> WriteRecordingCsv(const std::vector<stt::TupleRef>& tuples);
 
 }  // namespace sl::sinks
 

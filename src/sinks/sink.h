@@ -21,8 +21,16 @@ class Sink {
 
   const std::string& name() const { return name_; }
 
-  /// Loads one tuple.
-  virtual Status Write(const stt::Tuple& tuple) = 0;
+  /// Loads one tuple. The sink may retain the ref (collect/warehouse
+  /// sinks do); it must never mutate the pointee.
+  virtual Status Write(const stt::TupleRef& tuple) = 0;
+
+  /// Convenience for callers still holding a tuple by value. Derived
+  /// classes overriding the ref form should `using Sink::Write;` to keep
+  /// this overload visible.
+  Status Write(stt::Tuple tuple) {
+    return Write(stt::Tuple::Share(std::move(tuple)));
+  }
 
   /// Completes any buffered output (end of run).
   virtual Status Finish() { return Status::OK(); }

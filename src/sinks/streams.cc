@@ -56,8 +56,8 @@ std::string VisualizationSink::ToFeature(const stt::Tuple& tuple) {
   return w.TakeString();
 }
 
-Status VisualizationSink::Write(const stt::Tuple& tuple) {
-  std::string line = ToFeature(tuple);
+Status VisualizationSink::Write(const stt::TupleRef& tuple) {
+  std::string line = ToFeature(*tuple);
   if (consumer_) {
     consumer_(line);
   } else {
@@ -88,7 +88,11 @@ void CsvSink::EmitLine(const std::string& line) {
   }
 }
 
-Status CsvSink::Write(const stt::Tuple& tuple) {
+Status CsvSink::Write(const stt::TupleRef& tuple) {
+  return WriteRow(*tuple);
+}
+
+Status CsvSink::WriteRow(const stt::Tuple& tuple) {
   if (tuple.schema() == nullptr) {
     return Status::InvalidArgument("tuple without schema");
   }

@@ -28,7 +28,8 @@ class VisualizationSink : public Sink {
   explicit VisualizationSink(std::string name, LineConsumer consumer = nullptr)
       : Sink(std::move(name)), consumer_(std::move(consumer)) {}
 
-  Status Write(const stt::Tuple& tuple) override;
+  using Sink::Write;
+  Status Write(const stt::TupleRef& tuple) override;
 
   /// Collected lines (only populated without an external consumer).
   const std::vector<std::string>& lines() const { return lines_; }
@@ -49,7 +50,12 @@ class CsvSink : public Sink {
   explicit CsvSink(std::string name, LineConsumer consumer = nullptr)
       : Sink(std::move(name)), consumer_(std::move(consumer)) {}
 
-  Status Write(const stt::Tuple& tuple) override;
+  using Sink::Write;
+  Status Write(const stt::TupleRef& tuple) override;
+
+  /// Formats and emits one tuple (header on first use) without going
+  /// through shared ownership — for bulk CSV export of value vectors.
+  Status WriteRow(const stt::Tuple& tuple);
 
   const std::vector<std::string>& lines() const { return lines_; }
 
@@ -61,22 +67,25 @@ class CsvSink : public Sink {
   bool header_written_ = false;
 };
 
-/// \brief Collects tuples in memory.
+/// \brief Collects tuple refs in memory. Stored refs share ownership
+/// with the rest of the dataflow — pointer equality across sinks means
+/// the same tuple was fanned out, not copied.
 class CollectSink : public Sink {
  public:
   explicit CollectSink(std::string name) : Sink(std::move(name)) {}
 
-  Status Write(const stt::Tuple& tuple) override {
+  using Sink::Write;
+  Status Write(const stt::TupleRef& tuple) override {
     tuples_.push_back(tuple);
     CountWrite();
     return Status::OK();
   }
 
-  const std::vector<stt::Tuple>& tuples() const { return tuples_; }
+  const std::vector<stt::TupleRef>& tuples() const { return tuples_; }
   void Clear() { tuples_.clear(); }
 
  private:
-  std::vector<stt::Tuple> tuples_;
+  std::vector<stt::TupleRef> tuples_;
 };
 
 }  // namespace sl::sinks

@@ -10,36 +10,41 @@
 namespace sl::sinks {
 
 Status EventDataWarehouse::Load(const std::string& dataset,
-                                const stt::Tuple& tuple) {
+                                stt::TupleRef tuple) {
+  if (tuple == nullptr) {
+    return Status::InvalidArgument("null tuple");
+  }
   if (!IsIdentifier(dataset)) {
     return Status::InvalidArgument("dataset name '" + dataset +
                                    "' is not a valid identifier");
   }
-  if (tuple.schema() == nullptr) {
+  if (tuple->schema() == nullptr) {
     return Status::InvalidArgument("tuple without schema");
   }
   auto it = datasets_.find(dataset);
   if (it == datasets_.end()) {
     Dataset ds;
-    ds.schema = tuple.schema();
+    ds.schema = tuple->schema();
     it = datasets_.emplace(dataset, std::move(ds)).first;
-  } else if (it->second.schema != tuple.schema() &&
-             !it->second.schema->Equals(*tuple.schema())) {
+  } else if (it->second.schema != tuple->schema() &&
+             !it->second.schema->Equals(*tuple->schema())) {
     return Status::TypeError(StrFormat(
         "schema drift in dataset '%s': stored %s, incoming %s",
         dataset.c_str(), it->second.schema->ToString().c_str(),
-        tuple.schema()->ToString().c_str()));
+        tuple->schema()->ToString().c_str()));
   }
   // Insert keeping event-time order (streams are mostly in order, so the
   // common case is an append).
   auto& rows = it->second.rows;
-  if (rows.empty() || rows.back().timestamp() <= tuple.timestamp()) {
-    rows.push_back(tuple);
+  if (rows.empty() || rows.back()->timestamp() <= tuple->timestamp()) {
+    rows.push_back(std::move(tuple));
   } else {
-    auto pos = std::upper_bound(
-        rows.begin(), rows.end(), tuple.timestamp(),
-        [](Timestamp ts, const stt::Tuple& t) { return ts < t.timestamp(); });
-    rows.insert(pos, tuple);
+    Timestamp ts = tuple->timestamp();
+    auto pos = std::upper_bound(rows.begin(), rows.end(), ts,
+                                [](Timestamp t, const stt::TupleRef& r) {
+                                  return t < r->timestamp();
+                                });
+    rows.insert(pos, std::move(tuple));
   }
   ++total_events_;
   return Status::OK();
@@ -66,7 +71,7 @@ Result<stt::SchemaPtr> EventDataWarehouse::DatasetSchema(
   return it->second.schema;
 }
 
-Result<std::vector<stt::Tuple>> EventDataWarehouse::Query(
+Result<std::vector<stt::TupleRef>> EventDataWarehouse::Query(
     const std::string& dataset, const EventQuery& query) const {
   auto it = datasets_.find(dataset);
   if (it == datasets_.end()) {
@@ -79,14 +84,14 @@ Result<std::vector<stt::Tuple>> EventDataWarehouse::Query(
   auto end = rows.end();
   if (query.time_begin.has_value()) {
     begin = std::lower_bound(rows.begin(), rows.end(), *query.time_begin,
-                             [](const stt::Tuple& t, Timestamp ts) {
-                               return t.timestamp() < ts;
+                             [](const stt::TupleRef& t, Timestamp ts) {
+                               return t->timestamp() < ts;
                              });
   }
   if (query.time_end.has_value()) {
     end = std::upper_bound(begin, rows.end(), *query.time_end,
-                           [](Timestamp ts, const stt::Tuple& t) {
-                             return ts < t.timestamp();
+                           [](Timestamp ts, const stt::TupleRef& t) {
+                             return ts < t->timestamp();
                            });
   }
 
@@ -98,19 +103,20 @@ Result<std::vector<stt::Tuple>> EventDataWarehouse::Query(
         condition, expr::BoundExpr::Parse(query.condition, it->second.schema));
   }
 
-  std::vector<stt::Tuple> out;
+  std::vector<stt::TupleRef> out;
   for (auto row = begin; row != end; ++row) {
+    const stt::Tuple& t = **row;
     if (query.area.has_value()) {
-      if (!row->location().has_value() ||
-          !query.area->Contains(*row->location())) {
+      if (!t.location().has_value() ||
+          !query.area->Contains(*t.location())) {
         continue;
       }
     }
     if (!query.theme.IsAny()) {
-      if (!query.theme.Subsumes(row->schema()->theme())) continue;
+      if (!query.theme.Subsumes(t.schema()->theme())) continue;
     }
     if (has_condition) {
-      SL_ASSIGN_OR_RETURN(bool pass, condition.EvalPredicate(*row));
+      SL_ASSIGN_OR_RETURN(bool pass, condition.EvalPredicate(t));
       if (!pass) continue;
     }
     out.push_back(*row);
@@ -135,16 +141,16 @@ EventDataWarehouse::QueryAggregate(const std::string& dataset,
                              ", aggregates need a numeric attribute");
   }
   SL_ASSIGN_OR_RETURN(size_t idx, schema->FieldIndex(attribute));
-  SL_ASSIGN_OR_RETURN(std::vector<stt::Tuple> rows, Query(dataset, query));
+  SL_ASSIGN_OR_RETURN(std::vector<stt::TupleRef> rows, Query(dataset, query));
 
   std::vector<AggregateRow> out;
   SL_ASSIGN_OR_RETURN(stt::TemporalGranularity gran,
                       stt::TemporalGranularity::Make(bucket));
   for (const auto& row : rows) {
-    const stt::Value& v = row.value(idx);
+    const stt::Value& v = row->value(idx);
     if (v.is_null()) continue;
     double x = *v.ToNumeric();
-    Timestamp start = gran.Truncate(row.timestamp());
+    Timestamp start = gran.Truncate(row->timestamp());
     if (out.empty() || out.back().bucket_start != start) {
       AggregateRow r;
       r.bucket_start = start;
@@ -205,8 +211,8 @@ Status EventDataWarehouse::ImportCsv(const std::string& dataset,
   }
   SL_ASSIGN_OR_RETURN(std::vector<stt::Tuple> tuples,
                       ParseRecordingCsv(csv, schema));
-  for (const auto& t : tuples) {
-    SL_RETURN_IF_ERROR(Load(dataset, t));
+  for (auto& t : tuples) {
+    SL_RETURN_IF_ERROR(Load(dataset, std::move(t)));
   }
   return Status::OK();
 }

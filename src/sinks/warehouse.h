@@ -41,8 +41,15 @@ class EventDataWarehouse {
  public:
   EventDataWarehouse() = default;
 
-  /// Loads one tuple into `dataset` (created on demand).
-  Status Load(const std::string& dataset, const stt::Tuple& tuple);
+  /// Loads one tuple into `dataset` (created on demand). The warehouse
+  /// retains the ref; rows share ownership with the dataflow that
+  /// produced them.
+  Status Load(const std::string& dataset, stt::TupleRef tuple);
+
+  /// Convenience for callers holding a tuple by value.
+  Status Load(const std::string& dataset, stt::Tuple tuple) {
+    return Load(dataset, stt::Tuple::Share(std::move(tuple)));
+  }
 
   /// Names of all datasets (sorted).
   std::vector<std::string> DatasetNames() const;
@@ -53,9 +60,10 @@ class EventDataWarehouse {
   /// Schema of a dataset.
   Result<stt::SchemaPtr> DatasetSchema(const std::string& dataset) const;
 
-  /// Runs an STT query; results are in event-time order.
-  Result<std::vector<stt::Tuple>> Query(const std::string& dataset,
-                                        const EventQuery& query) const;
+  /// Runs an STT query; results are in event-time order. Returned refs
+  /// share ownership with the stored rows (no copies).
+  Result<std::vector<stt::TupleRef>> Query(const std::string& dataset,
+                                           const EventQuery& query) const;
 
   /// One row of a time-bucketed aggregate query.
   struct AggregateRow {
@@ -94,7 +102,7 @@ class EventDataWarehouse {
  private:
   struct Dataset {
     stt::SchemaPtr schema;
-    std::vector<stt::Tuple> rows;  // kept sorted by timestamp
+    std::vector<stt::TupleRef> rows;  // kept sorted by timestamp
   };
   std::map<std::string, Dataset> datasets_;
   uint64_t total_events_ = 0;
@@ -110,7 +118,8 @@ class WarehouseSink : public Sink {
         warehouse_(warehouse),
         dataset_(std::move(dataset)) {}
 
-  Status Write(const stt::Tuple& tuple) override {
+  using Sink::Write;
+  Status Write(const stt::TupleRef& tuple) override {
     SL_RETURN_IF_ERROR(warehouse_->Load(dataset_, tuple));
     CountWrite();
     return Status::OK();

@@ -5,6 +5,22 @@
 #include "util/strings.h"
 
 namespace sl::stt {
+namespace {
+
+size_t ValueBytes(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return 1;
+    case ValueType::kBool: return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+    case ValueType::kTimestamp: return 8;
+    case ValueType::kGeoPoint: return 16;
+    case ValueType::kString: return 4 + v.AsString().size();
+  }
+  return 8;
+}
+
+}  // namespace
 
 Status ValidateValues(const Schema& schema, const std::vector<Value>& values) {
   if (values.size() != schema.num_fields()) {
@@ -52,33 +68,53 @@ Tuple Tuple::MakeUnsafe(SchemaPtr schema, std::vector<Value> values,
   return t;
 }
 
+Result<TupleRef> Tuple::MakeShared(SchemaPtr schema, std::vector<Value> values,
+                                   Timestamp ts,
+                                   std::optional<GeoPoint> location,
+                                   std::string sensor_id) {
+  SL_ASSIGN_OR_RETURN(Tuple t, Make(std::move(schema), std::move(values), ts,
+                                    location, std::move(sensor_id)));
+  return Share(std::move(t));
+}
+
 Result<Value> Tuple::ValueByName(const std::string& name) const {
   SL_ASSIGN_OR_RETURN(size_t idx, schema_->FieldIndex(name));
   return values_[idx];
 }
 
-Tuple Tuple::WithAppended(SchemaPtr new_schema, Value v) const {
+TupleRef Tuple::WithAppended(SchemaPtr new_schema, Value v) const {
   Tuple t = *this;
   t.schema_ = std::move(new_schema);
   t.values_.push_back(std::move(v));
-  return t;
+  t.value_bytes_ = kBytesUnset;
+  return Share(std::move(t));
 }
 
-Tuple Tuple::WithValueAt(SchemaPtr new_schema, size_t i, Value v) const {
+TupleRef Tuple::WithValueAt(SchemaPtr new_schema, size_t i, Value v) const {
   Tuple t = *this;
   t.schema_ = std::move(new_schema);
   assert(i < t.values_.size());
   t.values_[i] = std::move(v);
-  return t;
+  t.value_bytes_ = kBytesUnset;
+  return Share(std::move(t));
 }
 
-Tuple Tuple::WithStt(SchemaPtr new_schema, Timestamp ts,
-                     std::optional<GeoPoint> location) const {
+TupleRef Tuple::WithStt(SchemaPtr new_schema, Timestamp ts,
+                        std::optional<GeoPoint> location) const {
   Tuple t = *this;
   t.schema_ = std::move(new_schema);
   t.ts_ = ts;
   t.location_ = location;
-  return t;
+  return Share(std::move(t));
+}
+
+size_t Tuple::ApproxValueBytes() const {
+  if (value_bytes_ == kBytesUnset) {
+    size_t bytes = 0;
+    for (const auto& v : values_) bytes += ValueBytes(v);
+    value_bytes_ = bytes;
+  }
+  return value_bytes_;
 }
 
 std::string Tuple::ToString() const {
@@ -121,17 +157,24 @@ size_t Batch::ApproxBytes() const {
   size_t bytes = 32;  // header
   for (const auto& t : tuples_) {
     bytes += 24;  // ts + loc + flags
-    for (const auto& v : t.values()) {
-      switch (v.type()) {
-        case ValueType::kNull: bytes += 1; break;
-        case ValueType::kBool: bytes += 1; break;
-        case ValueType::kInt:
-        case ValueType::kDouble:
-        case ValueType::kTimestamp: bytes += 8; break;
-        case ValueType::kGeoPoint: bytes += 16; break;
-        case ValueType::kString: bytes += 4 + v.AsString().size(); break;
-      }
-    }
+    bytes += t.ApproxValueBytes();
+  }
+  return bytes;
+}
+
+void RefBatch::Add(TupleRef tuple) {
+  assert(tuple != nullptr);
+  assert(schema_ == nullptr || tuple->schema() == schema_ ||
+         (tuple->schema() != nullptr && tuple->schema()->Equals(*schema_)));
+  if (schema_ == nullptr) schema_ = tuple->schema();
+  tuples_.push_back(std::move(tuple));
+}
+
+size_t RefBatch::ApproxBytes() const {
+  size_t bytes = 32;  // header
+  for (const auto& t : tuples_) {
+    bytes += 24;  // ts + loc + flags
+    bytes += t->ApproxValueBytes();
   }
   return bytes;
 }

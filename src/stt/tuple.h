@@ -4,10 +4,19 @@
 // the space-time header (when, where, at which granularities) and its
 // provenance (which sensor produced it). Streams move through operators
 // as Batches sharing one schema.
+//
+// Once a tuple enters the dataflow it is immutable; layers pass it around
+// as a TupleRef (shared_ptr<const Tuple>) so broker fan-out, network hops
+// and blocking-operator caches share one allocation instead of deep
+// copying. Deriving operators (transform, virtual property, enrichment)
+// mint a fresh tuple via the With* constructors, which return new refs.
 
 #ifndef STREAMLOADER_STT_TUPLE_H_
 #define STREAMLOADER_STT_TUPLE_H_
 
+#include <cstddef>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,6 +24,12 @@
 #include "stt/schema.h"
 
 namespace sl::stt {
+
+class Tuple;
+
+/// \brief Shared immutable ownership of one tuple — the unit of tuple
+/// movement across broker, executor, network hops, operators and sinks.
+using TupleRef = std::shared_ptr<const Tuple>;
 
 /// \brief One STT event.
 class Tuple {
@@ -32,6 +47,18 @@ class Tuple {
   static Tuple MakeUnsafe(SchemaPtr schema, std::vector<Value> values,
                           Timestamp ts, std::optional<GeoPoint> location,
                           std::string sensor_id = "");
+
+  /// Validating constructor that immediately wraps the tuple in shared
+  /// ownership — what producers feeding the dataflow should use.
+  static Result<TupleRef> MakeShared(SchemaPtr schema,
+                                     std::vector<Value> values, Timestamp ts,
+                                     std::optional<GeoPoint> location,
+                                     std::string sensor_id = "");
+
+  /// Moves an already-built tuple into shared ownership.
+  static TupleRef Share(Tuple t) {
+    return std::make_shared<const Tuple>(std::move(t));
+  }
 
   const SchemaPtr& schema() const { return schema_; }
   const std::vector<Value>& values() const { return values_; }
@@ -53,16 +80,22 @@ class Tuple {
   /// Value of the named field; error if absent.
   Result<Value> ValueByName(const std::string& name) const;
 
-  /// Copy with a value appended (for Virtual Property) — the caller
-  /// supplies the new schema.
-  Tuple WithAppended(SchemaPtr new_schema, Value v) const;
+  /// New shared tuple with a value appended (for Virtual Property) — the
+  /// caller supplies the new schema.
+  TupleRef WithAppended(SchemaPtr new_schema, Value v) const;
 
-  /// Copy with the i-th value replaced (for Transform).
-  Tuple WithValueAt(SchemaPtr new_schema, size_t i, Value v) const;
+  /// New shared tuple with the i-th value replaced (for Transform).
+  TupleRef WithValueAt(SchemaPtr new_schema, size_t i, Value v) const;
 
-  /// Copy with a new timestamp and/or location (granularity coarsening).
-  Tuple WithStt(SchemaPtr new_schema, Timestamp ts,
-                std::optional<GeoPoint> location) const;
+  /// New shared tuple with a new timestamp and/or location (granularity
+  /// coarsening).
+  TupleRef WithStt(SchemaPtr new_schema, Timestamp ts,
+                   std::optional<GeoPoint> location) const;
+
+  /// Rough serialized size of the value vector in bytes, memoized — the
+  /// executor charges this (plus a fixed header) to every network hop, so
+  /// it must not be recomputed per edge.
+  size_t ApproxValueBytes() const;
 
   /// "(v1, v2, ...) @ts loc=(lat,lon) from=sensor".
   std::string ToString() const;
@@ -72,11 +105,18 @@ class Tuple {
   bool EqualsIgnoringSensor(const Tuple& other) const;
 
  private:
+  static constexpr size_t kBytesUnset = std::numeric_limits<size_t>::max();
+
   SchemaPtr schema_;
   std::vector<Value> values_;
   Timestamp ts_ = 0;
   std::optional<GeoPoint> location_;
   std::string sensor_id_;
+  // Lazily computed by ApproxValueBytes(); value-preserving derivations
+  // (WithStt) keep it, value-changing ones (WithAppended/WithValueAt)
+  // reset it. Benign to race only in single-threaded executors, which is
+  // the current execution model.
+  mutable size_t value_bytes_ = kBytesUnset;
 };
 
 /// \brief A batch of tuples sharing one schema — the unit in which
@@ -108,6 +148,35 @@ class Batch {
  private:
   SchemaPtr schema_;
   std::vector<Tuple> tuples_;
+};
+
+/// \brief A batch of shared tuple refs — what blocking operators emit from
+/// a flush so every downstream edge forwards the same allocations.
+class RefBatch {
+ public:
+  RefBatch() = default;
+  explicit RefBatch(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  void set_schema(SchemaPtr schema) { schema_ = std::move(schema); }
+
+  /// Appends a ref; in debug builds asserts the schema pointer matches.
+  void Add(TupleRef tuple);
+
+  const std::vector<TupleRef>& tuples() const { return tuples_; }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const TupleRef& operator[](size_t i) const { return tuples_[i]; }
+
+  void Clear() { tuples_.clear(); }
+
+  /// Rough serialized size in bytes (memoized per tuple).
+  size_t ApproxBytes() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<TupleRef> tuples_;
 };
 
 /// \brief Validates one value vector against a schema (arity, type,

@@ -162,8 +162,8 @@ TEST(RecordingTest, ReplaySensorFromCsvEmits) {
 
   std::vector<double> seen;
   SL_ASSERT_OK(fleet.Add(std::move(sensor).ValueOrDie()));
-  auto sub = broker.SubscribeData("rec", [&](const stt::Tuple& t) {
-    seen.push_back(t.value(0).AsDouble());
+  auto sub = broker.SubscribeData("rec", [&](const stt::TupleRef& t) {
+    seen.push_back(t->value(0).AsDouble());
   });
   ASSERT_TRUE(sub.ok());
   loop.RunFor(3 * duration::kSecond);

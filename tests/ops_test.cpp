@@ -65,7 +65,7 @@ struct Harness {
     EXPECT_TRUE(result.ok()) << result.status();
     if (result.ok()) {
       op_ = std::move(result).ValueOrDie();
-      op_->set_emit([this](const Tuple& t) { out.push_back(t); });
+      op_->set_emit([this](const stt::TupleRef& t) { out.push_back(*t); });
     }
   }
   Operator& op() { return *op_; }
@@ -585,7 +585,7 @@ TEST(DebuggerTest, RunsDataflowOnSamples) {
   EXPECT_EQ(result->outputs.at("src").size(), 3u);
   EXPECT_EQ(result->outputs.at("hot").size(), 2u);
   ASSERT_EQ(result->outputs.at("cnt").size(), 1u);
-  EXPECT_EQ(result->outputs.at("cnt")[0].value(0).AsInt(), 2);
+  EXPECT_EQ(result->outputs.at("cnt")[0]->value(0).AsInt(), 2);
   ASSERT_EQ(result->activations.size(), 1u);
   EXPECT_TRUE(result->activations[0].activate);
   EXPECT_EQ(result->activations[0].sensor_ids,

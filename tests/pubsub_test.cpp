@@ -157,11 +157,11 @@ TEST_F(BrokerTest, RegistryNotifications) {
 TEST_F(BrokerTest, DataSubscriptionAndFanout) {
   SL_EXPECT_OK(broker_.Publish(MakeInfo("t1")));
   int count1 = 0, count2 = 0;
-  auto sub1 = broker_.SubscribeData("t1", [&](const stt::Tuple&) { ++count1; });
+  auto sub1 = broker_.SubscribeData("t1", [&](const stt::TupleRef&) { ++count1; });
   ASSERT_TRUE(sub1.ok());
-  auto sub2 = broker_.SubscribeData("t1", [&](const stt::Tuple&) { ++count2; });
+  auto sub2 = broker_.SubscribeData("t1", [&](const stt::TupleRef&) { ++count2; });
   ASSERT_TRUE(sub2.ok());
-  EXPECT_TRUE(broker_.SubscribeData("ghost", [](const stt::Tuple&) {})
+  EXPECT_TRUE(broker_.SubscribeData("ghost", [](const stt::TupleRef&) {})
                   .status().IsNotFound());
 
   auto schema = TempSchema();
@@ -188,8 +188,8 @@ TEST_F(BrokerTest, SttEnrichmentTimestamp) {
   SL_EXPECT_OK(broker_.Publish(info));
   clock_.AdvanceTo(90500);  // 1m30.5s
   stt::Tuple received;
-  auto sub = broker_.SubscribeData("t1", [&](const stt::Tuple& t) {
-    received = t;
+  auto sub = broker_.SubscribeData("t1", [&](const stt::TupleRef& t) {
+    received = *t;
   });
   ASSERT_TRUE(sub.ok());
   auto schema = TempSchema();
@@ -205,8 +205,8 @@ TEST_F(BrokerTest, SttEnrichmentLocation) {
   info.location = stt::GeoPoint{34.1, 135.2};
   SL_EXPECT_OK(broker_.Publish(info));
   stt::Tuple received;
-  auto sub = broker_.SubscribeData("t1", [&](const stt::Tuple& t) {
-    received = t;
+  auto sub = broker_.SubscribeData("t1", [&](const stt::TupleRef& t) {
+    received = *t;
   });
   ASSERT_TRUE(sub.ok());
   auto schema = TempSchema();
@@ -229,8 +229,8 @@ TEST_F(BrokerTest, SttEnrichmentSpatialSnap) {
   info.schema = schema;
   SL_EXPECT_OK(broker_.Publish(info));
   stt::Tuple received;
-  auto sub = broker_.SubscribeData("t1", [&](const stt::Tuple& t) {
-    received = t;
+  auto sub = broker_.SubscribeData("t1", [&](const stt::TupleRef& t) {
+    received = *t;
   });
   ASSERT_TRUE(sub.ok());
   SL_EXPECT_OK(broker_.PublishTuple(
@@ -243,7 +243,7 @@ TEST_F(BrokerTest, SttEnrichmentSpatialSnap) {
 TEST_F(BrokerTest, UnpublishDropsDataSubscriptions) {
   SL_EXPECT_OK(broker_.Publish(MakeInfo("t1")));
   int count = 0;
-  auto sub = broker_.SubscribeData("t1", [&](const stt::Tuple&) { ++count; });
+  auto sub = broker_.SubscribeData("t1", [&](const stt::TupleRef&) { ++count; });
   ASSERT_TRUE(sub.ok());
   SL_EXPECT_OK(broker_.Unpublish("t1"));
   // Re-publishing the same id starts with a clean subscriber list.
@@ -258,7 +258,7 @@ TEST_F(BrokerTest, QuerySubscriptionCoversFutureJoiners) {
   query.theme = *stt::Theme::Parse("weather");
   std::vector<std::string> seen;
   auto sub = broker_.SubscribeDataByQuery(
-      query, [&](const stt::Tuple& t) { seen.push_back(t.sensor_id()); });
+      query, [&](const stt::TupleRef& t) { seen.push_back(t->sensor_id()); });
 
   SL_EXPECT_OK(broker_.Publish(MakeInfo("t1")));
   auto schema = TempSchema();

@@ -137,7 +137,7 @@ TEST(QuerySourceTest, ConsumesAllMatchesAndFutureJoiners) {
   ASSERT_NE(sink, nullptr);
   EXPECT_EQ(sink->tuples().size(), 20u);
   std::set<std::string> producers;
-  for (const auto& t : sink->tuples()) producers.insert(t.sensor_id());
+  for (const auto& t : sink->tuples()) producers.insert(t->sensor_id());
   EXPECT_EQ(producers, (std::set<std::string>{"a", "b"}));
 
   // Plug-and-play: a third Osaka sensor joins mid-run and its stream
@@ -145,7 +145,7 @@ TEST(QuerySourceTest, ConsumesAllMatchesAndFutureJoiners) {
   SL_ASSERT_OK(loader.AddSensor(TempAt("c", {34.7, 135.6}, "node_3", 4)));
   loader.RunFor(10 * duration::kSecond + 100);
   producers.clear();
-  for (const auto& t : sink->tuples()) producers.insert(t.sensor_id());
+  for (const auto& t : sink->tuples()) producers.insert(t->sensor_id());
   EXPECT_EQ(producers, (std::set<std::string>{"a", "b", "c"}));
   EXPECT_EQ(sink->tuples().size(), 50u);  // 20 + 2*10 + 10
   EXPECT_EQ((*loader.executor().stats(id))->process_errors, 0u);

@@ -32,10 +32,10 @@ TEST(GeneratorsTest, TemperatureDiurnalCycleAndDeterminism) {
   Timestamp twoam = 2 * duration::kHour;
   auto ta = *a->Generate(twopm);
   auto tb = *b->Generate(twopm);
-  EXPECT_TRUE(ta.EqualsIgnoringSensor(tb));
+  EXPECT_TRUE(ta->EqualsIgnoringSensor(*tb));
   // Peak near 14:00, trough near 02:00 (amplitude 8, no noise).
-  double afternoon = ta.value(0).AsDouble();
-  double night = (*a->Generate(twoam)).value(0).AsDouble();
+  double afternoon = ta->value(0).AsDouble();
+  double night = (*a->Generate(twoam))->value(0).AsDouble();
   EXPECT_GT(afternoon, 26.0);
   EXPECT_LT(night, 14.0);
 }
@@ -44,8 +44,8 @@ TEST(GeneratorsTest, TemperatureUnitHeterogeneity) {
   auto c = MakeTemperatureSensor(FastConfig("tc"), 20.0, 0.0, 0.0, "celsius");
   auto f = MakeTemperatureSensor(FastConfig("tf"), 20.0, 0.0, 0.0,
                                  "fahrenheit");
-  double vc = (*c->Generate(0)).value(0).AsDouble();
-  double vf = (*f->Generate(0)).value(0).AsDouble();
+  double vc = (*c->Generate(0))->value(0).AsDouble();
+  double vf = (*f->Generate(0))->value(0).AsDouble();
   EXPECT_NEAR(vf, vc * 9.0 / 5.0 + 32.0, 1e-9);
   EXPECT_EQ((*f->info().schema->FieldByName("temp")).unit, "fahrenheit");
 }
@@ -53,7 +53,7 @@ TEST(GeneratorsTest, TemperatureUnitHeterogeneity) {
 TEST(GeneratorsTest, HumidityBounded) {
   auto h = MakeHumiditySensor(FastConfig("h", 3), 65.0, 30.0, 10.0);
   for (int i = 0; i < 200; ++i) {
-    double v = (*h->Generate(i * duration::kMinute)).value(0).AsDouble();
+    double v = (*h->Generate(i * duration::kMinute))->value(0).AsDouble();
     EXPECT_GE(v, 5.0);
     EXPECT_LE(v, 100.0);
   }
@@ -63,7 +63,7 @@ TEST(GeneratorsTest, RainMostlyDryWithBursts) {
   auto r = MakeRainSensor(FastConfig("r", 5), 0.05, 0.85, 8.0);
   int dry = 0, torrential = 0;
   for (int i = 0; i < 2000; ++i) {
-    double mmh = (*r->Generate(i)).value(0).AsDouble();
+    double mmh = (*r->Generate(i))->value(0).AsDouble();
     EXPECT_GE(mmh, 0.0);
     if (mmh == 0.0) ++dry;
     if (mmh > 10.0) ++torrential;
@@ -76,12 +76,12 @@ TEST(GeneratorsTest, PressureAndWindSane) {
   auto p = MakePressureSensor(FastConfig("p", 9));
   auto w = MakeWindSensor(FastConfig("w", 11));
   for (int i = 0; i < 500; ++i) {
-    double hpa = (*p->Generate(i)).value(0).AsDouble();
+    double hpa = (*p->Generate(i))->value(0).AsDouble();
     EXPECT_GE(hpa, 980.0);
     EXPECT_LE(hpa, 1040.0);
     auto gust = *w->Generate(i);
-    EXPECT_GE(gust.value(0).AsDouble(), 0.0);
-    int64_t dir = gust.value(1).AsInt();
+    EXPECT_GE(gust->value(0).AsDouble(), 0.0);
+    int64_t dir = gust->value(1).AsInt();
     EXPECT_GE(dir, 0);
     EXPECT_LT(dir, 360);
   }
@@ -97,9 +97,9 @@ TEST(GeneratorsTest, TweetsCarryLocationsAndKeywords) {
   int rainy = 0;
   for (int i = 0; i < 400; ++i) {
     auto t = *tw->Generate(i * 1000);
-    ASSERT_TRUE(t.location().has_value());
-    EXPECT_NEAR(t.location()->lat, config.center.lat, config.jitter_deg + 1e-9);
-    const std::string& text = t.value(0).AsString();
+    ASSERT_TRUE(t->location().has_value());
+    EXPECT_NEAR(t->location()->lat, config.center.lat, config.jitter_deg + 1e-9);
+    const std::string& text = t->value(0).AsString();
     if (text.find("rain") != std::string::npos ||
         text.find("storm") != std::string::npos ||
         text.find("flood") != std::string::npos) {
@@ -118,8 +118,8 @@ TEST(GeneratorsTest, TrafficRushHourSlowdown) {
   double rush_total = 0, free_total = 0;
   for (int d = 0; d < 10; ++d) {
     Timestamp day = d * duration::kDay;
-    rush_total += (*tr->Generate(day + 8 * duration::kHour)).value(0).AsDouble();
-    free_total += (*tr->Generate(day + 3 * duration::kHour)).value(0).AsDouble();
+    rush_total += (*tr->Generate(day + 8 * duration::kHour))->value(0).AsDouble();
+    free_total += (*tr->Generate(day + 3 * duration::kHour))->value(0).AsDouble();
   }
   EXPECT_LT(rush_total, free_total * 0.7);
   // Traffic relies on pub/sub enrichment.
@@ -141,11 +141,11 @@ TEST(GeneratorsTest, ReplayCyclesRecording) {
   info.location = stt::GeoPoint{0, 0};
   auto replay = MakeReplaySensor(info, recording);
   ASSERT_TRUE(replay.ok()) << replay.status();
-  EXPECT_DOUBLE_EQ((*(*replay)->Generate(100)).value(0).AsDouble(), 1.0);
-  EXPECT_DOUBLE_EQ((*(*replay)->Generate(200)).value(0).AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ((*(*replay)->Generate(100))->value(0).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ((*(*replay)->Generate(200))->value(0).AsDouble(), 2.0);
   auto third = *(*replay)->Generate(300);
-  EXPECT_DOUBLE_EQ(third.value(0).AsDouble(), 1.0);  // wraps around
-  EXPECT_EQ(third.timestamp(), 300);  // re-stamped to emission time
+  EXPECT_DOUBLE_EQ(third->value(0).AsDouble(), 1.0);  // wraps around
+  EXPECT_EQ(third->timestamp(), 300);  // re-stamped to emission time
 
   EXPECT_TRUE(MakeReplaySensor(info, {}).status().IsInvalidArgument());
 }
@@ -163,7 +163,7 @@ TEST_F(FleetTest, AddPublishesAndEmits) {
   SL_ASSERT_OK(fleet_.Add(MakeTemperatureSensor(FastConfig("t1"))));
   EXPECT_TRUE(broker_.IsPublished("t1"));
   int received = 0;
-  auto sub = broker_.SubscribeData("t1", [&](const stt::Tuple&) {
+  auto sub = broker_.SubscribeData("t1", [&](const stt::TupleRef&) {
     ++received;
   });
   ASSERT_TRUE(sub.ok());

@@ -61,8 +61,8 @@ TEST_F(WarehouseTest, QueryByTimeRange) {
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 4u);  // minutes 2,3,4,5 inclusive
   for (const auto& r : *rows) {
-    EXPECT_GE(r.timestamp(), *q.time_begin);
-    EXPECT_LE(r.timestamp(), *q.time_end);
+    EXPECT_GE(r->timestamp(), *q.time_begin);
+    EXPECT_LE(r->timestamp(), *q.time_end);
   }
 }
 
@@ -103,7 +103,7 @@ TEST_F(WarehouseTest, QueryLimitAndCombined) {
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 3u);
   // Results in event-time order.
-  EXPECT_LT((*rows)[0].timestamp(), (*rows)[2].timestamp());
+  EXPECT_LT((*rows)[0]->timestamp(), (*rows)[2]->timestamp());
   EXPECT_TRUE(wh_.Query("ghost", q).status().IsNotFound());
 }
 
@@ -114,7 +114,7 @@ TEST_F(WarehouseTest, OutOfOrderLoadKeepsTimeOrder) {
   EventQuery q;
   auto rows = *wh_.Query("readings", q);
   for (size_t i = 1; i < rows.size(); ++i) {
-    EXPECT_LE(rows[i - 1].timestamp(), rows[i].timestamp());
+    EXPECT_LE(rows[i - 1]->timestamp(), rows[i]->timestamp());
   }
 }
 

@@ -49,7 +49,7 @@ struct Harness {
                                     options);
     EXPECT_TRUE(result.ok()) << result.status();
     op_ = std::move(result).ValueOrDie();
-    op_->set_emit([this](const Tuple& t) { out.push_back(t); });
+    op_->set_emit([this](const stt::TupleRef& t) { out.push_back(*t); });
   }
   std::unique_ptr<ops::Operator> op_;
   std::vector<Tuple> out;

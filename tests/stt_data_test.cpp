@@ -246,18 +246,18 @@ TEST(TupleTest, ValueByNameAndDerivations) {
   EXPECT_TRUE(t.ValueByName("ghost").status().IsNotFound());
 
   auto wider = *schema->AddField({"extra", ValueType::kInt, "", true});
-  Tuple appended = t.WithAppended(wider, Value::Int(9));
-  EXPECT_EQ(appended.values().size(), 3u);
-  EXPECT_EQ(appended.value(2).AsInt(), 9);
-  EXPECT_EQ(appended.timestamp(), t.timestamp());
+  TupleRef appended = t.WithAppended(wider, Value::Int(9));
+  EXPECT_EQ(appended->values().size(), 3u);
+  EXPECT_EQ(appended->value(2).AsInt(), 9);
+  EXPECT_EQ(appended->timestamp(), t.timestamp());
 
-  Tuple replaced = t.WithValueAt(schema, 0, Value::Double(0.0));
-  EXPECT_DOUBLE_EQ(replaced.value(0).AsDouble(), 0.0);
+  TupleRef replaced = t.WithValueAt(schema, 0, Value::Double(0.0));
+  EXPECT_DOUBLE_EQ(replaced->value(0).AsDouble(), 0.0);
   EXPECT_DOUBLE_EQ(t.value(0).AsDouble(), 21.5);  // original untouched
 
-  Tuple restamped = t.WithStt(schema, 99999, std::nullopt);
-  EXPECT_EQ(restamped.timestamp(), 99999);
-  EXPECT_FALSE(restamped.location().has_value());
+  TupleRef restamped = t.WithStt(schema, 99999, std::nullopt);
+  EXPECT_EQ(restamped->timestamp(), 99999);
+  EXPECT_FALSE(restamped->location().has_value());
 }
 
 TEST(TupleTest, EqualsIgnoringSensor) {

@@ -1,0 +1,163 @@
+// Tests of the shared-tuple ownership model (stt::TupleRef): the same
+// immutable tuple instance must flow through broker, executor, network
+// and sinks without deep copies, and blocking caches must bound their
+// retained refs with oldest-first eviction.
+
+#include <gtest/gtest.h>
+
+#include "core/streamloader.h"
+#include "dataflow/op_spec.h"
+#include "ops/operator.h"
+#include "pubsub/broker.h"
+#include "sensors/generators.h"
+#include "sinks/streams.h"
+#include "tests/test_util.h"
+
+namespace sl {
+namespace {
+
+using dataflow::SinkKind;
+using sl::testing::TempSchema;
+using sl::testing::TempTuple;
+using stt::TupleRef;
+
+std::unique_ptr<sensors::SensorSimulator> FastTempSensor(
+    const std::string& id, const std::string& node) {
+  sensors::PhysicalConfig config;
+  config.id = id;
+  config.period = duration::kSecond;
+  config.temporal_granularity = duration::kSecond;
+  config.node_id = node;
+  return sensors::MakeTemperatureSensor(config);
+}
+
+// ---------------------------------------------------------------- fan-out --
+
+// One source fanning out to three collect sinks through a full deploy:
+// every consumer must observe the SAME shared tuple (pointer identity),
+// i.e. Route/Deliver/Write forwarded refs instead of copying.
+TEST(TupleRefTest, FanOutSharesOneTupleAcrossAllConsumers) {
+  StreamLoaderOptions options;
+  options.network_nodes = 4;
+  StreamLoader loader(options);
+  SL_ASSERT_OK(loader.AddSensor(FastTempSensor("t1", "node_0")));
+
+  auto df = *loader.NewDataflow("fanout")
+                 .AddSource("src", "t1")
+                 .AddFilter("keep", "src", "temp > -100")
+                 .AddSink("a", "keep", SinkKind::kCollect)
+                 .AddSink("b", "keep", SinkKind::kCollect)
+                 .AddSink("c", "keep", SinkKind::kCollect)
+                 .Build();
+  auto id = *loader.Deploy(df);
+  loader.RunFor(5 * duration::kSecond + 100);
+
+  auto* a = dynamic_cast<sinks::CollectSink*>(*loader.executor().SinkOf(id, "a"));
+  auto* b = dynamic_cast<sinks::CollectSink*>(*loader.executor().SinkOf(id, "b"));
+  auto* c = dynamic_cast<sinks::CollectSink*>(*loader.executor().SinkOf(id, "c"));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(a->tuples().size(), 5u);
+  ASSERT_EQ(b->tuples().size(), 5u);
+  ASSERT_EQ(c->tuples().size(), 5u);
+  for (size_t i = 0; i < a->tuples().size(); ++i) {
+    EXPECT_EQ(a->tuples()[i].get(), b->tuples()[i].get());
+    EXPECT_EQ(a->tuples()[i].get(), c->tuples()[i].get());
+  }
+}
+
+// Broker enrichment must not mint a new tuple when the sensor already
+// provided a normalized header: both subscribers see the published ref.
+TEST(TupleRefTest, BrokerForwardsRefWhenEnrichmentIsNoop) {
+  net::EventLoop loop;
+  pubsub::Broker broker(&loop.clock());
+  pubsub::SensorInfo info;
+  info.id = "t1";
+  info.type = "temperature";
+  info.schema = TempSchema(duration::kSecond);  // 1s granularity, point space
+  info.period = duration::kSecond;
+  info.location = stt::GeoPoint{34.69, 135.50};
+  info.provides_timestamp = true;
+  info.provides_location = true;
+  SL_ASSERT_OK(broker.Publish(info));
+
+  TupleRef seen1, seen2;
+  ASSERT_TRUE(broker.SubscribeData("t1", [&](const TupleRef& t) { seen1 = t; }).ok());
+  ASSERT_TRUE(broker.SubscribeData("t1", [&](const TupleRef& t) { seen2 = t; }).ok());
+
+  // Timestamp already on the second boundary, location set: a no-op
+  // enrichment must forward the incoming ref unchanged.
+  TupleRef published = stt::Tuple::Share(
+      TempTuple(info.schema, 21.5, 3000, stt::GeoPoint{34.69, 135.50}, "t1"));
+  SL_ASSERT_OK(broker.PublishTuple("t1", published));
+  EXPECT_EQ(seen1.get(), published.get());
+  EXPECT_EQ(seen2.get(), published.get());
+
+  // A tuple needing truncation gets ONE enriched replacement shared by
+  // all subscribers.
+  TupleRef ragged = stt::Tuple::Share(
+      TempTuple(info.schema, 22.0, 3500, stt::GeoPoint{34.69, 135.50}, "t1"));
+  SL_ASSERT_OK(broker.PublishTuple("t1", ragged));
+  EXPECT_NE(seen1.get(), ragged.get());
+  EXPECT_EQ(seen1.get(), seen2.get());
+  EXPECT_EQ(seen1->timestamp(), 3000);
+}
+
+// --------------------------------------------------------- cache eviction --
+
+// Filling an aggregation past max_cache_tuples must evict oldest-first
+// and count every eviction in stats().dropped.
+TEST(TupleRefTest, AggregationCacheEvictsOldestAndCountsDrops) {
+  dataflow::AggregationSpec spec;
+  spec.interval = duration::kHour;
+  spec.func = dataflow::AggFunc::kMin;
+  spec.attributes = {"temp"};
+  ops::OperatorOptions options;
+  options.max_cache_tuples = 8;
+  auto schema = TempSchema();
+  auto op = std::move(ops::MakeOperator("agg", dataflow::OpKind::kAggregation,
+                                        spec, {schema}, {"in"}, options))
+                .ValueOrDie();
+  std::vector<TupleRef> out;
+  op->set_emit([&](const TupleRef& t) { out.push_back(t); });
+
+  // 12 tuples with strictly increasing temperature: the coldest (oldest)
+  // four must be evicted before the flush.
+  for (int i = 0; i < 12; ++i) {
+    SL_ASSERT_OK(op->Process(
+        0, TempTuple(schema, 10.0 + i, i * duration::kSecond)));
+  }
+  EXPECT_EQ(op->stats().dropped, 4u);
+  EXPECT_EQ(op->stats().cache_size, 8u);
+
+  SL_ASSERT_OK(op->Flush(duration::kHour));
+  ASSERT_EQ(out.size(), 1u);
+  // min over the surviving window [14.0, 21.0]: tuples 0..3 were evicted.
+  EXPECT_DOUBLE_EQ(out[0]->value(0).AsDouble(), 14.0);
+  EXPECT_EQ(op->stats().cache_size, 0u);
+}
+
+// The cache retains refs, not copies: the cached tuple is the very
+// instance the producer shared.
+TEST(TupleRefTest, BlockingCacheRetainsSharedRef) {
+  dataflow::AggregationSpec spec;
+  spec.interval = duration::kHour;
+  spec.func = dataflow::AggFunc::kCount;
+  spec.attributes = {"temp"};
+  auto schema = TempSchema();
+  auto op = std::move(ops::MakeOperator("agg", dataflow::OpKind::kAggregation,
+                                        spec, {schema}, {"in"}, {}))
+                .ValueOrDie();
+  op->set_emit([](const TupleRef&) {});
+
+  TupleRef t = stt::Tuple::Share(TempTuple(schema, 20.0, 1000));
+  EXPECT_EQ(t.use_count(), 1);
+  SL_ASSERT_OK(op->Process(0, t));
+  EXPECT_EQ(t.use_count(), 2);  // cache holds the same instance
+  SL_ASSERT_OK(op->Flush(duration::kHour));
+  EXPECT_EQ(t.use_count(), 1);  // flush released it
+}
+
+}  // namespace
+}  // namespace sl
