@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: build + test the release config, then the
-# ASan/UBSan config. Both must pass.
+# ASan/UBSan config. Both must pass. The chaos suite (seed-replayable
+# fault injection) runs inside ctest in both configs; the sanitizer
+# config additionally re-runs it with --repeat-until-fail to shake out
+# flaky interleavings, and the fault benchmark's JSON lands in
+# artifacts/ for trend diffing.
 #
 # Usage: scripts/ci.sh [jobs]
 
@@ -8,6 +12,8 @@ set -euo pipefail
 
 jobs="${1:-$(nproc)}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
+artifacts="${root}/artifacts"
+mkdir -p "${artifacts}"
 
 run_config() {
   local build_dir="$1"
@@ -23,4 +29,12 @@ run_config() {
 run_config build
 run_config build-asan -DSL_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "==> all configs green"
+echo "==> chaos suite under sanitizers, repeated"
+ctest --test-dir "${root}/build-asan" --output-on-failure \
+  -R 'Chaos' --repeat-until-fail 3 -j "${jobs}"
+
+echo "==> fault benchmark"
+(cd "${root}/build" && ./bench/bench_faults --benchmark_min_time=0.01)
+cp "${root}/build/BENCH_faults.json" "${artifacts}/BENCH_faults.json"
+
+echo "==> all configs green (artifacts in ${artifacts}/)"

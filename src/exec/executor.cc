@@ -46,6 +46,23 @@ struct ExecutorDetail {
   std::unique_ptr<DeploymentActivation> activation;
 };
 
+std::string DeploymentStats::ToString() const {
+  return StrFormat(
+      "ingested %llu delivered %llu qos_violations %llu process_errors %llu "
+      "activations %llu migrations %llu retransmits %llu messages_lost %llu "
+      "node_failures %llu recoveries %llu",
+      static_cast<unsigned long long>(tuples_ingested),
+      static_cast<unsigned long long>(tuples_delivered),
+      static_cast<unsigned long long>(qos_violations),
+      static_cast<unsigned long long>(process_errors),
+      static_cast<unsigned long long>(activations),
+      static_cast<unsigned long long>(migrations),
+      static_cast<unsigned long long>(retransmits),
+      static_cast<unsigned long long>(messages_lost),
+      static_cast<unsigned long long>(node_failures),
+      static_cast<unsigned long long>(recoveries));
+}
+
 Executor::Executor(net::EventLoop* loop, net::Network* network,
                    pubsub::Broker* broker, monitor::Monitor* monitor,
                    sinks::SinkContext sink_context, ExecutorOptions options)
@@ -61,15 +78,43 @@ Executor::Executor(net::EventLoop* loop, net::Network* network,
         [this](Duration window) { return SampleOperators(window); });
     monitor_->set_tick_listener(
         [this](const monitor::MonitorReport& report) { OnMonitorTick(report); });
+    monitor_->set_fault_sampler([this] {
+      monitor::FaultSample sample;
+      const net::Network::FaultStats& fs = network_->fault_stats();
+      sample.messages_dropped = fs.messages_dropped;
+      sample.messages_duplicated = fs.messages_duplicated;
+      for (const auto& [id, dep] : deployments_) {
+        sample.retransmits += dep->stats.retransmits;
+        sample.messages_lost += dep->stats.messages_lost;
+        sample.node_failures += dep->stats.node_failures;
+        sample.recoveries += dep->stats.recoveries;
+      }
+      return sample;
+    });
+  }
+  if (options_.heartbeat_ms > 0) {
+    heartbeat_timer_ = loop_->SchedulePeriodic(options_.heartbeat_ms,
+                                               [this] { OnHeartbeat(); });
   }
 }
 
 Executor::~Executor() {
+  if (heartbeat_timer_ != 0) {
+    loop_->Cancel(heartbeat_timer_);
+    heartbeat_timer_ = 0;
+  }
   for (auto& [id, dep] : deployments_) {
     if (dep->active) {
       Status s = Undeploy(id);
       (void)s;
     }
+  }
+  // Detach the monitor's callbacks into this executor; the monitor may
+  // keep ticking (it usually outlives us in composition order).
+  if (monitor_ != nullptr) {
+    monitor_->set_operator_sampler(nullptr);
+    monitor_->set_tick_listener(nullptr);
+    monitor_->set_fault_sampler(nullptr);
   }
 }
 
@@ -92,9 +137,10 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
                                    report.ToString());
   }
 
-  auto deployment = std::make_unique<Deployment>();
+  auto deployment = std::make_shared<Deployment>();
   Deployment* dep = deployment.get();
   dep->id = next_id_++;
+  dep->self = deployment;
   dep->dataflow = std::move(dataflow);
   auto detail = std::make_shared<ExecutorDetail>();
   detail->activation =
@@ -324,14 +370,31 @@ void Executor::Route(Deployment* dep, const std::string& producer,
       }
     }
     // The network hop captures a shared ref, not a deep copy: every
-    // out-edge of every deployment forwards the same allocation.
+    // out-edge of every deployment forwards the same allocation. The
+    // deployment itself is captured weakly so a message landing after
+    // Undeploy (or executor destruction) is a no-op.
     Edge edge_copy = edge;
+    std::weak_ptr<Deployment> weak = dep->self;
+    net::TransferOptions transfer_options;
+    if (options_.reliable_delivery) {
+      transfer_options.reliable = true;
+      transfer_options.ack_timeout = options_.ack_timeout_ms;
+      transfer_options.max_retransmits = options_.max_retransmits;
+      transfer_options.on_retransmit = [weak](int) {
+        if (auto d = weak.lock()) ++d->stats.retransmits;
+      };
+    }
+    transfer_options.on_lost = [weak] {
+      if (auto d = weak.lock()) ++d->stats.messages_lost;
+    };
     Status s = network_->Transfer(
         producer_node, target_node, bytes,
-        [this, dep, edge_copy, tuple] {
-          if (!dep->active) return;
-          Deliver(dep, edge_copy, tuple);
-        });
+        [this, weak, edge_copy, tuple] {
+          auto d = weak.lock();
+          if (!d || !d->active) return;
+          Deliver(d.get(), edge_copy, tuple);
+        },
+        std::move(transfer_options));
     if (!s.ok()) {
       ++dep->stats.process_errors;
       SL_LOG(kError) << "transfer " << producer << " -> " << edge.to
@@ -564,10 +627,16 @@ Status Executor::MigrateOperator(DeploymentId id, const std::string& op_name,
   std::string from = op_it->second.node_id;
   if (from == target_node) return Status::OK();
   // Simulate the state hand-off: blocking caches move over the network.
+  // A failed hand-off (source crashed or partitioned — the crash-recovery
+  // path) loses the cache state but does not block the re-placement.
   size_t state_bytes =
       64 + op_it->second.op->stats().cache_size * 64;  // estimate
-  SL_RETURN_IF_ERROR(
-      network_->Transfer(from, target_node, state_bytes, [] {}));
+  Status transfer_status =
+      network_->Transfer(from, target_node, state_bytes, [] {});
+  if (!transfer_status.ok()) {
+    SL_LOG(kWarning) << "state hand-off of '" << op_name
+                     << "' lost: " << transfer_status.ToString();
+  }
   SL_RETURN_IF_ERROR(network_->AdjustProcessCount(from, -1));
   SL_RETURN_IF_ERROR(network_->AdjustProcessCount(target_node, +1));
   op_it->second.node_id = target_node;
@@ -801,6 +870,94 @@ void Executor::OnMonitorTick(const monitor::MonitorReport& report) {
       }
       break;
     }
+  }
+}
+
+void Executor::OnHeartbeat() {
+  for (const auto& node_id : network_->NodeIds()) {
+    if (network_->NodeIsUp(node_id)) {
+      missed_heartbeats_.erase(node_id);
+      // A restarted node becomes a placement candidate again; processes
+      // recovered elsewhere stay where they are (no fail-back).
+      dead_nodes_.erase(node_id);
+      continue;
+    }
+    int missed = ++missed_heartbeats_[node_id];
+    if (missed < options_.heartbeat_misses || dead_nodes_.count(node_id) > 0) {
+      continue;
+    }
+    dead_nodes_.insert(node_id);
+    if (monitor_ != nullptr) {
+      monitor_->Log(StrFormat("node '%s' declared dead after %d missed "
+                              "heartbeats",
+                              node_id.c_str(), missed));
+    }
+    for (auto& [id, dep] : deployments_) {
+      if (!dep->active) continue;
+      bool affected = false;
+      for (const auto& [name, deployed] : dep->operators) {
+        if (deployed.node_id == node_id) {
+          affected = true;
+          break;
+        }
+      }
+      for (const auto& [name, deployed] : dep->sinks) {
+        if (affected) break;
+        if (deployed.node_id == node_id) affected = true;
+      }
+      if (!affected) continue;
+      ++dep->stats.node_failures;
+      RecoverDeployment(id, dep.get(), node_id);
+    }
+  }
+}
+
+void Executor::RecoverDeployment(DeploymentId id, Deployment* dep,
+                                 const std::string& node_id) {
+  // Operators: reuse the migration machinery. The simulated state
+  // hand-off originates on the dead node and is conclusively lost — a
+  // crash loses blocking caches, which the lost transfer models.
+  std::vector<std::string> ops_to_move;
+  for (const auto& [name, deployed] : dep->operators) {
+    if (deployed.node_id == node_id) ops_to_move.push_back(name);
+  }
+  for (const auto& name : ops_to_move) {
+    auto target = placer_.Place({}, node_id);
+    if (!target.ok()) {
+      SL_LOG(kWarning) << "no live node to recover '" << name
+                       << "': " << target.status().ToString();
+      return;
+    }
+    Status s = MigrateOperator(id, name, *target);
+    if (!s.ok()) {
+      SL_LOG(kWarning) << "recovery of '" << name
+                       << "' failed: " << s.ToString();
+      continue;
+    }
+    ++dep->stats.recoveries;
+  }
+  // Sinks: relocate the process; there is no cache state to lose.
+  for (auto& [name, deployed] : dep->sinks) {
+    if (deployed.node_id != node_id) continue;
+    auto target = placer_.Place({}, node_id);
+    if (!target.ok()) break;
+    Status s1 = network_->AdjustProcessCount(node_id, -1);
+    (void)s1;
+    Status s2 = network_->AdjustProcessCount(*target, +1);
+    (void)s2;
+    if (monitor_ != nullptr) {
+      monitor_->RecordAssignment(dep->dataflow.name(), name, node_id,
+                                 *target);
+    }
+    scn_log_.Record(loop_->Now(), ScnCommandKind::kMigrateService, id, name,
+                    node_id + " => " + *target + " (crash recovery)");
+    deployed.node_id = *target;
+    ++dep->stats.migrations;
+    ++dep->stats.recoveries;
+  }
+  if (monitor_ != nullptr) {
+    monitor_->Log("recovered deployment '" + dep->dataflow.name() +
+                  "' off dead node '" + node_id + "'");
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,21 @@ struct ExecutorOptions {
   /// instead of one interval later. 0 disables staggering (all flushes
   /// land exactly on the boundary).
   Duration flush_stagger_ms = 50;
+  /// Reliable tuple delivery: transfers are acked and retransmitted on
+  /// timeout (net::TransferOptions). Off by default — the fair-weather
+  /// pipeline needs no acks and keeps the seed's exact event schedule.
+  bool reliable_delivery = false;
+  /// Initial ack timeout for reliable delivery (doubles per retry).
+  Duration ack_timeout_ms = 250;
+  /// Retransmit budget per tuple transfer.
+  int max_retransmits = 4;
+  /// Period of the crash-detection heartbeat; 0 (default) disables
+  /// detection — and keeps the loop free of periodic timers for
+  /// RunUntilIdle-driven callers.
+  Duration heartbeat_ms = 0;
+  /// Consecutive missed heartbeats before a node is declared dead and
+  /// its operator/sink processes are re-placed on surviving nodes.
+  int heartbeat_misses = 2;
 };
 
 /// \brief Cumulative counters of one deployment.
@@ -66,6 +82,15 @@ struct DeploymentStats {
   uint64_t process_errors = 0;    ///< operator/sink errors (logged, stream continues)
   uint64_t activations = 0;       ///< trigger activation requests executed
   uint64_t migrations = 0;        ///< operator re-assignments
+  uint64_t retransmits = 0;       ///< reliable-delivery retransmissions
+  uint64_t messages_lost = 0;     ///< tuple transfers conclusively lost
+  uint64_t node_failures = 0;     ///< confirmed crashes of hosting nodes
+  uint64_t recoveries = 0;        ///< processes re-placed after a crash
+
+  bool operator==(const DeploymentStats&) const = default;
+
+  /// One-line dump for failing-seed diagnostics.
+  std::string ToString() const;
 };
 
 /// \brief The executor. Also the ActivationHandler for all deployed
@@ -89,7 +114,10 @@ class Executor : public ops::ActivationHandler {
   Result<DeploymentId> Deploy(const dsn::DsnSpec& spec);
 
   /// Stops a deployment: cancels timers, unsubscribes sources,
-  /// releases node processes. In-flight messages are dropped on arrival.
+  /// releases node processes. In-flight messages are dropped on arrival:
+  /// delivery callbacks hold a weak reference to the deployment record,
+  /// so they are safe no-ops after Undeploy — and remain so even when
+  /// the Executor itself is destroyed with transfers still in flight.
   Status Undeploy(DeploymentId id);
 
   /// On-the-fly operator replacement (P3: "operators in the dataflow are
@@ -173,6 +201,10 @@ class Executor : public ops::ActivationHandler {
     std::map<std::string, std::vector<Edge>> edges;  // by producer
     std::vector<pubsub::Broker::SubscriptionId> subscriptions;
     DeploymentStats stats;
+    /// Weak self-reference handed to event-loop callbacks: a callback
+    /// firing after the deployment (or the whole executor) is gone
+    /// locks nothing and returns, instead of dereferencing freed state.
+    std::weak_ptr<Deployment> self;
   };
 
   /// Fans a tuple emitted by `producer` (on `producer_node`) out along
@@ -193,6 +225,16 @@ class Executor : public ops::ActivationHandler {
   /// Auto-rebalance hook run on each monitor tick.
   void OnMonitorTick(const monitor::MonitorReport& report);
 
+  /// Heartbeat tick: polls node liveness, declares a node dead after
+  /// `heartbeat_misses` consecutive down-polls, then recovers its
+  /// processes (P4-style fault handling).
+  void OnHeartbeat();
+
+  /// Re-places every operator/sink process of `dep` stranded on the dead
+  /// `node_id` onto surviving nodes; counts recoveries.
+  void RecoverDeployment(DeploymentId id, Deployment* dep,
+                         const std::string& node_id);
+
   size_t TupleBytes(const stt::Tuple& tuple) const;
 
 
@@ -205,7 +247,14 @@ class Executor : public ops::ActivationHandler {
   Placer placer_;
   sensors::SensorFleet* fleet_ = nullptr;
   DeploymentId next_id_ = 1;
-  std::map<DeploymentId, std::unique_ptr<Deployment>> deployments_;
+  /// shared_ptr (not unique_ptr): transfer callbacks in flight on the
+  /// event loop hold weak references; see Deployment::self.
+  std::map<DeploymentId, std::shared_ptr<Deployment>> deployments_;
+  /// Crash detection (heartbeat_ms > 0): consecutive missed beats per
+  /// node, and nodes already declared dead (so a crash recovers once).
+  net::EventLoop::TimerId heartbeat_timer_ = 0;
+  std::map<std::string, int> missed_heartbeats_;
+  std::set<std::string> dead_nodes_;
   /// Per-deployment activation adapters (type-erased; see executor.cc).
   std::map<DeploymentId, std::shared_ptr<void>> deployment_details_;
   ScnLog scn_log_;

@@ -35,6 +35,7 @@ Result<std::string> Placer::LeastLoadedNode(const std::string& exclude) const {
   std::string best_id;
   for (const auto& id : ids) {
     if (id == exclude && ids.size() > 1) continue;
+    if (!network_->NodeIsUp(id)) continue;  // never place on a crashed node
     const net::NodeState* state = *network_->node(id);
     if (best == nullptr) {
       best = state;
@@ -48,6 +49,9 @@ Result<std::string> Placer::LeastLoadedNode(const std::string& exclude) const {
       best = state;
       best_id = id;
     }
+  }
+  if (best == nullptr) {
+    return Status::FailedPrecondition("network has no live nodes");
   }
   return best_id;
 }
@@ -63,7 +67,9 @@ Result<std::string> Placer::Place(
       for (size_t attempt = 0; attempt < ids.size(); ++attempt) {
         const std::string& id = ids[round_robin_next_ % ids.size()];
         ++round_robin_next_;
-        if (id != exclude || ids.size() == 1) return id;
+        if ((id != exclude || ids.size() == 1) && network_->NodeIsUp(id)) {
+          return id;
+        }
       }
       return ids[0];
     }
@@ -73,7 +79,7 @@ Result<std::string> Placer::Place(
       // Majority vote over the (known) upstream nodes.
       std::map<std::string, size_t> votes;
       for (const auto& up : upstream_nodes) {
-        if (!up.empty() && up != exclude && network_->HasNode(up)) {
+        if (!up.empty() && up != exclude && network_->NodeIsUp(up)) {
           ++votes[up];
         }
       }

@@ -44,12 +44,24 @@ std::string MonitorReport::ToString() const {
   out += "nodes:\n";
   const NodeSample* busiest = BusiestNode();
   for (const auto& n : nodes) {
-    out += StrFormat("  %-10s util %6.1f%%  procs %2d%s\n", n.node_id.c_str(),
-                     n.utilization * 100.0, n.process_count,
+    out += StrFormat("  %-10s util %6.1f%%  procs %2d%s%s\n",
+                     n.node_id.c_str(), n.utilization * 100.0,
+                     n.process_count, n.up ? "" : "  << DOWN",
                      (busiest != nullptr && &n == busiest &&
                       n.utilization > 0.8)
                          ? "  << HIGH LOAD"
                          : "");
+  }
+  if (faults.Any()) {
+    out += StrFormat(
+        "faults: dropped %llu dup %llu retransmits %llu lost %llu "
+        "node_failures %llu recoveries %llu\n",
+        static_cast<unsigned long long>(faults.messages_dropped),
+        static_cast<unsigned long long>(faults.messages_duplicated),
+        static_cast<unsigned long long>(faults.retransmits),
+        static_cast<unsigned long long>(faults.messages_lost),
+        static_cast<unsigned long long>(faults.node_failures),
+        static_cast<unsigned long long>(faults.recoveries));
   }
   return out;
 }
@@ -85,9 +97,21 @@ std::string MonitorReport::ToJson() const {
     w.Key("utilization"); w.Double(n.utilization);
     w.Key("work"); w.Double(n.work_in_window);
     w.Key("processes"); w.Int(n.process_count);
+    w.Key("up"); w.Bool(n.up);
     w.EndObject();
   }
   w.EndArray();
+  w.Key("faults");
+  w.BeginObject();
+  w.Key("messages_dropped");
+  w.Int(static_cast<int64_t>(faults.messages_dropped));
+  w.Key("messages_duplicated");
+  w.Int(static_cast<int64_t>(faults.messages_duplicated));
+  w.Key("retransmits"); w.Int(static_cast<int64_t>(faults.retransmits));
+  w.Key("messages_lost"); w.Int(static_cast<int64_t>(faults.messages_lost));
+  w.Key("node_failures"); w.Int(static_cast<int64_t>(faults.node_failures));
+  w.Key("recoveries"); w.Int(static_cast<int64_t>(faults.recoveries));
+  w.EndObject();
   w.EndObject();
   return w.TakeString();
 }
@@ -136,10 +160,12 @@ MonitorReport Monitor::Sample() {
       sample.utilization = state->Utilization(elapsed);
       sample.work_in_window = state->work_in_window;
       sample.process_count = state->process_count;
+      sample.up = state->up;
       report.nodes.push_back(std::move(sample));
     }
     network_->ResetWindows();
   }
+  if (fault_sampler_) report.faults = fault_sampler_();
   return report;
 }
 

@@ -40,6 +40,25 @@ struct NodeSample {
   double utilization = 0;    ///< window work / window capacity (can be > 1)
   double work_in_window = 0;
   int process_count = 0;
+  bool up = true;            ///< false while crashed (fault injection)
+};
+
+/// \brief Fault-injection and reliable-delivery counters (cumulative).
+/// Sampled from the network's fault stats plus the executor's
+/// per-deployment recovery counters.
+struct FaultSample {
+  uint64_t messages_dropped = 0;     ///< link-level drops (fault injector)
+  uint64_t messages_duplicated = 0;  ///< link-level duplications
+  uint64_t retransmits = 0;          ///< reliable-delivery retransmissions
+  uint64_t messages_lost = 0;        ///< conclusively lost tuples
+  uint64_t node_failures = 0;        ///< executor-confirmed node crashes
+  uint64_t recoveries = 0;           ///< processes re-placed after a crash
+
+  bool Any() const {
+    return messages_dropped > 0 || messages_duplicated > 0 ||
+           retransmits > 0 || messages_lost > 0 || node_failures > 0 ||
+           recoveries > 0;
+  }
 };
 
 /// \brief A change in operator-to-node assignment (placement or
@@ -60,6 +79,7 @@ struct MonitorReport {
   Duration window = 0;
   std::vector<OperatorSample> operators;
   std::vector<NodeSample> nodes;
+  FaultSample faults;
 
   /// The node with the highest utilization ("the node that suffers"),
   /// or nullptr when there are no nodes.
@@ -81,6 +101,9 @@ class Monitor {
   /// Invoked after each report is recorded (the executor uses this for
   /// workload-driven re-placement).
   using TickListener = std::function<void(const MonitorReport&)>;
+  /// Produces the cumulative fault/recovery counters; implemented by the
+  /// executor (aggregating the network's fault stats).
+  using FaultSampler = std::function<FaultSample()>;
 
   Monitor(net::EventLoop* loop, net::Network* network)
       : loop_(loop), network_(network) {}
@@ -95,6 +118,9 @@ class Monitor {
   }
   void set_tick_listener(TickListener listener) {
     listener_ = std::move(listener);
+  }
+  void set_fault_sampler(FaultSampler sampler) {
+    fault_sampler_ = std::move(sampler);
   }
 
   /// Maximum reports retained (default 256; older ones are dropped).
@@ -139,6 +165,7 @@ class Monitor {
   Duration window_ = 10 * duration::kSecond;
   OperatorSampler sampler_;
   TickListener listener_;
+  FaultSampler fault_sampler_;
   net::EventLoop::TimerId timer_ = 0;
   Timestamp last_tick_ = 0;
   size_t history_limit_ = 256;

@@ -1,0 +1,135 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sl::net {
+
+std::string FaultEvent::ToString() const {
+  switch (kind) {
+    case Kind::kCrashNode:
+      return StrFormat("%s  CRASH %s", FormatTimestamp(at).c_str(), a.c_str());
+    case Kind::kRestartNode:
+      return StrFormat("%s  RESTART %s", FormatTimestamp(at).c_str(),
+                       a.c_str());
+    case Kind::kCutLink:
+      return StrFormat("%s  CUT %s--%s", FormatTimestamp(at).c_str(),
+                       a.c_str(), b.c_str());
+    case Kind::kHealLink:
+      return StrFormat("%s  HEAL %s--%s", FormatTimestamp(at).c_str(),
+                       a.c_str(), b.c_str());
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::set_link_profile(const std::string& a,
+                                       const std::string& b,
+                                       const FaultProfile& profile) {
+  link_profiles_[Canonical(a, b)] = profile;
+  return *this;
+}
+
+const FaultProfile& FaultPlan::link_profile(const std::string& a,
+                                            const std::string& b) const {
+  auto it = link_profiles_.find(Canonical(a, b));
+  return it != link_profiles_.end() ? it->second : default_profile_;
+}
+
+FaultPlan& FaultPlan::CrashNode(const std::string& id, Timestamp at) {
+  events_.push_back({FaultEvent::Kind::kCrashNode, at, id, ""});
+  return *this;
+}
+
+FaultPlan& FaultPlan::RestartNode(const std::string& id, Timestamp at) {
+  events_.push_back({FaultEvent::Kind::kRestartNode, at, id, ""});
+  return *this;
+}
+
+FaultPlan& FaultPlan::CutLink(const std::string& a, const std::string& b,
+                              Timestamp at) {
+  events_.push_back({FaultEvent::Kind::kCutLink, at, a, b});
+  return *this;
+}
+
+FaultPlan& FaultPlan::HealLink(const std::string& a, const std::string& b,
+                               Timestamp at) {
+  events_.push_back({FaultEvent::Kind::kHealLink, at, a, b});
+  return *this;
+}
+
+bool FaultPlan::IsZero() const {
+  if (!events_.empty()) return false;
+  if (!default_profile_.IsZero()) return false;
+  return std::all_of(link_profiles_.begin(), link_profiles_.end(),
+                     [](const auto& kv) { return kv.second.IsZero(); });
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = StrFormat("fault plan (seed %llu)\n",
+                              static_cast<unsigned long long>(seed_));
+  auto profile_line = [](const std::string& label, const FaultProfile& p) {
+    return StrFormat(
+        "  %s: drop %.3f dup %.3f delay %.3f (max +%s)\n", label.c_str(),
+        p.drop_probability, p.duplicate_probability, p.delay_probability,
+        FormatDuration(p.max_extra_delay).c_str());
+  };
+  out += profile_line("default", default_profile_);
+  for (const auto& [link, profile] : link_profiles_) {
+    out += profile_line(link.first + "--" + link.second, profile);
+  }
+  for (const auto& event : events_) out += "  " + event.ToString() + "\n";
+  return out;
+}
+
+FaultPlan MakeRandomFaultPlan(
+    uint64_t seed, const std::vector<std::string>& node_ids,
+    const std::vector<std::pair<std::string, std::string>>& links,
+    const RandomFaultOptions& options) {
+  FaultPlan plan(seed);
+  Rng rng(seed);
+
+  FaultProfile profile;
+  profile.drop_probability = rng.NextDouble(0, options.max_drop_probability);
+  profile.duplicate_probability =
+      rng.NextDouble(0, options.max_duplicate_probability);
+  profile.delay_probability =
+      rng.NextDouble(0, options.max_delay_probability);
+  profile.max_extra_delay =
+      options.max_extra_delay > 0 ? rng.NextInt(1, options.max_extra_delay)
+                                  : 0;
+  plan.set_default_profile(profile);
+
+  // Crashes: spare node_ids[0] so the executor always has a live anchor
+  // to recover onto; every crash restarts 2–10 s later.
+  if (node_ids.size() > 1 && options.max_crashes > 0) {
+    int crashes = static_cast<int>(rng.NextInt(0, options.max_crashes));
+    for (int i = 0; i < crashes; ++i) {
+      const std::string& victim =
+          node_ids[rng.NextInt(1, static_cast<int64_t>(node_ids.size()) - 1)];
+      Timestamp at = rng.NextInt(options.horizon / 10, options.horizon / 2);
+      plan.CrashNode(victim, at);
+      plan.RestartNode(victim,
+                       at + rng.NextInt(2 * duration::kSecond,
+                                        10 * duration::kSecond));
+    }
+  }
+
+  // Link cuts: partition a random link for 1–5 s.
+  if (!links.empty() && options.max_link_cuts > 0) {
+    int cuts = static_cast<int>(rng.NextInt(0, options.max_link_cuts));
+    for (int i = 0; i < cuts; ++i) {
+      const auto& link =
+          links[rng.NextBounded(static_cast<uint64_t>(links.size()))];
+      Timestamp at = rng.NextInt(options.horizon / 10, options.horizon / 2);
+      plan.CutLink(link.first, link.second, at);
+      plan.HealLink(link.first, link.second,
+                    at + rng.NextInt(1 * duration::kSecond,
+                                     5 * duration::kSecond));
+    }
+  }
+  return plan;
+}
+
+}  // namespace sl::net

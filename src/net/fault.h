@@ -1,0 +1,147 @@
+// StreamLoader: deterministic fault injection for the programmable
+// network.
+//
+// The paper's DSN/SCN deployment (§3) assumes nodes and links that can
+// degrade at run time. A FaultPlan describes, ahead of a run, exactly
+// *how* the simulated network misbehaves: per-link message corruption
+// profiles (drop / duplicate / delay) and a schedule of topology events
+// (node crash/restart, link cut/heal) pinned to virtual timestamps.
+//
+// Determinism: a plan carries a single seed. The Network derives its
+// fault RNG from that seed and consumes it strictly in event-loop order,
+// so on the single-threaded virtual clock two runs of the same seed are
+// bit-for-bit identical — which is what makes the seed-replayable chaos
+// harness in tests/test_util.h possible.
+
+#ifndef STREAMLOADER_NET_FAULT_H_
+#define STREAMLOADER_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace sl::net {
+
+/// \brief Per-link message corruption probabilities. Each message
+/// attempt rolls independently per traversed link.
+struct FaultProfile {
+  /// Probability the message vanishes on the link.
+  double drop_probability = 0;
+  /// Probability the link delivers the message twice (receivers of
+  /// reliable transfers deduplicate).
+  double duplicate_probability = 0;
+  /// Probability the message is delayed beyond the modelled latency.
+  double delay_probability = 0;
+  /// Extra delay when delayed: uniform in [1, max_extra_delay] ms.
+  Duration max_extra_delay = 0;
+
+  bool IsZero() const {
+    return drop_probability <= 0 && duplicate_probability <= 0 &&
+           (delay_probability <= 0 || max_extra_delay <= 0);
+  }
+};
+
+/// \brief One scheduled topology fault, applied at virtual time `at`.
+struct FaultEvent {
+  enum class Kind {
+    kCrashNode,    ///< node goes down; its messages are lost
+    kRestartNode,  ///< node comes back up (state was lost)
+    kCutLink,      ///< link partitions; routing avoids it
+    kHealLink,     ///< link carries traffic again
+  };
+  Kind kind = Kind::kCrashNode;
+  Timestamp at = 0;
+  std::string a;  ///< node id, or first link endpoint
+  std::string b;  ///< second link endpoint (link events only)
+
+  std::string ToString() const;
+};
+
+/// \brief A replayable script of network faults.
+///
+/// Install with Network::InstallFaultPlan. Profiles apply to message
+/// attempts; events fire on the event loop at their virtual times.
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// Profile for links without a specific one (defaults to no faults).
+  FaultPlan& set_default_profile(const FaultProfile& profile) {
+    default_profile_ = profile;
+    return *this;
+  }
+  const FaultProfile& default_profile() const { return default_profile_; }
+
+  /// Profile for the link between `a` and `b` (order-insensitive).
+  FaultPlan& set_link_profile(const std::string& a, const std::string& b,
+                              const FaultProfile& profile);
+
+  /// The profile governing link `a`--`b`.
+  const FaultProfile& link_profile(const std::string& a,
+                                   const std::string& b) const;
+
+  // -- scheduled events ---------------------------------------------------
+
+  FaultPlan& CrashNode(const std::string& id, Timestamp at);
+  FaultPlan& RestartNode(const std::string& id, Timestamp at);
+  FaultPlan& CutLink(const std::string& a, const std::string& b,
+                     Timestamp at);
+  FaultPlan& HealLink(const std::string& a, const std::string& b,
+                      Timestamp at);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// True when the plan injects nothing: no events and all-zero
+  /// profiles. A zero plan wrapped around a run must reproduce the
+  /// unwrapped baseline exactly (chaos_test property).
+  bool IsZero() const;
+
+  /// Human-readable dump for failing-seed diagnostics.
+  std::string ToString() const;
+
+ private:
+  static std::pair<std::string, std::string> Canonical(const std::string& a,
+                                                       const std::string& b) {
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  uint64_t seed_;
+  FaultProfile default_profile_;
+  std::map<std::pair<std::string, std::string>, FaultProfile> link_profiles_;
+  std::vector<FaultEvent> events_;
+};
+
+/// \brief Knobs for MakeRandomFaultPlan.
+struct RandomFaultOptions {
+  /// Virtual-time window the plan covers.
+  Duration horizon = 60 * duration::kSecond;
+  /// Upper bounds for the uniformly drawn default link profile.
+  double max_drop_probability = 0.05;
+  double max_duplicate_probability = 0.02;
+  double max_delay_probability = 0.10;
+  Duration max_extra_delay = 200;
+  /// Node crashes drawn in [0, max_crashes]; every crash gets a restart
+  /// 2–10 s later. The first node id is never crashed so placement (and
+  /// the chaos invariants) always have a live anchor.
+  int max_crashes = 2;
+  /// Link cuts drawn in [0, max_link_cuts]; every cut heals 1–5 s later.
+  int max_link_cuts = 2;
+};
+
+/// \brief Derives a whole chaos scenario from one seed: a randomized
+/// default link profile plus crash/restart and cut/heal schedules over
+/// the given topology. Same seed + same topology ⇒ same plan.
+FaultPlan MakeRandomFaultPlan(
+    uint64_t seed, const std::vector<std::string>& node_ids,
+    const std::vector<std::pair<std::string, std::string>>& links,
+    const RandomFaultOptions& options = {});
+
+}  // namespace sl::net
+
+#endif  // STREAMLOADER_NET_FAULT_H_

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -28,6 +29,23 @@ Status Network::AddNode(const NodeConfig& config) {
   return Status::OK();
 }
 
+namespace {
+
+/// Index of the link between neighbors `a` and `b` in `adj`, or -1.
+int64_t LinkIndexBetween(
+    const std::map<std::string,
+                   std::vector<std::pair<std::string, size_t>>>& adj,
+    const std::string& a, const std::string& b) {
+  auto it = adj.find(a);
+  if (it == adj.end()) return -1;
+  for (const auto& [nbr, idx] : it->second) {
+    if (nbr == b) return static_cast<int64_t>(idx);
+  }
+  return -1;
+}
+
+}  // namespace
+
 Status Network::AddLink(const LinkConfig& config) {
   if (nodes_.count(config.a) == 0) {
     return Status::NotFound("link endpoint '" + config.a + "' does not exist");
@@ -53,6 +71,7 @@ Status Network::AddLink(const LinkConfig& config) {
   size_t idx = links_.size();
   LinkState state;
   state.config = config;
+  state.faults = default_fault_profile_;
   links_.push_back(std::move(state));
   adj_[config.a].emplace_back(config.b, idx);
   adj_[config.b].emplace_back(config.a, idx);
@@ -130,15 +149,23 @@ std::vector<std::string> Network::NodeIds() const {
 
 Result<std::vector<std::string>> Network::Route(const std::string& from,
                                                 const std::string& to) const {
-  if (nodes_.count(from) == 0) {
+  auto from_it = nodes_.find(from);
+  if (from_it == nodes_.end()) {
     return Status::NotFound("route source '" + from + "' does not exist");
   }
-  if (nodes_.count(to) == 0) {
+  auto to_it = nodes_.find(to);
+  if (to_it == nodes_.end()) {
     return Status::NotFound("route target '" + to + "' does not exist");
+  }
+  if (!from_it->second.up) {
+    return Status::NotFound("route source '" + from + "' is down");
+  }
+  if (!to_it->second.up) {
+    return Status::NotFound("route target '" + to + "' is down");
   }
   if (from == to) return std::vector<std::string>{from};
 
-  // Dijkstra over link latencies.
+  // Dijkstra over link latencies, skipping down links and nodes.
   std::map<std::string, Duration> dist;
   std::map<std::string, std::string> prev;
   using QItem = std::pair<Duration, std::string>;
@@ -153,6 +180,7 @@ Result<std::vector<std::string>> Network::Route(const std::string& from,
     auto adj_it = adj_.find(u);
     if (adj_it == adj_.end()) continue;
     for (const auto& [v, link_idx] : adj_it->second) {
+      if (!links_[link_idx].up || !nodes_.at(v).up) continue;
       Duration nd = d + links_[link_idx].config.latency;
       auto dit = dist.find(v);
       if (dit == dist.end() || nd < dit->second) {
@@ -199,30 +227,335 @@ Result<Duration> Network::TransferDelay(const std::string& from,
 }
 
 Status Network::Transfer(const std::string& from, const std::string& to,
-                         size_t bytes, std::function<void()> on_delivered) {
-  if (from == to) {
-    if (nodes_.count(from) == 0) {
-      return Status::NotFound("node '" + from + "' does not exist");
+                         size_t bytes, std::function<void()> on_delivered,
+                         TransferOptions options) {
+  if (!faults_enabled_ && !options.reliable) {
+    // Fair-weather fast path: identical behaviour (and event ordering) to
+    // the pre-fault-injection network.
+    if (from == to) {
+      if (nodes_.count(from) == 0) {
+        return Status::NotFound("node '" + from + "' does not exist");
+      }
+      loop_->ScheduleAfter(0, std::move(on_delivered));
+      return Status::OK();
     }
-    loop_->ScheduleAfter(0, std::move(on_delivered));
-    return Status::OK();
-  }
-  SL_ASSIGN_OR_RETURN(std::vector<std::string> path, Route(from, to));
-  SL_ASSIGN_OR_RETURN(Duration delay, TransferDelay(from, to, bytes));
-  // Account bytes on every traversed link.
-  for (size_t i = 0; i + 1 < path.size(); ++i) {
-    for (const auto& [nbr, idx] : adj_.at(path[i])) {
-      if (nbr == path[i + 1]) {
-        links_[idx].bytes_transferred += bytes;
-        links_[idx].messages += 1;
-        break;
+    SL_ASSIGN_OR_RETURN(std::vector<std::string> path, Route(from, to));
+    SL_ASSIGN_OR_RETURN(Duration delay, TransferDelay(from, to, bytes));
+    // Account bytes on every traversed link.
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      for (const auto& [nbr, idx] : adj_.at(path[i])) {
+        if (nbr == path[i + 1]) {
+          links_[idx].bytes_transferred += bytes;
+          links_[idx].messages += 1;
+          break;
+        }
       }
     }
+    total_bytes_sent_ += bytes;
+    total_messages_ += 1;
+    loop_->ScheduleAfter(delay, std::move(on_delivered));
+    return Status::OK();
   }
-  total_bytes_sent_ += bytes;
-  total_messages_ += 1;
-  loop_->ScheduleAfter(delay, std::move(on_delivered));
+
+  if (nodes_.count(from) == 0) {
+    return Status::NotFound("node '" + from + "' does not exist");
+  }
+  if (nodes_.count(to) == 0) {
+    return Status::NotFound("node '" + to + "' does not exist");
+  }
+  uint64_t id = next_transfer_id_++;
+  PendingTransfer p;
+  p.id = id;
+  p.from = from;
+  p.to = to;
+  p.bytes = bytes;
+  p.on_delivered = std::move(on_delivered);
+  p.options = std::move(options);
+  pending_.emplace(id, std::move(p));
+  Attempt(id);
   return Status::OK();
+}
+
+void Network::Attempt(uint64_t transfer_id) {
+  auto it = pending_.find(transfer_id);
+  if (it == pending_.end()) return;
+  PendingTransfer& p = it->second;
+
+  auto from_it = nodes_.find(p.from);
+  if (from_it == nodes_.end() || !from_it->second.up) {
+    // A crashed sender cannot send or retransmit.
+    ConcludeLost(transfer_id);
+    return;
+  }
+
+  auto route = Route(p.from, p.to);
+  if (route.ok()) {
+    const std::vector<std::string>& path = (*route);
+    Duration extra = 0;
+    bool duplicated = false;
+    bool survived = TraverseLinks(path, p.bytes, &extra, &duplicated);
+    total_bytes_sent_ += p.bytes;
+    total_messages_ += 1;
+    if (survived) {
+      Duration delay = PathDelay(path, p.bytes) + extra;
+      ++p.outstanding_arrivals;
+      loop_->ScheduleAfter(delay,
+                           [this, transfer_id] { OnDataArrival(transfer_id); });
+      if (duplicated) {
+        ++p.outstanding_arrivals;
+        loop_->ScheduleAfter(
+            delay, [this, transfer_id] { OnDataArrival(transfer_id); });
+      }
+    } else {
+      ++fault_stats_.messages_dropped;
+      if (!p.options.reliable) {
+        ConcludeLost(transfer_id);
+        return;
+      }
+    }
+  } else {
+    // No path: receiver down or partitioned away. Unreliable messages are
+    // lost outright; reliable ones wait for the retry timer — the route
+    // is recomputed per attempt, so a healed link or restarted node
+    // rescues the flow.
+    if (!p.options.reliable) {
+      ConcludeLost(transfer_id);
+      return;
+    }
+  }
+
+  if (p.options.reliable && !p.delivered) {
+    Duration timeout = p.options.ack_timeout
+                       << std::min(p.attempt, 20);  // exponential backoff
+    p.retry_timer = loop_->ScheduleAfter(
+        timeout, [this, transfer_id] { OnRetryTimeout(transfer_id); });
+  }
+}
+
+void Network::OnDataArrival(uint64_t transfer_id) {
+  auto it = pending_.find(transfer_id);
+  if (it == pending_.end()) return;  // already concluded
+  PendingTransfer& p = it->second;
+  if (p.outstanding_arrivals > 0) --p.outstanding_arrivals;
+
+  auto to_it = nodes_.find(p.to);
+  if (to_it == nodes_.end() || !to_it->second.up) {
+    // Crashed receiver eats the message on arrival.
+    if (p.options.reliable) {
+      MaybeFinish(transfer_id);  // retry timer decides the fate
+    } else {
+      ConcludeLost(transfer_id);
+    }
+    return;
+  }
+
+  bool first = !p.delivered;
+  p.delivered = true;
+  // Ack every copy, not just the first: a retransmit implies the previous
+  // ack never made it back.
+  if (p.options.reliable) SendAck(&p);
+  if (first && p.on_delivered) {
+    auto cb = std::move(p.on_delivered);
+    p.on_delivered = nullptr;
+    cb();  // may reenter Transfer; map nodes are stable under insertion
+  }
+  MaybeFinish(transfer_id);
+}
+
+void Network::OnAckArrival(uint64_t transfer_id) {
+  auto it = pending_.find(transfer_id);
+  if (it == pending_.end()) return;  // duplicate ack; already finished
+  PendingTransfer& p = it->second;
+  auto from_it = nodes_.find(p.from);
+  if (from_it == nodes_.end() || !from_it->second.up) {
+    // The sender crashed before the ack landed; leave the entry for the
+    // retry timer (which concludes the loss when it fires).
+    return;
+  }
+  if (p.retry_timer != 0) {
+    loop_->Cancel(p.retry_timer);
+    p.retry_timer = 0;
+  }
+  pending_.erase(it);
+}
+
+void Network::OnRetryTimeout(uint64_t transfer_id) {
+  auto it = pending_.find(transfer_id);
+  if (it == pending_.end()) return;
+  PendingTransfer& p = it->second;
+  p.retry_timer = 0;
+  if (p.attempt >= p.options.max_retransmits) {
+    ConcludeLost(transfer_id);
+    return;
+  }
+  ++p.attempt;
+  ++fault_stats_.retransmits;
+  if (p.options.on_retransmit) p.options.on_retransmit(p.attempt);
+  Attempt(transfer_id);
+}
+
+void Network::SendAck(PendingTransfer* transfer) {
+  ++fault_stats_.acks_sent;
+  auto route = Route(transfer->to, transfer->from);
+  if (!route.ok()) {
+    ++fault_stats_.acks_dropped;
+    return;
+  }
+  Duration extra = 0;
+  bool duplicated = false;
+  if (!TraverseLinks((*route), transfer->options.ack_bytes, &extra,
+                     &duplicated)) {
+    ++fault_stats_.acks_dropped;
+    return;
+  }
+  total_bytes_sent_ += transfer->options.ack_bytes;
+  total_messages_ += 1;
+  uint64_t id = transfer->id;
+  Duration delay = PathDelay((*route), transfer->options.ack_bytes) +
+                   extra;
+  loop_->ScheduleAfter(delay, [this, id] { OnAckArrival(id); });
+  if (duplicated) {
+    loop_->ScheduleAfter(delay, [this, id] { OnAckArrival(id); });
+  }
+}
+
+void Network::ConcludeLost(uint64_t transfer_id) {
+  auto it = pending_.find(transfer_id);
+  if (it == pending_.end()) return;
+  PendingTransfer& p = it->second;
+  if (p.retry_timer != 0) {
+    loop_->Cancel(p.retry_timer);
+    p.retry_timer = 0;
+  }
+  if (p.delivered) {
+    // Delivered but never acked within budget: not a loss, just done.
+    pending_.erase(it);
+    return;
+  }
+  ++fault_stats_.messages_lost;
+  auto on_lost = std::move(p.options.on_lost);
+  pending_.erase(it);
+  if (on_lost) on_lost();
+}
+
+void Network::MaybeFinish(uint64_t transfer_id) {
+  auto it = pending_.find(transfer_id);
+  if (it == pending_.end()) return;
+  PendingTransfer& p = it->second;
+  // Unreliable transfers are done once delivered and no duplicate copy is
+  // still in flight. Reliable ones finish in OnAckArrival/ConcludeLost.
+  if (!p.options.reliable && p.delivered && p.outstanding_arrivals == 0) {
+    pending_.erase(it);
+  }
+}
+
+bool Network::TraverseLinks(const std::vector<std::string>& path,
+                            size_t bytes, Duration* extra_delay,
+                            bool* duplicated) {
+  *extra_delay = 0;
+  *duplicated = false;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    int64_t idx = LinkIndexBetween(adj_, path[i], path[i + 1]);
+    if (idx < 0) continue;  // topology changed underfoot; skip
+    LinkState& link = links_[static_cast<size_t>(idx)];
+    link.bytes_transferred += bytes;
+    link.messages += 1;
+    // Zero-probability rolls consume no randomness, so a zero-fault plan
+    // leaves the RNG stream untouched (byte-identical-baseline property).
+    const FaultProfile& f = link.faults;
+    if (f.drop_probability > 0 && fault_rng_.NextBool(f.drop_probability)) {
+      link.messages_dropped += 1;
+      return false;
+    }
+    if (f.duplicate_probability > 0 &&
+        fault_rng_.NextBool(f.duplicate_probability)) {
+      ++fault_stats_.messages_duplicated;
+      *duplicated = true;
+    }
+    if (f.delay_probability > 0 && f.max_extra_delay > 0 &&
+        fault_rng_.NextBool(f.delay_probability)) {
+      ++fault_stats_.messages_delayed;
+      *extra_delay +=
+          static_cast<Duration>(fault_rng_.NextInt(1, f.max_extra_delay));
+    }
+  }
+  return true;
+}
+
+Duration Network::PathDelay(const std::vector<std::string>& path,
+                            size_t bytes) const {
+  if (path.size() < 2) return 0;
+  Duration latency = 0;
+  double min_bw = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    int64_t idx = LinkIndexBetween(adj_, path[i], path[i + 1]);
+    if (idx < 0) continue;
+    latency += links_[static_cast<size_t>(idx)].config.latency;
+    min_bw = std::min(
+        min_bw, links_[static_cast<size_t>(idx)].config.bandwidth_bytes_per_ms);
+  }
+  if (!std::isfinite(min_bw)) return latency;
+  return latency +
+         static_cast<Duration>(static_cast<double>(bytes) / min_bw);
+}
+
+Status Network::InstallFaultPlan(const FaultPlan& plan) {
+  faults_enabled_ = true;
+  fault_rng_.Seed(plan.seed());
+  default_fault_profile_ = plan.default_profile();
+  for (auto& link : links_) {
+    link.faults = plan.link_profile(link.config.a, link.config.b);
+  }
+  for (const FaultEvent& event : plan.events()) {
+    loop_->Schedule(event.at, [this, event] {
+      switch (event.kind) {
+        case FaultEvent::Kind::kCrashNode:
+          SetNodeUp(event.a, false);
+          break;
+        case FaultEvent::Kind::kRestartNode:
+          SetNodeUp(event.a, true);
+          break;
+        case FaultEvent::Kind::kCutLink:
+          SetLinkUp(event.a, event.b, false);
+          break;
+        case FaultEvent::Kind::kHealLink:
+          SetLinkUp(event.a, event.b, true);
+          break;
+      }
+    });
+  }
+  return Status::OK();
+}
+
+Status Network::SetNodeUp(const std::string& id, bool up) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node '" + id + "' does not exist");
+  }
+  if (it->second.up == up) return Status::OK();
+  it->second.up = up;
+  if (up) {
+    ++fault_stats_.node_restarts;
+  } else {
+    ++fault_stats_.node_crashes;
+  }
+  return Status::OK();
+}
+
+Status Network::SetLinkUp(const std::string& a, const std::string& b,
+                          bool up) {
+  int64_t idx = LinkIndexBetween(adj_, a, b);
+  if (idx < 0) {
+    return Status::NotFound(
+        StrFormat("no link between '%s' and '%s'", a.c_str(), b.c_str()));
+  }
+  links_[static_cast<size_t>(idx)].up = up;
+  return Status::OK();
+}
+
+bool Network::NodeIsUp(const std::string& id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.up;
 }
 
 Status Network::ReportWork(const std::string& node_id, double work_units) {

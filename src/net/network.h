@@ -8,14 +8,21 @@
 //
 // Simulation model:
 // - a message from node A to node B follows the minimum-latency path
-//   (Dijkstra over link latencies) and arrives after
-//   sum(link latency) + bytes / min(link bandwidth along the path);
+//   (Dijkstra over link latencies, skipping down nodes/links) and
+//   arrives after sum(link latency) + bytes / min(link bandwidth);
 // - per-link byte counters account every traversed link;
 // - nodes have a processing capacity (work units per second) and a
 //   work-in-window counter the monitor samples and resets;
 // - contention is not modelled at the queueing level (messages do not
 //   delay each other) — adequate for reproducing placement and
 //   monitoring behaviour, see DESIGN.md.
+//
+// Fault model (DESIGN.md §"Fault model"): an installed FaultPlan can
+// drop/duplicate/delay messages per link and crash/restart nodes or
+// cut/heal links at scheduled virtual times. Reliable transfers add a
+// per-flow ack/timeout/retransmit state machine with exponential
+// backoff and a bounded retransmit budget. With no plan installed and
+// reliable off, Transfer behaves exactly as the fair-weather seed.
 
 #ifndef STREAMLOADER_NET_NETWORK_H_
 #define STREAMLOADER_NET_NETWORK_H_
@@ -27,8 +34,10 @@
 #include <vector>
 
 #include "net/event_loop.h"
+#include "net/fault.h"
 #include "stt/geo.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace sl::net {
 
@@ -58,6 +67,9 @@ struct NodeState {
   double work_total = 0;
   /// Number of operator processes currently placed here.
   int process_count = 0;
+  /// False while crashed (fault injection); down nodes neither send,
+  /// receive nor forward messages.
+  bool up = true;
 
   /// Utilization over a window of `window_ms`: work done divided by the
   /// capacity available in the window (may exceed 1 when overloaded).
@@ -73,6 +85,37 @@ struct LinkState {
   LinkConfig config;
   uint64_t bytes_transferred = 0;
   uint64_t messages = 0;
+  /// False while partitioned (fault injection); routing avoids down
+  /// links, re-computed per message.
+  bool up = true;
+  /// Messages the fault injector dropped on this link.
+  uint64_t messages_dropped = 0;
+  /// Per-link corruption profile (set by InstallFaultPlan).
+  FaultProfile faults;
+};
+
+/// \brief Per-transfer delivery options.
+struct TransferOptions {
+  /// Reliable delivery: the receiver acks, the sender retransmits on
+  /// timeout with exponential backoff until acked or the budget is
+  /// spent. Duplicates (retransmits racing delayed acks, or link-level
+  /// duplication) are delivered to `on_delivered` exactly once.
+  bool reliable = false;
+  /// Initial ack timeout; doubles per retransmit. Should comfortably
+  /// exceed the flow's round-trip time or spurious (harmless, deduped)
+  /// retransmits occur.
+  Duration ack_timeout = 250;
+  /// Retransmit budget; after this many retries an undelivered message
+  /// is conclusively lost (`on_lost` fires).
+  int max_retransmits = 4;
+  /// Bytes an ack occupies on the reverse path.
+  size_t ack_bytes = 16;
+  /// Runs once when the message is conclusively lost: dropped without
+  /// reliability, retransmit budget exhausted undelivered, or an
+  /// endpoint crashed. Never runs after `on_delivered`.
+  std::function<void()> on_lost;
+  /// Runs per retransmission with the attempt number (1-based).
+  std::function<void(int)> on_retransmit;
 };
 
 /// \brief The simulated network.
@@ -103,6 +146,45 @@ class Network {
   size_t num_nodes() const { return nodes_.size(); }
   const std::vector<LinkState>& links() const { return links_; }
 
+  // -- fault injection ----------------------------------------------------
+
+  /// \brief Installs a fault plan: seeds the fault RNG, applies the
+  /// per-link profiles, and schedules the plan's crash/restart/cut/heal
+  /// events on the event loop. The network must outlive those events.
+  /// Replaces any previously installed plan's profiles (already
+  /// scheduled events keep firing).
+  Status InstallFaultPlan(const FaultPlan& plan);
+
+  /// True once a plan is installed (fault rolls are active).
+  bool fault_plan_installed() const { return faults_enabled_; }
+
+  /// Crashes (`up == false`) or restarts a node. While down it neither
+  /// sends, receives nor forwards; in-flight messages to it are lost.
+  Status SetNodeUp(const std::string& id, bool up);
+
+  /// Cuts or heals the link between `a` and `b`; routing recomputes per
+  /// message, reliable transfers retry across the partition.
+  Status SetLinkUp(const std::string& a, const std::string& b, bool up);
+
+  /// True iff the node exists and is not crashed.
+  bool NodeIsUp(const std::string& id) const;
+
+  /// \brief Cumulative fault-injection and reliable-delivery counters.
+  struct FaultStats {
+    uint64_t messages_dropped = 0;    ///< data messages dropped on a link
+    uint64_t messages_duplicated = 0; ///< link-level duplications
+    uint64_t messages_delayed = 0;    ///< link-level extra delays
+    uint64_t acks_sent = 0;           ///< acks emitted by receivers
+    uint64_t acks_dropped = 0;        ///< acks lost to link faults
+    uint64_t retransmits = 0;         ///< reliable retransmissions
+    uint64_t messages_lost = 0;       ///< conclusively lost messages
+    uint64_t node_crashes = 0;        ///< up -> down transitions
+    uint64_t node_restarts = 0;       ///< down -> up transitions
+
+    bool operator==(const FaultStats&) const = default;
+  };
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   // -- routing ------------------------------------------------------------
 
   /// Minimum-latency node path from `from` to `to` (inclusive of both).
@@ -117,11 +199,17 @@ class Network {
   // -- data movement ------------------------------------------------------
 
   /// \brief Sends `bytes` from node `from` to node `to`; `on_delivered`
-  /// runs on the event loop when the message arrives. Accounts bytes on
-  /// every traversed link. Local delivery (from == to) is immediate
-  /// (scheduled at now).
+  /// runs on the event loop when the message arrives (at most once).
+  /// Accounts bytes on every traversed link. Local delivery (from == to)
+  /// is immediate (scheduled at now).
+  ///
+  /// With a fault plan installed or `options.reliable` set, delivery is
+  /// asynchronous-only: a missing route (partition) or an injected drop
+  /// is not a synchronous error — reliable transfers retransmit, and a
+  /// conclusive loss fires `options.on_lost`.
   Status Transfer(const std::string& from, const std::string& to,
-                  size_t bytes, std::function<void()> on_delivered);
+                  size_t bytes, std::function<void()> on_delivered,
+                  TransferOptions options = {});
 
   // -- load accounting ----------------------------------------------------
 
@@ -141,6 +229,40 @@ class Network {
   uint64_t total_messages() const { return total_messages_; }
 
  private:
+  /// State of one in-flight (possibly reliable) transfer.
+  struct PendingTransfer {
+    uint64_t id = 0;
+    std::string from;
+    std::string to;
+    size_t bytes = 0;
+    std::function<void()> on_delivered;
+    TransferOptions options;
+    bool delivered = false;  ///< on_delivered has run (receiver dedup)
+    int attempt = 0;         ///< retransmissions so far
+    EventLoop::TimerId retry_timer = 0;
+    int outstanding_arrivals = 0;  ///< scheduled arrival events
+  };
+
+  /// Sends one attempt of a pending transfer: rolls per-link faults,
+  /// accounts bytes, schedules arrival(s) and — for reliable transfers —
+  /// arms the retransmit timer.
+  void Attempt(uint64_t transfer_id);
+  void OnDataArrival(uint64_t transfer_id);
+  void OnAckArrival(uint64_t transfer_id);
+  void OnRetryTimeout(uint64_t transfer_id);
+  void SendAck(PendingTransfer* transfer);
+  void ConcludeLost(uint64_t transfer_id);
+  /// Erases the pending entry when nothing references it any more.
+  void MaybeFinish(uint64_t transfer_id);
+
+  /// Accounts one attempt on the links of `path`; returns false and
+  /// counts a drop when a link-fault roll eats the message. `extra_delay`
+  /// and `duplicated` report delay/duplication rolls.
+  bool TraverseLinks(const std::vector<std::string>& path, size_t bytes,
+                     Duration* extra_delay, bool* duplicated);
+  Duration PathDelay(const std::vector<std::string>& path,
+                     size_t bytes) const;
+
   EventLoop* loop_;
   std::map<std::string, NodeState> nodes_;
   std::vector<LinkState> links_;
@@ -149,6 +271,14 @@ class Network {
 
   // Adjacency: node -> (neighbor, link index).
   std::map<std::string, std::vector<std::pair<std::string, size_t>>> adj_;
+
+  // Fault injection + reliable delivery.
+  bool faults_enabled_ = false;
+  FaultProfile default_fault_profile_;  ///< applied to links added later
+  Rng fault_rng_;
+  FaultStats fault_stats_;
+  std::map<uint64_t, PendingTransfer> pending_;
+  uint64_t next_transfer_id_ = 1;
 };
 
 /// \brief Populates `net` with a ring topology of `n` nodes named

@@ -169,6 +169,12 @@ Status Broker::PublishTuple(const std::string& sensor_id,
   }
   const SensorInfo& info = it->second;
 
+  // Fault injection: a sensor managed by a crashed node cannot deliver.
+  if (node_gate_ && !info.node_id.empty() && !node_gate_(info.node_id)) {
+    ++tuples_suppressed_;
+    return Status::OK();
+  }
+
   // STT enrichment (§3): add the spatio-temporal information the sensor
   // cannot produce itself, then normalize event time to the stream's
   // temporal granularity.

@@ -148,12 +148,23 @@ class Broker {
     return PublishTuple(sensor_id, stt::Tuple::Share(std::move(tuple)));
   }
 
+  /// \brief Optional node-liveness gate (fault injection): when set,
+  /// tuples from a sensor pinned to a node for which the gate returns
+  /// false are silently suppressed — a crashed node's sensors stop
+  /// feeding flows until the node restarts. Typically wired to
+  /// net::Network::NodeIsUp. Sensors without a node binding are never
+  /// gated. Pass nullptr to remove the gate.
+  using NodeGate = std::function<bool(const std::string& node_id)>;
+  void set_node_gate(NodeGate gate) { node_gate_ = std::move(gate); }
+
   // -- statistics ---------------------------------------------------------
 
   /// Tuples ingested via PublishTuple since construction.
   uint64_t tuples_ingested() const { return tuples_ingested_; }
   /// Tuple deliveries to data subscribers (one per subscriber per tuple).
   uint64_t tuples_delivered() const { return tuples_delivered_; }
+  /// Tuples suppressed by the node-liveness gate (crashed-node sensors).
+  uint64_t tuples_suppressed() const { return tuples_suppressed_; }
 
  private:
   struct DataSub {
@@ -175,6 +186,8 @@ class Broker {
   SubscriptionId next_subscription_id_ = 1;
   uint64_t tuples_ingested_ = 0;
   uint64_t tuples_delivered_ = 0;
+  uint64_t tuples_suppressed_ = 0;
+  NodeGate node_gate_;
 
   void NotifyRegistry(const SensorEvent& event);
 };

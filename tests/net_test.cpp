@@ -97,6 +97,46 @@ TEST(EventLoopTest, PeriodicCallbackCanCancelItself) {
   EXPECT_EQ(ticks, 3);
 }
 
+TEST(EventLoopTest, PeriodicCancelledOnFirstFireRunsOnce) {
+  EventLoop loop;
+  int ticks = 0;
+  EventLoop::TimerId id = 0;
+  id = loop.SchedulePeriodic(10, [&] {
+    ++ticks;
+    loop.Cancel(id);
+  });
+  loop.RunUntil(1000);
+  EXPECT_EQ(ticks, 1);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, PeriodicCallbackCanCancelAnotherPeriodic) {
+  EventLoop loop;
+  int a_ticks = 0, b_ticks = 0;
+  EventLoop::TimerId b = loop.SchedulePeriodic(15, [&] { ++b_ticks; });
+  loop.SchedulePeriodic(10, [&] {
+    if (++a_ticks == 2) loop.Cancel(b);  // at t=20; b fired only at 15
+  });
+  loop.RunUntil(100);
+  EXPECT_EQ(b_ticks, 1);
+  EXPECT_EQ(a_ticks, 10);
+}
+
+TEST(EventLoopTest, SameInstantNestedSchedulingKeepsFifoOrder) {
+  // An event scheduled *from within* a callback at the current instant
+  // runs after everything already queued for that instant (FIFO by
+  // scheduling sequence, not LIFO).
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(10, [&] {
+    order.push_back(1);
+    loop.ScheduleAfter(0, [&] { order.push_back(3); });
+  });
+  loop.Schedule(10, [&] { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(EventLoopTest, NestedSchedulingFromCallback) {
   EventLoop loop;
   std::vector<int> order;
@@ -262,6 +302,195 @@ TEST_F(NetworkTest, RemoveNodeRefusesWhileHostingProcesses) {
   EXPECT_TRUE(net_.RemoveNode("b").IsFailedPrecondition());
   SL_ASSERT_OK(net_.AdjustProcessCount("b", -1));
   SL_ASSERT_OK(net_.RemoveNode("b"));
+}
+
+TEST_F(NetworkTest, RemoveNodeWithInFlightTransferStillDelivers) {
+  // The fast-path transfer is committed at Transfer() time; removing an
+  // intermediate node afterwards must neither crash nor lose it.
+  bool delivered = false;
+  SL_ASSERT_OK(net_.Transfer("a", "c", 1000, [&] { delivered = true; }));
+  SL_ASSERT_OK(net_.RemoveNode("b"));
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, RemoveLinkWithInFlightTransferStillDelivers) {
+  bool delivered = false;
+  SL_ASSERT_OK(net_.Transfer("a", "c", 1000, [&] { delivered = true; }));
+  SL_ASSERT_OK(net_.RemoveLink("a", "b"));
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, RemoveTargetNodeMidReliableTransferConcludesLost) {
+  // The reliable path re-resolves the topology per attempt; a target that
+  // disappears entirely (not merely down) must end in on_lost, not UB.
+  TransferOptions options;
+  options.reliable = true;
+  options.ack_timeout = 50;
+  options.max_retransmits = 2;
+  bool delivered = false, lost = false;
+  options.on_lost = [&] { lost = true; };
+  SL_ASSERT_OK(
+      net_.Transfer("a", "c", 1000, [&] { delivered = true; }, options));
+  SL_ASSERT_OK(net_.RemoveNode("c"));  // before the 11 ms arrival
+  loop_.RunUntil(5000);
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(lost);
+  EXPECT_EQ(net_.fault_stats().messages_lost, 1u);
+}
+
+// ---------------------------------------------------------------- faults --
+
+TEST_F(NetworkTest, NodeCrashAffectsRoutingUntilRestart) {
+  SL_ASSERT_OK(net_.SetNodeUp("b", false));
+  EXPECT_FALSE(net_.NodeIsUp("b"));
+  EXPECT_FALSE(net_.NodeIsUp("ghost"));
+  // Routing detours around the crashed relay onto the direct slow link.
+  auto route = net_.Route("a", "c");
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(*route, (std::vector<std::string>{"a", "c"}));
+  // Routes from/to the crashed node itself fail.
+  EXPECT_TRUE(net_.Route("b", "c").status().IsNotFound());
+  EXPECT_TRUE(net_.Route("a", "b").status().IsNotFound());
+  // Crash is idempotent; the counters see one transition each way.
+  SL_ASSERT_OK(net_.SetNodeUp("b", false));
+  SL_ASSERT_OK(net_.SetNodeUp("b", true));
+  EXPECT_EQ(net_.fault_stats().node_crashes, 1u);
+  EXPECT_EQ(net_.fault_stats().node_restarts, 1u);
+  EXPECT_EQ(*net_.Route("a", "c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(net_.SetNodeUp("ghost", true).IsNotFound());
+}
+
+TEST_F(NetworkTest, LinkCutReroutesUntilHealed) {
+  SL_ASSERT_OK(net_.SetLinkUp("b", "a", false));  // order-insensitive
+  EXPECT_EQ(*net_.Route("a", "c"), (std::vector<std::string>{"a", "c"}));
+  SL_ASSERT_OK(net_.SetLinkUp("a", "b", true));
+  EXPECT_EQ(*net_.Route("a", "c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(net_.SetLinkUp("a", "ghost", false).IsNotFound());
+}
+
+TEST_F(NetworkTest, CertainDropLosesUnreliableMessage) {
+  FaultPlan plan(/*seed=*/3);
+  FaultProfile lossy;
+  lossy.drop_probability = 1.0;
+  plan.set_default_profile(lossy);
+  SL_ASSERT_OK(net_.InstallFaultPlan(plan));
+  EXPECT_TRUE(net_.fault_plan_installed());
+
+  bool delivered = false, lost = false;
+  TransferOptions options;
+  options.on_lost = [&] { lost = true; };
+  SL_ASSERT_OK(
+      net_.Transfer("a", "c", 1000, [&] { delivered = true; }, options));
+  loop_.RunUntilIdle();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(lost);
+  EXPECT_EQ(net_.fault_stats().messages_dropped, 1u);
+  EXPECT_EQ(net_.fault_stats().messages_lost, 1u);
+  // The drop is attributed to the first link of the a->b->c path.
+  for (const auto& link : net_.links()) {
+    if (link.config.a == "a" && link.config.b == "b") {
+      EXPECT_EQ(link.messages_dropped, 1u);
+    }
+  }
+}
+
+TEST_F(NetworkTest, ReliableTransferRetriesUntilLinkHeals) {
+  // Isolate `a` entirely, then heal one link at t=500. With ack_timeout
+  // 100 the retries land at 100, 300, 700; the third one finds the path.
+  SL_ASSERT_OK(net_.SetLinkUp("a", "b", false));
+  SL_ASSERT_OK(net_.SetLinkUp("a", "c", false));
+  loop_.Schedule(500, [&] { SL_EXPECT_OK(net_.SetLinkUp("a", "b", true)); });
+
+  TransferOptions options;
+  options.reliable = true;
+  options.ack_timeout = 100;
+  std::vector<int> retransmits;
+  options.on_retransmit = [&](int attempt) { retransmits.push_back(attempt); };
+  bool delivered = false, lost = false;
+  options.on_lost = [&] { lost = true; };
+  SL_ASSERT_OK(
+      net_.Transfer("a", "c", 1000, [&] { delivered = true; }, options));
+
+  loop_.RunUntil(699);
+  EXPECT_FALSE(delivered);
+  loop_.RunUntil(5000);
+  EXPECT_TRUE(delivered);
+  EXPECT_FALSE(lost);
+  EXPECT_EQ(retransmits, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(net_.fault_stats().retransmits, 3u);
+  EXPECT_EQ(net_.fault_stats().messages_lost, 0u);
+  EXPECT_EQ(net_.fault_stats().acks_sent, 1u);
+  EXPECT_EQ(loop_.pending(), 0u);  // no timers leak past the ack
+}
+
+TEST_F(NetworkTest, ReliableBudgetExhaustionConcludesLost) {
+  SL_ASSERT_OK(net_.SetLinkUp("a", "b", false));
+  SL_ASSERT_OK(net_.SetLinkUp("a", "c", false));
+  TransferOptions options;
+  options.reliable = true;
+  options.ack_timeout = 100;
+  options.max_retransmits = 2;
+  bool delivered = false, lost = false;
+  options.on_lost = [&] { lost = true; };
+  SL_ASSERT_OK(
+      net_.Transfer("a", "c", 1000, [&] { delivered = true; }, options));
+  // Attempts at 0, 100, 300; the timer at 700 exhausts the budget.
+  loop_.RunUntil(699);
+  EXPECT_FALSE(lost);
+  loop_.RunUntil(701);
+  EXPECT_TRUE(lost);
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net_.fault_stats().retransmits, 2u);
+  EXPECT_EQ(net_.fault_stats().messages_lost, 1u);
+}
+
+TEST_F(NetworkTest, CertainDuplicationDeliversExactlyOnce) {
+  FaultPlan plan(/*seed=*/4);
+  FaultProfile dupey;
+  dupey.duplicate_probability = 1.0;
+  plan.set_default_profile(dupey);
+  SL_ASSERT_OK(net_.InstallFaultPlan(plan));
+
+  TransferOptions options;
+  options.reliable = true;
+  int deliveries = 0;
+  SL_ASSERT_OK(net_.Transfer("a", "c", 1000, [&] { ++deliveries; }, options));
+  loop_.RunUntil(10000);
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_GE(net_.fault_stats().messages_duplicated, 2u);  // per link
+  EXPECT_EQ(net_.fault_stats().messages_lost, 0u);
+  EXPECT_EQ(loop_.pending(), 0u);
+}
+
+TEST_F(NetworkTest, ZeroFaultPlanKeepsFastPathBehaviour) {
+  // Installing an all-zero plan must not change delivery timing: same
+  // 11 ms arrival as TransferDeliversAfterDelay.
+  SL_ASSERT_OK(net_.InstallFaultPlan(FaultPlan(/*seed=*/5)));
+  bool delivered = false;
+  SL_ASSERT_OK(net_.Transfer("a", "c", 1000, [&] { delivered = true; }));
+  loop_.RunUntil(10);
+  EXPECT_FALSE(delivered);
+  loop_.RunUntil(11);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net_.fault_stats(), Network::FaultStats{});
+}
+
+TEST_F(NetworkTest, ScheduledFaultEventsFireAtTheirInstant) {
+  FaultPlan plan(/*seed=*/6);
+  plan.CrashNode("b", 100).RestartNode("b", 200);
+  plan.CutLink("a", "c", 100).HealLink("a", "c", 300);
+  SL_ASSERT_OK(net_.InstallFaultPlan(plan));
+  loop_.RunUntil(150);
+  EXPECT_FALSE(net_.NodeIsUp("b"));
+  EXPECT_TRUE(net_.Route("a", "c").status().IsNotFound());  // fully cut off
+  loop_.RunUntil(250);
+  EXPECT_TRUE(net_.NodeIsUp("b"));
+  EXPECT_EQ(*net_.Route("a", "c"), (std::vector<std::string>{"a", "b", "c"}));
+  loop_.RunUntil(350);
+  EXPECT_EQ(net_.fault_stats().node_crashes, 1u);
+  EXPECT_EQ(net_.fault_stats().node_restarts, 1u);
 }
 
 // --------------------------------------------------------- topology text --

@@ -5,9 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "dsn/translate.h"
+#include "exec/executor.h"
+#include "monitor/monitor.h"
+#include "net/fault.h"
+#include "net/network.h"
+#include "sensors/generators.h"
+#include "sinks/streams.h"
 #include "stt/schema.h"
 #include "stt/tuple.h"
 
@@ -66,6 +74,177 @@ inline stt::Tuple RainTuple(const stt::SchemaPtr& schema, double mmh,
                             const std::string& sensor = "r0") {
   return stt::Tuple::MakeUnsafe(schema, {stt::Value::Double(mmh)}, ts, loc,
                                 sensor);
+}
+
+// ------------------------------------------------- chaos test harness --
+//
+// Seed-replayable fault-injection runs: ChaosRun deploys a dataflow on a
+// small ring network, installs a FaultPlan, advances virtual time, and
+// returns every counter the invariants need. Because the whole system
+// runs on one virtual-clock event loop with seeded RNGs, the same seed
+// reproduces a failing run bit-for-bit — re-run a single seed with
+//   SL_CHAOS_SEED=<seed> ./chaos_test
+
+/// Knobs for ChaosRun; the defaults are the reference chaos scenario.
+struct ChaosOptions {
+  size_t nodes = 5;                        ///< ring size
+  Duration run_for = 60 * duration::kSecond;
+  bool reliable = true;                    ///< ack/retransmit delivery
+  Duration ack_timeout_ms = 250;
+  Duration heartbeat_ms = 500;             ///< crash detection period
+  int heartbeat_misses = 2;
+  bool gate_broker = true;                 ///< crashed nodes mute sensors
+  Duration monitor_window = 5 * duration::kSecond;
+  /// When false the FaultPlan is ignored entirely — the un-wrapped
+  /// baseline for the zero-fault equivalence property.
+  bool install_plan = true;
+};
+
+/// Everything a chaos run produces.
+struct ChaosResult {
+  bool deployed = false;
+  std::string deploy_error;
+  exec::DeploymentStats stats;
+  net::Network::FaultStats net_stats;
+  monitor::FaultSample monitor_faults;  ///< last monitor sample of the run
+  uint64_t broker_suppressed = 0;
+};
+
+/// The reference dataflow: one periodic sensor feeding a pass-all filter
+/// into a collect sink — linear, so tuple conservation is checkable.
+inline dsn::DsnSpec ChaosReferenceSpec() {
+  auto df = *dataflow::DataflowBuilder("chaos_flow")
+                 .AddSource("src", "chaos_t0")
+                 .AddFilter("keep", "src", "temp > -1000")
+                 .AddSink("out", "keep", dataflow::SinkKind::kCollect)
+                 .Build();
+  return *dsn::TranslateToDsn(df);
+}
+
+/// \brief Deploys `spec` under the faults of `plan` and runs the clock.
+/// `seed` seeds the sensor; the plan carries its own seed (usually the
+/// same one). Reproducible: equal arguments ⇒ equal ChaosResult counters.
+inline ChaosResult ChaosRun(uint64_t seed, const net::FaultPlan& plan,
+                            const dsn::DsnSpec& spec,
+                            const ChaosOptions& options = {}) {
+  ChaosResult result;
+
+  net::EventLoop loop;
+  net::Network net(&loop);
+  if (!net::BuildRingTopology(&net, options.nodes, 10000.0, 1, 1e5).ok()) {
+    result.deploy_error = "topology construction failed";
+    return result;
+  }
+
+  pubsub::Broker broker(&loop.clock());
+  sensors::SensorFleet fleet(&loop, &broker);
+  sensors::PhysicalConfig sensor;
+  sensor.id = "chaos_t0";
+  sensor.period = duration::kSecond;
+  sensor.temporal_granularity = duration::kSecond;
+  sensor.node_id = "node_0";  // never crashed by MakeRandomFaultPlan
+  sensor.seed = seed;
+  if (!fleet.Add(sensors::MakeTemperatureSensor(sensor)).ok()) {
+    result.deploy_error = "sensor construction failed";
+    return result;
+  }
+  if (options.gate_broker) {
+    broker.set_node_gate(
+        [&net](const std::string& node_id) { return net.NodeIsUp(node_id); });
+  }
+
+  monitor::Monitor monitor(&loop, &net);
+  monitor.set_window(options.monitor_window);
+
+  sinks::EventDataWarehouse warehouse;
+  sinks::SinkContext sink_context;
+  sink_context.warehouse = &warehouse;
+  exec::ExecutorOptions exec_options;
+  exec_options.reliable_delivery = options.reliable;
+  exec_options.ack_timeout_ms = options.ack_timeout_ms;
+  exec_options.heartbeat_ms = options.heartbeat_ms;
+  exec_options.heartbeat_misses = options.heartbeat_misses;
+  exec::Executor executor(&loop, &net, &broker, &monitor, sink_context,
+                          exec_options);
+  executor.set_fleet(&fleet);
+
+  if (options.install_plan && !net.InstallFaultPlan(plan).ok()) {
+    result.deploy_error = "fault plan installation failed";
+    return result;
+  }
+  if (!monitor.Start().ok()) {
+    result.deploy_error = "monitor start failed";
+    return result;
+  }
+
+  auto id = executor.Deploy(spec);
+  if (!id.ok()) {
+    result.deploy_error = id.status().ToString();
+    return result;
+  }
+  result.deployed = true;
+
+  loop.RunFor(options.run_for);
+
+  result.stats = **executor.stats(*id);
+  result.net_stats = net.fault_stats();
+  result.monitor_faults = monitor.Sample().faults;
+  result.broker_suppressed = broker.tuples_suppressed();
+  return result;
+}
+
+/// \brief Asserts the chaos invariants on one run, printing the seed and
+/// the full plan on failure so the run can be replayed.
+inline void ExpectChaosInvariants(const ChaosResult& result, uint64_t seed,
+                                  const net::FaultPlan& plan) {
+  std::string context =
+      "failing seed " + std::to_string(seed) + " — replay with " +
+      "SL_CHAOS_SEED=" + std::to_string(seed) + "\n" + plan.ToString();
+  ASSERT_TRUE(result.deployed) << result.deploy_error << "\n" << context;
+  // Conservation: on a linear pass-all flow every ingested tuple is
+  // delivered, conclusively lost, or still in flight — never both
+  // delivered and lost, never duplicated into the sink.
+  EXPECT_GE(result.stats.tuples_ingested,
+            result.stats.tuples_delivered + result.stats.messages_lost)
+      << "stats: " << result.stats.ToString() << "\n" << context;
+  // Recovery accounting is consistent: re-placements imply failures.
+  if (result.stats.recoveries > 0) {
+    EXPECT_GT(result.stats.node_failures, 0u)
+        << "stats: " << result.stats.ToString() << "\n" << context;
+  }
+  // The monitor's view agrees with the deployment counters.
+  EXPECT_EQ(result.monitor_faults.messages_lost, result.stats.messages_lost)
+      << context;
+  EXPECT_EQ(result.monitor_faults.retransmits, result.stats.retransmits)
+      << context;
+  EXPECT_EQ(result.monitor_faults.node_failures, result.stats.node_failures)
+      << context;
+  EXPECT_EQ(result.monitor_faults.recoveries, result.stats.recoveries)
+      << context;
+}
+
+/// \brief The seed sweep for chaos tests: `n` consecutive seeds from
+/// `base` — unless SL_CHAOS_SEED is set, in which case only that seed
+/// runs (replay mode).
+inline std::vector<uint64_t> ChaosSeeds(size_t n, uint64_t base = 1000) {
+  if (const char* env = std::getenv("SL_CHAOS_SEED")) {
+    return {std::strtoull(env, nullptr, 0)};
+  }
+  std::vector<uint64_t> seeds;
+  seeds.reserve(n);
+  for (size_t i = 0; i < n; ++i) seeds.push_back(base + i);
+  return seeds;
+}
+
+/// Link endpoints of a ring of `n` nodes, for MakeRandomFaultPlan.
+inline std::vector<std::pair<std::string, std::string>> RingLinks(size_t n) {
+  std::vector<std::pair<std::string, std::string>> links;
+  for (size_t i = 0; i < n; ++i) {
+    if (n == 2 && i == 1) break;
+    links.emplace_back("node_" + std::to_string(i),
+                       "node_" + std::to_string((i + 1) % n));
+  }
+  return links;
 }
 
 }  // namespace sl::testing
