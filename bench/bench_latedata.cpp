@@ -1,0 +1,136 @@
+// E10: event-time windowing under reordered delivery — how much data
+// goes late as injected link delays grow, and how far the operator's
+// watermark trails the virtual clock.
+//
+// Expected shape: with zero injected delay nothing is late and the
+// watermark lag is bounded by the sensor granularity plus path latency;
+// as max_extra_delay approaches the window width, the late-drop count
+// climbs while the emitted row count stays flat (late tuples are
+// excluded, not re-windowed — the order-independence property of
+// tests/order_independence_test.cpp seen as a curve).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+
+#include "dsn/translate.h"
+#include "exec/executor.h"
+#include "monitor/monitor.h"
+#include "net/fault.h"
+#include "net/network.h"
+#include "sensors/generators.h"
+#include "sinks/streams.h"
+
+namespace sl {
+namespace {
+
+using dataflow::SinkKind;
+
+/// Tumbling two-second average: windows narrow enough that seconds of
+/// injected delay actually beat the (one-second) lateness allowance.
+dsn::DsnSpec TightAggSpec() {
+  auto df = *dataflow::DataflowBuilder("late_flow")
+                 .AddSource("src", "t0")
+                 .AddAggregation("agg", "src", 2 * duration::kSecond,
+                                 dataflow::AggFunc::kAvg, {"temp"})
+                 .AddSink("out", "agg", SinkKind::kCollect)
+                 .Build();
+  return *dsn::TranslateToDsn(df);
+}
+
+/// Everything one simulated run needs, wired on a fresh event loop.
+struct Rig {
+  net::EventLoop loop;
+  net::Network net{&loop};
+  pubsub::Broker broker{&loop.clock()};
+  sensors::SensorFleet fleet{&loop, &broker};
+  monitor::Monitor monitor{&loop, &net};
+  sinks::EventDataWarehouse warehouse;
+  std::unique_ptr<exec::Executor> executor;
+
+  explicit Rig(const exec::ExecutorOptions& options, uint64_t seed) {
+    (void)net::BuildRingTopology(&net, 5, 10000.0, 1, 1e5);
+    sensors::PhysicalConfig sensor;
+    sensor.id = "t0";
+    sensor.period = duration::kSecond;
+    sensor.temporal_granularity = duration::kSecond;
+    // Not node_0: least-loaded placement puts the aggregation there, and
+    // a same-node hop traverses no links, dodging the injected delays.
+    sensor.node_id = "node_2";
+    sensor.seed = seed;
+    (void)fleet.Add(sensors::MakeTemperatureSensor(sensor));
+    sinks::SinkContext ctx;
+    ctx.warehouse = &warehouse;
+    executor = std::make_unique<exec::Executor>(&loop, &net, &broker,
+                                                &monitor, ctx, options);
+    executor->set_fleet(&fleet);
+  }
+};
+
+/// Late-data rate vs injected delay: one simulated stream-minute of the
+/// tight aggregation in event-time mode with a one-second lateness
+/// allowance, under a delay-only plan of growing magnitude.
+void BM_LateDropsVsInjectedDelay(benchmark::State& state) {
+  Duration max_extra_delay = static_cast<Duration>(state.range(0));
+  uint64_t ingested = 0, late_dropped = 0, emitted = 0;
+  int64_t lag_ms = 0;
+  uint64_t lag_samples = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    exec::ExecutorOptions options;
+    options.watermark.time_policy = ops::TimePolicy::kEvent;
+    options.watermark.late_policy = ops::LatePolicy::kDrop;
+    options.watermark.allowed_lateness = duration::kSecond;
+    Rig rig(options, seed++);
+    if (max_extra_delay > 0) {
+      (void)rig.net.InstallFaultPlan(
+          net::MakeDelayOnlyFaultPlan(seed, max_extra_delay, 0.9));
+    }
+    auto id = rig.executor->Deploy(TightAggSpec());
+    if (!id.ok()) {
+      state.SkipWithError("deploy failed");
+      return;
+    }
+    state.ResumeTiming();
+    rig.loop.RunFor(duration::kMinute);
+    state.PauseTiming();
+    ingested += (**rig.executor->stats(*id)).tuples_ingested;
+    auto agg_stats = *rig.executor->OperatorStatsOf(*id, "agg");
+    late_dropped += agg_stats.late_dropped;
+    emitted += agg_stats.tuples_out;
+    if (agg_stats.watermark_low != stt::kNoWatermark) {
+      lag_ms += rig.loop.Now() - agg_stats.watermark_low;
+      ++lag_samples;
+    }
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["max_extra_delay_ms"] =
+      benchmark::Counter(static_cast<double>(max_extra_delay));
+  state.counters["ingested_per_min"] =
+      benchmark::Counter(static_cast<double>(ingested) / iters);
+  state.counters["late_dropped_per_min"] =
+      benchmark::Counter(static_cast<double>(late_dropped) / iters);
+  state.counters["windows_emitted_per_min"] =
+      benchmark::Counter(static_cast<double>(emitted) / iters);
+  state.counters["watermark_lag_ms"] = benchmark::Counter(
+      lag_samples > 0 ? static_cast<double>(lag_ms) /
+                            static_cast<double>(lag_samples)
+                      : 0.0);
+}
+BENCHMARK(BM_LateDropsVsInjectedDelay)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Arg(6400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sl
+
+SL_BENCH_MAIN("latedata");

@@ -37,4 +37,8 @@ echo "==> fault benchmark"
 (cd "${root}/build" && ./bench/bench_faults --benchmark_min_time=0.01)
 cp "${root}/build/BENCH_faults.json" "${artifacts}/BENCH_faults.json"
 
+echo "==> late-data benchmark"
+(cd "${root}/build" && ./bench/bench_latedata --benchmark_min_time=0.01)
+cp "${root}/build/BENCH_latedata.json" "${artifacts}/BENCH_latedata.json"
+
 echo "==> all configs green (artifacts in ${artifacts}/)"

@@ -59,6 +59,12 @@ Result<AggFunc> AggFuncFromString(const std::string& name);
 /// until their event time falls more than `window` behind the check
 /// time, so each check sees "the last `window` of data" (the paper's
 /// "temperature identified in the last hour" checked every t).
+///
+/// Windows are half-open on event time: a check at time T covers
+/// `[T - window, T)` — a tuple timestamped exactly T belongs to the
+/// *next* window, never to two. The same convention governs event-time
+/// firing (ops::TimePolicy::kEvent), where T is a watermark-aligned
+/// window end instead of the processing-time check instant.
 struct AggregationSpec {
   Duration interval = duration::kMinute;
   Duration window = 0;  ///< 0 = tumbling; > 0 = sliding over this span
@@ -68,8 +74,10 @@ struct AggregationSpec {
 };
 
 /// \brief gamma_r(s, <t1, t2>): tuples whose event time falls in
-/// [t_begin, t_end] are decimated by the reducing rate `rate` in [0, 1]
+/// [t_begin, t_end) are decimated by the reducing rate `rate` in [0, 1]
 /// (rate 0.75 keeps one tuple in four); tuples outside pass unchanged.
+/// The range is half-open like every other time range in the system: a
+/// tuple timestamped exactly t_end is outside the culled span.
 /// Decimation is systematic (deterministic), preserving arrival order.
 struct CullTimeSpec {
   Timestamp t_begin = 0;

@@ -88,6 +88,10 @@ Executor::Executor(net::EventLoop* loop, net::Network* network,
         sample.messages_lost += dep->stats.messages_lost;
         sample.node_failures += dep->stats.node_failures;
         sample.recoveries += dep->stats.recoveries;
+        for (const auto& [name, deployed] : dep->operators) {
+          sample.late_dropped += deployed.op->stats().late_dropped;
+          sample.late_routed += deployed.op->stats().late_routed;
+        }
       }
       return sample;
     });
@@ -145,6 +149,9 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
   auto detail = std::make_shared<ExecutorDetail>();
   detail->activation =
       std::make_unique<DeploymentActivation>(this, &dep->stats);
+  if (options_.watermark.late_policy == ops::LatePolicy::kSideOutput) {
+    dep->late_sink = std::make_unique<sinks::LateSink>(spec.name + "/late");
+  }
 
   // QoS lookup for edges.
   auto qos_of = [&spec](const std::string& from,
@@ -200,6 +207,7 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
         ops::OperatorOptions op_options;
         op_options.max_cache_tuples = options_.max_cache_tuples;
         op_options.activation = detail->activation.get();
+        op_options.watermark = options_.watermark;
         SL_ASSIGN_OR_RETURN(std::unique_ptr<ops::Operator> op,
                             ops::MakeOperator(name, node.op, node.spec,
                                               input_schemas, node.inputs,
@@ -215,13 +223,23 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
         DeployedOperator deployed;
         deployed.op = std::move(op);
         deployed.node_id = placed;
-        // Emission: route from wherever the operator currently runs.
+        // Emission: route from wherever the operator currently runs,
+        // piggybacking the operator's current output watermark.
         ops::Operator* op_ptr = deployed.op.get();
         op_ptr->set_emit([this, dep, name](const stt::TupleRef& t) {
           auto it = dep->operators.find(name);
           if (it == dep->operators.end()) return;
-          Route(dep, name, it->second.node_id, t);
+          Route(dep, name, it->second.node_id, t,
+                it->second.op->output_watermark());
         });
+        // Late-side output stays local to the operator's node: the tuple
+        // already took its network hop; see Executor::LateSinkOf.
+        if (dep->late_sink != nullptr) {
+          op_ptr->set_late_emit([dep](const stt::TupleRef& t) {
+            Status s = dep->late_sink->Write(t);
+            (void)s;
+          });
+        }
         // Blocking operations: periodic cache processing. The flush is
         // staggered by topological depth (schedule optimization, §1) so
         // cascaded blocking stages consume fresh upstream flushes within
@@ -301,21 +319,28 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
     const Node& node = **dep->dataflow.node(name);
     std::string source_name = name;
     if (node.by_query) {
+      // The merged stream's watermark is the min over matching sensors —
+      // queried fresh per tuple so late joiners lower it correctly.
+      pubsub::DiscoveryQuery query = node.source_query;
       auto sub = broker_->SubscribeDataByQuery(
           node.source_query,
-          [this, dep, source_name](const stt::TupleRef& tuple) {
+          [this, dep, source_name, query](const stt::TupleRef& tuple) {
             if (!dep->active) return;
             ++dep->stats.tuples_ingested;
-            Route(dep, source_name, ResolveOrigin(tuple->sensor_id()), tuple);
+            Route(dep, source_name, ResolveOrigin(tuple->sensor_id()), tuple,
+                  broker_->WatermarkOf(query));
           });
       dep->subscriptions.push_back(sub);
       continue;
     }
+    std::string sensor_id = node.sensor_id;
     auto sub = broker_->SubscribeData(
-        node.sensor_id, [this, dep, source_name](const stt::TupleRef& tuple) {
+        node.sensor_id,
+        [this, dep, source_name, sensor_id](const stt::TupleRef& tuple) {
           if (!dep->active) return;
           ++dep->stats.tuples_ingested;
-          Route(dep, source_name, dep->source_nodes.at(source_name), tuple);
+          Route(dep, source_name, dep->source_nodes.at(source_name), tuple,
+                broker_->WatermarkOf(sensor_id));
         });
     if (!sub.ok()) return sub.status();
     dep->subscriptions.push_back(*sub);
@@ -350,7 +375,7 @@ std::string Executor::ResolveOrigin(const std::string& sensor_id) const {
 
 void Executor::Route(Deployment* dep, const std::string& producer,
                      const std::string& producer_node,
-                     const stt::TupleRef& tuple) {
+                     const stt::TupleRef& tuple, Timestamp watermark) {
   auto edges_it = dep->edges.find(producer);
   if (edges_it == dep->edges.end()) return;
   size_t bytes = TupleBytes(*tuple);
@@ -387,12 +412,15 @@ void Executor::Route(Deployment* dep, const std::string& producer,
     transfer_options.on_lost = [weak] {
       if (auto d = weak.lock()) ++d->stats.messages_lost;
     };
+    // The watermark rides inside the delivery callback — event-time
+    // progress piggybacks on data transfers, adding no network messages
+    // and leaving the zero-fault event schedule untouched.
     Status s = network_->Transfer(
         producer_node, target_node, bytes,
-        [this, weak, edge_copy, tuple] {
+        [this, weak, edge_copy, tuple, watermark] {
           auto d = weak.lock();
           if (!d || !d->active) return;
-          Deliver(d.get(), edge_copy, tuple);
+          Deliver(d.get(), edge_copy, tuple, watermark);
         },
         std::move(transfer_options));
     if (!s.ok()) {
@@ -404,7 +432,7 @@ void Executor::Route(Deployment* dep, const std::string& producer,
 }
 
 void Executor::Deliver(Deployment* dep, const Edge& edge,
-                       const stt::TupleRef& tuple) {
+                       const stt::TupleRef& tuple, Timestamp watermark) {
   if (edge.to_sink) {
     auto it = dep->sinks.find(edge.to);
     if (it == dep->sinks.end()) return;
@@ -425,6 +453,11 @@ void Executor::Deliver(Deployment* dep, const Edge& edge,
   Status ws =
       network_->ReportWork(it->second.node_id, options_.work_per_tuple);
   (void)ws;
+  // Fold the piggybacked watermark into the input frontier *before*
+  // processing: the promise was made when the tuple was sent, so it
+  // holds on arrival (reordered deliveries only make it conservative —
+  // max-merge per port keeps the frontier monotone).
+  it->second.op->ObserveWatermark(edge.port, watermark);
   Status s = it->second.op->Process(edge.port, tuple);
   if (!s.ok()) {
     ++dep->stats.process_errors;
@@ -506,6 +539,7 @@ Status Executor::ReplaceOperator(DeploymentId id, const std::string& op_name,
   auto detail_it = deployment_details_.find(id);
   ops::OperatorOptions op_options;
   op_options.max_cache_tuples = options_.max_cache_tuples;
+  op_options.watermark = options_.watermark;
   op_options.activation =
       detail_it != deployment_details_.end()
           ? static_cast<ExecutorDetail*>(detail_it->second.get())
@@ -532,8 +566,15 @@ Status Executor::ReplaceOperator(DeploymentId id, const std::string& op_name,
   op_ptr->set_emit([this, dep, op_name](const stt::TupleRef& t) {
     auto oit = dep->operators.find(op_name);
     if (oit == dep->operators.end()) return;
-    Route(dep, op_name, oit->second.node_id, t);
+    Route(dep, op_name, oit->second.node_id, t,
+          oit->second.op->output_watermark());
   });
+  if (dep->late_sink != nullptr) {
+    op_ptr->set_late_emit([dep](const stt::TupleRef& t) {
+      Status s = dep->late_sink->Write(t);
+      (void)s;
+    });
+  }
   if (op_ptr->is_blocking()) {
     // Recompute the flush stagger depth: blocking operators preceding
     // this one in the topological order.
@@ -736,6 +777,14 @@ Result<sinks::Sink*> Executor::SinkOf(DeploymentId id,
   return sink_it->second.sink.get();
 }
 
+Result<sinks::LateSink*> Executor::LateSinkOf(DeploymentId id) const {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  return it->second->late_sink.get();
+}
+
 Result<std::map<std::string, dataflow::NodeAnnotation>>
 Executor::LiveAnnotations(DeploymentId id) const {
   auto it = deployments_.find(id);
@@ -838,6 +887,12 @@ std::vector<monitor::OperatorSample> Executor::SampleOperators(
       sample.total_out = op->stats().tuples_out;
       sample.cache_size = op->stats().cache_size;
       sample.trigger_fires = op->stats().trigger_fires;
+      sample.late_dropped = op->stats().late_dropped;
+      sample.late_routed = op->stats().late_routed;
+      // Watermark lag: how far event time trails the virtual clock; -1
+      // until the operator's inputs have carried a watermark.
+      Timestamp wm = op->stats().watermark_low;
+      sample.watermark_lag_ms = wm == stt::kNoWatermark ? -1 : loop_->Now() - wm;
       samples.push_back(std::move(sample));
       deployed.op->ResetWindowCounters();
     }

@@ -31,6 +31,7 @@
 #include "pubsub/broker.h"
 #include "sensors/simulator.h"
 #include "sinks/factory.h"
+#include "sinks/streams.h"
 
 namespace sl::exec {
 
@@ -72,6 +73,14 @@ struct ExecutorOptions {
   /// Consecutive missed heartbeats before a node is declared dead and
   /// its operator/sink processes are re-placed on surviving nodes.
   int heartbeat_misses = 2;
+  /// \brief Event-time configuration handed to every operator
+  /// (ops::WatermarkOptions). The default processing-time policy keeps
+  /// the seed's exact behavior; TimePolicy::kEvent makes the blocking
+  /// operators fire on the watermarks the executor piggybacks on tuple
+  /// deliveries — delivery-order independent within allowed_lateness.
+  /// LatePolicy::kSideOutput adds one LateSink per deployment
+  /// (LateSinkOf) receiving the diverted late tuples.
+  ops::WatermarkOptions watermark;
 };
 
 /// \brief Cumulative counters of one deployment.
@@ -157,6 +166,13 @@ class Executor : public ops::ActivationHandler {
   /// The sink object of a deployment (e.g. to read a CollectSink).
   Result<sinks::Sink*> SinkOf(DeploymentId id, const std::string& name) const;
 
+  /// \brief The deployment's late-side sink (tuples diverted by
+  /// LatePolicy::kSideOutput), or nullptr when the policy does not route
+  /// late data. Late tuples are written locally by the operator's node —
+  /// they took their network hop already; re-shipping them would distort
+  /// the fault model.
+  Result<sinks::LateSink*> LateSinkOf(DeploymentId id) const;
+
   /// Ids of active deployments.
   std::vector<DeploymentId> ActiveDeployments() const;
 
@@ -200,6 +216,8 @@ class Executor : public ops::ActivationHandler {
     std::map<std::string, std::string> source_nodes;
     std::map<std::string, std::vector<Edge>> edges;  // by producer
     std::vector<pubsub::Broker::SubscriptionId> subscriptions;
+    /// Late-side sink (LatePolicy::kSideOutput only, else nullptr).
+    std::unique_ptr<sinks::LateSink> late_sink;
     DeploymentStats stats;
     /// Weak self-reference handed to event-loop callbacks: a callback
     /// firing after the deployment (or the whole executor) is gone
@@ -208,16 +226,21 @@ class Executor : public ops::ActivationHandler {
   };
 
   /// Fans a tuple emitted by `producer` (on `producer_node`) out along
-  /// its edges through the network.
+  /// its edges through the network. `watermark` is the producer stream's
+  /// event-time promise at send time; it rides along with the tuple
+  /// (piggybacked, no extra network traffic) and is folded into the
+  /// receiving operator's input frontier on delivery.
   void Route(Deployment* deployment, const std::string& producer,
-             const std::string& producer_node, const stt::TupleRef& tuple);
+             const std::string& producer_node, const stt::TupleRef& tuple,
+             Timestamp watermark);
 
   /// Network node where a sensor's tuples enter (query-bound sources).
   std::string ResolveOrigin(const std::string& sensor_id) const;
 
-  /// Delivers a tuple at its destination operator/sink.
+  /// Delivers a tuple (and its piggybacked watermark) at its destination
+  /// operator/sink.
   void Deliver(Deployment* deployment, const Edge& edge,
-               const stt::TupleRef& tuple);
+               const stt::TupleRef& tuple, Timestamp watermark);
 
   /// Operator samples for the monitor (resets window counters).
   std::vector<monitor::OperatorSample> SampleOperators(Duration window);

@@ -31,15 +31,24 @@ std::string MonitorReport::ToString() const {
                               FormatDuration(window).c_str());
   out += "operations:\n";
   for (const auto& op : operators) {
+    std::string extras;
+    if (op.trigger_fires > 0) {
+      extras += StrFormat("  fires %llu",
+                          static_cast<unsigned long long>(op.trigger_fires));
+    }
+    if (op.watermark_lag_ms >= 0) {
+      extras += StrFormat("  wm_lag %lldms",
+                          static_cast<long long>(op.watermark_lag_ms));
+    }
+    if (op.late_dropped > 0 || op.late_routed > 0) {
+      extras += StrFormat("  late %llu/%llu",
+                          static_cast<unsigned long long>(op.late_dropped),
+                          static_cast<unsigned long long>(op.late_routed));
+    }
     out += StrFormat(
         "  %-24s on %-10s  in %8.1f t/s  out %8.1f t/s  cache %6zu%s\n",
         (op.dataflow + "/" + op.op_name).c_str(), op.node_id.c_str(),
-        op.in_per_sec, op.out_per_sec, op.cache_size,
-        op.trigger_fires > 0
-            ? StrFormat("  fires %llu",
-                        static_cast<unsigned long long>(op.trigger_fires))
-                  .c_str()
-            : "");
+        op.in_per_sec, op.out_per_sec, op.cache_size, extras.c_str());
   }
   out += "nodes:\n";
   const NodeSample* busiest = BusiestNode();
@@ -55,13 +64,16 @@ std::string MonitorReport::ToString() const {
   if (faults.Any()) {
     out += StrFormat(
         "faults: dropped %llu dup %llu retransmits %llu lost %llu "
-        "node_failures %llu recoveries %llu\n",
+        "node_failures %llu recoveries %llu late_dropped %llu "
+        "late_routed %llu\n",
         static_cast<unsigned long long>(faults.messages_dropped),
         static_cast<unsigned long long>(faults.messages_duplicated),
         static_cast<unsigned long long>(faults.retransmits),
         static_cast<unsigned long long>(faults.messages_lost),
         static_cast<unsigned long long>(faults.node_failures),
-        static_cast<unsigned long long>(faults.recoveries));
+        static_cast<unsigned long long>(faults.recoveries),
+        static_cast<unsigned long long>(faults.late_dropped),
+        static_cast<unsigned long long>(faults.late_routed));
   }
   return out;
 }
@@ -86,6 +98,9 @@ std::string MonitorReport::ToJson() const {
     w.Key("total_out"); w.Int(static_cast<int64_t>(op.total_out));
     w.Key("cache_size"); w.Int(static_cast<int64_t>(op.cache_size));
     w.Key("trigger_fires"); w.Int(static_cast<int64_t>(op.trigger_fires));
+    w.Key("watermark_lag_ms"); w.Int(op.watermark_lag_ms);
+    w.Key("late_dropped"); w.Int(static_cast<int64_t>(op.late_dropped));
+    w.Key("late_routed"); w.Int(static_cast<int64_t>(op.late_routed));
     w.EndObject();
   }
   w.EndArray();
@@ -111,6 +126,8 @@ std::string MonitorReport::ToJson() const {
   w.Key("messages_lost"); w.Int(static_cast<int64_t>(faults.messages_lost));
   w.Key("node_failures"); w.Int(static_cast<int64_t>(faults.node_failures));
   w.Key("recoveries"); w.Int(static_cast<int64_t>(faults.recoveries));
+  w.Key("late_dropped"); w.Int(static_cast<int64_t>(faults.late_dropped));
+  w.Key("late_routed"); w.Int(static_cast<int64_t>(faults.late_routed));
   w.EndObject();
   w.EndObject();
   return w.TakeString();

@@ -32,6 +32,11 @@ struct OperatorSample {
   uint64_t total_out = 0;
   size_t cache_size = 0;     ///< blocking operations
   uint64_t trigger_fires = 0;
+  /// Event-time lag: virtual now minus the operator's merged input
+  /// watermark; -1 until the inputs have carried one.
+  int64_t watermark_lag_ms = -1;
+  uint64_t late_dropped = 0;  ///< late tuples discarded (LatePolicy::kDrop)
+  uint64_t late_routed = 0;   ///< late tuples diverted to the late sink
 };
 
 /// \brief Per-node measurements over one monitoring window.
@@ -53,11 +58,13 @@ struct FaultSample {
   uint64_t messages_lost = 0;        ///< conclusively lost tuples
   uint64_t node_failures = 0;        ///< executor-confirmed node crashes
   uint64_t recoveries = 0;           ///< processes re-placed after a crash
+  uint64_t late_dropped = 0;         ///< event-time late drops (all operators)
+  uint64_t late_routed = 0;          ///< event-time late side-outputs
 
   bool Any() const {
     return messages_dropped > 0 || messages_duplicated > 0 ||
            retransmits > 0 || messages_lost > 0 || node_failures > 0 ||
-           recoveries > 0;
+           recoveries > 0 || late_dropped > 0 || late_routed > 0;
   }
 };
 

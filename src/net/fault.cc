@@ -132,4 +132,14 @@ FaultPlan MakeRandomFaultPlan(
   return plan;
 }
 
+FaultPlan MakeDelayOnlyFaultPlan(uint64_t seed, Duration max_extra_delay,
+                                 double delay_probability) {
+  FaultPlan plan(seed);
+  FaultProfile profile;
+  profile.delay_probability = delay_probability;
+  profile.max_extra_delay = max_extra_delay;
+  plan.set_default_profile(profile);
+  return plan;
+}
+
 }  // namespace sl::net

@@ -142,6 +142,16 @@ FaultPlan MakeRandomFaultPlan(
     const std::vector<std::pair<std::string, std::string>>& links,
     const RandomFaultOptions& options = {});
 
+/// \brief A delay-only plan: every link reorders messages (extra delay
+/// uniform in [1, max_extra_delay] ms with probability
+/// `delay_probability`) but never drops or duplicates, and the topology
+/// stays intact. The workhorse of the event-time order-independence
+/// oracle: under TimePolicy::kEvent with sufficient allowed lateness, a
+/// delay-only run must produce exactly the zero-fault run's window
+/// outputs (tests/order_independence_test.cpp).
+FaultPlan MakeDelayOnlyFaultPlan(uint64_t seed, Duration max_extra_delay,
+                                 double delay_probability = 0.5);
+
 }  // namespace sl::net
 
 #endif  // STREAMLOADER_NET_FAULT_H_

@@ -207,6 +207,11 @@ class Network {
   /// asynchronous-only: a missing route (partition) or an injected drop
   /// is not a synchronous error — reliable transfers retransmit, and a
   /// conclusive loss fires `options.on_lost`.
+  ///
+  /// Event-time watermarks piggyback inside `on_delivered`: the executor
+  /// captures the sender's low-watermark in the delivery closure, so
+  /// watermark propagation costs zero extra messages and leaves the
+  /// network's event schedule (and its fault RNG consumption) untouched.
   Status Transfer(const std::string& from, const std::string& to,
                   size_t bytes, std::function<void()> on_delivered,
                   TransferOptions options = {});

@@ -19,6 +19,28 @@ void Operator::CountIn() {
   ++window_in_;
 }
 
+void Operator::ObserveWatermark(size_t port, Timestamp watermark) {
+  frontier_.Observe(port, watermark);
+  stats_.watermark_low = frontier_.Min();
+}
+
+bool Operator::ApplyLatePolicy(const stt::TupleRef& tuple) {
+  switch (watermark_options_.late_policy) {
+    case LatePolicy::kAdmit:
+      return true;
+    case LatePolicy::kDrop:
+      ++stats_.late_dropped;
+      return false;
+    case LatePolicy::kSideOutput:
+      // Without a late-side sink installed the tuple is still kept out
+      // of the window (the policy's point), it just lands nowhere.
+      ++stats_.late_routed;
+      if (late_emit_) late_emit_(tuple);
+      return false;
+  }
+  return true;
+}
+
 void Operator::ResetWindowCounters() {
   window_in_ = 0;
   window_out_ = 0;

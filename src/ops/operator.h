@@ -18,6 +18,7 @@
 
 #include "dataflow/op_spec.h"
 #include "stt/tuple.h"
+#include "stt/watermark.h"
 
 namespace sl::ops {
 
@@ -52,6 +53,41 @@ struct OperatorStats {
   uint64_t trigger_fires = 0;  ///< triggers: times the condition held
   uint64_t dropped = 0;        ///< tuples evicted from a full cache
   size_t cache_size = 0;       ///< current cached tuples (blocking only)
+  uint64_t late_dropped = 0;   ///< late tuples discarded (LatePolicy::kDrop)
+  uint64_t late_routed = 0;    ///< late tuples sent to the late-side sink
+  /// Merged input low-watermark (min over ports); stt::kNoWatermark
+  /// until every input port has carried one.
+  Timestamp watermark_low = stt::kNoWatermark;
+};
+
+/// Which clock closes blocking windows.
+enum class TimePolicy {
+  /// Legacy behavior: windows expire and fire against the flush tick's
+  /// event-loop time. Delivery delay shifts tuples between windows.
+  kProcessing,
+  /// Windows are aligned to event time and fire when the input
+  /// watermark (minus the allowed lateness) passes their end —
+  /// delivery-order independent within the lateness bound.
+  kEvent,
+};
+
+/// What happens to a tuple that arrives behind the fired window horizon
+/// (every window it belongs to has already fired). Only consulted under
+/// TimePolicy::kEvent.
+enum class LatePolicy {
+  kAdmit,       ///< cache it anyway (it will age out unobserved)
+  kDrop,        ///< discard it, counting stats().late_dropped
+  kSideOutput,  ///< divert it to the late-side sink (stats().late_routed)
+};
+
+/// Event-time configuration shared by the blocking operators.
+struct WatermarkOptions {
+  TimePolicy time_policy = TimePolicy::kProcessing;
+  LatePolicy late_policy = LatePolicy::kAdmit;
+  /// Slack subtracted from the input watermark before windows fire: a
+  /// window [b, e) fires once watermark - allowed_lateness >= e, so
+  /// tuples delivered up to this much behind the frontier still count.
+  Duration allowed_lateness = 0;
 };
 
 /// \brief Base class of all Table 1 operators.
@@ -85,8 +121,39 @@ class Operator {
   }
 
   /// Processes the cache (blocking operations). `now` is the virtual
-  /// time of the flush tick. Non-blocking operations return OK.
+  /// time of the flush tick (under TimePolicy::kEvent the blocking
+  /// operations fire on watermark progress instead and `now` only dates
+  /// side effects such as trigger activations). Non-blocking operations
+  /// return OK.
   virtual Status Flush(Timestamp now);
+
+  // -- event time ---------------------------------------------------------
+
+  /// Installs the event-time configuration (executor, at build time).
+  void set_watermark_options(const WatermarkOptions& options) {
+    watermark_options_ = options;
+  }
+  const WatermarkOptions& watermark_options() const {
+    return watermark_options_;
+  }
+
+  /// Folds the watermark piggybacked on a delivery to `port` into the
+  /// input frontier. stt::kNoWatermark observations are ignored.
+  void ObserveWatermark(size_t port, Timestamp watermark);
+
+  /// Merged input frontier: min over ports (stt::kNoWatermark until all
+  /// ports have carried one).
+  Timestamp input_watermark() const { return frontier_.Min(); }
+
+  /// \brief The watermark this operator's own output stream can promise.
+  /// Pass-through operations forward the input frontier; blocking
+  /// operations in event mode override this with their fired-window
+  /// horizon (they may still emit results for windows the input frontier
+  /// has passed but they have not fired yet).
+  virtual Timestamp output_watermark() const { return frontier_.Min(); }
+
+  /// Installs the late-side push target (LatePolicy::kSideOutput).
+  void set_late_emit(EmitFn late_emit) { late_emit_ = std::move(late_emit); }
 
   const OperatorStats& stats() const { return stats_; }
 
@@ -104,7 +171,8 @@ class Operator {
       : name_(std::move(name)),
         kind_(kind),
         output_schema_(std::move(output_schema)),
-        interval_(interval) {}
+        interval_(interval),
+        frontier_(dataflow::ExpectedInputs(kind)) {}
 
   /// Emits one tuple downstream, updating counters.
   void Emit(const stt::TupleRef& tuple);
@@ -115,6 +183,17 @@ class Operator {
   /// Counts one consumed tuple.
   void CountIn();
 
+  /// True when windows close on watermark progress.
+  bool event_time() const {
+    return watermark_options_.time_policy == TimePolicy::kEvent;
+  }
+
+  /// \brief Applies the configured lateness policy to a tuple that
+  /// arrived behind the fired horizon. Returns true when the caller
+  /// should still cache it (kAdmit); false when it was dropped or
+  /// diverted to the late side.
+  bool ApplyLatePolicy(const stt::TupleRef& tuple);
+
   OperatorStats stats_;
 
  private:
@@ -123,6 +202,9 @@ class Operator {
   stt::SchemaPtr output_schema_;
   Duration interval_;
   EmitFn emit_;
+  EmitFn late_emit_;
+  WatermarkOptions watermark_options_;
+  stt::WatermarkFrontier frontier_;
   uint64_t window_in_ = 0;
   uint64_t window_out_ = 0;
 };
@@ -131,9 +213,13 @@ class Operator {
 struct OperatorOptions {
   /// Maximum tuples a blocking operation caches per input; the oldest
   /// tuple is evicted (and counted in stats().dropped) beyond this.
+  /// Must be > 0 for blocking kinds — a zero cache would silently evict
+  /// every tuple it admits (MakeOperator rejects it).
   size_t max_cache_tuples = 1 << 20;
   /// Handler for trigger activations; required for TriggerOn/Off.
   ActivationHandler* activation = nullptr;
+  /// Event-time configuration for the blocking operations.
+  WatermarkOptions watermark;
 };
 
 /// \brief Builds the runtime operator for a validated spec.

@@ -1,8 +1,13 @@
 // Implementations of the nine Table 1 operators and their factory.
+//
+// Time convention: every window is half-open, [begin, end) — a tuple
+// with timestamp() == end belongs to the *next* window (DESIGN.md §8).
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <map>
+#include <optional>
 
 #include "dataflow/validate.h"
 #include "expr/eval.h"
@@ -137,8 +142,11 @@ class CullTimeOperator : public Operator {
 
   Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
+    // Half-open [t_begin, t_end), matching the eviction cutoff of the
+    // blocking caches — a closed upper bound would make back-to-back
+    // cull intervals decimate their shared boundary granule twice.
     bool inside = tuple->timestamp() >= spec_.t_begin &&
-                  tuple->timestamp() <= spec_.t_end;
+                  tuple->timestamp() < spec_.t_end;
     if (!inside || decimator_.Keep()) Emit(tuple);
     return Status::OK();
   }
@@ -228,6 +236,131 @@ class TupleCache {
   uint64_t next_seq_ = 0;
 };
 
+/// Entries whose event time falls in [begin, end). When `sorted`, the
+/// view is ordered by (timestamp, sensor, content) instead of arrival
+/// order, so event-time window results cannot depend on delivery order
+/// (group iteration, float accumulation, pair enumeration all become
+/// order-stable).
+std::vector<const TupleCache::Entry*> WindowView(const TupleCache& cache,
+                                                 Timestamp begin,
+                                                 Timestamp end, bool sorted) {
+  std::vector<const TupleCache::Entry*> view;
+  for (const auto& entry : cache.entries()) {
+    Timestamp ts = entry.tuple->timestamp();
+    if (ts >= begin && ts < end) view.push_back(&entry);
+  }
+  if (sorted) {
+    std::sort(view.begin(), view.end(),
+              [](const TupleCache::Entry* a, const TupleCache::Entry* b) {
+                if (a->tuple->timestamp() != b->tuple->timestamp()) {
+                  return a->tuple->timestamp() < b->tuple->timestamp();
+                }
+                if (a->tuple->sensor_id() != b->tuple->sensor_id()) {
+                  return a->tuple->sensor_id() < b->tuple->sensor_id();
+                }
+                return a->tuple->ToString() < b->tuple->ToString();
+              });
+  }
+  return view;
+}
+
+/// Earliest cached event time; stt::kNoWatermark when empty.
+Timestamp OldestTs(const TupleCache& cache) {
+  Timestamp low = stt::kNoWatermark;
+  for (const auto& entry : cache.entries()) {
+    Timestamp ts = entry.tuple->timestamp();
+    if (low == stt::kNoWatermark || ts < low) low = ts;
+  }
+  return low;
+}
+
+/// \brief Order-insensitive identity of a window view: FNV-1a over the
+/// sorted arrival sequence numbers. Sequence numbers are unique per
+/// cache, so (up to hash collision) equal signatures ⇔ equal tuple
+/// sets — the sliding-aggregation dedup guard. A rerun under a
+/// different delivery order assigns different seqs, but *set equality
+/// between consecutive windows* is delivery-order independent, so the
+/// skip/emit decision is too.
+uint64_t SeqSignature(const std::vector<const TupleCache::Entry*>& view) {
+  std::vector<uint64_t> seqs;
+  seqs.reserve(view.size());
+  for (const auto* e : view) seqs.push_back(e->seq);
+  std::sort(seqs.begin(), seqs.end());
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t s : seqs) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (s >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// \brief Event-time firing state shared by the blocking operators.
+///
+/// Windows end on the aligned grid (multiples of the blocking interval
+/// `t`); an end fires once the lateness-adjusted input frontier passes
+/// it, oldest first. The tumbling regime (window == 0) is the special
+/// case of a sliding window exactly one interval wide, so one mechanism
+/// serves both.
+class EventWindow {
+ public:
+  EventWindow(Duration interval, Duration window)
+      : interval_(interval), window_(window > 0 ? window : interval) {}
+
+  /// Window width: the spec's sliding window, or one interval (tumbling).
+  Duration effective_window() const { return window_; }
+
+  bool initialized() const { return initialized_; }
+
+  /// The latest fired window end — this operator's output promise.
+  Timestamp fired_end() const { return fired_end_; }
+
+  /// True when every window containing `ts` has already fired — the
+  /// tuple can no longer contribute to any future window.
+  bool IsLate(Timestamp ts) const {
+    if (!initialized_) return false;
+    return stt::AlignDown(ts + window_, interval_) <= fired_end_;
+  }
+
+  /// \brief Window ends newly covered by `horizon` (the input frontier
+  /// minus the allowed lateness), oldest first. The first call anchors
+  /// the grid at AlignDown(horizon), lowered to cover `oldest_cached`
+  /// when tuples older than the horizon are waiting — ends before any
+  /// data are empty and emit nothing, so the anchor choice is invisible
+  /// in the output.
+  std::vector<Timestamp> Advance(Timestamp horizon, Timestamp oldest_cached) {
+    std::vector<Timestamp> ends;
+    if (horizon == stt::kNoWatermark) return ends;
+    if (!initialized_) {
+      Timestamp anchor = stt::AlignDown(horizon, interval_);
+      if (oldest_cached != stt::kNoWatermark) {
+        anchor = std::min(anchor, stt::AlignDown(oldest_cached, interval_));
+      }
+      fired_end_ = anchor;
+      initialized_ = true;
+    }
+    for (Timestamp e = fired_end_ + interval_; e <= horizon; e += interval_) {
+      ends.push_back(e);
+    }
+    return ends;
+  }
+
+  /// Records that the window ending at `end` fired.
+  void MarkFired(Timestamp end) { fired_end_ = end; }
+
+  /// Expiry cutoff after firing: the earliest unfired window is
+  /// [fired_end + interval - window, ...), so anything older can never
+  /// be observed again.
+  Timestamp EvictionCutoff() const { return fired_end_ + interval_ - window_; }
+
+ private:
+  Duration interval_;
+  Duration window_;
+  bool initialized_ = false;
+  Timestamp fired_end_ = 0;
+};
+
 /// @_{t,{a1..an}}^{op}(s)
 class AggregationOperator : public Operator {
  public:
@@ -249,6 +382,10 @@ class AggregationOperator : public Operator {
 
   Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
+    if (event_time() && event_.IsLate(tuple->timestamp()) &&
+        !ApplyLatePolicy(tuple)) {
+      return Status::OK();
+    }
     stats_.dropped += cache_.Add(tuple);
     stats_.cache_size = cache_.size();
     return Status::OK();
@@ -256,18 +393,61 @@ class AggregationOperator : public Operator {
 
   Status Flush(Timestamp now) override {
     ++stats_.flushes;
-    // Sliding regime: expire tuples older than the window before the
-    // aggregation, and retain the rest afterwards.
+    if (event_time()) return FlushEvent();
+    // Processing-time regime (legacy): the window ends at the flush
+    // tick. Expire tuples older than the sliding window, aggregate the
+    // half-open view [-inf, now), retain survivors.
     if (spec_.window > 0) cache_.EvictOlderThan(now - spec_.window);
-    if (cache_.size() == 0) {
-      stats_.cache_size = 0;
-      return Status::OK();
-    }
+    auto view = WindowView(cache_, std::numeric_limits<Timestamp>::min(), now,
+                           /*sorted=*/false);
+    if (!view.empty() && ChangedSinceLastEmit(view)) EmitGroups(view, now);
+    if (spec_.window == 0) cache_.Clear();  // tumbling
+    stats_.cache_size = cache_.size();
+    return Status::OK();
+  }
 
-    // Group cached tuples by the group-by key.
+  Timestamp output_watermark() const override {
+    if (!event_time()) return input_watermark();
+    return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
+  }
+
+ private:
+  /// Event-time regime: fire every aligned window end the
+  /// lateness-adjusted input frontier has passed, oldest first.
+  Status FlushEvent() {
+    Timestamp horizon = input_watermark();
+    if (horizon == stt::kNoWatermark) return Status::OK();
+    horizon -= watermark_options().allowed_lateness;
+    for (Timestamp end : event_.Advance(horizon, OldestTs(cache_))) {
+      auto view = WindowView(cache_, end - event_.effective_window(), end,
+                             /*sorted=*/true);
+      event_.MarkFired(end);
+      if (!view.empty() && ChangedSinceLastEmit(view)) EmitGroups(view, end);
+    }
+    if (event_.initialized()) cache_.EvictOlderThan(event_.EvictionCutoff());
+    stats_.cache_size = cache_.size();
+    return Status::OK();
+  }
+
+  /// Sliding-regime dedup guard: emit only when the window's tuple set
+  /// changed since the last emission — re-emitting an unchanged window
+  /// every interval double-counts rows in the warehouse sink. Tumbling
+  /// windows always contain fresh data, so they always pass.
+  bool ChangedSinceLastEmit(const std::vector<const TupleCache::Entry*>& view) {
+    if (spec_.window == 0) return true;
+    uint64_t sig = SeqSignature(view);
+    if (last_signature_.has_value() && *last_signature_ == sig) return false;
+    last_signature_ = sig;
+    return true;
+  }
+
+  /// Groups the view by the group-by key and emits one aggregate per
+  /// group, stamped with the last granule of the window ending at `end`.
+  void EmitGroups(const std::vector<const TupleCache::Entry*>& view,
+                  Timestamp end) {
     std::map<std::string, std::vector<const Tuple*>> groups;
-    for (const auto& entry : cache_.entries()) {
-      const Tuple& t = *entry.tuple;
+    for (const auto* entry : view) {
+      const Tuple& t = *entry->tuple;
       std::string key;
       for (size_t idx : group_indexes_) {
         key += t.value(idx).ToString();
@@ -277,7 +457,7 @@ class AggregationOperator : public Operator {
     }
 
     Timestamp out_ts =
-        output_schema()->temporal_granularity().Truncate(now - 1);
+        output_schema()->temporal_granularity().Truncate(end - 1);
     stt::RefBatch out(output_schema());
     for (const auto& [key, tuples] : groups) {
       std::vector<Value> values;
@@ -297,12 +477,8 @@ class AggregationOperator : public Operator {
           Tuple::MakeUnsafe(output_schema(), std::move(values), out_ts, loc)));
     }
     EmitAll(out);
-    if (spec_.window == 0) cache_.Clear();  // tumbling
-    stats_.cache_size = cache_.size();
-    return Status::OK();
   }
 
- private:
   Value Aggregate(const std::vector<const Tuple*>& tuples, size_t idx) const {
     int64_t count = 0;
     double sum = 0;
@@ -349,6 +525,8 @@ class AggregationOperator : public Operator {
   std::vector<size_t> group_indexes_;
   std::vector<size_t> attr_indexes_;
   TupleCache cache_;
+  EventWindow event_{spec_.interval, spec_.window};
+  std::optional<uint64_t> last_signature_;
 };
 
 /// s1 |><|_{pred}^{t} s2
@@ -369,6 +547,10 @@ class JoinOperator : public Operator {
       return Status::InvalidArgument(
           StrFormat("join has inputs 0 and 1, got port %zu", port));
     }
+    if (event_time() && event_.IsLate(tuple->timestamp()) &&
+        !ApplyLatePolicy(tuple)) {
+      return Status::OK();
+    }
     stats_.dropped += (port == 0 ? left_ : right_).Add(tuple);
     stats_.cache_size = left_.size() + right_.size();
     return Status::OK();
@@ -376,6 +558,7 @@ class JoinOperator : public Operator {
 
   Status Flush(Timestamp now) override {
     ++stats_.flushes;
+    if (event_time()) return FlushEvent();
     if (spec_.window > 0) {
       left_.EvictOlderThan(now - spec_.window);
       right_.EvictOlderThan(now - spec_.window);
@@ -389,19 +572,7 @@ class JoinOperator : public Operator {
         if (spec_.window > 0 && le.seq < left_seen_ && re.seq < right_seen_) {
           continue;
         }
-        const Tuple& l = *le.tuple;
-        const Tuple& r = *re.tuple;
-        std::vector<Value> values;
-        values.reserve(l.values().size() + r.values().size());
-        values.insert(values.end(), l.values().begin(), l.values().end());
-        values.insert(values.end(), r.values().begin(), r.values().end());
-        Timestamp ts = tgran.Truncate(std::max(l.timestamp(), r.timestamp()));
-        std::optional<stt::GeoPoint> loc =
-            l.location().has_value() ? l.location() : r.location();
-        Tuple joined =
-            Tuple::MakeUnsafe(output_schema(), std::move(values), ts, loc);
-        SL_ASSIGN_OR_RETURN(bool match, predicate_.EvalPredicate(joined));
-        if (match) out.Add(Tuple::Share(std::move(joined)));
+        SL_RETURN_IF_ERROR(JoinPair(*le.tuple, *re.tuple, tgran, &out));
       }
     }
     EmitAll(out);
@@ -416,12 +587,79 @@ class JoinOperator : public Operator {
     return Status::OK();
   }
 
+  Timestamp output_watermark() const override {
+    if (!event_time()) return input_watermark();
+    return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
+  }
+
  private:
+  /// Event-time regime. Each surviving pair fires at exactly one window
+  /// end — the one whose closing granule contains the pair's event time
+  /// max(l.ts, r.ts) — so no sequence bookkeeping is needed and the
+  /// result is delivery-order independent.
+  Status FlushEvent() {
+    Timestamp horizon = input_watermark();
+    if (horizon == stt::kNoWatermark) return Status::OK();
+    horizon -= watermark_options().allowed_lateness;
+    Timestamp oldest_left = OldestTs(left_);
+    Timestamp oldest_right = OldestTs(right_);
+    Timestamp oldest = oldest_left == stt::kNoWatermark ? oldest_right
+                       : oldest_right == stt::kNoWatermark
+                           ? oldest_left
+                           : std::min(oldest_left, oldest_right);
+    const auto& tgran = output_schema()->temporal_granularity();
+    for (Timestamp end : event_.Advance(horizon, oldest)) {
+      Timestamp begin = end - event_.effective_window();
+      auto lview = WindowView(left_, begin, end, /*sorted=*/true);
+      auto rview = WindowView(right_, begin, end, /*sorted=*/true);
+      event_.MarkFired(end);
+      if (lview.empty() || rview.empty()) continue;
+      stt::RefBatch out(output_schema());
+      for (const auto* le : lview) {
+        for (const auto* re : rview) {
+          // Both members are < end, so the pair time is < end; skipping
+          // pairs older than the closing granule leaves each pair with a
+          // unique firing end.
+          Timestamp pair_ts =
+              std::max(le->tuple->timestamp(), re->tuple->timestamp());
+          if (pair_ts < end - interval()) continue;
+          SL_RETURN_IF_ERROR(JoinPair(*le->tuple, *re->tuple, tgran, &out));
+        }
+      }
+      EmitAll(out);
+    }
+    if (event_.initialized()) {
+      left_.EvictOlderThan(event_.EvictionCutoff());
+      right_.EvictOlderThan(event_.EvictionCutoff());
+    }
+    stats_.cache_size = left_.size() + right_.size();
+    return Status::OK();
+  }
+
+  /// Concatenates one (left, right) pair, evaluates the predicate on the
+  /// joined tuple, and adds it to `out` on a match.
+  Status JoinPair(const Tuple& l, const Tuple& r,
+                  const stt::TemporalGranularity& tgran, stt::RefBatch* out) {
+    std::vector<Value> values;
+    values.reserve(l.values().size() + r.values().size());
+    values.insert(values.end(), l.values().begin(), l.values().end());
+    values.insert(values.end(), r.values().begin(), r.values().end());
+    Timestamp ts = tgran.Truncate(std::max(l.timestamp(), r.timestamp()));
+    std::optional<stt::GeoPoint> loc =
+        l.location().has_value() ? l.location() : r.location();
+    Tuple joined =
+        Tuple::MakeUnsafe(output_schema(), std::move(values), ts, loc);
+    SL_ASSIGN_OR_RETURN(bool match, predicate_.EvalPredicate(joined));
+    if (match) out->Add(Tuple::Share(std::move(joined)));
+    return Status::OK();
+  }
+
   JoinSpec spec_;
   expr::BoundExpr predicate_;
   TupleCache left_;
   TupleCache right_;
-  // Sequence watermarks of the previous flush (sliding mode).
+  EventWindow event_{spec_.interval, spec_.window};
+  // Sequence watermarks of the previous flush (processing-time sliding).
   uint64_t left_seen_ = 0;
   uint64_t right_seen_ = 0;
 };
@@ -441,14 +679,19 @@ class TriggerOperator : public Operator {
 
   Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
+    Emit(tuple);  // pass-through, regardless of window lateness
+    if (event_time() && event_.IsLate(tuple->timestamp()) &&
+        !ApplyLatePolicy(tuple)) {
+      return Status::OK();
+    }
     stats_.dropped += cache_.Add(tuple);
     stats_.cache_size = cache_.size();
-    Emit(tuple);  // pass-through
     return Status::OK();
   }
 
   Status Flush(Timestamp now) override {
     ++stats_.flushes;
+    if (event_time()) return FlushEvent(now);
     if (spec_.window > 0) cache_.EvictOlderThan(now - spec_.window);
     bool fired = false;
     for (const auto& entry : cache_.entries()) {
@@ -458,26 +701,58 @@ class TriggerOperator : public Operator {
         break;
       }
     }
-    if (fired) {
-      ++stats_.trigger_fires;
-      if (activation_ != nullptr) {
-        if (kind() == OpKind::kTriggerOn) {
-          activation_->ActivateSensors(spec_.target_sensors, now);
-        } else {
-          activation_->DeactivateSensors(spec_.target_sensors, now);
-        }
-      }
-    }
+    if (fired) FireActivation(now);
     if (spec_.window == 0) cache_.Clear();
     stats_.cache_size = cache_.size();
     return Status::OK();
   }
 
+  // No output_watermark override: the output stream is the pass-through
+  // stream, so the input frontier is the right promise for it.
+
  private:
+  /// Event-time regime: the condition is checked once per aligned window
+  /// end the frontier has passed; `now` only dates the activation side
+  /// effect.
+  Status FlushEvent(Timestamp now) {
+    Timestamp horizon = input_watermark();
+    if (horizon == stt::kNoWatermark) return Status::OK();
+    horizon -= watermark_options().allowed_lateness;
+    for (Timestamp end : event_.Advance(horizon, OldestTs(cache_))) {
+      auto view = WindowView(cache_, end - event_.effective_window(), end,
+                             /*sorted=*/true);
+      event_.MarkFired(end);
+      bool fired = false;
+      for (const auto* entry : view) {
+        SL_ASSIGN_OR_RETURN(bool hit, condition_.EvalPredicate(*entry->tuple));
+        if (hit) {
+          fired = true;
+          break;
+        }
+      }
+      if (fired) FireActivation(now);
+    }
+    if (event_.initialized()) cache_.EvictOlderThan(event_.EvictionCutoff());
+    stats_.cache_size = cache_.size();
+    return Status::OK();
+  }
+
+  void FireActivation(Timestamp now) {
+    ++stats_.trigger_fires;
+    if (activation_ != nullptr) {
+      if (kind() == OpKind::kTriggerOn) {
+        activation_->ActivateSensors(spec_.target_sensors, now);
+      } else {
+        activation_->DeactivateSensors(spec_.target_sensors, now);
+      }
+    }
+  }
+
   TriggerSpec spec_;
   expr::BoundExpr condition_;
   ActivationHandler* activation_;
   TupleCache cache_;
+  EventWindow event_{spec_.interval, spec_.window};
 };
 
 }  // namespace
@@ -495,13 +770,23 @@ Result<std::unique_ptr<Operator>> MakeOperator(
       dataflow::Validator::DeriveSchema(op, spec, input_schemas, input_names));
   const stt::SchemaPtr& in = input_schemas[0];
 
+  // A zero-sized cache would make a blocking operator a silent no-op:
+  // TupleCache::Add immediately evicts the tuple it just admitted.
+  if (dataflow::IsBlocking(op) && options.max_cache_tuples == 0) {
+    return Status::InvalidArgument(
+        "blocking operator '" + name +
+        "' needs max_cache_tuples > 0 (a zero cache evicts every tuple "
+        "immediately, so the operator would never produce anything)");
+  }
+
+  std::unique_ptr<Operator> built;
   switch (op) {
     case OpKind::kFilter: {
       const auto& s = std::get<FilterSpec>(spec);
       SL_ASSIGN_OR_RETURN(expr::BoundExpr cond,
                           expr::BoundExpr::Parse(s.condition, in));
-      return std::unique_ptr<Operator>(
-          new FilterOperator(name, out_schema, std::move(cond)));
+      built.reset(new FilterOperator(name, out_schema, std::move(cond)));
+      break;
     }
     case OpKind::kTransform: {
       const auto& s = std::get<TransformSpec>(spec);
@@ -509,38 +794,42 @@ Result<std::unique_ptr<Operator>> MakeOperator(
                           expr::BoundExpr::Parse(s.expression, in));
       SL_ASSIGN_OR_RETURN(size_t idx, in->FieldIndex(s.attribute));
       ValueType out_type = out_schema->fields()[idx].type;
-      return std::unique_ptr<Operator>(new TransformOperator(
-          name, out_schema, idx, out_type, std::move(e)));
+      built.reset(
+          new TransformOperator(name, out_schema, idx, out_type, std::move(e)));
+      break;
     }
     case OpKind::kVirtualProperty: {
       const auto& s = std::get<VirtualPropertySpec>(spec);
       SL_ASSIGN_OR_RETURN(expr::BoundExpr e,
                           expr::BoundExpr::Parse(s.specification, in));
       ValueType out_type = out_schema->fields().back().type;
-      return std::unique_ptr<Operator>(new VirtualPropertyOperator(
-          name, out_schema, out_type, std::move(e)));
+      built.reset(new VirtualPropertyOperator(name, out_schema, out_type,
+                                              std::move(e)));
+      break;
     }
     case OpKind::kCullTime: {
       const auto& s = std::get<CullTimeSpec>(spec);
-      return std::unique_ptr<Operator>(
-          new CullTimeOperator(name, out_schema, s));
+      built.reset(new CullTimeOperator(name, out_schema, s));
+      break;
     }
     case OpKind::kCullSpace: {
       const auto& s = std::get<CullSpaceSpec>(spec);
-      return std::unique_ptr<Operator>(
-          new CullSpaceOperator(name, out_schema, s));
+      built.reset(new CullSpaceOperator(name, out_schema, s));
+      break;
     }
     case OpKind::kAggregation: {
       const auto& s = std::get<AggregationSpec>(spec);
-      return std::unique_ptr<Operator>(new AggregationOperator(
-          name, out_schema, in, s, options.max_cache_tuples));
+      built.reset(new AggregationOperator(name, out_schema, in, s,
+                                          options.max_cache_tuples));
+      break;
     }
     case OpKind::kJoin: {
       const auto& s = std::get<JoinSpec>(spec);
       SL_ASSIGN_OR_RETURN(expr::BoundExpr pred,
                           expr::BoundExpr::Parse(s.predicate, out_schema));
-      return std::unique_ptr<Operator>(new JoinOperator(
-          name, out_schema, s, std::move(pred), options.max_cache_tuples));
+      built.reset(new JoinOperator(name, out_schema, s, std::move(pred),
+                                   options.max_cache_tuples));
+      break;
     }
     case OpKind::kTriggerOn:
     case OpKind::kTriggerOff: {
@@ -552,12 +841,17 @@ Result<std::unique_ptr<Operator>> MakeOperator(
             "trigger operator '" + name +
             "' needs an ActivationHandler (OperatorOptions::activation)");
       }
-      return std::unique_ptr<Operator>(
-          new TriggerOperator(name, op, out_schema, s, std::move(cond),
-                              options.activation, options.max_cache_tuples));
+      built.reset(new TriggerOperator(name, op, out_schema, s, std::move(cond),
+                                      options.activation,
+                                      options.max_cache_tuples));
+      break;
     }
   }
-  return Status::Internal("unreachable op kind in MakeOperator");
+  if (built == nullptr) {
+    return Status::Internal("unreachable op kind in MakeOperator");
+  }
+  built->set_watermark_options(options.watermark);
+  return built;
 }
 
 }  // namespace sl::ops

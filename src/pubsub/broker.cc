@@ -201,6 +201,17 @@ Status Broker::PublishTuple(const std::string& sensor_id,
       header_unchanged ? tuple : tuple->WithStt(tuple->schema(), ts, loc);
   ++tuples_ingested_;
 
+  // Mint the sensor's low-watermark from the enriched event time: every
+  // delivery below carries at most this promise, and sensors emit with
+  // (mostly) monotone event times, so the max seen so far is the stream's
+  // frontier.
+  auto wm_it = watermarks_.find(sensor_id);
+  if (wm_it == watermarks_.end()) {
+    watermarks_.emplace(sensor_id, ts);
+  } else if (ts > wm_it->second) {
+    wm_it->second = ts;
+  }
+
   auto subs_it = data_subs_.find(sensor_id);
   if (subs_it != data_subs_.end()) {
     // Copy: a callback may (un)subscribe re-entrantly.
@@ -223,6 +234,24 @@ Status Broker::PublishTuple(const std::string& sensor_id,
     }
   }
   return Status::OK();
+}
+
+Timestamp Broker::WatermarkOf(const std::string& sensor_id) const {
+  auto it = watermarks_.find(sensor_id);
+  return it == watermarks_.end() ? stt::kNoWatermark : it->second;
+}
+
+Timestamp Broker::WatermarkOf(const DiscoveryQuery& query) const {
+  Timestamp low = stt::kNoWatermark;
+  bool any = false;
+  for (const auto& [id, info] : sensors_) {
+    if (!query.Matches(info)) continue;
+    Timestamp wm = WatermarkOf(id);
+    if (wm == stt::kNoWatermark) return stt::kNoWatermark;
+    if (!any || wm < low) low = wm;
+    any = true;
+  }
+  return any ? low : stt::kNoWatermark;
 }
 
 void Broker::NotifyRegistry(const SensorEvent& event) {

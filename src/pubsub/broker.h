@@ -26,6 +26,7 @@
 #include "pubsub/sensor_info.h"
 #include "stt/theme.h"
 #include "stt/tuple.h"
+#include "stt/watermark.h"
 #include "util/clock.h"
 
 namespace sl::pubsub {
@@ -157,6 +158,23 @@ class Broker {
   using NodeGate = std::function<bool(const std::string& node_id)>;
   void set_node_gate(NodeGate gate) { node_gate_ = std::move(gate); }
 
+  // -- event time ---------------------------------------------------------
+
+  /// \brief Low-watermark of one sensor's stream: the highest enriched
+  /// (granularity-truncated) event time the broker has fanned out for it.
+  /// The broker is the enrichment point (§3), so it is the one place
+  /// that sees every tuple of a sensor before any delivery — making this
+  /// the natural watermark mint. stt::kNoWatermark until the sensor has
+  /// produced. Suppressed tuples (node gate) do not advance it.
+  Timestamp WatermarkOf(const std::string& sensor_id) const;
+
+  /// \brief Low-watermark of a query subscription's merged stream: the
+  /// minimum over all currently published sensors matching `query`.
+  /// stt::kNoWatermark when no sensor matches or any matching sensor has
+  /// not produced yet — a merged stream can promise no more than its
+  /// slowest member.
+  Timestamp WatermarkOf(const DiscoveryQuery& query) const;
+
   // -- statistics ---------------------------------------------------------
 
   /// Tuples ingested via PublishTuple since construction.
@@ -180,6 +198,7 @@ class Broker {
 
   const VirtualClock* clock_;
   std::map<std::string, SensorInfo> sensors_;
+  std::map<std::string, Timestamp> watermarks_;  // by sensor id
   std::map<std::string, std::vector<DataSub>> data_subs_;  // by sensor id
   std::vector<QuerySub> query_subs_;
   std::map<SubscriptionId, RegistryCallback> registry_subs_;

@@ -88,6 +88,30 @@ class CollectSink : public Sink {
   std::vector<stt::TupleRef> tuples_;
 };
 
+/// \brief The late-side output of event-time blocking operators
+/// (ops::LatePolicy::kSideOutput): tuples that arrived behind the fired
+/// window horizon are diverted here instead of silently vanishing, so a
+/// downstream consumer can reconcile them (re-aggregate, audit, alert).
+/// One per deployment (Executor::LateSinkOf); written locally by the
+/// operator's node — the tuple already took its network hop.
+class LateSink : public Sink {
+ public:
+  explicit LateSink(std::string name) : Sink(std::move(name)) {}
+
+  using Sink::Write;
+  Status Write(const stt::TupleRef& tuple) override {
+    tuples_.push_back(tuple);
+    CountWrite();
+    return Status::OK();
+  }
+
+  const std::vector<stt::TupleRef>& tuples() const { return tuples_; }
+  void Clear() { tuples_.clear(); }
+
+ private:
+  std::vector<stt::TupleRef> tuples_;
+};
+
 }  // namespace sl::sinks
 
 #endif  // STREAMLOADER_SINKS_STREAMS_H_

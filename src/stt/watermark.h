@@ -1,0 +1,82 @@
+// StreamLoader: event-time low-watermarks.
+//
+// A watermark is a promise about event-time progress: after observing
+// watermark `w` on a channel, no tuple with timestamp() < w will arrive
+// on it (up to the declared lateness bound — see ops::WatermarkOptions).
+// The broker mints per-sensor watermarks from the enriched, granularity-
+// truncated event times it fans out (§3 enrichment makes it the one
+// place that sees every tuple of a sensor first); the executor
+// piggybacks them on tuple deliveries, and operators merge them per
+// input port with a WatermarkFrontier. This is the "consistent streaming
+// through time" construction of Barga et al. (cs/0612115): event-time
+// progress markers flow with the data so windows can close on stream
+// progress instead of the processing clock.
+
+#ifndef STREAMLOADER_STT_WATERMARK_H_
+#define STREAMLOADER_STT_WATERMARK_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace sl::stt {
+
+/// "No promise yet": the channel has not carried a watermark. Orders
+/// below every real timestamp, so max-merging per port is monotone.
+inline constexpr Timestamp kNoWatermark =
+    std::numeric_limits<Timestamp>::min();
+
+/// Largest multiple of `step` that is <= ts (floor alignment, correct
+/// for negative ts too). Window ends live on this grid: a blocking
+/// operator with interval `t` fires windows ending at multiples of `t`.
+constexpr Timestamp AlignDown(Timestamp ts, Duration step) {
+  if (step <= 0) return ts;
+  Timestamp q = ts / step;
+  if (ts % step != 0 && ts < 0) --q;
+  return q * step;
+}
+
+/// \brief Merges the watermarks of an operator's input ports.
+///
+/// Per port the watermark only advances (max-merge: deliveries may be
+/// reordered by the network, but the promise already made still holds);
+/// across ports the frontier is the minimum, and stays kNoWatermark
+/// until every port has made a promise — a join cannot close a window
+/// while one side has said nothing.
+class WatermarkFrontier {
+ public:
+  explicit WatermarkFrontier(size_t ports = 1)
+      : per_port_(ports > 0 ? ports : 1, kNoWatermark) {}
+
+  size_t ports() const { return per_port_.size(); }
+
+  /// Folds one observed watermark into `port`. kNoWatermark observations
+  /// and out-of-range ports are ignored. Returns true when the merged
+  /// frontier (Min()) advanced.
+  bool Observe(size_t port, Timestamp watermark) {
+    if (watermark == kNoWatermark || port >= per_port_.size()) return false;
+    Timestamp before = Min();
+    if (watermark > per_port_[port]) per_port_[port] = watermark;
+    return Min() != before;
+  }
+
+  /// The merged frontier: min over ports, kNoWatermark until all ports
+  /// have observed one.
+  Timestamp Min() const {
+    Timestamp low = std::numeric_limits<Timestamp>::max();
+    for (Timestamp wm : per_port_) {
+      if (wm == kNoWatermark) return kNoWatermark;
+      if (wm < low) low = wm;
+    }
+    return low;
+  }
+
+ private:
+  std::vector<Timestamp> per_port_;
+};
+
+}  // namespace sl::stt
+
+#endif  // STREAMLOADER_STT_WATERMARK_H_

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -234,6 +236,178 @@ inline std::vector<uint64_t> ChaosSeeds(size_t n, uint64_t base = 1000) {
   seeds.reserve(n);
   for (size_t i = 0; i < n; ++i) seeds.push_back(base + i);
   return seeds;
+}
+
+// --------------------------------------------- event-time test harness --
+//
+// Order-independence oracle for ops::TimePolicy::kEvent: EventTimeRun
+// deploys a blocking dataflow on the chaos ring, drives seeded sensors
+// under an (optionally installed) FaultPlan, then drains — deactivating
+// the sensors and running slack so every in-flight tuple lands, its
+// piggybacked watermark advances the frontiers, and every ripe window
+// fires. Because event-time windows close on watermark progress rather
+// than delivery time, a *delay-only* plan within the allowed lateness
+// must reproduce the zero-fault run's sink rows exactly.
+
+/// Knobs for EventTimeRun.
+struct EventTimeOptions {
+  size_t nodes = 5;                              ///< ring size
+  Duration active_for = 60 * duration::kSecond;  ///< sensors emitting
+  Duration drain_for = 20 * duration::kSecond;   ///< post-deactivation slack
+  ops::LatePolicy late_policy = ops::LatePolicy::kAdmit;
+  Duration allowed_lateness = 5 * duration::kSecond;
+  /// When false the FaultPlan is ignored — the zero-fault baseline.
+  bool install_plan = true;
+  /// Adds the rain sensor "wm_r0" (join dataflows need a second stream).
+  bool with_rain = false;
+};
+
+/// Everything an event-time run produces.
+struct EventTimeResult {
+  bool deployed = false;
+  std::string deploy_error;
+  /// ToString of every tuple in the "out" CollectSink, sorted — the
+  /// order-independence comparand. (Sorted because equal-content runs
+  /// may interleave flush batches differently; Tuple::ToString carries
+  /// values, timestamp, location and sensor but no delivery artifacts.)
+  std::vector<std::string> sink_rows;
+  /// ToString of every late-side tuple (LatePolicy::kSideOutput), sorted.
+  std::vector<std::string> late_rows;
+  std::map<std::string, ops::OperatorStats> op_stats;  ///< by operator name
+  exec::DeploymentStats stats;
+};
+
+/// Temperature sensor → 5 s sliding average over 10 s → collect.
+inline dsn::DsnSpec EventAggSpec() {
+  auto df = *dataflow::DataflowBuilder("wm_agg")
+                 .AddSource("src", "wm_t0")
+                 .AddAggregation("agg", "src", 5 * duration::kSecond,
+                                 dataflow::AggFunc::kAvg, {"temp"}, {},
+                                 10 * duration::kSecond)
+                 .AddSink("out", "agg", dataflow::SinkKind::kCollect)
+                 .Build();
+  return *dsn::TranslateToDsn(df);
+}
+
+/// Sliding join of the temperature and rain streams (pass-all predicate
+/// so the pairing itself — not the condition — is under test).
+inline dsn::DsnSpec EventJoinSpec() {
+  auto df = *dataflow::DataflowBuilder("wm_join")
+                 .AddSource("left", "wm_t0")
+                 .AddSource("right", "wm_r0")
+                 .AddJoin("join", "left", "right", 5 * duration::kSecond,
+                          "temp > -1000", 10 * duration::kSecond)
+                 .AddSink("out", "join", dataflow::SinkKind::kCollect)
+                 .Build();
+  return *dsn::TranslateToDsn(df);
+}
+
+/// Trigger watching the temperature stream. The target is a ghost
+/// sensor (never registered), so firing cannot perturb the streams
+/// under comparison — activation requests merely log a warning.
+inline dsn::DsnSpec EventTriggerSpec() {
+  auto df = *dataflow::DataflowBuilder("wm_trig")
+                 .AddSource("src", "wm_t0")
+                 .AddTriggerOn("trig", "src", 5 * duration::kSecond,
+                               "temp > 10", {"wm_ghost"},
+                               10 * duration::kSecond)
+                 .AddSink("out", "trig", dataflow::SinkKind::kCollect)
+                 .Build();
+  return *dsn::TranslateToDsn(df);
+}
+
+/// \brief Runs `spec` in event-time mode under the faults of `plan`.
+/// `seed` seeds the sensors (rain gets seed + 1). Reproducible: equal
+/// arguments ⇒ equal EventTimeResult.
+inline EventTimeResult EventTimeRun(uint64_t seed, const net::FaultPlan& plan,
+                                    const dsn::DsnSpec& spec,
+                                    const EventTimeOptions& options = {}) {
+  EventTimeResult result;
+
+  net::EventLoop loop;
+  net::Network net(&loop);
+  if (!net::BuildRingTopology(&net, options.nodes, 10000.0, 1, 1e5).ok()) {
+    result.deploy_error = "topology construction failed";
+    return result;
+  }
+
+  pubsub::Broker broker(&loop.clock());
+  sensors::SensorFleet fleet(&loop, &broker);
+  sensors::PhysicalConfig temp;
+  temp.id = "wm_t0";
+  temp.period = duration::kSecond;
+  temp.temporal_granularity = duration::kSecond;
+  // Away from node_0: least-loaded placement puts the first operator on
+  // node_0, and a same-node source→operator hop traverses no links, so
+  // injected delays would never touch the stream under test.
+  temp.node_id = "node_2";
+  temp.seed = seed;
+  if (!fleet.Add(sensors::MakeTemperatureSensor(temp)).ok()) {
+    result.deploy_error = "sensor construction failed";
+    return result;
+  }
+  if (options.with_rain) {
+    sensors::PhysicalConfig rain;
+    rain.id = "wm_r0";
+    rain.period = duration::kSecond;
+    rain.temporal_granularity = duration::kSecond;
+    rain.node_id = "node_3";
+    rain.seed = seed + 1;
+    if (!fleet.Add(sensors::MakeRainSensor(rain)).ok()) {
+      result.deploy_error = "rain sensor construction failed";
+      return result;
+    }
+  }
+
+  monitor::Monitor monitor(&loop, &net);
+
+  sinks::EventDataWarehouse warehouse;
+  sinks::SinkContext sink_context;
+  sink_context.warehouse = &warehouse;
+  exec::ExecutorOptions exec_options;
+  exec_options.watermark.time_policy = ops::TimePolicy::kEvent;
+  exec_options.watermark.late_policy = options.late_policy;
+  exec_options.watermark.allowed_lateness = options.allowed_lateness;
+  exec::Executor executor(&loop, &net, &broker, &monitor, sink_context,
+                          exec_options);
+  executor.set_fleet(&fleet);
+
+  if (options.install_plan && !net.InstallFaultPlan(plan).ok()) {
+    result.deploy_error = "fault plan installation failed";
+    return result;
+  }
+
+  auto id = executor.Deploy(spec);
+  if (!id.ok()) {
+    result.deploy_error = id.status().ToString();
+    return result;
+  }
+  result.deployed = true;
+
+  loop.RunFor(options.active_for);
+  // Stop the sources, then run slack: in-flight tuples land, their
+  // watermarks advance the frontiers, and every ripe window fires.
+  (void)fleet.Deactivate("wm_t0");
+  if (options.with_rain) (void)fleet.Deactivate("wm_r0");
+  loop.RunFor(options.drain_for);
+
+  result.stats = **executor.stats(*id);
+  const dataflow::Dataflow* df = *executor.DeployedDataflow(*id);
+  for (const auto& name : df->OperatorNames()) {
+    result.op_stats[name] = *executor.OperatorStatsOf(*id, name);
+  }
+  auto* out = static_cast<sinks::CollectSink*>(*executor.SinkOf(*id, "out"));
+  for (const auto& t : out->tuples()) {
+    result.sink_rows.push_back(t->ToString());
+  }
+  std::sort(result.sink_rows.begin(), result.sink_rows.end());
+  if (auto late = executor.LateSinkOf(*id); late.ok() && *late != nullptr) {
+    for (const auto& t : (*late)->tuples()) {
+      result.late_rows.push_back(t->ToString());
+    }
+    std::sort(result.late_rows.begin(), result.late_rows.end());
+  }
+  return result;
 }
 
 /// Link endpoints of a ring of `n` nodes, for MakeRandomFaultPlan.
