@@ -69,7 +69,7 @@ int main() {
     return 1;
   }
   auto report = loader.Validate(*dataflow);
-  std::printf("%s", report->ToString().c_str());
+  std::printf("%s", report->Render().c_str());
   std::printf("\n%s\n", dataflow::RenderCanvas(*dataflow,
                                                &report->schemas).c_str());
 

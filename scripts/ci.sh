@@ -29,6 +29,36 @@ run_config() {
 run_config build
 run_config build-asan -DSL_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
+echo "==> sl-lint: examples must be clean"
+sl_lint="${root}/build/tools/sl_lint"
+registry="${root}/examples/dsn/sensors.reg"
+"${sl_lint}" --registry="${registry}" --werror "${root}"/examples/dsn/*.dsn
+
+echo "==> sl-lint: corpus programs must report their expected codes"
+for f in "${root}"/tests/lint_corpus/*.dsn; do
+  want="$(head -1 "$f" | sed 's/# expect: //')"
+  got="$("${sl_lint}" --registry="${registry}" --format=json "$f" || true)"
+  for code in ${want}; do
+    if ! grep -q "${code}" <<<"${got}"; then
+      echo "FAIL: ${f} expected ${code}" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "==> sl-lint: archiving JSON report"
+"${sl_lint}" --registry="${registry}" --format=json \
+  "${root}"/examples/dsn/*.dsn "${root}"/tests/lint_corpus/*.dsn \
+  > "${artifacts}/LINT_report.json" || true
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> clang-tidy over src/ (compile_commands from build/)"
+  mapfile -t tidy_sources < <(find "${root}/src" -name '*.cc' | sort)
+  clang-tidy -p "${root}/build" --quiet "${tidy_sources[@]}"
+else
+  echo "==> clang-tidy not installed; skipping"
+fi
+
 echo "==> chaos suite under sanitizers, repeated"
 ctest --test-dir "${root}/build-asan" --output-on-failure \
   -R 'Chaos' --repeat-until-fail 3 -j "${jobs}"

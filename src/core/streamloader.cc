@@ -72,7 +72,7 @@ Result<std::string> StreamLoader::Translate(
   if (!report.ok()) {
     return Status::ValidationError(
         "dataflow is not consistent; translation refused:\n" +
-        report.ToString());
+        report.Render());
   }
   SL_ASSIGN_OR_RETURN(dsn::DsnSpec spec, dsn::TranslateToDsn(dataflow));
   return spec.ToString();

@@ -316,9 +316,8 @@ Result<Dataflow> DataflowBuilder::Build() const {
           err("aggregation '" + n.name + "' needs a positive interval");
         if (s.attributes.empty() && s.func != AggFunc::kCount)
           err("aggregation '" + n.name + "' aggregates no attributes");
-        if (s.window != 0 && s.window < s.interval)
-          err("aggregation '" + n.name +
-              "' sliding window must be >= its interval");
+        // window < interval is deployable (old tuples are evicted
+        // unprocessed); the Validator warns about it (SL3006).
         break;
       }
       case OpKind::kCullTime: {
@@ -347,8 +346,6 @@ Result<Dataflow> DataflowBuilder::Build() const {
           err("join '" + n.name + "' needs a positive interval");
         if (Trim(s.predicate).empty())
           err("join '" + n.name + "' has an empty predicate");
-        if (s.window != 0 && s.window < s.interval)
-          err("join '" + n.name + "' sliding window must be >= its interval");
         break;
       }
       case OpKind::kTransform: {
@@ -368,9 +365,6 @@ Result<Dataflow> DataflowBuilder::Build() const {
           err("trigger '" + n.name + "' has an empty condition");
         if (s.target_sensors.empty())
           err("trigger '" + n.name + "' has no target sensors");
-        if (s.window != 0 && s.window < s.interval)
-          err("trigger '" + n.name +
-              "' sliding window must be >= its interval");
         break;
       }
       case OpKind::kVirtualProperty: {

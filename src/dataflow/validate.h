@@ -2,10 +2,15 @@
 //
 // "The user interface provides different checks in order to draw only
 // dataflows that can be soundly translated in the DSN/SCN specification"
-// (§3). The Validator performs those checks: it resolves sources against
-// the sensor registry, propagates schemas through every operation,
-// type-checks all conditions/specifications, and enforces the STT
-// granularity-consistency constraints on composition.
+// (§3). The Validator performs those checks as a static-analysis pass:
+// it resolves sources against the sensor registry, propagates schemas
+// through every operation, type-checks all conditions/specifications
+// (expr/typecheck), enforces the STT granularity-consistency constraints
+// on composition, and lints for suspicious-but-deployable constructs
+// (unreachable nodes, dead virtual properties, windows that silently
+// drop data, constant predicates). Every finding carries a stable
+// diagnostic code and, where the construct came from an expression, a
+// byte-offset span into that expression for caret rendering.
 
 #ifndef STREAMLOADER_DATAFLOW_VALIDATE_H_
 #define STREAMLOADER_DATAFLOW_VALIDATE_H_
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "dataflow/graph.h"
+#include "diag/diagnostic.h"
 #include "pubsub/broker.h"
 #include "stt/schema.h"
 
@@ -24,10 +30,21 @@ namespace sl::dataflow {
 struct Issue {
   enum class Severity { kError, kWarning };
   Severity severity = Severity::kError;
+  diag::Code code = diag::Code::kNone;
   std::string node;     ///< offending node name ("" = whole dataflow)
   std::string message;
+  diag::Span span;      ///< into `source` ({0,0} = no location)
+  std::string source;   ///< the expression/spec text the span points into
+  std::vector<std::string> notes;
 
+  /// One-liner: "[error SL1001] f: unknown column 'wind'".
   std::string ToString() const;
+
+  /// ToString plus a caret snippet into `source` and any notes.
+  std::string Render() const;
+
+  /// The diag-layer view of this issue (for JSON emission).
+  diag::Diagnostic ToDiagnostic() const;
 };
 
 /// \brief Outcome of validation: the issues found plus, for every node
@@ -43,8 +60,11 @@ struct ValidationReport {
   size_t error_count() const;
   size_t warning_count() const;
 
-  /// Multi-line report.
+  /// Multi-line report (one line per issue).
   std::string ToString() const;
+
+  /// Multi-line report with caret snippets where spans are available.
+  std::string Render() const;
 };
 
 /// \brief The dataflow soundness checker.
@@ -59,9 +79,20 @@ class Validator {
   /// internal failures.
   Result<ValidationReport> Validate(const Dataflow& dataflow) const;
 
+  /// \brief Checks one operation against its input schemas, appending
+  /// coded issues (node names left empty) to `issues`. Returns the
+  /// derived output schema, or nullptr when an error prevents deriving
+  /// one. This is the full analysis; DeriveSchema is the error-or-schema
+  /// wrapper the runtime uses.
+  static stt::SchemaPtr CheckOp(OpKind op, const OpSpec& spec,
+                                const std::vector<stt::SchemaPtr>& inputs,
+                                const std::vector<std::string>& input_names,
+                                std::vector<Issue>* issues);
+
   /// \brief Derives the output schema of an operation applied to the
   /// given input schemas (also used by the runtime to build operators).
   /// `left_name`/`right_name` disambiguate join column collisions.
+  /// Returns the first error found as a ValidationError status.
   static Result<stt::SchemaPtr> DeriveSchema(
       OpKind op, const OpSpec& spec,
       const std::vector<stt::SchemaPtr>& inputs,

@@ -1,0 +1,157 @@
+#include "diag/diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/strings.h"
+
+namespace sl::diag {
+
+const char* SeverityToString(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string CodeToString(Code code) {
+  return StrFormat("SL%04d", static_cast<int>(code));
+}
+
+Severity CodeSeverity(Code code) {
+  int v = static_cast<int>(code);
+  if (v == 0) return Severity::kNote;
+  if (v >= 3000 && v < 4000) return Severity::kWarning;
+  return Severity::kError;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = StrFormat("%s[%s]", SeverityToString(severity),
+                              CodeToString(code).c_str());
+  if (!node.empty()) out += StrFormat(" node '%s'", node.c_str());
+  out += ": " + message;
+  return out;
+}
+
+LineCol LineColAt(const std::string& text, size_t offset) {
+  LineCol lc;
+  if (offset > text.size()) offset = text.size();
+  for (size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++lc.line;
+      lc.column = 1;
+    } else {
+      ++lc.column;
+    }
+  }
+  return lc;
+}
+
+std::string RenderSnippet(const std::string& source, Span span,
+                          const std::string& indent) {
+  if (!span.valid() || span.begin >= source.size()) return {};
+  size_t end = std::min(span.end, source.size());
+  // The line containing span.begin.
+  size_t line_begin = source.rfind('\n', span.begin);
+  line_begin = (line_begin == std::string::npos) ? 0 : line_begin + 1;
+  size_t line_end = source.find('\n', span.begin);
+  if (line_end == std::string::npos) line_end = source.size();
+
+  LineCol lc = LineColAt(source, span.begin);
+  std::string out =
+      StrFormat("%s--> line %zu, column %zu\n", indent.c_str(), lc.line,
+                lc.column);
+  out += indent + " |   " + source.substr(line_begin, line_end - line_begin) +
+         "\n";
+  size_t caret_end = std::min(end, line_end);
+  size_t caret_len = caret_end > span.begin ? caret_end - span.begin : 1;
+  out += indent + " |   " + std::string(span.begin - line_begin, ' ') +
+         std::string(caret_len, '^') + "\n";
+  return out;
+}
+
+std::string Diagnostic::Render() const {
+  std::string out = ToString() + "\n";
+  std::string snippet = RenderSnippet(source, span);
+  out += snippet;
+  for (const auto& note : notes) {
+    out += "  note: " + note.message + "\n";
+    out += RenderSnippet(source, note.span, "    ");
+  }
+  return out;
+}
+
+void Diagnostic::ToJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("code");
+  w.String(CodeToString(code));
+  w.Key("severity");
+  w.String(SeverityToString(severity));
+  if (!node.empty()) {
+    w.Key("node");
+    w.String(node);
+  }
+  w.Key("message");
+  w.String(message);
+  if (span.valid()) {
+    w.Key("span");
+    w.BeginObject();
+    w.Key("begin");
+    w.Int(static_cast<int64_t>(span.begin));
+    w.Key("end");
+    w.Int(static_cast<int64_t>(span.end));
+    if (!source.empty()) {
+      LineCol lc = LineColAt(source, span.begin);
+      w.Key("line");
+      w.Int(static_cast<int64_t>(lc.line));
+      w.Key("column");
+      w.Int(static_cast<int64_t>(lc.column));
+    }
+    w.EndObject();
+  }
+  if (!notes.empty()) {
+    w.Key("notes");
+    w.BeginArray();
+    for (const auto& note : notes) w.String(note.message);
+    w.EndArray();
+  }
+  w.EndObject();
+}
+
+Diagnostic MakeDiag(Code code, std::string node, std::string message,
+                    Span span, std::string source) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = CodeSeverity(code);
+  d.node = std::move(node);
+  d.message = std::move(message);
+  d.span = span;
+  d.source = std::move(source);
+  return d;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+void SortAndDedup(std::vector<Diagnostic>& diags) {
+  auto key = [](const Diagnostic& d) {
+    return std::tuple<size_t, int, const std::string&, const std::string&>(
+        d.span.begin, static_cast<int>(d.code), d.node, d.message);
+  };
+  std::stable_sort(diags.begin(), diags.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     return key(a) < key(b);
+                   });
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [&](const Diagnostic& a, const Diagnostic& b) {
+                            return key(a) == key(b);
+                          }),
+              diags.end());
+}
+
+}  // namespace sl::diag

@@ -1,0 +1,155 @@
+// StreamLoader: compiler-style diagnostics for the static analyzer.
+//
+// Every check in the front end (expression type checking, DSN parsing,
+// dataflow validation) reports through one Diagnostic currency: a stable
+// code (SL0xxx parse, SL1xxx type, SL2xxx graph, SL3xxx lint warning), a
+// severity, a message, and a byte-offset span into the source text the
+// construct came from. Diagnostics render either as one-line summaries
+// (grep-friendly, stable across releases) or as caret snippets pointing
+// at the offending characters, and serialize to JSON for tooling.
+
+#ifndef STREAMLOADER_DIAG_DIAGNOSTIC_H_
+#define STREAMLOADER_DIAG_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace sl::diag {
+
+/// \brief Half-open byte range [begin, end) into a source string.
+/// A default-constructed span ({0, 0}) means "no source location".
+struct Span {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool valid() const { return end > begin; }
+  size_t size() const { return end - begin; }
+  /// Shifts both endpoints by `delta` (re-anchoring an expression-relative
+  /// span into the enclosing document).
+  Span Offset(size_t delta) const { return {begin + delta, end + delta}; }
+
+  friend bool operator==(const Span& a, const Span& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityToString(Severity s);
+
+/// Stable diagnostic codes. Numeric values are part of the tool's
+/// contract (tests and CI artifacts reference them); never renumber,
+/// only append.
+enum class Code {
+  kNone = 0,
+
+  // SL00xx — lexical / syntactic.
+  kLexError = 1,         ///< SL0001: tokenizer rejected the input
+  kExprSyntax = 2,       ///< SL0002: expression parse error
+  kDsnSyntax = 10,       ///< SL0010: DSN document parse error
+  kDsnStructure = 11,    ///< SL0011: DSN well-formedness (dup names, flows)
+
+  // SL10xx — type errors (expression + schema level).
+  kUnknownColumn = 1001,    ///< SL1001: attribute not in the input schema
+  kUnknownFunction = 1002,  ///< SL1002: call to an unregistered function
+  kArity = 1003,            ///< SL1003: wrong number of call arguments
+  kBadArgType = 1004,       ///< SL1004: argument type rejected by signature
+  kBadOperandType = 1005,   ///< SL1005: arithmetic operand type mismatch
+  kBadComparison = 1006,    ///< SL1006: incomparable operand types
+  kBoolOperand = 1007,      ///< SL1007: and/or/not over non-bool
+  kConditionNotBool = 1008, ///< SL1008: condition/predicate not boolean
+  kAlwaysNullProperty = 1009, ///< SL1009: virtual property is always null
+  kNonNumericAggregate = 1010, ///< SL1010: aggregated attribute not numeric
+  kBadUnit = 1011,          ///< SL1011: unit annotation rejected
+
+  // SL20xx — graph / dataflow consistency errors.
+  kNoSources = 2001,        ///< SL2001: dataflow has no sources
+  kUnknownSensor = 2002,    ///< SL2002: source sensor not published
+  kEmptyQuery = 2003,       ///< SL2003: discovery query matches nothing
+  kQuerySchemaMismatch = 2004, ///< SL2004: query matches unequal schemas
+  kIntervalGranularity = 2005, ///< SL2005: interval not a granularity multiple
+  kGranularityMismatch = 2006, ///< SL2006: incomparable join granularities
+  kBadRegion = 2007,        ///< SL2007: degenerate cull time/space region
+  kBadSinkTarget = 2008,    ///< SL2008: sink target missing/unusable
+  kBadOpSpec = 2009,        ///< SL2009: operator spec inconsistent
+  kMissingSchema = 2010,    ///< SL2010: sensor publishes no usable schema
+
+  // SL30xx — lint warnings (suspicious but deployable).
+  kNoSinks = 3001,          ///< SL3001: dataflow discards all results
+  kUnreachableNode = 3002,  ///< SL3002: node reaches no sink
+  kDeadVirtualProperty = 3003, ///< SL3003: virtual property never read
+  kConstantPredicate = 3004,   ///< SL3004: condition folds to a constant
+  kDivisionByZero = 3005,      ///< SL3005: literal division by zero
+  kWindowNeverFires = 3006,    ///< SL3006: sliding window < check interval
+  kUnknownTriggerTarget = 3007, ///< SL3007: trigger target not published
+  kInstantGranularity = 3008,  ///< SL3008: blocking op over instant stream
+};
+
+/// "SL0002", "SL1003", ... (always two letters + four digits).
+std::string CodeToString(Code code);
+
+/// The default severity class of a code (3xxx codes are warnings,
+/// everything else an error). kNone maps to kNote.
+Severity CodeSeverity(Code code);
+
+/// \brief An attached secondary message ("note: derived schema is ...").
+struct DiagNote {
+  std::string message;
+  Span span;
+};
+
+/// \brief One finding of the static analyzer.
+struct Diagnostic {
+  Code code = Code::kNone;
+  Severity severity = Severity::kError;
+  std::string node;     ///< dataflow node / DSN service name, may be empty
+  std::string message;  ///< human one-liner, no trailing period
+  Span span;            ///< into `source` (or the enclosing document)
+  std::string source;   ///< text the span points into, may be empty
+  std::vector<DiagNote> notes;
+
+  /// One-line summary: "error[SL1001] node 'hot': unknown column 'tmp'".
+  std::string ToString() const;
+
+  /// Multi-line caret rendering:
+  ///   error[SL1001] node 'hot': unknown column 'tmp'
+  ///     --> line 3, column 12
+  ///      |   condition: tmp > 30;
+  ///      |              ^^^
+  /// Falls back to ToString() + newline when there is no usable span.
+  std::string Render() const;
+
+  /// Serializes into `w` as one JSON object (code, severity, node,
+  /// message, span, notes).
+  void ToJson(JsonWriter& w) const;
+};
+
+/// \brief Convenience constructor: severity defaults from the code.
+Diagnostic MakeDiag(Code code, std::string node, std::string message,
+                    Span span = {}, std::string source = {});
+
+/// 1-based line/column of byte `offset` in `text` (tabs count as one).
+struct LineCol {
+  size_t line = 1;
+  size_t column = 1;
+};
+LineCol LineColAt(const std::string& text, size_t offset);
+
+/// \brief Renders a caret snippet for `span` inside `source`, each line
+/// prefixed with `indent`. Empty when the span is invalid or outside the
+/// source.
+std::string RenderSnippet(const std::string& source, Span span,
+                          const std::string& indent = "  ");
+
+/// True if any diagnostic in `diags` is an error.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+/// Sorts by (source order, code) and drops exact duplicates.
+void SortAndDedup(std::vector<Diagnostic>& diags);
+
+}  // namespace sl::diag
+
+#endif  // STREAMLOADER_DIAG_DIAGNOSTIC_H_

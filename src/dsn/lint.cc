@@ -1,0 +1,98 @@
+#include "dsn/lint.h"
+
+#include <optional>
+
+#include "dataflow/validate.h"
+#include "dsn/parser.h"
+#include "dsn/translate.h"
+
+namespace sl::dsn {
+
+namespace {
+
+/// Locates the service a finding belongs to ({} when the issue is
+/// dataflow-global or the node is synthetic).
+const DsnService* FindService(const DsnSpec& spec, const std::string& name) {
+  for (const auto& service : spec.services) {
+    if (service.name == name) return &service;
+  }
+  return nullptr;
+}
+
+/// Re-anchors `diag` (whose span is relative to `diag.source`, an
+/// expression or spec string) into the DSN document: finds the property
+/// of the owning service whose value content equals that source text and
+/// offsets the span by the property's document position. Falls back to
+/// the whole property value, then to the service name, then to leaving
+/// the diagnostic expression-relative (escaped strings shift offsets, so
+/// the mapping is verified byte-for-byte before being trusted).
+void Anchor(const DsnSpec& spec, const std::string& doc,
+            diag::Diagnostic* diag) {
+  const DsnService* service = FindService(spec, diag->node);
+  if (service == nullptr) return;
+  if (!diag->source.empty()) {
+    for (const auto& [key, span] : service->property_spans) {
+      if (!span.valid() || span.end > doc.size()) continue;
+      if (doc.compare(span.begin, span.size(), diag->source) != 0) continue;
+      diag->span = diag->span.valid() && diag->span.end <= diag->source.size()
+                       ? diag->span.Offset(span.begin)
+                       : span;
+      diag->source = doc;
+      return;
+    }
+  }
+  if (service->name_span.valid()) {
+    diag->span = service->name_span;
+    diag->source = doc;
+  }
+}
+
+}  // namespace
+
+LintResult LintDsnProgram(const std::string& source,
+                          const pubsub::Broker* broker) {
+  LintResult result;
+  DsnParse parse = ParseDsnWithDiagnostics(source);
+  if (!parse.spec.has_value()) {
+    result.diags = std::move(parse.diags);
+    return result;
+  }
+  const DsnSpec& spec = *parse.spec;
+
+  auto dataflow = TranslateFromDsn(spec);
+  if (!dataflow.ok()) {
+    // Lifting failures (bad op kind, malformed spec property) have no
+    // token position of their own; anchor to the offending service.
+    diag::Diagnostic d = diag::MakeDiag(diag::Code::kBadOpSpec, "",
+                                        dataflow.status().message());
+    for (const auto& service : spec.services) {
+      if (dataflow.status().message().find("'" + service.name + "'") !=
+              std::string::npos ||
+          dataflow.status().message().find(service.name) !=
+              std::string::npos) {
+        d.node = service.name;
+        break;
+      }
+    }
+    Anchor(spec, source, &d);
+    result.diags.push_back(std::move(d));
+    return result;
+  }
+
+  dataflow::Validator validator(broker);
+  auto report = validator.Validate(*dataflow);
+  if (!report.ok()) {
+    result.diags.push_back(diag::MakeDiag(diag::Code::kDsnStructure, "",
+                                          report.status().message()));
+    return result;
+  }
+  for (const auto& issue : report->issues) {
+    diag::Diagnostic d = issue.ToDiagnostic();
+    Anchor(spec, source, &d);
+    result.diags.push_back(std::move(d));
+  }
+  diag::SortAndDedup(result.diags);
+  return result;
+}
+
+}  // namespace sl::dsn

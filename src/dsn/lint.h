@@ -1,0 +1,41 @@
+// StreamLoader: whole-program linting of DSN documents (sl-lint).
+//
+// Runs the full static-analysis stack over one DSN source text: lexing
+// and parsing (SL0xxx), lifting to a conceptual dataflow, then the
+// Validator's type/granularity/graph checks (SL1xxx/SL2xxx/SL3xxx).
+// Expression-relative spans reported by the validator are re-anchored
+// into the DSN document via the property-value spans the parser records,
+// so every caret points at the offending bytes of the file the user
+// actually wrote.
+
+#ifndef STREAMLOADER_DSN_LINT_H_
+#define STREAMLOADER_DSN_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "diag/diagnostic.h"
+#include "pubsub/broker.h"
+
+namespace sl::dsn {
+
+/// \brief Outcome of linting one DSN document.
+struct LintResult {
+  /// All findings, sorted by position; sources/spans refer to the
+  /// document (falling back to the raw expression text when a construct
+  /// cannot be located in it).
+  std::vector<diag::Diagnostic> diags;
+
+  /// True iff no error-severity diagnostic was produced.
+  bool ok() const { return !diag::HasErrors(diags); }
+};
+
+/// \brief Lints `source` end to end. `broker` resolves sensors and
+/// trigger targets; pass nullptr to lint without a registry (source
+/// resolution then reports SL2002).
+LintResult LintDsnProgram(const std::string& source,
+                          const pubsub::Broker* broker);
+
+}  // namespace sl::dsn
+
+#endif  // STREAMLOADER_DSN_LINT_H_

@@ -21,7 +21,8 @@ namespace {
 
 class DsnParser {
  public:
-  explicit DsnParser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+  DsnParser(const std::vector<Token>& tokens, const std::string& source)
+      : tokens_(tokens), source_(source) {}
 
   Result<DsnSpec> Parse() {
     DsnSpec spec;
@@ -46,19 +47,29 @@ class DsnParser {
     return spec;
   }
 
+  /// Span of the token the last Error() pointed at ({0,0} before any).
+  const diag::Span& error_span() const { return error_span_; }
+
  private:
   Result<DsnService> ParseService() {
     Advance();  // 'service'
     DsnService service;
-    SL_ASSIGN_OR_RETURN(service.name, ExpectIdent());
+    SL_ASSIGN_OR_RETURN(service.name, ExpectIdent(&service.name_span));
     SL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
     std::string left, right;
     while (Peek().kind != TokenKind::kRBrace) {
       SL_ASSIGN_OR_RETURN(std::string key, ExpectIdent());
       SL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
       std::vector<std::string> values;
+      diag::Span value_span;
       while (true) {
-        SL_ASSIGN_OR_RETURN(std::string v, ExpectValue());
+        diag::Span vs;
+        SL_ASSIGN_OR_RETURN(std::string v, ExpectValue(&vs));
+        if (values.empty()) {
+          value_span = vs;
+        } else {
+          value_span.end = vs.end;  // list: cover first through last value
+        }
         values.push_back(std::move(v));
         if (Peek().kind == TokenKind::kComma) {
           Advance();
@@ -82,6 +93,7 @@ class DsnParser {
                        service.name + "'");
         }
         service.properties.emplace(key, std::move(joined));
+        service.property_spans.emplace(key, value_span);
       }
     }
     SL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
@@ -109,7 +121,7 @@ class DsnParser {
       while (Peek().kind != TokenKind::kRBracket) {
         SL_ASSIGN_OR_RETURN(std::string key, ExpectIdent());
         SL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
-        SL_ASSIGN_OR_RETURN(std::string value, ExpectValue());
+        SL_ASSIGN_OR_RETURN(std::string value, ExpectValue(nullptr));
         if (Peek().kind == TokenKind::kSemicolon) {
           Advance();
         } else if (Peek().kind != TokenKind::kRBracket) {
@@ -142,10 +154,11 @@ class DsnParser {
     Advance();
     return Status::OK();
   }
-  Result<std::string> ExpectIdent() {
+  Result<std::string> ExpectIdent(diag::Span* span = nullptr) {
     if (Peek().kind != TokenKind::kIdent) {
       return Error("expected identifier, got " + Peek().ToString());
     }
+    if (span != nullptr) *span = {Peek().offset, Peek().end};
     std::string name = Peek().text;
     Advance();
     return name;
@@ -159,37 +172,57 @@ class DsnParser {
     Advance();
     return Status::OK();
   }
-  /// A property value: string, identifier, or number.
-  Result<std::string> ExpectValue() {
+  /// A property value: string, identifier, or number. `span` (when
+  /// non-null) receives the value's *content* span — for a quoted
+  /// string, the bytes between the quotes — so expression diagnostics
+  /// can be re-anchored into the document.
+  Result<std::string> ExpectValue(diag::Span* span) {
     const Token& tok = Peek();
+    auto set_span = [&](diag::Span s) {
+      if (span != nullptr) *span = s;
+    };
     switch (tok.kind) {
-      case TokenKind::kString:
+      case TokenKind::kString: {
+        // Content excludes the quotes; escapes make the mapping
+        // approximate, which the consumer detects by re-comparing text.
+        set_span({tok.offset + 1,
+                  tok.end > tok.offset + 1 ? tok.end - 1 : tok.offset + 1});
+        std::string v = tok.text;
+        Advance();
+        return v;
+      }
       case TokenKind::kIdent: {
+        set_span({tok.offset, tok.end});
         std::string v = tok.text;
         Advance();
         return v;
       }
       case TokenKind::kInt: {
+        set_span({tok.offset, tok.end});
         std::string v = StrFormat("%lld",
                                   static_cast<long long>(tok.int_value));
         Advance();
         return v;
       }
       case TokenKind::kDouble: {
+        set_span({tok.offset, tok.end});
         std::string v = StrFormat("%.10g", tok.double_value);
         Advance();
         return v;
       }
       case TokenKind::kMinus: {
+        size_t begin = tok.offset;
         Advance();
         const Token& next = Peek();
         if (next.kind == TokenKind::kInt) {
+          set_span({begin, next.end});
           std::string v =
               StrFormat("-%lld", static_cast<long long>(next.int_value));
           Advance();
           return v;
         }
         if (next.kind == TokenKind::kDouble) {
+          set_span({begin, next.end});
           std::string v = StrFormat("-%.10g", next.double_value);
           Advance();
           return v;
@@ -201,22 +234,66 @@ class DsnParser {
     }
   }
   Status Error(const std::string& msg) const {
+    const Token& tok = Peek();
+    error_span_ = {tok.offset,
+                   tok.end > tok.offset ? tok.end : tok.offset + 1};
+    diag::LineCol lc = diag::LineColAt(source_, tok.offset);
     return Status::ParseError(
-        StrFormat("DSN: %s (at offset %zu)", msg.c_str(), Peek().offset));
+        StrFormat("DSN: %s (at line %zu, column %zu)", msg.c_str(), lc.line,
+                  lc.column));
   }
 
   const std::vector<Token>& tokens_;
+  const std::string& source_;
   size_t pos_ = 0;
+  mutable diag::Span error_span_;
 };
 
 }  // namespace
 
 Result<DsnSpec> ParseDsn(const std::string& source) {
   SL_ASSIGN_OR_RETURN(std::vector<Token> tokens, expr::Tokenize(source));
-  DsnParser parser(tokens);
+  DsnParser parser(tokens, source);
   SL_ASSIGN_OR_RETURN(DsnSpec spec, parser.Parse());
   SL_RETURN_IF_ERROR(ValidateDsn(spec));
   return spec;
+}
+
+DsnParse ParseDsnWithDiagnostics(const std::string& source) {
+  DsnParse out;
+  size_t lex_offset = 0;
+  auto tokens = expr::Tokenize(source, &lex_offset);
+  if (!tokens.ok()) {
+    out.diags.push_back(diag::MakeDiag(diag::Code::kDsnSyntax, "",
+                                       tokens.status().message(),
+                                       {lex_offset, lex_offset + 1}, source));
+    return out;
+  }
+  DsnParser parser(*tokens, source);
+  auto spec = parser.Parse();
+  if (!spec.ok()) {
+    out.diags.push_back(diag::MakeDiag(diag::Code::kDsnSyntax, "",
+                                       spec.status().message(),
+                                       parser.error_span(), source));
+    return out;
+  }
+  if (Status valid = ValidateDsn(*spec); !valid.ok()) {
+    // Structural errors carry no token position; anchor to the name of
+    // a service the message mentions, when there is one.
+    diag::Span span;
+    for (const auto& service : spec->services) {
+      if (valid.message().find("'" + service.name + "'") !=
+          std::string::npos) {
+        span = service.name_span;
+        break;
+      }
+    }
+    out.diags.push_back(diag::MakeDiag(diag::Code::kDsnStructure, "",
+                                       valid.message(), span, source));
+    return out;
+  }
+  out.spec = std::move(*spec);
+  return out;
 }
 
 }  // namespace sl::dsn

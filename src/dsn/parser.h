@@ -3,8 +3,11 @@
 #ifndef STREAMLOADER_DSN_PARSER_H_
 #define STREAMLOADER_DSN_PARSER_H_
 
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "diag/diagnostic.h"
 #include "dsn/spec.h"
 #include "util/result.h"
 
@@ -13,6 +16,19 @@ namespace sl::dsn {
 /// \brief Parses a DSN description; the result is structurally validated
 /// (ValidateDsn) before being returned.
 Result<DsnSpec> ParseDsn(const std::string& source);
+
+/// \brief Outcome of ParseDsnWithDiagnostics: either a spec (and no
+/// diagnostics) or the coded parse/structure errors with spans.
+struct DsnParse {
+  std::optional<DsnSpec> spec;
+  std::vector<diag::Diagnostic> diags;
+};
+
+/// \brief Like ParseDsn, but failures surface as coded diagnostics
+/// (SL0010 syntax, SL0011 structure) with byte-offset spans into
+/// `source`. Successful parses carry name/property-value spans on every
+/// service (DsnService::name_span / property_spans).
+DsnParse ParseDsnWithDiagnostics(const std::string& source);
 
 /// \brief Parses a duration text like "500ms", "1h", or "0" (ParseDsn
 /// uses this for QoS parameters; exposed for tests).

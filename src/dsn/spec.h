@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diagnostic.h"
 #include "util/clock.h"
 #include "util/result.h"
 
@@ -58,6 +59,15 @@ struct DsnService {
   std::vector<std::string> inputs;
   /// Remaining configuration properties, raw string values.
   std::map<std::string, std::string> properties;
+
+  /// Source locations (byte offsets into the parsed document; all empty
+  /// when the spec was built programmatically). `property_spans` point
+  /// at the property *value content* — for quoted values, the text
+  /// between the quotes — so expression-relative diagnostic spans can be
+  /// re-anchored into the document. Deliberately not part of equality:
+  /// round-tripped specs compare equal regardless of provenance.
+  diag::Span name_span;
+  std::map<std::string, diag::Span> property_spans;
 
   bool operator==(const DsnService& o) const {
     return name == o.name && kind == o.kind && inputs == o.inputs &&

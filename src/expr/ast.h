@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/diagnostic.h"
 #include "stt/value.h"
 
 namespace sl::expr {
@@ -57,6 +58,12 @@ class Expr {
   virtual ~Expr() = default;
   ExprKind kind() const { return kind_; }
 
+  /// Byte range of the node in the text it was parsed from ({0,0} for
+  /// synthesized nodes). Set once by the parser before the node is
+  /// shared as `ExprPtr` (const), then immutable like the rest.
+  const diag::Span& span() const { return span_; }
+  void set_span(diag::Span span) { span_ = span; }
+
   /// Source form, normalized (fully parenthesized where precedence is not
   /// obvious). Parsing the result reproduces an equivalent tree.
   virtual std::string ToString() const = 0;
@@ -66,6 +73,7 @@ class Expr {
 
  private:
   ExprKind kind_;
+  diag::Span span_;
 };
 
 class LiteralExpr : public Expr {

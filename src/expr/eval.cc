@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "expr/parser.h"
+#include "expr/typecheck.h"
 #include "util/strings.h"
 
 namespace sl::expr {
@@ -28,73 +29,8 @@ struct BoundExpr::Node {
   std::vector<Node> children;
 };
 
-namespace {
-
-bool IsNullType(ValueType t) { return t == ValueType::kNull; }
-
-bool NumericOrNull(ValueType t) {
-  return stt::IsNumeric(t) || IsNullType(t);
-}
-
-// Result type of an arithmetic op; kNull when the combination is invalid.
-Result<ValueType> ArithmeticType(BinaryOp op, ValueType l, ValueType r) {
-  // String concatenation with '+'.
-  if (op == BinaryOp::kAdd &&
-      (l == ValueType::kString || r == ValueType::kString) &&
-      !stt::IsNumeric(l) && !stt::IsNumeric(r)) {
-    if ((l == ValueType::kString || IsNullType(l)) &&
-        (r == ValueType::kString || IsNullType(r))) {
-      return ValueType::kString;
-    }
-  }
-  // Timestamp arithmetic: ts - ts -> int (ms); ts +- int -> ts.
-  if (l == ValueType::kTimestamp || r == ValueType::kTimestamp) {
-    if (op == BinaryOp::kSub && l == ValueType::kTimestamp &&
-        r == ValueType::kTimestamp) {
-      return ValueType::kInt;
-    }
-    if ((op == BinaryOp::kAdd || op == BinaryOp::kSub) &&
-        l == ValueType::kTimestamp &&
-        (r == ValueType::kInt || IsNullType(r))) {
-      return ValueType::kTimestamp;
-    }
-    if (op == BinaryOp::kAdd && r == ValueType::kTimestamp &&
-        (l == ValueType::kInt || IsNullType(l))) {
-      return ValueType::kTimestamp;
-    }
-    return Status::TypeError(
-        StrFormat("invalid timestamp arithmetic: %s %s %s",
-                  stt::ValueTypeToString(l), BinaryOpToString(op),
-                  stt::ValueTypeToString(r)));
-  }
-  if (!NumericOrNull(l) || !NumericOrNull(r)) {
-    return Status::TypeError(StrFormat(
-        "operator %s expects numeric operands but got %s and %s",
-        BinaryOpToString(op), stt::ValueTypeToString(l),
-        stt::ValueTypeToString(r)));
-  }
-  if (op == BinaryOp::kDiv) return ValueType::kDouble;
-  if (l == ValueType::kDouble || r == ValueType::kDouble)
-    return ValueType::kDouble;
-  return ValueType::kInt;  // also the null-wildcard default
-}
-
-Result<ValueType> ComparisonType(BinaryOp op, ValueType l, ValueType r) {
-  if (IsNullType(l) || IsNullType(r)) return ValueType::kBool;
-  bool both_numeric = stt::IsNumeric(l) && stt::IsNumeric(r);
-  if (both_numeric || l == r) {
-    if (l == ValueType::kGeoPoint && op != BinaryOp::kEq &&
-        op != BinaryOp::kNe) {
-      return Status::TypeError("geopoints only support == and !=");
-    }
-    return ValueType::kBool;
-  }
-  return Status::TypeError(StrFormat(
-      "cannot compare %s with %s", stt::ValueTypeToString(l),
-      stt::ValueTypeToString(r)));
-}
-
-}  // namespace
+// The typing rules themselves live in expr/typecheck.{h,cc}, shared
+// with the static analyzer so binding and linting can never disagree.
 
 Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
   if (expr == nullptr) return Status::InvalidArgument("null expression");
@@ -122,31 +58,14 @@ Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
         }
         case ExprKind::kMeta: {
           node.meta = static_cast<const MetaExpr&>(e).attr();
-          switch (node.meta) {
-            case MetaAttr::kTimestamp: node.type = ValueType::kTimestamp; break;
-            case MetaAttr::kLat:
-            case MetaAttr::kLon: node.type = ValueType::kDouble; break;
-            case MetaAttr::kSensor:
-            case MetaAttr::kTheme: node.type = ValueType::kString; break;
-          }
+          node.type = MetaAttrType(node.meta);
           return node;
         }
         case ExprKind::kUnary: {
           const auto& u = static_cast<const UnaryExpr&>(e);
           SL_ASSIGN_OR_RETURN(Node child, Build(*u.operand()));
           node.uop = u.op();
-          if (u.op() == UnaryOp::kNeg) {
-            if (!NumericOrNull(child.type)) {
-              return Status::TypeError("unary - expects a numeric operand");
-            }
-            node.type = child.type == ValueType::kDouble ? ValueType::kDouble
-                                                         : ValueType::kInt;
-          } else {
-            if (child.type != ValueType::kBool && !IsNullType(child.type)) {
-              return Status::TypeError("not expects a bool operand");
-            }
-            node.type = ValueType::kBool;
-          }
+          SL_ASSIGN_OR_RETURN(node.type, UnaryResultType(u.op(), child.type));
           node.children.push_back(std::move(child));
           return node;
         }
@@ -158,28 +77,22 @@ Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
           switch (b.op()) {
             case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul:
             case BinaryOp::kDiv: case BinaryOp::kMod: {
-              SL_ASSIGN_OR_RETURN(node.type,
-                                  ArithmeticType(b.op(), left.type, right.type));
+              SL_ASSIGN_OR_RETURN(
+                  node.type,
+                  ArithmeticResultType(b.op(), left.type, right.type));
               break;
             }
             case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
             case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe: {
-              SL_ASSIGN_OR_RETURN(node.type,
-                                  ComparisonType(b.op(), left.type, right.type));
+              SL_ASSIGN_OR_RETURN(
+                  node.type,
+                  ComparisonResultType(b.op(), left.type, right.type));
               break;
             }
             case BinaryOp::kAnd: case BinaryOp::kOr: {
-              auto ok = [](ValueType t) {
-                return t == ValueType::kBool || IsNullType(t);
-              };
-              if (!ok(left.type) || !ok(right.type)) {
-                return Status::TypeError(
-                    StrFormat("%s expects bool operands but got %s and %s",
-                              BinaryOpToString(b.op()),
-                              stt::ValueTypeToString(left.type),
-                              stt::ValueTypeToString(right.type)));
-              }
-              node.type = ValueType::kBool;
+              SL_ASSIGN_OR_RETURN(
+                  node.type,
+                  LogicalResultType(b.op(), left.type, right.type));
               break;
             }
           }

@@ -53,11 +53,13 @@ std::string Token::ToString() const {
   }
 }
 
-Result<std::vector<Token>> Tokenize(const std::string& source) {
+Result<std::vector<Token>> Tokenize(const std::string& source,
+                                    size_t* error_offset) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = source.size();
-  auto error = [&source](size_t pos, const std::string& msg) {
+  auto error = [&source, error_offset](size_t pos, const std::string& msg) {
+    if (error_offset != nullptr) *error_offset = pos;
     return Status::ParseError(
         StrFormat("%s at offset %zu near '%.12s'", msg.c_str(), pos,
                   source.c_str() + pos));
@@ -82,6 +84,7 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
         ++i;
       tok.kind = TokenKind::kIdent;
       tok.text = source.substr(start, i - start);
+      tok.end = i;
       tokens.push_back(std::move(tok));
       continue;
     }
@@ -94,6 +97,7 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
       if (i == start) return error(tok.offset, "expected name after '$'");
       tok.kind = TokenKind::kDollar;
       tok.text = source.substr(start, i - start);
+      tok.end = i;
       tokens.push_back(std::move(tok));
       continue;
     }
@@ -135,6 +139,7 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
           return error(start, "integer literal out of range");
         }
       }
+      tok.end = i;
       tokens.push_back(std::move(tok));
       continue;
     }
@@ -172,6 +177,7 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
       if (!closed) return error(tok.offset, "unterminated string literal");
       tok.kind = TokenKind::kString;
       tok.text = std::move(text);
+      tok.end = i;
       tokens.push_back(std::move(tok));
       continue;
     }
@@ -243,11 +249,13 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
       default:
         return error(i, StrFormat("unexpected character '%c'", c));
     }
+    tok.end = i;
     tokens.push_back(std::move(tok));
   }
   Token end;
   end.kind = TokenKind::kEnd;
   end.offset = n;
+  end.end = n;
   tokens.push_back(std::move(end));
   return tokens;
 }

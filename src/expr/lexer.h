@@ -42,13 +42,17 @@ struct Token {
   int64_t int_value = 0;
   double double_value = 0.0;
   size_t offset = 0;  ///< byte offset in the source, for error messages
+  size_t end = 0;     ///< one past the last byte of the token's source text
 
   std::string ToString() const;
 };
 
 /// \brief Tokenizes `source`; `#` starts a comment running to end of line.
-/// The resulting vector always terminates with a kEnd token.
-Result<std::vector<Token>> Tokenize(const std::string& source);
+/// The resulting vector always terminates with a kEnd token. On failure,
+/// `*error_offset` (when non-null) receives the byte offset the lexer
+/// rejected, so callers can attach a source span to the error.
+Result<std::vector<Token>> Tokenize(const std::string& source,
+                                    size_t* error_offset = nullptr);
 
 }  // namespace sl::expr
 

@@ -6,6 +6,23 @@ namespace sl::expr {
 
 namespace {
 
+// Stamps `span` on a freshly built (still mutable) node and converts it
+// to the shared immutable ExprPtr form.
+template <typename T>
+ExprPtr WithSpan(std::shared_ptr<T> node, diag::Span span) {
+  node->set_span(span);
+  return node;
+}
+
+diag::Span TokenSpan(const Token& tok) {
+  return {tok.offset, tok.end > tok.offset ? tok.end : tok.offset + 1};
+}
+
+diag::Span Join(const diag::Span& a, const diag::Span& b) {
+  return {a.begin < b.begin ? a.begin : b.begin,
+          a.end > b.end ? a.end : b.end};
+}
+
 class Parser {
  public:
   Parser(const std::vector<Token>& tokens, size_t pos)
@@ -16,12 +33,17 @@ class Parser {
     while (IsKeyword("or")) {
       Advance();
       SL_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
-      left = std::make_shared<BinaryExpr>(BinaryOp::kOr, left, right);
+      diag::Span span = Join(left->span(), right->span());
+      left = WithSpan(std::make_shared<BinaryExpr>(BinaryOp::kOr, left, right),
+                      span);
     }
     return left;
   }
 
   size_t pos() const { return pos_; }
+
+  /// Span of the token the last Error() pointed at ({0,0} before any).
+  const diag::Span& error_span() const { return error_span_; }
 
  private:
   Result<ExprPtr> ParseAnd() {
@@ -29,16 +51,20 @@ class Parser {
     while (IsKeyword("and")) {
       Advance();
       SL_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
-      left = std::make_shared<BinaryExpr>(BinaryOp::kAnd, left, right);
+      diag::Span span = Join(left->span(), right->span());
+      left = WithSpan(
+          std::make_shared<BinaryExpr>(BinaryOp::kAnd, left, right), span);
     }
     return left;
   }
 
   Result<ExprPtr> ParseNot() {
     if (IsKeyword("not")) {
+      const Token op_tok = Peek();
       Advance();
       SL_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
-      return ExprPtr(std::make_shared<UnaryExpr>(UnaryOp::kNot, operand));
+      return WithSpan(std::make_shared<UnaryExpr>(UnaryOp::kNot, operand),
+                      Join(TokenSpan(op_tok), operand->span()));
     }
     return ParseComparison();
   }
@@ -57,7 +83,8 @@ class Parser {
     }
     Advance();
     SL_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
-    return ExprPtr(std::make_shared<BinaryExpr>(op, left, right));
+    return WithSpan(std::make_shared<BinaryExpr>(op, left, right),
+                    Join(left->span(), right->span()));
   }
 
   Result<ExprPtr> ParseAdditive() {
@@ -68,7 +95,8 @@ class Parser {
                                                     : BinaryOp::kSub;
       Advance();
       SL_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
-      left = std::make_shared<BinaryExpr>(op, left, right);
+      diag::Span span = Join(left->span(), right->span());
+      left = WithSpan(std::make_shared<BinaryExpr>(op, left, right), span);
     }
     return left;
   }
@@ -83,16 +111,19 @@ class Parser {
                                                        : BinaryOp::kMod;
       Advance();
       SL_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
-      left = std::make_shared<BinaryExpr>(op, left, right);
+      diag::Span span = Join(left->span(), right->span());
+      left = WithSpan(std::make_shared<BinaryExpr>(op, left, right), span);
     }
     return left;
   }
 
   Result<ExprPtr> ParseUnary() {
     if (Peek().kind == TokenKind::kMinus) {
+      const Token op_tok = Peek();
       Advance();
       SL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
-      return ExprPtr(std::make_shared<UnaryExpr>(UnaryOp::kNeg, operand));
+      return WithSpan(std::make_shared<UnaryExpr>(UnaryOp::kNeg, operand),
+                      Join(TokenSpan(op_tok), operand->span()));
     }
     return ParsePrimary();
   }
@@ -102,18 +133,21 @@ class Parser {
     switch (tok.kind) {
       case TokenKind::kInt: {
         Advance();
-        return ExprPtr(
-            std::make_shared<LiteralExpr>(stt::Value::Int(tok.int_value)));
+        return WithSpan(
+            std::make_shared<LiteralExpr>(stt::Value::Int(tok.int_value)),
+            TokenSpan(tok));
       }
       case TokenKind::kDouble: {
         Advance();
-        return ExprPtr(std::make_shared<LiteralExpr>(
-            stt::Value::Double(tok.double_value)));
+        return WithSpan(std::make_shared<LiteralExpr>(
+                            stt::Value::Double(tok.double_value)),
+                        TokenSpan(tok));
       }
       case TokenKind::kString: {
         Advance();
-        return ExprPtr(
-            std::make_shared<LiteralExpr>(stt::Value::String(tok.text)));
+        return WithSpan(
+            std::make_shared<LiteralExpr>(stt::Value::String(tok.text)),
+            TokenSpan(tok));
       }
       case TokenKind::kDollar: {
         Advance();
@@ -126,18 +160,20 @@ class Parser {
         else if (name == "theme") attr = MetaAttr::kTheme;
         else
           return Error(tok, "unknown metadata attribute $" + tok.text);
-        return ExprPtr(std::make_shared<MetaExpr>(attr));
+        return WithSpan(std::make_shared<MetaExpr>(attr), TokenSpan(tok));
       }
       case TokenKind::kIdent: {
         std::string lower = ToLower(tok.text);
         if (lower == "true" || lower == "false") {
           Advance();
-          return ExprPtr(std::make_shared<LiteralExpr>(
-              stt::Value::Bool(lower == "true")));
+          return WithSpan(std::make_shared<LiteralExpr>(
+                              stt::Value::Bool(lower == "true")),
+                          TokenSpan(tok));
         }
         if (lower == "null") {
           Advance();
-          return ExprPtr(std::make_shared<LiteralExpr>(stt::Value::Null()));
+          return WithSpan(std::make_shared<LiteralExpr>(stt::Value::Null()),
+                          TokenSpan(tok));
         }
         // Reserved words never name attributes or functions; reaching
         // one here means it is misplaced (e.g. "x > not y").
@@ -162,11 +198,13 @@ class Parser {
           if (Peek().kind != TokenKind::kRParen) {
             return Error(Peek(), "expected ')' in call to " + tok.text);
           }
+          const Token& rparen = Peek();
           Advance();
-          return ExprPtr(
-              std::make_shared<CallExpr>(ToLower(tok.text), std::move(args)));
+          return WithSpan(
+              std::make_shared<CallExpr>(ToLower(tok.text), std::move(args)),
+              Join(TokenSpan(tok), TokenSpan(rparen)));
         }
-        return ExprPtr(std::make_shared<AttrExpr>(tok.text));
+        return WithSpan(std::make_shared<AttrExpr>(tok.text), TokenSpan(tok));
       }
       case TokenKind::kLParen: {
         Advance();
@@ -190,13 +228,15 @@ class Parser {
   bool IsKeyword(const char* kw) const {
     return Peek().kind == TokenKind::kIdent && ToLower(Peek().text) == kw;
   }
-  static Status Error(const Token& tok, const std::string& msg) {
+  Status Error(const Token& tok, const std::string& msg) {
+    error_span_ = TokenSpan(tok);
     return Status::ParseError(
         StrFormat("%s (at offset %zu)", msg.c_str(), tok.offset));
   }
 
   const std::vector<Token>& tokens_;
   size_t pos_;
+  diag::Span error_span_;
 };
 
 }  // namespace
@@ -211,6 +251,37 @@ Result<ExprPtr> ParseExpression(const std::string& source) {
         tokens[parser.pos()].offset, tokens[parser.pos()].ToString().c_str()));
   }
   return expr;
+}
+
+ExprPtr ParseExpressionWithDiagnostics(const std::string& source,
+                                       std::vector<diag::Diagnostic>* diags) {
+  size_t lex_offset = 0;
+  auto tokens = Tokenize(source, &lex_offset);
+  if (!tokens.ok()) {
+    diags->push_back(diag::MakeDiag(diag::Code::kLexError, "",
+                                    tokens.status().message(),
+                                    {lex_offset, lex_offset + 1}, source));
+    return nullptr;
+  }
+  Parser parser(*tokens, 0);
+  auto expr = parser.ParseOr();
+  if (!expr.ok()) {
+    diags->push_back(diag::MakeDiag(diag::Code::kExprSyntax, "",
+                                    expr.status().message(),
+                                    parser.error_span(), source));
+    return nullptr;
+  }
+  const Token& rest = (*tokens)[parser.pos()];
+  if (rest.kind != TokenKind::kEnd) {
+    diags->push_back(diag::MakeDiag(
+        diag::Code::kExprSyntax, "",
+        StrFormat("trailing input after expression: '%s'",
+                  rest.ToString().c_str()),
+        {rest.offset, rest.end > rest.offset ? rest.end : rest.offset + 1},
+        source));
+    return nullptr;
+  }
+  return *expr;
 }
 
 Result<ExprPtr> ParseExpressionTokens(const std::vector<Token>& tokens,

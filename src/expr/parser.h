@@ -19,6 +19,14 @@ namespace sl::expr {
 /// domain experts, §2).
 Result<ExprPtr> ParseExpression(const std::string& source);
 
+/// \brief Like ParseExpression, but failures are reported as coded
+/// diagnostics (SL0001 lexical, SL0002 syntax) with byte-offset spans
+/// into `source` instead of a bare Status. Returns nullptr after
+/// appending to `diags` on failure. Successful parses carry spans on
+/// every AST node (Expr::span()).
+ExprPtr ParseExpressionWithDiagnostics(const std::string& source,
+                                       std::vector<diag::Diagnostic>* diags);
+
 /// \brief Parses one expression from a pre-tokenized stream starting at
 /// `*pos`, advancing `*pos` past the expression. Used by the DSN parser
 /// to parse embedded conditions.

@@ -1,0 +1,152 @@
+#include "pubsub/registry_text.h"
+
+#include "expr/lexer.h"
+#include "stt/granularity.h"
+#include "stt/schema_text.h"
+#include "util/strings.h"
+
+namespace sl::pubsub {
+
+namespace {
+
+using expr::Token;
+using expr::TokenKind;
+
+class RegistryParser {
+ public:
+  explicit RegistryParser(const std::vector<Token>& tokens)
+      : tokens_(tokens) {}
+
+  Result<std::vector<SensorInfo>> Parse() {
+    std::vector<SensorInfo> sensors;
+    while (Peek().kind != TokenKind::kEnd) {
+      SL_ASSIGN_OR_RETURN(SensorInfo info, ParseSensor());
+      sensors.push_back(std::move(info));
+    }
+    return sensors;
+  }
+
+ private:
+  Result<SensorInfo> ParseSensor() {
+    if (Peek().kind != TokenKind::kIdent || Peek().text != "sensor") {
+      return Error("expected 'sensor'");
+    }
+    Advance();
+    SensorInfo info;
+    SL_ASSIGN_OR_RETURN(info.id, ExpectString());
+    SL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    bool has_schema = false;
+    while (Peek().kind != TokenKind::kRBrace) {
+      SL_ASSIGN_OR_RETURN(std::string key, ExpectIdent());
+      SL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+      if (key == "type") {
+        SL_ASSIGN_OR_RETURN(info.type, ExpectString());
+      } else if (key == "period") {
+        SL_ASSIGN_OR_RETURN(std::string text, ExpectString());
+        if (!ParseDuration(text, &info.period)) {
+          return Error("cannot parse period '" + text + "'");
+        }
+      } else if (key == "schema") {
+        SL_ASSIGN_OR_RETURN(std::string text, ExpectString());
+        SL_ASSIGN_OR_RETURN(info.schema, stt::ParseSchemaText(text));
+        has_schema = true;
+      } else if (key == "location") {
+        SL_ASSIGN_OR_RETURN(double lat, ExpectNumber());
+        SL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+        SL_ASSIGN_OR_RETURN(double lon, ExpectNumber());
+        info.location = stt::GeoPoint{lat, lon};
+      } else if (key == "node") {
+        SL_ASSIGN_OR_RETURN(info.node_id, ExpectString());
+      } else if (key == "owner") {
+        SL_ASSIGN_OR_RETURN(info.owner, ExpectString());
+      } else if (key == "provides_timestamp") {
+        SL_ASSIGN_OR_RETURN(info.provides_timestamp, ExpectBool());
+      } else if (key == "provides_location") {
+        SL_ASSIGN_OR_RETURN(info.provides_location, ExpectBool());
+      } else {
+        return Error("unknown sensor property '" + key + "'");
+      }
+      SL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    }
+    SL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    if (!has_schema) {
+      return Error("sensor '" + info.id + "' declares no schema");
+    }
+    SL_RETURN_IF_ERROR(ValidateSensorInfo(info));
+    return info;
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected identifier, got " + Peek().ToString());
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+  Result<std::string> ExpectString() {
+    if (Peek().kind != TokenKind::kString) {
+      return Error("expected a quoted string, got " + Peek().ToString());
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+  Result<double> ExpectNumber() {
+    bool negative = false;
+    if (Peek().kind == TokenKind::kMinus) {
+      negative = true;
+      Advance();
+    }
+    double value = 0;
+    if (Peek().kind == TokenKind::kInt) {
+      value = static_cast<double>(Peek().int_value);
+    } else if (Peek().kind == TokenKind::kDouble) {
+      value = Peek().double_value;
+    } else {
+      return Error("expected a number, got " + Peek().ToString());
+    }
+    Advance();
+    return negative ? -value : value;
+  }
+  Result<bool> ExpectBool() {
+    if (Peek().kind == TokenKind::kIdent &&
+        (Peek().text == "true" || Peek().text == "false")) {
+      bool value = Peek().text == "true";
+      Advance();
+      return value;
+    }
+    return Error("expected true or false, got " + Peek().ToString());
+  }
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StrFormat("expected %s, got %s",
+                             expr::TokenKindToString(kind),
+                             Peek().ToString().c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("registry: %s (at offset %zu)", msg.c_str(),
+                  Peek().offset));
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<SensorInfo>> ParseSensorRegistry(const std::string& text) {
+  SL_ASSIGN_OR_RETURN(std::vector<Token> tokens, expr::Tokenize(text));
+  RegistryParser parser(tokens);
+  return parser.Parse();
+}
+
+}  // namespace sl::pubsub

@@ -1,0 +1,36 @@
+// StreamLoader: textual sensor-registry files.
+//
+// The sl-lint CLI (and any offline tooling) needs the sensor
+// advertisements a broker would hold at runtime, without a running
+// broker. A registry file lists them in a DSN-flavoured syntax reusing
+// the expression lexer ('#' starts a comment):
+//
+//   sensor "osaka_temp_01" {
+//     type: "temperature";
+//     period: "1m";
+//     schema: "{temp:double[celsius]} @1m/0.01deg theme=weather/temp";
+//     location: 34.6937, 135.5023;
+//     node: "edge-osaka-1";
+//   }
+//
+// `schema` uses the stt textual schema notation (schema_text.h) and is
+// the only required property besides the sensor id.
+
+#ifndef STREAMLOADER_PUBSUB_REGISTRY_TEXT_H_
+#define STREAMLOADER_PUBSUB_REGISTRY_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "pubsub/sensor_info.h"
+#include "util/result.h"
+
+namespace sl::pubsub {
+
+/// \brief Parses a registry file into publishable sensor advertisements
+/// (each already passes ValidateSensorInfo). ParseError on bad syntax.
+Result<std::vector<SensorInfo>> ParseSensorRegistry(const std::string& text);
+
+}  // namespace sl::pubsub
+
+#endif  // STREAMLOADER_PUBSUB_REGISTRY_TEXT_H_

@@ -397,5 +397,158 @@ TEST_F(ValidatorTest, NoSinksIsWarning) {
   EXPECT_EQ(report.warning_count(), 1u);
 }
 
+// ------------------------------------------------------- graph lints --
+
+namespace {
+
+bool HasIssue(const ValidationReport& report, diag::Code code,
+              const std::string& node = "") {
+  for (const auto& issue : report.issues) {
+    if (issue.code == code && (node.empty() || issue.node == node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST_F(ValidatorTest, UnreachableNodeIsWarning) {
+  auto df = *DataflowBuilder("flow")
+                 .AddSource("src", "t1")
+                 .AddFilter("hot", "src", "temp > 25")
+                 .AddFilter("orphan", "src", "temp < 0")
+                 .AddSink("out", "hot", SinkKind::kCollect)
+                 .Build();
+  auto report = Validate(df);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasIssue(report, diag::Code::kUnreachableNode, "orphan"));
+  EXPECT_FALSE(HasIssue(report, diag::Code::kUnreachableNode, "hot"));
+}
+
+TEST_F(ValidatorTest, DeadVirtualPropertyIsWarning) {
+  // 'feels' is added, then aggregated away without ever being read.
+  auto df = *DataflowBuilder("flow")
+                 .AddSource("src", "t1")
+                 .AddVirtualProperty("v", "src", "feels",
+                                     "apparent_temp(temp, 60)", "celsius")
+                 .AddAggregation("agg", "v", duration::kHour, AggFunc::kAvg,
+                                 {"temp"})
+                 .AddSink("out", "agg", SinkKind::kCollect)
+                 .Build();
+  auto report = Validate(df);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasIssue(report, diag::Code::kDeadVirtualProperty, "v"));
+
+  // Referencing the property downstream silences the lint.
+  auto used = *DataflowBuilder("flow")
+                   .AddSource("src", "t1")
+                   .AddVirtualProperty("v", "src", "feels",
+                                       "apparent_temp(temp, 60)", "celsius")
+                   .AddFilter("warm", "v", "feels > 20")
+                   .AddSink("out", "warm", SinkKind::kCollect)
+                   .Build();
+  auto used_report = Validate(used);
+  EXPECT_FALSE(HasIssue(used_report, diag::Code::kDeadVirtualProperty));
+
+  // So does flowing it into a sink unchanged.
+  auto sunk = *DataflowBuilder("flow")
+                  .AddSource("src", "t1")
+                  .AddVirtualProperty("v", "src", "feels",
+                                      "apparent_temp(temp, 60)", "celsius")
+                  .AddSink("out", "v", SinkKind::kCollect)
+                  .Build();
+  auto sunk_report = Validate(sunk);
+  EXPECT_FALSE(HasIssue(sunk_report, diag::Code::kDeadVirtualProperty));
+}
+
+TEST_F(ValidatorTest, ConstantPredicateIsWarning) {
+  auto df = *DataflowBuilder("flow")
+                 .AddSource("src", "t1")
+                 .AddFilter("none", "src", "temp > 25 and false")
+                 .AddSink("out", "none", SinkKind::kCollect)
+                 .Build();
+  auto report = Validate(df);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasIssue(report, diag::Code::kConstantPredicate, "none"));
+
+  // The idiomatic cross join stays clean.
+  auto cross = *DataflowBuilder("flow")
+                   .AddSource("a", "t1")
+                   .AddSource("b", "r1")
+                   .AddJoin("j", "a", "b", duration::kHour, "true")
+                   .AddSink("out", "j", SinkKind::kCollect)
+                   .Build();
+  auto cross_report = Validate(cross);
+  EXPECT_FALSE(HasIssue(cross_report, diag::Code::kConstantPredicate));
+}
+
+TEST_F(ValidatorTest, DivisionByZeroIsWarning) {
+  auto df = *DataflowBuilder("flow")
+                 .AddSource("src", "t1")
+                 .AddTransform("t", "src", "temp", "temp / 0")
+                 .AddSink("out", "t", SinkKind::kCollect)
+                 .Build();
+  auto report = Validate(df);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasIssue(report, diag::Code::kDivisionByZero, "t"));
+}
+
+TEST_F(ValidatorTest, WindowShorterThanIntervalIsWarning) {
+  auto df = *DataflowBuilder("flow")
+                 .AddSource("src", "t1")
+                 .AddAggregation("agg", "src", duration::kHour, AggFunc::kAvg,
+                                 {"temp"}, {}, duration::kMinute)
+                 .AddSink("out", "agg", SinkKind::kCollect)
+                 .Build();
+  auto report = Validate(df);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasIssue(report, diag::Code::kWindowNeverFires, "agg"));
+}
+
+TEST_F(ValidatorTest, InstantGranularityBlockingOpIsWarning) {
+  pubsub::SensorInfo adhoc;
+  adhoc.id = "probe";
+  adhoc.type = "probe";
+  auto schema = stt::Schema::Make(
+      {{"v", ValueType::kDouble, "", false}},
+      stt::TemporalGranularity::Millisecond(),
+      stt::SpatialGranularity::Point(),
+      *stt::Theme::Parse("misc/adhoc"));
+  adhoc.schema = *schema;
+  adhoc.period = duration::kSecond;
+  adhoc.location = stt::GeoPoint{34.69, 135.50};
+  SL_ASSERT_OK(broker_.Publish(adhoc));
+
+  auto df = *DataflowBuilder("flow")
+                 .AddSource("src", "probe")
+                 .AddAggregation("agg", "src", duration::kMinute,
+                                 AggFunc::kAvg, {"v"})
+                 .AddSink("out", "agg", SinkKind::kCollect)
+                 .Build();
+  auto report = Validate(df);
+  EXPECT_TRUE(HasIssue(report, diag::Code::kInstantGranularity, "agg"));
+}
+
+TEST_F(ValidatorTest, IssueRenderingCarriesCodeAndCaret) {
+  auto df = *DataflowBuilder("flow")
+                 .AddSource("src", "t1")
+                 .AddFilter("f", "src", "wind > 3")
+                 .AddSink("out", "f", SinkKind::kCollect)
+                 .Build();
+  auto report = Validate(df);
+  ASSERT_FALSE(report.ok());
+  bool rendered = false;
+  for (const auto& issue : report.issues) {
+    if (issue.code != diag::Code::kUnknownColumn) continue;
+    rendered = true;
+    EXPECT_NE(issue.ToString().find("SL1001"), std::string::npos);
+    std::string render = issue.Render();
+    EXPECT_NE(render.find('^'), std::string::npos) << render;
+    EXPECT_NE(render.find("wind > 3"), std::string::npos) << render;
+  }
+  EXPECT_TRUE(rendered);
+}
+
 }  // namespace
 }  // namespace sl::dataflow

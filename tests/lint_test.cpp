@@ -1,0 +1,173 @@
+// Tests for the DSN whole-program linter (dsn/lint): every program in
+// tests/lint_corpus/ is rejected (or warned about) with the diagnostic
+// codes its "# expect:" header names, spans land inside the offending
+// construct, and the examples/dsn programs lint clean.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dsn/lint.h"
+#include "pubsub/broker.h"
+#include "pubsub/registry_text.h"
+#include "tests/test_util.h"
+#include "util/clock.h"
+
+#ifndef SL_REPO_DIR
+#error "SL_REPO_DIR must be defined to the repository root"
+#endif
+
+namespace sl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Broker loaded with the examples/dsn registry (shared by the example
+/// and corpus programs).
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string text =
+        ReadFile(fs::path(SL_REPO_DIR) / "examples/dsn/sensors.reg");
+    auto sensors = pubsub::ParseSensorRegistry(text);
+    SL_ASSERT_OK(sensors.status());
+    for (const auto& info : *sensors) {
+      SL_ASSERT_OK(broker_.Publish(info));
+    }
+  }
+
+  VirtualClock clock_;
+  pubsub::Broker broker_{&clock_};
+};
+
+std::vector<std::string> ExpectedCodes(const std::string& source) {
+  std::vector<std::string> codes;
+  std::istringstream lines(source);
+  std::string first;
+  std::getline(lines, first);
+  std::istringstream words(first);
+  std::string word;
+  while (words >> word) {
+    if (word.rfind("SL", 0) == 0) codes.push_back(word);
+  }
+  return codes;
+}
+
+TEST_F(LintTest, CorpusProgramsProduceExpectedCodes) {
+  fs::path corpus = fs::path(SL_REPO_DIR) / "tests/lint_corpus";
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".dsn") continue;
+    std::string source = ReadFile(entry.path());
+    std::vector<std::string> expected = ExpectedCodes(source);
+    ASSERT_FALSE(expected.empty())
+        << entry.path() << " has no '# expect: SLxxxx' header";
+    dsn::LintResult lint = dsn::LintDsnProgram(source, &broker_);
+    for (const auto& code : expected) {
+      bool found = false;
+      for (const auto& d : lint.diags) {
+        if (diag::CodeToString(d.code) == code) found = true;
+      }
+      EXPECT_TRUE(found) << entry.path() << ": expected " << code
+                         << " but got:\n"
+                         << [&] {
+                              std::string all;
+                              for (const auto& d : lint.diags) {
+                                all += d.ToString() + "\n";
+                              }
+                              return all;
+                            }();
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 15u);  // the corpus covers every code family
+}
+
+TEST_F(LintTest, CorpusSpansLandInsideTheOffendingConstruct) {
+  fs::path corpus = fs::path(SL_REPO_DIR) / "tests/lint_corpus";
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".dsn") continue;
+    std::string source = ReadFile(entry.path());
+    dsn::LintResult lint = dsn::LintDsnProgram(source, &broker_);
+    ASSERT_FALSE(lint.diags.empty()) << entry.path();
+    for (const auto& d : lint.diags) {
+      if (!d.span.valid()) continue;
+      // Anchored spans refer to the document and stay inside it.
+      EXPECT_EQ(d.source, source) << entry.path() << ": " << d.ToString();
+      EXPECT_LE(d.span.end, source.size())
+          << entry.path() << ": " << d.ToString();
+      // Never anchored to the leading "# expect" comment.
+      EXPECT_GE(d.span.begin, source.find('\n'))
+          << entry.path() << ": " << d.ToString();
+    }
+  }
+}
+
+TEST_F(LintTest, SpanPointsAtOffendingExpressionText) {
+  std::string source = ReadFile(fs::path(SL_REPO_DIR) /
+                                "tests/lint_corpus/unknown_column.dsn");
+  dsn::LintResult lint = dsn::LintDsnProgram(source, &broker_);
+  bool found = false;
+  for (const auto& d : lint.diags) {
+    if (d.code != diag::Code::kUnknownColumn) continue;
+    found = true;
+    ASSERT_TRUE(d.span.valid());
+    // The caret covers exactly the unknown identifier.
+    EXPECT_EQ(source.substr(d.span.begin, d.span.size()), "wind");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(LintTest, ExamplesLintClean) {
+  fs::path dir = fs::path(SL_REPO_DIR) / "examples/dsn";
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".dsn") continue;
+    std::string source = ReadFile(entry.path());
+    dsn::LintResult lint = dsn::LintDsnProgram(source, &broker_);
+    EXPECT_TRUE(lint.ok()) << entry.path();
+    EXPECT_TRUE(lint.diags.empty()) << entry.path() << ":\n"
+                                    << (lint.diags.empty()
+                                            ? ""
+                                            : lint.diags[0].Render());
+    ++checked;
+  }
+  EXPECT_GE(checked, 2u);
+}
+
+TEST_F(LintTest, LintingWithoutRegistryReportsUnknownSensors) {
+  std::string source = ReadFile(fs::path(SL_REPO_DIR) /
+                                "examples/dsn/osaka_hot_hours.dsn");
+  dsn::LintResult lint = dsn::LintDsnProgram(source, nullptr);
+  EXPECT_FALSE(lint.ok());
+  bool has_unknown_sensor = false;
+  for (const auto& d : lint.diags) {
+    if (d.code == diag::Code::kUnknownSensor) has_unknown_sensor = true;
+  }
+  EXPECT_TRUE(has_unknown_sensor);
+}
+
+TEST_F(LintTest, SyntaxErrorsCarryDocumentSpans) {
+  std::string source = "dataflow broken {\n  service t { kind SOURCE; }\n}\n";
+  dsn::LintResult lint = dsn::LintDsnProgram(source, &broker_);
+  ASSERT_EQ(lint.diags.size(), 1u);
+  EXPECT_EQ(lint.diags[0].code, diag::Code::kDsnSyntax);
+  ASSERT_TRUE(lint.diags[0].span.valid());
+  EXPECT_LE(lint.diags[0].span.end, source.size());
+}
+
+}  // namespace
+}  // namespace sl

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/streamloader.h"
+#include "dataflow/validate.h"
 #include "dsn/parser.h"
 #include "dsn/translate.h"
 #include "ops/operator.h"
@@ -198,20 +199,31 @@ TEST(SlidingTriggerTest, ConditionSeenAcrossChecks) {
 
 // ------------------------------------------------- builder + translation --
 
-TEST(SlidingWindowSpecTest, BuilderRejectsWindowSmallerThanInterval) {
-  EXPECT_FALSE(DataflowBuilder("f").AddSource("s", "t")
-                   .AddAggregation("a", "s", duration::kHour, AggFunc::kAvg,
-                                   {"x"}, {}, duration::kMinute)
-                   .Build().ok());
-  EXPECT_FALSE(DataflowBuilder("f").AddSource("s", "t").AddSource("s2", "t2")
-                   .AddJoin("j", "s", "s2", duration::kHour, "true",
-                            duration::kMinute)
-                   .Build().ok());
-  EXPECT_FALSE(DataflowBuilder("f").AddSource("s", "t")
-                   .AddTriggerOn("tr", "s", duration::kHour, "true", {"x"},
-                                 duration::kMinute)
-                   .Build().ok());
-  // window == interval is legal.
+TEST(SlidingWindowSpecTest, WindowSmallerThanIntervalBuildsButLints) {
+  // A window shorter than the check interval is deployable — old tuples
+  // are evicted unprocessed — so the builder accepts it and the static
+  // analyzer warns (SL3006, kWindowNeverFires).
+  EXPECT_TRUE(DataflowBuilder("f").AddSource("s", "t")
+                  .AddAggregation("a", "s", duration::kHour, AggFunc::kAvg,
+                                  {"temp"}, {}, duration::kMinute)
+                  .AddSink("o", "a", SinkKind::kCollect)
+                  .Build().ok());
+
+  AggregationSpec spec;
+  spec.interval = duration::kHour;
+  spec.window = duration::kMinute;
+  spec.func = AggFunc::kAvg;
+  spec.attributes = {"temp"};
+  std::vector<dataflow::Issue> issues;
+  dataflow::Validator::CheckOp(OpKind::kAggregation, spec, {TempSchema()},
+                               {"in"}, &issues);
+  bool warned = false;
+  for (const auto& issue : issues) {
+    if (issue.code == diag::Code::kWindowNeverFires) warned = true;
+  }
+  EXPECT_TRUE(warned);
+
+  // window == interval is legal and clean.
   EXPECT_TRUE(DataflowBuilder("f").AddSource("s", "t")
                   .AddTriggerOn("tr", "s", duration::kHour, "true", {"x"},
                                 duration::kHour)

@@ -1,0 +1,262 @@
+// Tests for the expression static type checker (expr/typecheck): type
+// inference vs the schema, diagnostic codes and spans, constant folding,
+// and — most importantly — agreement with the runtime binder, which
+// shares the same typing rules.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "expr/eval.h"
+#include "expr/functions.h"
+#include "expr/parser.h"
+#include "expr/typecheck.h"
+#include "stt/schema.h"
+#include "tests/test_util.h"
+
+namespace sl {
+namespace {
+
+using expr::ConditionContext;
+using expr::TypecheckCondition;
+using expr::TypecheckResult;
+using expr::TypecheckSource;
+using stt::ValueType;
+
+/// {i:int, d:double, s:string, b:bool, t:timestamp, g:geopoint} — one
+/// column of every type, so each typing rule is reachable.
+stt::SchemaPtr AllTypesSchema() {
+  auto tgran = stt::TemporalGranularity::Make(duration::kMinute);
+  auto theme = stt::Theme::Parse("test/all");
+  auto schema = stt::Schema::Make(
+      {{"i", ValueType::kInt, "", false},
+       {"d", ValueType::kDouble, "", false},
+       {"s", ValueType::kString, "", true},
+       {"b", ValueType::kBool, "", true},
+       {"t", ValueType::kTimestamp, "", true},
+       {"g", ValueType::kGeoPoint, "", true}},
+      *tgran, stt::SpatialGranularity::Point(), *theme);
+  return *schema;
+}
+
+bool HasCode(const TypecheckResult& result, diag::Code code) {
+  for (const auto& d : result.diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+diag::Span SpanOf(const TypecheckResult& result, diag::Code code) {
+  for (const auto& d : result.diags) {
+    if (d.code == code) return d.span;
+  }
+  return {};
+}
+
+// ------------------------------------------------------- type inference --
+
+TEST(TypecheckTest, InfersTypes) {
+  auto schema = AllTypesSchema();
+  EXPECT_EQ(TypecheckSource("i + 1", *schema).type, ValueType::kInt);
+  EXPECT_EQ(TypecheckSource("i + d", *schema).type, ValueType::kDouble);
+  EXPECT_EQ(TypecheckSource("i / 2", *schema).type, ValueType::kDouble);
+  EXPECT_EQ(TypecheckSource("s + s", *schema).type, ValueType::kString);
+  EXPECT_EQ(TypecheckSource("t - t", *schema).type, ValueType::kInt);
+  EXPECT_EQ(TypecheckSource("t + 1000", *schema).type,
+            ValueType::kTimestamp);
+  EXPECT_EQ(TypecheckSource("d > 3", *schema).type, ValueType::kBool);
+  EXPECT_EQ(TypecheckSource("b and i < 3", *schema).type, ValueType::kBool);
+  EXPECT_EQ(TypecheckSource("-i", *schema).type, ValueType::kInt);
+  EXPECT_EQ(TypecheckSource("not b", *schema).type, ValueType::kBool);
+  EXPECT_EQ(TypecheckSource("$ts", *schema).type, ValueType::kTimestamp);
+  EXPECT_EQ(TypecheckSource("$lat", *schema).type, ValueType::kDouble);
+  EXPECT_EQ(TypecheckSource("$sensor", *schema).type, ValueType::kString);
+  EXPECT_EQ(TypecheckSource("null", *schema).type, ValueType::kNull);
+  EXPECT_EQ(TypecheckSource("sqrt(i)", *schema).type, ValueType::kDouble);
+  EXPECT_EQ(TypecheckSource("length(s)", *schema).type, ValueType::kInt);
+}
+
+// ------------------------------------------------------ diagnostic codes --
+
+TEST(TypecheckTest, UnknownColumn) {
+  auto schema = AllTypesSchema();
+  auto result = TypecheckSource("wind > 3", *schema);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result, diag::Code::kUnknownColumn));
+  // The span points at the identifier itself.
+  diag::Span span = SpanOf(result, diag::Code::kUnknownColumn);
+  EXPECT_EQ(span.begin, 0u);
+  EXPECT_EQ(span.end, 4u);
+}
+
+TEST(TypecheckTest, UnknownFunction) {
+  auto schema = AllTypesSchema();
+  auto result = TypecheckSource("median(d)", *schema);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result, diag::Code::kUnknownFunction));
+}
+
+TEST(TypecheckTest, Arity) {
+  auto schema = AllTypesSchema();
+  auto result = TypecheckSource("sqrt(d, d)", *schema);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result, diag::Code::kArity));
+}
+
+TEST(TypecheckTest, BadArgType) {
+  auto schema = AllTypesSchema();
+  auto result = TypecheckSource("length(d)", *schema);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result, diag::Code::kBadArgType));
+}
+
+TEST(TypecheckTest, BadOperandAndComparison) {
+  auto schema = AllTypesSchema();
+  EXPECT_TRUE(HasCode(TypecheckSource("s * 2", *schema),
+                      diag::Code::kBadOperandType));
+  EXPECT_TRUE(HasCode(TypecheckSource("-s", *schema),
+                      diag::Code::kBadOperandType));
+  EXPECT_TRUE(HasCode(TypecheckSource("s < 1", *schema),
+                      diag::Code::kBadComparison));
+  EXPECT_TRUE(HasCode(TypecheckSource("g < g", *schema),
+                      diag::Code::kBadComparison));
+  EXPECT_TRUE(HasCode(TypecheckSource("i and b", *schema),
+                      diag::Code::kBoolOperand));
+  EXPECT_TRUE(HasCode(TypecheckSource("not i", *schema),
+                      diag::Code::kBoolOperand));
+}
+
+TEST(TypecheckTest, ErrorRecoveryReportsAllProblems) {
+  auto schema = AllTypesSchema();
+  // Both the unknown column and the bad argument type are reported in
+  // one pass (the binder would stop at the first).
+  auto result = TypecheckSource("wind > 3 and length(d) > 2", *schema);
+  EXPECT_TRUE(HasCode(result, diag::Code::kUnknownColumn));
+  EXPECT_TRUE(HasCode(result, diag::Code::kBadArgType));
+}
+
+// ----------------------------------------------------------- conditions --
+
+TEST(TypecheckTest, ConditionMustBeBool) {
+  auto schema = AllTypesSchema();
+  auto result =
+      TypecheckCondition("i + 1", *schema, ConditionContext::kFilter);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result, diag::Code::kConditionNotBool));
+}
+
+TEST(TypecheckTest, ConstantPredicateLint) {
+  auto schema = AllTypesSchema();
+  // Always-false: warned in every context.
+  auto filt =
+      TypecheckCondition("d > 3 and false", *schema, ConditionContext::kFilter);
+  EXPECT_TRUE(filt.ok());  // warning, not error
+  EXPECT_TRUE(HasCode(filt, diag::Code::kConstantPredicate));
+  EXPECT_TRUE(HasCode(
+      TypecheckCondition("1 > 2", *schema, ConditionContext::kJoin),
+      diag::Code::kConstantPredicate));
+  // Always-true: warned for filters, idiomatic for joins (cross join).
+  EXPECT_TRUE(HasCode(
+      TypecheckCondition("1 < 2", *schema, ConditionContext::kFilter),
+      diag::Code::kConstantPredicate));
+  EXPECT_FALSE(HasCode(
+      TypecheckCondition("true", *schema, ConditionContext::kJoin),
+      diag::Code::kConstantPredicate));
+  // Non-constant conditions are clean.
+  EXPECT_FALSE(HasCode(
+      TypecheckCondition("d > 3", *schema, ConditionContext::kFilter),
+      diag::Code::kConstantPredicate));
+}
+
+TEST(TypecheckTest, DivisionByZeroLint) {
+  auto schema = AllTypesSchema();
+  auto result = TypecheckSource("d / 0", *schema);
+  EXPECT_TRUE(result.ok());  // warning: runtime yields null
+  EXPECT_TRUE(HasCode(result, diag::Code::kDivisionByZero));
+  EXPECT_TRUE(HasCode(TypecheckSource("i % 0", *schema),
+                      diag::Code::kDivisionByZero));
+  EXPECT_FALSE(HasCode(TypecheckSource("d / 2", *schema),
+                       diag::Code::kDivisionByZero));
+}
+
+TEST(TypecheckTest, ConstantFolding) {
+  auto schema = AllTypesSchema();
+  auto result = TypecheckSource("1 + 2 * 3", *schema);
+  ASSERT_TRUE(result.constant.has_value());
+  EXPECT_EQ(result.constant->AsInt(), 7);
+  // Attribute references block folding.
+  EXPECT_FALSE(TypecheckSource("i + 1", *schema).constant.has_value());
+  // Overflow bails out instead of folding wrongly.
+  EXPECT_FALSE(TypecheckSource("9223372036854775807 + 1", *schema)
+                   .constant.has_value());
+}
+
+// ------------------------------------------- agreement with the binder --
+
+TEST(TypecheckTest, AgreesWithRuntimeBinder) {
+  auto schema = AllTypesSchema();
+  // The canonical runtime-only failure this analyzer makes static:
+  // feeding a string into arithmetic.
+  const std::string string_arith = "s * 2";
+  auto static_result = TypecheckSource(string_arith, *schema);
+  auto bound = expr::BoundExpr::Parse(string_arith, schema);
+  EXPECT_FALSE(static_result.ok());
+  EXPECT_FALSE(bound.ok());
+  EXPECT_TRUE(HasCode(static_result, diag::Code::kBadOperandType));
+
+  // Both paths agree on a battery of good and bad expressions.
+  const std::vector<std::string> cases = {
+      "i + 1",          "d > 3 and b",     "concat(s, 'x')",
+      "s + 1",          "t < i",           "if(b, i, 2)",
+      "upper(i)",       "abs()",           "coalesce(s, 'x')",
+      "g == g",         "g < g",           "not b",
+      "not s",          "$ts - t",         "hour_of($ts) == 3",
+      "substr(s, 1, 2)", "min(i, d, 4)",   "contains(s, b)",
+  };
+  for (const auto& source : cases) {
+    bool static_ok = TypecheckSource(source, *schema).ok();
+    bool runtime_ok = expr::BoundExpr::Parse(source, schema).ok();
+    EXPECT_EQ(static_ok, runtime_ok) << "disagreement on: " << source;
+  }
+}
+
+// --------------------------------------- whole function-table coverage --
+
+TEST(TypecheckTest, EveryRegisteredFunctionChecksWithWildcards) {
+  auto schema = AllTypesSchema();
+  const auto& registry = expr::FunctionRegistry::Global();
+  for (const auto& name : registry.Names()) {
+    auto def = registry.Find(name);
+    ASSERT_TRUE(def.ok()) << name;
+    // null is the wildcard type: a call with the minimum number of null
+    // arguments must pass every signature's check.
+    std::string source = name + "(";
+    for (size_t i = 0; i < (*def)->min_args; ++i) {
+      if (i > 0) source += ", ";
+      source += "null";
+    }
+    source += ")";
+    auto result = TypecheckSource(source, *schema);
+    EXPECT_TRUE(result.ok()) << name << ": "
+                             << (result.diags.empty()
+                                     ? "?"
+                                     : result.diags[0].message);
+
+    // One argument short trips the arity check (for functions that
+    // require at least one argument).
+    if ((*def)->min_args == 0) continue;
+    std::string short_call = name + "(";
+    for (size_t i = 0; i + 1 < (*def)->min_args; ++i) {
+      if (i > 0) short_call += ", ";
+      short_call += "null";
+    }
+    short_call += ")";
+    auto short_result = TypecheckSource(short_call, *schema);
+    EXPECT_FALSE(short_result.ok()) << short_call;
+    EXPECT_TRUE(HasCode(short_result, diag::Code::kArity)) << short_call;
+  }
+}
+
+}  // namespace
+}  // namespace sl

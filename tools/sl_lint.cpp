@@ -1,0 +1,172 @@
+// sl-lint: compiler-style static analyzer for DSN programs.
+//
+// Usage:
+//   sl_lint [--registry=<file>] [--format=human|json] [--werror] file.dsn...
+//
+// Parses each DSN document, lifts it to a conceptual dataflow and runs
+// the full Validator stack (type inference, granularity consistency,
+// graph lints), printing coded diagnostics with caret snippets — or a
+// JSON report with --format=json. Exit status is 1 when any file has an
+// error (or, under --werror, any warning), 2 on usage/IO problems.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diag/diagnostic.h"
+#include "dsn/lint.h"
+#include "pubsub/broker.h"
+#include "pubsub/registry_text.h"
+#include "util/clock.h"
+#include "util/json.h"
+
+namespace {
+
+using sl::diag::Diagnostic;
+using sl::diag::Severity;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+struct FileReport {
+  std::string path;
+  std::vector<Diagnostic> diags;
+};
+
+void PrintHuman(const std::vector<FileReport>& reports) {
+  for (const auto& report : reports) {
+    for (const auto& d : report.diags) {
+      std::string rendered = d.Render();
+      // Prefix the one-line header with the file path, compiler-style.
+      std::printf("%s: %s\n", report.path.c_str(), rendered.c_str());
+    }
+  }
+}
+
+void PrintJson(const std::vector<FileReport>& reports, size_t errors,
+               size_t warnings) {
+  sl::JsonWriter w;
+  w.BeginObject();
+  w.Key("tool");
+  w.String("sl-lint");
+  w.Key("errors");
+  w.Int(static_cast<int64_t>(errors));
+  w.Key("warnings");
+  w.Int(static_cast<int64_t>(warnings));
+  w.Key("files");
+  w.BeginArray();
+  for (const auto& report : reports) {
+    w.BeginObject();
+    w.Key("path");
+    w.String(report.path);
+    w.Key("diagnostics");
+    w.BeginArray();
+    for (const auto& d : report.diags) d.ToJson(w);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string registry_path;
+  std::string format = "human";
+  bool werror = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--registry=", 0) == 0) {
+      registry_path = arg.substr(11);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: sl_lint [--registry=<file>] [--format=human|json] "
+          "[--werror] file.dsn...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "sl_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "sl_lint: no input files\n");
+    return 2;
+  }
+  if (format != "human" && format != "json") {
+    std::fprintf(stderr, "sl_lint: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+
+  sl::VirtualClock clock;
+  sl::pubsub::Broker broker(&clock);
+  bool have_registry = false;
+  if (!registry_path.empty()) {
+    std::string text;
+    if (!ReadFile(registry_path, &text)) {
+      std::fprintf(stderr, "sl_lint: cannot read registry '%s'\n",
+                   registry_path.c_str());
+      return 2;
+    }
+    auto sensors = sl::pubsub::ParseSensorRegistry(text);
+    if (!sensors.ok()) {
+      std::fprintf(stderr, "sl_lint: %s: %s\n", registry_path.c_str(),
+                   sensors.status().message().c_str());
+      return 2;
+    }
+    for (const auto& info : *sensors) {
+      if (sl::Status s = broker.Publish(info); !s.ok()) {
+        std::fprintf(stderr, "sl_lint: %s: cannot publish '%s': %s\n",
+                     registry_path.c_str(), info.id.c_str(),
+                     s.message().c_str());
+        return 2;
+      }
+    }
+    have_registry = true;
+  }
+
+  std::vector<FileReport> reports;
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const auto& path : files) {
+    std::string source;
+    if (!ReadFile(path, &source)) {
+      std::fprintf(stderr, "sl_lint: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    sl::dsn::LintResult lint = sl::dsn::LintDsnProgram(
+        source, have_registry ? &broker : nullptr);
+    for (const auto& d : lint.diags) {
+      if (d.severity == Severity::kError) ++errors;
+      if (d.severity == Severity::kWarning) ++warnings;
+    }
+    reports.push_back({path, std::move(lint.diags)});
+  }
+
+  if (format == "json") {
+    PrintJson(reports, errors, warnings);
+  } else {
+    PrintHuman(reports);
+    if (errors + warnings > 0) {
+      std::printf("%zu error(s), %zu warning(s)\n", errors, warnings);
+    }
+  }
+  return errors > 0 || (werror && warnings > 0) ? 1 : 0;
+}
