@@ -71,4 +71,18 @@ echo "==> late-data benchmark"
 (cd "${root}/build" && ./bench/bench_latedata --benchmark_min_time=0.01)
 cp "${root}/build/BENCH_latedata.json" "${artifacts}/BENCH_latedata.json"
 
+# The operator hot-path suites carry paired before/after series (the
+# *Naive / *Nested entries are the reference implementations, the rest
+# the fast paths); their artifacts live at the repo root so the
+# hash-join and incremental-aggregation speedups are diffable per run.
+echo "==> operator benchmark (hash equi-join / incremental agg vs naive)"
+(cd "${root}/build" && ./bench/bench_operators --benchmark_min_time=0.01)
+cp "${root}/build/BENCH_operators.json" "${root}/BENCH_operators.json"
+cp "${root}/build/BENCH_operators.json" "${artifacts}/BENCH_operators.json"
+
+echo "==> blocking benchmark (interval sweeps, system-level naive vs fast)"
+(cd "${root}/build" && ./bench/bench_blocking --benchmark_min_time=0.01)
+cp "${root}/build/BENCH_blocking.json" "${root}/BENCH_blocking.json"
+cp "${root}/build/BENCH_blocking.json" "${artifacts}/BENCH_blocking.json"
+
 echo "==> all configs green (artifacts in ${artifacts}/)"

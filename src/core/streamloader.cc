@@ -27,6 +27,7 @@ StreamLoader::StreamLoader(const StreamLoaderOptions& options)
   exec::ExecutorOptions exec_options;
   exec_options.placement = options.placement;
   exec_options.rebalance_threshold = options.rebalance_threshold;
+  exec_options.naive_blocking = options.naive_blocking;
   executor_ = std::make_unique<exec::Executor>(loop_.get(), network_.get(),
                                                broker_.get(), monitor_.get(),
                                                sink_context, exec_options);

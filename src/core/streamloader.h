@@ -56,6 +56,10 @@ struct StreamLoaderOptions {
   /// Virtual start time; defaults to 2016-03-15T00:00Z (the EDBT demo
   /// week) so diurnal generators behave realistically.
   Timestamp start_time = 1458000000000;
+  /// Deploy blocking operators with the reference implementations
+  /// (nested-loop join, full-recompute aggregation) instead of the
+  /// hash/incremental fast paths — for equivalence checks and ablations.
+  bool naive_blocking = false;
 };
 
 /// \brief One complete StreamLoader platform instance.

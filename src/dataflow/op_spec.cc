@@ -1,5 +1,8 @@
 #include "dataflow/op_spec.h"
 
+#include <memory>
+#include <optional>
+
 #include "util/strings.h"
 
 namespace sl::dataflow {
@@ -151,6 +154,76 @@ Duration SpecInterval(const OpSpec& spec) {
     case 6: return std::get<TriggerSpec>(spec).interval;
     default: return 0;
   }
+}
+
+namespace {
+
+/// Flattens the top-level `and` chain of `e` into `out` in source
+/// (left-to-right) order.
+void FlattenConjuncts(const expr::ExprPtr& e,
+                      std::vector<expr::ExprPtr>* out) {
+  if (e->kind() == expr::ExprKind::kBinary) {
+    const auto& b = static_cast<const expr::BinaryExpr&>(*e);
+    if (b.op() == expr::BinaryOp::kAnd) {
+      FlattenConjuncts(b.left(), out);
+      FlattenConjuncts(b.right(), out);
+      return;
+    }
+  }
+  out->push_back(e);
+}
+
+/// If `e` is `attr == attr` with one attribute from each side of the
+/// split, returns the resolved conjunct.
+std::optional<EquiConjunct> AsEquiConjunct(const expr::Expr& e,
+                                           const stt::Schema& joined,
+                                           size_t split) {
+  if (e.kind() != expr::ExprKind::kBinary) return std::nullopt;
+  const auto& b = static_cast<const expr::BinaryExpr&>(e);
+  if (b.op() != expr::BinaryOp::kEq) return std::nullopt;
+  if (b.left()->kind() != expr::ExprKind::kAttr ||
+      b.right()->kind() != expr::ExprKind::kAttr) {
+    return std::nullopt;
+  }
+  auto a = joined.FieldIndex(
+      static_cast<const expr::AttrExpr&>(*b.left()).name());
+  auto c = joined.FieldIndex(
+      static_cast<const expr::AttrExpr&>(*b.right()).name());
+  if (!a.ok() || !c.ok()) return std::nullopt;
+  if (*a < split && *c >= split) return EquiConjunct{*a, *c};
+  if (*c < split && *a >= split) return EquiConjunct{*c, *a};
+  return std::nullopt;  // same-side equality is a filter, not a key
+}
+
+}  // namespace
+
+JoinPredicateAnalysis AnalyzeJoinPredicate(const expr::ExprPtr& predicate,
+                                           const stt::Schema& joined,
+                                           size_t split) {
+  JoinPredicateAnalysis analysis;
+  if (predicate == nullptr) return analysis;
+  std::vector<expr::ExprPtr> conjuncts;
+  FlattenConjuncts(predicate, &conjuncts);
+  std::vector<expr::ExprPtr> rest;
+  for (const auto& c : conjuncts) {
+    if (auto equi = AsEquiConjunct(*c, joined, split)) {
+      analysis.equi.push_back(*equi);
+    } else {
+      rest.push_back(c);
+    }
+  }
+  if (analysis.equi.empty()) {
+    analysis.residual = predicate;  // nothing extracted: keep it whole
+    return analysis;
+  }
+  for (const auto& c : rest) {
+    analysis.residual =
+        analysis.residual == nullptr
+            ? c
+            : std::make_shared<const expr::BinaryExpr>(
+                  expr::BinaryOp::kAnd, analysis.residual, c);
+  }
+  return analysis;
 }
 
 }  // namespace sl::dataflow

@@ -11,11 +11,14 @@
 #ifndef STREAMLOADER_DATAFLOW_OP_SPEC_H_
 #define STREAMLOADER_DATAFLOW_OP_SPEC_H_
 
+#include <cstddef>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "expr/ast.h"
 #include "stt/geo.h"
+#include "stt/schema.h"
 #include "stt/value.h"
 #include "util/clock.h"
 #include "util/result.h"
@@ -168,6 +171,50 @@ std::string SpecToString(OpKind kind, const OpSpec& spec);
 
 /// The blocking interval of a spec (0 for non-blocking operations).
 Duration SpecInterval(const OpSpec& spec);
+
+// ---------------------------------------------------------------------
+// Join-predicate analysis.
+
+/// One `left.a == right.b` conjunct of a join predicate, resolved to
+/// column indexes of the *joined* (concatenated) schema: `left_index`
+/// addresses a column contributed by the left input (< split),
+/// `right_index` one contributed by the right (>= split).
+struct EquiConjunct {
+  size_t left_index = 0;
+  size_t right_index = 0;
+};
+
+/// \brief Decomposition of a join predicate into hashable equality
+/// conjuncts and the rest.
+///
+/// Under SQL null semantics an equi-conjunct that is false *or null*
+/// makes the whole conjunction non-true, so a pair whose key columns
+/// are unequal (or null) can never satisfy the predicate — which is
+/// exactly what lets a join probe a hash index instead of enumerating
+/// the cross product.
+struct JoinPredicateAnalysis {
+  /// The extracted equality conjuncts (hash-key columns).
+  std::vector<EquiConjunct> equi;
+  /// The remaining conjuncts re-joined with `and` in source order;
+  /// nullptr when every conjunct is an equi-conjunct (residual is
+  /// vacuously true). When `equi` is empty this is the whole predicate.
+  expr::ExprPtr residual;
+
+  bool has_equi() const { return !equi.empty(); }
+};
+
+/// \brief Extracts equi-conjuncts from a join predicate bound against
+/// the joined schema with `split` left columns.
+///
+/// The predicate's top-level `and` chain is flattened; every conjunct of
+/// the form `attr == attr` with one attribute from each side becomes an
+/// EquiConjunct, everything else stays in the residual. Evaluating
+/// (all equi-conjuncts) ∧ residual accepts exactly the pairs the full
+/// predicate accepts (the decomposition only reorders `and` operands,
+/// which Kleene conjunction permits).
+JoinPredicateAnalysis AnalyzeJoinPredicate(const expr::ExprPtr& predicate,
+                                           const stt::Schema& joined,
+                                           size_t split);
 
 }  // namespace sl::dataflow
 

@@ -391,6 +391,24 @@ stt::SchemaPtr Validator::CheckOp(OpKind op, const OpSpec& spec,
         auto tc = expr::TypecheckCondition(s.predicate, **merged,
                                            expr::ConditionContext::kJoin);
         AppendDiags(tc.diags, &found);
+        // SL3009: a non-constant predicate with no `left.a == right.b`
+        // conjunct pairs every cached left tuple with every right tuple
+        // — almost always an accidental cross join (a deliberate one is
+        // written as the constant `true`, which SL3004 exempts).
+        if (!HasErrorIssues(found) && !tc.constant.has_value()) {
+          if (auto parsed = expr::ParseExpression(s.predicate); parsed.ok()) {
+            auto analysis = AnalyzeJoinPredicate(
+                *parsed, **merged, inputs[0]->fields().size());
+            if (!analysis.has_equi()) {
+              found.push_back(MakeIssue(
+                  diag::Code::kNoEquiJoin,
+                  "join predicate contains no equi-conjunct "
+                  "(left.a == right.b): every pair of cached tuples is "
+                  "enumerated — an accidental cross join?",
+                  {0, s.predicate.size()}, s.predicate));
+            }
+          }
+        }
         if (!HasErrorIssues(found)) derived = *merged;
         break;
       }

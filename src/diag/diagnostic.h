@@ -86,6 +86,7 @@ enum class Code {
   kWindowNeverFires = 3006,    ///< SL3006: sliding window < check interval
   kUnknownTriggerTarget = 3007, ///< SL3007: trigger target not published
   kInstantGranularity = 3008,  ///< SL3008: blocking op over instant stream
+  kNoEquiJoin = 3009,          ///< SL3009: join predicate has no equi-conjunct
 };
 
 /// "SL0002", "SL1003", ... (always two letters + four digits).

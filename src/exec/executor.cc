@@ -206,6 +206,7 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
         }
         ops::OperatorOptions op_options;
         op_options.max_cache_tuples = options_.max_cache_tuples;
+        op_options.naive_blocking = options_.naive_blocking;
         op_options.activation = detail->activation.get();
         op_options.watermark = options_.watermark;
         SL_ASSIGN_OR_RETURN(std::unique_ptr<ops::Operator> op,
@@ -539,6 +540,7 @@ Status Executor::ReplaceOperator(DeploymentId id, const std::string& op_name,
   auto detail_it = deployment_details_.find(id);
   ops::OperatorOptions op_options;
   op_options.max_cache_tuples = options_.max_cache_tuples;
+  op_options.naive_blocking = options_.naive_blocking;
   op_options.watermark = options_.watermark;
   op_options.activation =
       detail_it != deployment_details_.end()

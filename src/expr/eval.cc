@@ -36,9 +36,25 @@ Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
   if (expr == nullptr) return Status::InvalidArgument("null expression");
   if (schema == nullptr) return Status::InvalidArgument("null schema");
 
-  // Recursive binder building the bound tree bottom-up.
+  // Recursive binder building the bound tree bottom-up. Literal
+  // subtrees are folded in place (the typecheck folders, so binding and
+  // linting agree); folding is attempted only when every operand is
+  // itself a literal — literals cannot raise per-tuple errors, so the
+  // rewrite can never hide an error the interpreter would surface.
   struct Binder {
     const stt::Schema& schema;
+
+    static bool IsLit(const Node& n) { return n.kind == ExprKind::kLiteral; }
+
+    /// Rewrites `node` into a literal holding `folded`, keeping the
+    /// statically derived type (a null fold result must not widen the
+    /// parent's typing).
+    static Node FoldTo(Node node, Value folded) {
+      node.kind = ExprKind::kLiteral;
+      node.literal = std::move(folded);
+      node.children.clear();
+      return node;
+    }
 
     Result<Node> Build(const Expr& e) {
       Node node;
@@ -66,6 +82,11 @@ Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
           SL_ASSIGN_OR_RETURN(Node child, Build(*u.operand()));
           node.uop = u.op();
           SL_ASSIGN_OR_RETURN(node.type, UnaryResultType(u.op(), child.type));
+          if (IsLit(child)) {
+            if (auto folded = FoldUnary(u.op(), child.literal)) {
+              return FoldTo(std::move(node), std::move(*folded));
+            }
+          }
           node.children.push_back(std::move(child));
           return node;
         }
@@ -94,6 +115,26 @@ Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
                   node.type,
                   LogicalResultType(b.op(), left.type, right.type));
               break;
+            }
+          }
+          if (IsLit(left) && IsLit(right)) {
+            std::optional<Value> folded;
+            switch (b.op()) {
+              case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul:
+              case BinaryOp::kDiv: case BinaryOp::kMod:
+                folded = FoldArithmetic(b.op(), node.type, left.literal,
+                                        right.literal);
+                break;
+              case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+              case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+                folded = FoldComparison(b.op(), left.literal, right.literal);
+                break;
+              case BinaryOp::kAnd: case BinaryOp::kOr:
+                folded = FoldLogical(b.op(), left.literal, right.literal);
+                break;
+            }
+            if (folded.has_value()) {
+              return FoldTo(std::move(node), std::move(*folded));
             }
           }
           node.children.push_back(std::move(left));
@@ -135,7 +176,81 @@ Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
   bound.schema_ = std::move(schema);
   bound.type_ = root.type;
   bound.root_ = std::make_shared<const Node>(std::move(root));
+  Lower(*bound.root_, &bound.program_);
   return bound;
+}
+
+/// Lowers the bound tree into postorder: operands first, then the
+/// operator instruction. and/or compile to
+///   <left>  ShortCircuit(->end)  <right>  LogicalMerge  end:
+/// which preserves the interpreter's short-circuit (the right operand —
+/// and any error it would surface — is only reached when the left did
+/// not decide) and its Kleene merge.
+void BoundExpr::Lower(const Node& node, ExprProgram* program) {
+  std::vector<ExprInsn>& insns = program->insns();
+  ExprInsn insn;
+  insn.type = node.type;
+  switch (node.kind) {
+    case ExprKind::kLiteral:
+      insn.op = ExprInsn::Op::kPushLiteral;
+      insn.literal = node.literal;
+      insns.push_back(std::move(insn));
+      return;
+    case ExprKind::kAttr:
+      insn.op = ExprInsn::Op::kPushAttr;
+      insn.index = static_cast<uint32_t>(node.attr_index);
+      insns.push_back(std::move(insn));
+      return;
+    case ExprKind::kMeta:
+      insn.op = ExprInsn::Op::kPushMeta;
+      insn.meta = node.meta;
+      insns.push_back(std::move(insn));
+      return;
+    case ExprKind::kUnary:
+      Lower(node.children[0], program);
+      insn.op = ExprInsn::Op::kUnary;
+      insn.uop = node.uop;
+      insns.push_back(std::move(insn));
+      return;
+    case ExprKind::kBinary: {
+      if (node.bop == BinaryOp::kAnd || node.bop == BinaryOp::kOr) {
+        Lower(node.children[0], program);
+        size_t sc = insns.size();
+        ExprInsn jump;
+        jump.op = ExprInsn::Op::kShortCircuit;
+        jump.type = node.type;
+        jump.bop = node.bop;
+        insns.push_back(std::move(jump));
+        Lower(node.children[1], program);
+        insn.op = ExprInsn::Op::kLogicalMerge;
+        insn.bop = node.bop;
+        insns.push_back(std::move(insn));
+        insns[sc].jump = static_cast<uint32_t>(insns.size());
+        return;
+      }
+      Lower(node.children[0], program);
+      Lower(node.children[1], program);
+      switch (node.bop) {
+        case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul:
+        case BinaryOp::kDiv: case BinaryOp::kMod:
+          insn.op = ExprInsn::Op::kArith;
+          break;
+        default:
+          insn.op = ExprInsn::Op::kCompare;
+          break;
+      }
+      insn.bop = node.bop;
+      insns.push_back(std::move(insn));
+      return;
+    }
+    case ExprKind::kCall:
+      for (const Node& child : node.children) Lower(child, program);
+      insn.op = ExprInsn::Op::kCall;
+      insn.index = static_cast<uint32_t>(node.children.size());
+      insn.fn = node.fn;
+      insns.push_back(std::move(insn));
+      return;
+  }
 }
 
 Result<BoundExpr> BoundExpr::Parse(const std::string& source,
@@ -148,21 +263,43 @@ Result<Value> BoundExpr::Eval(const stt::Tuple& tuple) const {
   if (root_ == nullptr) {
     return Status::FailedPrecondition("expression not bound");
   }
+  return program_.Run(tuple);
+}
+
+Result<Value> BoundExpr::EvalInterpreted(const stt::Tuple& tuple) const {
+  if (root_ == nullptr) {
+    return Status::FailedPrecondition("expression not bound");
+  }
   return EvalNode(*root_, tuple);
 }
 
-Result<bool> BoundExpr::EvalPredicate(const stt::Tuple& tuple) const {
+Result<Value> BoundExpr::EvalPair(const PairView& pair) const {
+  if (root_ == nullptr) {
+    return Status::FailedPrecondition("expression not bound");
+  }
+  return program_.RunPair(pair);
+}
+
+Result<bool> BoundExpr::AsPredicate(Result<Value> value) const {
   if (type_ != ValueType::kBool && type_ != ValueType::kNull) {
     return Status::TypeError(
         StrFormat("condition has type %s, expected bool",
                   stt::ValueTypeToString(type_)));
   }
-  SL_ASSIGN_OR_RETURN(Value v, Eval(tuple));
+  SL_ASSIGN_OR_RETURN(Value v, std::move(value));
   if (v.is_null()) return false;
   if (v.type() != ValueType::kBool) {
     return Status::Internal("predicate evaluated to non-bool");
   }
   return v.AsBool();
+}
+
+Result<bool> BoundExpr::EvalPredicate(const stt::Tuple& tuple) const {
+  return AsPredicate(Eval(tuple));
+}
+
+Result<bool> BoundExpr::EvalPredicatePair(const PairView& pair) const {
+  return AsPredicate(EvalPair(pair));
 }
 
 Result<Value> BoundExpr::EvalNode(const Node& node,
@@ -172,15 +309,7 @@ Result<Value> BoundExpr::EvalNode(const Node& node,
       return node.literal;
     case ExprKind::kAttr: {
       const Value& v = t.value(node.attr_index);
-      // Defense in depth: a tuple whose value does not match the schema
-      // the expression was bound against (a misbehaving sensor) is a
-      // per-tuple type error, not silently-ordered garbage.
-      if (!v.is_null() && v.type() != node.type) {
-        return Status::TypeError(StrFormat(
-            "tuple value has type %s but the schema declares %s",
-            stt::ValueTypeToString(v.type()),
-            stt::ValueTypeToString(node.type)));
-      }
+      SL_RETURN_IF_ERROR(CheckAttrValueType(v, node.type));
       return v;
     }
     case ExprKind::kMeta:
@@ -204,11 +333,7 @@ Result<Value> BoundExpr::EvalNode(const Node& node,
     case ExprKind::kUnary: {
       SL_ASSIGN_OR_RETURN(Value v, EvalNode(node.children[0], t));
       if (v.is_null()) return Value::Null();
-      if (node.uop == UnaryOp::kNeg) {
-        if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
-        return Value::Double(-v.AsDouble());
-      }
-      return Value::Bool(!v.AsBool());
+      return EvalUnaryOp(node.uop, v);
     }
     case ExprKind::kBinary: {
       // Kleene logic for and/or with short circuit.
@@ -232,89 +357,11 @@ Result<Value> BoundExpr::EvalNode(const Node& node,
       if (l.is_null() || r.is_null()) return Value::Null();
       switch (node.bop) {
         case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul:
-        case BinaryOp::kDiv: case BinaryOp::kMod: {
-          // String concatenation.
-          if (node.type == ValueType::kString) {
-            return Value::String(l.AsString() + r.AsString());
-          }
-          // Timestamp arithmetic.
-          if (l.type() == ValueType::kTimestamp ||
-              r.type() == ValueType::kTimestamp) {
-            if (node.bop == BinaryOp::kSub &&
-                r.type() == ValueType::kTimestamp &&
-                l.type() == ValueType::kTimestamp) {
-              return Value::Int(l.AsTime() - r.AsTime());
-            }
-            int64_t delta = r.type() == ValueType::kTimestamp ? l.AsInt()
-                                                              : r.AsInt();
-            Timestamp base = l.type() == ValueType::kTimestamp ? l.AsTime()
-                                                               : r.AsTime();
-            return Value::Time(node.bop == BinaryOp::kAdd ? base + delta
-                                                          : base - delta);
-          }
-          if (node.type == ValueType::kInt && node.bop != BinaryOp::kDiv) {
-            int64_t a = l.AsInt();
-            int64_t b = r.AsInt();
-            switch (node.bop) {
-              case BinaryOp::kAdd: return Value::Int(a + b);
-              case BinaryOp::kSub: return Value::Int(a - b);
-              case BinaryOp::kMul: return Value::Int(a * b);
-              case BinaryOp::kMod:
-                if (b == 0) return Value::Null();
-                return Value::Int(a % b);
-              default: break;
-            }
-          }
-          double a = l.type() == ValueType::kInt
-                         ? static_cast<double>(l.AsInt())
-                         : l.AsDouble();
-          double b = r.type() == ValueType::kInt
-                         ? static_cast<double>(r.AsInt())
-                         : r.AsDouble();
-          double out = 0;
-          switch (node.bop) {
-            case BinaryOp::kAdd: out = a + b; break;
-            case BinaryOp::kSub: out = a - b; break;
-            case BinaryOp::kMul: out = a * b; break;
-            case BinaryOp::kDiv:
-              if (b == 0) return Value::Null();
-              out = a / b;
-              break;
-            case BinaryOp::kMod:
-              if (b == 0) return Value::Null();
-              out = std::fmod(a, b);
-              break;
-            default: break;
-          }
-          if (!std::isfinite(out)) return Value::Null();
-          return Value::Double(out);
-        }
+        case BinaryOp::kDiv: case BinaryOp::kMod:
+          return EvalArithOp(node.bop, node.type, l, r);
         case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
-        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe: {
-          int cmp;
-          if (stt::IsNumeric(l.type()) && stt::IsNumeric(r.type()) &&
-              l.type() != r.type()) {
-            double a = l.type() == ValueType::kInt
-                           ? static_cast<double>(l.AsInt())
-                           : l.AsDouble();
-            double b = r.type() == ValueType::kInt
-                           ? static_cast<double>(r.AsInt())
-                           : r.AsDouble();
-            cmp = a < b ? -1 : (a > b ? 1 : 0);
-          } else {
-            cmp = Value::Compare(l, r);
-          }
-          switch (node.bop) {
-            case BinaryOp::kEq: return Value::Bool(cmp == 0);
-            case BinaryOp::kNe: return Value::Bool(cmp != 0);
-            case BinaryOp::kLt: return Value::Bool(cmp < 0);
-            case BinaryOp::kLe: return Value::Bool(cmp <= 0);
-            case BinaryOp::kGt: return Value::Bool(cmp > 0);
-            case BinaryOp::kGe: return Value::Bool(cmp >= 0);
-            default: break;
-          }
-          return Status::Internal("unreachable comparison");
-        }
+        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+          return EvalCompareOp(node.bop, l, r);
         default:
           return Status::Internal("unreachable binary op");
       }

@@ -14,6 +14,7 @@
 
 #include "expr/ast.h"
 #include "expr/functions.h"
+#include "expr/program.h"
 #include "stt/tuple.h"
 
 namespace sl::expr {
@@ -24,6 +25,12 @@ namespace sl::expr {
 /// null; `and`/`or` use Kleene three-valued logic; EvalPredicate treats a
 /// null condition as false. Domain errors at run time (division by zero,
 /// log of a negative number) produce null rather than failing the stream.
+///
+/// Binding constant-folds literal subtrees (reusing the typecheck
+/// folders, so folding and the lint layer agree) and lowers the tree
+/// into a flat postorder ExprProgram — the evaluator the hot path runs.
+/// The recursive tree-walk survives as EvalInterpreted, the oracle the
+/// compiled program is property-tested against.
 class BoundExpr {
  public:
   BoundExpr() = default;
@@ -51,16 +58,34 @@ class BoundExpr {
   /// expression at bind time. A null result is false.
   Result<bool> EvalPredicate(const stt::Tuple& tuple) const;
 
+  /// Evaluates over a prospective join pair without materializing the
+  /// concatenated tuple (the expression must be bound against the
+  /// joined schema the PairView presents).
+  Result<stt::Value> EvalPair(const PairView& pair) const;
+
+  /// EvalPredicate over a pair view: null is false.
+  Result<bool> EvalPredicatePair(const PairView& pair) const;
+
+  /// Reference tree-walk evaluator (identical semantics to Eval; kept
+  /// as the verification oracle for the compiled program).
+  Result<stt::Value> EvalInterpreted(const stt::Tuple& tuple) const;
+
+  /// The compiled form this expression evaluates through.
+  const ExprProgram& program() const { return program_; }
+
   /// True after a successful Bind.
   bool bound() const { return root_ != nullptr; }
 
  private:
   struct Node;
+  static void Lower(const Node& node, ExprProgram* program);
   Result<stt::Value> EvalNode(const Node& node, const stt::Tuple& t) const;
+  Result<bool> AsPredicate(Result<stt::Value> value) const;
 
   ExprPtr expr_;
   stt::SchemaPtr schema_;
   std::shared_ptr<const Node> root_;
+  ExprProgram program_;
   stt::ValueType type_ = stt::ValueType::kNull;
 };
 

@@ -131,6 +131,8 @@ double AsFoldDouble(const Value& v) {
                                      : v.AsDouble();
 }
 
+}  // namespace
+
 // Mirrors BoundExpr evaluation on literals (same null propagation,
 // int/double promotion and division semantics) but bails out — returns
 // nullopt — on anything the runtime would handle dynamically (overflow,
@@ -234,6 +236,8 @@ std::optional<Value> FoldLogical(BinaryOp op, const std::optional<Value>& l,
   if (l->is_null() || r->is_null()) return Value::Null();
   return Value::Bool(is_and);  // and: both true; or: both false -> false
 }
+
+namespace {
 
 // ------------------------------------------------------------- checker
 

@@ -8,10 +8,12 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <unordered_map>
 
 #include "dataflow/validate.h"
 #include "expr/eval.h"
 #include "ops/operator.h"
+#include "ops/tuple_cache.h"
 #include "util/strings.h"
 
 namespace sl::ops {
@@ -184,193 +186,21 @@ class CullSpaceOperator : public Operator {
 // time intervals (Table 1).
 // ---------------------------------------------------------------------------
 
-/// Bounded FIFO tuple cache shared by the blocking operators. Caches hold
-/// shared refs — caching a tuple retains the allocation the producer
-/// minted instead of deep-copying it. Every cached tuple carries an
-/// arrival sequence number so sliding operators can distinguish tuples
-/// that arrived since the previous check.
-class TupleCache {
- public:
-  explicit TupleCache(size_t max_tuples) : max_tuples_(max_tuples) {}
-
-  struct Entry {
-    TupleRef tuple;
-    uint64_t seq;
-  };
-
-  /// Adds a tuple; returns the number of evicted (oldest) tuples.
-  size_t Add(TupleRef tuple) {
-    entries_.push_back({std::move(tuple), next_seq_++});
-    size_t evicted = 0;
-    while (entries_.size() > max_tuples_) {
-      entries_.pop_front();
-      ++evicted;
-    }
-    return evicted;
-  }
-
-  /// Drops tuples whose event time is strictly before `cutoff`
-  /// (sliding-window expiry). Event times are assumed roughly ordered;
-  /// out-of-order stragglers are still swept because the scan covers the
-  /// whole deque.
-  void EvictOlderThan(Timestamp cutoff) {
-    for (auto it = entries_.begin(); it != entries_.end();) {
-      if (it->tuple->timestamp() < cutoff) {
-        it = entries_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
-  const std::deque<Entry>& entries() const { return entries_; }
-  size_t size() const { return entries_.size(); }
-  void Clear() { entries_.clear(); }
-
-  /// Sequence number the next arrival will get.
-  uint64_t next_seq() const { return next_seq_; }
-
- private:
-  size_t max_tuples_;
-  std::deque<Entry> entries_;
-  uint64_t next_seq_ = 0;
-};
-
-/// Entries whose event time falls in [begin, end). When `sorted`, the
-/// view is ordered by (timestamp, sensor, content) instead of arrival
-/// order, so event-time window results cannot depend on delivery order
-/// (group iteration, float accumulation, pair enumeration all become
-/// order-stable).
-std::vector<const TupleCache::Entry*> WindowView(const TupleCache& cache,
-                                                 Timestamp begin,
-                                                 Timestamp end, bool sorted) {
-  std::vector<const TupleCache::Entry*> view;
-  for (const auto& entry : cache.entries()) {
-    Timestamp ts = entry.tuple->timestamp();
-    if (ts >= begin && ts < end) view.push_back(&entry);
-  }
-  if (sorted) {
-    std::sort(view.begin(), view.end(),
-              [](const TupleCache::Entry* a, const TupleCache::Entry* b) {
-                if (a->tuple->timestamp() != b->tuple->timestamp()) {
-                  return a->tuple->timestamp() < b->tuple->timestamp();
-                }
-                if (a->tuple->sensor_id() != b->tuple->sensor_id()) {
-                  return a->tuple->sensor_id() < b->tuple->sensor_id();
-                }
-                return a->tuple->ToString() < b->tuple->ToString();
-              });
-  }
-  return view;
-}
-
-/// Earliest cached event time; stt::kNoWatermark when empty.
-Timestamp OldestTs(const TupleCache& cache) {
-  Timestamp low = stt::kNoWatermark;
-  for (const auto& entry : cache.entries()) {
-    Timestamp ts = entry.tuple->timestamp();
-    if (low == stt::kNoWatermark || ts < low) low = ts;
-  }
-  return low;
-}
-
-/// \brief Order-insensitive identity of a window view: FNV-1a over the
-/// sorted arrival sequence numbers. Sequence numbers are unique per
-/// cache, so (up to hash collision) equal signatures ⇔ equal tuple
-/// sets — the sliding-aggregation dedup guard. A rerun under a
-/// different delivery order assigns different seqs, but *set equality
-/// between consecutive windows* is delivery-order independent, so the
-/// skip/emit decision is too.
-uint64_t SeqSignature(const std::vector<const TupleCache::Entry*>& view) {
-  std::vector<uint64_t> seqs;
-  seqs.reserve(view.size());
-  for (const auto* e : view) seqs.push_back(e->seq);
-  std::sort(seqs.begin(), seqs.end());
-  uint64_t h = 1469598103934665603ull;
-  for (uint64_t s : seqs) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (s >> (i * 8)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
-}
-
-/// \brief Event-time firing state shared by the blocking operators.
-///
-/// Windows end on the aligned grid (multiples of the blocking interval
-/// `t`); an end fires once the lateness-adjusted input frontier passes
-/// it, oldest first. The tumbling regime (window == 0) is the special
-/// case of a sliding window exactly one interval wide, so one mechanism
-/// serves both.
-class EventWindow {
- public:
-  EventWindow(Duration interval, Duration window)
-      : interval_(interval), window_(window > 0 ? window : interval) {}
-
-  /// Window width: the spec's sliding window, or one interval (tumbling).
-  Duration effective_window() const { return window_; }
-
-  bool initialized() const { return initialized_; }
-
-  /// The latest fired window end — this operator's output promise.
-  Timestamp fired_end() const { return fired_end_; }
-
-  /// True when every window containing `ts` has already fired — the
-  /// tuple can no longer contribute to any future window.
-  bool IsLate(Timestamp ts) const {
-    if (!initialized_) return false;
-    return stt::AlignDown(ts + window_, interval_) <= fired_end_;
-  }
-
-  /// \brief Window ends newly covered by `horizon` (the input frontier
-  /// minus the allowed lateness), oldest first. The first call anchors
-  /// the grid at AlignDown(horizon), lowered to cover `oldest_cached`
-  /// when tuples older than the horizon are waiting — ends before any
-  /// data are empty and emit nothing, so the anchor choice is invisible
-  /// in the output.
-  std::vector<Timestamp> Advance(Timestamp horizon, Timestamp oldest_cached) {
-    std::vector<Timestamp> ends;
-    if (horizon == stt::kNoWatermark) return ends;
-    if (!initialized_) {
-      Timestamp anchor = stt::AlignDown(horizon, interval_);
-      if (oldest_cached != stt::kNoWatermark) {
-        anchor = std::min(anchor, stt::AlignDown(oldest_cached, interval_));
-      }
-      fired_end_ = anchor;
-      initialized_ = true;
-    }
-    for (Timestamp e = fired_end_ + interval_; e <= horizon; e += interval_) {
-      ends.push_back(e);
-    }
-    return ends;
-  }
-
-  /// Records that the window ending at `end` fired.
-  void MarkFired(Timestamp end) { fired_end_ = end; }
-
-  /// Expiry cutoff after firing: the earliest unfired window is
-  /// [fired_end + interval - window, ...), so anything older can never
-  /// be observed again.
-  Timestamp EvictionCutoff() const { return fired_end_ + interval_ - window_; }
-
- private:
-  Duration interval_;
-  Duration window_;
-  bool initialized_ = false;
-  Timestamp fired_end_ = 0;
-};
+// TupleCache, WindowView, SeqSignature, EventWindow and the join/pane
+// index structures live in ops/tuple_cache.h, shared with tests and
+// benchmarks.
 
 /// @_{t,{a1..an}}^{op}(s)
 class AggregationOperator : public Operator {
  public:
   AggregationOperator(std::string name, stt::SchemaPtr out_schema,
                       stt::SchemaPtr in_schema, AggregationSpec spec,
-                      size_t max_cache)
+                      size_t max_cache, bool naive)
       : Operator(std::move(name), OpKind::kAggregation, std::move(out_schema),
                  spec.interval),
         in_schema_(std::move(in_schema)),
         spec_(std::move(spec)),
+        naive_(naive),
         cache_(max_cache) {
     for (const auto& g : spec_.group_by) {
       group_indexes_.push_back(*in_schema_->FieldIndex(g));
@@ -387,6 +217,7 @@ class AggregationOperator : public Operator {
       return Status::OK();
     }
     stats_.dropped += cache_.Add(tuple);
+    if (!naive_) IndexArrival(cache_.entries().back());
     stats_.cache_size = cache_.size();
     return Status::OK();
   }
@@ -397,6 +228,51 @@ class AggregationOperator : public Operator {
     // Processing-time regime (legacy): the window ends at the flush
     // tick. Expire tuples older than the sliding window, aggregate the
     // half-open view [-inf, now), retain survivors.
+    if (naive_) return FlushProcessingNaive(now);
+    return spec_.window == 0 ? FlushTumblingFast(now) : FlushSlidingFast(now);
+  }
+
+  Timestamp output_watermark() const override {
+    if (!event_time()) return input_watermark();
+    return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
+  }
+
+ private:
+  /// One list of tuples to aggregate, tagged with its group key; groups
+  /// are always emitted in ascending key order, whichever path built
+  /// them, so grouping strategy never shows in the output.
+  using GroupList =
+      std::vector<std::pair<std::string, std::vector<const Tuple*>>>;
+
+  /// The '\x1f'-joined display form of the group-by columns: the group
+  /// identity every path shares. ToString (not raw bytes) keeps identity
+  /// aligned with what the legacy std::map grouping used.
+  std::string GroupKey(const Tuple& t) const {
+    std::string key;
+    for (size_t idx : group_indexes_) {
+      key += t.value(idx).ToString();
+      key += '\x1f';
+    }
+    return key;
+  }
+
+  /// Routes a fresh arrival into the regime's incremental structure.
+  void IndexArrival(const TupleCache::Entry& e) {
+    if (event_time()) {
+      pane_.Insert(e);
+      keys_by_seq_.emplace(e.seq,
+                           KeyRec{e.tuple->timestamp(), GroupKey(*e.tuple)});
+      if (keys_by_seq_.size() > 2 * cache_.size() + 64) SweepKeys();
+    } else if (spec_.window == 0) {
+      FoldIntoState(*e.tuple);
+    } else {
+      group_slots_[GroupKey(*e.tuple)].push_back(e);
+      ++slot_count_;
+      if (slot_count_ > 2 * cache_.size() + 64) CompactSlots();
+    }
+  }
+
+  Status FlushProcessingNaive(Timestamp now) {
     if (spec_.window > 0) cache_.EvictOlderThan(now - spec_.window);
     auto view = WindowView(cache_, std::numeric_limits<Timestamp>::min(), now,
                            /*sorted=*/false);
@@ -406,25 +282,82 @@ class AggregationOperator : public Operator {
     return Status::OK();
   }
 
-  Timestamp output_watermark() const override {
-    if (!event_time()) return input_watermark();
-    return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
+  /// Tumbling fast path: the per-group running state already folded
+  /// every arrival, so the flush is O(groups), not O(tuples) — provided
+  /// the state still mirrors the cache. It stops mirroring when the
+  /// capacity bound evicted a folded tuple, or when some cached tuple is
+  /// stamped at/after `now` (outside the half-open window but folded
+  /// in); both are detected and fall back to a full recompute.
+  Status FlushTumblingFast(Timestamp now) {
+    bool valid = cache_.capacity_evictions() == cap_evict_mark_ &&
+                 (cache_.max_ts() == stt::kNoWatermark || cache_.max_ts() < now);
+    if (valid) {
+      if (!states_.empty()) EmitStates(now);
+    } else {
+      auto view = WindowView(cache_, std::numeric_limits<Timestamp>::min(),
+                             now, /*sorted=*/false);
+      if (!view.empty()) EmitGroups(view, now);
+    }
+    cache_.Clear();
+    states_.clear();
+    cap_evict_mark_ = cache_.capacity_evictions();
+    stats_.cache_size = cache_.size();
+    return Status::OK();
   }
 
- private:
+  /// Sliding fast path: arrivals were bucketed by group key once, at
+  /// Process time; the flush folds each group's live slots in arrival
+  /// order — the same fold, in the same order, the naive path runs after
+  /// re-deriving every key and rebuilding its ordered map.
+  Status FlushSlidingFast(Timestamp now) {
+    cache_.EvictOlderThan(now - spec_.window);
+    GroupList groups;
+    std::vector<uint64_t> seqs;
+    for (auto& [key, slots] : group_slots_) {
+      std::vector<const Tuple*> tuples;
+      for (const TupleCache::Entry& e : slots) {
+        Timestamp ts = e.tuple->timestamp();
+        if (ts >= now || !cache_.Live(e.seq, ts)) continue;
+        tuples.push_back(e.tuple.get());
+        seqs.push_back(e.seq);
+      }
+      if (!tuples.empty()) groups.emplace_back(key, std::move(tuples));
+    }
+    if (!groups.empty() && ChangedSignature(SeqSignatureOf(std::move(seqs)))) {
+      std::sort(groups.begin(), groups.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      EmitGrouped(groups, now);
+    }
+    stats_.cache_size = cache_.size();
+    return Status::OK();
+  }
+
   /// Event-time regime: fire every aligned window end the
-  /// lateness-adjusted input frontier has passed, oldest first.
+  /// lateness-adjusted input frontier has passed, oldest first. The fast
+  /// path reads each window as a concatenation of per-pane sorted runs
+  /// (only dirty panes re-sort) instead of re-sorting the whole window,
+  /// and reuses the group keys derived at Process time.
   Status FlushEvent() {
     Timestamp horizon = input_watermark();
     if (horizon == stt::kNoWatermark) return Status::OK();
     horizon -= watermark_options().allowed_lateness;
     for (Timestamp end : event_.Advance(horizon, OldestTs(cache_))) {
-      auto view = WindowView(cache_, end - event_.effective_window(), end,
-                             /*sorted=*/true);
+      Timestamp begin = end - event_.effective_window();
+      auto view = naive_ ? WindowView(cache_, begin, end, /*sorted=*/true)
+                         : pane_.View(cache_, begin, end);
       event_.MarkFired(end);
-      if (!view.empty() && ChangedSinceLastEmit(view)) EmitGroups(view, end);
+      if (view.empty() || !ChangedSinceLastEmit(view)) continue;
+      if (naive_) {
+        EmitGroups(view, end);
+      } else {
+        EmitGroupsKeyed(view, end);
+      }
     }
-    if (event_.initialized()) cache_.EvictOlderThan(event_.EvictionCutoff());
+    if (event_.initialized()) {
+      Timestamp cutoff = event_.EvictionCutoff();
+      cache_.EvictOlderThan(cutoff);
+      if (!naive_) pane_.DropBelow(cutoff);
+    }
     stats_.cache_size = cache_.size();
     return Status::OK();
   }
@@ -435,27 +368,56 @@ class AggregationOperator : public Operator {
   /// windows always contain fresh data, so they always pass.
   bool ChangedSinceLastEmit(const std::vector<const TupleCache::Entry*>& view) {
     if (spec_.window == 0) return true;
-    uint64_t sig = SeqSignature(view);
+    return ChangedSignature(SeqSignature(view));
+  }
+
+  bool ChangedSignature(uint64_t sig) {
+    if (spec_.window == 0) return true;
     if (last_signature_.has_value() && *last_signature_ == sig) return false;
     last_signature_ = sig;
     return true;
   }
 
-  /// Groups the view by the group-by key and emits one aggregate per
-  /// group, stamped with the last granule of the window ending at `end`.
+  /// Naive grouping: re-derive every tuple's key and build an ordered
+  /// map, exactly as the original implementation did.
   void EmitGroups(const std::vector<const TupleCache::Entry*>& view,
                   Timestamp end) {
-    std::map<std::string, std::vector<const Tuple*>> groups;
+    std::map<std::string, std::vector<const Tuple*>> by_key;
     for (const auto* entry : view) {
-      const Tuple& t = *entry->tuple;
-      std::string key;
-      for (size_t idx : group_indexes_) {
-        key += t.value(idx).ToString();
-        key += '\x1f';
-      }
-      groups[key].push_back(&t);
+      by_key[GroupKey(*entry->tuple)].push_back(entry->tuple.get());
     }
+    GroupList groups;
+    groups.reserve(by_key.size());
+    for (auto& [key, tuples] : by_key) {
+      groups.emplace_back(key, std::move(tuples));
+    }
+    EmitGrouped(groups, end);
+  }
 
+  /// Fast event-time grouping: hash-group on the keys memoized at
+  /// Process time, then order the groups for emission.
+  void EmitGroupsKeyed(const std::vector<const TupleCache::Entry*>& view,
+                       Timestamp end) {
+    std::unordered_map<std::string, std::vector<const Tuple*>> by_key;
+    for (const auto* entry : view) {
+      auto it = keys_by_seq_.find(entry->seq);
+      std::string key =
+          it != keys_by_seq_.end() ? it->second.key : GroupKey(*entry->tuple);
+      by_key[std::move(key)].push_back(entry->tuple.get());
+    }
+    GroupList groups;
+    groups.reserve(by_key.size());
+    for (auto& [key, tuples] : by_key) {
+      groups.emplace_back(key, std::move(tuples));
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    EmitGrouped(groups, end);
+  }
+
+  /// Emits one aggregate per group (ascending key order), stamped with
+  /// the last granule of the window ending at `end`.
+  void EmitGrouped(const GroupList& groups, Timestamp end) {
     Timestamp out_ts =
         output_schema()->temporal_granularity().Truncate(end - 1);
     stt::RefBatch out(output_schema());
@@ -520,26 +482,180 @@ class AggregationOperator : public Operator {
                          lon / static_cast<double>(n)};
   }
 
+  // ---------------------------------------------------------- running state
+
+  /// Per-attribute running aggregate: the same count/sum/min/max fold
+  /// Aggregate() runs over a group vector, advanced one tuple at a time
+  /// in arrival order — the identical sequence of floating-point
+  /// additions, so results match bit for bit.
+  struct AttrState {
+    int64_t count = 0;
+    double sum = 0;
+    std::optional<Value> min;
+    std::optional<Value> max;
+  };
+  struct GroupState {
+    std::vector<Value> key_values;  ///< from the group's first tuple
+    int64_t total = 0;              ///< tuples folded (incl. null attrs)
+    std::vector<AttrState> attrs;   ///< parallel to attr_indexes_
+    double lat_sum = 0, lon_sum = 0;
+    size_t located = 0;
+  };
+
+  void FoldIntoState(const Tuple& t) {
+    GroupState& g = states_[GroupKey(t)];
+    if (g.total == 0) {
+      for (size_t idx : group_indexes_) g.key_values.push_back(t.value(idx));
+      g.attrs.resize(attr_indexes_.size());
+    }
+    ++g.total;
+    for (size_t i = 0; i < attr_indexes_.size(); ++i) {
+      const Value& v = t.value(attr_indexes_[i]);
+      if (v.is_null()) continue;
+      AttrState& a = g.attrs[i];
+      ++a.count;
+      if (v.is_numeric()) a.sum += *v.ToNumeric();
+      if (!a.min.has_value() || Value::Compare(v, *a.min) < 0) a.min = v;
+      if (!a.max.has_value() || Value::Compare(v, *a.max) > 0) a.max = v;
+    }
+    if (t.location().has_value()) {
+      g.lat_sum += t.location()->lat;
+      g.lon_sum += t.location()->lon;
+      ++g.located;
+    }
+  }
+
+  void EmitStates(Timestamp now) {
+    std::vector<const std::string*> keys;
+    keys.reserve(states_.size());
+    for (const auto& [key, g] : states_) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    Timestamp out_ts =
+        output_schema()->temporal_granularity().Truncate(now - 1);
+    stt::RefBatch out(output_schema());
+    for (const std::string* key : keys) {
+      const GroupState& g = states_.at(*key);
+      std::vector<Value> values = g.key_values;
+      if (spec_.func == AggFunc::kCount && attr_indexes_.empty()) {
+        values.push_back(Value::Int(g.total));
+      }
+      for (const AttrState& a : g.attrs) {
+        values.push_back(FromState(a));
+      }
+      std::optional<stt::GeoPoint> loc;
+      if (g.located > 0) {
+        loc = stt::GeoPoint{g.lat_sum / static_cast<double>(g.located),
+                            g.lon_sum / static_cast<double>(g.located)};
+      }
+      out.Add(Tuple::Share(
+          Tuple::MakeUnsafe(output_schema(), std::move(values), out_ts, loc)));
+    }
+    EmitAll(out);
+  }
+
+  Value FromState(const AttrState& a) const {
+    switch (spec_.func) {
+      case AggFunc::kCount: return Value::Int(a.count);
+      case AggFunc::kSum:
+        return a.count > 0 ? Value::Double(a.sum) : Value::Null();
+      case AggFunc::kAvg:
+        return a.count > 0 ? Value::Double(a.sum / static_cast<double>(a.count))
+                           : Value::Null();
+      case AggFunc::kMin:
+        return a.min.has_value() ? *a.min : Value::Null();
+      case AggFunc::kMax:
+        return a.max.has_value() ? *a.max : Value::Null();
+    }
+    return Value::Null();
+  }
+
+  void CompactSlots() {
+    size_t kept = 0;
+    for (auto it = group_slots_.begin(); it != group_slots_.end();) {
+      auto& slots = it->second;
+      slots.erase(std::remove_if(slots.begin(), slots.end(),
+                                 [this](const TupleCache::Entry& e) {
+                                   return !cache_.Live(
+                                       e.seq, e.tuple->timestamp());
+                                 }),
+                  slots.end());
+      if (slots.empty()) {
+        it = group_slots_.erase(it);
+      } else {
+        kept += slots.size();
+        ++it;
+      }
+    }
+    slot_count_ = kept;
+  }
+
+  void SweepKeys() {
+    for (auto it = keys_by_seq_.begin(); it != keys_by_seq_.end();) {
+      if (cache_.Live(it->first, it->second.ts)) {
+        ++it;
+      } else {
+        it = keys_by_seq_.erase(it);
+      }
+    }
+  }
+
   stt::SchemaPtr in_schema_;
   AggregationSpec spec_;
   std::vector<size_t> group_indexes_;
   std::vector<size_t> attr_indexes_;
+  bool naive_;
   TupleCache cache_;
   EventWindow event_{spec_.interval, spec_.window};
   std::optional<uint64_t> last_signature_;
+  // Tumbling processing-time: running per-group state + its validity mark.
+  std::unordered_map<std::string, GroupState> states_;
+  uint64_t cap_evict_mark_ = 0;
+  // Sliding processing-time: arrivals bucketed by group key.
+  std::unordered_map<std::string, std::vector<TupleCache::Entry>> group_slots_;
+  size_t slot_count_ = 0;
+  // Event-time: per-pane sorted runs + memoized group keys.
+  PaneIndex pane_{spec_.interval};
+  struct KeyRec {
+    Timestamp ts;
+    std::string key;
+  };
+  std::unordered_map<uint64_t, KeyRec> keys_by_seq_;
 };
 
 /// s1 |><|_{pred}^{t} s2
+///
+/// Three pairing strategies, all required to emit identical rows in
+/// identical order:
+///  - naive: enumerate the cross product, materialize every pair, then
+///    evaluate the full predicate (the original implementation; kept as
+///    the oracle behind OperatorOptions::naive_blocking);
+///  - non-equi fast: same enumeration, but the predicate runs over a
+///    zero-copy PairView and only matching pairs materialize;
+///  - hash equi-join: the right cache is indexed on the predicate's
+///    equi-conjunct columns; each left tuple probes its bucket and only
+///    key-equal candidates see the residual predicate. Bucket slots
+///    keep arrival order, so probing enumerates exactly the pairs the
+///    nested loop would have accepted, in the same order.
 class JoinOperator : public Operator {
  public:
   JoinOperator(std::string name, stt::SchemaPtr out_schema, JoinSpec spec,
-               expr::BoundExpr predicate, size_t max_cache)
+               expr::BoundExpr predicate,
+               std::optional<expr::BoundExpr> residual,
+               std::vector<size_t> left_cols, std::vector<size_t> right_cols,
+               size_t split, bool naive, size_t max_cache)
       : Operator(std::move(name), OpKind::kJoin, std::move(out_schema),
                  spec.interval),
         spec_(std::move(spec)),
         predicate_(std::move(predicate)),
+        residual_(std::move(residual)),
+        left_cols_(std::move(left_cols)),
+        right_cols_(std::move(right_cols)),
+        split_(split),
+        naive_(naive),
         left_(max_cache),
-        right_(max_cache) {}
+        right_(max_cache),
+        right_index_(right_cols_) {}
 
   Status Process(size_t port, const TupleRef& tuple) override {
     CountIn();
@@ -552,6 +668,11 @@ class JoinOperator : public Operator {
       return Status::OK();
     }
     stats_.dropped += (port == 0 ? left_ : right_).Add(tuple);
+    if (port == 1 && hash_join() && !event_time()) {
+      // The persistent index serves the processing-time regime; the
+      // event-time regime indexes each fired window transiently.
+      right_index_.Insert(right_.entries().back());
+    }
     stats_.cache_size = left_.size() + right_.size();
     return Status::OK();
   }
@@ -565,20 +686,30 @@ class JoinOperator : public Operator {
     }
     const auto& tgran = output_schema()->temporal_granularity();
     stt::RefBatch out(output_schema());
-    for (const auto& le : left_.entries()) {
-      for (const auto& re : right_.entries()) {
-        // Sliding regime: emit each surviving pair exactly once — on the
-        // first check where both elements are cached together.
-        if (spec_.window > 0 && le.seq < left_seen_ && re.seq < right_seen_) {
-          continue;
+    if (hash_join()) {
+      SL_RETURN_IF_ERROR(ProbeAll(tgran, &out));
+    } else {
+      for (const auto& le : left_.entries()) {
+        for (const auto& re : right_.entries()) {
+          // Sliding regime: emit each surviving pair exactly once — on
+          // the first check where both elements are cached together.
+          if (spec_.window > 0 && le.seq < left_seen_ &&
+              re.seq < right_seen_) {
+            continue;
+          }
+          SL_RETURN_IF_ERROR(naive_
+                                 ? JoinPairNaive(*le.tuple, *re.tuple, tgran,
+                                                 &out)
+                                 : JoinPairFast(*le.tuple, *re.tuple,
+                                                predicate_, tgran, &out));
         }
-        SL_RETURN_IF_ERROR(JoinPair(*le.tuple, *re.tuple, tgran, &out));
       }
     }
     EmitAll(out);
     if (spec_.window == 0) {
       left_.Clear();
       right_.Clear();
+      right_index_.Clear();
     } else {
       left_seen_ = left_.next_seq();
       right_seen_ = right_.next_seq();
@@ -593,6 +724,58 @@ class JoinOperator : public Operator {
   }
 
  private:
+  bool hash_join() const { return !naive_ && !left_cols_.empty(); }
+
+  /// Processing-time probe loop: left cache in arrival order, each tuple
+  /// probing the right-side hash index. Candidates come back in right
+  /// arrival order, reproducing the nested loop's emission order over
+  /// the key-equal subset.
+  Status ProbeAll(const stt::TemporalGranularity& tgran, stt::RefBatch* out) {
+    if (right_index_.slot_count() > 2 * right_.size() + 64) {
+      right_index_.Compact(right_);
+    }
+    std::vector<const JoinHashIndex::Slot*> cand;
+    for (const auto& le : left_.entries()) {
+      JoinKeyInfo probe = MakeJoinKeyInfo(*le.tuple, left_cols_);
+      if (probe.has_null) continue;  // a null key equals nothing
+      if (probe.has_nan) {
+        // A NaN key compares equal to every numeric, so the bucket
+        // cannot narrow anything: scan the whole right cache.
+        for (const auto& re : right_.entries()) {
+          SL_RETURN_IF_ERROR(
+              TryCandidate(le, re.seq, *re.tuple, tgran, out));
+        }
+        continue;
+      }
+      right_index_.Candidates(probe, &cand);
+      for (const auto* slot : cand) {
+        if (!right_.Live(slot->seq, slot->tuple->timestamp())) continue;
+        SL_RETURN_IF_ERROR(
+            TryCandidate(le, slot->seq, *slot->tuple, tgran, out));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status TryCandidate(const TupleCache::Entry& le, uint64_t right_seq,
+                      const Tuple& r, const stt::TemporalGranularity& tgran,
+                      stt::RefBatch* out) {
+    if (spec_.window > 0 && le.seq < left_seen_ && right_seq < right_seen_) {
+      return Status::OK();
+    }
+    if (!KeysMatch(*le.tuple, r)) return Status::OK();
+    return EmitIfResidual(*le.tuple, r, tgran, out);
+  }
+
+  bool KeysMatch(const Tuple& l, const Tuple& r) const {
+    for (size_t i = 0; i < left_cols_.size(); ++i) {
+      if (!JoinKeyEquals(l.value(left_cols_[i]), r.value(right_cols_[i]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   /// Event-time regime. Each surviving pair fires at exactly one window
   /// end — the one whose closing granule contains the pair's event time
   /// max(l.ts, r.ts) — so no sequence bookkeeping is needed and the
@@ -615,15 +798,23 @@ class JoinOperator : public Operator {
       event_.MarkFired(end);
       if (lview.empty() || rview.empty()) continue;
       stt::RefBatch out(output_schema());
-      for (const auto* le : lview) {
-        for (const auto* re : rview) {
-          // Both members are < end, so the pair time is < end; skipping
-          // pairs older than the closing granule leaves each pair with a
-          // unique firing end.
-          Timestamp pair_ts =
-              std::max(le->tuple->timestamp(), re->tuple->timestamp());
-          if (pair_ts < end - interval()) continue;
-          SL_RETURN_IF_ERROR(JoinPair(*le->tuple, *re->tuple, tgran, &out));
+      if (hash_join()) {
+        SL_RETURN_IF_ERROR(ProbeWindow(lview, rview, end, tgran, &out));
+      } else {
+        for (const auto* le : lview) {
+          for (const auto* re : rview) {
+            // Both members are < end, so the pair time is < end;
+            // skipping pairs older than the closing granule leaves each
+            // pair with a unique firing end.
+            Timestamp pair_ts =
+                std::max(le->tuple->timestamp(), re->tuple->timestamp());
+            if (pair_ts < end - interval()) continue;
+            SL_RETURN_IF_ERROR(naive_
+                                   ? JoinPairNaive(*le->tuple, *re->tuple,
+                                                   tgran, &out)
+                                   : JoinPairFast(*le->tuple, *re->tuple,
+                                                  predicate_, tgran, &out));
+          }
         }
       }
       EmitAll(out);
@@ -636,10 +827,61 @@ class JoinOperator : public Operator {
     return Status::OK();
   }
 
-  /// Concatenates one (left, right) pair, evaluates the predicate on the
-  /// joined tuple, and adds it to `out` on a match.
-  Status JoinPair(const Tuple& l, const Tuple& r,
-                  const stt::TemporalGranularity& tgran, stt::RefBatch* out) {
+  /// One fired window, hash-joined: a transient index over the sorted
+  /// right view (slot seq = view position, so candidates enumerate in
+  /// view order), probed by the sorted left view.
+  Status ProbeWindow(const std::vector<const TupleCache::Entry*>& lview,
+                     const std::vector<const TupleCache::Entry*>& rview,
+                     Timestamp end, const stt::TemporalGranularity& tgran,
+                     stt::RefBatch* out) {
+    JoinHashIndex index(right_cols_);
+    for (size_t i = 0; i < rview.size(); ++i) {
+      index.Insert({rview[i]->tuple, static_cast<uint64_t>(i)});
+    }
+    std::vector<const JoinHashIndex::Slot*> cand;
+    for (const auto* le : lview) {
+      JoinKeyInfo probe = MakeJoinKeyInfo(*le->tuple, left_cols_);
+      if (probe.has_null) continue;
+      const Tuple& l = *le->tuple;
+      auto try_pair = [&](const Tuple& r) -> Status {
+        Timestamp pair_ts = std::max(l.timestamp(), r.timestamp());
+        if (pair_ts < end - interval()) return Status::OK();
+        if (!KeysMatch(l, r)) return Status::OK();
+        return EmitIfResidual(l, r, tgran, out);
+      };
+      if (probe.has_nan) {
+        for (const auto* re : rview) {
+          SL_RETURN_IF_ERROR(try_pair(*re->tuple));
+        }
+        continue;
+      }
+      index.Candidates(probe, &cand);
+      for (const auto* slot : cand) {
+        SL_RETURN_IF_ERROR(try_pair(*slot->tuple));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Materializes the concatenated tuple for a matching pair.
+  void AddJoined(const Tuple& l, const Tuple& r, Timestamp ts,
+                 stt::RefBatch* out) const {
+    std::vector<Value> values;
+    values.reserve(l.values().size() + r.values().size());
+    values.insert(values.end(), l.values().begin(), l.values().end());
+    values.insert(values.end(), r.values().begin(), r.values().end());
+    std::optional<stt::GeoPoint> loc =
+        l.location().has_value() ? l.location() : r.location();
+    out->Add(Tuple::Share(
+        Tuple::MakeUnsafe(output_schema(), std::move(values), ts, loc)));
+  }
+
+  /// Original pairing: materialize first, then evaluate — every
+  /// non-matching pair still pays for the concatenation. Retained
+  /// verbatim as the reference implementation.
+  Status JoinPairNaive(const Tuple& l, const Tuple& r,
+                       const stt::TemporalGranularity& tgran,
+                       stt::RefBatch* out) {
     std::vector<Value> values;
     values.reserve(l.values().size() + r.values().size());
     values.insert(values.end(), l.values().begin(), l.values().end());
@@ -654,10 +896,47 @@ class JoinOperator : public Operator {
     return Status::OK();
   }
 
+  /// Fast pairing: the predicate runs over a zero-copy view of the
+  /// prospective pair; only matches materialize.
+  Status JoinPairFast(const Tuple& l, const Tuple& r,
+                      const expr::BoundExpr& pred,
+                      const stt::TemporalGranularity& tgran,
+                      stt::RefBatch* out) {
+    Timestamp ts = tgran.Truncate(std::max(l.timestamp(), r.timestamp()));
+    expr::PairView pair{&l, &r, split_, ts, output_schema().get()};
+    SL_ASSIGN_OR_RETURN(bool match, pred.EvalPredicatePair(pair));
+    if (match) AddJoined(l, r, ts, out);
+    return Status::OK();
+  }
+
+  /// Key-equal candidate: only the residual (non-equi) part of the
+  /// predicate is left to check.
+  Status EmitIfResidual(const Tuple& l, const Tuple& r,
+                        const stt::TemporalGranularity& tgran,
+                        stt::RefBatch* out) {
+    Timestamp ts = tgran.Truncate(std::max(l.timestamp(), r.timestamp()));
+    bool match = true;
+    if (residual_.has_value()) {
+      expr::PairView pair{&l, &r, split_, ts, output_schema().get()};
+      SL_ASSIGN_OR_RETURN(match, residual_->EvalPredicatePair(pair));
+    }
+    if (match) AddJoined(l, r, ts, out);
+    return Status::OK();
+  }
+
   JoinSpec spec_;
   expr::BoundExpr predicate_;
+  /// Residual of the equi-conjunct decomposition; nullopt = vacuously
+  /// true (every conjunct became a hash key).
+  std::optional<expr::BoundExpr> residual_;
+  /// Equi-conjunct key columns, side-local (left tuple / right tuple).
+  std::vector<size_t> left_cols_;
+  std::vector<size_t> right_cols_;
+  size_t split_;
+  bool naive_;
   TupleCache left_;
   TupleCache right_;
+  JoinHashIndex right_index_;
   EventWindow event_{spec_.interval, spec_.window};
   // Sequence watermarks of the previous flush (processing-time sliding).
   uint64_t left_seen_ = 0;
@@ -820,15 +1099,37 @@ Result<std::unique_ptr<Operator>> MakeOperator(
     case OpKind::kAggregation: {
       const auto& s = std::get<AggregationSpec>(spec);
       built.reset(new AggregationOperator(name, out_schema, in, s,
-                                          options.max_cache_tuples));
+                                          options.max_cache_tuples,
+                                          options.naive_blocking));
       break;
     }
     case OpKind::kJoin: {
       const auto& s = std::get<JoinSpec>(spec);
       SL_ASSIGN_OR_RETURN(expr::BoundExpr pred,
                           expr::BoundExpr::Parse(s.predicate, out_schema));
-      built.reset(new JoinOperator(name, out_schema, s, std::move(pred),
-                                   options.max_cache_tuples));
+      // Split the predicate into hash keys + residual. The analysis runs
+      // on the parsed tree (pred keeps it), resolved against the joined
+      // schema with the left input's columns first.
+      size_t split = input_schemas[0]->fields().size();
+      dataflow::JoinPredicateAnalysis analysis =
+          dataflow::AnalyzeJoinPredicate(pred.expr(), *out_schema, split);
+      std::optional<expr::BoundExpr> residual;
+      if (analysis.has_equi() && analysis.residual != nullptr) {
+        SL_ASSIGN_OR_RETURN(
+            expr::BoundExpr bound_residual,
+            expr::BoundExpr::Bind(analysis.residual, out_schema));
+        residual = std::move(bound_residual);
+      }
+      std::vector<size_t> left_cols;
+      std::vector<size_t> right_cols;
+      for (const dataflow::EquiConjunct& c : analysis.equi) {
+        left_cols.push_back(c.left_index);
+        right_cols.push_back(c.right_index - split);
+      }
+      built.reset(new JoinOperator(
+          name, out_schema, s, std::move(pred), std::move(residual),
+          std::move(left_cols), std::move(right_cols), split,
+          options.naive_blocking, options.max_cache_tuples));
       break;
     }
     case OpKind::kTriggerOn:

@@ -483,6 +483,37 @@ TEST_F(ValidatorTest, ConstantPredicateIsWarning) {
   EXPECT_FALSE(HasIssue(cross_report, diag::Code::kConstantPredicate));
 }
 
+TEST_F(ValidatorTest, NoEquiJoinIsWarning) {
+  auto df = *DataflowBuilder("flow")
+                 .AddSource("a", "t1")
+                 .AddSource("b", "r1")
+                 .AddJoin("j", "a", "b", duration::kHour, "temp > rain")
+                 .AddSink("out", "j", SinkKind::kCollect)
+                 .Build();
+  auto report = Validate(df);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasIssue(report, diag::Code::kNoEquiJoin, "j"));
+
+  // An equality between the two sides makes the join hashable.
+  auto keyed = *DataflowBuilder("flow")
+                   .AddSource("a", "t1")
+                   .AddSource("b", "r1")
+                   .AddJoin("j", "a", "b", duration::kHour,
+                            "temp == rain and temp > 20")
+                   .AddSink("out", "j", SinkKind::kCollect)
+                   .Build();
+  EXPECT_FALSE(HasIssue(Validate(keyed), diag::Code::kNoEquiJoin));
+
+  // The idiomatic constant-true cross join is exempt, like SL3004.
+  auto cross = *DataflowBuilder("flow")
+                   .AddSource("a", "t1")
+                   .AddSource("b", "r1")
+                   .AddJoin("j", "a", "b", duration::kHour, "true")
+                   .AddSink("out", "j", SinkKind::kCollect)
+                   .Build();
+  EXPECT_FALSE(HasIssue(Validate(cross), diag::Code::kNoEquiJoin));
+}
+
 TEST_F(ValidatorTest, DivisionByZeroIsWarning) {
   auto df = *DataflowBuilder("flow")
                  .AddSource("src", "t1")

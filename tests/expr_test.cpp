@@ -391,6 +391,177 @@ TEST(FunctionsTest, GeoFamily) {
   EXPECT_TRUE(*bound.EvalPredicate(tuple));
 }
 
+// ------------------------------------------------------ compiled program --
+
+/// The expression battery the compiled program is checked against: every
+/// operator family, Kleene logic, short-circuits, meta attributes,
+/// domain errors and function calls.
+const char* const kProgramBattery[] = {
+    "temp + 1.5",
+    "2 * temp - 10",
+    "7 % 3",
+    "temp / 0",
+    "temp >= 25",
+    "temp == 25",
+    "station == 'osaka'",
+    "station != 'kyoto'",
+    "station + '!'",
+    "temp > 20 and station == 'osaka'",
+    "temp > 100 and 1 / 0 > 0",    // short-circuit skips the null arm
+    "temp > -100 or 1 / 0 > 0",
+    "(station == 'x') and true",   // null and true -> null
+    "(station == 'x') or false",
+    "not (temp > 25)",
+    "-temp * 2",
+    "is_null(station)",
+    "coalesce(station, 'fallback')",
+    "if(temp > 0, 'pos', 'neg')",
+    "abs(-temp)",
+    "sqrt(temp)",                  // null for negative temp
+    "floor(temp) % 4",
+    "convert_unit(temp, 'celsius', 'fahrenheit') >= 77",
+    "contains(lower(station), 'osa')",
+    "$ts > time('2016-03-15')",
+    "$ts + 60000",
+    "$lat + $lon",
+    "$sensor",
+    "$theme",
+    "distance_m(point($lat, $lon), point(34.69, 135.50)) < 100000",
+    "concat(station, '-', floor(temp))",
+};
+
+/// Equality on results: same ok-ness, and equal values (type + content;
+/// NaN compares equal to itself here, since ToString agrees).
+void ExpectSameResult(const Result<Value>& a, const Result<Value>& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.ok(), b.ok()) << context;
+  if (!a.ok()) return;
+  EXPECT_EQ(a->type(), b->type()) << context;
+  EXPECT_EQ(a->ToString(), b->ToString()) << context;
+}
+
+// Property: the compiled postorder program agrees with the recursive
+// tree-walk (EvalInterpreted, the retained oracle) on the battery over
+// randomized tuples — including null attributes, missing locations and
+// NaN values.
+TEST(ProgramTest, CompiledMatchesInterpretedOracle) {
+  sl::Rng rng(71);
+  auto schema = TempSchema();
+  for (const char* src : kProgramBattery) {
+    auto bound = BoundExpr::Parse(src, schema);
+    ASSERT_TRUE(bound.ok()) << src << ": " << bound.status();
+    for (int i = 0; i < 40; ++i) {
+      Value temp;
+      switch (rng.NextBounded(4)) {
+        case 0: temp = Value::Null(); break;
+        case 1: temp = Value::Double(std::nan("")); break;
+        default: temp = Value::Double(rng.NextDouble(-50, 50));
+      }
+      Value station = rng.NextBounded(5) == 0 ? Value::Null()
+                                              : Value::String("osaka");
+      std::optional<stt::GeoPoint> loc;
+      if (rng.NextBounded(4) != 0) {
+        loc = stt::GeoPoint{34.0 + rng.NextDouble(0, 1), 135.5};
+      }
+      auto tuple = stt::Tuple::MakeUnsafe(schema, {temp, station},
+                                          1458000000000 + i * 60000, loc,
+                                          "sensor_7");
+      ExpectSameResult(bound->Eval(tuple), bound->EvalInterpreted(tuple),
+                       std::string(src) + " @ tuple " + std::to_string(i));
+    }
+  }
+}
+
+// Property: evaluating over a PairView is indistinguishable from
+// materializing the concatenated tuple first — this is what lets the
+// join skip materialization for rejected pairs.
+TEST(ProgramTest, PairViewMatchesMaterializedTuple) {
+  sl::Rng rng(73);
+  auto left_schema = TempSchema();
+  auto rain = stt::Schema::Make(
+      {{"rain", ValueType::kDouble, "mm/h", true}},
+      *stt::TemporalGranularity::Make(duration::kMinute),
+      stt::SpatialGranularity::Point(), *stt::Theme::Parse("weather/rain"));
+  auto joined = stt::Schema::Make(
+      {{"temp", ValueType::kDouble, "celsius", true},
+       {"station", ValueType::kString, "", true},
+       {"rain", ValueType::kDouble, "mm/h", true}},
+      *stt::TemporalGranularity::Make(duration::kMinute),
+      stt::SpatialGranularity::Point(), *stt::Theme::Parse("weather/rain"));
+  ASSERT_TRUE(rain.ok() && joined.ok());
+  const char* const exprs[] = {
+      "temp == rain",
+      "temp > rain and station == 'osaka'",
+      "temp + rain",
+      "$ts > time('1970-01-01') and $lat > 34.0",
+      "$sensor == ''",
+      "$theme",
+      "coalesce(rain, temp)",
+  };
+  for (const char* src : exprs) {
+    auto bound = BoundExpr::Parse(src, *joined);
+    ASSERT_TRUE(bound.ok()) << src << ": " << bound.status();
+    for (int i = 0; i < 40; ++i) {
+      Value lv = rng.NextBounded(5) == 0
+                     ? Value::Null()
+                     : Value::Double(static_cast<double>(rng.NextBounded(6)));
+      Value rv = rng.NextBounded(5) == 0
+                     ? Value::Null()
+                     : Value::Double(static_cast<double>(rng.NextBounded(6)));
+      std::optional<stt::GeoPoint> lloc;
+      if (rng.NextBounded(3) != 0) lloc = stt::GeoPoint{34.69, 135.50};
+      std::optional<stt::GeoPoint> rloc;
+      if (rng.NextBounded(3) != 0) rloc = stt::GeoPoint{34.60, 135.46};
+      auto l = stt::Tuple::MakeUnsafe(left_schema,
+                                      {lv, Value::String("osaka")},
+                                      60000 + i, lloc, "t0");
+      auto r = stt::Tuple::MakeUnsafe(*rain, {rv}, 90000 + i, rloc, "r0");
+      Timestamp pair_ts = 60000;  // pre-truncated to the minute
+      PairView pair{&l, &r, /*split=*/2, pair_ts, joined->get()};
+      auto materialized = stt::Tuple::MakeUnsafe(
+          *joined, {lv, Value::String("osaka"), rv}, pair_ts,
+          lloc.has_value() ? lloc : rloc, "");
+      ExpectSameResult(bound->EvalPair(pair), bound->Eval(materialized),
+                       std::string(src) + " @ pair " + std::to_string(i));
+    }
+  }
+}
+
+// Bind-time constant folding: an all-literal expression collapses to a
+// single push, and partially constant trees fold only their literal
+// subtrees — without changing results.
+TEST(ProgramTest, BindTimeConstantFolding) {
+  auto schema = TempSchema();
+  auto folded = *BoundExpr::Parse("2 + 3 * 4", schema);
+  ASSERT_EQ(folded.program().insns().size(), 1u);
+  EXPECT_EQ(folded.program().insns()[0].op, ExprInsn::Op::kPushLiteral);
+  EXPECT_EQ(folded.program().insns()[0].literal.AsInt(), 14);
+
+  // The literal subtree folds; the attribute comparison survives.
+  auto partial = *BoundExpr::Parse("temp > 2 + 3 * 4", schema);
+  ASSERT_EQ(partial.program().insns().size(), 3u);
+  EXPECT_EQ(partial.program().insns()[1].op, ExprInsn::Op::kPushLiteral);
+  EXPECT_EQ(partial.program().insns()[1].literal.AsInt(), 14);
+  EXPECT_TRUE((*partial.Eval(TempTuple(schema, 20.0, 0))).AsBool());
+  EXPECT_FALSE((*partial.Eval(TempTuple(schema, 10.0, 0))).AsBool());
+
+  // Folding preserves the run-time null semantics of domain errors: a
+  // constant division by zero folds to null, not an error.
+  auto null_fold = *BoundExpr::Parse("1 / 0", schema);
+  ASSERT_EQ(null_fold.program().insns().size(), 1u);
+  EXPECT_TRUE(null_fold.program().insns()[0].literal.is_null());
+
+  // Function calls never fold (some raise real errors at run time —
+  // time('bogus') — and folding must not hide them), but their literal
+  // arguments do: abs(-3) keeps the call, folds the negation.
+  auto fn_kept = *BoundExpr::Parse("abs(-3)", schema);
+  ASSERT_EQ(fn_kept.program().insns().size(), 2u);
+  EXPECT_EQ(fn_kept.program().insns()[0].op, ExprInsn::Op::kPushLiteral);
+  EXPECT_EQ(fn_kept.program().insns()[0].literal.AsInt(), -3);
+  EXPECT_EQ(fn_kept.program().insns()[1].op, ExprInsn::Op::kCall);
+  EXPECT_EQ((*fn_kept.Eval(TempTuple(schema, 0, 0))).AsInt(), 3);
+}
+
 // Property: evaluator agrees with a trivial reference implementation on
 // random arithmetic expressions.
 TEST(EvalTest, ArithmeticAgainstOracle) {

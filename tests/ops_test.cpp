@@ -456,6 +456,317 @@ TEST(JoinOperatorTest, CrossProductBound) {
   }
 }
 
+// ------------------------------------------- fast vs naive blocking oracles --
+//
+// OperatorOptions::naive_blocking selects the reference implementations
+// of the blocking operators (nested-loop join, full-recompute
+// aggregation). The hash-join / incremental-state fast paths are
+// required to be BIT-identical to them — same rows, same order — for
+// any input, including the key-equality edge cases (null keys never
+// match, NaN matches every numeric, -0.0 == +0.0, int 5 == double 5.0).
+
+/// {rain: int[mm/h]} @1m/point — an integer-keyed right side, so the
+/// equi-join oracle also crosses the int/double canonicalization.
+stt::SchemaPtr IntRainSchema() {
+  auto tgran = stt::TemporalGranularity::Make(duration::kMinute);
+  auto theme = stt::Theme::Parse("weather/rain");
+  return *stt::Schema::Make({{"rain", ValueType::kInt, "mm/h", true}}, *tgran,
+                            stt::SpatialGranularity::Point(), *theme);
+}
+
+std::unique_ptr<Operator> MakeBlocking(OpKind op, dataflow::OpSpec spec,
+                                       std::vector<stt::SchemaPtr> inputs,
+                                       std::vector<std::string> names,
+                                       bool naive, std::vector<Tuple>* out,
+                                       size_t max_cache = 1 << 20,
+                                       WatermarkOptions wm = {}) {
+  OperatorOptions options;
+  options.max_cache_tuples = max_cache;
+  options.naive_blocking = naive;
+  options.watermark = wm;
+  auto result = MakeOperator("op", op, std::move(spec), std::move(inputs),
+                             std::move(names), options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  auto oper = std::move(result).ValueOrDie();
+  oper->set_emit([out](const stt::TupleRef& t) { out->push_back(*t); });
+  return oper;
+}
+
+/// Bit-identical comparison: same row count, same rows, same order.
+void ExpectSameRows(const std::vector<Tuple>& fast,
+                    const std::vector<Tuple>& naive, uint64_t seed,
+                    const char* what) {
+  ASSERT_EQ(fast.size(), naive.size()) << what << ", seed " << seed;
+  for (size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast[i].ToString(), naive[i].ToString())
+        << what << ", row " << i << ", seed " << seed;
+  }
+}
+
+/// A left tuple whose key column mixes a selective integer-valued
+/// domain with the equality edge cases.
+Tuple KeyedTemp(const stt::SchemaPtr& schema, Rng& rng, Timestamp ts) {
+  Value v;
+  uint64_t roll = rng.NextBounded(100);
+  if (roll < 5) {
+    v = Value::Null();
+  } else if (roll < 10) {
+    v = Value::Double(std::nan(""));
+  } else if (roll < 15) {
+    v = Value::Double(-0.0);
+  } else {
+    v = Value::Double(static_cast<double>(rng.NextBounded(8)));
+  }
+  return Tuple::MakeUnsafe(schema, {v, Value::String("osaka")}, ts,
+                           stt::GeoPoint{34.69, 135.50}, "t");
+}
+
+Tuple KeyedRain(const stt::SchemaPtr& schema, Rng& rng, Timestamp ts) {
+  Value v;
+  uint64_t roll = rng.NextBounded(100);
+  if (roll < 5) {
+    v = Value::Null();
+  } else {
+    v = Value::Int(static_cast<int64_t>(rng.NextBounded(8)));
+  }
+  return Tuple::MakeUnsafe(schema, {v}, ts, stt::GeoPoint{34.60, 135.46},
+                           "r");
+}
+
+const char* const kJoinPredicates[] = {
+    "temp == rain",                       // pure equi: empty residual
+    "temp == rain and temp > 2",          // equi + residual conjunct
+    "temp == rain and rain < 6",          // residual on the right side
+    "temp > rain",                        // no equi: pair-view fallback
+    "temp == rain or temp > 6",           // top-level or: no equi chain
+};
+
+TEST(FastVsNaiveOracleTest, TumblingJoinSweep) {
+  for (uint64_t seed = 100; seed < 150; ++seed) {
+    Rng rng(seed);
+    JoinSpec spec;
+    spec.interval = duration::kMinute;
+    spec.predicate = kJoinPredicates[rng.NextBounded(5)];
+    std::vector<Tuple> fast_out, naive_out;
+    auto fast = MakeBlocking(OpKind::kJoin, spec,
+                             {TempSchema(), IntRainSchema()}, {"l", "r"},
+                             /*naive=*/false, &fast_out);
+    auto naive = MakeBlocking(OpKind::kJoin, spec,
+                              {TempSchema(), IntRainSchema()}, {"l", "r"},
+                              /*naive=*/true, &naive_out);
+    for (int round = 0; round < 2; ++round) {
+      size_t nl = rng.NextBounded(30), nr = rng.NextBounded(30);
+      Timestamp base = round * duration::kMinute;
+      for (size_t i = 0; i < nl; ++i) {
+        Tuple t = KeyedTemp(TempSchema(), rng, base + rng.NextBounded(60000));
+        SL_ASSERT_OK(fast->Process(0, t));
+        SL_ASSERT_OK(naive->Process(0, t));
+      }
+      for (size_t i = 0; i < nr; ++i) {
+        Tuple t = KeyedRain(IntRainSchema(), rng,
+                            base + rng.NextBounded(60000));
+        SL_ASSERT_OK(fast->Process(1, t));
+        SL_ASSERT_OK(naive->Process(1, t));
+      }
+      SL_ASSERT_OK(fast->Flush((round + 1) * duration::kMinute));
+      SL_ASSERT_OK(naive->Flush((round + 1) * duration::kMinute));
+    }
+    ExpectSameRows(fast_out, naive_out, seed, "tumbling join");
+  }
+}
+
+TEST(FastVsNaiveOracleTest, JoinKeyEqualityEdgeCases) {
+  // One deterministic pass over the quirky corner of join-key equality:
+  // NaN keys match EVERY numeric key (three-way comparison answers
+  // "neither less nor greater"), null keys match nothing (a null
+  // operand nulls the predicate), -0.0 matches +0.0, and int 3 matches
+  // double 3.0 across types. The hash index must reproduce all of it.
+  JoinSpec spec;
+  spec.interval = duration::kMinute;
+  spec.predicate = "temp == rain";
+  std::vector<Tuple> fast_out, naive_out;
+  auto fast = MakeBlocking(OpKind::kJoin, spec,
+                           {TempSchema(), IntRainSchema()}, {"l", "r"},
+                           /*naive=*/false, &fast_out);
+  auto naive = MakeBlocking(OpKind::kJoin, spec,
+                            {TempSchema(), IntRainSchema()}, {"l", "r"},
+                            /*naive=*/true, &naive_out);
+  auto ls = TempSchema();
+  auto rs = IntRainSchema();
+  auto feed_left = [&](Value v, Timestamp ts) {
+    Tuple t = Tuple::MakeUnsafe(ls, {std::move(v), Value::String("osaka")},
+                                ts, std::nullopt, "t");
+    SL_ASSERT_OK(fast->Process(0, t));
+    SL_ASSERT_OK(naive->Process(0, t));
+  };
+  auto feed_right = [&](Value v, Timestamp ts) {
+    Tuple t = Tuple::MakeUnsafe(rs, {std::move(v)}, ts, std::nullopt, "r");
+    SL_ASSERT_OK(fast->Process(1, t));
+    SL_ASSERT_OK(naive->Process(1, t));
+  };
+  feed_left(Value::Double(3.0), 0);          // matches int 3
+  feed_left(Value::Double(-0.0), 1000);      // matches int 0
+  feed_left(Value::Double(std::nan("")), 2000);  // matches every numeric
+  feed_left(Value::Null(), 3000);            // matches nothing
+  feed_right(Value::Int(3), 500);
+  feed_right(Value::Int(0), 1500);
+  feed_right(Value::Null(), 2500);
+  SL_ASSERT_OK(fast->Flush(duration::kMinute));
+  SL_ASSERT_OK(naive->Flush(duration::kMinute));
+  ExpectSameRows(fast_out, naive_out, 0, "key edge cases");
+  // From first principles: 3.0↔3, -0.0↔0, NaN↔{3, 0}; nulls never pair.
+  EXPECT_EQ(naive_out.size(), 4u);
+}
+
+TEST(FastVsNaiveOracleTest, TumblingAggregationSweep) {
+  const AggFunc kFuncs[] = {AggFunc::kAvg, AggFunc::kSum, AggFunc::kMin,
+                            AggFunc::kMax, AggFunc::kCount};
+  const char* kStations[] = {"osaka", "kyoto", "nara", "kobe"};
+  for (uint64_t seed = 200; seed < 250; ++seed) {
+    Rng rng(seed);
+    AggregationSpec spec;
+    spec.interval = duration::kMinute;
+    spec.func = kFuncs[rng.NextBounded(5)];
+    if (spec.func != AggFunc::kCount || rng.NextBounded(2) == 0) {
+      spec.attributes = {"temp"};
+    }
+    if (rng.NextBounded(2) == 0) spec.group_by = {"station"};
+    // Occasionally shrink the cache so capacity evictions invalidate
+    // the incremental state and force the recompute fallback.
+    size_t max_cache = rng.NextBounded(4) == 0 ? 24 : (1 << 20);
+    std::vector<Tuple> fast_out, naive_out;
+    auto fast = MakeBlocking(OpKind::kAggregation, spec, {TempSchema()},
+                             {"in"}, /*naive=*/false, &fast_out, max_cache);
+    auto naive = MakeBlocking(OpKind::kAggregation, spec, {TempSchema()},
+                              {"in"}, /*naive=*/true, &naive_out, max_cache);
+    size_t stations = 1 + rng.NextBounded(4);
+    for (int round = 0; round < 2; ++round) {
+      size_t n = rng.NextBounded(200);
+      Timestamp base = round * duration::kMinute;
+      for (size_t i = 0; i < n; ++i) {
+        Value temp = rng.NextBounded(20) == 0
+                         ? Value::Null()
+                         : Value::Double(rng.NextDouble(-10, 35));
+        Timestamp ts = base + rng.NextBounded(60000);
+        // A few "future" stamps beyond the flush tick: outside the
+        // half-open window, so the folded state stops mirroring the
+        // window and the fast path must fall back to recomputing.
+        if (rng.NextBounded(20) == 0) ts += 2 * duration::kMinute;
+        Tuple t = Tuple::MakeUnsafe(
+            TempSchema(),
+            {std::move(temp),
+             Value::String(kStations[rng.NextBounded(stations)])},
+            ts, stt::GeoPoint{34.0 + rng.NextDouble(0, 1), 135.0}, "s");
+        SL_ASSERT_OK(fast->Process(0, t));
+        SL_ASSERT_OK(naive->Process(0, t));
+      }
+      SL_ASSERT_OK(fast->Flush((round + 1) * duration::kMinute));
+      SL_ASSERT_OK(naive->Flush((round + 1) * duration::kMinute));
+    }
+    ExpectSameRows(fast_out, naive_out, seed, "tumbling aggregation");
+  }
+}
+
+TEST(FastVsNaiveOracleTest, EventTimeAggregationSweep) {
+  const AggFunc kFuncs[] = {AggFunc::kAvg, AggFunc::kSum, AggFunc::kMin,
+                            AggFunc::kMax, AggFunc::kCount};
+  const char* kStations[] = {"osaka", "kyoto", "nara"};
+  for (uint64_t seed = 300; seed < 350; ++seed) {
+    Rng rng(seed);
+    AggregationSpec spec;
+    spec.interval = duration::kMinute;
+    spec.window = rng.NextBounded(3) * duration::kMinute;  // 0 = tumbling
+    spec.func = kFuncs[rng.NextBounded(5)];
+    spec.attributes = {"temp"};
+    if (rng.NextBounded(2) == 0) spec.group_by = {"station"};
+    WatermarkOptions wm;
+    wm.time_policy = TimePolicy::kEvent;
+    wm.allowed_lateness = rng.NextBounded(2) * 30000;
+    std::vector<Tuple> fast_out, naive_out;
+    auto fast = MakeBlocking(OpKind::kAggregation, spec, {TempSchema()},
+                             {"in"}, /*naive=*/false, &fast_out, 1 << 20, wm);
+    auto naive = MakeBlocking(OpKind::kAggregation, spec, {TempSchema()},
+                              {"in"}, /*naive=*/true, &naive_out, 1 << 20,
+                              wm);
+    Timestamp watermark = 0;
+    for (int round = 0; round < 5; ++round) {
+      size_t n = rng.NextBounded(60);
+      for (size_t i = 0; i < n; ++i) {
+        // Unordered event times, some behind the fired horizon (late,
+        // admitted by default) — the pane index and the sorted scan
+        // must agree on every window's membership.
+        Timestamp ts = rng.NextBounded(5 * 60000);
+        Tuple t = Tuple::MakeUnsafe(
+            TempSchema(),
+            {Value::Double(rng.NextDouble(-10, 35)),
+             Value::String(kStations[rng.NextBounded(3)])},
+            ts, stt::GeoPoint{34.5, 135.5}, "s");
+        SL_ASSERT_OK(fast->Process(0, t));
+        SL_ASSERT_OK(naive->Process(0, t));
+      }
+      watermark += rng.NextBounded(90000);
+      fast->ObserveWatermark(0, watermark);
+      naive->ObserveWatermark(0, watermark);
+      SL_ASSERT_OK(fast->Flush(0));
+      SL_ASSERT_OK(naive->Flush(0));
+    }
+    fast->ObserveWatermark(0, 10 * 60000);
+    naive->ObserveWatermark(0, 10 * 60000);
+    SL_ASSERT_OK(fast->Flush(0));
+    SL_ASSERT_OK(naive->Flush(0));
+    ExpectSameRows(fast_out, naive_out, seed, "event-time aggregation");
+  }
+}
+
+TEST(FastVsNaiveOracleTest, EventTimeJoinSweep) {
+  for (uint64_t seed = 400; seed < 450; ++seed) {
+    Rng rng(seed);
+    JoinSpec spec;
+    spec.interval = duration::kMinute;
+    spec.window = rng.NextBounded(3) * duration::kMinute;
+    spec.predicate = kJoinPredicates[rng.NextBounded(5)];
+    WatermarkOptions wm;
+    wm.time_policy = TimePolicy::kEvent;
+    wm.allowed_lateness = rng.NextBounded(2) * 30000;
+    std::vector<Tuple> fast_out, naive_out;
+    auto fast = MakeBlocking(OpKind::kJoin, spec,
+                             {TempSchema(), IntRainSchema()}, {"l", "r"},
+                             /*naive=*/false, &fast_out, 1 << 20, wm);
+    auto naive = MakeBlocking(OpKind::kJoin, spec,
+                              {TempSchema(), IntRainSchema()}, {"l", "r"},
+                              /*naive=*/true, &naive_out, 1 << 20, wm);
+    Timestamp watermark = 0;
+    for (int round = 0; round < 5; ++round) {
+      size_t nl = rng.NextBounded(15), nr = rng.NextBounded(15);
+      for (size_t i = 0; i < nl; ++i) {
+        Tuple t = KeyedTemp(TempSchema(), rng, rng.NextBounded(4 * 60000));
+        SL_ASSERT_OK(fast->Process(0, t));
+        SL_ASSERT_OK(naive->Process(0, t));
+      }
+      for (size_t i = 0; i < nr; ++i) {
+        Tuple t =
+            KeyedRain(IntRainSchema(), rng, rng.NextBounded(4 * 60000));
+        SL_ASSERT_OK(fast->Process(1, t));
+        SL_ASSERT_OK(naive->Process(1, t));
+      }
+      watermark += rng.NextBounded(90000);
+      for (size_t port = 0; port < 2; ++port) {
+        fast->ObserveWatermark(port, watermark);
+        naive->ObserveWatermark(port, watermark);
+      }
+      SL_ASSERT_OK(fast->Flush(0));
+      SL_ASSERT_OK(naive->Flush(0));
+    }
+    for (size_t port = 0; port < 2; ++port) {
+      fast->ObserveWatermark(port, 10 * 60000);
+      naive->ObserveWatermark(port, 10 * 60000);
+    }
+    SL_ASSERT_OK(fast->Flush(0));
+    SL_ASSERT_OK(naive->Flush(0));
+    ExpectSameRows(fast_out, naive_out, seed, "event-time join");
+  }
+}
+
 // --------------------------------------------------------------- trigger --
 
 TEST(TriggerOperatorTest, OnFiresWhenAnyCachedTupleMatches) {
