@@ -85,4 +85,12 @@ echo "==> blocking benchmark (interval sweeps, system-level naive vs fast)"
 cp "${root}/build/BENCH_blocking.json" "${root}/BENCH_blocking.json"
 cp "${root}/build/BENCH_blocking.json" "${artifacts}/BENCH_blocking.json"
 
+# Key-partitioned parallelism scaling curve (throughput and flush
+# latency vs instance count, uniform vs Zipf keys). The partitioned
+# chaos suite itself runs in the 'Chaos' repeat block above.
+echo "==> partition benchmark (key-partitioned operator scaling)"
+(cd "${root}/build" && ./bench/bench_partition --benchmark_min_time=0.01)
+cp "${root}/build/BENCH_partition.json" "${root}/BENCH_partition.json"
+cp "${root}/build/BENCH_partition.json" "${artifacts}/BENCH_partition.json"
+
 echo "==> all configs green (artifacts in ${artifacts}/)"

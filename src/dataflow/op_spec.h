@@ -74,6 +74,12 @@ struct AggregationSpec {
   std::vector<std::string> group_by;
   std::vector<std::string> attributes;  ///< attributes to aggregate
   AggFunc func = AggFunc::kAvg;
+  /// Number of key-partitioned parallel instances (1 = single instance,
+  /// byte-identical to the pre-partitioning runtime).
+  size_t parallelism = 1;
+  /// Columns whose hash routes each tuple to an instance. Must be a
+  /// subset of `group_by`; empty defaults to all of `group_by`.
+  std::vector<std::string> partition_by;
 };
 
 /// \brief gamma_r(s, <t1, t2>): tuples whose event time falls in
@@ -115,6 +121,12 @@ struct JoinSpec {
   /// both sides are cached together.
   Duration window = 0;
   std::string predicate;
+  /// Number of key-partitioned parallel instances (1 = single instance).
+  size_t parallelism = 1;
+  /// Joined-schema column names whose hash routes each tuple; every name
+  /// must resolve to an equi-conjunct column of `predicate`. Empty
+  /// defaults to all equi-conjunct columns.
+  std::vector<std::string> partition_by;
 };
 
 /// \brief diamond_trans(s): rewrites one attribute in place with
@@ -138,6 +150,11 @@ struct TriggerSpec {
   Duration window = 0;
   std::string condition;
   std::vector<std::string> target_sensors;
+  /// Number of key-partitioned parallel instances (1 = single instance).
+  size_t parallelism = 1;
+  /// Input-schema columns whose hash routes each tuple. Triggers have no
+  /// implicit key, so parallelism > 1 requires an explicit list.
+  std::vector<std::string> partition_by;
 };
 
 /// \brief s union <p, spec>: appends a new attribute `property` computed
@@ -171,6 +188,14 @@ std::string SpecToString(OpKind kind, const OpSpec& spec);
 
 /// The blocking interval of a spec (0 for non-blocking operations).
 Duration SpecInterval(const OpSpec& spec);
+
+/// The requested instance count of a spec (1 for non-blocking
+/// operations, which have no parallelism knob).
+size_t SpecParallelism(const OpSpec& spec);
+
+/// The partition-key columns of a spec; nullptr for non-blocking
+/// operations.
+const std::vector<std::string>* SpecPartitionBy(const OpSpec& spec);
 
 // ---------------------------------------------------------------------
 // Join-predicate analysis.

@@ -317,6 +317,26 @@ stt::SchemaPtr Validator::CheckOp(OpKind op, const OpSpec& spec,
           }
           fields.push_back(std::move(*f));
         }
+        // SL2011: the partition key must be derivable from the grouping
+        // key, or instances would disagree on which one owns a group.
+        if (s.parallelism == 0) {
+          fail(diag::Code::kBadPartition,
+               "aggregation parallelism must be >= 1");
+        }
+        if (s.parallelism > 1 && s.group_by.empty() &&
+            s.partition_by.empty()) {
+          fail(diag::Code::kBadPartition,
+               "parallel aggregation needs a partition key: declare "
+               "group_by (the default partition key) or partition_by");
+        }
+        for (const auto& p : s.partition_by) {
+          if (std::find(s.group_by.begin(), s.group_by.end(), p) ==
+              s.group_by.end()) {
+            fail(diag::Code::kBadPartition,
+                 StrFormat("partition_by attribute '%s' is not among the "
+                           "group-by keys", p.c_str()));
+          }
+        }
         if (s.func == AggFunc::kCount && s.attributes.empty()) {
           fields.push_back({"count", ValueType::kInt, "count", false});
         }
@@ -409,6 +429,44 @@ stt::SchemaPtr Validator::CheckOp(OpKind op, const OpSpec& spec,
             }
           }
         }
+        // SL2011: a partitioned join can only route by equi-conjunct
+        // columns — any other key would split matching pairs across
+        // instances.
+        if (s.parallelism == 0) {
+          fail(diag::Code::kBadPartition, "join parallelism must be >= 1");
+        }
+        if (!HasErrorIssues(found) &&
+            (s.parallelism > 1 || !s.partition_by.empty())) {
+          if (auto parsed = expr::ParseExpression(s.predicate); parsed.ok()) {
+            auto analysis = AnalyzeJoinPredicate(
+                *parsed, **merged, inputs[0]->fields().size());
+            if (s.parallelism > 1 && !analysis.has_equi()) {
+              fail(diag::Code::kBadPartition,
+                   "parallel join requires an equi-conjunct "
+                   "(left.a == right.b) in the predicate to partition on");
+            }
+            for (const auto& p : s.partition_by) {
+              auto idx = (*merged)->FieldIndex(p);
+              if (!idx.ok()) {
+                fail(diag::Code::kBadPartition,
+                     StrFormat("partition_by attribute '%s' is not in the "
+                               "joined schema", p.c_str()));
+                continue;
+              }
+              bool is_equi = false;
+              for (const auto& e : analysis.equi) {
+                if (e.left_index == *idx || e.right_index == *idx) {
+                  is_equi = true;
+                }
+              }
+              if (!is_equi) {
+                fail(diag::Code::kBadPartition,
+                     StrFormat("partition_by attribute '%s' is not an "
+                               "equi-join key of the predicate", p.c_str()));
+              }
+            }
+          }
+        }
         if (!HasErrorIssues(found)) derived = *merged;
         break;
       }
@@ -421,6 +479,23 @@ stt::SchemaPtr Validator::CheckOp(OpKind op, const OpSpec& spec,
         auto tc = expr::TypecheckCondition(s.condition, *in,
                                            expr::ConditionContext::kTrigger);
         AppendDiags(tc.diags, &found);
+        // SL2011: triggers have no implicit key, so parallel deployment
+        // needs an explicit, resolvable partition_by.
+        if (s.parallelism == 0) {
+          fail(diag::Code::kBadPartition, "trigger parallelism must be >= 1");
+        }
+        if (s.parallelism > 1 && s.partition_by.empty()) {
+          fail(diag::Code::kBadPartition,
+               "parallel trigger requires an explicit partition_by "
+               "(triggers have no implicit grouping key)");
+        }
+        for (const auto& p : s.partition_by) {
+          if (!in->HasField(p)) {
+            fail(diag::Code::kBadPartition,
+                 StrFormat("partition_by attribute '%s' is not in the "
+                           "input schema", p.c_str()));
+          }
+        }
         if (!HasErrorIssues(found)) derived = in;  // pass-through
         break;
       }

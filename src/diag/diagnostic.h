@@ -76,6 +76,7 @@ enum class Code {
   kBadSinkTarget = 2008,    ///< SL2008: sink target missing/unusable
   kBadOpSpec = 2009,        ///< SL2009: operator spec inconsistent
   kMissingSchema = 2010,    ///< SL2010: sensor publishes no usable schema
+  kBadPartition = 2011,     ///< SL2011: partition_by/parallelism misuse
 
   // SL30xx — lint warnings (suspicious but deployable).
   kNoSinks = 3001,          ///< SL3001: dataflow discards all results

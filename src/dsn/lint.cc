@@ -47,6 +47,36 @@ void Anchor(const DsnSpec& spec, const std::string& doc,
   }
 }
 
+/// SL2011 on partition properties declared for a non-blocking service.
+/// This must run before lifting: TranslateFromDsn drops properties the
+/// service kind does not consume, so the validator never sees them.
+void LintPartitionProperties(const DsnSpec& spec, const std::string& doc,
+                             std::vector<diag::Diagnostic>* diags) {
+  for (const auto& service : spec.services) {
+    auto kind = dataflow::OpKindFromString(service.kind);
+    bool blocking = kind.ok() && dataflow::IsBlocking(*kind);
+    if (blocking) continue;
+    for (const char* key : {"partition_by", "parallelism"}) {
+      if (!service.Has(key)) continue;
+      diag::Diagnostic d = diag::MakeDiag(
+          diag::Code::kBadPartition, service.name,
+          std::string(key) + " is only meaningful on a blocking operation "
+          "(AGGREGATION, JOIN, TRIGGER_ON/OFF): non-blocking services "
+          "process tuples in place and have no instances to partition");
+      auto span = service.property_spans.find(key);
+      if (span != service.property_spans.end() && span->second.valid() &&
+          span->second.end <= doc.size()) {
+        d.span = span->second;
+        d.source = doc;
+      } else if (service.name_span.valid()) {
+        d.span = service.name_span;
+        d.source = doc;
+      }
+      diags->push_back(std::move(d));
+    }
+  }
+}
+
 }  // namespace
 
 LintResult LintDsnProgram(const std::string& source,
@@ -58,6 +88,7 @@ LintResult LintDsnProgram(const std::string& source,
     return result;
   }
   const DsnSpec& spec = *parse.spec;
+  LintPartitionProperties(spec, source, &result.diags);
 
   auto dataflow = TranslateFromDsn(spec);
   if (!dataflow.ok()) {

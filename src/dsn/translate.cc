@@ -42,6 +42,25 @@ QosParams QosForConsumer(const Node& consumer) {
   return qos;
 }
 
+/// Parses the optional parallelism / partition_by properties shared by
+/// the blocking kinds. A parallelism of 0 is kept (the validator
+/// rejects it with SL2011 and a proper span).
+Status ParsePartitioning(const DsnService& service, size_t* parallelism,
+                         std::vector<std::string>* partition_by) {
+  if (service.Has("parallelism")) {
+    SL_ASSIGN_OR_RETURN(double n, service.GetDouble("parallelism"));
+    if (n < 0 || n != double(size_t(n))) {
+      return Status::ParseError("parallelism of '" + service.name +
+                                "' must be a non-negative integer");
+    }
+    *parallelism = size_t(n);
+  }
+  if (service.Has("partition_by")) {
+    SL_ASSIGN_OR_RETURN(*partition_by, service.GetList("partition_by"));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<DsnSpec> TranslateToDsn(const Dataflow& dataflow) {
@@ -136,6 +155,13 @@ Result<DsnSpec> TranslateToDsn(const Dataflow& dataflow) {
             if (!s.group_by.empty()) {
               service.properties["group_by"] = Join(s.group_by, ", ");
             }
+            if (s.parallelism != 1) {
+              service.properties["parallelism"] =
+                  StrFormat("%zu", s.parallelism);
+            }
+            if (!s.partition_by.empty()) {
+              service.properties["partition_by"] = Join(s.partition_by, ", ");
+            }
             break;
           }
           case OpKind::kJoin: {
@@ -145,6 +171,13 @@ Result<DsnSpec> TranslateToDsn(const Dataflow& dataflow) {
               service.properties["window"] = DurationText(s.window);
             }
             service.properties["predicate"] = s.predicate;
+            if (s.parallelism != 1) {
+              service.properties["parallelism"] =
+                  StrFormat("%zu", s.parallelism);
+            }
+            if (!s.partition_by.empty()) {
+              service.properties["partition_by"] = Join(s.partition_by, ", ");
+            }
             break;
           }
           case OpKind::kTriggerOn:
@@ -156,6 +189,13 @@ Result<DsnSpec> TranslateToDsn(const Dataflow& dataflow) {
             }
             service.properties["condition"] = s.condition;
             service.properties["targets"] = Join(s.target_sensors, ", ");
+            if (s.parallelism != 1) {
+              service.properties["parallelism"] =
+                  StrFormat("%zu", s.parallelism);
+            }
+            if (!s.partition_by.empty()) {
+              service.properties["partition_by"] = Join(s.partition_by, ", ");
+            }
             break;
           }
         }
@@ -291,6 +331,8 @@ Result<Dataflow> TranslateFromDsn(const DsnSpec& spec) {
         if (service.Has("group_by")) {
           SL_ASSIGN_OR_RETURN(s.group_by, service.GetList("group_by"));
         }
+        SL_RETURN_IF_ERROR(
+            ParsePartitioning(service, &s.parallelism, &s.partition_by));
         op_spec = std::move(s);
         break;
       }
@@ -301,6 +343,8 @@ Result<Dataflow> TranslateFromDsn(const DsnSpec& spec) {
           SL_ASSIGN_OR_RETURN(s.window, service.GetDuration("window"));
         }
         SL_ASSIGN_OR_RETURN(s.predicate, service.GetString("predicate"));
+        SL_RETURN_IF_ERROR(
+            ParsePartitioning(service, &s.parallelism, &s.partition_by));
         op_spec = std::move(s);
         break;
       }
@@ -313,6 +357,8 @@ Result<Dataflow> TranslateFromDsn(const DsnSpec& spec) {
         }
         SL_ASSIGN_OR_RETURN(s.condition, service.GetString("condition"));
         SL_ASSIGN_OR_RETURN(s.target_sensors, service.GetList("targets"));
+        SL_RETURN_IF_ERROR(
+            ParsePartitioning(service, &s.parallelism, &s.partition_by));
         op_spec = std::move(s);
         break;
       }

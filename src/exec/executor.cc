@@ -47,7 +47,7 @@ struct ExecutorDetail {
 };
 
 std::string DeploymentStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "ingested %llu delivered %llu qos_violations %llu process_errors %llu "
       "activations %llu migrations %llu retransmits %llu messages_lost %llu "
       "node_failures %llu recoveries %llu",
@@ -61,6 +61,15 @@ std::string DeploymentStats::ToString() const {
       static_cast<unsigned long long>(messages_lost),
       static_cast<unsigned long long>(node_failures),
       static_cast<unsigned long long>(recoveries));
+  for (const auto& [key, n] : instance_retransmits) {
+    out += StrFormat(" rtx[%s]=%llu", key.c_str(),
+                     static_cast<unsigned long long>(n));
+  }
+  for (const auto& [key, n] : instance_lost) {
+    out += StrFormat(" lost[%s]=%llu", key.c_str(),
+                     static_cast<unsigned long long>(n));
+  }
+  return out;
 }
 
 Executor::Executor(net::EventLoop* loop, net::Network* network,
@@ -215,12 +224,19 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
                                               op_options));
         SL_ASSIGN_OR_RETURN(std::string placed,
                             placer_.Place(upstream_nodes));
-        SL_RETURN_IF_ERROR(network_->AdjustProcessCount(placed, +1));
+        // A key-partitioned operator deploys as an instance group: N
+        // co-located processes behind one splitter/merger address, so
+        // the node is billed one process per instance.
+        size_t instances = op->parallelism();
+        SL_RETURN_IF_ERROR(network_->AdjustProcessCount(
+            placed, static_cast<int>(instances)));
         if (monitor_ != nullptr) {
           monitor_->RecordAssignment(dep->dataflow.name(), name, "", placed);
         }
         scn_log_.Record(loop_->Now(), ScnCommandKind::kDeployService, dep->id,
-                        name, placed);
+                        name,
+                        instances > 1 ? placed + StrFormat(" x%zu", instances)
+                                      : placed);
         DeployedOperator deployed;
         deployed.op = std::move(op);
         deployed.node_id = placed;
@@ -382,10 +398,21 @@ void Executor::Route(Deployment* dep, const std::string& producer,
   size_t bytes = TupleBytes(*tuple);
   for (const Edge& edge : edges_it->second) {
     std::string target_node;
+    // Per-instance fault attribution: for a partitioned receiver the
+    // routed instance is a pure function of the key, so it is known at
+    // send time — retransmits/losses land on "op#k" ("op#*" when the
+    // tuple broadcasts to every instance, e.g. NaN join keys).
+    std::string instance_key;
     if (edge.to_sink) {
       target_node = dep->sinks.at(edge.to).node_id;
     } else {
-      target_node = dep->operators.at(edge.to).node_id;
+      const DeployedOperator& target_op = dep->operators.at(edge.to);
+      target_node = target_op.node_id;
+      if (target_op.op->parallelism() > 1) {
+        int inst = target_op.op->route_instance(edge.port, tuple);
+        instance_key =
+            edge.to + "#" + (inst < 0 ? "*" : std::to_string(inst));
+      }
     }
     // QoS accounting: a transfer that cannot meet the flow's latency
     // bound counts as a violation (the SCN would re-provision the path).
@@ -406,12 +433,20 @@ void Executor::Route(Deployment* dep, const std::string& producer,
       transfer_options.reliable = true;
       transfer_options.ack_timeout = options_.ack_timeout_ms;
       transfer_options.max_retransmits = options_.max_retransmits;
-      transfer_options.on_retransmit = [weak](int) {
-        if (auto d = weak.lock()) ++d->stats.retransmits;
+      transfer_options.on_retransmit = [weak, instance_key](int) {
+        if (auto d = weak.lock()) {
+          ++d->stats.retransmits;
+          if (!instance_key.empty()) {
+            ++d->stats.instance_retransmits[instance_key];
+          }
+        }
       };
     }
-    transfer_options.on_lost = [weak] {
-      if (auto d = weak.lock()) ++d->stats.messages_lost;
+    transfer_options.on_lost = [weak, instance_key] {
+      if (auto d = weak.lock()) {
+        ++d->stats.messages_lost;
+        if (!instance_key.empty()) ++d->stats.instance_lost[instance_key];
+      }
     };
     // The watermark rides inside the delivery callback — event-time
     // progress piggybacks on data transfers, adding no network messages
@@ -486,7 +521,8 @@ Status Executor::Undeploy(DeploymentId id) {
       loop_->Cancel(op.flush_timer);
       op.flush_timer = 0;
     }
-    Status s = network_->AdjustProcessCount(op.node_id, -1);
+    Status s = network_->AdjustProcessCount(
+        op.node_id, -static_cast<int>(op.op->parallelism()));
     (void)s;
   }
   for (auto& [name, sink] : dep->sinks) {
@@ -557,6 +593,14 @@ Status Executor::ReplaceOperator(DeploymentId id, const std::string& op_name,
     return Status::ValidationError(
         "replacement for '" + op_name +
         "' changes the output schema; downstream operators would break");
+  }
+  // The replacement may change the instance-group size.
+  int group_delta = static_cast<int>(new_op->parallelism()) -
+                    static_cast<int>(op_it->second.op->parallelism());
+  if (group_delta != 0) {
+    Status ps =
+        network_->AdjustProcessCount(op_it->second.node_id, group_delta);
+    (void)ps;
   }
   // Swap: cancel the old flush timer, install the new operator.
   if (op_it->second.flush_timer != 0) {
@@ -680,8 +724,10 @@ Status Executor::MigrateOperator(DeploymentId id, const std::string& op_name,
     SL_LOG(kWarning) << "state hand-off of '" << op_name
                      << "' lost: " << transfer_status.ToString();
   }
-  SL_RETURN_IF_ERROR(network_->AdjustProcessCount(from, -1));
-  SL_RETURN_IF_ERROR(network_->AdjustProcessCount(target_node, +1));
+  // An instance group migrates as a unit (instances are co-located).
+  int group = static_cast<int>(op_it->second.op->parallelism());
+  SL_RETURN_IF_ERROR(network_->AdjustProcessCount(from, -group));
+  SL_RETURN_IF_ERROR(network_->AdjustProcessCount(target_node, +group));
   op_it->second.node_id = target_node;
   ++dep->stats.migrations;
   if (monitor_ != nullptr) {
@@ -692,6 +738,48 @@ Status Executor::MigrateOperator(DeploymentId id, const std::string& op_name,
   }
   scn_log_.Record(loop_->Now(), ScnCommandKind::kMigrateService, dep->id,
                   op_name, from + " => " + target_node);
+  return Status::OK();
+}
+
+Status Executor::RescaleOperator(DeploymentId id, const std::string& op_name,
+                                 size_t new_parallelism) {
+  auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such deployment");
+  }
+  Deployment* dep = it->second.get();
+  if (!dep->active) return Status::FailedPrecondition("deployment stopped");
+  auto op_it = dep->operators.find(op_name);
+  if (op_it == dep->operators.end()) {
+    return Status::NotFound("no operator '" + op_name + "' in deployment");
+  }
+  ops::Operator* op = op_it->second.op.get();
+  size_t old_parallelism = op->parallelism();
+  if (new_parallelism == old_parallelism) return Status::OK();
+  // The re-partitioning hand-off reuses the migration cost model: the
+  // cached state is re-read and re-routed across the new instance set,
+  // billed as node work proportional to the cache. Instances are
+  // co-located, so no network transfer is simulated.
+  double work = static_cast<double>(op->stats().cache_size) *
+                options_.work_per_tuple;
+  SL_RETURN_IF_ERROR(op->Rescale(new_parallelism));
+  if (work > 0) {
+    Status ws = network_->ReportWork(op_it->second.node_id, work);
+    (void)ws;
+  }
+  SL_RETURN_IF_ERROR(network_->AdjustProcessCount(
+      op_it->second.node_id, static_cast<int>(new_parallelism) -
+                                 static_cast<int>(old_parallelism)));
+  ++dep->stats.migrations;
+  if (monitor_ != nullptr) {
+    monitor_->Log(StrFormat("rescaled '%s' from %zu to %zu instances",
+                            op_name.c_str(), old_parallelism,
+                            new_parallelism));
+  }
+  scn_log_.Record(loop_->Now(), ScnCommandKind::kMigrateService, dep->id,
+                  op_name,
+                  StrFormat("parallelism %zu => %zu", old_parallelism,
+                            new_parallelism));
   return Status::OK();
 }
 
@@ -895,6 +983,27 @@ std::vector<monitor::OperatorSample> Executor::SampleOperators(
       // until the operator's inputs have carried a watermark.
       Timestamp wm = op->stats().watermark_low;
       sample.watermark_lag_ms = wm == stt::kNoWatermark ? -1 : loop_->Now() - wm;
+      // Key-partitioned instance groups: per-instance cumulative load
+      // and the skew gauge (max/mean) — 1.0 is a perfectly uniform key
+      // distribution, parallelism means every key landed on one instance.
+      size_t par = op->parallelism();
+      sample.parallelism = par;
+      if (par > 1) {
+        uint64_t max_in = 0;
+        uint64_t sum_in = 0;
+        for (size_t k = 0; k < par; ++k) {
+          const ops::OperatorStats* inst = op->instance_stats(k);
+          uint64_t in = inst != nullptr ? inst->tuples_in : 0;
+          sample.instance_load.push_back(in);
+          max_in = std::max(max_in, in);
+          sum_in += in;
+        }
+        if (sum_in > 0) {
+          sample.key_skew = static_cast<double>(max_in) *
+                            static_cast<double>(par) /
+                            static_cast<double>(sum_in);
+        }
+      }
       samples.push_back(std::move(sample));
       deployed.op->ResetWindowCounters();
     }
@@ -903,6 +1012,8 @@ std::vector<monitor::OperatorSample> Executor::SampleOperators(
 }
 
 void Executor::OnMonitorTick(const monitor::MonitorReport& report) {
+  ++monitor_ticks_;
+  if (options_.elastic_scaling) ElasticTick(report);
   if (options_.rebalance_threshold <= 0) return;
   for (const auto& node : report.nodes) {
     if (node.utilization <= options_.rebalance_threshold) continue;
@@ -926,6 +1037,50 @@ void Executor::OnMonitorTick(const monitor::MonitorReport& report) {
         SL_LOG(kWarning) << "auto-migration failed: " << s.ToString();
       }
       break;
+    }
+  }
+}
+
+void Executor::ElasticTick(const monitor::MonitorReport& report) {
+  for (const auto& sample : report.operators) {
+    // Locate the live operator; only wrapper-deployed (key-partitioned)
+    // operators support Rescale — detected by their per-instance
+    // counters, so a group shrunk to one instance can still grow back.
+    DeploymentId owner_id = 0;
+    ops::Operator* op = nullptr;
+    for (auto& [id, dep] : deployments_) {
+      if (!dep->active || dep->dataflow.name() != sample.dataflow) continue;
+      auto op_it = dep->operators.find(sample.op_name);
+      if (op_it == dep->operators.end()) continue;
+      owner_id = id;
+      op = op_it->second.op.get();
+      break;
+    }
+    if (op == nullptr || op->instance_stats(0) == nullptr) continue;
+    std::string key = sample.dataflow + "/" + sample.op_name;
+    auto last = last_rescale_tick_.find(key);
+    if (last != last_rescale_tick_.end() &&
+        monitor_ticks_ - last->second <
+            static_cast<uint64_t>(options_.elastic_cooldown_ticks)) {
+      continue;
+    }
+    size_t par = op->parallelism();
+    double per_instance = sample.in_per_sec / static_cast<double>(par);
+    size_t target = par;
+    if (per_instance > options_.elastic_high_load &&
+        par < options_.elastic_max_instances) {
+      target = std::min(par * 2, options_.elastic_max_instances);
+    } else if (per_instance < options_.elastic_low_load &&
+               par > options_.elastic_min_instances) {
+      target = std::max(par / 2, options_.elastic_min_instances);
+    }
+    if (target == par) continue;
+    Status s = RescaleOperator(owner_id, sample.op_name, target);
+    if (s.ok()) {
+      last_rescale_tick_[key] = monitor_ticks_;
+    } else {
+      SL_LOG(kWarning) << "elastic rescale of '" << sample.op_name
+                       << "' failed: " << s.ToString();
     }
   }
 }

@@ -86,6 +86,25 @@ struct ExecutorOptions {
   /// LatePolicy::kSideOutput adds one LateSink per deployment
   /// (LateSinkOf) receiving the diverted late tuples.
   ops::WatermarkOptions watermark;
+  /// \brief Elastic scaling of key-partitioned blocking operators
+  /// (deployed with parallelism > 1): on each monitor tick the policy
+  /// compares every instance group's per-instance input rate against the
+  /// band below, doubling the instance count on overload and halving it
+  /// when underloaded. Off by default — fixed parallelism keeps runs
+  /// reproducible without a monitor.
+  bool elastic_scaling = false;
+  /// Per-instance input rate (tuples/s) above which an instance group
+  /// doubles (up to elastic_max_instances).
+  double elastic_high_load = 1000.0;
+  /// Per-instance input rate below which an instance group halves (down
+  /// to elastic_min_instances). Keep well under elastic_high_load / 2:
+  /// the gap is the hysteresis that prevents grow/shrink oscillation.
+  double elastic_low_load = 100.0;
+  size_t elastic_min_instances = 1;
+  size_t elastic_max_instances = 8;
+  /// Monitor ticks an operator sits out after a rescale before the
+  /// policy may touch it again (the rescale itself perturbs the rates).
+  int elastic_cooldown_ticks = 2;
 };
 
 /// \brief Cumulative counters of one deployment.
@@ -100,6 +119,14 @@ struct DeploymentStats {
   uint64_t messages_lost = 0;     ///< tuple transfers conclusively lost
   uint64_t node_failures = 0;     ///< confirmed crashes of hosting nodes
   uint64_t recoveries = 0;        ///< processes re-placed after a crash
+  /// Reliable-delivery retransmissions / conclusive losses attributed to
+  /// the receiving operator *instance*, keyed "op#k" — the routed
+  /// instance is known at send time from the key hash; "op#*" collects
+  /// broadcast-routed tuples (NaN join keys). Only populated for edges
+  /// into partitioned operators; the scalar totals above count
+  /// everything.
+  std::map<std::string, uint64_t> instance_retransmits;
+  std::map<std::string, uint64_t> instance_lost;
 
   bool operator==(const DeploymentStats&) const = default;
 
@@ -149,6 +176,17 @@ class Executor : public ops::ActivationHandler {
   /// auto-rebalancing). Simulates the state transfer of blocking caches.
   Status MigrateOperator(DeploymentId id, const std::string& op_name,
                          const std::string& target_node);
+
+  /// \brief Elastic scale-out/in of a key-partitioned operator:
+  /// re-partitions the cached state across `new_parallelism` instances
+  /// (ops::Operator::Rescale) and adjusts the hosting node's process
+  /// count by the difference. Only operators deployed with
+  /// parallelism > 1 in their spec support this; the re-partitioning
+  /// hand-off is billed as node work proportional to the cache, and the
+  /// action is counted as a migration. Also used by the elastic_scaling
+  /// policy on monitor ticks.
+  Status RescaleOperator(DeploymentId id, const std::string& op_name,
+                         size_t new_parallelism);
 
   /// \brief Drains a node for maintenance: migrates every operator and
   /// sink process of every active deployment off `node_id` (placement
@@ -253,6 +291,10 @@ class Executor : public ops::ActivationHandler {
   /// Auto-rebalance hook run on each monitor tick.
   void OnMonitorTick(const monitor::MonitorReport& report);
 
+  /// Elastic-scaling policy (options_.elastic_scaling): grows/shrinks
+  /// the instance count of partitioned operators from per-instance load.
+  void ElasticTick(const monitor::MonitorReport& report);
+
   /// Heartbeat tick: polls node liveness, declares a node dead after
   /// `heartbeat_misses` consecutive down-polls, then recovers its
   /// processes (P4-style fault handling).
@@ -282,6 +324,10 @@ class Executor : public ops::ActivationHandler {
   /// node, and nodes already declared dead (so a crash recovers once).
   net::EventLoop::TimerId heartbeat_timer_ = 0;
   std::map<std::string, int> missed_heartbeats_;
+  /// Elastic scaling: running monitor-tick counter and the tick of each
+  /// operator's last rescale ("dataflow/op"), for cooldown enforcement.
+  uint64_t monitor_ticks_ = 0;
+  std::map<std::string, uint64_t> last_rescale_tick_;
   std::set<std::string> dead_nodes_;
   /// Per-deployment activation adapters (type-erased; see executor.cc).
   std::map<DeploymentId, std::shared_ptr<void>> deployment_details_;

@@ -45,6 +45,9 @@ std::string MonitorReport::ToString() const {
                           static_cast<unsigned long long>(op.late_dropped),
                           static_cast<unsigned long long>(op.late_routed));
     }
+    if (op.parallelism > 1) {
+      extras += StrFormat("  x%zu skew %.2f", op.parallelism, op.key_skew);
+    }
     out += StrFormat(
         "  %-24s on %-10s  in %8.1f t/s  out %8.1f t/s  cache %6zu%s\n",
         (op.dataflow + "/" + op.op_name).c_str(), op.node_id.c_str(),
@@ -101,6 +104,16 @@ std::string MonitorReport::ToJson() const {
     w.Key("watermark_lag_ms"); w.Int(op.watermark_lag_ms);
     w.Key("late_dropped"); w.Int(static_cast<int64_t>(op.late_dropped));
     w.Key("late_routed"); w.Int(static_cast<int64_t>(op.late_routed));
+    if (op.parallelism > 1) {
+      w.Key("parallelism"); w.Int(static_cast<int64_t>(op.parallelism));
+      w.Key("key_skew"); w.Double(op.key_skew);
+      w.Key("instance_load");
+      w.BeginArray();
+      for (uint64_t load : op.instance_load) {
+        w.Int(static_cast<int64_t>(load));
+      }
+      w.EndArray();
+    }
     w.EndObject();
   }
   w.EndArray();

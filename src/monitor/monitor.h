@@ -37,6 +37,14 @@ struct OperatorSample {
   int64_t watermark_lag_ms = -1;
   uint64_t late_dropped = 0;  ///< late tuples discarded (LatePolicy::kDrop)
   uint64_t late_routed = 0;   ///< late tuples diverted to the late sink
+  /// Key-partitioned parallelism (1 for single-instance operations).
+  size_t parallelism = 1;
+  /// Cumulative tuples consumed per instance (parallelism entries;
+  /// empty when single-instance).
+  std::vector<uint64_t> instance_load;
+  /// Key skew: max over mean of instance_load (1.0 = perfectly uniform,
+  /// parallelism = all keys on one instance; 0 until any tuple routed).
+  double key_skew = 0;
 };
 
 /// \brief Per-node measurements over one monitoring window.

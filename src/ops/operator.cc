@@ -4,6 +4,11 @@ namespace sl::ops {
 
 Status Operator::Flush(Timestamp) { return Status::OK(); }
 
+Status Operator::Rescale(size_t) {
+  return Status::Unimplemented("operator '" + name_ +
+                               "' is not key-partitioned");
+}
+
 void Operator::Emit(const stt::TupleRef& tuple) {
   ++stats_.tuples_out;
   ++window_out_;

@@ -139,7 +139,9 @@ class Operator {
 
   /// Folds the watermark piggybacked on a delivery to `port` into the
   /// input frontier. stt::kNoWatermark observations are ignored.
-  void ObserveWatermark(size_t port, Timestamp watermark);
+  /// Virtual so a partitioned wrapper can fan the observation out to its
+  /// instances (whose event windows advance on their own frontiers).
+  virtual void ObserveWatermark(size_t port, Timestamp watermark);
 
   /// Merged input frontier: min over ports (stt::kNoWatermark until all
   /// ports have carried one).
@@ -157,9 +159,39 @@ class Operator {
 
   const OperatorStats& stats() const { return stats_; }
 
+  // -- key-partitioned parallelism ----------------------------------------
+
+  /// Number of parallel key-partitioned instances behind this operator
+  /// (1 for everything except the partitioned blocking wrapper).
+  virtual size_t parallelism() const { return 1; }
+
+  /// Counters of instance `k` (k < parallelism()); nullptr for
+  /// single-instance operators. The monitor renders these as per-
+  /// instance load and key-skew gauges.
+  virtual const OperatorStats* instance_stats(size_t k) const {
+    (void)k;
+    return nullptr;
+  }
+
+  /// The instance a tuple delivered to `port` routes to; -1 means the
+  /// tuple is broadcast to every instance (NaN join keys). Always 0 for
+  /// single-instance operators. Used by the executor to attribute
+  /// per-instance transfer counters without consuming the tuple.
+  virtual int route_instance(size_t port, const stt::TupleRef& tuple) const {
+    (void)port;
+    (void)tuple;
+    return 0;
+  }
+
+  /// Re-partitions cached state across `new_parallelism` instances
+  /// (elastic scale-out/in). Only the partitioned wrapper implements
+  /// this; everything else reports Unimplemented.
+  virtual Status Rescale(size_t new_parallelism);
+
   /// Resets the in/out counters (monitoring-window rollover); cache
-  /// contents are untouched.
-  void ResetWindowCounters();
+  /// contents are untouched. Virtual so the partitioned wrapper can
+  /// cascade the rollover to its instances.
+  virtual void ResetWindowCounters();
 
   /// Tuples seen in the current monitoring window.
   uint64_t window_in() const { return window_in_; }
@@ -193,6 +225,12 @@ class Operator {
   /// should still cache it (kAdmit); false when it was dropped or
   /// diverted to the late side.
   bool ApplyLatePolicy(const stt::TupleRef& tuple);
+
+  /// Pushes a tuple to the late-side sink directly (the partitioned
+  /// wrapper routes its instances' late outputs through its own sink).
+  void ForwardLate(const stt::TupleRef& tuple) {
+    if (late_emit_) late_emit_(tuple);
+  }
 
   OperatorStats stats_;
 

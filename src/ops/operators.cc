@@ -237,6 +237,41 @@ class AggregationOperator : public Operator {
     return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
   }
 
+  // -- shard-mode hooks (key-partitioned wrapper) --------------------------
+  //
+  // In shard mode the operator is one of N key-partitioned instances:
+  // it never deduplicates sliding windows itself (the wrapper decides
+  // globally from the combined shard signatures), it tags every
+  // emission with the window it belongs to, and its event grid anchors
+  // on the wrapper-provided global oldest so all shards fire identical
+  // end sequences.
+
+  /// One recorded window signature: `tag` is the flush tick
+  /// (processing regime) or the fired window end (event regime).
+  struct ShardSig {
+    Timestamp tag;
+    uint64_t sig;
+  };
+
+  void EnableShardMode(size_t) { shard_mode_ = true; }
+  Timestamp OldestCachedTs() const { return OldestTs(cache_); }
+  void SetOldestOverride(Timestamp t) { oldest_override_ = t; }
+  /// Tag of the window the currently captured emission belongs to.
+  Timestamp shard_tag() const { return shard_tag_; }
+  std::vector<ShardSig> TakeShardSigs() { return std::move(shard_sigs_); }
+
+  // Rescale support: state export + event-grid restore.
+  const TupleCache& shard_cache() const { return cache_; }
+  Timestamp shard_fired_end() const {
+    return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
+  }
+  /// Re-anchors a fresh event grid at `end` (interval-aligned): fires
+  /// nothing, but IsLate and the next Advance behave as if this
+  /// instance had fired up to `end` already.
+  void RestoreFiredEnd(Timestamp end) {
+    event_.Advance(end, stt::kNoWatermark);
+  }
+
  private:
   /// One list of tuples to aggregate, tagged with its group key; groups
   /// are always emitted in ascending key order, whichever path built
@@ -276,7 +311,12 @@ class AggregationOperator : public Operator {
     if (spec_.window > 0) cache_.EvictOlderThan(now - spec_.window);
     auto view = WindowView(cache_, std::numeric_limits<Timestamp>::min(), now,
                            /*sorted=*/false);
-    if (!view.empty() && ChangedSinceLastEmit(view)) EmitGroups(view, now);
+    if (shard_mode_) {
+      if (spec_.window > 0) shard_sigs_.push_back({now, SeqSignature(view)});
+      if (!view.empty()) EmitGroups(view, now);
+    } else if (!view.empty() && ChangedSinceLastEmit(view)) {
+      EmitGroups(view, now);
+    }
     if (spec_.window == 0) cache_.Clear();  // tumbling
     stats_.cache_size = cache_.size();
     return Status::OK();
@@ -323,7 +363,15 @@ class AggregationOperator : public Operator {
       }
       if (!tuples.empty()) groups.emplace_back(key, std::move(tuples));
     }
-    if (!groups.empty() && ChangedSignature(SeqSignatureOf(std::move(seqs)))) {
+    bool emit;
+    if (shard_mode_) {
+      shard_sigs_.push_back({now, SeqSignatureOf(std::move(seqs))});
+      emit = !groups.empty();
+    } else {
+      emit = !groups.empty() &&
+             ChangedSignature(SeqSignatureOf(std::move(seqs)));
+    }
+    if (emit) {
       std::sort(groups.begin(), groups.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
       EmitGrouped(groups, now);
@@ -341,12 +389,18 @@ class AggregationOperator : public Operator {
     Timestamp horizon = input_watermark();
     if (horizon == stt::kNoWatermark) return Status::OK();
     horizon -= watermark_options().allowed_lateness;
-    for (Timestamp end : event_.Advance(horizon, OldestTs(cache_))) {
+    Timestamp oldest = oldest_override_.value_or(OldestTs(cache_));
+    for (Timestamp end : event_.Advance(horizon, oldest)) {
       Timestamp begin = end - event_.effective_window();
       auto view = naive_ ? WindowView(cache_, begin, end, /*sorted=*/true)
                          : pane_.View(cache_, begin, end);
       event_.MarkFired(end);
-      if (view.empty() || !ChangedSinceLastEmit(view)) continue;
+      if (shard_mode_) {
+        if (spec_.window > 0) shard_sigs_.push_back({end, SeqSignature(view)});
+        if (view.empty()) continue;
+      } else if (view.empty() || !ChangedSinceLastEmit(view)) {
+        continue;
+      }
       if (naive_) {
         EmitGroups(view, end);
       } else {
@@ -418,6 +472,7 @@ class AggregationOperator : public Operator {
   /// Emits one aggregate per group (ascending key order), stamped with
   /// the last granule of the window ending at `end`.
   void EmitGrouped(const GroupList& groups, Timestamp end) {
+    shard_tag_ = end;
     Timestamp out_ts =
         output_schema()->temporal_granularity().Truncate(end - 1);
     stt::RefBatch out(output_schema());
@@ -526,6 +581,7 @@ class AggregationOperator : public Operator {
   }
 
   void EmitStates(Timestamp now) {
+    shard_tag_ = now;
     std::vector<const std::string*> keys;
     keys.reserve(states_.size());
     for (const auto& [key, g] : states_) keys.push_back(&key);
@@ -621,6 +677,11 @@ class AggregationOperator : public Operator {
     std::string key;
   };
   std::unordered_map<uint64_t, KeyRec> keys_by_seq_;
+  // Shard mode (key-partitioned wrapper).
+  bool shard_mode_ = false;
+  std::optional<Timestamp> oldest_override_;
+  Timestamp shard_tag_ = 0;
+  std::vector<ShardSig> shard_sigs_;
 };
 
 /// s1 |><|_{pred}^{t} s2
@@ -667,7 +728,15 @@ class JoinOperator : public Operator {
         !ApplyLatePolicy(tuple)) {
       return Status::OK();
     }
-    stats_.dropped += (port == 0 ? left_ : right_).Add(tuple);
+    TupleCache& cache = port == 0 ? left_ : right_;
+    stats_.dropped += cache.Add(tuple);
+    if (shard_mode_) {
+      auto& arr = port == 0 ? left_arr_ : right_arr_;
+      arr.emplace(cache.entries().back().seq,
+                  ArrivalRec{pending_gseq_, pending_broadcast_,
+                             tuple->timestamp()});
+      if (arr.size() > 2 * cache.size() + 64) SweepArrivals(port);
+    }
     if (port == 1 && hash_join() && !event_time()) {
       // The persistent index serves the processing-time regime; the
       // event-time regime indexes each fired window transiently.
@@ -697,6 +766,7 @@ class JoinOperator : public Operator {
               re.seq < right_seen_) {
             continue;
           }
+          SetCurPair(le.seq, re.seq);
           SL_RETURN_IF_ERROR(naive_
                                  ? JoinPairNaive(*le.tuple, *re.tuple, tgran,
                                                  &out)
@@ -710,6 +780,8 @@ class JoinOperator : public Operator {
       left_.Clear();
       right_.Clear();
       right_index_.Clear();
+      left_arr_.clear();
+      right_arr_.clear();
     } else {
       left_seen_ = left_.next_seq();
       right_seen_ = right_.next_seq();
@@ -723,8 +795,121 @@ class JoinOperator : public Operator {
     return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
   }
 
+  // -- shard-mode hooks (key-partitioned wrapper) --------------------------
+  //
+  // A shard instance pairs only the keys routed to it; the wrapper
+  // restores the single-instance emission order from the provenance tag
+  // recorded alongside every pair. NaN keys are broadcast to every
+  // shard (they match any key); a pair whose members are BOTH
+  // broadcast would be produced by every shard, so shards > 0 suppress
+  // it and shard 0 owns the emission.
+
+  /// Provenance of one emitted pair.
+  struct PairTag {
+    Timestamp end;    ///< fired window end (0 in the processing regime)
+    uint64_t lg, rg;  ///< wrapper arrival seqs (processing-regime order)
+    TupleRef l, r;    ///< pair members (event-regime order)
+  };
+  /// One cached tuple with everything a rescale replay needs.
+  struct ShardEntry {
+    TupleRef tuple;
+    uint64_t gseq;
+    bool broadcast;
+    bool seen;  ///< already paired before the last flush (sliding regime)
+  };
+
+  void EnableShardMode(size_t shard_index) {
+    shard_mode_ = true;
+    shard_index_ = shard_index;
+  }
+  /// Wrapper-level provenance of the arrival the next Process caches.
+  void SetPendingArrival(uint64_t gseq, bool broadcast) {
+    pending_gseq_ = gseq;
+    pending_broadcast_ = broadcast;
+  }
+  Timestamp OldestCachedTs() const {
+    Timestamp l = OldestTs(left_);
+    Timestamp r = OldestTs(right_);
+    if (l == stt::kNoWatermark) return r;
+    if (r == stt::kNoWatermark) return l;
+    return std::min(l, r);
+  }
+  void SetOldestOverride(Timestamp t) { oldest_override_ = t; }
+  std::vector<PairTag> TakePairTags() { return std::move(pair_tags_); }
+
+  // Rescale support: state export + event-grid restore.
+  Timestamp shard_fired_end() const {
+    return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
+  }
+  void RestoreFiredEnd(Timestamp end) {
+    event_.Advance(end, stt::kNoWatermark);
+  }
+  void ExportShard(std::vector<ShardEntry>* lout,
+                   std::vector<ShardEntry>* rout) const {
+    for (const auto& e : left_.entries()) {
+      const ArrivalRec& a = left_arr_.at(e.seq);
+      lout->push_back({e.tuple, a.gseq, a.broadcast, e.seq < left_seen_});
+    }
+    for (const auto& e : right_.entries()) {
+      const ArrivalRec& a = right_arr_.at(e.seq);
+      rout->push_back({e.tuple, a.gseq, a.broadcast, e.seq < right_seen_});
+    }
+  }
+  /// Marks everything cached so far as paired (rescale replays the
+  /// already-seen tuples first, then calls this, then the unseen rest).
+  void MarkAllSeen() {
+    left_seen_ = left_.next_seq();
+    right_seen_ = right_.next_seq();
+  }
+
  private:
   bool hash_join() const { return !naive_ && !left_cols_.empty(); }
+
+  /// Provenance of one cached arrival (shard mode only).
+  struct ArrivalRec {
+    uint64_t gseq;
+    bool broadcast;
+    Timestamp ts;
+  };
+
+  /// Stages the provenance tag of the pair about to be attempted
+  /// (processing regime: wrapper orders by arrival seqs).
+  void SetCurPair(uint64_t lseq, uint64_t rseq) {
+    if (!shard_mode_) return;
+    const ArrivalRec& l = left_arr_.at(lseq);
+    const ArrivalRec& r = right_arr_.at(rseq);
+    cur_ = {0, l.gseq, r.gseq, {}, {}};
+    cur_suppress_ = shard_index_ > 0 && l.broadcast && r.broadcast;
+  }
+  /// Event-regime variant: the wrapper orders pairs within a fired end
+  /// by the members' event order, so the tag carries the tuples.
+  void SetCurPairEvent(Timestamp end, uint64_t lseq, uint64_t rseq,
+                       const TupleRef& l, const TupleRef& r) {
+    if (!shard_mode_) return;
+    cur_ = {end, 0, 0, l, r};
+    cur_suppress_ = shard_index_ > 0 && left_arr_.at(lseq).broadcast &&
+                    right_arr_.at(rseq).broadcast;
+  }
+  /// Books the staged tag; false when the pair is a cross-shard
+  /// duplicate (both members broadcast, owned by shard 0).
+  bool RecordPair() {
+    if (!shard_mode_) return true;
+    if (cur_suppress_) return false;
+    pair_tags_.push_back(cur_);
+    return true;
+  }
+
+  void SweepArrivals(size_t port) {
+    auto& arr = port == 0 ? left_arr_ : right_arr_;
+    const TupleCache& cache = port == 0 ? left_ : right_;
+    for (auto it = arr.begin(); it != arr.end();) {
+      if (cache.Live(it->first, it->second.ts)) {
+        ++it;
+      } else {
+        it = arr.erase(it);
+      }
+    }
+  }
 
   /// Processing-time probe loop: left cache in arrival order, each tuple
   /// probing the right-side hash index. Candidates come back in right
@@ -764,6 +949,7 @@ class JoinOperator : public Operator {
       return Status::OK();
     }
     if (!KeysMatch(*le.tuple, r)) return Status::OK();
+    SetCurPair(le.seq, right_seq);
     return EmitIfResidual(*le.tuple, r, tgran, out);
   }
 
@@ -790,6 +976,7 @@ class JoinOperator : public Operator {
                        : oldest_right == stt::kNoWatermark
                            ? oldest_left
                            : std::min(oldest_left, oldest_right);
+    oldest = oldest_override_.value_or(oldest);
     const auto& tgran = output_schema()->temporal_granularity();
     for (Timestamp end : event_.Advance(horizon, oldest)) {
       Timestamp begin = end - event_.effective_window();
@@ -809,6 +996,7 @@ class JoinOperator : public Operator {
             Timestamp pair_ts =
                 std::max(le->tuple->timestamp(), re->tuple->timestamp());
             if (pair_ts < end - interval()) continue;
+            SetCurPairEvent(end, le->seq, re->seq, le->tuple, re->tuple);
             SL_RETURN_IF_ERROR(naive_
                                    ? JoinPairNaive(*le->tuple, *re->tuple,
                                                    tgran, &out)
@@ -843,21 +1031,25 @@ class JoinOperator : public Operator {
       JoinKeyInfo probe = MakeJoinKeyInfo(*le->tuple, left_cols_);
       if (probe.has_null) continue;
       const Tuple& l = *le->tuple;
-      auto try_pair = [&](const Tuple& r) -> Status {
+      auto try_pair = [&](const TupleCache::Entry& rent) -> Status {
+        const Tuple& r = *rent.tuple;
         Timestamp pair_ts = std::max(l.timestamp(), r.timestamp());
         if (pair_ts < end - interval()) return Status::OK();
         if (!KeysMatch(l, r)) return Status::OK();
+        SetCurPairEvent(end, le->seq, rent.seq, le->tuple, rent.tuple);
         return EmitIfResidual(l, r, tgran, out);
       };
       if (probe.has_nan) {
         for (const auto* re : rview) {
-          SL_RETURN_IF_ERROR(try_pair(*re->tuple));
+          SL_RETURN_IF_ERROR(try_pair(*re));
         }
         continue;
       }
       index.Candidates(probe, &cand);
       for (const auto* slot : cand) {
-        SL_RETURN_IF_ERROR(try_pair(*slot->tuple));
+        // Slot seq is the view position (keeps candidate enumeration in
+        // view order); the view entry carries the cache seq.
+        SL_RETURN_IF_ERROR(try_pair(*rview[slot->seq]));
       }
     }
     return Status::OK();
@@ -865,7 +1057,8 @@ class JoinOperator : public Operator {
 
   /// Materializes the concatenated tuple for a matching pair.
   void AddJoined(const Tuple& l, const Tuple& r, Timestamp ts,
-                 stt::RefBatch* out) const {
+                 stt::RefBatch* out) {
+    if (!RecordPair()) return;
     std::vector<Value> values;
     values.reserve(l.values().size() + r.values().size());
     values.insert(values.end(), l.values().begin(), l.values().end());
@@ -892,7 +1085,7 @@ class JoinOperator : public Operator {
     Tuple joined =
         Tuple::MakeUnsafe(output_schema(), std::move(values), ts, loc);
     SL_ASSIGN_OR_RETURN(bool match, predicate_.EvalPredicate(joined));
-    if (match) out->Add(Tuple::Share(std::move(joined)));
+    if (match && RecordPair()) out->Add(Tuple::Share(std::move(joined)));
     return Status::OK();
   }
 
@@ -941,6 +1134,17 @@ class JoinOperator : public Operator {
   // Sequence watermarks of the previous flush (processing-time sliding).
   uint64_t left_seen_ = 0;
   uint64_t right_seen_ = 0;
+  // Shard mode (key-partitioned wrapper).
+  bool shard_mode_ = false;
+  size_t shard_index_ = 0;
+  uint64_t pending_gseq_ = 0;
+  bool pending_broadcast_ = false;
+  std::unordered_map<uint64_t, ArrivalRec> left_arr_;
+  std::unordered_map<uint64_t, ArrivalRec> right_arr_;
+  PairTag cur_{};
+  bool cur_suppress_ = false;
+  std::vector<PairTag> pair_tags_;
+  std::optional<Timestamp> oldest_override_;
 };
 
 /// (+)_{ON/OFF,t}(s, {s1..sn}, cond) — pass-through stream, periodic
@@ -980,7 +1184,13 @@ class TriggerOperator : public Operator {
         break;
       }
     }
-    if (fired) FireActivation(now);
+    if (fired) {
+      if (shard_mode_) {
+        fired_.push_back(now);
+      } else {
+        FireActivation(now);
+      }
+    }
     if (spec_.window == 0) cache_.Clear();
     stats_.cache_size = cache_.size();
     return Status::OK();
@@ -988,6 +1198,29 @@ class TriggerOperator : public Operator {
 
   // No output_watermark override: the output stream is the pass-through
   // stream, so the input frontier is the right promise for it.
+
+  // -- shard-mode hooks (key-partitioned wrapper) --------------------------
+  //
+  // A shard only sees its partition's tuples, so its condition hit is a
+  // partial verdict: it records the windows that fired instead of
+  // activating, and the wrapper ORs the verdicts across shards and
+  // fires each window exactly once.
+
+  void EnableShardMode(size_t) { shard_mode_ = true; }
+  Timestamp OldestCachedTs() const { return OldestTs(cache_); }
+  void SetOldestOverride(Timestamp t) { oldest_override_ = t; }
+  /// Windows whose condition held since the last flush: the flush tick
+  /// (processing regime) or the fired ends (event regime).
+  std::vector<Timestamp> TakeFired() { return std::move(fired_); }
+
+  // Rescale support: state export + event-grid restore.
+  const TupleCache& shard_cache() const { return cache_; }
+  Timestamp shard_fired_end() const {
+    return event_.initialized() ? event_.fired_end() : stt::kNoWatermark;
+  }
+  void RestoreFiredEnd(Timestamp end) {
+    event_.Advance(end, stt::kNoWatermark);
+  }
 
  private:
   /// Event-time regime: the condition is checked once per aligned window
@@ -997,7 +1230,8 @@ class TriggerOperator : public Operator {
     Timestamp horizon = input_watermark();
     if (horizon == stt::kNoWatermark) return Status::OK();
     horizon -= watermark_options().allowed_lateness;
-    for (Timestamp end : event_.Advance(horizon, OldestTs(cache_))) {
+    Timestamp oldest = oldest_override_.value_or(OldestTs(cache_));
+    for (Timestamp end : event_.Advance(horizon, oldest)) {
       auto view = WindowView(cache_, end - event_.effective_window(), end,
                              /*sorted=*/true);
       event_.MarkFired(end);
@@ -1009,7 +1243,13 @@ class TriggerOperator : public Operator {
           break;
         }
       }
-      if (fired) FireActivation(now);
+      if (fired) {
+        if (shard_mode_) {
+          fired_.push_back(end);
+        } else {
+          FireActivation(now);
+        }
+      }
     }
     if (event_.initialized()) cache_.EvictOlderThan(event_.EvictionCutoff());
     stats_.cache_size = cache_.size();
@@ -1032,6 +1272,588 @@ class TriggerOperator : public Operator {
   ActivationHandler* activation_;
   TupleCache cache_;
   EventWindow event_{spec_.interval, spec_.window};
+  // Shard mode (key-partitioned wrapper).
+  bool shard_mode_ = false;
+  std::optional<Timestamp> oldest_override_;
+  std::vector<Timestamp> fired_;
+};
+
+// ---------------------------------------------------------------------------
+// Key-partitioned parallelism: N shard instances behind one Operator.
+//
+// The wrapper is the splitter and the merger in one object: Process
+// routes each tuple to the shard owning its partition key, Flush runs
+// every shard and re-emits their results in the exact order the single
+// instance would have produced — so to the executor (placement, edges,
+// flush timers, watermarks) a partitioned operator is indistinguishable
+// from a plain one, and to the sink an N-shard deployment is
+// bit-identical to N = 1.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over the display form of the partition columns — the same
+/// identity GroupKey uses, so a group always lands on one shard.
+uint64_t PartitionHash(const Tuple& t, const std::vector<size_t>& cols) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t idx : cols) {
+    for (unsigned char c : t.value(idx).ToString()) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Shared plumbing of the three partitioned wrappers: owns the shards,
+/// fans watermark observations out to them (identical frontiers are
+/// what keeps their event grids in lockstep), sums their gauges, and
+/// captures their flush emissions for the kind-specific merge.
+template <typename Inner>
+class PartitionedBase : public Operator {
+ public:
+  using ShardFactory = std::function<Result<std::unique_ptr<Inner>>(size_t)>;
+
+  PartitionedBase(std::string name, OpKind kind, stt::SchemaPtr out_schema,
+                  Duration interval,
+                  std::vector<std::unique_ptr<Inner>> shards,
+                  ShardFactory factory)
+      : Operator(std::move(name), kind, std::move(out_schema), interval),
+        factory_(std::move(factory)) {
+    AdoptShards(std::move(shards));
+  }
+
+  size_t parallelism() const override { return shards_.size(); }
+
+  const OperatorStats* instance_stats(size_t k) const override {
+    return k < shards_.size() ? &shards_[k]->stats() : nullptr;
+  }
+
+  void ObserveWatermark(size_t port, Timestamp watermark) override {
+    Operator::ObserveWatermark(port, watermark);
+    for (auto& s : shards_) s->ObserveWatermark(port, watermark);
+  }
+
+  void ResetWindowCounters() override {
+    Operator::ResetWindowCounters();
+    for (auto& s : shards_) s->ResetWindowCounters();
+  }
+
+  Timestamp output_watermark() const override {
+    // Min over shards. Identical frontiers and the shared oldest anchor
+    // keep every shard's promise equal, so this is the N = 1 value.
+    Timestamp min = stt::kNoWatermark;
+    for (const auto& s : shards_) {
+      Timestamp w = s->output_watermark();
+      if (w == stt::kNoWatermark) return stt::kNoWatermark;
+      if (min == stt::kNoWatermark || w < min) min = w;
+    }
+    return min;
+  }
+
+ protected:
+  /// One emission captured during a shard flush, with the window tag it
+  /// belonged to (aggregation only; joins carry provenance separately).
+  struct CapturedRow {
+    size_t shard;
+    Timestamp tag;
+    TupleRef tuple;
+  };
+
+  /// Takes ownership of a shard set, rewiring emit hooks. Outside a
+  /// flush (trigger pass-through) shard emissions flow straight out.
+  void AdoptShards(std::vector<std::unique_ptr<Inner>> shards) {
+    shards_ = std::move(shards);
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      Inner* shard = shards_[k].get();
+      shard->EnableShardMode(k);
+      shard->set_emit([this, shard, k](const TupleRef& t) {
+        if (capturing_) {
+          captured_.push_back({k, ShardTagOf(*shard), t});
+        } else {
+          Emit(t);
+        }
+      });
+      shard->set_late_emit([this](const TupleRef& t) { ForwardLate(t); });
+    }
+  }
+
+  /// Tag of the emission being captured; kinds that do not tag rows
+  /// leave it at 0.
+  virtual Timestamp ShardTagOf(const Inner& shard) const {
+    (void)shard;
+    return 0;
+  }
+
+  /// Flushes every shard in index order with emissions diverted into
+  /// `captured_` for the caller's merge.
+  Status FlushShards(Timestamp now) {
+    captured_.clear();
+    capturing_ = true;
+    Status status = Status::OK();
+    for (auto& s : shards_) {
+      status = s->Flush(now);
+      if (!status.ok()) break;
+    }
+    capturing_ = false;
+    return status;
+  }
+
+  /// Sums the cache/lateness gauges over the shards; the in/out/flush
+  /// counters stay wrapper-maintained (a broadcast counts once).
+  void RefreshGauges() {
+    stats_.dropped = 0;
+    stats_.cache_size = 0;
+    stats_.late_dropped = 0;
+    stats_.late_routed = 0;
+    for (const auto& s : shards_) {
+      stats_.dropped += s->stats().dropped;
+      stats_.cache_size += s->stats().cache_size;
+      stats_.late_dropped += s->stats().late_dropped;
+      stats_.late_routed += s->stats().late_routed;
+    }
+  }
+
+  /// Aligns every shard's event grid on the globally oldest cached
+  /// event time, so all grids anchor (and from then on fire) the exact
+  /// window-end sequence the single instance would have.
+  void SyncEventOldest() {
+    if (!event_time()) return;
+    Timestamp oldest = stt::kNoWatermark;
+    for (const auto& s : shards_) {
+      Timestamp t = s->OldestCachedTs();
+      if (t == stt::kNoWatermark) continue;
+      if (oldest == stt::kNoWatermark || t < oldest) oldest = t;
+    }
+    for (auto& s : shards_) s->SetOldestOverride(oldest);
+  }
+
+  /// Highest fired window end across shards (kNoWatermark before any
+  /// grid initialized) — the anchor a rescaled shard set restores.
+  Timestamp FiredEnd() const {
+    Timestamp fired = stt::kNoWatermark;
+    for (const auto& s : shards_) {
+      Timestamp f = s->shard_fired_end();
+      if (f == stt::kNoWatermark) continue;
+      if (fired == stt::kNoWatermark || f > fired) fired = f;
+    }
+    return fired;
+  }
+
+  /// Builds a fresh shard set of size `n`, event grids restored to the
+  /// current fired end.
+  Result<std::vector<std::unique_ptr<Inner>>> MakeShardSet(size_t n) {
+    Timestamp fired = FiredEnd();
+    std::vector<std::unique_ptr<Inner>> next;
+    next.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      SL_ASSIGN_OR_RETURN(std::unique_ptr<Inner> shard, factory_(k));
+      if (fired != stt::kNoWatermark) shard->RestoreFiredEnd(fired);
+      next.push_back(std::move(shard));
+    }
+    return next;
+  }
+
+  std::vector<std::unique_ptr<Inner>> shards_;
+  ShardFactory factory_;
+  bool capturing_ = false;
+  std::vector<CapturedRow> captured_;
+};
+
+/// Aggregation splitter/merger. Routing is by group key (or a declared
+/// subset of it), so every group is wholly owned by one shard; the merge
+/// re-sorts each fired window's rows into the ascending-key order the
+/// single instance emits, and re-creates the sliding-regime "emit only
+/// when the window changed" dedup from the combined shard signatures
+/// (a global window changed iff some shard's slice changed — shards
+/// partition the window).
+class PartitionedAggregation : public PartitionedBase<AggregationOperator> {
+ public:
+  PartitionedAggregation(
+      std::string name, stt::SchemaPtr out_schema, const AggregationSpec& spec,
+      std::vector<size_t> part_cols,
+      std::vector<std::unique_ptr<AggregationOperator>> shards,
+      ShardFactory factory)
+      : PartitionedBase(std::move(name), OpKind::kAggregation,
+                        std::move(out_schema), spec.interval,
+                        std::move(shards), std::move(factory)),
+        sliding_(spec.window > 0),
+        group_count_(spec.group_by.size()),
+        part_cols_(std::move(part_cols)),
+        empty_sig_(SeqSignatureOf({})) {}
+
+  int route_instance(size_t, const TupleRef& tuple) const override {
+    return static_cast<int>(PartitionHash(*tuple, part_cols_) %
+                            shards_.size());
+  }
+
+  Status Process(size_t port, const TupleRef& tuple) override {
+    CountIn();
+    Status status = shards_[route_instance(port, tuple)]->Process(port, tuple);
+    RefreshGauges();
+    return status;
+  }
+
+  Status Flush(Timestamp now) override {
+    ++stats_.flushes;
+    SyncEventOldest();
+    SL_RETURN_IF_ERROR(FlushShards(now));
+    std::vector<std::vector<AggregationOperator::ShardSig>> sigs;
+    sigs.reserve(shards_.size());
+    for (auto& s : shards_) sigs.push_back(s->TakeShardSigs());
+    if (sliding_) {
+      // Windows fire in lockstep across shards, so shard 0's signature
+      // list enumerates every fired window in ascending order — also
+      // the ones that produced no rows anywhere, which the single
+      // instance skips without touching its dedup state.
+      std::vector<uint64_t> combined(shards_.size());
+      for (size_t i = 0; i < sigs[0].size(); ++i) {
+        bool all_empty = true;
+        for (size_t k = 0; k < shards_.size(); ++k) {
+          combined[k] = i < sigs[k].size() ? sigs[k][i].sig : empty_sig_;
+          all_empty = all_empty && combined[k] == empty_sig_;
+        }
+        if (all_empty) continue;
+        bool changed = !has_last_ || combined != last_combined_;
+        last_combined_ = combined;
+        has_last_ = true;
+        if (changed) EmitWindow(sigs[0][i].tag);
+      }
+    } else {
+      std::vector<Timestamp> tags;
+      tags.reserve(captured_.size());
+      for (const auto& row : captured_) tags.push_back(row.tag);
+      std::sort(tags.begin(), tags.end());
+      tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+      for (Timestamp tag : tags) EmitWindow(tag);
+    }
+    RefreshGauges();
+    return Status::OK();
+  }
+
+  Status Rescale(size_t n) override {
+    if (n == 0) {
+      return Status::InvalidArgument("parallelism must be at least 1");
+    }
+    if (n == shards_.size()) return Status::OK();
+    SL_ASSIGN_OR_RETURN(auto next, MakeShardSet(n));
+    std::vector<std::unique_ptr<AggregationOperator>> old =
+        std::move(shards_);
+    AdoptShards(std::move(next));
+    // Shard-major replay through the normal Process path: every group
+    // lives wholly inside one old and one new shard, so each group's
+    // fold order (and with it every floating-point result) survives.
+    capturing_ = true;  // replayed Process must not leak emissions
+    Status status = Status::OK();
+    for (const auto& s : old) {
+      for (const auto& e : s->shard_cache().entries()) {
+        status = shards_[route_instance(0, e.tuple)]->Process(0, e.tuple);
+        if (!status.ok()) break;
+      }
+      if (!status.ok()) break;
+    }
+    capturing_ = false;
+    captured_.clear();
+    // Signatures are per shard count: the dedup state cannot carry
+    // over, so the first post-rescale sliding window always emits (a
+    // possible one-off re-emission of an unchanged window).
+    has_last_ = false;
+    last_combined_.clear();
+    RefreshGauges();
+    return status;
+  }
+
+ protected:
+  Timestamp ShardTagOf(const AggregationOperator& shard) const override {
+    return shard.shard_tag();
+  }
+
+ private:
+  /// Emits one fired window's rows in ascending group-key order (keys
+  /// are disjoint across shards, so this is a pure merge).
+  void EmitWindow(Timestamp tag) {
+    std::vector<std::pair<std::string, const TupleRef*>> rows;
+    for (const auto& row : captured_) {
+      if (row.tag != tag) continue;
+      std::string key;
+      for (size_t i = 0; i < group_count_; ++i) {
+        key += row.tuple->value(i).ToString();
+        key += '\x1f';
+      }
+      rows.emplace_back(std::move(key), &row.tuple);
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (const auto& [key, tuple] : rows) Emit(*tuple);
+  }
+
+  bool sliding_;
+  size_t group_count_;
+  std::vector<size_t> part_cols_;
+  uint64_t empty_sig_;
+  std::vector<uint64_t> last_combined_;
+  bool has_last_ = false;
+};
+
+/// Join splitter/merger. Routing hashes the equality-key columns (or a
+/// declared subset): matching pairs share those keys, so they meet on
+/// one shard. NaN keys compare equal to everything and are broadcast;
+/// null keys match nothing and are parked on shard 0. The merge re-sorts
+/// the pairs by the provenance each shard records — wrapper arrival
+/// order in the processing regime, member event order per fired end in
+/// the event regime — which is exactly the single instance's
+/// enumeration order.
+class PartitionedJoin : public PartitionedBase<JoinOperator> {
+ public:
+  PartitionedJoin(std::string name, stt::SchemaPtr out_schema,
+                  const JoinSpec& spec, std::vector<size_t> part_left,
+                  std::vector<size_t> part_right,
+                  std::vector<std::unique_ptr<JoinOperator>> shards,
+                  ShardFactory factory)
+      : PartitionedBase(std::move(name), OpKind::kJoin,
+                        std::move(out_schema), spec.interval,
+                        std::move(shards), std::move(factory)),
+        part_left_(std::move(part_left)),
+        part_right_(std::move(part_right)) {}
+
+  int route_instance(size_t port, const TupleRef& tuple) const override {
+    JoinKeyInfo key =
+        MakeJoinKeyInfo(*tuple, port == 0 ? part_left_ : part_right_);
+    if (key.has_nan) return -1;  // equals every key: broadcast
+    if (key.has_null) return 0;  // equals nothing: park on shard 0
+    return static_cast<int>(key.hash % shards_.size());
+  }
+
+  Status Process(size_t port, const TupleRef& tuple) override {
+    CountIn();
+    if (port > 1) {
+      return Status::InvalidArgument(
+          StrFormat("join has inputs 0 and 1, got port %zu", port));
+    }
+    uint64_t gseq = port == 0 ? next_left_gseq_++ : next_right_gseq_++;
+    int target = route_instance(port, tuple);
+    Status status = Status::OK();
+    if (target < 0) {
+      for (auto& s : shards_) {
+        s->SetPendingArrival(gseq, /*broadcast=*/true);
+        status = s->Process(port, tuple);
+        if (!status.ok()) break;
+      }
+    } else {
+      shards_[target]->SetPendingArrival(gseq, /*broadcast=*/false);
+      status = shards_[target]->Process(port, tuple);
+    }
+    RefreshGauges();
+    return status;
+  }
+
+  Status Flush(Timestamp now) override {
+    ++stats_.flushes;
+    SyncEventOldest();
+    SL_RETURN_IF_ERROR(FlushShards(now));
+    // Pair rows with their provenance: shard emissions and tag records
+    // are kept in lockstep, so tags[k][i] describes shard k's i-th
+    // captured row.
+    std::vector<std::vector<JoinOperator::PairTag>> tags(shards_.size());
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      tags[k] = shards_[k]->TakePairTags();
+    }
+    struct Item {
+      const JoinOperator::PairTag* tag;
+      const TupleRef* row;
+    };
+    std::vector<Item> items;
+    items.reserve(captured_.size());
+    std::vector<size_t> cursor(shards_.size(), 0);
+    for (const auto& row : captured_) {
+      items.push_back({&tags[row.shard][cursor[row.shard]++], &row.tuple});
+    }
+    bool event = event_time();
+    std::stable_sort(
+        items.begin(), items.end(), [event](const Item& a, const Item& b) {
+          if (a.tag->end != b.tag->end) return a.tag->end < b.tag->end;
+          if (!event) {
+            if (a.tag->lg != b.tag->lg) return a.tag->lg < b.tag->lg;
+            return a.tag->rg < b.tag->rg;
+          }
+          if (EventOrderLess(*a.tag->l, *b.tag->l)) return true;
+          if (EventOrderLess(*b.tag->l, *a.tag->l)) return false;
+          if (EventOrderLess(*a.tag->r, *b.tag->r)) return true;
+          return false;
+        });
+    for (const auto& item : items) Emit(*item.row);
+    RefreshGauges();
+    return Status::OK();
+  }
+
+  Status Rescale(size_t n) override {
+    if (n == 0) {
+      return Status::InvalidArgument("parallelism must be at least 1");
+    }
+    if (n == shards_.size()) return Status::OK();
+    // Export both caches with provenance, de-duplicating broadcast
+    // copies (same wrapper seq on every shard) and restoring wrapper
+    // arrival order.
+    std::vector<JoinOperator::ShardEntry> lefts;
+    std::vector<JoinOperator::ShardEntry> rights;
+    for (const auto& s : shards_) s->ExportShard(&lefts, &rights);
+    auto tidy = [](std::vector<JoinOperator::ShardEntry>* v) {
+      std::stable_sort(v->begin(), v->end(),
+                       [](const auto& a, const auto& b) {
+                         return a.gseq < b.gseq;
+                       });
+      v->erase(std::unique(v->begin(), v->end(),
+                           [](const auto& a, const auto& b) {
+                             return a.gseq == b.gseq;
+                           }),
+               v->end());
+    };
+    tidy(&lefts);
+    tidy(&rights);
+    SL_ASSIGN_OR_RETURN(auto next, MakeShardSet(n));
+    AdoptShards(std::move(next));
+    capturing_ = true;  // replayed Process must not leak emissions
+    auto feed = [this](const JoinOperator::ShardEntry& e,
+                       size_t port) -> Status {
+      int target = route_instance(port, e.tuple);
+      if (target < 0) {
+        for (auto& s : shards_) {
+          s->SetPendingArrival(e.gseq, /*broadcast=*/true);
+          SL_RETURN_IF_ERROR(s->Process(port, e.tuple));
+        }
+        return Status::OK();
+      }
+      shards_[target]->SetPendingArrival(e.gseq, /*broadcast=*/false);
+      return shards_[target]->Process(port, e.tuple);
+    };
+    // Already-paired tuples first, then fix the seen marks over exactly
+    // them, then the rest — reproducing each shard's sliding-regime
+    // "pair once" bookkeeping for the new partitioning.
+    Status status = Status::OK();
+    for (const auto& e : lefts) {
+      if (e.seen && !(status = feed(e, 0)).ok()) break;
+    }
+    if (status.ok()) {
+      for (const auto& e : rights) {
+        if (e.seen && !(status = feed(e, 1)).ok()) break;
+      }
+    }
+    for (auto& s : shards_) s->MarkAllSeen();
+    if (status.ok()) {
+      for (const auto& e : lefts) {
+        if (!e.seen && !(status = feed(e, 0)).ok()) break;
+      }
+    }
+    if (status.ok()) {
+      for (const auto& e : rights) {
+        if (!e.seen && !(status = feed(e, 1)).ok()) break;
+      }
+    }
+    capturing_ = false;
+    captured_.clear();
+    RefreshGauges();
+    return status;
+  }
+
+ private:
+  std::vector<size_t> part_left_;
+  std::vector<size_t> part_right_;
+  uint64_t next_left_gseq_ = 0;
+  uint64_t next_right_gseq_ = 0;
+};
+
+/// Trigger splitter/merger. The pass-through stream flows straight out
+/// in arrival order; the condition verdicts are partial (each shard only
+/// sees its keys), so the wrapper ORs the shards' fired windows and
+/// performs each activation exactly once.
+class PartitionedTrigger : public PartitionedBase<TriggerOperator> {
+ public:
+  PartitionedTrigger(std::string name, OpKind kind, stt::SchemaPtr out_schema,
+                     const TriggerSpec& spec, ActivationHandler* activation,
+                     std::vector<size_t> part_cols,
+                     std::vector<std::unique_ptr<TriggerOperator>> shards,
+                     ShardFactory factory)
+      : PartitionedBase(std::move(name), kind, std::move(out_schema),
+                        spec.interval, std::move(shards), std::move(factory)),
+        activation_(activation),
+        targets_(spec.target_sensors),
+        part_cols_(std::move(part_cols)) {}
+
+  int route_instance(size_t, const TupleRef& tuple) const override {
+    return static_cast<int>(PartitionHash(*tuple, part_cols_) %
+                            shards_.size());
+  }
+
+  Status Process(size_t port, const TupleRef& tuple) override {
+    CountIn();
+    // The shard's pass-through emission flows straight out (capture is
+    // off outside flushes), preserving arrival order.
+    Status status = shards_[route_instance(port, tuple)]->Process(port, tuple);
+    RefreshGauges();
+    return status;
+  }
+
+  Status Flush(Timestamp now) override {
+    ++stats_.flushes;
+    SyncEventOldest();
+    SL_RETURN_IF_ERROR(FlushShards(now));
+    std::vector<Timestamp> fired;
+    for (auto& s : shards_) {
+      auto f = s->TakeFired();
+      fired.insert(fired.end(), f.begin(), f.end());
+    }
+    // One activation per fired window, ascending, however many shards
+    // saw a hit in it.
+    std::sort(fired.begin(), fired.end());
+    fired.erase(std::unique(fired.begin(), fired.end()), fired.end());
+    for (size_t i = 0; i < fired.size(); ++i) FireActivation(now);
+    RefreshGauges();
+    return Status::OK();
+  }
+
+  Status Rescale(size_t n) override {
+    if (n == 0) {
+      return Status::InvalidArgument("parallelism must be at least 1");
+    }
+    if (n == shards_.size()) return Status::OK();
+    SL_ASSIGN_OR_RETURN(auto next, MakeShardSet(n));
+    std::vector<std::unique_ptr<TriggerOperator>> old = std::move(shards_);
+    AdoptShards(std::move(next));
+    // Capture (and discard) the replayed pass-through emissions: they
+    // already went downstream when the tuples first arrived.
+    capturing_ = true;
+    Status status = Status::OK();
+    for (const auto& s : old) {
+      for (const auto& e : s->shard_cache().entries()) {
+        status = shards_[route_instance(0, e.tuple)]->Process(0, e.tuple);
+        if (!status.ok()) break;
+      }
+      if (!status.ok()) break;
+    }
+    capturing_ = false;
+    captured_.clear();
+    for (auto& s : shards_) s->TakeFired();  // verdicts of replayed flushes
+    RefreshGauges();
+    return status;
+  }
+
+ private:
+  void FireActivation(Timestamp now) {
+    ++stats_.trigger_fires;
+    if (activation_ != nullptr) {
+      if (kind() == OpKind::kTriggerOn) {
+        activation_->ActivateSensors(targets_, now);
+      } else {
+        activation_->DeactivateSensors(targets_, now);
+      }
+    }
+  }
+
+  ActivationHandler* activation_;
+  std::vector<std::string> targets_;
+  std::vector<size_t> part_cols_;
 };
 
 }  // namespace
@@ -1098,9 +1920,50 @@ Result<std::unique_ptr<Operator>> MakeOperator(
     }
     case OpKind::kAggregation: {
       const auto& s = std::get<AggregationSpec>(spec);
-      built.reset(new AggregationOperator(name, out_schema, in, s,
-                                          options.max_cache_tuples,
-                                          options.naive_blocking));
+      if (s.parallelism <= 1) {
+        built.reset(new AggregationOperator(name, out_schema, in, s,
+                                            options.max_cache_tuples,
+                                            options.naive_blocking));
+        break;
+      }
+      // Partitioned deployment: route by group key (or the declared
+      // subset of it — either way every group is owned by one shard).
+      const auto& part_names =
+          s.partition_by.empty() ? s.group_by : s.partition_by;
+      if (part_names.empty()) {
+        return Status::InvalidArgument(
+            "parallel aggregation '" + name +
+            "' needs a partition key: declare group_by or partition_by");
+      }
+      for (const auto& p : s.partition_by) {
+        if (std::find(s.group_by.begin(), s.group_by.end(), p) ==
+            s.group_by.end()) {
+          return Status::InvalidArgument(
+              "partition_by attribute '" + p + "' of '" + name +
+              "' is not among the group-by keys");
+        }
+      }
+      std::vector<size_t> part_cols;
+      for (const auto& p : part_names) {
+        SL_ASSIGN_OR_RETURN(size_t idx, in->FieldIndex(p));
+        part_cols.push_back(idx);
+      }
+      auto make_shard = [name, out_schema, in, s, options](size_t k)
+          -> Result<std::unique_ptr<AggregationOperator>> {
+        auto shard = std::make_unique<AggregationOperator>(
+            name + "#" + std::to_string(k), out_schema, in, s,
+            options.max_cache_tuples, options.naive_blocking);
+        shard->set_watermark_options(options.watermark);
+        return shard;
+      };
+      std::vector<std::unique_ptr<AggregationOperator>> shards;
+      for (size_t k = 0; k < s.parallelism; ++k) {
+        SL_ASSIGN_OR_RETURN(auto shard, make_shard(k));
+        shards.push_back(std::move(shard));
+      }
+      built.reset(new PartitionedAggregation(name, out_schema, s,
+                                             std::move(part_cols),
+                                             std::move(shards), make_shard));
       break;
     }
     case OpKind::kJoin: {
@@ -1126,10 +1989,82 @@ Result<std::unique_ptr<Operator>> MakeOperator(
         left_cols.push_back(c.left_index);
         right_cols.push_back(c.right_index - split);
       }
-      built.reset(new JoinOperator(
-          name, out_schema, s, std::move(pred), std::move(residual),
-          std::move(left_cols), std::move(right_cols), split,
-          options.naive_blocking, options.max_cache_tuples));
+      if (s.parallelism <= 1) {
+        built.reset(new JoinOperator(
+            name, out_schema, s, std::move(pred), std::move(residual),
+            std::move(left_cols), std::move(right_cols), split,
+            options.naive_blocking, options.max_cache_tuples));
+        break;
+      }
+      // Partitioned deployment: route by equality-key columns (or the
+      // declared subset), side-local on each input — matching pairs
+      // share those keys, so they meet on one shard.
+      if (!analysis.has_equi()) {
+        return Status::InvalidArgument(
+            "parallel join '" + name +
+            "' needs at least one equality conjunct to partition on");
+      }
+      std::vector<size_t> part_left;
+      std::vector<size_t> part_right;
+      if (s.partition_by.empty()) {
+        part_left = left_cols;
+        part_right = right_cols;
+      } else {
+        for (const auto& p : s.partition_by) {
+          SL_ASSIGN_OR_RETURN(size_t idx, out_schema->FieldIndex(p));
+          bool matched = false;
+          for (const dataflow::EquiConjunct& c : analysis.equi) {
+            if (c.left_index == idx || c.right_index == idx) {
+              part_left.push_back(c.left_index);
+              part_right.push_back(c.right_index - split);
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            return Status::InvalidArgument(
+                "partition_by attribute '" + p + "' of join '" + name +
+                "' is not an equality-join key");
+          }
+        }
+      }
+      auto make_shard = [name, out_schema, s, split, options](size_t k)
+          -> Result<std::unique_ptr<JoinOperator>> {
+        SL_ASSIGN_OR_RETURN(expr::BoundExpr shard_pred,
+                            expr::BoundExpr::Parse(s.predicate, out_schema));
+        dataflow::JoinPredicateAnalysis shard_analysis =
+            dataflow::AnalyzeJoinPredicate(shard_pred.expr(), *out_schema,
+                                           split);
+        std::optional<expr::BoundExpr> shard_residual;
+        if (shard_analysis.has_equi() && shard_analysis.residual != nullptr) {
+          SL_ASSIGN_OR_RETURN(
+              expr::BoundExpr bound,
+              expr::BoundExpr::Bind(shard_analysis.residual, out_schema));
+          shard_residual = std::move(bound);
+        }
+        std::vector<size_t> shard_left;
+        std::vector<size_t> shard_right;
+        for (const dataflow::EquiConjunct& c : shard_analysis.equi) {
+          shard_left.push_back(c.left_index);
+          shard_right.push_back(c.right_index - split);
+        }
+        auto shard = std::make_unique<JoinOperator>(
+            name + "#" + std::to_string(k), out_schema, s,
+            std::move(shard_pred), std::move(shard_residual),
+            std::move(shard_left), std::move(shard_right), split,
+            options.naive_blocking, options.max_cache_tuples);
+        shard->set_watermark_options(options.watermark);
+        return shard;
+      };
+      std::vector<std::unique_ptr<JoinOperator>> shards;
+      for (size_t k = 0; k < s.parallelism; ++k) {
+        SL_ASSIGN_OR_RETURN(auto shard, make_shard(k));
+        shards.push_back(std::move(shard));
+      }
+      built.reset(new PartitionedJoin(name, out_schema, s,
+                                      std::move(part_left),
+                                      std::move(part_right),
+                                      std::move(shards), make_shard));
       break;
     }
     case OpKind::kTriggerOn:
@@ -1142,9 +2077,44 @@ Result<std::unique_ptr<Operator>> MakeOperator(
             "trigger operator '" + name +
             "' needs an ActivationHandler (OperatorOptions::activation)");
       }
-      built.reset(new TriggerOperator(name, op, out_schema, s, std::move(cond),
-                                      options.activation,
-                                      options.max_cache_tuples));
+      if (s.parallelism <= 1) {
+        built.reset(new TriggerOperator(name, op, out_schema, s,
+                                        std::move(cond), options.activation,
+                                        options.max_cache_tuples));
+        break;
+      }
+      // Partitioned deployment: triggers have no implicit grouping key,
+      // so the partition key must be declared.
+      if (s.partition_by.empty()) {
+        return Status::InvalidArgument(
+            "parallel trigger '" + name +
+            "' requires an explicit partition_by");
+      }
+      std::vector<size_t> part_cols;
+      for (const auto& p : s.partition_by) {
+        SL_ASSIGN_OR_RETURN(size_t idx, in->FieldIndex(p));
+        part_cols.push_back(idx);
+      }
+      auto make_shard = [name, op, out_schema, in, s, options](size_t k)
+          -> Result<std::unique_ptr<TriggerOperator>> {
+        SL_ASSIGN_OR_RETURN(expr::BoundExpr shard_cond,
+                            expr::BoundExpr::Parse(s.condition, in));
+        auto shard = std::make_unique<TriggerOperator>(
+            name + "#" + std::to_string(k), op, out_schema, s,
+            std::move(shard_cond), options.activation,
+            options.max_cache_tuples);
+        shard->set_watermark_options(options.watermark);
+        return shard;
+      };
+      std::vector<std::unique_ptr<TriggerOperator>> shards;
+      for (size_t k = 0; k < s.parallelism; ++k) {
+        SL_ASSIGN_OR_RETURN(auto shard, make_shard(k));
+        shards.push_back(std::move(shard));
+      }
+      built.reset(new PartitionedTrigger(name, op, out_schema, s,
+                                         options.activation,
+                                         std::move(part_cols),
+                                         std::move(shards), make_shard));
       break;
     }
   }
