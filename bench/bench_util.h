@@ -103,6 +103,13 @@ class JsonResultReporter : public benchmark::ConsoleReporter {
           entry.ns_per_tuple = 1e9 / entry.tuples_per_sec;
         }
       }
+      // Any other user counter (latency percentiles, queue stats, …)
+      // rides along verbatim so the JSON needs no schema changes when a
+      // benchmark adds a measurement.
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "items_per_second") continue;
+        entry.counters.emplace_back(name, static_cast<double>(counter));
+      }
       entries_.push_back(std::move(entry));
     }
   }
@@ -129,6 +136,10 @@ class JsonResultReporter : public benchmark::ConsoleReporter {
         w.Key("ns_per_tuple");
         w.Double(entry.ns_per_tuple);
       }
+      for (const auto& [name, value] : entry.counters) {
+        w.Key(name);
+        w.Double(value);
+      }
       w.EndObject();
     }
     w.EndArray();
@@ -149,6 +160,7 @@ class JsonResultReporter : public benchmark::ConsoleReporter {
     double ns_per_iter = 0;
     double tuples_per_sec = 0;
     double ns_per_tuple = 0;
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   std::string suite_;

@@ -28,6 +28,10 @@ run_config() {
 
 run_config build
 run_config build-asan -DSL_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# ThreadSanitizer config: the multithreaded runtime's memory-ordering
+# proof. The full suite runs (TSan also re-checks the single-threaded
+# paths cheaply), then the threaded chaos tests repeat below.
+run_config build-tsan -DSL_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 echo "==> sl-lint: examples must be clean"
 sl_lint="${root}/build/tools/sl_lint"
@@ -63,6 +67,14 @@ echo "==> chaos suite under sanitizers, repeated"
 ctest --test-dir "${root}/build-asan" --output-on-failure \
   -R 'Chaos' --repeat-until-fail 3 -j "${jobs}"
 
+# Threaded runtime interleaving shake-out: repeat the threaded chaos
+# suite (backpressure saturation, shutdown-while-draining, SPSC stress)
+# under TSan, where scheduler jitter between repeats explores different
+# interleavings of the worker/driver threads.
+echo "==> threaded chaos suite under TSan, repeated"
+ctest --test-dir "${root}/build-tsan" --output-on-failure \
+  -R 'Chaos' --repeat-until-fail 3 -j "${jobs}"
+
 echo "==> fault benchmark"
 (cd "${root}/build" && ./bench/bench_faults --benchmark_min_time=0.01)
 cp "${root}/build/BENCH_faults.json" "${artifacts}/BENCH_faults.json"
@@ -92,5 +104,13 @@ echo "==> partition benchmark (key-partitioned operator scaling)"
 (cd "${root}/build" && ./bench/bench_partition --benchmark_min_time=0.01)
 cp "${root}/build/BENCH_partition.json" "${root}/BENCH_partition.json"
 cp "${root}/build/BENCH_partition.json" "${artifacts}/BENCH_partition.json"
+
+# Threaded-runtime throughput/latency: delivered tuples/sec plus
+# p50/p95/p99 Feed->sink latency counters per pipeline. Root copy so
+# the sim-vs-threaded performance gap is diffable per run.
+echo "==> threaded runtime benchmark (tuples/sec + latency percentiles)"
+(cd "${root}/build" && ./bench/bench_threaded --benchmark_min_time=0.05)
+cp "${root}/build/BENCH_threaded.json" "${root}/BENCH_threaded.json"
+cp "${root}/build/BENCH_threaded.json" "${artifacts}/BENCH_threaded.json"
 
 echo "==> all configs green (artifacts in ${artifacts}/)"

@@ -93,6 +93,17 @@ Result<exec::DeploymentId> StreamLoader::DeployDsn(
   return executor_->Deploy(spec);
 }
 
+Result<exec::ThreadedRunResult> StreamLoader::RunThreaded(
+    const dataflow::Dataflow& dataflow, const exec::InputTrace& trace,
+    Timestamp end_time, exec::ThreadedOptions options) {
+  options.naive_blocking = options.naive_blocking || options_.naive_blocking;
+  sinks::SinkContext sink_context;
+  sink_context.warehouse = warehouse_.get();
+  exec::ThreadedRuntime runtime(dataflow, broker_.get(), sink_context,
+                                std::move(options));
+  return runtime.RunTrace(trace, end_time);
+}
+
 std::string StreamLoader::MonitorView() const {
   const monitor::MonitorReport* latest = monitor_->latest();
   if (latest == nullptr) return "(no monitor report yet)";

@@ -30,6 +30,7 @@
 #include "dsn/parser.h"
 #include "dsn/translate.h"
 #include "exec/executor.h"
+#include "exec/threaded_runtime.h"
 #include "monitor/monitor.h"
 #include "net/event_loop.h"
 #include "net/network.h"
@@ -60,6 +61,12 @@ struct StreamLoaderOptions {
   /// (nested-loop join, full-recompute aggregation) instead of the
   /// hash/incremental fast paths — for equivalence checks and ablations.
   bool naive_blocking = false;
+  /// Which runtime RunThreaded-style execution uses. kSimulated (the
+  /// default) keeps every Deploy on the deterministic discrete-event
+  /// simulator — the semantic reference; kThreaded marks the session as
+  /// intending wall-clock execution (RunThreaded works in either mode,
+  /// this records the designer's choice and seeds its options).
+  exec::ExecutionMode execution = exec::ExecutionMode::kSimulated;
 };
 
 /// \brief One complete StreamLoader platform instance.
@@ -109,6 +116,19 @@ class StreamLoader {
 
   /// Deploys directly from DSN text.
   Result<exec::DeploymentId> DeployDsn(const std::string& dsn_text);
+
+  /// Executes `dataflow` on the wall-clock multithreaded runtime
+  /// (exec::ThreadedRuntime): validates against this session's broker,
+  /// replays `trace` (tuples per source with virtual ingestion times —
+  /// typically captured from a simulated run via
+  /// ExecutorOptions::source_tap) and drains at `end_time`. The
+  /// session's naive_blocking choice is inherited unless the options
+  /// already set it. The simulator deployments are untouched: this is
+  /// the ExecutionMode::kThreaded path, and the simulated run of the
+  /// same trace is its correctness oracle.
+  Result<exec::ThreadedRunResult> RunThreaded(
+      const dataflow::Dataflow& dataflow, const exec::InputTrace& trace,
+      Timestamp end_time, exec::ThreadedOptions options = {});
 
   Status Undeploy(exec::DeploymentId id) { return executor_->Undeploy(id); }
 

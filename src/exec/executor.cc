@@ -344,8 +344,12 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
           [this, dep, source_name, query](const stt::TupleRef& tuple) {
             if (!dep->active) return;
             ++dep->stats.tuples_ingested;
+            const Timestamp wm = broker_->WatermarkOf(query);
+            if (options_.source_tap) {
+              options_.source_tap(source_name, tuple, loop_->Now(), wm);
+            }
             Route(dep, source_name, ResolveOrigin(tuple->sensor_id()), tuple,
-                  broker_->WatermarkOf(query));
+                  wm);
           });
       dep->subscriptions.push_back(sub);
       continue;
@@ -356,8 +360,12 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
         [this, dep, source_name, sensor_id](const stt::TupleRef& tuple) {
           if (!dep->active) return;
           ++dep->stats.tuples_ingested;
+          const Timestamp wm = broker_->WatermarkOf(sensor_id);
+          if (options_.source_tap) {
+            options_.source_tap(source_name, tuple, loop_->Now(), wm);
+          }
           Route(dep, source_name, dep->source_nodes.at(source_name), tuple,
-                broker_->WatermarkOf(sensor_id));
+                wm);
         });
     if (!sub.ok()) return sub.status();
     dep->subscriptions.push_back(*sub);

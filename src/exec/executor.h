@@ -13,6 +13,7 @@
 #ifndef STREAMLOADER_EXEC_EXECUTOR_H_
 #define STREAMLOADER_EXEC_EXECUTOR_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -105,6 +106,16 @@ struct ExecutorOptions {
   /// Monitor ticks an operator sits out after a rescale before the
   /// policy may touch it again (the rescale itself perturbs the rates).
   int elastic_cooldown_ticks = 2;
+  /// \brief Observer of every tuple entering a source, invoked with the
+  /// source node name, the tuple, the virtual ingestion time and the
+  /// broker watermark piggybacked on the delivery. This is how the
+  /// sim-vs-threaded differential harness captures an exec::InputTrace
+  /// from a simulated run for replay through the ThreadedRuntime
+  /// (exec/threaded_runtime.h). Applies to every deployment; no effect
+  /// on execution.
+  std::function<void(const std::string& source, const stt::TupleRef& tuple,
+                     Timestamp at, Timestamp watermark)>
+      source_tap;
 };
 
 /// \brief Cumulative counters of one deployment.
@@ -149,6 +160,16 @@ class Executor : public ops::ActivationHandler {
   /// Routes trigger activations to this fleet (optional; without one,
   /// activations are only logged and counted).
   void set_fleet(sensors::SensorFleet* fleet) { fleet_ = fleet; }
+
+  /// Installs (or clears) the source tap after construction — how a
+  /// live StreamLoader session attaches the trace capture for a
+  /// threaded replay (see ExecutorOptions::source_tap).
+  void set_source_tap(
+      std::function<void(const std::string&, const stt::TupleRef&, Timestamp,
+                         Timestamp)>
+          tap) {
+    options_.source_tap = std::move(tap);
+  }
 
   /// \brief Deploys a DSN spec: lift to a dataflow, validate against
   /// the broker, place, wire, start flush timers, subscribe sources.

@@ -1,0 +1,627 @@
+#include "exec/threaded_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "dataflow/validate.h"
+#include "exec/spsc_queue.h"
+#include "sinks/streams.h"
+#include "util/logging.h"
+
+namespace sl::exec {
+
+using dataflow::Node;
+using dataflow::NodeKind;
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Burns wall-clock time without sleeping (slow-sink stress knob; a
+/// sleep would round up to scheduler quanta and hide the queue math).
+void SpinFor(int64_t ns) {
+  const int64_t until = NowNs() + ns;
+  while (NowNs() < until) {
+  }
+}
+
+}  // namespace
+
+/// What flows through a channel: a tuple with its piggybacked watermark
+/// and ingestion stamp, a flush punctuation, or end-of-stream.
+struct ThreadedRuntime::Message {
+  enum class Kind : uint8_t { kData, kPunct, kEos };
+  Kind kind = Kind::kData;
+  stt::TupleRef tuple;
+  Timestamp watermark = stt::kNoWatermark;  // kData: producer's promise
+  Timestamp time = 0;                       // kPunct: virtual time reached
+  int64_t ingest_ns = 0;  // kData: wall clock at Feed (0 = untracked)
+};
+
+/// One dataflow edge: an SPSC ring plus the consumer hookup and the
+/// gauges the monitor samples. The ring's bounded capacity is the
+/// edge's credit pool; `space` is where a credit-starved producer
+/// parks. All gauge counters are relaxed atomics — they are read
+/// cross-thread by SampleStages while both ends keep running.
+struct ThreadedRuntime::Channel {
+  explicit Channel(size_t capacity) : ring(capacity) {}
+
+  SpscRing<Message> ring;
+  Stage* consumer = nullptr;
+  size_t port = 0;        ///< input port at the consumer
+  size_t input_idx = 0;   ///< position in consumer->inputs
+  WaitGate space;         ///< producers wait here for credits
+  std::atomic<uint64_t> pushed{0};
+  std::atomic<uint64_t> popped{0};
+  std::atomic<uint64_t> peak_depth{0};
+  std::atomic<uint64_t> backpressure_waits{0};
+  std::atomic<uint64_t> bytes{0};  ///< Tuple::ApproxValueBytes charged
+};
+
+/// One worker: an operator or sink plus its input channels (one per
+/// port), output channels (one per downstream edge), punctuation state
+/// and flush schedule. Fields below the thread are touched only by the
+/// owning worker; the atomics are shared with SampleStages.
+struct ThreadedRuntime::Stage {
+  std::string name;
+  ops::Operator* op = nullptr;  // owned by ThreadedRuntime::operators_
+  sinks::Sink* sink = nullptr;  // owned by ThreadedRuntime::sinks_
+  size_t parallelism = 1;
+  std::vector<Channel*> inputs;
+  std::vector<Channel*> outputs;
+  WaitGate work;  ///< worker parks here when all inputs are empty
+  std::thread thread;
+
+  // Worker-thread state. Punctuation doubles as a cross-port barrier:
+  // an input whose punct_in is ahead of punct_min has delivered a
+  // boundary the other ports have not reached, and must not be drained
+  // further — otherwise a two-port stage (join) would admit the fast
+  // port's future tuples into a window the laggard port has yet to
+  // close, diverging from the simulator where the flush timer fires
+  // before any later-virtual-time delivery.
+  std::vector<Timestamp> punct_in;  ///< last punctuation per input
+  std::vector<bool> input_closed;   ///< end-of-stream reached per input
+  Timestamp punct_min = 0;
+  Duration interval = 0;     ///< blocking operators only
+  Timestamp next_flush = 0;  ///< 0 = non-blocking, no flush schedule
+  int64_t current_ingest_ns = 0;  ///< lineage for emissions in Process
+  std::vector<int64_t> latencies_ns;  ///< sinks: Feed-to-delivery
+
+  // Gauges (relaxed atomics, sampled cross-thread).
+  std::atomic<uint64_t> in_count{0};
+  std::atomic<uint64_t> out_count{0};
+  std::atomic<uint64_t> process_errors{0};
+  std::atomic<size_t> cache_gauge{0};
+};
+
+/// Thread-safe trigger activation recorder: trigger stages run on their
+/// own workers, so requests from different operators can interleave.
+class ThreadedRuntime::Recorder : public ops::ActivationHandler {
+ public:
+  void ActivateSensors(const std::vector<std::string>& ids,
+                       Timestamp at) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back({true, ids, at});
+  }
+  void DeactivateSensors(const std::vector<std::string>& ids,
+                         Timestamp at) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back({false, ids, at});
+  }
+  std::vector<ops::ActivationRecord> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(records_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<ops::ActivationRecord> records_;
+};
+
+ThreadedRuntime::ThreadedRuntime(dataflow::Dataflow dataflow,
+                                 const pubsub::Broker* broker,
+                                 sinks::SinkContext sink_context,
+                                 ThreadedOptions options)
+    : dataflow_(std::move(dataflow)),
+      broker_(broker),
+      sink_context_(std::move(sink_context)),
+      options_(std::move(options)),
+      recorder_(std::make_unique<Recorder>()) {
+  virtual_now_ = options_.deploy_time;
+}
+
+ThreadedRuntime::~ThreadedRuntime() {
+  if (started_ && !finished_) Abort();
+}
+
+Status ThreadedRuntime::Build() {
+  dataflow::Validator validator(broker_);
+  SL_ASSIGN_OR_RETURN(dataflow::ValidationReport report,
+                      validator.Validate(dataflow_));
+  if (!report.ok()) {
+    return Status::ValidationError(
+        "threaded runtime: cannot execute an unsound dataflow:\n" +
+        report.ToString());
+  }
+
+  // Operators and sinks, with the same options the simulator would use.
+  for (const auto& name : dataflow_.OperatorNames()) {
+    const Node& node = **dataflow_.node(name);
+    std::vector<stt::SchemaPtr> input_schemas;
+    for (const auto& in : node.inputs) {
+      input_schemas.push_back(report.schemas.at(in));
+    }
+    ops::OperatorOptions op_options;
+    op_options.max_cache_tuples = options_.max_cache_tuples;
+    op_options.naive_blocking = options_.naive_blocking;
+    op_options.watermark = options_.watermark;
+    op_options.activation = recorder_.get();
+    SL_ASSIGN_OR_RETURN(std::unique_ptr<ops::Operator> op,
+                        ops::MakeOperator(name, node.op, node.spec,
+                                          input_schemas, node.inputs,
+                                          op_options));
+    operators_.emplace(name, std::move(op));
+  }
+  for (const auto& name : dataflow_.SinkNames()) {
+    const Node& node = **dataflow_.node(name);
+    SL_ASSIGN_OR_RETURN(
+        std::unique_ptr<sinks::Sink> sink,
+        sinks::MakeSink(name, node.sink, node.sink_target, sink_context_));
+    sinks_.emplace(name, std::move(sink));
+  }
+
+  // Stages, with the simulator's flush stagger: blocking operators
+  // fire interval + stagger * depth after deploy, depth counting the
+  // blocking operators preceding them in topological order.
+  std::map<std::string, Stage*> stage_of;
+  Duration stagger_depth = 0;
+  for (const auto& name : dataflow_.topological_order()) {
+    const Node& node = **dataflow_.node(name);
+    if (node.kind == NodeKind::kSource) continue;
+    auto stage = std::make_unique<Stage>();
+    stage->name = name;
+    if (node.kind == NodeKind::kOperator) {
+      stage->op = operators_.at(name).get();
+      stage->parallelism = stage->op->parallelism();
+      if (stage->op->is_blocking()) {
+        stage->interval = stage->op->interval();
+        stage->next_flush = options_.deploy_time + stage->interval +
+                            options_.flush_stagger_ms * stagger_depth;
+        ++stagger_depth;
+        boundaries_.push({stage->next_flush, stage->interval});
+      }
+    } else {
+      stage->sink = sinks_.at(name).get();
+    }
+    stage_of[name] = stage.get();
+    stages_.push_back(std::move(stage));
+  }
+
+  // Channels: one ring per edge, input order = port order.
+  for (auto& stage : stages_) {
+    const Node& node = **dataflow_.node(stage->name);
+    for (size_t port = 0; port < node.inputs.size(); ++port) {
+      auto channel = std::make_unique<Channel>(options_.queue_capacity);
+      channel->consumer = stage.get();
+      channel->port = port;
+      channel->input_idx = stage->inputs.size();
+      stage->inputs.push_back(channel.get());
+      stage->punct_in.push_back(options_.deploy_time);
+      stage->input_closed.push_back(false);
+      const std::string& producer = node.inputs[port];
+      const Node& pnode = **dataflow_.node(producer);
+      if (pnode.kind == NodeKind::kSource) {
+        source_channels_[producer].push_back(channel.get());
+        all_source_channels_.push_back(channel.get());
+      } else {
+        stage_of.at(producer)->outputs.push_back(channel.get());
+      }
+      channels_.push_back(std::move(channel));
+    }
+    stage->punct_min = options_.deploy_time;
+  }
+
+  // Emission wiring: operator emissions carry the operator's current
+  // output watermark (as the simulator's Route does) and the lineage
+  // stamp of the input being processed; late-side diversions go to the
+  // shared (mutex-guarded) late row collection.
+  for (auto& stage : stages_) {
+    if (stage->op == nullptr) continue;
+    Stage* s = stage.get();
+    s->op->set_emit([this, s](const stt::TupleRef& t) {
+      s->out_count.fetch_add(1, std::memory_order_relaxed);
+      Message m;
+      m.kind = Message::Kind::kData;
+      m.tuple = t;
+      m.watermark = s->op->output_watermark();
+      m.ingest_ns = s->current_ingest_ns;
+      for (Channel* out : s->outputs) {
+        Message copy = m;
+        PushBlocking(out, std::move(copy));
+      }
+    });
+    s->op->set_late_emit([this](const stt::TupleRef& t) {
+      std::lock_guard<std::mutex> lock(late_mu_);
+      late_rows_.push_back(t->ToString());
+    });
+  }
+  return Status::OK();
+}
+
+Status ThreadedRuntime::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("threaded runtime already started");
+  }
+  SL_RETURN_IF_ERROR(Build());
+  started_ = true;
+  wall_start_ = std::chrono::steady_clock::now();
+  for (auto& stage : stages_) {
+    Stage* s = stage.get();
+    s->thread = std::thread([this, s] { StageLoop(s); });
+  }
+  return Status::OK();
+}
+
+void ThreadedRuntime::EmitPunct(Timestamp time) {
+  for (Channel* channel : all_source_channels_) {
+    Message m;
+    m.kind = Message::Kind::kPunct;
+    m.time = time;
+    PushBlocking(channel, std::move(m));
+  }
+}
+
+void ThreadedRuntime::AdvanceTime(Timestamp now) {
+  while (!boundaries_.empty() && boundaries_.top().at <= now) {
+    Boundary b = boundaries_.top();
+    boundaries_.pop();
+    if (b.at > last_punct_) {
+      EmitPunct(b.at);
+      last_punct_ = b.at;
+    }
+    boundaries_.push({b.at + b.interval, b.interval});
+  }
+  virtual_now_ = std::max(virtual_now_, now);
+}
+
+Status ThreadedRuntime::Feed(const std::string& source,
+                             const stt::TupleRef& tuple, Timestamp at,
+                             Timestamp watermark) {
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition("threaded runtime is not running");
+  }
+  auto it = source_channels_.find(source);
+  if (it == source_channels_.end()) {
+    return Status::NotFound("'" + source + "' is not a source of dataflow '" +
+                            dataflow_.name() + "'");
+  }
+  // Punctuation for boundaries <= `at` goes first: a flush at B must
+  // not see a tuple ingested at B (the simulator's tie-break — the
+  // re-armed flush timer has the smaller sequence number).
+  AdvanceTime(at);
+  fed_.fetch_add(1, std::memory_order_relaxed);
+  Message m;
+  m.kind = Message::Kind::kData;
+  m.tuple = tuple;
+  m.watermark = watermark;
+  m.ingest_ns = NowNs();
+  for (Channel* channel : it->second) {
+    Message copy = m;
+    PushBlocking(channel, std::move(copy));
+  }
+  return Status::OK();
+}
+
+void ThreadedRuntime::PushBlocking(Channel* channel, Message&& message) {
+  // Byte gauge per edge. This deliberately calls the tuple's memoized
+  // ApproxValueBytes from whichever thread produces the edge — the
+  // memoization must be (and now is) an atomic, see stt/tuple.h.
+  if (message.tuple != nullptr) {
+    channel->bytes.fetch_add(message.tuple->ApproxValueBytes(),
+                             std::memory_order_relaxed);
+  }
+  if (!channel->ring.TryPush(message)) {
+    // Out of credits: the consumer is behind. Park until a pop returns
+    // one (backpressure) or the run is aborted.
+    channel->backpressure_waits.fetch_add(1, std::memory_order_relaxed);
+    bool pushed = channel->space.Await(
+        [&] { return channel->ring.TryPush(message); },
+        [&] { return abort_.load(std::memory_order_relaxed); });
+    if (!pushed) return;  // aborted; the message is dropped
+  }
+  const uint64_t depth =
+      channel->pushed.fetch_add(1, std::memory_order_relaxed) + 1 -
+      channel->popped.load(std::memory_order_relaxed);
+  if (depth > channel->peak_depth.load(std::memory_order_relaxed)) {
+    channel->peak_depth.store(depth, std::memory_order_relaxed);
+  }
+  channel->consumer->work.Notify();
+}
+
+void ThreadedRuntime::HandleData(Stage* stage, size_t input_idx,
+                                 Message& message) {
+  stage->in_count.fetch_add(1, std::memory_order_relaxed);
+  if (stage->op != nullptr) {
+    Channel* channel = stage->inputs[input_idx];
+    stage->current_ingest_ns = message.ingest_ns;
+    stage->op->ObserveWatermark(channel->port, message.watermark);
+    Status status = stage->op->Process(channel->port, message.tuple);
+    if (!status.ok()) {
+      stage->process_errors.fetch_add(1, std::memory_order_relaxed);
+      SL_LOG(kError) << "threaded process of " << stage->name
+                     << " failed: " << status.ToString();
+    }
+    return;
+  }
+  if (options_.sink_delay_ns > 0) SpinFor(options_.sink_delay_ns);
+  if (message.ingest_ns > 0) {
+    stage->latencies_ns.push_back(NowNs() - message.ingest_ns);
+  }
+  if (!options_.count_only_sinks) {
+    Status status = stage->sink->Write(message.tuple);
+    if (!status.ok()) {
+      stage->process_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadedRuntime::HandlePunct(Stage* stage, size_t input_idx,
+                                  Timestamp time) {
+  if (time > stage->punct_in[input_idx]) stage->punct_in[input_idx] = time;
+  AdvanceFrontier(stage);
+}
+
+void ThreadedRuntime::AdvanceFrontier(Stage* stage) {
+  // The frontier is the min punctuation over the inputs still open; a
+  // closed input stops constraining it (no further data can arrive).
+  bool any_open = false;
+  Timestamp new_min = 0;
+  for (size_t i = 0; i < stage->punct_in.size(); ++i) {
+    if (stage->input_closed[i]) continue;
+    if (!any_open || stage->punct_in[i] < new_min) {
+      new_min = stage->punct_in[i];
+    }
+    any_open = true;
+  }
+  if (!any_open || new_min <= stage->punct_min) return;
+  stage->punct_min = new_min;
+  if (stage->op != nullptr && stage->next_flush > 0) {
+    // Fire every boundary the punctuation minimum just passed, in
+    // order — the flush cascade (emissions land downstream before the
+    // punctuation is forwarded) reproduces the staggered schedule.
+    while (stage->next_flush <= new_min) {
+      stage->current_ingest_ns = 0;  // flush emissions have no lineage
+      Status status = stage->op->Flush(stage->next_flush);
+      if (!status.ok()) {
+        stage->process_errors.fetch_add(1, std::memory_order_relaxed);
+        SL_LOG(kError) << "threaded flush of " << stage->name
+                       << " failed: " << status.ToString();
+      }
+      stage->next_flush += stage->interval;
+    }
+  }
+  Message m;
+  m.kind = Message::Kind::kPunct;
+  m.time = new_min;
+  for (Channel* out : stage->outputs) {
+    Message copy = m;
+    PushBlocking(out, std::move(copy));
+  }
+}
+
+void ThreadedRuntime::StageLoop(Stage* stage) {
+  const size_t n_inputs = stage->inputs.size();
+  size_t eos_count = 0;
+  Message message;
+  while (eos_count < n_inputs) {
+    bool progress = false;
+    for (size_t i = 0; i < n_inputs; ++i) {
+      if (stage->input_closed[i]) continue;
+      // Barrier: an input whose punctuation is ahead of the stage
+      // frontier already delivered a boundary the other open ports have
+      // not confirmed — draining it further would admit its future
+      // tuples into a window the laggard port has yet to close.
+      if (stage->punct_in[i] > stage->punct_min) continue;
+      Channel* channel = stage->inputs[i];
+      // Bounded drain per round keeps multi-port stages fair: a firehose
+      // on one port cannot starve the other port's punctuation.
+      size_t budget = 256;
+      while (budget-- > 0 && channel->ring.TryPop(&message)) {
+        channel->popped.fetch_add(1, std::memory_order_relaxed);
+        channel->space.Notify();
+        progress = true;
+        if (message.kind == Message::Kind::kEos) {
+          stage->input_closed[i] = true;
+          ++eos_count;
+          // A closed input no longer constrains the frontier; the
+          // remaining open ports may now advance it.
+          AdvanceFrontier(stage);
+          break;
+        }
+        if (message.kind == Message::Kind::kData) {
+          HandleData(stage, i, message);
+        } else {
+          HandlePunct(stage, i, message.time);
+          // The punctuation may have left this port ahead of a slower
+          // sibling: stop draining it until the frontier catches up.
+          if (stage->punct_in[i] > stage->punct_min) break;
+        }
+        if (abort_.load(std::memory_order_relaxed)) return;
+      }
+      if (abort_.load(std::memory_order_relaxed)) return;
+    }
+    if (stage->op != nullptr) {
+      stage->cache_gauge.store(stage->op->stats().cache_size,
+                               std::memory_order_relaxed);
+    }
+    if (!progress && eos_count < n_inputs) {
+      stage->work.Await(
+          [&] {
+            for (size_t i = 0; i < n_inputs; ++i) {
+              if (stage->input_closed[i]) continue;
+              if (stage->punct_in[i] > stage->punct_min) continue;
+              if (!stage->inputs[i]->ring.Empty()) return true;
+            }
+            return false;
+          },
+          [&] { return abort_.load(std::memory_order_relaxed); });
+      if (abort_.load(std::memory_order_relaxed)) return;
+    }
+  }
+  // All inputs closed and drained: close downstream.
+  for (Channel* out : stage->outputs) {
+    Message m;
+    m.kind = Message::Kind::kEos;
+    PushBlocking(out, std::move(m));
+  }
+}
+
+Result<ThreadedRunResult> ThreadedRuntime::Finish(Timestamp end_time) {
+  if (!started_) {
+    return Status::FailedPrecondition("threaded runtime was never started");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("threaded runtime already finished");
+  }
+  AdvanceTime(end_time);
+  for (Channel* channel : all_source_channels_) {
+    Message m;
+    m.kind = Message::Kind::kEos;
+    PushBlocking(channel, std::move(m));
+  }
+  for (auto& stage : stages_) {
+    if (stage->thread.joinable()) stage->thread.join();
+  }
+  finished_ = true;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+
+  ThreadedRunResult result;
+  result.tuples_fed = fed_.load(std::memory_order_relaxed);
+  result.activations = recorder_->Take();
+  {
+    std::lock_guard<std::mutex> lock(late_mu_);
+    result.late_rows = late_rows_;
+  }
+  std::sort(result.late_rows.begin(), result.late_rows.end());
+
+  std::vector<int64_t> latencies;
+  for (auto& stage : stages_) {
+    result.process_errors +=
+        stage->process_errors.load(std::memory_order_relaxed);
+    if (stage->op != nullptr) {
+      result.op_stats[stage->name] = stage->op->stats();
+    } else {
+      result.tuples_delivered +=
+          stage->in_count.load(std::memory_order_relaxed);
+      latencies.insert(latencies.end(), stage->latencies_ns.begin(),
+                       stage->latencies_ns.end());
+      if (auto* collect = dynamic_cast<sinks::CollectSink*>(stage->sink)) {
+        std::vector<std::string> rows;
+        rows.reserve(collect->tuples().size());
+        for (const auto& t : collect->tuples()) rows.push_back(t->ToString());
+        std::sort(rows.begin(), rows.end());
+        result.sink_rows[stage->name] = std::move(rows);
+      }
+    }
+    for (Channel* channel : stage->inputs) {
+      result.backpressure_waits +=
+          channel->backpressure_waits.load(std::memory_order_relaxed);
+    }
+    result.stage_samples.push_back(SampleStage(*stage, /*final=*/true));
+  }
+
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](size_t p) {
+      size_t idx = std::min(latencies.size() - 1, latencies.size() * p / 100);
+      return latencies[idx];
+    };
+    result.latency.count = latencies.size();
+    result.latency.p50_ns = pct(50);
+    result.latency.p95_ns = pct(95);
+    result.latency.p99_ns = pct(99);
+    result.latency.max_ns = latencies.back();
+  }
+  result.wall_seconds = wall;
+  if (wall > 0) {
+    result.tuples_per_sec = static_cast<double>(result.tuples_delivered) / wall;
+  }
+  return result;
+}
+
+void ThreadedRuntime::Abort() {
+  if (!started_ || finished_) return;
+  abort_.store(true, std::memory_order_relaxed);
+  for (auto& stage : stages_) stage->work.Notify();
+  for (auto& channel : channels_) channel->space.Notify();
+  for (auto& stage : stages_) {
+    if (stage->thread.joinable()) stage->thread.join();
+  }
+  finished_ = true;
+}
+
+monitor::OperatorSample ThreadedRuntime::SampleStage(const Stage& stage,
+                                                     bool final) const {
+  monitor::OperatorSample sample;
+  sample.dataflow = dataflow_.name();
+  sample.op_name = stage.name;
+  sample.node_id = "worker";
+  sample.total_in = stage.in_count.load(std::memory_order_relaxed);
+  sample.total_out = stage.out_count.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  if (elapsed > 0) {
+    sample.in_per_sec = static_cast<double>(sample.total_in) / elapsed;
+    sample.out_per_sec = static_cast<double>(sample.total_out) / elapsed;
+  }
+  sample.cache_size = stage.cache_gauge.load(std::memory_order_relaxed);
+  sample.parallelism = stage.parallelism;
+  uint64_t depth = 0;
+  for (const Channel* channel : stage.inputs) {
+    uint64_t d;
+    if (final) {
+      d = channel->peak_depth.load(std::memory_order_relaxed);
+    } else {
+      const uint64_t pushed = channel->pushed.load(std::memory_order_relaxed);
+      const uint64_t popped = channel->popped.load(std::memory_order_relaxed);
+      d = pushed > popped ? pushed - popped : 0;
+    }
+    depth = std::max(depth, d);
+    sample.backpressure_waits +=
+        channel->backpressure_waits.load(std::memory_order_relaxed);
+  }
+  sample.queue_depth = static_cast<size_t>(depth);
+  return sample;
+}
+
+std::vector<monitor::OperatorSample> ThreadedRuntime::SampleStages() const {
+  std::vector<monitor::OperatorSample> samples;
+  samples.reserve(stages_.size());
+  for (const auto& stage : stages_) {
+    samples.push_back(SampleStage(*stage, /*final=*/false));
+  }
+  return samples;
+}
+
+Result<ThreadedRunResult> ThreadedRuntime::RunTrace(const InputTrace& trace,
+                                                    Timestamp end_time) {
+  SL_RETURN_IF_ERROR(Start());
+  for (const TraceEvent& event : trace) {
+    SL_RETURN_IF_ERROR(Feed(event.source, event.tuple, event.at,
+                            event.watermark));
+  }
+  return Finish(end_time);
+}
+
+}  // namespace sl::exec

@@ -1,0 +1,238 @@
+// StreamLoader: the wall-clock multithreaded runtime — the second
+// execution mode next to the deterministic discrete-event simulator.
+//
+// The simulator (exec/executor.h) runs everything on one virtual-clock
+// event loop and is the semantic reference. The ThreadedRuntime executes
+// the *same* validated dataflow with the *same* operator objects on real
+// worker threads: one worker per operator/sink stage, one bounded SPSC
+// ring per dataflow edge (exec/spsc_queue.h), credit-based backpressure
+// from sinks back to the sources (a full ring = zero credits blocks the
+// producer), and watermarks piggybacked on every queued tuple exactly as
+// the simulator piggybacks them on network transfers.
+//
+// Equivalence contract. Thread timing is nondeterministic, so the
+// runtime replays a *trace* (the tuples that entered each source, with
+// their virtual ingestion times — captured from a simulated run via
+// ExecutorOptions::source_tap) and aligns the blocking operators' flush
+// schedule with punctuation messages instead of timers: the driver
+// emits punct(B) into every source channel for each flush boundary
+// B = deploy_time + interval + flush_stagger_ms * depth + k * interval,
+// *before* any tuple whose ingestion time equals B (mirroring the event
+// loop's tie-break, where a periodic flush re-armed earlier always runs
+// before a same-instant delivery). A stage fires Flush(B) when the
+// punctuation minimum over its input ports passes B, then forwards the
+// punctuation downstream after the flush emissions. Window membership
+// in the blocking operators is decided by tuple timestamps against the
+// flush-tick time (half-open, ts < B), so as long as no simulated
+// network delay carries a tuple across a flush boundary (delays are
+// a few ms; boundaries are staggered 50 ms apart), the threaded run
+// produces the identical multiset of sink rows — enforced by the
+// SimVsThreadedOracleTest battery (tests/threaded_test.cpp).
+
+#ifndef STREAMLOADER_EXEC_THREADED_RUNTIME_H_
+#define STREAMLOADER_EXEC_THREADED_RUNTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.h"
+#include "monitor/monitor.h"
+#include "ops/debugger.h"
+#include "ops/operator.h"
+#include "pubsub/broker.h"
+#include "sinks/factory.h"
+#include "stt/tuple.h"
+#include "stt/watermark.h"
+#include "util/status.h"
+
+namespace sl::exec {
+
+/// \brief Which runtime executes a deployment. The discrete-event
+/// simulator stays the default and the correctness oracle; kThreaded
+/// selects the wall-clock worker-pool runtime (this header), reached
+/// through StreamLoader::RunThreaded or a ThreadedRuntime directly.
+enum class ExecutionMode {
+  kSimulated,  ///< deterministic single-threaded simulation (default)
+  kThreaded,   ///< worker threads + SPSC queues + real clocks
+};
+
+/// \brief Configuration of a ThreadedRuntime.
+struct ThreadedOptions {
+  /// Per-edge SPSC ring capacity (rounded up to a power of two). This
+  /// is the edge's credit pool: a full ring blocks the producer until
+  /// the consumer pops, which is how sink pressure reaches the sources.
+  size_t queue_capacity = 1024;
+  /// Blocking-operation cache bound (as ExecutorOptions).
+  size_t max_cache_tuples = 1 << 20;
+  /// Reference implementations of the blocking operators (as
+  /// ExecutorOptions::naive_blocking).
+  bool naive_blocking = false;
+  /// Event-time configuration handed to every operator.
+  ops::WatermarkOptions watermark;
+  /// Flush-schedule stagger, replicated from the simulator: a blocking
+  /// operator at topological depth d first flushes at
+  /// deploy_time + interval + flush_stagger_ms * d.
+  Duration flush_stagger_ms = 50;
+  /// Virtual time of the reference deployment (anchors the flush
+  /// boundaries; use the simulated run's deploy timestamp).
+  Timestamp deploy_time = 0;
+  /// Busy-wait this many wall-clock nanoseconds per sink write — a
+  /// deliberately slow consumer for backpressure stress tests.
+  int64_t sink_delay_ns = 0;
+  /// Count sink deliveries without writing them (benchmarks that
+  /// measure transport, not sink retention).
+  bool count_only_sinks = false;
+};
+
+/// \brief One tuple entering a source, with its virtual ingestion time
+/// and the source watermark at that instant (what
+/// ExecutorOptions::source_tap records from a simulated run).
+struct TraceEvent {
+  Timestamp at = 0;
+  std::string source;
+  stt::TupleRef tuple;
+  Timestamp watermark = stt::kNoWatermark;
+};
+using InputTrace = std::vector<TraceEvent>;
+
+/// \brief End-to-end latency percentiles over every tuple that reached
+/// a sink (wall-clock nanoseconds from Feed to sink delivery).
+struct LatencySummary {
+  uint64_t count = 0;
+  int64_t p50_ns = 0;
+  int64_t p95_ns = 0;
+  int64_t p99_ns = 0;
+  int64_t max_ns = 0;
+};
+
+/// \brief Everything a threaded run produces.
+struct ThreadedRunResult {
+  /// Sorted Tuple::ToString rows per collect sink.
+  std::map<std::string, std::vector<std::string>> sink_rows;
+  /// Sorted rows diverted by LatePolicy::kSideOutput.
+  std::vector<std::string> late_rows;
+  uint64_t tuples_fed = 0;
+  uint64_t tuples_delivered = 0;  ///< tuples arriving at sinks
+  uint64_t process_errors = 0;
+  uint64_t backpressure_waits = 0;  ///< producer stalls on full rings
+  std::map<std::string, ops::OperatorStats> op_stats;
+  std::vector<ops::ActivationRecord> activations;  ///< trigger requests
+  double wall_seconds = 0;
+  double tuples_per_sec = 0;  ///< delivered / wall_seconds
+  LatencySummary latency;
+  /// One final monitor sample per stage; queue_depth carries the
+  /// deepest input ring observed, backpressure_waits the stalls charged
+  /// to this stage's full inputs.
+  std::vector<monitor::OperatorSample> stage_samples;
+};
+
+/// \brief Executes one validated dataflow on worker threads.
+///
+/// Lifecycle: construct → Start() → Feed()* → Finish(end_time), or
+/// Abort() at any point for a hard stop (shutdown-while-draining). The
+/// driver thread (the caller of Feed/Finish) plays the sources; it
+/// blocks when a source edge is out of credits, which is the intended
+/// backpressure behavior.
+class ThreadedRuntime {
+ public:
+  ThreadedRuntime(dataflow::Dataflow dataflow, const pubsub::Broker* broker,
+                  sinks::SinkContext sink_context = {},
+                  ThreadedOptions options = {});
+  ~ThreadedRuntime();
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  /// Validates the dataflow, builds operators/sinks/channels and spawns
+  /// one worker thread per stage.
+  Status Start();
+
+  /// Feeds one tuple into `source` at virtual time `at` (trace times
+  /// must be non-decreasing). Emits any flush punctuation due before
+  /// `at` first, so a tuple stamped exactly on a boundary lands after
+  /// the flush — the simulator's tie-break. Blocks while the source's
+  /// out-edges are saturated (backpressure).
+  Status Feed(const std::string& source, const stt::TupleRef& tuple,
+              Timestamp at, Timestamp watermark = stt::kNoWatermark);
+
+  /// Advances virtual time without data (emits due punctuation).
+  void AdvanceTime(Timestamp now);
+
+  /// Emits punctuation up to `end_time`, closes every source with an
+  /// end-of-stream marker, drains and joins all workers, and returns
+  /// the collected rows, stats, samples and latency percentiles.
+  Result<ThreadedRunResult> Finish(Timestamp end_time);
+
+  /// Hard stop: workers abandon queued work and exit promptly; queued
+  /// tuples are dropped. Safe to call concurrently with a blocked
+  /// Feed (it unblocks the credit wait).
+  void Abort();
+
+  /// Live per-stage gauges (thread-safe; queue_depth is the current
+  /// deepest input ring). For monitor integration and tests.
+  std::vector<monitor::OperatorSample> SampleStages() const;
+
+  /// Convenience: Start, replay `trace` in order, Finish(end_time).
+  Result<ThreadedRunResult> RunTrace(const InputTrace& trace,
+                                     Timestamp end_time);
+
+ private:
+  struct Channel;
+  struct Stage;
+  struct Message;
+  class Recorder;
+
+  Status Build();
+  void StageLoop(Stage* stage);
+  void HandleData(Stage* stage, size_t input_idx, Message& message);
+  void HandlePunct(Stage* stage, size_t input_idx, Timestamp time);
+  void AdvanceFrontier(Stage* stage);
+  void PushBlocking(Channel* channel, Message&& message);
+  void EmitPunct(Timestamp time);
+  monitor::OperatorSample SampleStage(const Stage& stage, bool final) const;
+
+  dataflow::Dataflow dataflow_;
+  const pubsub::Broker* broker_;
+  sinks::SinkContext sink_context_;
+  ThreadedOptions options_;
+
+  std::map<std::string, std::unique_ptr<ops::Operator>> operators_;
+  std::map<std::string, std::unique_ptr<sinks::Sink>> sinks_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::map<std::string, std::vector<Channel*>> source_channels_;
+  std::vector<Channel*> all_source_channels_;
+  std::unique_ptr<Recorder> recorder_;
+
+  /// The union flush schedule: min-heap of upcoming boundaries, one
+  /// recurring entry per blocking stage.
+  struct Boundary {
+    Timestamp at;
+    Duration interval;
+    bool operator>(const Boundary& other) const { return at > other.at; }
+  };
+  std::priority_queue<Boundary, std::vector<Boundary>, std::greater<Boundary>>
+      boundaries_;
+  Timestamp last_punct_ = stt::kNoWatermark;
+  Timestamp virtual_now_ = 0;
+
+  // started_/finished_ are atomics because Abort may race a blocked
+  // Feed from another thread (the shutdown-while-draining case).
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> abort_{false};
+  std::atomic<uint64_t> fed_{0};
+  std::mutex late_mu_;
+  std::vector<std::string> late_rows_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace sl::exec
+
+#endif  // STREAMLOADER_EXEC_THREADED_RUNTIME_H_

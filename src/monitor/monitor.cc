@@ -48,6 +48,11 @@ std::string MonitorReport::ToString() const {
     if (op.parallelism > 1) {
       extras += StrFormat("  x%zu skew %.2f", op.parallelism, op.key_skew);
     }
+    if (op.queue_depth > 0 || op.backpressure_waits > 0) {
+      extras += StrFormat("  q %zu bp %llu", op.queue_depth,
+                          static_cast<unsigned long long>(
+                              op.backpressure_waits));
+    }
     out += StrFormat(
         "  %-24s on %-10s  in %8.1f t/s  out %8.1f t/s  cache %6zu%s\n",
         (op.dataflow + "/" + op.op_name).c_str(), op.node_id.c_str(),
@@ -113,6 +118,11 @@ std::string MonitorReport::ToJson() const {
         w.Int(static_cast<int64_t>(load));
       }
       w.EndArray();
+    }
+    if (op.queue_depth > 0 || op.backpressure_waits > 0) {
+      w.Key("queue_depth"); w.Int(static_cast<int64_t>(op.queue_depth));
+      w.Key("backpressure_waits");
+      w.Int(static_cast<int64_t>(op.backpressure_waits));
     }
     w.EndObject();
   }

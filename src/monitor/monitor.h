@@ -45,6 +45,12 @@ struct OperatorSample {
   /// Key skew: max over mean of instance_load (1.0 = perfectly uniform,
   /// parallelism = all keys on one instance; 0 until any tuple routed).
   double key_skew = 0;
+  /// Threaded runtime only: deepest input ring of this stage (current
+  /// depth on a live sample, peak over the run on the final one).
+  size_t queue_depth = 0;
+  /// Threaded runtime only: producer stalls on this stage's full input
+  /// rings — the credit-based backpressure counter.
+  uint64_t backpressure_waits = 0;
 };
 
 /// \brief Per-node measurements over one monitoring window.

@@ -109,12 +109,14 @@ TupleRef Tuple::WithStt(SchemaPtr new_schema, Timestamp ts,
 }
 
 size_t Tuple::ApproxValueBytes() const {
-  if (value_bytes_ == kBytesUnset) {
-    size_t bytes = 0;
+  size_t bytes = value_bytes_.load(std::memory_order_relaxed);
+  if (bytes == kBytesUnset) {
+    bytes = 0;
     for (const auto& v : values_) bytes += ValueBytes(v);
-    value_bytes_ = bytes;
+    // Concurrent first callers store the same value; relaxed is enough.
+    value_bytes_.store(bytes, std::memory_order_relaxed);
   }
-  return value_bytes_;
+  return bytes;
 }
 
 std::string Tuple::ToString() const {

@@ -14,6 +14,7 @@
 #ifndef STREAMLOADER_STT_TUPLE_H_
 #define STREAMLOADER_STT_TUPLE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <limits>
 #include <memory>
@@ -35,6 +36,45 @@ using TupleRef = std::shared_ptr<const Tuple>;
 class Tuple {
  public:
   Tuple() = default;
+
+  // Copies/moves transfer the memoized byte size with relaxed loads —
+  // the atomic member deletes the defaults. A stale kBytesUnset costs
+  // one recompute, never a wrong answer.
+  Tuple(const Tuple& other)
+      : schema_(other.schema_),
+        values_(other.values_),
+        ts_(other.ts_),
+        location_(other.location_),
+        sensor_id_(other.sensor_id_),
+        value_bytes_(other.value_bytes_.load(std::memory_order_relaxed)) {}
+  Tuple(Tuple&& other) noexcept
+      : schema_(std::move(other.schema_)),
+        values_(std::move(other.values_)),
+        ts_(other.ts_),
+        location_(std::move(other.location_)),
+        sensor_id_(std::move(other.sensor_id_)),
+        value_bytes_(other.value_bytes_.load(std::memory_order_relaxed)) {}
+  Tuple& operator=(const Tuple& other) {
+    if (this == &other) return *this;
+    schema_ = other.schema_;
+    values_ = other.values_;
+    ts_ = other.ts_;
+    location_ = other.location_;
+    sensor_id_ = other.sensor_id_;
+    value_bytes_.store(other.value_bytes_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    schema_ = std::move(other.schema_);
+    values_ = std::move(other.values_);
+    ts_ = other.ts_;
+    location_ = std::move(other.location_);
+    sensor_id_ = std::move(other.sensor_id_);
+    value_bytes_.store(other.value_bytes_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Creates a tuple after validating `values` against `schema` (arity,
   /// types, nullability).
@@ -114,9 +154,12 @@ class Tuple {
   std::string sensor_id_;
   // Lazily computed by ApproxValueBytes(); value-preserving derivations
   // (WithStt) keep it, value-changing ones (WithAppended/WithValueAt)
-  // reset it. Benign to race only in single-threaded executors, which is
-  // the current execution model.
-  mutable size_t value_bytes_ = kBytesUnset;
+  // reset it. Atomic because the threaded runtime calls
+  // ApproxValueBytes from every producer thread that pushes the shared
+  // (immutable) tuple onto an edge: the relaxed load/store race is a
+  // duplicated computation of the same value, not a torn read (plain
+  // size_t here was a TSan-reportable data race on fan-out edges).
+  mutable std::atomic<size_t> value_bytes_{kBytesUnset};
 };
 
 /// \brief A batch of tuples sharing one schema — the unit in which

@@ -27,6 +27,7 @@ Logger::Logger() {
 }
 
 void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (sink) {
     sink_ = std::move(sink);
   } else {
@@ -38,7 +39,12 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (level >= level_ && level != LogLevel::kNone) sink_(level, message);
+  if (level < this->level() || level == LogLevel::kNone) return;
+  // The sink runs under the lock: serializes output lines and makes a
+  // concurrent set_sink safe (previously a data race between a test
+  // installing a capture sink and a worker thread logging).
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_(level, message);
 }
 
 namespace internal {

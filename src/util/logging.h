@@ -7,7 +7,9 @@
 #ifndef STREAMLOADER_UTIL_LOGGING_H_
 #define STREAMLOADER_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -31,19 +33,23 @@ class Logger {
   /// The singleton logger.
   static Logger& Get();
 
-  /// Minimum level that is emitted.
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  /// Minimum level that is emitted. Atomic: SL_LOG checks the level
+  /// from every worker thread of the threaded runtime.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replaces the output sink (default: stderr). Pass nullptr to restore
-  /// the default sink.
+  /// the default sink. Thread-safe against concurrent Log calls.
   void set_sink(Sink sink);
 
   void Log(LogLevel level, const std::string& message);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarning;
+  std::atomic<LogLevel> level_{LogLevel::kWarning};
+  std::mutex mu_;  ///< guards sink_ (swap vs. invoke from workers)
   Sink sink_;
 };
 
