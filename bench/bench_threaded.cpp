@@ -131,20 +131,33 @@ dataflow::Dataflow TumblingAggFlow(size_t parallelism) {
 
 /// Runs `flow` over a fresh `tuples`-long trace each iteration and
 /// reports delivered-tuple throughput plus Feed→sink wall latency
-/// percentiles from the final iteration.
+/// percentiles from the final iteration. `extra` layers this PR's mode
+/// knobs (pool_size, shard_threads, batch_max, live) onto the shared
+/// large-ring, count-only-sink baseline.
+struct PipelineKnobs {
+  size_t pool_size = 0;
+  size_t shard_threads = 0;
+  size_t batch_max = 1;
+  bool live = false;  ///< unpaced feed threads instead of trace replay
+};
+
 void RunPipeline(benchmark::State& state, const dataflow::Dataflow& flow,
-                 size_t tuples) {
+                 size_t tuples, const PipelineKnobs& knobs = {}) {
   PipelineFixture fixture;
   exec::InputTrace trace = fixture.MakeTrace(tuples);
   const Timestamp end_time = trace.back().at + duration::kSecond;
   exec::ThreadedOptions options;
   options.queue_capacity = 8192;
   options.count_only_sinks = true;
+  options.pool_size = knobs.pool_size;
+  options.shard_threads = knobs.shard_threads;
+  options.batch_max = knobs.batch_max;
   uint64_t delivered = 0;
   exec::LatencySummary latency;
   for (auto _ : state) {
     exec::ThreadedRuntime runtime(flow, fixture.broker(), {}, options);
-    auto result = runtime.RunTrace(trace, end_time);
+    auto result = knobs.live ? runtime.RunLive(trace, end_time)
+                             : runtime.RunTrace(trace, end_time);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
@@ -176,6 +189,68 @@ void BM_ThreadedPartitionedAgg(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadedPartitionedAgg)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
+
+// ------------------------------------------------ phase-2 mode knobs --
+
+/// Live (traceless) ingestion, unpaced: measures the feed-thread path —
+/// source-side punctuation minting plus the same downstream pipeline.
+void BM_ThreadedLiveFilterTransform(benchmark::State& state) {
+  PipelineKnobs knobs;
+  knobs.live = true;
+  RunPipeline(state, FilterTransformFlow(),
+              static_cast<size_t>(state.range(0)), knobs);
+}
+BENCHMARK(BM_ThreadedLiveFilterTransform)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadedLiveTumblingAgg(benchmark::State& state) {
+  PipelineKnobs knobs;
+  knobs.live = true;
+  RunPipeline(state, TumblingAggFlow(1), static_cast<size_t>(state.range(0)),
+              knobs);
+}
+BENCHMARK(BM_ThreadedLiveTumblingAgg)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Pooled scheduling: every stage multiplexed over Arg(0) workers
+/// instead of one dedicated thread per stage.
+void BM_ThreadedPooledFilterTransform(benchmark::State& state) {
+  PipelineKnobs knobs;
+  knobs.pool_size = static_cast<size_t>(state.range(0));
+  RunPipeline(state, FilterTransformFlow(), 100000, knobs);
+}
+BENCHMARK(BM_ThreadedPooledFilterTransform)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Batched ring transfer: RefBatch messages of up to Arg(0) tuples per
+/// ring slot amortize the per-message push/pop and wakeup costs.
+void BM_ThreadedBatchedFilterTransform(benchmark::State& state) {
+  PipelineKnobs knobs;
+  knobs.batch_max = static_cast<size_t>(state.range(0));
+  RunPipeline(state, FilterTransformFlow(), 100000, knobs);
+}
+BENCHMARK(BM_ThreadedBatchedFilterTransform)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Shard-threaded partitioned flush: N-way instances flush concurrently
+/// on a shared shard pool (Arg(0) = parallelism, Arg(1) = shard threads).
+void BM_ThreadedShardedPartitionedAgg(benchmark::State& state) {
+  PipelineKnobs knobs;
+  knobs.shard_threads = static_cast<size_t>(state.range(1));
+  RunPipeline(state, TumblingAggFlow(static_cast<size_t>(state.range(0))),
+              100000, knobs);
+}
+BENCHMARK(BM_ThreadedShardedPartitionedAgg)
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace sl::bench

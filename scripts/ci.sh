@@ -68,12 +68,23 @@ ctest --test-dir "${root}/build-asan" --output-on-failure \
   -R 'Chaos' --repeat-until-fail 3 -j "${jobs}"
 
 # Threaded runtime interleaving shake-out: repeat the threaded chaos
-# suite (backpressure saturation, shutdown-while-draining, SPSC stress)
-# under TSan, where scheduler jitter between repeats explores different
-# interleavings of the worker/driver threads.
+# suite (backpressure saturation, shutdown-while-draining,
+# abort-while-timer-pending, SPSC stress) under TSan, where scheduler
+# jitter between repeats explores different interleavings of the
+# worker/driver/feed threads.
 echo "==> threaded chaos suite under TSan, repeated"
 ctest --test-dir "${root}/build-tsan" --output-on-failure \
   -R 'Chaos' --repeat-until-fail 3 -j "${jobs}"
+
+# The phase-2 execution-mode matrix (live feed threads, pooled workers
+# with work-stealing help, shard pools, batched rings — and all of them
+# combined) is where new lock-free orderings live; repeat those
+# differential identities under TSan too. The full 50-seed batteries
+# already ran once in the build-tsan ctest pass above.
+echo "==> threaded mode-matrix oracle under TSan, repeated"
+ctest --test-dir "${root}/build-tsan" --output-on-failure \
+  -R 'Live|Pooled|ShardThreads|Batched|AllModesCombined' \
+  --repeat-until-fail 2 -j "${jobs}"
 
 echo "==> fault benchmark"
 (cd "${root}/build" && ./bench/bench_faults --benchmark_min_time=0.01)

@@ -125,7 +125,10 @@ class StreamLoader {
   /// session's naive_blocking choice is inherited unless the options
   /// already set it. The simulator deployments are untouched: this is
   /// the ExecutionMode::kThreaded path, and the simulated run of the
-  /// same trace is its correctness oracle.
+  /// same trace is its correctness oracle. Fails fast when the
+  /// session's network carries a non-zero fault plan (threaded mode
+  /// does not simulate faults); ThreadedOptions::allow_fault_plan
+  /// overrides the check.
   Result<exec::ThreadedRunResult> RunThreaded(
       const dataflow::Dataflow& dataflow, const exec::InputTrace& trace,
       Timestamp end_time, exec::ThreadedOptions options = {});

@@ -19,7 +19,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -138,6 +140,113 @@ class WaitGate {
   std::mutex mu_;
   std::condition_variable cv_;
   std::atomic<bool> waiting_{false};
+};
+
+/// \brief Small persistent thread pool with a blocking parallel-for.
+///
+/// Backs the partitioned-instance shard threads: the threaded runtime
+/// hands each partitioned wrapper a ShardExecutor that forwards to one
+/// of these, so an N-way operator's shards flush concurrently instead
+/// of sharing their stage's thread. ParallelFor is serialized (one
+/// batch at a time); the calling thread helps execute the batch, so
+/// the pool adds parallelism without ever being a liveness dependency.
+/// Batch bodies must not block on each other — shard flushes are
+/// independent by construction (they write per-shard capture buffers,
+/// never the channel rings).
+class TaskPool {
+ public:
+  explicit TaskPool(size_t threads) {
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  ~TaskPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  /// Runs `body(i)` for every i in [0, n); returns when all completed.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+    if (n == 0) return;
+    if (n == 1 || workers_.empty()) {
+      for (size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::lock_guard<std::mutex> serialize(run_mu_);
+    Batch batch;
+    batch.body = &body;
+    batch.n = n;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_ = &batch;
+    }
+    cv_.notify_all();
+    Run(&batch);  // the caller helps
+    // The batch lives on this stack frame: wait until every index ran
+    // AND no worker still holds the pointer (`active_` covers the gap
+    // between a worker's last claim attempt and its release).
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_ = nullptr;
+    while (batch.done.load(std::memory_order_acquire) < n || active_ > 0) {
+      done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  struct Batch {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  static void Run(Batch* batch) {
+    for (;;) {
+      const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->n) return;
+      (*batch->body)(i);
+      batch->done.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (stop_) return;
+      Batch* batch = batch_;
+      if (batch != nullptr &&
+          batch->next.load(std::memory_order_relaxed) < batch->n) {
+        ++active_;
+        lock.unlock();
+        Run(batch);
+        lock.lock();
+        --active_;
+        done_cv_.notify_all();
+      } else {
+        cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+    }
+  }
+
+  std::mutex run_mu_;  // serializes ParallelFor callers
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;  // guarded by mu_
+  size_t active_ = 0;       // workers inside Run; guarded by mu_
+  bool stop_ = false;       // guarded by mu_
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace sl::exec

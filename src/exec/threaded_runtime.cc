@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -34,12 +36,24 @@ void SpinFor(int64_t ns) {
 }  // namespace
 
 /// What flows through a channel: a tuple with its piggybacked watermark
-/// and ingestion stamp, a flush punctuation, or end-of-stream.
+/// and ingestion stamp, a batch of such tuples, a flush punctuation, or
+/// end-of-stream.
 struct ThreadedRuntime::Message {
-  enum class Kind : uint8_t { kData, kPunct, kEos };
+  enum class Kind : uint8_t { kData, kPunct, kEos, kBatch };
+  /// One tuple of a kBatch run with its own lineage. The per-item
+  /// watermark is what a kData message would have carried; the batch
+  /// folds them into one sealed message watermark (their max — safe
+  /// because the per-port frontier is a max-merge and is only consulted
+  /// at punctuation barriers, which FIFO-follow the whole batch).
+  struct Item {
+    stt::TupleRef tuple;
+    Timestamp watermark = stt::kNoWatermark;
+    int64_t ingest_ns = 0;
+  };
   Kind kind = Kind::kData;
   stt::TupleRef tuple;
-  Timestamp watermark = stt::kNoWatermark;  // kData: producer's promise
+  std::vector<Item> items;  // kBatch: coalesced run of data tuples
+  Timestamp watermark = stt::kNoWatermark;  // kData/kBatch: promise
   Timestamp time = 0;                       // kPunct: virtual time reached
   int64_t ingest_ns = 0;  // kData: wall clock at Feed (0 = untracked)
 };
@@ -88,16 +102,33 @@ struct ThreadedRuntime::Stage {
   std::vector<Timestamp> punct_in;  ///< last punctuation per input
   std::vector<bool> input_closed;   ///< end-of-stream reached per input
   Timestamp punct_min = 0;
+  size_t eos_count = 0;      ///< closed inputs (owner thread)
   Duration interval = 0;     ///< blocking operators only
   Timestamp next_flush = 0;  ///< 0 = non-blocking, no flush schedule
   int64_t current_ingest_ns = 0;  ///< lineage for emissions in Process
   std::vector<int64_t> latencies_ns;  ///< sinks: Feed-to-delivery
+  /// Pending batched emissions (batch_max > 1), sealed into one kBatch
+  /// per output at the batch bound, before punctuation is forwarded,
+  /// and at the end of every quantum.
+  std::vector<Message::Item> emit_buffer;
+
+  // Pooled scheduling (pool_size > 0): the claim token that keeps the
+  // worker-owned state above single-threaded even though any pool
+  // worker (or a helping producer) may run the stage. Transitions:
+  // kIdle->kQueued (ScheduleStage, with a ready-deque hint),
+  // kQueued->kRunning (PopReady/TryHelp claim), kRunning->kRunningDirty
+  // (a producer pushed mid-run), kRunning->kIdle (clean release; a
+  // dirty mark makes the release CAS fail and forces a re-check).
+  enum RunState : int { kIdle = 0, kQueued = 1, kRunning = 2, kDirty = 3 };
+  std::atomic<int> run_state{kIdle};
+  std::atomic<bool> done{false};  ///< all inputs closed, EOS forwarded
 
   // Gauges (relaxed atomics, sampled cross-thread).
   std::atomic<uint64_t> in_count{0};
   std::atomic<uint64_t> out_count{0};
   std::atomic<uint64_t> process_errors{0};
   std::atomic<size_t> cache_gauge{0};
+  std::atomic<uint64_t> quanta{0};  ///< pooled/help quanta executed
 };
 
 /// Thread-safe trigger activation recorder: trigger stages run on their
@@ -168,6 +199,23 @@ Status ThreadedRuntime::Build() {
                                           op_options));
     operators_.emplace(name, std::move(op));
   }
+  // Per-instance shard threads: partitioned operators get a TaskPool-
+  // backed executor so an N-way operator's shards flush concurrently.
+  // Shard flush bodies only touch per-shard state and per-shard capture
+  // buffers (never the channel rings), so they cannot block each other.
+  if (options_.shard_threads > 1) {
+    for (auto& [name, op] : operators_) {
+      if (op->parallelism() <= 1) continue;
+      if (shard_pool_ == nullptr) {
+        shard_pool_ = std::make_unique<TaskPool>(options_.shard_threads);
+      }
+      TaskPool* pool = shard_pool_.get();
+      op->set_shard_executor(
+          [pool](size_t n, const std::function<void(size_t)>& body) {
+            pool->ParallelFor(n, body);
+          });
+    }
+  }
   for (const auto& name : dataflow_.SinkNames()) {
     const Node& node = **dataflow_.node(name);
     SL_ASSIGN_OR_RETURN(
@@ -234,18 +282,32 @@ Status ThreadedRuntime::Build() {
   for (auto& stage : stages_) {
     if (stage->op == nullptr) continue;
     Stage* s = stage.get();
-    s->op->set_emit([this, s](const stt::TupleRef& t) {
-      s->out_count.fetch_add(1, std::memory_order_relaxed);
-      Message m;
-      m.kind = Message::Kind::kData;
-      m.tuple = t;
-      m.watermark = s->op->output_watermark();
-      m.ingest_ns = s->current_ingest_ns;
-      for (Channel* out : s->outputs) {
-        Message copy = m;
-        PushBlocking(out, std::move(copy));
-      }
-    });
+    if (options_.batch_max > 1) {
+      // Batch-aware transfer: emissions accumulate in the stage's
+      // buffer (with the watermark a kData message would have carried)
+      // and seal into one ring message at the batch bound, before any
+      // punctuation goes out, and at the end of every quantum.
+      s->op->set_emit([this, s](const stt::TupleRef& t) {
+        s->out_count.fetch_add(1, std::memory_order_relaxed);
+        if (s->outputs.empty()) return;
+        s->emit_buffer.push_back(
+            {t, s->op->output_watermark(), s->current_ingest_ns});
+        if (s->emit_buffer.size() >= options_.batch_max) FlushEmitBuffers(s);
+      });
+    } else {
+      s->op->set_emit([this, s](const stt::TupleRef& t) {
+        s->out_count.fetch_add(1, std::memory_order_relaxed);
+        Message m;
+        m.kind = Message::Kind::kData;
+        m.tuple = t;
+        m.watermark = s->op->output_watermark();
+        m.ingest_ns = s->current_ingest_ns;
+        for (Channel* out : s->outputs) {
+          Message copy = m;
+          PushBlocking(out, std::move(copy));
+        }
+      });
+    }
     s->op->set_late_emit([this](const stt::TupleRef& t) {
       std::lock_guard<std::mutex> lock(late_mu_);
       late_rows_.push_back(t->ToString());
@@ -261,9 +323,19 @@ Status ThreadedRuntime::Start() {
   SL_RETURN_IF_ERROR(Build());
   started_ = true;
   wall_start_ = std::chrono::steady_clock::now();
-  for (auto& stage : stages_) {
-    Stage* s = stage.get();
-    s->thread = std::thread([this, s] { StageLoop(s); });
+  if (options_.pool_size > 0) {
+    // Per-node worker pool: the node's stages multiplex over pool_size
+    // workers via the run_state claim protocol instead of getting one
+    // dedicated thread each.
+    pool_threads_.reserve(options_.pool_size);
+    for (size_t i = 0; i < options_.pool_size; ++i) {
+      pool_threads_.emplace_back([this] { PoolLoop(); });
+    }
+  } else {
+    for (auto& stage : stages_) {
+      Stage* s = stage.get();
+      s->thread = std::thread([this, s] { StageLoop(s); });
+    }
   }
   return Status::OK();
 }
@@ -326,14 +398,34 @@ void ThreadedRuntime::PushBlocking(Channel* channel, Message&& message) {
     channel->bytes.fetch_add(message.tuple->ApproxValueBytes(),
                              std::memory_order_relaxed);
   }
+  for (const Message::Item& item : message.items) {
+    channel->bytes.fetch_add(item.tuple->ApproxValueBytes(),
+                             std::memory_order_relaxed);
+  }
   if (!channel->ring.TryPush(message)) {
-    // Out of credits: the consumer is behind. Park until a pop returns
-    // one (backpressure) or the run is aborted.
+    // Out of credits: the consumer is behind.
     channel->backpressure_waits.fetch_add(1, std::memory_order_relaxed);
-    bool pushed = channel->space.Await(
-        [&] { return channel->ring.TryPush(message); },
-        [&] { return abort_.load(std::memory_order_relaxed); });
-    if (!pushed) return;  // aborted; the message is dropped
+    if (options_.pool_size > 0) {
+      // Pooled mode: parking could deadlock the pool (every worker
+      // blocked pushing into rings only pooled workers drain). Instead
+      // the producer help-runs its consumer inline; a failed claim
+      // means another thread is draining it right now, and the chain
+      // of helpers bottoms out at the sinks, which never push.
+      for (;;) {
+        if (channel->ring.TryPush(message)) break;
+        if (abort_.load(std::memory_order_relaxed)) return;  // dropped
+        if (!TryHelp(channel->consumer)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+    } else {
+      // Dedicated workers: park until a pop returns a credit
+      // (backpressure) or the run is aborted.
+      bool pushed = channel->space.Await(
+          [&] { return channel->ring.TryPush(message); },
+          [&] { return abort_.load(std::memory_order_relaxed); });
+      if (!pushed) return;  // aborted; the message is dropped
+    }
   }
   const uint64_t depth =
       channel->pushed.fetch_add(1, std::memory_order_relaxed) + 1 -
@@ -341,7 +433,11 @@ void ThreadedRuntime::PushBlocking(Channel* channel, Message&& message) {
   if (depth > channel->peak_depth.load(std::memory_order_relaxed)) {
     channel->peak_depth.store(depth, std::memory_order_relaxed);
   }
-  channel->consumer->work.Notify();
+  if (options_.pool_size > 0) {
+    ScheduleStage(channel->consumer);
+  } else {
+    channel->consumer->work.Notify();
+  }
 }
 
 void ThreadedRuntime::HandleData(Stage* stage, size_t input_idx,
@@ -369,6 +465,74 @@ void ThreadedRuntime::HandleData(Stage* stage, size_t input_idx,
       stage->process_errors.fetch_add(1, std::memory_order_relaxed);
     }
   }
+}
+
+void ThreadedRuntime::HandleBatch(Stage* stage, size_t input_idx,
+                                  Message& message) {
+  if (stage->op != nullptr) {
+    Channel* channel = stage->inputs[input_idx];
+    // One frontier fold for the whole run: the sealed watermark is the
+    // max over the items' per-tuple promises, the per-port fold is a
+    // max-merge, and the frontier is only consulted at punctuation
+    // barriers, which FIFO-follow the batch — so this is equivalent to
+    // observing each item's watermark in turn.
+    stage->op->ObserveWatermark(channel->port, message.watermark);
+    for (const Message::Item& item : message.items) {
+      stage->in_count.fetch_add(1, std::memory_order_relaxed);
+      stage->current_ingest_ns = item.ingest_ns;
+      Status status = stage->op->Process(channel->port, item.tuple);
+      if (!status.ok()) {
+        stage->process_errors.fetch_add(1, std::memory_order_relaxed);
+        SL_LOG(kError) << "threaded process of " << stage->name
+                       << " failed: " << status.ToString();
+      }
+    }
+    return;
+  }
+  for (const Message::Item& item : message.items) {
+    stage->in_count.fetch_add(1, std::memory_order_relaxed);
+    if (options_.sink_delay_ns > 0) SpinFor(options_.sink_delay_ns);
+    if (item.ingest_ns > 0) {
+      stage->latencies_ns.push_back(NowNs() - item.ingest_ns);
+    }
+    if (!options_.count_only_sinks) {
+      Status status = stage->sink->Write(item.tuple);
+      if (!status.ok()) {
+        stage->process_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void ThreadedRuntime::FlushEmitBuffers(Stage* stage) {
+  if (stage->emit_buffer.empty()) return;
+  if (stage->emit_buffer.size() == 1) {
+    // A lone buffered tuple travels as plain kData (no batch overhead).
+    const Message::Item& item = stage->emit_buffer.front();
+    Message m;
+    m.kind = Message::Kind::kData;
+    m.tuple = item.tuple;
+    m.watermark = item.watermark;
+    m.ingest_ns = item.ingest_ns;
+    for (Channel* out : stage->outputs) {
+      Message copy = m;
+      PushBlocking(out, std::move(copy));
+    }
+  } else {
+    Message m;
+    m.kind = Message::Kind::kBatch;
+    m.items = std::move(stage->emit_buffer);
+    // output_watermark() is monotone, so the last item carries the max.
+    m.watermark = m.items.back().watermark;
+    for (size_t i = 0; i + 1 < stage->outputs.size(); ++i) {
+      Message copy = m;
+      PushBlocking(stage->outputs[i], std::move(copy));
+    }
+    if (!stage->outputs.empty()) {
+      PushBlocking(stage->outputs.back(), std::move(m));
+    }
+  }
+  stage->emit_buffer.clear();
 }
 
 void ThreadedRuntime::HandlePunct(Stage* stage, size_t input_idx,
@@ -406,6 +570,10 @@ void ThreadedRuntime::AdvanceFrontier(Stage* stage) {
       stage->next_flush += stage->interval;
     }
   }
+  // Seal pending batched emissions (data processed earlier in this
+  // round plus anything the flush cascade produced) before forwarding
+  // the punctuation — per-channel FIFO keeps data ahead of its barrier.
+  if (stage->op != nullptr) FlushEmitBuffers(stage);
   Message m;
   m.kind = Message::Kind::kPunct;
   m.time = new_min;
@@ -415,70 +583,217 @@ void ThreadedRuntime::AdvanceFrontier(Stage* stage) {
   }
 }
 
-void ThreadedRuntime::StageLoop(Stage* stage) {
+bool ThreadedRuntime::HasRunnableInput(const Stage* stage) const {
+  for (size_t i = 0; i < stage->inputs.size(); ++i) {
+    if (stage->input_closed[i]) continue;
+    if (stage->punct_in[i] > stage->punct_min) continue;
+    if (!stage->inputs[i]->ring.Empty()) return true;
+  }
+  return false;
+}
+
+bool ThreadedRuntime::RunStageQuantum(Stage* stage) {
   const size_t n_inputs = stage->inputs.size();
-  size_t eos_count = 0;
   Message message;
-  while (eos_count < n_inputs) {
-    bool progress = false;
-    for (size_t i = 0; i < n_inputs; ++i) {
-      if (stage->input_closed[i]) continue;
-      // Barrier: an input whose punctuation is ahead of the stage
-      // frontier already delivered a boundary the other open ports have
-      // not confirmed — draining it further would admit its future
-      // tuples into a window the laggard port has yet to close.
-      if (stage->punct_in[i] > stage->punct_min) continue;
-      Channel* channel = stage->inputs[i];
-      // Bounded drain per round keeps multi-port stages fair: a firehose
-      // on one port cannot starve the other port's punctuation.
-      size_t budget = 256;
-      while (budget-- > 0 && channel->ring.TryPop(&message)) {
-        channel->popped.fetch_add(1, std::memory_order_relaxed);
-        channel->space.Notify();
-        progress = true;
-        if (message.kind == Message::Kind::kEos) {
-          stage->input_closed[i] = true;
-          ++eos_count;
-          // A closed input no longer constrains the frontier; the
-          // remaining open ports may now advance it.
-          AdvanceFrontier(stage);
-          break;
-        }
-        if (message.kind == Message::Kind::kData) {
-          HandleData(stage, i, message);
-        } else {
-          HandlePunct(stage, i, message.time);
-          // The punctuation may have left this port ahead of a slower
-          // sibling: stop draining it until the frontier catches up.
-          if (stage->punct_in[i] > stage->punct_min) break;
-        }
-        if (abort_.load(std::memory_order_relaxed)) return;
+  bool progress = false;
+  for (size_t i = 0; i < n_inputs; ++i) {
+    if (stage->input_closed[i]) continue;
+    // Barrier: an input whose punctuation is ahead of the stage
+    // frontier already delivered a boundary the other open ports have
+    // not confirmed — draining it further would admit its future
+    // tuples into a window the laggard port has yet to close.
+    if (stage->punct_in[i] > stage->punct_min) continue;
+    Channel* channel = stage->inputs[i];
+    // Bounded drain per round keeps multi-port stages fair: a firehose
+    // on one port cannot starve the other port's punctuation. In pool
+    // mode the same bound is the scheduling quantum — a stage yields
+    // its worker after it.
+    size_t budget = 256;
+    while (budget-- > 0 && channel->ring.TryPop(&message)) {
+      channel->popped.fetch_add(1, std::memory_order_relaxed);
+      channel->space.Notify();
+      progress = true;
+      if (message.kind == Message::Kind::kEos) {
+        stage->input_closed[i] = true;
+        ++stage->eos_count;
+        // A closed input no longer constrains the frontier; the
+        // remaining open ports may now advance it.
+        AdvanceFrontier(stage);
+        break;
       }
-      if (abort_.load(std::memory_order_relaxed)) return;
+      if (message.kind == Message::Kind::kData) {
+        HandleData(stage, i, message);
+      } else if (message.kind == Message::Kind::kBatch) {
+        HandleBatch(stage, i, message);
+      } else {
+        HandlePunct(stage, i, message.time);
+        // The punctuation may have left this port ahead of a slower
+        // sibling: stop draining it until the frontier catches up.
+        if (stage->punct_in[i] > stage->punct_min) break;
+      }
+      if (abort_.load(std::memory_order_relaxed)) return progress;
     }
-    if (stage->op != nullptr) {
-      stage->cache_gauge.store(stage->op->stats().cache_size,
-                               std::memory_order_relaxed);
+    if (abort_.load(std::memory_order_relaxed)) return progress;
+  }
+  if (stage->op != nullptr) {
+    stage->cache_gauge.store(stage->op->stats().cache_size,
+                             std::memory_order_relaxed);
+    // Seal pending batched emissions before the stage yields or parks —
+    // a buffered tuple must never wait on more input arriving.
+    FlushEmitBuffers(stage);
+  }
+  if (stage->eos_count >= n_inputs &&
+      !stage->done.load(std::memory_order_relaxed)) {
+    // All inputs closed and drained: close downstream, exactly once.
+    for (Channel* out : stage->outputs) {
+      Message m;
+      m.kind = Message::Kind::kEos;
+      PushBlocking(out, std::move(m));
     }
-    if (!progress && eos_count < n_inputs) {
-      stage->work.Await(
-          [&] {
-            for (size_t i = 0; i < n_inputs; ++i) {
-              if (stage->input_closed[i]) continue;
-              if (stage->punct_in[i] > stage->punct_min) continue;
-              if (!stage->inputs[i]->ring.Empty()) return true;
-            }
-            return false;
-          },
-          [&] { return abort_.load(std::memory_order_relaxed); });
+    stage->done.store(true, std::memory_order_release);
+    stages_done_.fetch_add(1, std::memory_order_relaxed);
+    pool_gate_.Notify();
+  }
+  return progress;
+}
+
+void ThreadedRuntime::StageLoop(Stage* stage) {
+  while (!stage->done.load(std::memory_order_relaxed)) {
+    const bool progress = RunStageQuantum(stage);
+    if (abort_.load(std::memory_order_relaxed)) return;
+    if (!progress && !stage->done.load(std::memory_order_relaxed)) {
+      stage->work.Await([&] { return HasRunnableInput(stage); },
+                        [&] { return abort_.load(std::memory_order_relaxed); });
       if (abort_.load(std::memory_order_relaxed)) return;
     }
   }
-  // All inputs closed and drained: close downstream.
-  for (Channel* out : stage->outputs) {
-    Message m;
-    m.kind = Message::Kind::kEos;
-    PushBlocking(out, std::move(m));
+}
+
+// -- pooled scheduling -------------------------------------------------------
+//
+// run_state is the claim token: whoever CASes a stage into kRunning is
+// its worker for one quantum, which keeps the worker-owned stage state
+// single-threaded with the handoff ordered by the CAS itself. The
+// release protocol closes the classic lost-wakeup race without a
+// rescan: a producer that pushes while the stage runs either marks it
+// dirty (the release CAS fails and the runner re-checks) or finds it
+// idle afterwards and queues it.
+
+void ThreadedRuntime::ScheduleStage(Stage* stage) {
+  for (;;) {
+    int state = stage->run_state.load();
+    if (state == Stage::kQueued || state == Stage::kDirty) return;
+    if (state == Stage::kIdle) {
+      int expected = Stage::kIdle;
+      if (stage->run_state.compare_exchange_weak(expected, Stage::kQueued)) {
+        {
+          std::lock_guard<std::mutex> lock(ready_mu_);
+          ready_.push_back(stage);
+        }
+        pool_gate_.Notify();
+        return;
+      }
+    } else {  // kRunning: tell the runner to re-check before idling
+      int expected = Stage::kRunning;
+      if (stage->run_state.compare_exchange_weak(expected, Stage::kDirty)) {
+        return;
+      }
+    }
+  }
+}
+
+ThreadedRuntime::Stage* ThreadedRuntime::PopReady() {
+  std::lock_guard<std::mutex> lock(ready_mu_);
+  while (!ready_.empty()) {
+    Stage* stage = ready_.front();
+    ready_.pop_front();
+    // Validate the hint: a helper may have claimed the stage already
+    // (stale entry — drop it; its claim token moved to a newer entry).
+    int expected = Stage::kQueued;
+    if (stage->run_state.compare_exchange_strong(expected, Stage::kRunning)) {
+      return stage;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadedRuntime::ReleaseStage(Stage* stage) {
+  for (;;) {
+    if (stage->done.load(std::memory_order_relaxed) ||
+        abort_.load(std::memory_order_relaxed)) {
+      stage->run_state.store(Stage::kIdle);
+      return;
+    }
+    if (HasRunnableInput(stage)) {
+      // Requeue at the back: FIFO fairness across the node's stages.
+      stage->run_state.store(Stage::kQueued);
+      {
+        std::lock_guard<std::mutex> lock(ready_mu_);
+        ready_.push_back(stage);
+      }
+      pool_gate_.Notify();
+      return;
+    }
+    int expected = Stage::kRunning;
+    if (stage->run_state.compare_exchange_strong(expected, Stage::kIdle)) {
+      return;  // clean release; the next push queues the stage
+    }
+    // A producer pushed mid-run (kDirty): re-check with the claim held.
+    stage->run_state.store(Stage::kRunning);
+  }
+}
+
+bool ThreadedRuntime::TryHelp(Stage* stage) {
+  int expected = Stage::kIdle;
+  if (!stage->run_state.compare_exchange_strong(expected, Stage::kRunning)) {
+    expected = Stage::kQueued;
+    if (!stage->run_state.compare_exchange_strong(expected, Stage::kRunning)) {
+      return false;  // claimed elsewhere — it is making progress
+    }
+  }
+  stage->quanta.fetch_add(1, std::memory_order_relaxed);
+  RunStageQuantum(stage);
+  ReleaseStage(stage);
+  return true;
+}
+
+void ThreadedRuntime::PoolLoop() {
+  const size_t total = stages_.size();
+  while (!abort_.load(std::memory_order_relaxed) &&
+         stages_done_.load(std::memory_order_relaxed) < total) {
+    Stage* stage = PopReady();
+    if (stage == nullptr) {
+      pool_gate_.Await(
+          [&] {
+            if (abort_.load(std::memory_order_relaxed)) return true;
+            if (stages_done_.load(std::memory_order_relaxed) >= total) {
+              return true;
+            }
+            std::lock_guard<std::mutex> lock(ready_mu_);
+            return !ready_.empty();
+          },
+          [&] { return abort_.load(std::memory_order_relaxed); });
+      continue;
+    }
+    stage->quanta.fetch_add(1, std::memory_order_relaxed);
+    RunStageQuantum(stage);
+    ReleaseStage(stage);
+  }
+}
+
+void ThreadedRuntime::JoinWorkers() {
+  // Feed threads (live mode) first: they are the producers the worker
+  // drain depends on. The mutex makes joining idempotent when Abort
+  // races Finish/WaitLive from another thread.
+  std::lock_guard<std::mutex> lock(join_mu_);
+  for (auto& thread : feed_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  for (auto& stage : stages_) {
+    if (stage->thread.joinable()) stage->thread.join();
+  }
+  for (auto& thread : pool_threads_) {
+    if (thread.joinable()) thread.join();
   }
 }
 
@@ -489,15 +804,22 @@ Result<ThreadedRunResult> ThreadedRuntime::Finish(Timestamp end_time) {
   if (finished_) {
     return Status::FailedPrecondition("threaded runtime already finished");
   }
+  if (live_) {
+    return Status::FailedPrecondition(
+        "live runs finish via WaitLive (the feed threads already own the "
+        "punctuation schedule and end-of-stream)");
+  }
   AdvanceTime(end_time);
   for (Channel* channel : all_source_channels_) {
     Message m;
     m.kind = Message::Kind::kEos;
     PushBlocking(channel, std::move(m));
   }
-  for (auto& stage : stages_) {
-    if (stage->thread.joinable()) stage->thread.join();
-  }
+  return FinishCollect();
+}
+
+Result<ThreadedRunResult> ThreadedRuntime::FinishCollect() {
+  JoinWorkers();
   finished_ = true;
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -563,9 +885,8 @@ void ThreadedRuntime::Abort() {
   abort_.store(true, std::memory_order_relaxed);
   for (auto& stage : stages_) stage->work.Notify();
   for (auto& channel : channels_) channel->space.Notify();
-  for (auto& stage : stages_) {
-    if (stage->thread.joinable()) stage->thread.join();
-  }
+  pool_gate_.Notify();
+  JoinWorkers();
   finished_ = true;
 }
 
@@ -587,6 +908,28 @@ monitor::OperatorSample ThreadedRuntime::SampleStage(const Stage& stage,
   }
   sample.cache_size = stage.cache_gauge.load(std::memory_order_relaxed);
   sample.parallelism = stage.parallelism;
+  sample.pool_size = options_.pool_size;
+  sample.quanta = stage.quanta.load(std::memory_order_relaxed);
+  if (final && stage.op != nullptr && stage.op->parallelism() > 1) {
+    // Per-instance load and key skew, computed as the simulator's
+    // monitor does. Final samples only: the shard counters are plain
+    // fields, safe to read once the workers have joined.
+    const size_t par = stage.op->parallelism();
+    uint64_t max_in = 0;
+    uint64_t sum_in = 0;
+    for (size_t k = 0; k < par; ++k) {
+      const ops::OperatorStats* inst = stage.op->instance_stats(k);
+      uint64_t in = inst != nullptr ? inst->tuples_in : 0;
+      sample.instance_load.push_back(in);
+      max_in = std::max(max_in, in);
+      sum_in += in;
+    }
+    if (sum_in > 0) {
+      sample.key_skew = static_cast<double>(max_in) *
+                        static_cast<double>(par) /
+                        static_cast<double>(sum_in);
+    }
+  }
   uint64_t depth = 0;
   for (const Channel* channel : stage.inputs) {
     uint64_t d;
@@ -617,11 +960,228 @@ std::vector<monitor::OperatorSample> ThreadedRuntime::SampleStages() const {
 Result<ThreadedRunResult> ThreadedRuntime::RunTrace(const InputTrace& trace,
                                                     Timestamp end_time) {
   SL_RETURN_IF_ERROR(Start());
-  for (const TraceEvent& event : trace) {
-    SL_RETURN_IF_ERROR(Feed(event.source, event.tuple, event.at,
-                            event.watermark));
+  if (options_.batch_max <= 1) {
+    for (const TraceEvent& event : trace) {
+      SL_RETURN_IF_ERROR(Feed(event.source, event.tuple, event.at,
+                              event.watermark));
+    }
+    return Finish(end_time);
+  }
+  // Batch-aware replay: runs of consecutive same-source events that
+  // stay below the next flush boundary coalesce into one ring message.
+  // Crossing a boundary would reorder data past its punctuation, so the
+  // run stops there.
+  size_t i = 0;
+  while (i < trace.size()) {
+    const TraceEvent& first = trace[i];
+    auto it = source_channels_.find(first.source);
+    if (it == source_channels_.end()) {
+      return Status::NotFound("'" + first.source +
+                              "' is not a source of dataflow '" +
+                              dataflow_.name() + "'");
+    }
+    AdvanceTime(first.at);
+    // After AdvanceTime every scheduled boundary is strictly ahead of
+    // first.at, so events below the heap top batch safely.
+    const Timestamp limit = boundaries_.empty()
+                                ? std::numeric_limits<Timestamp>::max()
+                                : boundaries_.top().at;
+    size_t j = i + 1;
+    while (j < trace.size() && j - i < options_.batch_max &&
+           trace[j].source == first.source && trace[j].at < limit) {
+      ++j;
+    }
+    fed_.fetch_add(j - i, std::memory_order_relaxed);
+    Message m;
+    if (j - i == 1) {
+      m.kind = Message::Kind::kData;
+      m.tuple = first.tuple;
+      m.watermark = first.watermark;
+      m.ingest_ns = NowNs();
+    } else {
+      m.kind = Message::Kind::kBatch;
+      m.items.reserve(j - i);
+      const int64_t now_ns = NowNs();
+      Timestamp wm = stt::kNoWatermark;
+      for (size_t k = i; k < j; ++k) {
+        m.items.push_back({trace[k].tuple, trace[k].watermark, now_ns});
+        if (trace[k].watermark != stt::kNoWatermark &&
+            (wm == stt::kNoWatermark || trace[k].watermark > wm)) {
+          wm = trace[k].watermark;
+        }
+      }
+      m.watermark = wm;
+      AdvanceTime(trace[j - 1].at);  // bookkeeping; no boundary <= it
+    }
+    for (Channel* channel : it->second) {
+      Message copy = m;
+      PushBlocking(channel, std::move(copy));
+    }
+    i = j;
   }
   return Finish(end_time);
+}
+
+// -- live wall-clock ingestion -----------------------------------------------
+
+void ThreadedRuntime::PaceUntil(Timestamp at) {
+  if (options_.time_scale <= 0) return;
+  // Virtual milliseconds after deploy -> wall nanoseconds after start.
+  const double wall_ns = static_cast<double>(at - options_.deploy_time) *
+                         1e6 / options_.time_scale;
+  const auto deadline =
+      wall_start_ + std::chrono::nanoseconds(static_cast<int64_t>(wall_ns));
+  while (!abort_.load(std::memory_order_relaxed)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    // Abortable slices: never oversleep a shutdown by more than ~1 ms.
+    const auto remaining = deadline - now;
+    std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+        remaining, std::chrono::milliseconds(1)));
+  }
+}
+
+void ThreadedRuntime::FeedLoop(const std::string& source,
+                               std::vector<TraceEvent> events) {
+  const std::vector<Channel*>& channels = source_channels_.at(source);
+  size_t next_punct = 0;
+  // Timer-minted punctuation: every boundary due at or before `through`
+  // goes out before any tuple stamped at or past it — the simulator
+  // tie-break, enforced per source thread. Under pacing each boundary
+  // waits for its own wall deadline, which is what makes it a flush
+  // timer: it fires even when the next tuple is far in the future.
+  auto mint_through = [&](Timestamp through) {
+    while (next_punct < punct_schedule_.size() &&
+           punct_schedule_[next_punct] <= through) {
+      const Timestamp boundary = punct_schedule_[next_punct++];
+      PaceUntil(boundary);
+      if (abort_.load(std::memory_order_relaxed)) return;
+      for (Channel* channel : channels) {
+        Message m;
+        m.kind = Message::Kind::kPunct;
+        m.time = boundary;
+        PushBlocking(channel, std::move(m));
+      }
+    }
+  };
+  size_t i = 0;
+  while (i < events.size() && !abort_.load(std::memory_order_relaxed)) {
+    mint_through(events[i].at);
+    PaceUntil(events[i].at);
+    if (abort_.load(std::memory_order_relaxed)) return;
+    // Unpaced runs may coalesce events up to (not across) the next
+    // boundary; paced runs feed tuple by tuple — every tuple has its
+    // own wall deadline.
+    size_t j = i + 1;
+    if (options_.batch_max > 1 && options_.time_scale <= 0) {
+      const Timestamp limit = next_punct < punct_schedule_.size()
+                                  ? punct_schedule_[next_punct]
+                                  : std::numeric_limits<Timestamp>::max();
+      while (j < events.size() && j - i < options_.batch_max &&
+             events[j].at < limit) {
+        ++j;
+      }
+    }
+    fed_.fetch_add(j - i, std::memory_order_relaxed);
+    Message m;
+    if (j - i == 1) {
+      m.kind = Message::Kind::kData;
+      m.tuple = events[i].tuple;
+      m.watermark = events[i].watermark;
+      m.ingest_ns = NowNs();
+    } else {
+      m.kind = Message::Kind::kBatch;
+      m.items.reserve(j - i);
+      const int64_t now_ns = NowNs();
+      Timestamp wm = stt::kNoWatermark;
+      for (size_t k = i; k < j; ++k) {
+        m.items.push_back({events[k].tuple, events[k].watermark, now_ns});
+        if (events[k].watermark != stt::kNoWatermark &&
+            (wm == stt::kNoWatermark || events[k].watermark > wm)) {
+          wm = events[k].watermark;
+        }
+      }
+      m.watermark = wm;
+    }
+    for (Channel* channel : channels) {
+      Message copy = m;
+      PushBlocking(channel, std::move(copy));
+    }
+    i = j;
+  }
+  // Tail: the rest of the flush schedule (on its wall deadlines when
+  // paced), then end-of-stream.
+  mint_through(std::numeric_limits<Timestamp>::max());
+  if (abort_.load(std::memory_order_relaxed)) return;
+  for (Channel* channel : channels) {
+    Message m;
+    m.kind = Message::Kind::kEos;
+    PushBlocking(channel, std::move(m));
+  }
+}
+
+Status ThreadedRuntime::StartLive(const InputTrace& trace,
+                                  Timestamp end_time) {
+  SL_RETURN_IF_ERROR(Start());
+  live_ = true;
+  // Precompute the union flush schedule once. Every feed thread mints
+  // the full (deduplicated) schedule into its own source's channels —
+  // exactly what the trace-replay driver spreads over EmitPunct calls —
+  // so each stage's min-over-open-inputs barrier sees the identical
+  // punctuation stream on every port.
+  while (!boundaries_.empty() && boundaries_.top().at <= end_time) {
+    Boundary b = boundaries_.top();
+    boundaries_.pop();
+    if (b.at > last_punct_) {
+      punct_schedule_.push_back(b.at);
+      last_punct_ = b.at;
+    }
+    boundaries_.push({b.at + b.interval, b.interval});
+  }
+  // Partition the trace by source; every source feeds — one without
+  // events still carries the punctuation schedule and end-of-stream.
+  std::map<std::string, std::vector<TraceEvent>> per_source;
+  for (const auto& entry : source_channels_) per_source[entry.first];
+  for (const TraceEvent& event : trace) {
+    auto it = per_source.find(event.source);
+    if (it == per_source.end()) {
+      return Status::NotFound("'" + event.source +
+                              "' is not a source of dataflow '" +
+                              dataflow_.name() + "'");
+    }
+    it->second.push_back(event);
+  }
+  feed_threads_.reserve(per_source.size());
+  for (auto& entry : per_source) {
+    std::string source = entry.first;
+    std::vector<TraceEvent> events = std::move(entry.second);
+    feed_threads_.emplace_back(
+        [this, source = std::move(source),
+         events = std::move(events)]() mutable {
+          FeedLoop(source, std::move(events));
+        });
+  }
+  return Status::OK();
+}
+
+Result<ThreadedRunResult> ThreadedRuntime::WaitLive() {
+  if (!started_) {
+    return Status::FailedPrecondition("threaded runtime was never started");
+  }
+  if (!live_) {
+    return Status::FailedPrecondition(
+        "not a live run: trace replay finishes via Finish");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("threaded runtime already finished");
+  }
+  return FinishCollect();
+}
+
+Result<ThreadedRunResult> ThreadedRuntime::RunLive(const InputTrace& trace,
+                                                   Timestamp end_time) {
+  SL_RETURN_IF_ERROR(StartLive(trace, end_time));
+  return WaitLive();
 }
 
 }  // namespace sl::exec

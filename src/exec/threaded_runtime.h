@@ -11,11 +11,9 @@
 // the simulator piggybacks them on network transfers.
 //
 // Equivalence contract. Thread timing is nondeterministic, so the
-// runtime replays a *trace* (the tuples that entered each source, with
-// their virtual ingestion times — captured from a simulated run via
-// ExecutorOptions::source_tap) and aligns the blocking operators' flush
-// schedule with punctuation messages instead of timers: the driver
-// emits punct(B) into every source channel for each flush boundary
+// runtime aligns the blocking operators' flush schedule with
+// punctuation messages instead of raw timers: punct(B) enters every
+// source channel for each flush boundary
 // B = deploy_time + interval + flush_stagger_ms * depth + k * interval,
 // *before* any tuple whose ingestion time equals B (mirroring the event
 // loop's tie-break, where a periodic flush re-armed earlier always runs
@@ -28,20 +26,43 @@
 // a few ms; boundaries are staggered 50 ms apart), the threaded run
 // produces the identical multiset of sink rows — enforced by the
 // SimVsThreadedOracleTest battery (tests/threaded_test.cpp).
+//
+// Two ingestion modes share that contract:
+//  - Trace replay (RunTrace/Feed): the driver thread replays a
+//    simulator-captured trace (ExecutorOptions::source_tap) in global
+//    virtual order and mints the punctuation inline.
+//  - Live ingestion (StartLive/WaitLive/RunLive): one feed thread per
+//    source plays that source's events on the wall clock and mints the
+//    full punctuation schedule itself — the wall-clock analogue of
+//    flush timers. No driver-side global ordering exists, and none is
+//    needed: blocking operators only act at punctuation barriers, and
+//    each channel still delivers its source's tuples in virtual order
+//    with punct(B) ahead of any tuple stamped >= B.
+//
+// Execution modes, orthogonal to ingestion: dedicated worker threads
+// (one per stage, the default), a bounded per-node worker pool
+// (ThreadedOptions::pool_size) multiplexing every stage over N pooled
+// workers with cooperative quantum scheduling, per-instance shard
+// threads (shard_threads) flushing a partitioned operator's shards
+// concurrently, and batch-aware channel transfer (batch_max) coalescing
+// consecutive emissions into one ring message.
 
 #ifndef STREAMLOADER_EXEC_THREADED_RUNTIME_H_
 #define STREAMLOADER_EXEC_THREADED_RUNTIME_H_
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dataflow/graph.h"
+#include "exec/spsc_queue.h"
 #include "monitor/monitor.h"
 #include "ops/debugger.h"
 #include "ops/operator.h"
@@ -88,6 +109,33 @@ struct ThreadedOptions {
   /// Count sink deliveries without writing them (benchmarks that
   /// measure transport, not sink retention).
   bool count_only_sinks = false;
+  /// Per-node worker-pool size. 0 (default) keeps one dedicated thread
+  /// per stage; N > 0 multiplexes every stage of the node over N pooled
+  /// workers: a stage with runnable input is queued, a worker claims it,
+  /// runs one bounded quantum and either requeues it (more input) or
+  /// parks it idle. Blocked producers help-run their consumer instead
+  /// of parking, so a pool of any size stays deadlock-free.
+  size_t pool_size = 0;
+  /// Per-instance shard threads. > 1 installs a TaskPool-backed
+  /// ShardExecutor of this many threads on every partitioned operator,
+  /// so an N-way operator's shards flush concurrently instead of
+  /// sequentially on the stage thread. 0/1 = shared stage thread.
+  size_t shard_threads = 0;
+  /// Batch-aware channel transfer: up to this many consecutive
+  /// emissions (or consecutive same-source trace events between flush
+  /// boundaries) coalesce into one ring message. 1 (default) = off.
+  size_t batch_max = 1;
+  /// Live-mode pacing: virtual milliseconds that elapse per wall-clock
+  /// millisecond (e.g. 1000.0 replays one virtual second per wall
+  /// millisecond). 0 = unpaced: feed threads run flat out. Ordering,
+  /// not pacing, carries correctness — pacing only shapes wall-clock
+  /// latency and throughput measurements.
+  double time_scale = 0;
+  /// StreamLoader::RunThreaded only: run even though the session's
+  /// network has a non-zero fault plan installed. The threaded runtime
+  /// does not simulate network faults, so results then diverge from a
+  /// faulty simulation; without this flag RunThreaded fails fast.
+  bool allow_fault_plan = false;
 };
 
 /// \brief One tuple entering a source, with its virtual ingestion time
@@ -182,6 +230,28 @@ class ThreadedRuntime {
   Result<ThreadedRunResult> RunTrace(const InputTrace& trace,
                                      Timestamp end_time);
 
+  // -- live wall-clock ingestion ------------------------------------------
+
+  /// Starts live ingestion: spawns one feed thread per source. Each
+  /// thread plays its source's share of `trace` in virtual-time order
+  /// (paced against the wall clock when time_scale > 0) and mints the
+  /// full flush-punctuation schedule up to `end_time` itself — the
+  /// wall-clock analogue of per-stage flush timers: when a boundary's
+  /// deadline passes, punct(B) is sent even though no tuple carried the
+  /// clock forward. Sources without events still get a feed thread, so
+  /// punctuation and end-of-stream flow on every channel. Returns
+  /// immediately; do not call Feed/AdvanceTime/Finish afterwards.
+  Status StartLive(const InputTrace& trace, Timestamp end_time);
+
+  /// Joins the live feed threads, drains and joins all workers, and
+  /// returns the collected result (as Finish, which StartLive already
+  /// scheduled: feeds send their own punctuation-to-end and EOS).
+  Result<ThreadedRunResult> WaitLive();
+
+  /// Convenience: StartLive + WaitLive.
+  Result<ThreadedRunResult> RunLive(const InputTrace& trace,
+                                    Timestamp end_time);
+
  private:
   struct Channel;
   struct Stage;
@@ -190,12 +260,43 @@ class ThreadedRuntime {
 
   Status Build();
   void StageLoop(Stage* stage);
+  /// One bounded drain round over the stage's runnable inputs; returns
+  /// whether any message was consumed. The unit of work a pooled worker
+  /// runs per claim; the dedicated StageLoop calls it in a loop.
+  bool RunStageQuantum(Stage* stage);
+  /// True when some open, non-barrier-blocked input ring is non-empty.
+  /// Owner-thread only (reads worker-owned punctuation state).
+  bool HasRunnableInput(const Stage* stage) const;
   void HandleData(Stage* stage, size_t input_idx, Message& message);
+  void HandleBatch(Stage* stage, size_t input_idx, Message& message);
   void HandlePunct(Stage* stage, size_t input_idx, Timestamp time);
   void AdvanceFrontier(Stage* stage);
+  /// Seals the stage's pending emission buffer into its output rings
+  /// (one kBatch — or kData for a single tuple — per output).
+  void FlushEmitBuffers(Stage* stage);
   void PushBlocking(Channel* channel, Message&& message);
   void EmitPunct(Timestamp time);
   monitor::OperatorSample SampleStage(const Stage& stage, bool final) const;
+
+  // -- pooled scheduling ---------------------------------------------------
+  void ScheduleStage(Stage* stage);
+  Stage* PopReady();
+  /// Claims `stage` if idle/queued and runs one quantum inline (a
+  /// blocked producer helping its consumer). False when another thread
+  /// holds it — which means it is making progress elsewhere.
+  bool TryHelp(Stage* stage);
+  /// Returns a claimed stage to the scheduler: requeues it when
+  /// runnable, idles it otherwise (re-checking for a racing push).
+  void ReleaseStage(Stage* stage);
+  void PoolLoop();
+  void JoinWorkers();
+
+  // -- live ingestion ------------------------------------------------------
+  void FeedLoop(const std::string& source, std::vector<TraceEvent> events);
+  /// Sleeps (in abortable slices) until `at`'s wall deadline under
+  /// time_scale pacing; returns immediately when unpaced or aborted.
+  void PaceUntil(Timestamp at);
+  Result<ThreadedRunResult> FinishCollect();
 
   dataflow::Dataflow dataflow_;
   const pubsub::Broker* broker_;
@@ -230,7 +331,28 @@ class ThreadedRuntime {
   std::atomic<uint64_t> fed_{0};
   std::mutex late_mu_;
   std::vector<std::string> late_rows_;
+  std::mutex join_mu_;  ///< makes worker joins idempotent under races
   std::chrono::steady_clock::time_point wall_start_;
+
+  // -- pooled scheduling (pool_size > 0) -----------------------------------
+  // Ready hints: a stage appears here while its run_state is kQueued.
+  // PopReady validates each hint with a CAS, so stale entries (a helper
+  // stole the stage) are dropped harmlessly.
+  std::mutex ready_mu_;
+  std::deque<Stage*> ready_;
+  WaitGate pool_gate_;
+  std::vector<std::thread> pool_threads_;
+  std::atomic<size_t> stages_done_{0};
+
+  // -- shard threads (shard_threads > 1) -----------------------------------
+  std::unique_ptr<TaskPool> shard_pool_;
+
+  // -- live ingestion ------------------------------------------------------
+  bool live_ = false;
+  /// The deduplicated union flush schedule up to the live end time;
+  /// every feed thread walks it with its own cursor.
+  std::vector<Timestamp> punct_schedule_;
+  std::vector<std::thread> feed_threads_;
 };
 
 }  // namespace sl::exec

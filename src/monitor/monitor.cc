@@ -53,6 +53,10 @@ std::string MonitorReport::ToString() const {
                           static_cast<unsigned long long>(
                               op.backpressure_waits));
     }
+    if (op.pool_size > 0) {
+      extras += StrFormat("  pool %zu quanta %llu", op.pool_size,
+                          static_cast<unsigned long long>(op.quanta));
+    }
     out += StrFormat(
         "  %-24s on %-10s  in %8.1f t/s  out %8.1f t/s  cache %6zu%s\n",
         (op.dataflow + "/" + op.op_name).c_str(), op.node_id.c_str(),
@@ -123,6 +127,10 @@ std::string MonitorReport::ToJson() const {
       w.Key("queue_depth"); w.Int(static_cast<int64_t>(op.queue_depth));
       w.Key("backpressure_waits");
       w.Int(static_cast<int64_t>(op.backpressure_waits));
+    }
+    if (op.pool_size > 0) {
+      w.Key("pool_size"); w.Int(static_cast<int64_t>(op.pool_size));
+      w.Key("quanta"); w.Int(static_cast<int64_t>(op.quanta));
     }
     w.EndObject();
   }

@@ -51,6 +51,12 @@ struct OperatorSample {
   /// Threaded runtime only: producer stalls on this stage's full input
   /// rings — the credit-based backpressure counter.
   uint64_t backpressure_waits = 0;
+  /// Threaded runtime, pooled mode only: size of the worker pool the
+  /// stage multiplexes over (0 = dedicated thread per stage).
+  size_t pool_size = 0;
+  /// Threaded runtime, pooled mode only: scheduling quanta this stage
+  /// has been claimed for (pool workers plus helping producers).
+  uint64_t quanta = 0;
 };
 
 /// \brief Per-node measurements over one monitoring window.

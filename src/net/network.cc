@@ -501,6 +501,7 @@ Duration Network::PathDelay(const std::vector<std::string>& path,
 
 Status Network::InstallFaultPlan(const FaultPlan& plan) {
   faults_enabled_ = true;
+  installed_plan_ = plan;
   fault_rng_.Seed(plan.seed());
   default_fault_profile_ = plan.default_profile();
   for (auto& link : links_) {

@@ -158,6 +158,12 @@ class Network {
   /// True once a plan is installed (fault rolls are active).
   bool fault_plan_installed() const { return faults_enabled_; }
 
+  /// The most recently installed plan (a default-constructed zero plan
+  /// until InstallFaultPlan runs). Lets callers that cannot honor
+  /// faults — e.g. StreamLoader::RunThreaded — distinguish a harmless
+  /// all-zero plan from one that would actually perturb delivery.
+  const FaultPlan& installed_fault_plan() const { return installed_plan_; }
+
   /// Crashes (`up == false`) or restarts a node. While down it neither
   /// sends, receives nor forwards; in-flight messages to it are lost.
   Status SetNodeUp(const std::string& id, bool up);
@@ -279,6 +285,7 @@ class Network {
 
   // Fault injection + reliable delivery.
   bool faults_enabled_ = false;
+  FaultPlan installed_plan_;            ///< copy of the last installed plan
   FaultProfile default_fault_profile_;  ///< applied to links added later
   Rng fault_rng_;
   FaultStats fault_stats_;

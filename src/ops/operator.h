@@ -26,6 +26,16 @@ namespace sl::ops {
 /// refs: the executor forwards the same ref to every out-edge.
 using EmitFn = std::function<void(const stt::TupleRef&)>;
 
+/// \brief Parallel-for over partitioned instances.
+///
+/// Runs `body(k)` for every k in [0, n) — possibly concurrently — and
+/// returns only when every call has completed. The threaded runtime
+/// installs one on partitioned wrappers so an N-way operator's shards
+/// flush on their own threads; the discrete-event simulator installs
+/// none and shards flush sequentially on the calling thread.
+using ShardExecutor =
+    std::function<void(size_t n, const std::function<void(size_t)>& body)>;
+
 /// \brief Receiver of trigger activation requests.
 ///
 /// Trigger On/Off operators do not know how streams are started or
@@ -187,6 +197,11 @@ class Operator {
   /// (elastic scale-out/in). Only the partitioned wrapper implements
   /// this; everything else reports Unimplemented.
   virtual Status Rescale(size_t new_parallelism);
+
+  /// Installs a parallel executor for per-instance flush work. Only the
+  /// partitioned wrapper honors it; single-instance operators have no
+  /// independent shards to run and ignore the installation.
+  virtual void set_shard_executor(ShardExecutor executor) { (void)executor; }
 
   /// Resets the in/out counters (monitoring-window rollover); cache
   /// contents are untouched. Virtual so the partitioned wrapper can

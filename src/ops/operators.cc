@@ -191,6 +191,16 @@ class CullSpaceOperator : public Operator {
 // benchmarks.
 
 /// @_{t,{a1..an}}^{op}(s)
+/// SplitMix64 finalizer: spreads a wrapper-assigned global sequence
+/// number into a well-mixed 64-bit word so the XOR-combined window
+/// signatures below behave like a random hash of the member set.
+uint64_t MixGseq(uint64_t g) {
+  g += 0x9e3779b97f4a7c15ull;
+  g = (g ^ (g >> 30)) * 0xbf58476d1ce4e5b9ull;
+  g = (g ^ (g >> 27)) * 0x94d049bb133111ebull;
+  return g ^ (g >> 31);
+}
+
 class AggregationOperator : public Operator {
  public:
   AggregationOperator(std::string name, stt::SchemaPtr out_schema,
@@ -217,7 +227,13 @@ class AggregationOperator : public Operator {
       return Status::OK();
     }
     stats_.dropped += cache_.Add(tuple);
-    if (!naive_) IndexArrival(cache_.entries().back());
+    const TupleCache::Entry& entry = cache_.entries().back();
+    if (shard_mode_) {
+      gseq_by_seq_.emplace(entry.seq,
+                           GseqRec{entry.tuple->timestamp(), pending_gseq_});
+      if (gseq_by_seq_.size() > 2 * cache_.size() + 64) SweepGseqs();
+    }
+    if (!naive_) IndexArrival(entry);
     stats_.cache_size = cache_.size();
     return Status::OK();
   }
@@ -247,13 +263,28 @@ class AggregationOperator : public Operator {
   // end sequences.
 
   /// One recorded window signature: `tag` is the flush tick
-  /// (processing regime) or the fired window end (event regime).
+  /// (processing regime) or the fired window end (event regime). The
+  /// signature is the XOR of the mixed wrapper-level sequence numbers
+  /// of the window's live members plus their count — commutative, so
+  /// the wrapper can combine shard slices by XOR/sum into a value that
+  /// does not depend on how many shards the members are spread over
+  /// (which is what lets sliding-window dedup survive a rescale).
   struct ShardSig {
     Timestamp tag;
     uint64_t sig;
+    uint64_t count;
   };
 
   void EnableShardMode(size_t) { shard_mode_ = true; }
+  /// Wrapper-level sequence number stamped onto the next cached tuple
+  /// (called immediately before each shard-mode Process).
+  void SetPendingGseq(uint64_t gseq) { pending_gseq_ = gseq; }
+  /// The wrapper-level sequence number a cached entry carries (rescale
+  /// replay re-attaches these so signatures stay comparable).
+  uint64_t GseqOf(uint64_t seq) const {
+    auto it = gseq_by_seq_.find(seq);
+    return it != gseq_by_seq_.end() ? it->second.gseq : seq;
+  }
   Timestamp OldestCachedTs() const { return OldestTs(cache_); }
   void SetOldestOverride(Timestamp t) { oldest_override_ = t; }
   /// Tag of the window the currently captured emission belongs to.
@@ -312,7 +343,7 @@ class AggregationOperator : public Operator {
     auto view = WindowView(cache_, std::numeric_limits<Timestamp>::min(), now,
                            /*sorted=*/false);
     if (shard_mode_) {
-      if (spec_.window > 0) shard_sigs_.push_back({now, SeqSignature(view)});
+      if (spec_.window > 0) shard_sigs_.push_back(ShardSigOfView(now, view));
       if (!view.empty()) EmitGroups(view, now);
     } else if (!view.empty() && ChangedSinceLastEmit(view)) {
       EmitGroups(view, now);
@@ -365,7 +396,9 @@ class AggregationOperator : public Operator {
     }
     bool emit;
     if (shard_mode_) {
-      shard_sigs_.push_back({now, SeqSignatureOf(std::move(seqs))});
+      uint64_t sig = 0;
+      for (uint64_t seq : seqs) sig ^= MixGseq(GseqOf(seq));
+      shard_sigs_.push_back({now, sig, seqs.size()});
       emit = !groups.empty();
     } else {
       emit = !groups.empty() &&
@@ -396,7 +429,7 @@ class AggregationOperator : public Operator {
                          : pane_.View(cache_, begin, end);
       event_.MarkFired(end);
       if (shard_mode_) {
-        if (spec_.window > 0) shard_sigs_.push_back({end, SeqSignature(view)});
+        if (spec_.window > 0) shard_sigs_.push_back(ShardSigOfView(end, view));
         if (view.empty()) continue;
       } else if (view.empty() || !ChangedSinceLastEmit(view)) {
         continue;
@@ -656,6 +689,24 @@ class AggregationOperator : public Operator {
     }
   }
 
+  /// Shard-mode window signature of a flush view (its live members).
+  ShardSig ShardSigOfView(
+      Timestamp tag, const std::vector<const TupleCache::Entry*>& view) const {
+    uint64_t sig = 0;
+    for (const auto* entry : view) sig ^= MixGseq(GseqOf(entry->seq));
+    return {tag, sig, view.size()};
+  }
+
+  void SweepGseqs() {
+    for (auto it = gseq_by_seq_.begin(); it != gseq_by_seq_.end();) {
+      if (cache_.Live(it->first, it->second.ts)) {
+        ++it;
+      } else {
+        it = gseq_by_seq_.erase(it);
+      }
+    }
+  }
+
   stt::SchemaPtr in_schema_;
   AggregationSpec spec_;
   std::vector<size_t> group_indexes_;
@@ -682,6 +733,13 @@ class AggregationOperator : public Operator {
   std::optional<Timestamp> oldest_override_;
   Timestamp shard_tag_ = 0;
   std::vector<ShardSig> shard_sigs_;
+  // Wrapper-level sequence numbers by cache seq (shard mode only).
+  struct GseqRec {
+    Timestamp ts;
+    uint64_t gseq;
+  };
+  uint64_t pending_gseq_ = 0;
+  std::unordered_map<uint64_t, GseqRec> gseq_by_seq_;
 };
 
 /// s1 |><|_{pred}^{t} s2
@@ -1339,6 +1397,10 @@ class PartitionedBase : public Operator {
     for (auto& s : shards_) s->ResetWindowCounters();
   }
 
+  void set_shard_executor(ShardExecutor executor) override {
+    shard_executor_ = std::move(executor);
+  }
+
   Timestamp output_watermark() const override {
     // Min over shards. Identical frontiers and the shared oldest anchor
     // keep every shard's promise equal, so this is the N = 1 value.
@@ -1362,14 +1424,19 @@ class PartitionedBase : public Operator {
 
   /// Takes ownership of a shard set, rewiring emit hooks. Outside a
   /// flush (trigger pass-through) shard emissions flow straight out.
+  /// Captured emissions go to a per-shard buffer: during a parallel
+  /// flush each shard's thread writes only its own buffer, and the
+  /// buffers concatenate in shard index order — exactly the order the
+  /// sequential shard-by-shard flush appends to one shared vector.
   void AdoptShards(std::vector<std::unique_ptr<Inner>> shards) {
     shards_ = std::move(shards);
+    shard_captured_.resize(shards_.size());
     for (size_t k = 0; k < shards_.size(); ++k) {
       Inner* shard = shards_[k].get();
       shard->EnableShardMode(k);
       shard->set_emit([this, shard, k](const TupleRef& t) {
         if (capturing_) {
-          captured_.push_back({k, ShardTagOf(*shard), t});
+          shard_captured_[k].push_back({k, ShardTagOf(*shard), t});
         } else {
           Emit(t);
         }
@@ -1385,18 +1452,42 @@ class PartitionedBase : public Operator {
     return 0;
   }
 
-  /// Flushes every shard in index order with emissions diverted into
-  /// `captured_` for the caller's merge.
+  /// Flushes every shard — concurrently when a ShardExecutor is
+  /// installed, in index order otherwise — with emissions diverted into
+  /// the per-shard capture buffers, then concatenated into `captured_`
+  /// for the caller's merge. Keys (and so emissions) are disjoint
+  /// across shards and the concatenation is in shard index order, so
+  /// the merged vector is identical either way.
   Status FlushShards(Timestamp now) {
-    captured_.clear();
+    DiscardCaptured();
     capturing_ = true;
-    Status status = Status::OK();
-    for (auto& s : shards_) {
-      status = s->Flush(now);
-      if (!status.ok()) break;
+    std::vector<Status> statuses(shards_.size(), Status::OK());
+    auto flush_one = [&](size_t k) { statuses[k] = shards_[k]->Flush(now); };
+    if (shard_executor_ && shards_.size() > 1) {
+      shard_executor_(shards_.size(), flush_one);
+    } else {
+      for (size_t k = 0; k < shards_.size(); ++k) flush_one(k);
     }
     capturing_ = false;
-    return status;
+    size_t total = 0;
+    for (const auto& rows : shard_captured_) total += rows.size();
+    captured_.reserve(total);
+    for (auto& rows : shard_captured_) {
+      captured_.insert(captured_.end(), std::make_move_iterator(rows.begin()),
+                       std::make_move_iterator(rows.end()));
+      rows.clear();
+    }
+    for (const Status& status : statuses) {
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  /// Drops everything captured so far (both the merged vector and the
+  /// per-shard buffers a suppressed rescale replay may have filled).
+  void DiscardCaptured() {
+    captured_.clear();
+    for (auto& rows : shard_captured_) rows.clear();
   }
 
   /// Sums the cache/lateness gauges over the shards; the in/out/flush
@@ -1458,6 +1549,8 @@ class PartitionedBase : public Operator {
   ShardFactory factory_;
   bool capturing_ = false;
   std::vector<CapturedRow> captured_;
+  std::vector<std::vector<CapturedRow>> shard_captured_;
+  ShardExecutor shard_executor_;
 };
 
 /// Aggregation splitter/merger. Routing is by group key (or a declared
@@ -1479,8 +1572,7 @@ class PartitionedAggregation : public PartitionedBase<AggregationOperator> {
                         std::move(shards), std::move(factory)),
         sliding_(spec.window > 0),
         group_count_(spec.group_by.size()),
-        part_cols_(std::move(part_cols)),
-        empty_sig_(SeqSignatureOf({})) {}
+        part_cols_(std::move(part_cols)) {}
 
   int route_instance(size_t, const TupleRef& tuple) const override {
     return static_cast<int>(PartitionHash(*tuple, part_cols_) %
@@ -1489,7 +1581,12 @@ class PartitionedAggregation : public PartitionedBase<AggregationOperator> {
 
   Status Process(size_t port, const TupleRef& tuple) override {
     CountIn();
-    Status status = shards_[route_instance(port, tuple)]->Process(port, tuple);
+    AggregationOperator* shard = shards_[route_instance(port, tuple)].get();
+    // Every admitted tuple gets a wrapper-level sequence number; window
+    // signatures hash these instead of per-cache seqs, so they stay
+    // comparable across shard sets (a rescale replay re-attaches them).
+    shard->SetPendingGseq(next_gseq_++);
+    Status status = shard->Process(port, tuple);
     RefreshGauges();
     return status;
   }
@@ -1505,17 +1602,22 @@ class PartitionedAggregation : public PartitionedBase<AggregationOperator> {
       // Windows fire in lockstep across shards, so shard 0's signature
       // list enumerates every fired window in ascending order — also
       // the ones that produced no rows anywhere, which the single
-      // instance skips without touching its dedup state.
-      std::vector<uint64_t> combined(shards_.size());
+      // instance skips without touching its dedup state. The shards
+      // partition the window's members, so XOR-ing their signatures
+      // (and summing their counts) yields a value that identifies the
+      // member set independently of the shard count.
       for (size_t i = 0; i < sigs[0].size(); ++i) {
-        bool all_empty = true;
+        uint64_t sig = 0;
+        uint64_t count = 0;
         for (size_t k = 0; k < shards_.size(); ++k) {
-          combined[k] = i < sigs[k].size() ? sigs[k][i].sig : empty_sig_;
-          all_empty = all_empty && combined[k] == empty_sig_;
+          if (i >= sigs[k].size()) continue;
+          sig ^= sigs[k][i].sig;
+          count += sigs[k][i].count;
         }
-        if (all_empty) continue;
-        bool changed = !has_last_ || combined != last_combined_;
-        last_combined_ = combined;
+        if (count == 0) continue;  // empty window: dedup state untouched
+        bool changed = !has_last_ || sig != last_sig_ || count != last_count_;
+        last_sig_ = sig;
+        last_count_ = count;
         has_last_ = true;
         if (changed) EmitWindow(sigs[0][i].tag);
       }
@@ -1543,22 +1645,26 @@ class PartitionedAggregation : public PartitionedBase<AggregationOperator> {
     // Shard-major replay through the normal Process path: every group
     // lives wholly inside one old and one new shard, so each group's
     // fold order (and with it every floating-point result) survives.
+    // Each replayed tuple re-attaches the wrapper-level sequence number
+    // it carried in the old shard set, which keeps the XOR-combined
+    // window signatures — and with them the sliding-window dedup state
+    // (last_sig_/last_count_) — valid across the repartition: an
+    // unchanged window after the rescale is still recognized as
+    // unchanged and not re-emitted.
     capturing_ = true;  // replayed Process must not leak emissions
     Status status = Status::OK();
     for (const auto& s : old) {
       for (const auto& e : s->shard_cache().entries()) {
-        status = shards_[route_instance(0, e.tuple)]->Process(0, e.tuple);
+        AggregationOperator* shard =
+            shards_[route_instance(0, e.tuple)].get();
+        shard->SetPendingGseq(s->GseqOf(e.seq));
+        status = shard->Process(0, e.tuple);
         if (!status.ok()) break;
       }
       if (!status.ok()) break;
     }
     capturing_ = false;
-    captured_.clear();
-    // Signatures are per shard count: the dedup state cannot carry
-    // over, so the first post-rescale sliding window always emits (a
-    // possible one-off re-emission of an unchanged window).
-    has_last_ = false;
-    last_combined_.clear();
+    DiscardCaptured();
     RefreshGauges();
     return status;
   }
@@ -1592,8 +1698,9 @@ class PartitionedAggregation : public PartitionedBase<AggregationOperator> {
   bool sliding_;
   size_t group_count_;
   std::vector<size_t> part_cols_;
-  uint64_t empty_sig_;
-  std::vector<uint64_t> last_combined_;
+  uint64_t next_gseq_ = 0;
+  uint64_t last_sig_ = 0;
+  uint64_t last_count_ = 0;
   bool has_last_ = false;
 };
 
@@ -1752,7 +1859,7 @@ class PartitionedJoin : public PartitionedBase<JoinOperator> {
       }
     }
     capturing_ = false;
-    captured_.clear();
+    DiscardCaptured();
     RefreshGauges();
     return status;
   }
@@ -1833,7 +1940,7 @@ class PartitionedTrigger : public PartitionedBase<TriggerOperator> {
       if (!status.ok()) break;
     }
     capturing_ = false;
-    captured_.clear();
+    DiscardCaptured();
     for (auto& s : shards_) s->TakeFired();  // verdicts of replayed flushes
     RefreshGauges();
     return status;

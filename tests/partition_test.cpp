@@ -431,6 +431,52 @@ TEST(PartitionedVsSingleOracleTest, ScaleOutMidStreamMatchesSingle) {
   }
 }
 
+TEST(PartitionedVsSingleOracleTest, SlidingAggRescaleDoesNotReemit) {
+  // Regression: a sliding window holds every result row alive for
+  // several flush intervals, and the rescale replay used to reset the
+  // wrapper's last-emission signatures — so the first flush after a
+  // 2 → 4 rescale re-emitted rows the old shards had already delivered.
+  // The signature is now a shard-count-invariant XOR over the live
+  // window members and survives the replay: mid-window rescale must be
+  // bit-identical to the never-rescaled single instance, duplicates
+  // included (sink_rows is a sorted multiset — one extra copy fails).
+  for (uint64_t seed : ChaosSeeds(25, 12000)) {
+    net::FaultPlan zero(seed);
+    PartitionOptions options;
+    options.install_plan = false;
+    PartitionResult base = PartitionRun(
+        seed, zero, PartAggSpec(1, 10 * duration::kSecond), options);
+    ASSERT_TRUE(base.deployed) << base.deploy_error << "\n" << Context(seed);
+    ASSERT_FALSE(base.sink_rows.empty()) << Context(seed);
+
+    PartitionOptions grow = options;
+    grow.rescale_at = 13 * duration::kSecond;  // window spans the rescale
+    grow.rescale_op = "agg";
+    grow.rescale_to = 4;
+    PartitionResult scaled = PartitionRun(
+        seed, zero, PartAggSpec(2, 10 * duration::kSecond), grow);
+    ASSERT_TRUE(scaled.deployed) << scaled.deploy_error << "\n"
+                                 << Context(seed);
+    SL_EXPECT_OK(scaled.rescale_status);
+    EXPECT_EQ(scaled.sink_rows, base.sink_rows)
+        << "sliding-window scale-out 2 -> 4 re-emitted or lost rows\n"
+        << Context(seed);
+
+    PartitionOptions shrink = options;
+    shrink.rescale_at = 13 * duration::kSecond;
+    shrink.rescale_op = "agg";
+    shrink.rescale_to = 2;
+    PartitionResult shrunk = PartitionRun(
+        seed, zero, PartAggSpec(4, 10 * duration::kSecond), shrink);
+    ASSERT_TRUE(shrunk.deployed) << shrunk.deploy_error << "\n"
+                                 << Context(seed);
+    SL_EXPECT_OK(shrunk.rescale_status);
+    EXPECT_EQ(shrunk.sink_rows, base.sink_rows)
+        << "sliding-window scale-in 4 -> 2 re-emitted or lost rows\n"
+        << Context(seed);
+  }
+}
+
 TEST(PartitionedVsSingleOracleTest, JoinScaleOutMidStreamMatchesSingle) {
   for (uint64_t seed : ChaosSeeds(10, 7800)) {
     net::FaultPlan zero(seed);

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <string>
@@ -168,6 +169,12 @@ struct DiffOptions {
   Duration active_for = 30 * duration::kSecond;
   Duration drain_for = 15 * duration::kSecond;
   size_t queue_capacity = 1024;
+  // Execution-mode matrix (each axis independently oracle-checked):
+  bool live = false;        ///< RunLive feed threads instead of RunTrace
+  double time_scale = 0;    ///< live pacing (0 = unpaced)
+  size_t pool_size = 0;     ///< pooled workers (0 = thread per stage)
+  size_t shard_threads = 0; ///< partitioned-instance flush threads
+  size_t batch_max = 1;     ///< ring-message coalescing bound
 };
 
 struct DiffResult {
@@ -281,9 +288,14 @@ DiffResult RunSimVsThreaded(uint64_t seed, const dsn::DsnSpec& spec,
   threaded_options.watermark = exec_options.watermark;
   threaded_options.deploy_time = deploy_time;
   threaded_options.queue_capacity = options.queue_capacity;
+  threaded_options.pool_size = options.pool_size;
+  threaded_options.shard_threads = options.shard_threads;
+  threaded_options.batch_max = options.batch_max;
+  threaded_options.time_scale = options.time_scale;
   exec::ThreadedRuntime runtime(*threaded_df, &broker, threaded_context,
                                 threaded_options);
-  auto run = runtime.RunTrace(result.trace, end_time);
+  auto run = options.live ? runtime.RunLive(result.trace, end_time)
+                          : runtime.RunTrace(result.trace, end_time);
   if (!run.ok()) {
     result.error = run.status().ToString();
     result.deployed = false;
@@ -475,6 +487,212 @@ TEST(SimVsThreadedOracleTest, NaiveBlockingAgreesToo) {
   }
 }
 
+// -------------------------------------------------- live-mode oracle --
+// Live (traceless) ingestion: per-source wall-clock feed threads mint
+// the timer punctuation themselves instead of replaying driver-ordered
+// punctuation. Unpaced by default — ordering, not pacing, carries the
+// correctness contract, so the differential identity must hold exactly.
+
+DiffOptions LiveOptions() {
+  DiffOptions options;
+  options.live = true;
+  return options;
+}
+
+TEST(SimVsThreadedOracleTest, LiveTumblingAggMatchesSim) {
+  for (uint64_t seed : ChaosSeeds(50, 10000)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(0), LiveOptions());
+  }
+}
+
+TEST(SimVsThreadedOracleTest, LiveSlidingAggMatchesSim) {
+  for (uint64_t seed : ChaosSeeds(50, 10100)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(10 * duration::kSecond),
+                              LiveOptions());
+  }
+}
+
+TEST(SimVsThreadedOracleTest, LiveEventTimeAggMatchesSim) {
+  DiffOptions options = LiveOptions();
+  options.event_time = true;
+  for (uint64_t seed : ChaosSeeds(50, 10200)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(10 * duration::kSecond),
+                              options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, LiveTumblingJoinMatchesSim) {
+  // Two sources = two independent feed threads; the min-over-open-inputs
+  // barrier must reassemble their unsynchronized punctuation streams.
+  DiffOptions options = LiveOptions();
+  options.with_rain = true;
+  for (uint64_t seed : ChaosSeeds(50, 10300)) {
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0), options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, LiveTriggerMatchesSim) {
+  for (uint64_t seed : ChaosSeeds(50, 10400)) {
+    ExpectSimThreadedIdentity(seed, ThTriggerSpec(5 * duration::kSecond),
+                              LiveOptions());
+  }
+}
+
+TEST(SimVsThreadedOracleTest, LivePartitionedAggMatchesSim) {
+  for (uint64_t seed : ChaosSeeds(25, 10500)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(0, /*parallelism=*/2),
+                              LiveOptions());
+    ExpectSimThreadedIdentity(seed, ThAggSpec(0, /*parallelism=*/4),
+                              LiveOptions());
+  }
+}
+
+TEST(SimVsThreadedOracleTest, LivePartitionedJoinMatchesSim) {
+  DiffOptions options = LiveOptions();
+  options.with_rain = true;
+  for (uint64_t seed : ChaosSeeds(25, 10600)) {
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0, /*parallelism=*/2),
+                              options);
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0, /*parallelism=*/4),
+                              options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, LivePacedMatchesSim) {
+  // Wall-clock pacing: flush timers fire on their own deadlines between
+  // tuples. 3000 virtual ms per wall ms compresses the 45 s virtual run
+  // into ~15 ms wall; the output must still be bit-identical.
+  DiffOptions options = LiveOptions();
+  options.time_scale = 3000.0;
+  for (uint64_t seed : ChaosSeeds(5, 10700)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(10 * duration::kSecond),
+                              options);
+  }
+}
+
+// ----------------------------------------------- pooled-worker oracle --
+
+TEST(SimVsThreadedOracleTest, PooledSingleWorkerMatchesSim) {
+  // One worker multiplexing every stage: maximal interleaving of stage
+  // quanta, and the driver must help when a ring fills.
+  DiffOptions options;
+  options.pool_size = 1;
+  options.with_rain = true;
+  for (uint64_t seed : ChaosSeeds(50, 10800)) {
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0), options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, PooledTwoWorkersMatchesSim) {
+  DiffOptions options;
+  options.pool_size = 2;
+  for (uint64_t seed : ChaosSeeds(50, 10900)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(10 * duration::kSecond),
+                              options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, PooledCoresWorkersMatchesSim) {
+  DiffOptions options;
+  options.pool_size =
+      std::max<size_t>(2, std::thread::hardware_concurrency());
+  for (uint64_t seed : ChaosSeeds(50, 11000)) {
+    ExpectSimThreadedIdentity(seed, ThTriggerSpec(5 * duration::kSecond),
+                              options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, PooledTinyRingsExerciseHelping) {
+  // 4-slot rings force producers into the help-run path constantly; the
+  // claim protocol must keep every stage single-threaded regardless.
+  DiffOptions options;
+  options.pool_size = 2;
+  options.queue_capacity = 4;
+  options.with_rain = true;
+  for (uint64_t seed : ChaosSeeds(25, 11100)) {
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0), options);
+  }
+}
+
+// ------------------------------------------------ shard-thread oracle --
+
+TEST(SimVsThreadedOracleTest, ShardThreadsPartitionedAggMatchesSim) {
+  for (uint64_t seed : ChaosSeeds(25, 11200)) {
+    for (size_t shard_threads : {size_t{2}, size_t{4}}) {
+      DiffOptions options;
+      options.shard_threads = shard_threads;
+      ExpectSimThreadedIdentity(seed, ThAggSpec(0, /*parallelism=*/2),
+                                options);
+      ExpectSimThreadedIdentity(
+          seed, ThAggSpec(10 * duration::kSecond, /*parallelism=*/4),
+          options);
+    }
+  }
+}
+
+TEST(SimVsThreadedOracleTest, ShardThreadsPartitionedJoinMatchesSim) {
+  DiffOptions options;
+  options.with_rain = true;
+  options.shard_threads = 4;
+  for (uint64_t seed : ChaosSeeds(25, 11300)) {
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0, /*parallelism=*/2),
+                              options);
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0, /*parallelism=*/4),
+                              options);
+  }
+}
+
+// --------------------------------------------- batched-transfer oracle --
+
+TEST(SimVsThreadedOracleTest, BatchedTransferMatchesSim) {
+  DiffOptions options;
+  options.batch_max = 8;
+  for (uint64_t seed : ChaosSeeds(25, 11400)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(0), options);
+    ExpectSimThreadedIdentity(seed, ThFilterTransformSpec(), options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, BatchedJoinMatchesSim) {
+  DiffOptions options;
+  options.batch_max = 8;
+  options.with_rain = true;
+  for (uint64_t seed : ChaosSeeds(25, 11500)) {
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0), options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, BatchedEventTimeAggMatchesSim) {
+  // The sealed batch watermark (max over the run) must be equivalent to
+  // per-tuple observation for event-window firing.
+  DiffOptions options;
+  options.batch_max = 8;
+  options.event_time = true;
+  for (uint64_t seed : ChaosSeeds(25, 11600)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(10 * duration::kSecond),
+                              options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, AllModesCombinedMatchesSim) {
+  // Every new axis at once: live feed threads into pooled workers with
+  // shard-threaded partitioned flushes and batched rings.
+  DiffOptions options = LiveOptions();
+  options.pool_size = 2;
+  options.shard_threads = 2;
+  options.batch_max = 8;
+  options.queue_capacity = 64;
+  for (uint64_t seed : ChaosSeeds(25, 11700)) {
+    ExpectSimThreadedIdentity(seed, ThAggSpec(0, /*parallelism=*/4),
+                              options);
+  }
+  options.with_rain = true;
+  for (uint64_t seed : ChaosSeeds(25, 11750)) {
+    ExpectSimThreadedIdentity(seed, ThJoinSpec(0, /*parallelism=*/2),
+                              options);
+  }
+}
+
 // ------------------------------------------------- stress / property --
 
 /// Direct-drive harness (no simulator): hand-built trace against a
@@ -601,6 +819,30 @@ TEST(ThreadedChaosTest, AbortFromSecondThreadUnblocksSaturatedFeed) {
   }
   aborter.join();
   SUCCEED();
+}
+
+TEST(ThreadedChaosTest, AbortWhileTimerPending) {
+  // Live paced run with an absurdly slow clock: the feed threads park in
+  // PaceUntil waiting for a flush-timer deadline hours of wall time away.
+  // Abort must interrupt the sleep slices and join promptly — a feed
+  // thread sleeping out its full deadline would hang the test suite.
+  DirectThreaded direct(31337);
+  exec::InputTrace trace = direct.MakeTrace(100);
+  exec::ThreadedOptions options;
+  options.time_scale = 0.001;  // 1 virtual ms takes 1 wall second
+  auto df = *dsn::TranslateFromDsn(ThAggSpec(0));
+  exec::ThreadedRuntime runtime(df, direct.broker(), {}, options);
+  SL_ASSERT_OK(runtime.StartLive(trace, trace.back().at + 1000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto abort_start = std::chrono::steady_clock::now();
+  runtime.Abort();
+  const auto abort_wall = std::chrono::steady_clock::now() - abort_start;
+  EXPECT_LT(abort_wall, std::chrono::seconds(5))
+      << "Abort must interrupt feed threads parked on timer deadlines";
+  // The run was torn down, not completed: collecting it is an error,
+  // and saying so must not hang either.
+  auto result = runtime.WaitLive();
+  EXPECT_FALSE(result.ok());
 }
 
 TEST(ThreadedChaosTest, SameTraceTwiceIsIdentical) {
@@ -778,6 +1020,49 @@ TEST(ThreadedFacadeTest, StreamLoaderRunThreadedMatchesDeploy) {
   SL_ASSERT_OK(result.status());
   EXPECT_EQ(result->sink_rows.at("out"), sim_rows);
   EXPECT_GT(result->tuples_per_sec, 0.0);
+}
+
+TEST(ThreadedFacadeTest, RunThreadedRejectsFaultPlan) {
+  // The threaded runtime does not simulate faults; a session whose
+  // network carries a plan that would actually perturb delivery must be
+  // rejected rather than silently diverge from the simulated reference.
+  StreamLoaderOptions options;
+  options.network_nodes = 5;
+  StreamLoader sl(options);
+  auto sensor = ThSensor("th_t0", ThTempSchema(), "node_2", 42);
+  SL_ASSERT_OK(sensor.status());
+  SL_ASSERT_OK(sl.AddSensor(std::move(*sensor)));
+  auto df = *dsn::TranslateFromDsn(ThAggSpec(0));
+
+  // An all-zero plan is harmless: faults are "enabled" but no roll can
+  // ever fire, so the run proceeds.
+  net::FaultPlan zero_plan(/*seed=*/11);
+  SL_ASSERT_OK(sl.network().InstallFaultPlan(zero_plan));
+  exec::InputTrace trace;  // empty trace: the gate fires before feeding
+  exec::ThreadedOptions run_options;
+  run_options.deploy_time = sl.Now();  // anchor flush timers at the session
+  auto ok_run =
+      sl.RunThreaded(df, trace, sl.Now() + duration::kSecond, run_options);
+  SL_ASSERT_OK(ok_run.status());
+
+  // A plan with a non-zero profile is refused...
+  net::FaultPlan lossy_plan(/*seed=*/11);
+  net::FaultProfile profile;
+  profile.drop_probability = 0.1;
+  lossy_plan.set_default_profile(profile);
+  SL_ASSERT_OK(sl.network().InstallFaultPlan(lossy_plan));
+  auto rejected = sl.RunThreaded(df, trace, sl.Now() + duration::kSecond);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.status().message().find("fault plan"),
+            std::string::npos);
+
+  // ...unless the caller explicitly opts in.
+  exec::ThreadedOptions opt_in = run_options;
+  opt_in.allow_fault_plan = true;
+  auto allowed =
+      sl.RunThreaded(df, trace, sl.Now() + duration::kSecond, opt_in);
+  SL_ASSERT_OK(allowed.status());
 }
 
 }  // namespace
