@@ -33,15 +33,37 @@ run_config build-asan -DSL_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # paths cheaply), then the threaded chaos tests repeat below.
 run_config build-tsan -DSL_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "==> sl-lint: examples must be clean"
+# Clang-only thread-safety configuration: compiles the annotated
+# locking discipline (util/thread_annotations.h) with
+# -Wthread-safety -Werror=thread-safety. GCC has no such analysis, so
+# the config only runs when a clang++ is available.
+if command -v clang++ >/dev/null 2>&1; then
+  run_config build-tsafety -DSL_THREAD_SAFETY=ON \
+    -DCMAKE_CXX_COMPILER=clang++
+else
+  echo "==> clang++ not installed; skipping thread-safety config"
+fi
+
+echo "==> sl-lint: examples must be clean (analysis included)"
 sl_lint="${root}/build/tools/sl_lint"
 registry="${root}/examples/dsn/sensors.reg"
-"${sl_lint}" --registry="${registry}" --werror "${root}"/examples/dsn/*.dsn
+"${sl_lint}" --registry="${registry}" --analyze --werror \
+  "${root}"/examples/dsn/*.dsn
 
 echo "==> sl-lint: corpus programs must report their expected codes"
 for f in "${root}"/tests/lint_corpus/*.dsn; do
   want="$(head -1 "$f" | sed 's/# expect: //')"
-  got="$("${sl_lint}" --registry="${registry}" --format=json "$f" || true)"
+  if [ "${want}" = "clean" ]; then
+    # Near-miss programs must survive --analyze --werror untouched.
+    if ! "${sl_lint}" --registry="${registry}" --analyze --werror \
+        "$f" >/dev/null; then
+      echo "FAIL: ${f} expected a clean analysis" >&2
+      exit 1
+    fi
+    continue
+  fi
+  got="$("${sl_lint}" --registry="${registry}" --analyze --format=json "$f" \
+         || true)"
   for code in ${want}; do
     if ! grep -q "${code}" <<<"${got}"; then
       echo "FAIL: ${f} expected ${code}" >&2
@@ -50,10 +72,15 @@ for f in "${root}"/tests/lint_corpus/*.dsn; do
   done
 done
 
-echo "==> sl-lint: archiving JSON report"
+echo "==> sl-lint: archiving JSON reports"
 "${sl_lint}" --registry="${registry}" --format=json \
   "${root}"/examples/dsn/*.dsn "${root}"/tests/lint_corpus/*.dsn \
   > "${artifacts}/LINT_report.json" || true
+# The analysis report carries the per-edge inferred value facts
+# (ranges, null/NaN-ness, rates) for the two clean example pipelines.
+"${sl_lint}" --registry="${registry}" --analyze --format=json \
+  "${root}"/examples/dsn/*.dsn \
+  > "${artifacts}/ANALYZE_report.json"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==> clang-tidy over src/ (compile_commands from build/)"

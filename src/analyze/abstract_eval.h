@@ -1,0 +1,71 @@
+// StreamLoader: abstract execution of compiled expression programs.
+//
+// The analyzer runs the *same* postorder ExprInsn programs the runtime
+// evaluates per tuple (expr/program.h), but over AbstractValues instead
+// of Values: each instruction's transfer function over-approximates the
+// concrete EvalUnaryOp/EvalArithOp/EvalCompareOp semantics, including
+// SQL null propagation and the null-on-domain-error rule (division by
+// zero, non-finite results). Short-circuit jumps are ignored — the
+// abstract Kleene merge of both operands subsumes every path the
+// concrete short-circuit can take, so skipping the jump is sound.
+//
+// Findings the evaluation itself can prove (a divisor whose interval is
+// exactly zero, integer arithmetic whose inferred operand ranges exceed
+// 64 bits) are reported with the instruction's source span so the
+// caller can anchor a caret at the offending subexpression.
+
+#ifndef STREAMLOADER_ANALYZE_ABSTRACT_EVAL_H_
+#define STREAMLOADER_ANALYZE_ABSTRACT_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/domain.h"
+#include "diag/diagnostic.h"
+#include "expr/ast.h"
+#include "expr/program.h"
+#include "stt/schema.h"
+
+namespace sl::analyze {
+
+/// \brief Abstract counterpart of a tuple: one AbstractValue per schema
+/// attribute plus the metadata pseudo-attributes.
+struct AbstractRow {
+  const stt::Schema* schema = nullptr;
+  std::vector<AbstractValue> attrs;
+  AbstractValue ts;
+  AbstractValue lat;
+  AbstractValue lon;
+  AbstractValue sensor;
+  AbstractValue theme;
+
+  /// Builds the row an edge with `facts` presents to an expression.
+  static AbstractRow FromFacts(const StreamFacts& facts);
+};
+
+/// \brief Something abstract evaluation proved about a subexpression
+/// (reachable division by zero, possible 64-bit overflow). `span` is
+/// relative to the expression source the program was compiled from.
+struct ExprFinding {
+  diag::Code code = diag::Code::kNone;
+  diag::Span span;
+  std::string message;
+};
+
+/// \brief Runs `program` over `row`, returning the abstract result.
+/// Appends any provable findings to `findings` (may be nullptr).
+AbstractValue EvalAbstract(const expr::ExprProgram& program,
+                           const AbstractRow& row,
+                           std::vector<ExprFinding>* findings);
+
+/// \brief Narrows `row` to the tuples on which `condition` evaluates to
+/// true (the filter's pass branch): walks the predicate's and-spine and,
+/// for each `attr cmp constant` conjunct, tightens the attribute's
+/// interval / string set; attributes compared under null-propagating
+/// operators also become non-null (a null conjunct is non-true, so the
+/// tuple is dropped). Purely a refinement — never widens anything.
+void NarrowByCondition(const expr::Expr& condition, AbstractRow* row);
+
+}  // namespace sl::analyze
+
+#endif  // STREAMLOADER_ANALYZE_ABSTRACT_EVAL_H_

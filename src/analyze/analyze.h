@@ -1,0 +1,89 @@
+// StreamLoader: whole-pipeline abstract interpretation (sl-analyze).
+//
+// Propagates per-property abstract values (analyze/domain.h) from
+// registry-declared sensor metadata through every operator of a
+// validated dataflow, in topological order — a fixpoint in one pass,
+// since the graph is a DAG and every transfer function is monotone over
+// the domain. On top of the inferred facts it emits the SL4xxx
+// diagnostic family: findings a *local* check cannot see because they
+// only follow from what upstream operators let through (a filter made
+// vacuous by declared sensor ranges, an equi-join whose key intervals
+// cannot overlap, a division whose divisor the pipeline pins to zero).
+//
+// Everything here is advisory. The analysis never rewrites the
+// dataflow and the runtime never reads its results, so a program with
+// SL4xxx warnings runs bit-identically to one without (the
+// behavior-neutrality contract, pinned by the analyze_test seed
+// battery).
+
+#ifndef STREAMLOADER_ANALYZE_ANALYZE_H_
+#define STREAMLOADER_ANALYZE_ANALYZE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/domain.h"
+#include "dataflow/graph.h"
+#include "dataflow/validate.h"
+#include "diag/diagnostic.h"
+#include "pubsub/broker.h"
+#include "util/json.h"
+
+namespace sl::analyze {
+
+/// \brief Analysis-only knobs that live outside the Dataflow proper.
+struct AnalyzeOptions {
+  /// A declared bounded-lateness contract for one blocking node (the
+  /// DSN `lateness:` property — dropped by translation, so it cannot
+  /// affect the runtime). `text` is the raw property value, kept so
+  /// SL4006 can be re-anchored onto it in the document.
+  struct Lateness {
+    Duration bound = 0;
+    std::string text;
+  };
+  std::map<std::string, Lateness> lateness;  ///< keyed by node name
+};
+
+/// \brief The facts flowing over one graph edge (`from` → `to`): the
+/// output facts of `from` as `to` consumes them.
+struct EdgeFacts {
+  std::string from;
+  std::string to;
+  StreamFacts facts;
+};
+
+/// \brief Everything the analysis produced for one dataflow.
+struct Analysis {
+  /// SL4xxx findings. Spans are relative to each diagnostic's `source`
+  /// (an expression/spec string); dsn::LintDsnProgram re-anchors them
+  /// into the document like every other lint finding.
+  std::vector<diag::Diagnostic> diags;
+
+  /// Output facts per node, keyed by node name.
+  std::map<std::string, StreamFacts> node_facts;
+
+  /// Facts per edge, in (topological, input-order) order.
+  std::vector<EdgeFacts> edges;
+
+  /// Serializes the per-edge facts as one JSON object (keys: "edges").
+  void WriteJson(JsonWriter& w) const;
+
+  /// Human-readable per-edge fact listing.
+  std::string RenderFacts() const;
+};
+
+/// \brief Analyzes a dataflow that already passed validation. `report`
+/// must be the Validator's report for `dataflow` (its derived schemas
+/// drive the propagation); analysis of nodes whose schema derivation
+/// failed is skipped. `broker` seeds source facts from the registry
+/// metadata (ranges, periods, max_delay); nullptr degrades every
+/// source to Top.
+Result<Analysis> AnalyzeDataflow(const dataflow::Dataflow& dataflow,
+                                 const pubsub::Broker* broker,
+                                 const dataflow::ValidationReport& report,
+                                 const AnalyzeOptions& options = {});
+
+}  // namespace sl::analyze
+
+#endif  // STREAMLOADER_ANALYZE_ANALYZE_H_

@@ -1,0 +1,105 @@
+// StreamLoader: abstract domains for whole-pipeline value analysis.
+//
+// sl-analyze propagates, per stream property, an *abstract value*: a
+// numeric interval joined with null-ness, NaN-ness, boolean outcome
+// possibilities, and a small string-constant set. The domain is a
+// lattice: Join over-approximates set union (what a property *may*
+// hold), Meet under... intersects (what it must hold on both
+// approximations). The analyzer seeds the domain from registry-declared
+// sensor ranges and runs the operators' transfer functions over it;
+// everything here is purely descriptive — the runtime never consults it
+// (the behavior-neutrality contract of DESIGN.md §13).
+
+#ifndef STREAMLOADER_ANALYZE_DOMAIN_H_
+#define STREAMLOADER_ANALYZE_DOMAIN_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stt/schema.h"
+#include "stt/value.h"
+#include "util/clock.h"
+
+namespace sl::analyze {
+
+/// \brief What the analyzer knows about one property of one stream edge.
+///
+/// The components are interpreted per the static `type`:
+///  - kInt / kDouble / kTimestamp: `[lo, hi]` bounds the non-null,
+///    non-NaN values (±inf = unbounded);
+///  - kDouble additionally: `may_nan` — whether NaN can occur;
+///  - kBool: `may_true` / `may_false` — which outcomes are possible;
+///  - kString: `strings`, when engaged, is an exhaustive constant set
+///    (at most kMaxStrings; wider sets decay to "any string").
+/// `may_null` applies to every type. A value about which nothing is
+/// known is Top (unbounded, nullable, NaN-able).
+struct AbstractValue {
+  static constexpr size_t kMaxStrings = 8;
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  stt::ValueType type = stt::ValueType::kNull;
+  double lo = -kInf;
+  double hi = kInf;
+  bool may_null = true;
+  bool may_nan = false;
+  bool may_true = true;    ///< kBool only
+  bool may_false = true;   ///< kBool only
+  std::optional<std::vector<std::string>> strings;  ///< kString only
+
+  /// Top of a type: everything that type can hold.
+  static AbstractValue TopOf(stt::ValueType t);
+
+  /// The abstraction of one concrete value (a literal).
+  static AbstractValue Constant(const stt::Value& v);
+
+  /// A non-null numeric interval of the given type.
+  static AbstractValue Interval(stt::ValueType t, double lo, double hi);
+
+  /// True when exactly one concrete non-null value is possible.
+  bool IsConstant() const;
+
+  /// True when *no* non-null value is possible (empty interval / empty
+  /// string set) — the pointwise bottom. may_null may still be true.
+  bool IsEmptyValue() const;
+
+  /// "[0, 160] null?" / "{\"R1\",\"R2\"}" / "bool{true}" ...
+  std::string ToString() const;
+};
+
+/// Least upper bound: describes every value either operand describes.
+AbstractValue Join(const AbstractValue& a, const AbstractValue& b);
+
+/// Greatest lower bound: describes only values both operands describe.
+/// The result can be empty (IsEmptyValue) — e.g. disjoint join keys.
+AbstractValue Meet(const AbstractValue& a, const AbstractValue& b);
+
+/// \brief Everything inferred about one stream edge: the schema it
+/// carries, one abstract value per schema field, whether any tuple can
+/// flow at all, and delivery metadata folded in from the sources.
+struct StreamFacts {
+  stt::SchemaPtr schema;
+  std::vector<AbstractValue> props;  ///< parallel to schema->fields()
+
+  /// False when the analysis proves no tuple ever traverses this edge
+  /// (an always-false filter upstream, a provably-empty join) — the
+  /// stream-level bottom.
+  bool may_produce = true;
+
+  /// Upper bound on the tuple rate in tuples per millisecond (sums the
+  /// matched sensors' declared periods; +inf when unbounded, e.g.
+  /// downstream of a join). Bounds aggregation counts per window.
+  double rate_per_ms = std::numeric_limits<double>::infinity();
+
+  /// Worst-case delivery delay any contributing source declared
+  /// (max over the upstream registry `max_delay`s; 0 = none declared).
+  Duration max_delay = 0;
+
+  /// Multi-line "name: facts" rendering, indented with `indent`.
+  std::string ToString(const std::string& indent = "") const;
+};
+
+}  // namespace sl::analyze
+
+#endif  // STREAMLOADER_ANALYZE_DOMAIN_H_

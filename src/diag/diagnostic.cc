@@ -23,7 +23,7 @@ std::string CodeToString(Code code) {
 Severity CodeSeverity(Code code) {
   int v = static_cast<int>(code);
   if (v == 0) return Severity::kNote;
-  if (v >= 3000 && v < 4000) return Severity::kWarning;
+  if (v >= 3000 && v < 5000) return Severity::kWarning;
   return Severity::kError;
 }
 

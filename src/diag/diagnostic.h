@@ -88,13 +88,26 @@ enum class Code {
   kUnknownTriggerTarget = 3007, ///< SL3007: trigger target not published
   kInstantGranularity = 3008,  ///< SL3008: blocking op over instant stream
   kNoEquiJoin = 3009,          ///< SL3009: join predicate has no equi-conjunct
+
+  // SL40xx — whole-pipeline abstract-interpretation findings
+  // (sl-analyze). Warnings: the program still deploys and runs
+  // bit-identically; the analyzer only reports what the inferred
+  // value ranges prove about it.
+  kRangeConstantCondition = 4001, ///< SL4001: condition always false/true
+                                  ///  given upstream value ranges
+  kEmptyJoin = 4002,              ///< SL4002: equi-join keys provably disjoint
+  kRangeDivisionByZero = 4003,    ///< SL4003: divisor range is exactly zero
+  kRangeOverflow = 4004,          ///< SL4004: int arithmetic can exceed 64 bits
+  kDeadStream = 4005,             ///< SL4005: no tuple can reach any sink
+  kLatenessTooSmall = 4006,       ///< SL4006: bounded lateness < source max_delay
+  kConstantPartitionKey = 4007,   ///< SL4007: partition key provably constant
 };
 
 /// "SL0002", "SL1003", ... (always two letters + four digits).
 std::string CodeToString(Code code);
 
-/// The default severity class of a code (3xxx codes are warnings,
-/// everything else an error). kNone maps to kNote.
+/// The default severity class of a code (3xxx and 4xxx codes are
+/// warnings, everything else an error). kNone maps to kNote.
 Severity CodeSeverity(Code code);
 
 /// \brief An attached secondary message ("note: derived schema is ...").

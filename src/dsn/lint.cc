@@ -79,8 +79,30 @@ void LintPartitionProperties(const DsnSpec& spec, const std::string& doc,
 
 }  // namespace
 
+/// Pulls analysis-only metadata out of the DSN spec: the `lateness:`
+/// property a designer can declare on blocking services. Translation
+/// drops properties a service kind does not consume, so declaring it
+/// never changes the runtime — it only arms the SL4006 check.
+analyze::AnalyzeOptions AnalyzeOptionsFrom(const DsnSpec& spec) {
+  analyze::AnalyzeOptions options;
+  for (const auto& service : spec.services) {
+    if (!service.Has("lateness")) continue;
+    auto bound = service.GetDuration("lateness");
+    auto text = service.GetString("lateness");
+    if (!bound.ok() || !text.ok()) continue;
+    options.lateness[service.name] = {*bound, *text};
+  }
+  return options;
+}
+
 LintResult LintDsnProgram(const std::string& source,
                           const pubsub::Broker* broker) {
+  return LintDsnProgram(source, broker, LintOptions{});
+}
+
+LintResult LintDsnProgram(const std::string& source,
+                          const pubsub::Broker* broker,
+                          const LintOptions& options) {
   LintResult result;
   DsnParse parse = ParseDsnWithDiagnostics(source);
   if (!parse.spec.has_value()) {
@@ -122,8 +144,39 @@ LintResult LintDsnProgram(const std::string& source,
     Anchor(spec, source, &d);
     result.diags.push_back(std::move(d));
   }
+
+  if (options.analyze && report->ok() && !diag::HasErrors(result.diags)) {
+    auto analysis = analyze::AnalyzeDataflow(*dataflow, broker, *report,
+                                             AnalyzeOptionsFrom(spec));
+    if (analysis.ok()) {
+      for (diag::Diagnostic d : analysis->diags) {
+        Anchor(spec, source, &d);
+        result.diags.push_back(std::move(d));
+      }
+      result.analysis = std::move(*analysis);
+      result.analysis->diags.clear();  // merged into result.diags above
+    }
+  }
   diag::SortAndDedup(result.diags);
   return result;
+}
+
+LintExit ExitCodeFor(const std::vector<diag::Diagnostic>& diags, bool werror) {
+  bool any_warning = false;
+  bool any_error = false;
+  bool any_parse_error = false;
+  for (const auto& d : diags) {
+    if (d.severity == diag::Severity::kError) {
+      any_error = true;
+      if (static_cast<int>(d.code) < 1000) any_parse_error = true;
+    } else if (d.severity == diag::Severity::kWarning) {
+      any_warning = true;
+    }
+  }
+  if (any_parse_error) return LintExit::kParseFailure;
+  if (any_error) return LintExit::kFindings;
+  if (any_warning && werror) return LintExit::kWerror;
+  return LintExit::kClean;
 }
 
 }  // namespace sl::dsn

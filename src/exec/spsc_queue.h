@@ -16,14 +16,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sl::exec {
 
@@ -110,19 +110,19 @@ class SpscRing {
 class WaitGate {
  public:
   /// Wakes the current waiter, if any.
-  void Notify() {
+  void Notify() SL_EXCLUDES(mu_) {
     if (!waiting_.load(std::memory_order_seq_cst)) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    cv_.notify_all();
+    MutexLock lock(&mu_);
+    cv_.NotifyAll();
   }
 
   /// Blocks until `ready()` returns true (-> true) or `aborted()`
   /// returns true (-> false). `ready` may have side effects (e.g. a
   /// TryPush attempt); it is re-invoked on every wakeup or poll tick.
   template <typename ReadyFn, typename AbortFn>
-  bool Await(ReadyFn ready, AbortFn aborted) {
+  bool Await(ReadyFn ready, AbortFn aborted) SL_EXCLUDES(mu_) {
     if (ready()) return true;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     waiting_.store(true, std::memory_order_seq_cst);
     for (;;) {
       if (ready()) break;
@@ -130,15 +130,15 @@ class WaitGate {
         waiting_.store(false, std::memory_order_seq_cst);
         return false;
       }
-      cv_.wait_for(lock, std::chrono::milliseconds(1));
+      cv_.WaitFor(&mu_, std::chrono::milliseconds(1));
     }
     waiting_.store(false, std::memory_order_seq_cst);
     return true;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
   std::atomic<bool> waiting_{false};
 };
 
@@ -167,37 +167,38 @@ class TaskPool {
 
   ~TaskPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& worker : workers_) worker.join();
   }
 
   /// Runs `body(i)` for every i in [0, n); returns when all completed.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body)
+      SL_EXCLUDES(run_mu_, mu_) {
     if (n == 0) return;
     if (n == 1 || workers_.empty()) {
       for (size_t i = 0; i < n; ++i) body(i);
       return;
     }
-    std::lock_guard<std::mutex> serialize(run_mu_);
+    MutexLock serialize(&run_mu_);
     Batch batch;
     batch.body = &body;
     batch.n = n;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       batch_ = &batch;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     Run(&batch);  // the caller helps
     // The batch lives on this stack frame: wait until every index ran
     // AND no worker still holds the pointer (`active_` covers the gap
     // between a worker's last claim attempt and its release).
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     batch_ = nullptr;
     while (batch.done.load(std::memory_order_acquire) < n || active_ > 0) {
-      done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      done_cv_.WaitFor(&mu_, std::chrono::milliseconds(1));
     }
   }
 
@@ -220,32 +221,38 @@ class TaskPool {
     }
   }
 
-  void WorkerLoop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void WorkerLoop() SL_EXCLUDES(mu_) {
     for (;;) {
-      if (stop_) return;
-      Batch* batch = batch_;
-      if (batch != nullptr &&
-          batch->next.load(std::memory_order_relaxed) < batch->n) {
-        ++active_;
-        lock.unlock();
-        Run(batch);
-        lock.lock();
-        --active_;
-        done_cv_.notify_all();
-      } else {
-        cv_.wait_for(lock, std::chrono::milliseconds(1));
+      Batch* claimed = nullptr;
+      {
+        MutexLock lock(&mu_);
+        if (stop_) return;
+        Batch* batch = batch_;
+        if (batch != nullptr &&
+            batch->next.load(std::memory_order_relaxed) < batch->n) {
+          ++active_;
+          claimed = batch;
+        } else {
+          cv_.WaitFor(&mu_, std::chrono::milliseconds(1));
+          continue;
+        }
       }
+      Run(claimed);
+      {
+        MutexLock lock(&mu_);
+        --active_;
+      }
+      done_cv_.NotifyAll();
     }
   }
 
-  std::mutex run_mu_;  // serializes ParallelFor callers
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  Batch* batch_ = nullptr;  // guarded by mu_
-  size_t active_ = 0;       // workers inside Run; guarded by mu_
-  bool stop_ = false;       // guarded by mu_
+  Mutex run_mu_;  // serializes ParallelFor callers
+  Mutex mu_;
+  CondVar cv_;
+  CondVar done_cv_;
+  Batch* batch_ SL_GUARDED_BY(mu_) = nullptr;
+  size_t active_ SL_GUARDED_BY(mu_) = 0;  // workers inside Run
+  bool stop_ SL_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

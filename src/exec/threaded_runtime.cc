@@ -137,22 +137,22 @@ class ThreadedRuntime::Recorder : public ops::ActivationHandler {
  public:
   void ActivateSensors(const std::vector<std::string>& ids,
                        Timestamp at) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     records_.push_back({true, ids, at});
   }
   void DeactivateSensors(const std::vector<std::string>& ids,
                          Timestamp at) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     records_.push_back({false, ids, at});
   }
   std::vector<ops::ActivationRecord> Take() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return std::move(records_);
   }
 
  private:
-  std::mutex mu_;
-  std::vector<ops::ActivationRecord> records_;
+  Mutex mu_;
+  std::vector<ops::ActivationRecord> records_ SL_GUARDED_BY(mu_);
 };
 
 ThreadedRuntime::ThreadedRuntime(dataflow::Dataflow dataflow,
@@ -309,7 +309,7 @@ Status ThreadedRuntime::Build() {
       });
     }
     s->op->set_late_emit([this](const stt::TupleRef& t) {
-      std::lock_guard<std::mutex> lock(late_mu_);
+      MutexLock lock(&late_mu_);
       late_rows_.push_back(t->ToString());
     });
   }
@@ -687,7 +687,7 @@ void ThreadedRuntime::ScheduleStage(Stage* stage) {
       int expected = Stage::kIdle;
       if (stage->run_state.compare_exchange_weak(expected, Stage::kQueued)) {
         {
-          std::lock_guard<std::mutex> lock(ready_mu_);
+          MutexLock lock(&ready_mu_);
           ready_.push_back(stage);
         }
         pool_gate_.Notify();
@@ -703,7 +703,7 @@ void ThreadedRuntime::ScheduleStage(Stage* stage) {
 }
 
 ThreadedRuntime::Stage* ThreadedRuntime::PopReady() {
-  std::lock_guard<std::mutex> lock(ready_mu_);
+  MutexLock lock(&ready_mu_);
   while (!ready_.empty()) {
     Stage* stage = ready_.front();
     ready_.pop_front();
@@ -728,7 +728,7 @@ void ThreadedRuntime::ReleaseStage(Stage* stage) {
       // Requeue at the back: FIFO fairness across the node's stages.
       stage->run_state.store(Stage::kQueued);
       {
-        std::lock_guard<std::mutex> lock(ready_mu_);
+        MutexLock lock(&ready_mu_);
         ready_.push_back(stage);
       }
       pool_gate_.Notify();
@@ -769,7 +769,7 @@ void ThreadedRuntime::PoolLoop() {
             if (stages_done_.load(std::memory_order_relaxed) >= total) {
               return true;
             }
-            std::lock_guard<std::mutex> lock(ready_mu_);
+            MutexLock lock(&ready_mu_);
             return !ready_.empty();
           },
           [&] { return abort_.load(std::memory_order_relaxed); });
@@ -785,7 +785,7 @@ void ThreadedRuntime::JoinWorkers() {
   // Feed threads (live mode) first: they are the producers the worker
   // drain depends on. The mutex makes joining idempotent when Abort
   // races Finish/WaitLive from another thread.
-  std::lock_guard<std::mutex> lock(join_mu_);
+  MutexLock lock(&join_mu_);
   for (auto& thread : feed_threads_) {
     if (thread.joinable()) thread.join();
   }
@@ -830,7 +830,7 @@ Result<ThreadedRunResult> ThreadedRuntime::FinishCollect() {
   result.tuples_fed = fed_.load(std::memory_order_relaxed);
   result.activations = recorder_->Take();
   {
-    std::lock_guard<std::mutex> lock(late_mu_);
+    MutexLock lock(&late_mu_);
     result.late_rows = late_rows_;
   }
   std::sort(result.late_rows.begin(), result.late_rows.end());

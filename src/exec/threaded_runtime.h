@@ -55,7 +55,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -71,6 +70,7 @@
 #include "stt/tuple.h"
 #include "stt/watermark.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sl::exec {
 
@@ -329,17 +329,17 @@ class ThreadedRuntime {
   std::atomic<bool> finished_{false};
   std::atomic<bool> abort_{false};
   std::atomic<uint64_t> fed_{0};
-  std::mutex late_mu_;
-  std::vector<std::string> late_rows_;
-  std::mutex join_mu_;  ///< makes worker joins idempotent under races
+  Mutex late_mu_;
+  std::vector<std::string> late_rows_ SL_GUARDED_BY(late_mu_);
+  Mutex join_mu_;  ///< makes worker joins idempotent under races
   std::chrono::steady_clock::time_point wall_start_;
 
   // -- pooled scheduling (pool_size > 0) -----------------------------------
   // Ready hints: a stage appears here while its run_state is kQueued.
   // PopReady validates each hint with a CAS, so stale entries (a helper
   // stole the stage) are dropped harmlessly.
-  std::mutex ready_mu_;
-  std::deque<Stage*> ready_;
+  Mutex ready_mu_;
+  std::deque<Stage*> ready_ SL_GUARDED_BY(ready_mu_);
   WaitGate pool_gate_;
   std::vector<std::thread> pool_threads_;
   std::atomic<size_t> stages_done_{0};

@@ -27,6 +27,9 @@ struct BoundExpr::Node {
   // kCall
   const FunctionDef* fn = nullptr;
   std::vector<Node> children;
+  /// Source span of the AST node (expression-relative); survives
+  /// constant folding so a folded literal still points at its origin.
+  diag::Span span;
 };
 
 // The typing rules themselves live in expr/typecheck.{h,cc}, shared
@@ -59,6 +62,7 @@ Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, stt::SchemaPtr schema) {
     Result<Node> Build(const Expr& e) {
       Node node;
       node.kind = e.kind();
+      node.span = e.span();
       switch (e.kind()) {
         case ExprKind::kLiteral: {
           node.literal = static_cast<const LiteralExpr&>(e).value();
@@ -190,6 +194,7 @@ void BoundExpr::Lower(const Node& node, ExprProgram* program) {
   std::vector<ExprInsn>& insns = program->insns();
   ExprInsn insn;
   insn.type = node.type;
+  insn.span = node.span;
   switch (node.kind) {
     case ExprKind::kLiteral:
       insn.op = ExprInsn::Op::kPushLiteral;
@@ -220,6 +225,7 @@ void BoundExpr::Lower(const Node& node, ExprProgram* program) {
         jump.op = ExprInsn::Op::kShortCircuit;
         jump.type = node.type;
         jump.bop = node.bop;
+        jump.span = node.span;
         insns.push_back(std::move(jump));
         Lower(node.children[1], program);
         insn.op = ExprInsn::Op::kLogicalMerge;

@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "diag/diagnostic.h"
 #include "expr/ast.h"
 #include "expr/functions.h"
 #include "stt/schema.h"
@@ -101,6 +102,11 @@ struct ExprInsn {
   BinaryOp bop = BinaryOp::kAdd;                ///< kArith/kCompare/logical
   const FunctionDef* fn = nullptr;              ///< kCall
   uint32_t jump = 0;      ///< kShortCircuit: target instruction index
+  /// Source span of the AST node this instruction was lowered from
+  /// (expression-relative byte offsets). Never read on the evaluation
+  /// hot path; carried for static analysis so sl-analyze can point a
+  /// caret at, e.g., the divisor of a provable division by zero.
+  diag::Span span;
 };
 
 /// \brief A compiled (flattened) expression. Built by BoundExpr at bind

@@ -63,6 +63,19 @@ class RegistryParser {
         SL_ASSIGN_OR_RETURN(info.provides_timestamp, ExpectBool());
       } else if (key == "provides_location") {
         SL_ASSIGN_OR_RETURN(info.provides_location, ExpectBool());
+      } else if (key == "range") {
+        PropertyRange range;
+        SL_ASSIGN_OR_RETURN(range.property, ExpectIdent());
+        SL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+        SL_ASSIGN_OR_RETURN(range.lo, ExpectNumber());
+        SL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+        SL_ASSIGN_OR_RETURN(range.hi, ExpectNumber());
+        info.ranges.push_back(std::move(range));
+      } else if (key == "max_delay") {
+        SL_ASSIGN_OR_RETURN(std::string text, ExpectString());
+        if (!ParseDuration(text, &info.max_delay)) {
+          return Error("cannot parse max_delay '" + text + "'");
+        }
       } else {
         return Error("unknown sensor property '" + key + "'");
       }

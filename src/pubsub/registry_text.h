@@ -11,10 +11,14 @@
 //     schema: "{temp:double[celsius]} @1m/0.01deg theme=weather/temp";
 //     location: 34.6937, 135.5023;
 //     node: "edge-osaka-1";
+//     range: temp, -30, 50;     # declared bounds (analysis metadata)
+//     max_delay: "2m";          # worst-case delivery delay
 //   }
 //
 // `schema` uses the stt textual schema notation (schema_text.h) and is
-// the only required property besides the sensor id.
+// the only required property besides the sensor id. `range` may repeat,
+// once per numeric property; it and `max_delay` are advisory metadata
+// consumed by sl-analyze, never enforced by the runtime.
 
 #ifndef STREAMLOADER_PUBSUB_REGISTRY_TEXT_H_
 #define STREAMLOADER_PUBSUB_REGISTRY_TEXT_H_

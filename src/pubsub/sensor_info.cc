@@ -19,6 +19,13 @@ std::string SensorInfo::ToString() const {
   return out;
 }
 
+const PropertyRange* SensorInfo::RangeOf(const std::string& property) const {
+  for (const PropertyRange& r : ranges) {
+    if (r.property == property) return &r;
+  }
+  return nullptr;
+}
+
 Status ValidateSensorInfo(const SensorInfo& info) {
   if (!IsIdentifier(info.id)) {
     return Status::InvalidArgument("sensor id '" + info.id +
@@ -34,6 +41,30 @@ Status ValidateSensorInfo(const SensorInfo& info) {
     return Status::InvalidArgument(
         StrFormat("sensor '%s' has non-positive period %lld ms",
                   info.id.c_str(), static_cast<long long>(info.period)));
+  }
+  for (const PropertyRange& r : info.ranges) {
+    if (!info.schema->HasField(r.property)) {
+      return Status::InvalidArgument(
+          StrFormat("sensor '%s' declares a range for unknown property '%s'",
+                    info.id.c_str(), r.property.c_str()));
+    }
+    size_t idx = *info.schema->FieldIndex(r.property);
+    stt::ValueType t = info.schema->fields()[idx].type;
+    if (t != stt::ValueType::kInt && t != stt::ValueType::kDouble) {
+      return Status::InvalidArgument(
+          StrFormat("sensor '%s' declares a range for non-numeric "
+                    "property '%s'",
+                    info.id.c_str(), r.property.c_str()));
+    }
+    if (!(r.lo <= r.hi)) {
+      return Status::InvalidArgument(
+          StrFormat("sensor '%s' property '%s' range is empty (%g > %g)",
+                    info.id.c_str(), r.property.c_str(), r.lo, r.hi));
+    }
+  }
+  if (info.max_delay < 0) {
+    return Status::InvalidArgument("sensor '" + info.id +
+                                   "' has negative max_delay");
   }
   if (!info.provides_location && !info.location.has_value()) {
     return Status::InvalidArgument(

@@ -10,12 +10,22 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "stt/geo.h"
 #include "stt/schema.h"
 #include "util/clock.h"
 
 namespace sl::pubsub {
+
+/// \brief Declared physical bounds of one numeric schema property.
+/// Advisory metadata for static analysis (sl-analyze seeds its interval
+/// domain from these); the runtime never enforces them.
+struct PropertyRange {
+  std::string property;  ///< schema field name (must be numeric)
+  double lo = 0;
+  double hi = 0;
+};
 
 /// \brief The advertisement a sensor publishes when joining the network.
 struct SensorInfo {
@@ -51,6 +61,18 @@ struct SensorInfo {
   /// Network node managing this sensor (Figure 1: "each node ... is in
   /// charge of managing a bunch of sensors").
   std::string node_id;
+
+  /// Declared value ranges for numeric schema properties (analysis
+  /// metadata; properties without a declared range are unbounded).
+  std::vector<PropertyRange> ranges;
+
+  /// Worst-case delivery delay the publisher vouches for (0 = none
+  /// declared). Event-time operators whose bounded lateness is smaller
+  /// than this can silently drop in-contract tuples (SL4006).
+  Duration max_delay = 0;
+
+  /// The declared range for `property`, if any.
+  const PropertyRange* RangeOf(const std::string& property) const;
 
   /// One-line rendering for logs and the design environment.
   std::string ToString() const;

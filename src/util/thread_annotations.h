@@ -1,0 +1,117 @@
+// StreamLoader: Clang thread-safety annotations and annotated locking
+// primitives.
+//
+// The SL_* macros expand to Clang's `capability` attribute family when
+// compiling with a compiler that implements -Wthread-safety (Clang);
+// under GCC they expand to nothing, so annotated code builds and runs
+// identically everywhere. scripts/ci.sh adds a
+// -Wthread-safety -Werror=thread-safety configuration when a Clang
+// toolchain is available, turning the annotations into a static proof
+// obligation for the threaded runtime's locking discipline.
+//
+// std::mutex is not an annotated capability, so the analysis cannot see
+// through it; Mutex / MutexLock / CondVar below are the thin annotated
+// wrappers the threaded runtime locks through instead. They add no
+// state and no behavior — every method is a forwarded call on the
+// underlying std primitive.
+
+#ifndef STREAMLOADER_UTIL_THREAD_ANNOTATIONS_H_
+#define STREAMLOADER_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SL_THREAD_ANNOTATION(x)  // no-op under GCC/MSVC
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define SL_CAPABILITY(x) SL_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SL_SCOPED_CAPABILITY SL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members: may only be read/written while holding `x`.
+#define SL_GUARDED_BY(x) SL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer members: the pointed-to data is protected by `x`.
+#define SL_PT_GUARDED_BY(x) SL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Functions: the caller must hold the given capabilities.
+#define SL_REQUIRES(...) \
+  SL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Functions: acquire/release the given capabilities.
+#define SL_ACQUIRE(...) SL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SL_RELEASE(...) SL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Functions: must NOT be called while holding the given capabilities
+/// (deadlock prevention).
+#define SL_EXCLUDES(...) SL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables analysis for one function.
+#define SL_NO_THREAD_SAFETY_ANALYSIS \
+  SL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sl {
+
+/// \brief std::mutex as an annotated capability.
+class SL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SL_ACQUIRE() { mu_.lock(); }
+  void Unlock() SL_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped handle, for CondVar.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief Scoped lock over Mutex (std::lock_guard with annotations).
+class SL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SL_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() SL_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable usable under a held Mutex.
+class CondVar {
+ public:
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Releases `mu`, waits up to `timeout` (or a notification), and
+  /// re-acquires `mu` before returning — the caller's critical section
+  /// resumes exactly as std::condition_variable::wait_for would leave
+  /// it. The adopt/release dance hands lock ownership to a temporary
+  /// unique_lock for the duration of the wait only.
+  template <class Rep, class Period>
+  void WaitFor(Mutex* mu,
+               std::chrono::duration<Rep, Period> timeout) SL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
+    cv_.wait_for(lock, timeout);
+    lock.release();  // the caller's scope still owns the re-taken lock
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sl
+
+#endif  // STREAMLOADER_UTIL_THREAD_ANNOTATIONS_H_

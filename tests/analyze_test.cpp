@@ -1,0 +1,498 @@
+// Tests for sl-analyze (src/analyze): the whole-pipeline abstract
+// interpretation. Three layers:
+//
+//  1. domain / abstract-eval units: lattice laws on AbstractValue and
+//     the transfer functions of EvalAbstract / NarrowByCondition;
+//  2. every SL4xxx diagnostic fires on its lint_corpus program with a
+//     caret anchored at the offending construct, and the near-miss
+//     programs stay clean;
+//  3. the behavior-neutrality battery: 25 seeds of the event-time
+//     harness proving that analysis metadata (the DSN `lateness:`
+//     property, registry `range:`/`max_delay:` declarations) and the
+//     analysis run itself leave the runtime bit-identical.
+//
+// Replay one failing battery seed with SL_CHAOS_SEED=<seed>.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/abstract_eval.h"
+#include "analyze/analyze.h"
+#include "analyze/domain.h"
+#include "dataflow/validate.h"
+#include "dsn/lint.h"
+#include "dsn/translate.h"
+#include "expr/eval.h"
+#include "net/fault.h"
+#include "pubsub/broker.h"
+#include "pubsub/registry_text.h"
+#include "tests/test_util.h"
+#include "util/clock.h"
+
+#ifndef SL_REPO_DIR
+#error "SL_REPO_DIR must be defined to the repository root"
+#endif
+
+namespace sl {
+namespace {
+
+namespace fs = std::filesystem;
+
+using analyze::AbstractRow;
+using analyze::AbstractValue;
+using analyze::EvalAbstract;
+using analyze::Join;
+using analyze::Meet;
+using analyze::StreamFacts;
+using stt::ValueType;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ------------------------------------------------------ domain units --
+
+TEST(DomainTest, JoinWidensToCoverBothOperands) {
+  AbstractValue a = AbstractValue::Interval(ValueType::kDouble, 0, 10);
+  AbstractValue b = AbstractValue::Interval(ValueType::kDouble, 20, 30);
+  b.may_null = true;
+  AbstractValue j = Join(a, b);
+  EXPECT_EQ(j.lo, 0);
+  EXPECT_EQ(j.hi, 30);
+  EXPECT_TRUE(j.may_null);
+  EXPECT_FALSE(j.IsEmptyValue());
+  // Join is symmetric on the interval component.
+  AbstractValue ji = Join(b, a);
+  EXPECT_EQ(ji.lo, j.lo);
+  EXPECT_EQ(ji.hi, j.hi);
+}
+
+TEST(DomainTest, MeetOfDisjointIntervalsIsEmpty) {
+  AbstractValue a = AbstractValue::Interval(ValueType::kDouble, 0, 10);
+  AbstractValue b = AbstractValue::Interval(ValueType::kDouble, 20, 30);
+  EXPECT_TRUE(Meet(a, b).IsEmptyValue());
+  AbstractValue c = AbstractValue::Interval(ValueType::kDouble, 5, 25);
+  AbstractValue m = Meet(a, c);
+  EXPECT_FALSE(m.IsEmptyValue());
+  EXPECT_EQ(m.lo, 5);
+  EXPECT_EQ(m.hi, 10);
+}
+
+TEST(DomainTest, ConstantDetection) {
+  EXPECT_TRUE(AbstractValue::Interval(ValueType::kInt, 7, 7).IsConstant());
+  EXPECT_FALSE(AbstractValue::Interval(ValueType::kInt, 7, 8).IsConstant());
+  EXPECT_FALSE(AbstractValue::TopOf(ValueType::kDouble).IsConstant());
+  AbstractValue s = AbstractValue::TopOf(ValueType::kString);
+  EXPECT_FALSE(s.IsConstant());
+  s.may_null = false;  // a nullable singleton has two possible values
+  s.strings = {{"R1"}};
+  EXPECT_TRUE(s.IsConstant());
+  s.strings = {{"R1", "R2"}};
+  EXPECT_FALSE(s.IsConstant());
+}
+
+TEST(DomainTest, StringSetsJoinUpToTheCapThenDecay) {
+  AbstractValue a = AbstractValue::TopOf(ValueType::kString);
+  a.strings = {{"a"}};
+  AbstractValue b = a;
+  for (size_t i = 0; i < AbstractValue::kMaxStrings + 2; ++i) {
+    AbstractValue next = AbstractValue::TopOf(ValueType::kString);
+    next.strings = {{std::string(1, char('b' + i))}};
+    b = Join(b, next);
+  }
+  // Past the cap the set disengages: "any string", not a huge set.
+  EXPECT_FALSE(b.strings.has_value());
+  // Meet against an engaged set re-narrows.
+  AbstractValue m = Meet(b, a);
+  ASSERT_TRUE(m.strings.has_value());
+  EXPECT_EQ(m.strings->size(), 1u);
+}
+
+// ----------------------------------------------- abstract-eval units --
+
+stt::SchemaPtr TestSchema() {
+  return *stt::Schema::Make({{"x", ValueType::kDouble, "", false},
+                             {"n", ValueType::kInt, "", false},
+                             {"s", ValueType::kString, "", true}});
+}
+
+/// Facts with x in [lo, hi], n in [0, 100], s unconstrained.
+StreamFacts TestFacts(double lo, double hi) {
+  StreamFacts facts;
+  facts.schema = TestSchema();
+  facts.props.push_back(
+      AbstractValue::Interval(ValueType::kDouble, lo, hi));
+  facts.props.push_back(AbstractValue::Interval(ValueType::kInt, 0, 100));
+  facts.props.push_back(AbstractValue::TopOf(ValueType::kString));
+  return facts;
+}
+
+AbstractValue EvalOn(const std::string& source, const StreamFacts& facts,
+                     std::vector<analyze::ExprFinding>* findings = nullptr) {
+  auto bound = expr::BoundExpr::Parse(source, facts.schema);
+  EXPECT_TRUE(bound.ok()) << source << ": " << bound.status().ToString();
+  AbstractRow row = AbstractRow::FromFacts(facts);
+  return EvalAbstract(bound->program(), row, findings);
+}
+
+TEST(AbstractEvalTest, ArithmeticMapsIntervals) {
+  AbstractValue v = EvalOn("x * 2 + 1", TestFacts(-3, 5));
+  EXPECT_EQ(v.lo, -5);
+  EXPECT_EQ(v.hi, 11);
+  EXPECT_FALSE(v.may_null);
+  EXPECT_FALSE(v.may_nan);
+}
+
+TEST(AbstractEvalTest, ComparisonsDecideWhenIntervalsSeparate) {
+  AbstractValue always = EvalOn("x < 100", TestFacts(-3, 5));
+  EXPECT_TRUE(always.may_true);
+  EXPECT_FALSE(always.may_false);
+  AbstractValue never = EvalOn("x > 100", TestFacts(-3, 5));
+  EXPECT_FALSE(never.may_true);
+  EXPECT_TRUE(never.may_false);
+  AbstractValue maybe = EvalOn("x > 0", TestFacts(-3, 5));
+  EXPECT_TRUE(maybe.may_true);
+  EXPECT_TRUE(maybe.may_false);
+}
+
+TEST(AbstractEvalTest, DivisionByIntervalSpanningZeroMayBeNull) {
+  // The runtime maps division by zero to null, so an interval divisor
+  // that contains 0 makes the result nullable — but not a finding.
+  std::vector<analyze::ExprFinding> findings;
+  AbstractValue v = EvalOn("x / n", TestFacts(1, 2), &findings);
+  EXPECT_TRUE(v.may_null);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AbstractEvalTest, DivisorProvablyZeroIsAFinding) {
+  StreamFacts facts = TestFacts(1, 2);
+  facts.props[1] = AbstractValue::Interval(ValueType::kInt, 0, 0);
+  std::vector<analyze::ExprFinding> findings;
+  AbstractValue v = EvalOn("x / n", facts, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, diag::Code::kRangeDivisionByZero);
+  // Only null can come out of a division that always faults.
+  EXPECT_TRUE(v.may_null);
+  EXPECT_TRUE(v.IsEmptyValue());
+}
+
+TEST(AbstractEvalTest, LiteralZeroDivisorIsNotAFinding) {
+  // `x / 0` is SL3005's business (typecheck) — the range analysis must
+  // not double-report it.
+  std::vector<analyze::ExprFinding> findings;
+  EvalOn("x / 0", TestFacts(1, 2), &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AbstractEvalTest, IntegerOverflowIsAFinding) {
+  std::vector<analyze::ExprFinding> findings;
+  EvalOn("n * 10000000000000000000.0", TestFacts(1, 2), &findings);
+  // double multiply never overflows int64 — no finding.
+  EXPECT_TRUE(findings.empty());
+  EvalOn("n * 100000000000000000", TestFacts(1, 2), &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, diag::Code::kRangeOverflow);
+}
+
+TEST(AbstractEvalTest, NarrowByConditionTightensTheAndSpine) {
+  StreamFacts facts = TestFacts(-30, 50);
+  auto bound =
+      expr::BoundExpr::Parse("x > 10 and x <= 20 and n == 7", facts.schema);
+  ASSERT_TRUE(bound.ok());
+  AbstractRow row = AbstractRow::FromFacts(facts);
+  analyze::NarrowByCondition(*bound->expr(), &row);
+  EXPECT_EQ(row.attrs[0].lo, 10);
+  EXPECT_EQ(row.attrs[0].hi, 20);
+  EXPECT_EQ(row.attrs[1].lo, 7);
+  EXPECT_EQ(row.attrs[1].hi, 7);
+  EXPECT_FALSE(row.attrs[0].may_null);
+}
+
+// ----------------------------------- corpus diagnostics, with spans --
+
+/// Broker loaded with the examples registry; lints with analysis on.
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string text =
+        ReadFile(fs::path(SL_REPO_DIR) / "examples/dsn/sensors.reg");
+    auto sensors = pubsub::ParseSensorRegistry(text);
+    SL_ASSERT_OK(sensors.status());
+    for (const auto& info : *sensors) {
+      SL_ASSERT_OK(broker_.Publish(info));
+    }
+  }
+
+  /// Lints tests/lint_corpus/<name> with analysis enabled.
+  dsn::LintResult Corpus(const std::string& name) {
+    source_ = ReadFile(fs::path(SL_REPO_DIR) / "tests/lint_corpus" / name);
+    dsn::LintOptions options;
+    options.analyze = true;
+    return dsn::LintDsnProgram(source_, &broker_, options);
+  }
+
+  /// The first diagnostic with `code`, failing the test when absent.
+  const diag::Diagnostic* FindCode(const dsn::LintResult& lint,
+                                   diag::Code code) {
+    for (const auto& d : lint.diags) {
+      if (d.code == code) return &d;
+    }
+    ADD_FAILURE() << "no " << diag::CodeToString(code) << " in:\n"
+                  << [&] {
+                       std::string all;
+                       for (const auto& d : lint.diags) {
+                         all += d.ToString() + "\n";
+                       }
+                       return all;
+                     }();
+    return nullptr;
+  }
+
+  /// The document bytes under the diagnostic's caret.
+  std::string SpanText(const diag::Diagnostic& d) {
+    EXPECT_TRUE(d.span.valid());
+    EXPECT_EQ(d.source, source_);  // anchored into the document
+    return source_.substr(d.span.begin, d.span.size());
+  }
+
+  VirtualClock clock_;
+  pubsub::Broker broker_{&clock_};
+  std::string source_;
+};
+
+TEST_F(AnalyzeTest, FilterAlwaysFalseFiresWithAnchoredSpan) {
+  dsn::LintResult lint = Corpus("range_filter_always_false.dsn");
+  const auto* d = FindCode(lint, diag::Code::kRangeConstantCondition);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->node, "hot");
+  // The caret covers exactly the unsatisfiable comparison.
+  EXPECT_EQ(SpanText(*d), "temp > 100");
+}
+
+TEST_F(AnalyzeTest, FilterAlwaysTrueFires) {
+  dsn::LintResult lint = Corpus("range_filter_always_true.dsn");
+  const auto* d = FindCode(lint, diag::Code::kRangeConstantCondition);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(SpanText(*d), "temp > -100");
+  EXPECT_NE(d->message.find("always true"), std::string::npos);
+}
+
+TEST_F(AnalyzeTest, EmptyJoinFiresOnThePredicate) {
+  dsn::LintResult lint = Corpus("range_join_disjoint_keys.dsn");
+  const auto* d = FindCode(lint, diag::Code::kEmptyJoin);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->node, "both");
+  EXPECT_EQ(SpanText(*d), "temp == speed");
+}
+
+TEST_F(AnalyzeTest, ReachableDivisionByZeroFiresOnTheExpression) {
+  dsn::LintResult lint = Corpus("range_division_by_zero.dsn");
+  const auto* d = FindCode(lint, diag::Code::kRangeDivisionByZero);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(SpanText(*d), "speed / vehicles");
+}
+
+TEST_F(AnalyzeTest, OverflowFires) {
+  dsn::LintResult lint = Corpus("range_overflow.dsn");
+  const auto* d = FindCode(lint, diag::Code::kRangeOverflow);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(SpanText(*d), "vehicles * 100000000000000000");
+}
+
+TEST_F(AnalyzeTest, DeadStreamFiresOnEveryDoomedProducer) {
+  dsn::LintResult lint = Corpus("range_dead_stream.dsn");
+  size_t dead = 0;
+  for (const auto& d : lint.diags) {
+    if (d.code != diag::Code::kDeadStream) continue;
+    ++dead;
+    EXPECT_TRUE(d.node == "t" || d.node == "bump") << d.ToString();
+    EXPECT_TRUE(d.span.valid());
+  }
+  // The source and the transform are both doomed; the sink is not
+  // reported (it produces nothing to discard).
+  EXPECT_EQ(dead, 2u);
+}
+
+TEST_F(AnalyzeTest, LatenessTooSmallFiresOnTheProperty) {
+  dsn::LintResult lint = Corpus("range_lateness_too_small.dsn");
+  const auto* d = FindCode(lint, diag::Code::kLatenessTooSmall);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->node, "agg");
+  EXPECT_EQ(SpanText(*d), "30s");
+}
+
+TEST_F(AnalyzeTest, ConstantPartitionKeyFires) {
+  dsn::LintResult lint = Corpus("range_constant_partition_key.dsn");
+  const auto* d = FindCode(lint, diag::Code::kConstantPartitionKey);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->node, "agg");
+  EXPECT_NE(d->message.find("road"), std::string::npos);
+}
+
+TEST_F(AnalyzeTest, NearMissesStayClean) {
+  for (const char* name :
+       {"range_filter_boundary_clean.dsn", "range_join_overlap_clean.dsn"}) {
+    dsn::LintResult lint = Corpus(name);
+    EXPECT_TRUE(lint.diags.empty()) << name << ":\n"
+                                    << (lint.diags.empty()
+                                            ? ""
+                                            : lint.diags[0].Render());
+    ASSERT_TRUE(lint.analysis.has_value()) << name;
+    EXPECT_FALSE(lint.analysis->edges.empty()) << name;
+  }
+}
+
+TEST_F(AnalyzeTest, ConstantFoldedPredicatesAreLeftToTypecheck) {
+  // `temp > 25 and false` folds to a constant — SL3004's finding; the
+  // range analysis must not add an SL4001 on top.
+  dsn::LintResult lint = Corpus("constant_predicate.dsn");
+  bool sl3004 = false;
+  for (const auto& d : lint.diags) {
+    EXPECT_NE(d.code, diag::Code::kRangeConstantCondition) << d.ToString();
+    if (d.code == diag::Code::kConstantPredicate) sl3004 = true;
+  }
+  EXPECT_TRUE(sl3004);
+}
+
+TEST_F(AnalyzeTest, EdgeFactsCarryNarrowedRanges) {
+  std::string source = ReadFile(fs::path(SL_REPO_DIR) /
+                                "examples/dsn/osaka_hot_hours.dsn");
+  dsn::LintOptions options;
+  options.analyze = true;
+  dsn::LintResult lint = dsn::LintDsnProgram(source, &broker_, options);
+  ASSERT_TRUE(lint.analysis.has_value());
+  // The "rain > 10" filter narrows the registry range [0, 120] on its
+  // outgoing edge.
+  bool found = false;
+  for (const auto& edge : lint.analysis->edges) {
+    if (edge.from != "torr") continue;
+    found = true;
+    ASSERT_EQ(edge.facts.schema->fields()[0].name, "rain");
+    EXPECT_EQ(edge.facts.props[0].lo, 10);
+    EXPECT_EQ(edge.facts.props[0].hi, 120);
+    EXPECT_FALSE(edge.facts.props[0].may_null);
+  }
+  EXPECT_TRUE(found);
+}
+
+// -------------------------------------- behavior-neutrality battery --
+
+using sl::testing::ChaosSeeds;
+using sl::testing::EventAggSpec;
+using sl::testing::EventTimeOptions;
+using sl::testing::EventTimeResult;
+using sl::testing::EventTimeRun;
+
+std::string Context(uint64_t seed) {
+  return "failing seed " + std::to_string(seed) + " — replay with " +
+         "SL_CHAOS_SEED=" + std::to_string(seed);
+}
+
+TEST(AnalyzeNeutralityTest, MetadataAndAnalysisLeaveRunsBitIdentical) {
+  // The contract of DESIGN.md §13: everything sl-analyze consumes is
+  // advisory. Per seed, three runs must produce bit-identical sink
+  // rows: (a) the plain program; (b) the same program after running the
+  // analyzer over its translated dataflow (the analysis mutates
+  // nothing); (c) the program with a `lateness:` property declared
+  // (translation drops it — it only arms SL4006).
+  EventTimeOptions options;
+  options.install_plan = false;
+  for (uint64_t seed : ChaosSeeds(25, 11000)) {
+    net::FaultPlan zero(seed);
+    dsn::DsnSpec spec = EventAggSpec();
+    EventTimeResult base = EventTimeRun(seed, zero, spec, options);
+    ASSERT_TRUE(base.deployed) << base.deploy_error << "\n" << Context(seed);
+
+    // (b) Analyze the dataflow between two runs of the same spec (with
+    // the source sensor advertised so the analysis genuinely runs).
+    auto df = dsn::TranslateFromDsn(spec);
+    ASSERT_TRUE(df.ok()) << Context(seed);
+    VirtualClock clock;
+    pubsub::Broker broker(&clock);
+    pubsub::SensorInfo wm_t0;
+    wm_t0.id = "wm_t0";
+    wm_t0.type = "temperature";
+    wm_t0.schema =
+        *stt::Schema::Make({{"temp", ValueType::kDouble, "celsius", false}});
+    wm_t0.period = duration::kSecond;
+    wm_t0.node_id = "node_2";
+    SL_ASSERT_OK(broker.Publish(wm_t0));
+    dataflow::Validator validator(&broker);
+    auto report = validator.Validate(*df);
+    ASSERT_TRUE(report.ok()) << Context(seed);
+    auto analysis = analyze::AnalyzeDataflow(*df, &broker, *report);
+    ASSERT_TRUE(analysis.ok()) << Context(seed);
+    EventTimeResult again = EventTimeRun(seed, zero, spec, options);
+    ASSERT_TRUE(again.deployed) << Context(seed);
+    EXPECT_EQ(base.sink_rows, again.sink_rows) << Context(seed);
+    EXPECT_EQ(base.late_rows, again.late_rows) << Context(seed);
+    EXPECT_EQ(base.stats, again.stats) << Context(seed);
+
+    // (c) Declaring analysis-only lateness metadata changes nothing.
+    dsn::DsnSpec with_lateness = spec;
+    for (auto& service : with_lateness.services) {
+      if (service.kind == "AGGREGATION") {
+        service.properties["lateness"] = "3s";
+      }
+    }
+    EventTimeResult declared =
+        EventTimeRun(seed, zero, with_lateness, options);
+    ASSERT_TRUE(declared.deployed) << declared.deploy_error << "\n"
+                                   << Context(seed);
+    EXPECT_EQ(base.sink_rows, declared.sink_rows) << Context(seed);
+    EXPECT_EQ(base.late_rows, declared.late_rows) << Context(seed);
+    EXPECT_EQ(base.stats, declared.stats) << Context(seed);
+  }
+}
+
+TEST(AnalyzeNeutralityTest, RegistryRangesAreRuntimeInvisible) {
+  // Stripping every `range:` / `max_delay:` declaration from the
+  // examples registry leaves the runtime-relevant advertisement —
+  // schema, period, placement — byte-identical.
+  std::string text =
+      ReadFile(fs::path(SL_REPO_DIR) / "examples/dsn/sensors.reg");
+  std::string stripped;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos &&
+        (line.compare(first, 6, "range:") == 0 ||
+         line.compare(first, 10, "max_delay:") == 0)) {
+      continue;
+    }
+    stripped += line + "\n";
+  }
+  auto with = pubsub::ParseSensorRegistry(text);
+  auto without = pubsub::ParseSensorRegistry(stripped);
+  SL_ASSERT_OK(with.status());
+  SL_ASSERT_OK(without.status());
+  ASSERT_EQ(with->size(), without->size());
+  bool any_ranges = false;
+  for (size_t i = 0; i < with->size(); ++i) {
+    const pubsub::SensorInfo& a = (*with)[i];
+    const pubsub::SensorInfo& b = (*without)[i];
+    any_ranges = any_ranges || !a.ranges.empty();
+    EXPECT_TRUE(b.ranges.empty());
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.period, b.period);
+    EXPECT_EQ(a.node_id, b.node_id);
+    EXPECT_EQ(a.schema->ToString(), b.schema->ToString());
+    EXPECT_EQ(a.provides_timestamp, b.provides_timestamp);
+    EXPECT_EQ(a.provides_location, b.provides_location);
+  }
+  EXPECT_TRUE(any_ranges);  // the fixture actually declares some
+}
+
+}  // namespace
+}  // namespace sl

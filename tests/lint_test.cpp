@@ -53,8 +53,13 @@ class LintTest : public ::testing::Test {
   pubsub::Broker broker_{&clock_};
 };
 
-std::vector<std::string> ExpectedCodes(const std::string& source) {
+/// Codes named by the "# expect:" header, or an empty list for
+/// "# expect: clean" programs (which must produce no findings at all
+/// under full analysis — the corpus' near-misses).
+std::vector<std::string> ExpectedCodes(const std::string& source,
+                                       bool* is_clean) {
   std::vector<std::string> codes;
+  *is_clean = false;
   std::istringstream lines(source);
   std::string first;
   std::getline(lines, first);
@@ -62,8 +67,18 @@ std::vector<std::string> ExpectedCodes(const std::string& source) {
   std::string word;
   while (words >> word) {
     if (word.rfind("SL", 0) == 0) codes.push_back(word);
+    if (word == "clean") *is_clean = true;
   }
   return codes;
+}
+
+/// Corpus programs are always linted with analysis on: the SL4xxx
+/// programs need it, and for everything else it must stay silent.
+dsn::LintResult LintWithAnalysis(const std::string& source,
+                                 const pubsub::Broker* broker) {
+  dsn::LintOptions options;
+  options.analyze = true;
+  return dsn::LintDsnProgram(source, broker, options);
 }
 
 TEST_F(LintTest, CorpusProgramsProduceExpectedCodes) {
@@ -72,28 +87,32 @@ TEST_F(LintTest, CorpusProgramsProduceExpectedCodes) {
   for (const auto& entry : fs::directory_iterator(corpus)) {
     if (entry.path().extension() != ".dsn") continue;
     std::string source = ReadFile(entry.path());
-    std::vector<std::string> expected = ExpectedCodes(source);
-    ASSERT_FALSE(expected.empty())
-        << entry.path() << " has no '# expect: SLxxxx' header";
-    dsn::LintResult lint = dsn::LintDsnProgram(source, &broker_);
+    bool is_clean = false;
+    std::vector<std::string> expected = ExpectedCodes(source, &is_clean);
+    ASSERT_TRUE(!expected.empty() || is_clean)
+        << entry.path() << " has no '# expect: SLxxxx' or "
+        << "'# expect: clean' header";
+    dsn::LintResult lint = LintWithAnalysis(source, &broker_);
+    auto render_all = [&] {
+      std::string all;
+      for (const auto& d : lint.diags) all += d.ToString() + "\n";
+      return all;
+    };
+    if (is_clean) {
+      EXPECT_TRUE(lint.diags.empty())
+          << entry.path() << " must lint clean but got:\n" << render_all();
+    }
     for (const auto& code : expected) {
       bool found = false;
       for (const auto& d : lint.diags) {
         if (diag::CodeToString(d.code) == code) found = true;
       }
       EXPECT_TRUE(found) << entry.path() << ": expected " << code
-                         << " but got:\n"
-                         << [&] {
-                              std::string all;
-                              for (const auto& d : lint.diags) {
-                                all += d.ToString() + "\n";
-                              }
-                              return all;
-                            }();
+                         << " but got:\n" << render_all();
     }
     ++checked;
   }
-  EXPECT_GE(checked, 15u);  // the corpus covers every code family
+  EXPECT_GE(checked, 30u);  // the corpus covers every code family
 }
 
 TEST_F(LintTest, CorpusSpansLandInsideTheOffendingConstruct) {
@@ -101,7 +120,10 @@ TEST_F(LintTest, CorpusSpansLandInsideTheOffendingConstruct) {
   for (const auto& entry : fs::directory_iterator(corpus)) {
     if (entry.path().extension() != ".dsn") continue;
     std::string source = ReadFile(entry.path());
-    dsn::LintResult lint = dsn::LintDsnProgram(source, &broker_);
+    bool is_clean = false;
+    ExpectedCodes(source, &is_clean);
+    dsn::LintResult lint = LintWithAnalysis(source, &broker_);
+    if (is_clean) continue;  // the near-misses have nothing to anchor
     ASSERT_FALSE(lint.diags.empty()) << entry.path();
     for (const auto& d : lint.diags) {
       if (!d.span.valid()) continue;
@@ -158,6 +180,69 @@ TEST_F(LintTest, LintingWithoutRegistryReportsUnknownSensors) {
     if (d.code == diag::Code::kUnknownSensor) has_unknown_sensor = true;
   }
   EXPECT_TRUE(has_unknown_sensor);
+}
+
+TEST_F(LintTest, ExamplesAnalyzeCleanWithEdgeFacts) {
+  fs::path dir = fs::path(SL_REPO_DIR) / "examples/dsn";
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".dsn") continue;
+    std::string source = ReadFile(entry.path());
+    dsn::LintResult lint = LintWithAnalysis(source, &broker_);
+    EXPECT_TRUE(lint.diags.empty())
+        << entry.path() << ":\n"
+        << (lint.diags.empty() ? "" : lint.diags[0].Render());
+    ASSERT_TRUE(lint.analysis.has_value()) << entry.path();
+    EXPECT_FALSE(lint.analysis->edges.empty()) << entry.path();
+    for (const auto& edge : lint.analysis->edges) {
+      EXPECT_TRUE(edge.facts.may_produce)
+          << entry.path() << ": " << edge.from << " -> " << edge.to;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 2u);
+}
+
+TEST_F(LintTest, ExitCodeContract) {
+  using dsn::ExitCodeFor;
+  using dsn::LintExit;
+  auto warn = diag::MakeDiag(diag::Code::kRangeConstantCondition, "n", "w");
+  auto error = diag::MakeDiag(diag::Code::kUnknownColumn, "n", "e");
+  auto parse = diag::MakeDiag(diag::Code::kDsnSyntax, "n", "p");
+  ASSERT_EQ(warn.severity, diag::Severity::kWarning);
+  ASSERT_EQ(error.severity, diag::Severity::kError);
+  ASSERT_EQ(parse.severity, diag::Severity::kError);
+
+  EXPECT_EQ(ExitCodeFor({}, false), LintExit::kClean);
+  EXPECT_EQ(ExitCodeFor({}, true), LintExit::kClean);
+  // Warnings pass by default and are promoted (to the dedicated code 4,
+  // not to 1) by --werror.
+  EXPECT_EQ(ExitCodeFor({warn}, false), LintExit::kClean);
+  EXPECT_EQ(ExitCodeFor({warn}, true), LintExit::kWerror);
+  // Error findings are exit 1 regardless of accompanying warnings.
+  EXPECT_EQ(ExitCodeFor({warn, error}, false), LintExit::kFindings);
+  EXPECT_EQ(ExitCodeFor({error}, true), LintExit::kFindings);
+  // A parse failure (SL00xx) dominates everything else.
+  EXPECT_EQ(ExitCodeFor({parse}, false), LintExit::kParseFailure);
+  EXPECT_EQ(ExitCodeFor({warn, error, parse}, true),
+            LintExit::kParseFailure);
+}
+
+TEST_F(LintTest, CorpusExitCodesMatchSeverity) {
+  // Every SL4xxx corpus program is warnings-only: exit 0 normally,
+  // exit 4 under --werror. A program with an error-severity finding
+  // maps to exit 1; a syntax error to exit 3.
+  auto lint_file = [&](const char* rel) {
+    return LintWithAnalysis(ReadFile(fs::path(SL_REPO_DIR) / rel), &broker_);
+  };
+  dsn::LintResult range = lint_file("tests/lint_corpus/range_overflow.dsn");
+  EXPECT_EQ(dsn::ExitCodeFor(range.diags, false), dsn::LintExit::kClean);
+  EXPECT_EQ(dsn::ExitCodeFor(range.diags, true), dsn::LintExit::kWerror);
+  dsn::LintResult bad = lint_file("tests/lint_corpus/unknown_column.dsn");
+  EXPECT_EQ(dsn::ExitCodeFor(bad.diags, false), dsn::LintExit::kFindings);
+  dsn::LintResult syntax = lint_file("tests/lint_corpus/syntax_error.dsn");
+  EXPECT_EQ(dsn::ExitCodeFor(syntax.diags, false),
+            dsn::LintExit::kParseFailure);
 }
 
 TEST_F(LintTest, SyntaxErrorsCarryDocumentSpans) {

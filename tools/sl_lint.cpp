@@ -1,13 +1,15 @@
 // sl-lint: compiler-style static analyzer for DSN programs.
 //
 // Usage:
-//   sl_lint [--registry=<file>] [--format=human|json] [--werror] file.dsn...
+//   sl_lint [--registry=<file>] [--format=human|json] [--analyze]
+//           [--werror] file.dsn...
 //
 // Parses each DSN document, lifts it to a conceptual dataflow and runs
 // the full Validator stack (type inference, granularity consistency,
 // graph lints), printing coded diagnostics with caret snippets — or a
-// JSON report with --format=json. Exit status is 1 when any file has an
-// error (or, under --werror, any warning), 2 on usage/IO problems.
+// JSON report with --format=json. With --analyze it additionally runs
+// the sl-analyze whole-pipeline abstract interpretation (SL4xxx) and
+// reports the per-edge inferred value facts.
 
 #include <cstdio>
 #include <fstream>
@@ -26,6 +28,27 @@ namespace {
 
 using sl::diag::Diagnostic;
 using sl::diag::Severity;
+using sl::dsn::LintExit;
+
+constexpr char kHelp[] =
+    "usage: sl_lint [--registry=<file>] [--format=human|json] [--analyze]\n"
+    "               [--werror] file.dsn...\n"
+    "\n"
+    "options:\n"
+    "  --registry=<file>   sensor registry resolving sources/targets\n"
+    "  --format=human|json human carets (default) or one JSON report\n"
+    "  --analyze           also run the whole-pipeline abstract\n"
+    "                      interpretation (SL4xxx) and report per-edge\n"
+    "                      inferred value facts\n"
+    "  --werror            treat warnings as errors (exit 4)\n"
+    "\n"
+    "exit status:\n"
+    "  0  no findings (warnings allowed unless --werror)\n"
+    "  1  at least one error-severity finding (SL1xxx/SL2xxx)\n"
+    "  2  usage or I/O problem (bad flag, unreadable file/registry)\n"
+    "  3  a document failed to parse (any SL00xx error)\n"
+    "  4  warnings only, promoted to failure by --werror\n"
+    "The most severe class across all input files wins (3 > 1 > 4 > 0).\n";
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::ifstream in(path);
@@ -39,14 +62,19 @@ bool ReadFile(const std::string& path, std::string* out) {
 struct FileReport {
   std::string path;
   std::vector<Diagnostic> diags;
+  std::optional<sl::analyze::Analysis> analysis;
 };
 
-void PrintHuman(const std::vector<FileReport>& reports) {
+void PrintHuman(const std::vector<FileReport>& reports, bool analyze) {
   for (const auto& report : reports) {
     for (const auto& d : report.diags) {
       std::string rendered = d.Render();
       // Prefix the one-line header with the file path, compiler-style.
       std::printf("%s: %s\n", report.path.c_str(), rendered.c_str());
+    }
+    if (analyze && report.analysis.has_value()) {
+      std::printf("%s: inferred facts per edge:\n%s", report.path.c_str(),
+                  report.analysis->RenderFacts().c_str());
     }
   }
 }
@@ -71,11 +99,31 @@ void PrintJson(const std::vector<FileReport>& reports, size_t errors,
     w.BeginArray();
     for (const auto& d : report.diags) d.ToJson(w);
     w.EndArray();
+    if (report.analysis.has_value()) {
+      w.Key("analysis");
+      report.analysis->WriteJson(w);
+    }
     w.EndObject();
   }
   w.EndArray();
   w.EndObject();
   std::printf("%s\n", w.str().c_str());
+}
+
+/// The more severe of two exit classes (3 > 1 > 4 > 0; 2 never reaches
+/// this merge — usage errors abort immediately).
+LintExit Merge(LintExit a, LintExit b) {
+  auto rank = [](LintExit e) {
+    switch (e) {
+      case LintExit::kParseFailure: return 4;
+      case LintExit::kFindings: return 3;
+      case LintExit::kWerror: return 2;
+      case LintExit::kUsage: return 1;  // unreachable here
+      case LintExit::kClean: return 0;
+    }
+    return 0;
+  };
+  return rank(a) >= rank(b) ? a : b;
 }
 
 }  // namespace
@@ -84,6 +132,7 @@ int main(int argc, char** argv) {
   std::string registry_path;
   std::string format = "human";
   bool werror = false;
+  bool analyze = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -94,25 +143,25 @@ int main(int argc, char** argv) {
       format = arg.substr(9);
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "usage: sl_lint [--registry=<file>] [--format=human|json] "
-          "[--werror] file.dsn...\n");
+      std::printf("%s", kHelp);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "sl_lint: unknown option '%s'\n", arg.c_str());
-      return 2;
+      return static_cast<int>(LintExit::kUsage);
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
     std::fprintf(stderr, "sl_lint: no input files\n");
-    return 2;
+    return static_cast<int>(LintExit::kUsage);
   }
   if (format != "human" && format != "json") {
     std::fprintf(stderr, "sl_lint: unknown format '%s'\n", format.c_str());
-    return 2;
+    return static_cast<int>(LintExit::kUsage);
   }
 
   sl::VirtualClock clock;
@@ -123,20 +172,20 @@ int main(int argc, char** argv) {
     if (!ReadFile(registry_path, &text)) {
       std::fprintf(stderr, "sl_lint: cannot read registry '%s'\n",
                    registry_path.c_str());
-      return 2;
+      return static_cast<int>(LintExit::kUsage);
     }
     auto sensors = sl::pubsub::ParseSensorRegistry(text);
     if (!sensors.ok()) {
       std::fprintf(stderr, "sl_lint: %s: %s\n", registry_path.c_str(),
                    sensors.status().message().c_str());
-      return 2;
+      return static_cast<int>(LintExit::kUsage);
     }
     for (const auto& info : *sensors) {
       if (sl::Status s = broker.Publish(info); !s.ok()) {
         std::fprintf(stderr, "sl_lint: %s: cannot publish '%s': %s\n",
                      registry_path.c_str(), info.id.c_str(),
                      s.message().c_str());
-        return 2;
+        return static_cast<int>(LintExit::kUsage);
       }
     }
     have_registry = true;
@@ -145,28 +194,32 @@ int main(int argc, char** argv) {
   std::vector<FileReport> reports;
   size_t errors = 0;
   size_t warnings = 0;
+  LintExit exit_code = LintExit::kClean;
   for (const auto& path : files) {
     std::string source;
     if (!ReadFile(path, &source)) {
       std::fprintf(stderr, "sl_lint: cannot read '%s'\n", path.c_str());
-      return 2;
+      return static_cast<int>(LintExit::kUsage);
     }
+    sl::dsn::LintOptions options;
+    options.analyze = analyze;
     sl::dsn::LintResult lint = sl::dsn::LintDsnProgram(
-        source, have_registry ? &broker : nullptr);
+        source, have_registry ? &broker : nullptr, options);
     for (const auto& d : lint.diags) {
       if (d.severity == Severity::kError) ++errors;
       if (d.severity == Severity::kWarning) ++warnings;
     }
-    reports.push_back({path, std::move(lint.diags)});
+    exit_code = Merge(exit_code, sl::dsn::ExitCodeFor(lint.diags, werror));
+    reports.push_back({path, std::move(lint.diags), std::move(lint.analysis)});
   }
 
   if (format == "json") {
     PrintJson(reports, errors, warnings);
   } else {
-    PrintHuman(reports);
+    PrintHuman(reports, analyze);
     if (errors + warnings > 0) {
       std::printf("%zu error(s), %zu warning(s)\n", errors, warnings);
     }
   }
-  return errors > 0 || (werror && warnings > 0) ? 1 : 0;
+  return static_cast<int>(exit_code);
 }
