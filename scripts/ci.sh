@@ -110,7 +110,7 @@ ctest --test-dir "${root}/build-tsan" --output-on-failure \
 # already ran once in the build-tsan ctest pass above.
 echo "==> threaded mode-matrix oracle under TSan, repeated"
 ctest --test-dir "${root}/build-tsan" --output-on-failure \
-  -R 'Live|Pooled|ShardThreads|Batched|AllModesCombined' \
+  -R 'Live|Pooled|ShardThreads|Batched|AllModesCombined|Columnar' \
   --repeat-until-fail 2 -j "${jobs}"
 
 echo "==> fault benchmark"
@@ -150,5 +150,14 @@ echo "==> threaded runtime benchmark (tuples/sec + latency percentiles)"
 (cd "${root}/build" && ./bench/bench_threaded --benchmark_min_time=0.05)
 cp "${root}/build/BENCH_threaded.json" "${root}/BENCH_threaded.json"
 cp "${root}/build/BENCH_threaded.json" "${artifacts}/BENCH_threaded.json"
+
+# Columnar batch execution: scalar-vs-vectorized series per operator
+# (batch 1/64/1024), the filter->transform chain the acceptance bar
+# reads (>= 3x at batch 1024), and the end-to-end threaded pipeline
+# with the columnar path off/on. Root copy for per-run diffing.
+echo "==> vectorized expression VM benchmark (scalar vs columnar batches)"
+(cd "${root}/build" && ./bench/bench_vector --benchmark_min_time=0.05)
+cp "${root}/build/BENCH_vector.json" "${root}/BENCH_vector.json"
+cp "${root}/build/BENCH_vector.json" "${artifacts}/BENCH_vector.json"
 
 echo "==> all configs green (artifacts in ${artifacts}/)"

@@ -61,6 +61,11 @@ struct StreamLoaderOptions {
   /// (nested-loop join, full-recompute aggregation) instead of the
   /// hash/incremental fast paths — for equivalence checks and ablations.
   bool naive_blocking = false;
+  /// Columnar batch execution in the simulator executor
+  /// (exec::ExecutorOptions::columnar_batch): coalesce same-edge
+  /// delivery runs into vectorized ProcessBatch calls. Off by default;
+  /// sink output is bit-identical either way.
+  bool columnar_batch = false;
   /// Which runtime RunThreaded-style execution uses. kSimulated (the
   /// default) keeps every Deploy on the deterministic discrete-event
   /// simulator — the semantic reference; kThreaded marks the session as

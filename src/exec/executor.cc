@@ -15,6 +15,10 @@ using dataflow::NodeKind;
 
 namespace {
 
+/// Columnar batching: cap on a coalesced delivery run — bounds the
+/// TupleRef buffer and keeps per-batch scratch vectors cache-sized.
+constexpr size_t kMaxPendingBatch = 1024;
+
 /// Per-deployment activation adapter: attributes trigger activations to
 /// their deployment before forwarding to the executor.
 class DeploymentActivation : public ops::ActivationHandler {
@@ -269,6 +273,9 @@ Result<DeploymentId> Executor::Deploy(const dsn::DsnSpec& spec) {
               [this, dep, name] {
                 auto it = dep->operators.find(name);
                 if (it == dep->operators.end() || !dep->active) return;
+                // A flush observes cached state: settle any coalesced
+                // deliveries first so the cache is per-tuple-identical.
+                DrainPending(dep);
                 ops::Operator* op = it->second.op.get();
                 double work = static_cast<double>(op->stats().cache_size) *
                               options_.work_per_tuple;
@@ -401,6 +408,11 @@ std::string Executor::ResolveOrigin(const std::string& sensor_id) const {
 void Executor::Route(Deployment* dep, const std::string& producer,
                      const std::string& producer_node,
                      const stt::TupleRef& tuple, Timestamp watermark) {
+  // A pending run precedes this tuple in delivery order: process it
+  // before scheduling new transfers so network-side effects (work,
+  // fault draws) keep the per-tuple sequence. Re-entrant calls during a
+  // drain see an empty buffer and fall straight through.
+  if (options_.columnar_batch) DrainPending(dep);
   auto edges_it = dep->edges.find(producer);
   if (edges_it == dep->edges.end()) return;
   size_t bytes = TupleBytes(*tuple);
@@ -477,6 +489,44 @@ void Executor::Route(Deployment* dep, const std::string& producer,
 
 void Executor::Deliver(Deployment* dep, const Edge& edge,
                        const stt::TupleRef& tuple, Timestamp watermark) {
+  if (options_.columnar_batch && !edge.to_sink) {
+    auto op_it = dep->operators.find(edge.to);
+    if (op_it != dep->operators.end() &&
+        op_it->second.op->parallelism() == 1 &&
+        op_it->second.op->batchable(edge.port)) {
+      Deployment::PendingBatch& pb = dep->pending;
+      // A run covers one (operator, port): a delivery elsewhere seals it.
+      if (!pb.tuples.empty() && (pb.op != edge.to || pb.port != edge.port)) {
+        DrainPending(dep);
+      }
+      if (pb.tuples.empty()) {
+        pb.op = edge.to;
+        pb.port = edge.port;
+      }
+      pb.tuples.push_back(tuple);
+      pb.watermarks.push_back(watermark);
+      if (pb.tuples.size() >= kMaxPendingBatch) {
+        DrainPending(dep);
+      } else if (!pb.barrier_scheduled) {
+        // Same-instant barrier: the loop's FIFO tie-break runs it after
+        // every already-queued event of this instant, so the run is
+        // processed before simulated time moves — no event scheduled
+        // from the batch can land earlier than it would have per-tuple.
+        pb.barrier_scheduled = true;
+        std::weak_ptr<Deployment> weak = dep->self;
+        loop_->Schedule(loop_->Now(), [this, weak] {
+          if (auto d = weak.lock()) {
+            d->pending.barrier_scheduled = false;
+            DrainPending(d.get());
+          }
+        });
+      }
+      return;
+    }
+  }
+  // Anything that is not appended to the pending run (sink writes,
+  // non-batchable operators) must observe fully processed state.
+  DrainPending(dep);
   if (edge.to_sink) {
     auto it = dep->sinks.find(edge.to);
     if (it == dep->sinks.end()) return;
@@ -509,6 +559,67 @@ void Executor::Deliver(Deployment* dep, const Edge& edge,
   }
 }
 
+void Executor::DrainPending(Deployment* dep) const {
+  Deployment::PendingBatch& pb = dep->pending;
+  if (pb.draining || pb.tuples.empty()) return;
+  pb.draining = true;
+  const std::string op_name = std::move(pb.op);
+  const size_t port = pb.port;
+  std::vector<stt::TupleRef> tuples = std::move(pb.tuples);
+  std::vector<Timestamp> watermarks = std::move(pb.watermarks);
+  pb.op.clear();
+  pb.tuples.clear();
+  pb.watermarks.clear();
+  auto it = dep->operators.find(op_name);
+  if (it != dep->operators.end() && dep->active) {
+    ops::Operator* op = it->second.op.get();
+    const size_t n = tuples.size();
+    Status ws = network_->ReportWork(
+        it->second.node_id,
+        options_.work_per_tuple * static_cast<double>(n));
+    (void)ws;
+    ops::Operator::BatchContext ctx;
+    // Watermark-segmented processing: per-tuple delivery observes every
+    // piggybacked watermark before its Process call, but an observation
+    // is a state no-op unless it advances the frontier (w <= min over
+    // ports implies w <= this port's max). Segments end exactly where
+    // the next observation would matter, so every tuple is processed
+    // under the identical frontier state as the per-tuple path.
+    size_t i = 0;
+    while (i < n) {
+      op->ObserveWatermark(port, watermarks[i]);
+      const Timestamp frontier = op->input_watermark();
+      size_t j = i + 1;
+      while (j < n) {
+        const Timestamp w = watermarks[j];
+        if (w != stt::kNoWatermark &&
+            (frontier == stt::kNoWatermark || w > frontier)) {
+          break;
+        }
+        ++j;
+      }
+      ctx.errors.clear();
+      Status s = op->ProcessBatch(port, &tuples[i], j - i, &ctx);
+      for (const ops::Operator::BatchRowError& e : ctx.errors) {
+        ++dep->stats.process_errors;
+        SL_LOG(kError) << "operator " << op_name
+                       << " failed: " << e.status.ToString();
+      }
+      if (!s.ok()) {
+        ++dep->stats.process_errors;
+        SL_LOG(kError) << "operator " << op_name
+                       << " failed: " << s.ToString();
+      }
+      i = j;
+    }
+  }
+  pb.draining = false;
+}
+
+void Executor::DrainAllPending() const {
+  for (const auto& [id, dep] : deployments_) DrainPending(dep.get());
+}
+
 Status Executor::Undeploy(DeploymentId id) {
   auto it = deployments_.find(id);
   if (it == deployments_.end()) {
@@ -521,6 +632,9 @@ Status Executor::Undeploy(DeploymentId id) {
         StrFormat("deployment %llu is already stopped",
                   static_cast<unsigned long long>(id)));
   }
+  // Settle coalesced deliveries while still active — tuples already
+  // delivered must reach their operator before the stop, as per-tuple.
+  DrainPending(dep);
   dep->active = false;
   for (auto sub : dep->subscriptions) broker_->Unsubscribe(sub);
   dep->subscriptions.clear();
@@ -562,6 +676,9 @@ Status Executor::ReplaceOperator(DeploymentId id, const std::string& op_name,
   if (op_it == dep->operators.end()) {
     return Status::NotFound("no operator '" + op_name + "' in deployment");
   }
+  // Settle coalesced deliveries into the outgoing operator before it is
+  // swapped out (its pending input must not land in the replacement).
+  DrainPending(dep);
   const Node& node = **dep->dataflow.node(op_name);
   // The replacement spec chooses the operation kind; a TriggerSpec keeps
   // the original On/Off polarity.
@@ -645,6 +762,7 @@ Status Executor::ReplaceOperator(DeploymentId id, const std::string& op_name,
         [this, dep, op_name] {
           auto oit = dep->operators.find(op_name);
           if (oit == dep->operators.end() || !dep->active) return;
+          DrainPending(dep);
           ops::Operator* op = oit->second.op.get();
           double work = static_cast<double>(op->stats().cache_size) *
                         options_.work_per_tuple;
@@ -721,6 +839,8 @@ Status Executor::MigrateOperator(DeploymentId id, const std::string& op_name,
   }
   std::string from = op_it->second.node_id;
   if (from == target_node) return Status::OK();
+  // The cache estimate below must reflect every delivered tuple.
+  DrainPending(dep);
   // Simulate the state hand-off: blocking caches move over the network.
   // A failed hand-off (source crashed or partitioned — the crash-recovery
   // path) loses the cache state but does not block the re-placement.
@@ -761,6 +881,8 @@ Status Executor::RescaleOperator(DeploymentId id, const std::string& op_name,
   if (op_it == dep->operators.end()) {
     return Status::NotFound("no operator '" + op_name + "' in deployment");
   }
+  // Re-partitioning observes (and redistributes) the cached state.
+  DrainPending(dep);
   ops::Operator* op = op_it->second.op.get();
   size_t old_parallelism = op->parallelism();
   if (new_parallelism == old_parallelism) return Status::OK();
@@ -799,6 +921,7 @@ Status Executor::DrainNode(const std::string& node_id) {
     return Status::FailedPrecondition(
         "cannot drain the only node of the network");
   }
+  DrainAllPending();
   for (auto& [id, dep] : deployments_) {
     if (!dep->active) continue;
     // Operators: reuse the migration path (state transfer + logging).
@@ -846,6 +969,7 @@ Result<const DeploymentStats*> Executor::stats(DeploymentId id) const {
   if (it == deployments_.end()) {
     return Status::NotFound("no such deployment");
   }
+  DrainPending(it->second.get());
   return &it->second->stats;
 }
 
@@ -855,6 +979,7 @@ Result<ops::OperatorStats> Executor::OperatorStatsOf(
   if (it == deployments_.end()) {
     return Status::NotFound("no such deployment");
   }
+  DrainPending(it->second.get());
   auto op_it = it->second->operators.find(name);
   if (op_it == it->second->operators.end()) {
     return Status::NotFound("no operator '" + name + "' in deployment");
@@ -868,6 +993,9 @@ Result<sinks::Sink*> Executor::SinkOf(DeploymentId id,
   if (it == deployments_.end()) {
     return Status::NotFound("no such deployment");
   }
+  // Coalesced deliveries may still carry tuples bound for this sink's
+  // upstream; settle them so the sink contents are read-after-write.
+  DrainPending(it->second.get());
   auto sink_it = it->second->sinks.find(name);
   if (sink_it == it->second->sinks.end()) {
     return Status::NotFound("no sink '" + name + "' in deployment");
@@ -880,6 +1008,7 @@ Result<sinks::LateSink*> Executor::LateSinkOf(DeploymentId id) const {
   if (it == deployments_.end()) {
     return Status::NotFound("no such deployment");
   }
+  DrainPending(it->second.get());
   return it->second->late_sink.get();
 }
 
@@ -889,6 +1018,7 @@ Executor::LiveAnnotations(DeploymentId id) const {
   if (it == deployments_.end()) {
     return Status::NotFound("no such deployment");
   }
+  DrainPending(it->second.get());
   const Deployment* dep = it->second.get();
   std::map<std::string, dataflow::NodeAnnotation> annotations;
   for (const auto& [name, deployed] : dep->operators) {
@@ -968,6 +1098,9 @@ void Executor::DeactivateSensors(const std::vector<std::string>& sensor_ids,
 
 std::vector<monitor::OperatorSample> Executor::SampleOperators(
     Duration window) {
+  // Rates must count every delivered tuple of the window, including the
+  // run still sitting in the coalescing buffer.
+  DrainAllPending();
   std::vector<monitor::OperatorSample> samples;
   double seconds = static_cast<double>(window) / 1000.0;
   if (seconds <= 0) seconds = 1e-3;
@@ -987,6 +1120,11 @@ std::vector<monitor::OperatorSample> Executor::SampleOperators(
       sample.trigger_fires = op->stats().trigger_fires;
       sample.late_dropped = op->stats().late_dropped;
       sample.late_routed = op->stats().late_routed;
+      sample.batches = op->stats().batches;
+      if (sample.batches > 0) {
+        sample.batch_fill = static_cast<double>(op->stats().batched_tuples) /
+                            static_cast<double>(sample.batches);
+      }
       // Watermark lag: how far event time trails the virtual clock; -1
       // until the operator's inputs have carried a watermark.
       Timestamp wm = op->stats().watermark_low;
@@ -1134,6 +1272,8 @@ void Executor::OnHeartbeat() {
 
 void Executor::RecoverDeployment(DeploymentId id, Deployment* dep,
                                  const std::string& node_id) {
+  // Deliveries already accepted predate the crash: settle them first.
+  DrainPending(dep);
   // Operators: reuse the migration machinery. The simulated state
   // hand-off originates on the dead node and is conclusively lost — a
   // crash loses blocking caches, which the lost transfer models.

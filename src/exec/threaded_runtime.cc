@@ -111,6 +111,11 @@ struct ThreadedRuntime::Stage {
   /// per output at the batch bound, before punctuation is forwarded,
   /// and at the end of every quantum.
   std::vector<Message::Item> emit_buffer;
+  /// Columnar-run scratch (columnar_batch): contiguous TupleRef view of
+  /// the current kBatch message and the per-run error/lineage context.
+  /// Worker-owned; reused so steady state allocates nothing.
+  std::vector<stt::TupleRef> batch_refs;
+  ops::Operator::BatchContext batch_ctx;
 
   // Pooled scheduling (pool_size > 0): the claim token that keeps the
   // worker-owned state above single-threaded even though any pool
@@ -477,6 +482,36 @@ void ThreadedRuntime::HandleBatch(Stage* stage, size_t input_idx,
     // barriers, which FIFO-follow the batch — so this is equivalent to
     // observing each item's watermark in turn.
     stage->op->ObserveWatermark(channel->port, message.watermark);
+    if (options_.columnar_batch && stage->op->batchable(channel->port)) {
+      // Columnar run: the whole message goes through ProcessBatch; the
+      // lineage stamp is applied per row just before its emissions via
+      // the on_row hook (same point the per-tuple loop would set it).
+      stage->in_count.fetch_add(message.items.size(),
+                                std::memory_order_relaxed);
+      stage->batch_refs.clear();
+      for (const Message::Item& item : message.items) {
+        stage->batch_refs.push_back(item.tuple);
+      }
+      stage->batch_ctx.errors.clear();
+      stage->batch_ctx.on_row = [stage, &message](size_t row) {
+        stage->current_ingest_ns = message.items[row].ingest_ns;
+      };
+      Status status =
+          stage->op->ProcessBatch(channel->port, stage->batch_refs.data(),
+                                  stage->batch_refs.size(), &stage->batch_ctx);
+      for (const ops::Operator::BatchRowError& e : stage->batch_ctx.errors) {
+        stage->process_errors.fetch_add(1, std::memory_order_relaxed);
+        SL_LOG(kError) << "threaded process of " << stage->name
+                       << " failed: " << e.status.ToString();
+      }
+      if (!status.ok()) {
+        stage->process_errors.fetch_add(1, std::memory_order_relaxed);
+        SL_LOG(kError) << "threaded process of " << stage->name
+                       << " failed: " << status.ToString();
+      }
+      stage->batch_ctx.on_row = nullptr;
+      return;
+    }
     for (const Message::Item& item : message.items) {
       stage->in_count.fetch_add(1, std::memory_order_relaxed);
       stage->current_ingest_ns = item.ingest_ns;
@@ -910,6 +945,16 @@ monitor::OperatorSample ThreadedRuntime::SampleStage(const Stage& stage,
   sample.parallelism = stage.parallelism;
   sample.pool_size = options_.pool_size;
   sample.quanta = stage.quanta.load(std::memory_order_relaxed);
+  if (final && stage.op != nullptr) {
+    // Final samples only: the operator's plain counters are safe to
+    // read once its worker has joined.
+    const ops::OperatorStats& op_stats = stage.op->stats();
+    sample.batches = op_stats.batches;
+    if (op_stats.batches > 0) {
+      sample.batch_fill = static_cast<double>(op_stats.batched_tuples) /
+                          static_cast<double>(op_stats.batches);
+    }
+  }
   if (final && stage.op != nullptr && stage.op->parallelism() > 1) {
     // Per-instance load and key skew, computed as the simulator's
     // monitor does. Final samples only: the shard counters are plain

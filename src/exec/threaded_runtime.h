@@ -125,6 +125,13 @@ struct ThreadedOptions {
   /// emissions (or consecutive same-source trace events between flush
   /// boundaries) coalesce into one ring message. 1 (default) = off.
   size_t batch_max = 1;
+  /// Columnar execution of batched rings: a kBatch message arriving at
+  /// a batch-capable stage (ops::Operator::batchable) is handed to
+  /// ProcessBatch as one columnar run instead of one Process call per
+  /// item. Semantically identical to the per-tuple loop (same rows,
+  /// same error logging, same counters); on by default because it only
+  /// engages when batch_max > 1 already coalesces runs.
+  bool columnar_batch = true;
   /// Live-mode pacing: virtual milliseconds that elapse per wall-clock
   /// millisecond (e.g. 1000.0 replays one virtual second per wall
   /// millisecond). 0 = unpaced: feed threads run flat out. Ordering,

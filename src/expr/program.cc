@@ -1,6 +1,7 @@
 #include "expr/program.h"
 
 #include <cmath>
+#include <deque>
 
 #include "util/strings.h"
 
@@ -170,26 +171,43 @@ struct PairRow {
   }
 };
 
-/// The evaluation stack is thread-local and segmented per call (each
-/// Run works above the base it found), so nested evaluation — an
-/// operator's Emit feeding a downstream operator that evaluates its own
-/// expression before the outer Run returns — cannot clobber frames.
-std::vector<Value>& Scratch() {
-  thread_local std::vector<Value> stack;
-  return stack;
+/// Evaluation scratch: the value stack plus a pool of call-argument
+/// buffers, both thread-local and segmented per call (each Run works
+/// above the base it found; each nesting depth owns one argument
+/// buffer), so nested evaluation — an operator's Emit feeding a
+/// downstream operator that evaluates its own expression before the
+/// outer Run returns — cannot clobber frames, and steady-state
+/// evaluation allocates nothing.
+struct EvalScratch {
+  std::vector<Value> stack;
+  /// Deque: growing a nested depth must not move the buffers outer
+  /// evaluations still hold references to.
+  std::deque<std::vector<Value>> args_pool;
+  size_t args_depth = 0;
+};
+
+EvalScratch& Scratch() {
+  thread_local EvalScratch scratch;
+  return scratch;
 }
 
 template <typename Row>
 Result<Value> RunImpl(const std::vector<ExprInsn>& insns, const Row& row) {
-  std::vector<Value>& stack = Scratch();
+  EvalScratch& scratch = Scratch();
+  std::vector<Value>& stack = scratch.stack;
   const size_t base = stack.size();
+  if (scratch.args_depth == scratch.args_pool.size()) {
+    scratch.args_pool.emplace_back();
+  }
+  std::vector<Value>& args = scratch.args_pool[scratch.args_depth++];
   struct Restore {
-    std::vector<Value>& stack;
+    EvalScratch& scratch;
     size_t base;
-    ~Restore() { stack.resize(base); }
-  } restore{stack, base};
-
-  std::vector<Value> args;
+    ~Restore() {
+      scratch.stack.resize(base);
+      scratch.args_pool[--scratch.args_depth].clear();
+    }
+  } restore{scratch, base};
   for (size_t pc = 0; pc < insns.size();) {
     const ExprInsn& in = insns[pc];
     switch (in.op) {

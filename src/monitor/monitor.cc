@@ -57,6 +57,11 @@ std::string MonitorReport::ToString() const {
       extras += StrFormat("  pool %zu quanta %llu", op.pool_size,
                           static_cast<unsigned long long>(op.quanta));
     }
+    if (op.batches > 0) {
+      extras += StrFormat("  batches %llu fill %.1f",
+                          static_cast<unsigned long long>(op.batches),
+                          op.batch_fill);
+    }
     out += StrFormat(
         "  %-24s on %-10s  in %8.1f t/s  out %8.1f t/s  cache %6zu%s\n",
         (op.dataflow + "/" + op.op_name).c_str(), op.node_id.c_str(),
@@ -131,6 +136,10 @@ std::string MonitorReport::ToJson() const {
     if (op.pool_size > 0) {
       w.Key("pool_size"); w.Int(static_cast<int64_t>(op.pool_size));
       w.Key("quanta"); w.Int(static_cast<int64_t>(op.quanta));
+    }
+    if (op.batches > 0) {
+      w.Key("batches"); w.Int(static_cast<int64_t>(op.batches));
+      w.Key("batch_fill"); w.Double(op.batch_fill);
     }
     w.EndObject();
   }

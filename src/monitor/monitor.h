@@ -57,6 +57,12 @@ struct OperatorSample {
   /// Threaded runtime, pooled mode only: scheduling quanta this stage
   /// has been claimed for (pool workers plus helping producers).
   uint64_t quanta = 0;
+  /// Columnar execution: batch runs handed to ProcessBatch (0 when the
+  /// operator took only the per-tuple path).
+  uint64_t batches = 0;
+  /// Columnar execution: mean tuples per batch run (batched tuples over
+  /// `batches`; 0 when no batch ran).
+  double batch_fill = 0;
 };
 
 /// \brief Per-node measurements over one monitoring window.

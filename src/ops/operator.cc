@@ -9,6 +9,22 @@ Status Operator::Rescale(size_t) {
                                "' is not key-partitioned");
 }
 
+Status Operator::ProcessBatch(size_t port, const stt::TupleRef* tuples,
+                              size_t count, BatchContext* ctx) {
+  // Per-tuple fallback: identical to the caller dispatching the run
+  // itself, with failures diverted per row so one bad tuple does not
+  // stop the rest of the batch (matching the runtimes' per-tuple error
+  // handling, which logs and keeps going).
+  for (size_t i = 0; i < count; ++i) {
+    if (ctx != nullptr && ctx->on_row) ctx->on_row(i);
+    Status s = Process(port, tuples[i]);
+    if (!s.ok() && ctx != nullptr) {
+      ctx->errors.push_back(BatchRowError{i, std::move(s)});
+    }
+  }
+  return Status::OK();
+}
+
 void Operator::Emit(const stt::TupleRef& tuple) {
   ++stats_.tuples_out;
   ++window_out_;

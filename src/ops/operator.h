@@ -65,6 +65,8 @@ struct OperatorStats {
   size_t cache_size = 0;       ///< current cached tuples (blocking only)
   uint64_t late_dropped = 0;   ///< late tuples discarded (LatePolicy::kDrop)
   uint64_t late_routed = 0;    ///< late tuples sent to the late-side sink
+  uint64_t batches = 0;         ///< columnar batches processed
+  uint64_t batched_tuples = 0;  ///< tuples that arrived inside those batches
   /// Merged input low-watermark (min over ports); stt::kNoWatermark
   /// until every input port has carried one.
   Timestamp watermark_low = stt::kNoWatermark;
@@ -129,6 +131,48 @@ class Operator {
   Status Process(size_t port, stt::Tuple tuple) {
     return Process(port, stt::Tuple::Share(std::move(tuple)));
   }
+
+  // -- columnar batch execution -------------------------------------------
+
+  /// One tuple of a batch that failed with the per-tuple error Process
+  /// would have returned (the rest of the batch keeps flowing).
+  struct BatchRowError {
+    size_t row;
+    Status status;
+  };
+
+  /// Per-call context for ProcessBatch. `on_row` (optional) is invoked
+  /// with the batch row index right before that row's side effects
+  /// (emissions / caching) happen, so a runtime can attribute per-tuple
+  /// bookkeeping (ingest timestamps for latency percentiles) to the
+  /// row being worked on. `errors` collects per-tuple failures in row
+  /// order — exactly the statuses the per-tuple path would have logged.
+  struct BatchContext {
+    std::function<void(size_t)> on_row;
+    std::vector<BatchRowError> errors;
+  };
+
+  /// True when this operator has a real columnar implementation for
+  /// deliveries to `port` (stateless expression stages). Runtimes may
+  /// then hand whole delivery runs to ProcessBatch instead of
+  /// re-dispatching per tuple.
+  virtual bool batchable(size_t port) const {
+    (void)port;
+    return false;
+  }
+
+  /// \brief Feeds a run of `count` same-port tuples at once.
+  ///
+  /// Semantically identical to calling Process(port, tuples[i]) in
+  /// order — same emissions in the same order, same counters, same
+  /// per-tuple errors (surfaced through `ctx->errors` instead of the
+  /// return status) — but batchable operators evaluate their expression
+  /// once over the whole run through the vectorized VM. The caller must
+  /// have observed any piggybacked watermark *before* this call, just as
+  /// it would before a per-tuple Process loop. The default falls back to
+  /// the per-tuple path.
+  virtual Status ProcessBatch(size_t port, const stt::TupleRef* tuples,
+                              size_t count, BatchContext* ctx);
 
   /// Processes the cache (blocking operations). `now` is the virtual
   /// time of the flush tick (under TimePolicy::kEvent the blocking

@@ -12,8 +12,10 @@
 
 #include "dataflow/validate.h"
 #include "expr/eval.h"
+#include "expr/vector_program.h"
 #include "ops/operator.h"
 #include "ops/tuple_cache.h"
+#include "stt/column_batch.h"
 #include "util/strings.h"
 
 namespace sl::ops {
@@ -35,6 +37,48 @@ using stt::TupleRef;
 using stt::Value;
 using stt::ValueType;
 
+/// Merges the vectorized VM's per-row errors (plus any post-evaluation
+/// failures the caller appended) into the batch context in row order —
+/// the order the per-tuple path would have surfaced them.
+void ReportRowErrors(std::vector<expr::VectorProgram::RowError>* errors,
+                     Operator::BatchContext* ctx) {
+  if (errors->empty()) return;
+  std::sort(errors->begin(), errors->end(),
+            [](const expr::VectorProgram::RowError& a,
+               const expr::VectorProgram::RowError& b) { return a.row < b.row; });
+  for (auto& e : *errors) {
+    ctx->errors.push_back(Operator::BatchRowError{e.row, std::move(e.status)});
+  }
+  errors->clear();
+}
+
+/// Transform/virtual-property post-pass: coerces non-null computed
+/// values whose dynamic type differs from the declared output type
+/// (exactly what the per-tuple path does after Eval), dropping rows
+/// whose coercion fails from both the selection and the value column.
+void CoerceComputed(stt::ColumnBatch* batch, ValueType out_type,
+                    std::vector<Value>* values,
+                    std::vector<expr::VectorProgram::RowError>* errors) {
+  std::vector<uint32_t>& sel = batch->mutable_selection();
+  size_t out = 0;
+  for (size_t pos = 0; pos < values->size(); ++pos) {
+    Value& v = (*values)[pos];
+    if (!v.is_null() && v.type() != out_type) {
+      Result<Value> cv = v.CoerceTo(out_type);
+      if (!cv.ok()) {
+        errors->push_back(expr::VectorProgram::RowError{sel[pos], cv.status()});
+        continue;
+      }
+      v = std::move(cv).ValueOrDie();
+    }
+    sel[out] = sel[pos];
+    (*values)[out] = std::move(v);
+    ++out;
+  }
+  sel.resize(out);
+  values->resize(out);
+}
+
 // ---------------------------------------------------------------------------
 // Non-blocking operations: applied directly on each tuple (Table 1).
 // ---------------------------------------------------------------------------
@@ -45,7 +89,8 @@ class FilterOperator : public Operator {
   FilterOperator(std::string name, stt::SchemaPtr schema,
                  expr::BoundExpr condition)
       : Operator(std::move(name), OpKind::kFilter, std::move(schema), 0),
-        condition_(std::move(condition)) {}
+        condition_(std::move(condition)),
+        vector_(&condition_.program()) {}
 
   Status Process(size_t, const TupleRef& tuple) override {
     CountIn();
@@ -54,8 +99,30 @@ class FilterOperator : public Operator {
     return Status::OK();
   }
 
+  bool batchable(size_t) const override { return true; }
+
+  Status ProcessBatch(size_t, const TupleRef* tuples, size_t count,
+                      BatchContext* ctx) override {
+    stt::ColumnBatch batch(condition_.schema(), tuples, count);
+    for (size_t i = 0; i < count; ++i) CountIn();
+    ++stats_.batches;
+    stats_.batched_tuples += count;
+    row_errors_.clear();
+    SL_RETURN_IF_ERROR(vector_.RunPredicate(&batch, &row_errors_));
+    ReportRowErrors(&row_errors_, ctx);
+    // Passing rows forward the *original* refs, exactly like the
+    // per-tuple path.
+    for (uint32_t row : batch.selection()) {
+      if (ctx->on_row) ctx->on_row(row);
+      Emit(tuples[row]);
+    }
+    return Status::OK();
+  }
+
  private:
   expr::BoundExpr condition_;
+  expr::VectorProgram vector_;
+  std::vector<expr::VectorProgram::RowError> row_errors_;
 };
 
 /// diamond_trans(s): rewrite one attribute in place.
@@ -79,10 +146,35 @@ class TransformOperator : public Operator {
     return Status::OK();
   }
 
+  bool batchable(size_t) const override { return true; }
+
+  Status ProcessBatch(size_t, const TupleRef* tuples, size_t count,
+                      BatchContext* ctx) override {
+    stt::ColumnBatch batch(expression_.schema(), tuples, count);
+    for (size_t i = 0; i < count; ++i) CountIn();
+    ++stats_.batches;
+    stats_.batched_tuples += count;
+    row_errors_.clear();
+    values_.clear();
+    SL_RETURN_IF_ERROR(vector_.RunValues(&batch, &values_, &row_errors_));
+    CoerceComputed(&batch, out_type_, &values_, &row_errors_);
+    ReportRowErrors(&row_errors_, ctx);
+    batch.OverwriteColumn(field_index_, std::move(values_), output_schema());
+    const std::vector<uint32_t>& sel = batch.selection();
+    for (size_t pos = 0; pos < sel.size(); ++pos) {
+      if (ctx->on_row) ctx->on_row(sel[pos]);
+      Emit(batch.MaterializeRow(pos));
+    }
+    return Status::OK();
+  }
+
  private:
   size_t field_index_;
   ValueType out_type_;
   expr::BoundExpr expression_;
+  expr::VectorProgram vector_{&expression_.program()};
+  std::vector<expr::VectorProgram::RowError> row_errors_;
+  std::vector<Value> values_;
 };
 
 /// s union <p, spec>: append a computed attribute.
@@ -105,9 +197,34 @@ class VirtualPropertyOperator : public Operator {
     return Status::OK();
   }
 
+  bool batchable(size_t) const override { return true; }
+
+  Status ProcessBatch(size_t, const TupleRef* tuples, size_t count,
+                      BatchContext* ctx) override {
+    stt::ColumnBatch batch(specification_.schema(), tuples, count);
+    for (size_t i = 0; i < count; ++i) CountIn();
+    ++stats_.batches;
+    stats_.batched_tuples += count;
+    row_errors_.clear();
+    values_.clear();
+    SL_RETURN_IF_ERROR(vector_.RunValues(&batch, &values_, &row_errors_));
+    CoerceComputed(&batch, out_type_, &values_, &row_errors_);
+    ReportRowErrors(&row_errors_, ctx);
+    batch.AppendColumn(std::move(values_), output_schema());
+    const std::vector<uint32_t>& sel = batch.selection();
+    for (size_t pos = 0; pos < sel.size(); ++pos) {
+      if (ctx->on_row) ctx->on_row(sel[pos]);
+      Emit(batch.MaterializeRow(pos));
+    }
+    return Status::OK();
+  }
+
  private:
   ValueType out_type_;
   expr::BoundExpr specification_;
+  expr::VectorProgram vector_{&specification_.program()};
+  std::vector<expr::VectorProgram::RowError> row_errors_;
+  std::vector<Value> values_;
 };
 
 /// Systematic (deterministic) decimator: keeps a (1 - rate) fraction of
@@ -972,25 +1089,46 @@ class JoinOperator : public Operator {
   /// Processing-time probe loop: left cache in arrival order, each tuple
   /// probing the right-side hash index. Candidates come back in right
   /// arrival order, reproducing the nested loop's emission order over
-  /// the key-equal subset.
+  /// the key-equal subset. Batch-aware: all probe keys are hashed in one
+  /// tight pass up front, and a run of consecutive probes with the same
+  /// key reuses the previous candidate list instead of re-walking the
+  /// bucket (sensor streams are heavily key-clustered).
   Status ProbeAll(const stt::TemporalGranularity& tgran, stt::RefBatch* out) {
     if (right_index_.slot_count() > 2 * right_.size() + 64) {
       right_index_.Compact(right_);
     }
-    std::vector<const JoinHashIndex::Slot*> cand;
+    probe_keys_.clear();
+    probe_keys_.reserve(left_.size());
     for (const auto& le : left_.entries()) {
-      JoinKeyInfo probe = MakeJoinKeyInfo(*le.tuple, left_cols_);
-      if (probe.has_null) continue;  // a null key equals nothing
+      probe_keys_.push_back(MakeJoinKeyInfo(*le.tuple, left_cols_));
+    }
+    std::vector<const JoinHashIndex::Slot*> cand;
+    const Tuple* group = nullptr;  // previous probe with a reusable `cand`
+    size_t group_hash = 0;
+    size_t idx = 0;
+    for (const auto& le : left_.entries()) {
+      const JoinKeyInfo& probe = probe_keys_[idx++];
+      if (probe.has_null) {  // a null key equals nothing
+        group = nullptr;
+        continue;
+      }
       if (probe.has_nan) {
         // A NaN key compares equal to every numeric, so the bucket
-        // cannot narrow anything: scan the whole right cache.
+        // cannot narrow anything: scan the whole right cache. (NaN keys
+        // never form a reuse group — JoinKeyEquals would over-merge.)
+        group = nullptr;
         for (const auto& re : right_.entries()) {
           SL_RETURN_IF_ERROR(
               TryCandidate(le, re.seq, *re.tuple, tgran, out));
         }
         continue;
       }
-      right_index_.Candidates(probe, &cand);
+      if (group == nullptr || probe.hash != group_hash ||
+          !LeftKeysEqual(*group, *le.tuple)) {
+        right_index_.Candidates(probe, &cand);
+        group = le.tuple.get();
+        group_hash = probe.hash;
+      }
       for (const auto* slot : cand) {
         if (!right_.Live(slot->seq, slot->tuple->timestamp())) continue;
         SL_RETURN_IF_ERROR(
@@ -1016,6 +1154,14 @@ class JoinOperator : public Operator {
       if (!JoinKeyEquals(l.value(left_cols_[i]), r.value(right_cols_[i]))) {
         return false;
       }
+    }
+    return true;
+  }
+
+  /// Key equality between two *left* tuples (grouped-probe reuse check).
+  bool LeftKeysEqual(const Tuple& a, const Tuple& b) const {
+    for (size_t c : left_cols_) {
+      if (!JoinKeyEquals(a.value(c), b.value(c))) return false;
     }
     return true;
   }
@@ -1084,10 +1230,23 @@ class JoinOperator : public Operator {
     for (size_t i = 0; i < rview.size(); ++i) {
       index.Insert({rview[i]->tuple, static_cast<uint64_t>(i)});
     }
-    std::vector<const JoinHashIndex::Slot*> cand;
+    // Vectorized key pass over the probe side, then grouped probing as
+    // in ProbeAll.
+    probe_keys_.clear();
+    probe_keys_.reserve(lview.size());
     for (const auto* le : lview) {
-      JoinKeyInfo probe = MakeJoinKeyInfo(*le->tuple, left_cols_);
-      if (probe.has_null) continue;
+      probe_keys_.push_back(MakeJoinKeyInfo(*le->tuple, left_cols_));
+    }
+    std::vector<const JoinHashIndex::Slot*> cand;
+    const Tuple* group = nullptr;
+    size_t group_hash = 0;
+    size_t idx = 0;
+    for (const auto* le : lview) {
+      const JoinKeyInfo& probe = probe_keys_[idx++];
+      if (probe.has_null) {
+        group = nullptr;
+        continue;
+      }
       const Tuple& l = *le->tuple;
       auto try_pair = [&](const TupleCache::Entry& rent) -> Status {
         const Tuple& r = *rent.tuple;
@@ -1098,12 +1257,18 @@ class JoinOperator : public Operator {
         return EmitIfResidual(l, r, tgran, out);
       };
       if (probe.has_nan) {
+        group = nullptr;
         for (const auto* re : rview) {
           SL_RETURN_IF_ERROR(try_pair(*re));
         }
         continue;
       }
-      index.Candidates(probe, &cand);
+      if (group == nullptr || probe.hash != group_hash ||
+          !LeftKeysEqual(*group, l)) {
+        index.Candidates(probe, &cand);
+        group = le->tuple.get();
+        group_hash = probe.hash;
+      }
       for (const auto* slot : cand) {
         // Slot seq is the view position (keeps candidate enumeration in
         // view order); the view entry carries the cache seq.
@@ -1188,6 +1353,9 @@ class JoinOperator : public Operator {
   TupleCache left_;
   TupleCache right_;
   JoinHashIndex right_index_;
+  /// Probe-side key infos, hashed in one pass per probe loop (reused
+  /// scratch).
+  std::vector<JoinKeyInfo> probe_keys_;
   EventWindow event_{spec_.interval, spec_.window};
   // Sequence watermarks of the previous flush (processing-time sliding).
   uint64_t left_seen_ = 0;

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <optional>
 
 #include "expr/eval.h"
 #include "expr/lexer.h"
 #include "expr/parser.h"
+#include "expr/vector_program.h"
+#include "stt/column_batch.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -583,6 +587,223 @@ TEST(EvalTest, ArithmeticAgainstOracle) {
     ASSERT_TRUE(v.ok());
     int64_t expect = (a + b) * c - a % c;
     EXPECT_EQ(v->AsInt(), expect) << src;
+  }
+}
+
+// ---------------------------------------------------- vectorized VM --
+//
+// Three-way oracle: the columnar VectorProgram must reproduce the
+// scalar VM row for row — same surviving rows, same values (type and
+// rendering, so null/NaN/-0.0 agree), same per-row error statuses —
+// while the scalar VM itself is checked against the interpreted
+// tree-walk. One divergent row anywhere fails with its position.
+
+/// Value-program agreement over one batch.
+void ExpectVectorAgreement(const BoundExpr& bound,
+                           const std::vector<stt::TupleRef>& refs,
+                           const std::string& context) {
+  stt::ColumnBatch batch(bound.schema(), refs.data(), refs.size());
+  VectorProgram vector(&bound.program());
+  std::vector<Value> values;
+  std::vector<VectorProgram::RowError> errors;
+  Status run = vector.RunValues(&batch, &values, &errors);
+  ASSERT_TRUE(run.ok()) << context << ": " << run.ToString();
+  std::map<uint32_t, Status> error_by_row;
+  for (const auto& e : errors) error_by_row.emplace(e.row, e.status);
+  size_t pos = 0;
+  for (uint32_t r = 0; r < refs.size(); ++r) {
+    std::string at = context + " @ row " + std::to_string(r);
+    Result<Value> scalar = bound.Eval(*refs[r]);
+    ExpectSameResult(scalar, bound.EvalInterpreted(*refs[r]), at);
+    if (scalar.ok()) {
+      ASSERT_LT(pos, batch.selection().size()) << at;
+      EXPECT_EQ(batch.selection()[pos], r) << at;
+      EXPECT_EQ(values[pos].type(), scalar->type()) << at;
+      EXPECT_EQ(values[pos].ToString(), scalar->ToString()) << at;
+      ++pos;
+    } else {
+      auto it = error_by_row.find(r);
+      ASSERT_TRUE(it != error_by_row.end()) << at;
+      EXPECT_EQ(it->second.ToString(), scalar.status().ToString()) << at;
+    }
+  }
+  EXPECT_EQ(pos, batch.selection().size()) << context;
+}
+
+/// Predicate agreement: RunPredicate's surviving selection must be
+/// exactly the rows the scalar EvalPredicate accepts (null is false),
+/// with errored rows dropped and reported identically.
+void ExpectPredicateAgreement(const BoundExpr& bound,
+                              const std::vector<stt::TupleRef>& refs,
+                              const std::string& context) {
+  stt::ColumnBatch batch(bound.schema(), refs.data(), refs.size());
+  VectorProgram vector(&bound.program());
+  std::vector<VectorProgram::RowError> errors;
+  Status run = vector.RunPredicate(&batch, &errors);
+  ASSERT_TRUE(run.ok()) << context << ": " << run.ToString();
+  std::vector<uint32_t> expected;
+  std::map<uint32_t, Status> expected_errors;
+  for (uint32_t r = 0; r < refs.size(); ++r) {
+    Result<bool> keep = bound.EvalPredicate(*refs[r]);
+    if (keep.ok()) {
+      if (*keep) expected.push_back(r);
+    } else {
+      expected_errors.emplace(r, keep.status());
+    }
+  }
+  EXPECT_EQ(batch.selection(), expected) << context;
+  ASSERT_EQ(errors.size(), expected_errors.size()) << context;
+  for (const auto& e : errors) {
+    auto it = expected_errors.find(e.row);
+    ASSERT_TRUE(it != expected_errors.end())
+        << context << " @ row " << e.row;
+    EXPECT_EQ(e.status.ToString(), it->second.ToString())
+        << context << " @ row " << e.row;
+  }
+}
+
+/// A randomized temperature batch: nulls, NaN, -0.0, missing
+/// locations, null stations, and (optionally) rows whose dynamic temp
+/// type contradicts the schema — the per-tuple type-error path.
+std::vector<stt::TupleRef> RandomTempBatch(sl::Rng* rng, size_t n,
+                                           bool with_bad_rows) {
+  auto schema = TempSchema();
+  std::vector<stt::TupleRef> refs;
+  for (size_t i = 0; i < n; ++i) {
+    Value temp;
+    switch (rng->NextBounded(with_bad_rows ? 6 : 5)) {
+      case 0: temp = Value::Null(); break;
+      case 1: temp = Value::Double(std::nan("")); break;
+      case 2: temp = Value::Double(-0.0); break;
+      case 5: temp = Value::Int(7); break;  // contradicts kDouble
+      default: temp = Value::Double(rng->NextDouble(-50, 50));
+    }
+    Value station =
+        rng->NextBounded(5) == 0 ? Value::Null() : Value::String("osaka");
+    std::optional<stt::GeoPoint> loc;
+    if (rng->NextBounded(4) != 0) {
+      loc = stt::GeoPoint{34.0 + rng->NextDouble(0, 1), 135.5};
+    }
+    refs.push_back(stt::Tuple::Share(stt::Tuple::MakeUnsafe(
+        schema, {temp, station}, 1458000000000 + Timestamp(i) * 60000, loc,
+        "sensor_7")));
+  }
+  return refs;
+}
+
+// The full program battery — arithmetic, comparisons, short-circuit
+// logic, meta attributes, function calls — three ways, over batches
+// that include null, NaN, -0.0 and type-mismatched rows.
+TEST(VectorProgramTest, ThreeWayOracleBattery) {
+  sl::Rng rng(411);
+  auto schema = TempSchema();
+  for (const char* src : kProgramBattery) {
+    auto bound = BoundExpr::Parse(src, schema);
+    ASSERT_TRUE(bound.ok()) << src << ": " << bound.status();
+    std::vector<stt::TupleRef> refs =
+        RandomTempBatch(&rng, 64, /*with_bad_rows=*/true);
+    ExpectVectorAgreement(*bound, refs, src);
+  }
+}
+
+// Predicate programs: the selection-narrowing entry point, including
+// the short-circuit cases where the scalar VM jumps and the vectorized
+// run partitions the selection instead.
+TEST(VectorProgramTest, PredicateSelectionMatchesScalar) {
+  sl::Rng rng(423);
+  auto schema = TempSchema();
+  const char* const predicates[] = {
+      "temp > 20",
+      "temp >= 25 and station == 'osaka'",
+      "temp > 100 and 1 / 0 > 0",  // dominant arm decides every row
+      "temp > -100 or 1 / 0 > 0",
+      "(station == 'x') and true",  // null and true -> null -> dropped
+      "(station == 'x') or temp > 0",
+      "not (temp > 25)",
+      "is_null(station) or contains(station, 'osa')",
+      "$lat > 34.2",
+      "sqrt(temp) > 5",  // null for negative temp
+  };
+  for (const char* src : predicates) {
+    auto bound = BoundExpr::Parse(src, schema);
+    ASSERT_TRUE(bound.ok()) << src << ": " << bound.status();
+    std::vector<stt::TupleRef> refs =
+        RandomTempBatch(&rng, 96, /*with_bad_rows=*/true);
+    ExpectPredicateAgreement(*bound, refs, src);
+  }
+}
+
+// Int64 columns near the extremes (all operations kept within defined
+// range): the vectorized int path must stay exact 64-bit arithmetic —
+// values this size are not representable in a double, so a widening
+// bug would change the rendered result. The double column adds -0.0
+// and NaN mixing into comparisons and arithmetic.
+TEST(VectorProgramTest, IntExtremesAndSignedZero) {
+  auto tgran = stt::TemporalGranularity::Make(duration::kMinute);
+  auto theme = stt::Theme::Parse("test/extremes");
+  auto schema = *stt::Schema::Make(
+      {{"n", ValueType::kInt, "", true}, {"d", ValueType::kDouble, "", true}},
+      *tgran, stt::SpatialGranularity::Point(), *theme);
+  const int64_t kBig = (int64_t{1} << 62) - 3;
+  const int64_t values_n[] = {kBig,  -kBig, 1,  -1, 0,
+                              kBig - 1, -kBig + 1, 41, 0, 7};
+  const double values_d[] = {-0.0, 0.0, std::nan(""), 1.5, -1.5,
+                             0.5,  2.0, -0.0,         3.5, 0.25};
+  std::vector<stt::TupleRef> refs;
+  for (size_t i = 0; i < 10; ++i) {
+    Value n = i == 4 ? Value::Null() : Value::Int(values_n[i]);
+    Value d = i == 8 ? Value::Null() : Value::Double(values_d[i]);
+    refs.push_back(stt::Tuple::Share(stt::Tuple::MakeUnsafe(
+        schema, {n, d}, 1458000000000 + Timestamp(i), std::nullopt, "x")));
+  }
+  const char* const exprs[] = {
+      "n + 1",  // exact at 2^62: a double would round
+      "n - 1",
+      "n * 2",
+      "n % 1000003",
+      "n / 4",        // division takes the double path by design
+      "-n",
+      "n > 0",
+      "n == n",
+      "n + d",        // int/double mixing widens
+      "n > d",        // cross-type comparison widens; NaN compares equal
+      "d == 0.0",     // -0.0 == 0.0 must hold
+      "d < 0.0",      // ... and -0.0 < 0.0 must not
+      "if(d == 0.0, 'zero', 'nonzero')",
+      "d * -1",
+      "d % 2",
+  };
+  for (const char* src : exprs) {
+    auto bound = BoundExpr::Parse(src, schema);
+    ASSERT_TRUE(bound.ok()) << src << ": " << bound.status();
+    ExpectVectorAgreement(*bound, refs, src);
+  }
+}
+
+// Re-running one VectorProgram over many batches must not leak state
+// between runs (registers and masks are scratch, re-seeded per call).
+TEST(VectorProgramTest, ReuseAcrossBatches) {
+  sl::Rng rng(437);
+  auto schema = TempSchema();
+  auto bound = *BoundExpr::Parse("temp * 2 + 1", schema);
+  VectorProgram vector(&bound.program());
+  for (int round = 0; round < 5; ++round) {
+    std::vector<stt::TupleRef> refs =
+        RandomTempBatch(&rng, 16 + 16 * round, /*with_bad_rows=*/true);
+    stt::ColumnBatch batch(schema, refs.data(), refs.size());
+    std::vector<Value> values;
+    std::vector<VectorProgram::RowError> errors;
+    SL_ASSERT_OK(vector.RunValues(&batch, &values, &errors));
+    size_t pos = 0;
+    for (uint32_t r = 0; r < refs.size(); ++r) {
+      auto scalar = bound.Eval(*refs[r]);
+      if (!scalar.ok()) continue;
+      ASSERT_LT(pos, values.size());
+      EXPECT_EQ(values[pos].ToString(), scalar->ToString())
+          << "round " << round << " row " << r;
+      ++pos;
+    }
+    EXPECT_EQ(pos, values.size());
   }
 }
 

@@ -264,6 +264,10 @@ struct EventTimeOptions {
   /// full-recompute aggregation) instead of the fast paths — the oracle
   /// side of the fast-vs-naive equivalence property.
   bool naive_blocking = false;
+  /// Runs the executor with columnar batch execution
+  /// (exec::ExecutorOptions::columnar_batch) — the batched side of the
+  /// batched-vs-unbatched identity property.
+  bool columnar_batch = false;
 };
 
 /// Everything an event-time run produces.
@@ -373,6 +377,7 @@ inline EventTimeResult EventTimeRun(uint64_t seed, const net::FaultPlan& plan,
   exec_options.watermark.late_policy = options.late_policy;
   exec_options.watermark.allowed_lateness = options.allowed_lateness;
   exec_options.naive_blocking = options.naive_blocking;
+  exec_options.columnar_batch = options.columnar_batch;
   exec::Executor executor(&loop, &net, &broker, &monitor, sink_context,
                           exec_options);
   executor.set_fleet(&fleet);

@@ -175,6 +175,13 @@ struct DiffOptions {
   size_t pool_size = 0;     ///< pooled workers (0 = thread per stage)
   size_t shard_threads = 0; ///< partitioned-instance flush threads
   size_t batch_max = 1;     ///< ring-message coalescing bound
+  /// Columnar batch execution on the threaded side
+  /// (ThreadedOptions::columnar_batch): kBatch messages at batchable
+  /// stages go through ProcessBatch. Defaults on like the runtime.
+  bool threaded_columnar = true;
+  /// Columnar batch execution on the simulated reference side
+  /// (ExecutorOptions::columnar_batch).
+  bool sim_columnar = false;
 };
 
 struct DiffResult {
@@ -230,6 +237,7 @@ DiffResult RunSimVsThreaded(uint64_t seed, const dsn::DsnSpec& spec,
   sink_context.warehouse = &warehouse;
   exec::ExecutorOptions exec_options;
   exec_options.naive_blocking = options.naive_blocking;
+  exec_options.columnar_batch = options.sim_columnar;
   if (options.event_time) {
     exec_options.watermark.time_policy = ops::TimePolicy::kEvent;
   }
@@ -291,6 +299,7 @@ DiffResult RunSimVsThreaded(uint64_t seed, const dsn::DsnSpec& spec,
   threaded_options.pool_size = options.pool_size;
   threaded_options.shard_threads = options.shard_threads;
   threaded_options.batch_max = options.batch_max;
+  threaded_options.columnar_batch = options.threaded_columnar;
   threaded_options.time_scale = options.time_scale;
   exec::ThreadedRuntime runtime(*threaded_df, &broker, threaded_context,
                                 threaded_options);
@@ -690,6 +699,109 @@ TEST(SimVsThreadedOracleTest, AllModesCombinedMatchesSim) {
   for (uint64_t seed : ChaosSeeds(25, 11750)) {
     ExpectSimThreadedIdentity(seed, ThJoinSpec(0, /*parallelism=*/2),
                               options);
+  }
+}
+
+// ------------------------------------------------- columnar oracle --
+//
+// Columnar batch execution at the batchable (stateless expression)
+// stages — the vectorized ProcessBatch path on both runtimes, the
+// per-tuple scalar path as its oracle.
+
+/// Virtual property → selective filter → transform: every stage is
+/// batchable, so a kBatch ring message walks the whole chain through
+/// the columnar path (and on the simulator, coalesced delivery runs
+/// do the same).
+dsn::DsnSpec ThColumnarChainSpec() {
+  auto df = *dataflow::DataflowBuilder("th_columnar")
+                 .AddSource("src", "th_t0")
+                 .AddVirtualProperty("heat", "src", "heat_index",
+                                     "temp * 1.8 + 32", "fahrenheit")
+                 .AddFilter("keep", "heat", "heat_index > 41 and temp < 29")
+                 .AddTransform("scale", "keep", "temp", "temp * 2 + 1")
+                 .AddSink("out", "scale", dataflow::SinkKind::kCollect)
+                 .Build();
+  return *dsn::TranslateToDsn(df);
+}
+
+TEST(SimVsThreadedOracleTest, ColumnarChainMatchesSim) {
+  // Batched rings + columnar stages against the per-tuple simulator.
+  DiffOptions options;
+  options.batch_max = 8;
+  uint64_t batched_tuples = 0;
+  for (uint64_t seed : ChaosSeeds(25, 11800)) {
+    DiffResult r = RunSimVsThreaded(seed, ThColumnarChainSpec(), options);
+    ASSERT_TRUE(r.deployed) << r.error << "\n" << Context(seed);
+    ASSERT_FALSE(r.sim_rows.empty()) << Context(seed);
+    EXPECT_EQ(r.threaded_rows(), r.sim_rows) << Context(seed);
+    EXPECT_EQ(r.threaded.process_errors, 0u) << Context(seed);
+    for (const auto& [name, stats] : r.threaded.op_stats) {
+      batched_tuples += stats.batched_tuples;
+    }
+  }
+  // Multi-tuple ring messages must actually have taken the batch path.
+  EXPECT_GT(batched_tuples, 0u);
+}
+
+TEST(SimVsThreadedOracleTest, ColumnarOffChainMatchesSim) {
+  // Same batched rings with the columnar path disabled: the per-item
+  // fallback is the other side of the batched-vs-unbatched identity.
+  DiffOptions options;
+  options.batch_max = 8;
+  options.threaded_columnar = false;
+  for (uint64_t seed : ChaosSeeds(25, 11800)) {
+    ExpectSimThreadedIdentity(seed, ThColumnarChainSpec(), options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, ColumnarSimMatchesColumnarThreaded) {
+  // Both runtimes batched: coalesced simulator delivery runs vs kBatch
+  // ring messages — same rows either way.
+  DiffOptions options;
+  options.batch_max = 8;
+  options.sim_columnar = true;
+  for (uint64_t seed : ChaosSeeds(25, 11900)) {
+    ExpectSimThreadedIdentity(seed, ThColumnarChainSpec(), options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, ColumnarEventTimeChainMatchesSim) {
+  // Watermarked chain into an event-time aggregation: segmentation of
+  // coalesced runs at watermark advances (simulator) and the sealed
+  // batch watermark (threaded) must both preserve window firing.
+  DiffOptions options;
+  options.batch_max = 8;
+  options.sim_columnar = true;
+  options.event_time = true;
+  auto spec = [] {
+    auto df = *dataflow::DataflowBuilder("th_columnar_agg")
+                   .AddSource("src", "th_t0")
+                   .AddVirtualProperty("heat", "src", "heat_index",
+                                       "temp * 1.8 + 32", "fahrenheit")
+                   .AddFilter("keep", "heat", "heat_index > 41")
+                   .AddAggregation("agg", "keep", 5 * duration::kSecond,
+                                   dataflow::AggFunc::kAvg, {"temp"}, {},
+                                   10 * duration::kSecond)
+                   .AddSink("out", "agg", dataflow::SinkKind::kCollect)
+                   .Build();
+    return *dsn::TranslateToDsn(df);
+  }();
+  for (uint64_t seed : ChaosSeeds(25, 12000)) {
+    ExpectSimThreadedIdentity(seed, spec, options);
+  }
+}
+
+TEST(SimVsThreadedOracleTest, ColumnarAllModesCombinedMatchesSim) {
+  // Columnar stages under every concurrency axis at once: live feeds,
+  // pooled workers, shard threads, batched rings.
+  DiffOptions options = LiveOptions();
+  options.pool_size = 2;
+  options.shard_threads = 2;
+  options.batch_max = 8;
+  options.queue_capacity = 64;
+  options.sim_columnar = true;
+  for (uint64_t seed : ChaosSeeds(25, 12100)) {
+    ExpectSimThreadedIdentity(seed, ThColumnarChainSpec(), options);
   }
 }
 
